@@ -1,0 +1,51 @@
+// Ablation A2: the in-core/out-of-core heuristic (paper limitation 2, §5.4).
+//
+// MHETA's planner assumes the whole node memory is available for local
+// arrays, while the runtime reserves buffer/halo space; near the memory
+// boundary the model therefore classifies a variable as in core that the
+// runtime streams from disk, predicting zero I/O where I/O occurs. This
+// binary compares the paper's heuristic against an "informed" model that
+// knows the runtime overhead, quantifying how much of the residual error
+// the simplistic heuristic is responsible for.
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace mheta;
+
+int main() {
+  Table t({"arch", "app", "model heuristic", "avg diff", "max diff",
+           "underpredicted pts"});
+  for (const char* arch_name : {"IO", "IO3", "HY1", "HY5"}) {
+    const auto arch = cluster::find_arch(arch_name);
+    for (const auto& w : {exp::jacobi_workload(false), exp::cg_workload()}) {
+      for (const bool informed : {false, true}) {
+        exp::ExperimentOptions opts;
+        opts.spectrum_steps = 5;  // dense sweep to hit the boundary region
+        // Exaggerate the runtime's reserved memory so the sweep reliably
+        // lands in the misclassification window this ablation studies.
+        opts.runtime.overhead_bytes = 1ll << 20;
+        if (informed)
+          opts.model.planner_overhead_bytes = opts.runtime.overhead_bytes;
+        const auto sweep = exp::run_sweep(arch, w, opts);
+        int underpredicted = 0;
+        for (const auto& p : sweep.points)
+          if (p.predicted_s < p.actual_s * 0.98) ++underpredicted;
+        t.add_row({arch_name, w.name,
+                   informed ? "informed (knows overhead)" : "paper (simple)",
+                   fmt_pct(sweep.avg_diff()), fmt_pct(sweep.max_diff()),
+                   std::to_string(underpredicted) + "/" +
+                       std::to_string(sweep.points.size())});
+      }
+      t.add_separator();
+    }
+  }
+  std::cout << "=== Ablation: out-of-core classification heuristic "
+               "(limitation 2) ===\n";
+  t.print(std::cout);
+  std::cout << "Under-prediction (predicted < actual) near the memory "
+               "boundary is the signature\nof the simple heuristic "
+               "classifying a streamed variable as in core.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 10: actual vs predicted execution times for configurations DC
+// (top; Bal..Blk axis) and IO (bottom; Blk..I-C axis) for all four
+// applications, with the best distributions marked. Also checks the §5.3
+// observation that RNA's worst distribution on DC is ~4x its best.
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+
+using namespace mheta;
+
+int main() {
+  exp::ExperimentOptions opts;
+  opts.spectrum_steps = 3;  // interpolated points like the paper's figures
+
+  for (const char* name : {"DC", "IO"}) {
+    const auto arch = cluster::find_arch(name);
+    std::vector<exp::SweepResult> cg_jacobi, lanczos_rna;
+    for (const auto& w : exp::paper_workloads()) {
+      auto sweep = exp::run_sweep(arch, w, opts);
+      if (w.name == "CG" || w.name == "Jacobi")
+        cg_jacobi.push_back(std::move(sweep));
+      else
+        lanczos_rna.push_back(std::move(sweep));
+    }
+    exp::print_times_panel(
+        std::cout,
+        "=== Figure 10: CG and Jacobi — configuration " + std::string(name) +
+            " ===",
+        cg_jacobi);
+    exp::print_times_panel(
+        std::cout,
+        "=== Figure 10: Lanczos and RNA — configuration " + std::string(name) +
+            " ===",
+        lanczos_rna);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11: actual vs predicted execution times on the hybrid
+// configurations HY1 and HY2 over the full distribution axis, plus the
+// §5.3 detail: on HY1 the best Jacobi distribution lies between I-C/Bal
+// and Bal and beats Bal significantly (paper: by 28%).
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "util/table.hpp"
+
+using namespace mheta;
+
+int main() {
+  exp::ExperimentOptions opts;
+  opts.spectrum_steps = 3;
+
+  for (const char* name : {"HY1", "HY2"}) {
+    const auto arch = cluster::find_arch(name);
+    std::vector<exp::SweepResult> cg_jacobi, lanczos_rna;
+    for (const auto& w : exp::paper_workloads()) {
+      auto sweep = exp::run_sweep(arch, w, opts);
+      if (w.name == "CG" || w.name == "Jacobi")
+        cg_jacobi.push_back(std::move(sweep));
+      else
+        lanczos_rna.push_back(std::move(sweep));
+    }
+    exp::print_times_panel(
+        std::cout,
+        "=== Figure 11: CG and Jacobi — configuration " + std::string(name) +
+            " ===",
+        cg_jacobi);
+    exp::print_times_panel(
+        std::cout,
+        "=== Figure 11: Lanczos and RNA — configuration " + std::string(name) +
+            " ===",
+        lanczos_rna);
+  }
+
+  // §5.3 detail: fine sweep of the I-C/Bal..Bal segment for Jacobi on HY1.
+  std::cout << "=== §5.3 detail: Jacobi on HY1 between I-C/Bal and Bal ===\n";
+  exp::ExperimentOptions fine = opts;
+  fine.spectrum_steps = 7;
+  const auto arch = cluster::find_arch("HY1");
+  const auto sweep =
+      exp::run_sweep(arch, exp::jacobi_workload(false), fine);
+  Table t({"t", "label", "actual (s)", "predicted (s)"});
+  double bal_actual = 0, best_segment_actual = 1e300;
+  std::string best_label;
+  for (const auto& p : sweep.points) {
+    if (p.point.t < 0.5 - 1e-9 || p.point.t > 0.75 + 1e-9) continue;
+    t.add_row({fmt(p.point.t, 3), p.point.label, fmt(p.actual_s, 2),
+               fmt(p.predicted_s, 2)});
+    if (p.point.label == "Bal") bal_actual = p.actual_s;
+    if (p.actual_s < best_segment_actual) {
+      best_segment_actual = p.actual_s;
+      best_label = p.point.label.empty() ? "t=" + fmt(p.point.t, 3)
+                                         : p.point.label;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "best point in segment: " << best_label << ", "
+            << fmt_pct(1.0 - best_segment_actual / bal_actual)
+            << " faster than Bal (paper reports 28%)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 9: minimum, average and maximum percentage difference between
+// predicted and actual execution times —
+//   top-left:  all four applications, no prefetching, 17 architectures;
+//   top-right: Jacobi with prefetching, 12 architectures;
+//   bottom:    the best case (RNA) and worst case (CG) individually.
+// Also prints the headline average-accuracy number (paper: ~98%).
+#include <iostream>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "util/table.hpp"
+
+using namespace mheta;
+
+int main() {
+  exp::ExperimentOptions opts;  // the paper's effect defaults
+
+  const auto suite = cluster::architecture_suite();
+  std::vector<exp::SweepResult> all, rna_only, cg_only;
+  for (const auto& arch : suite) {
+    for (const auto& w : exp::paper_workloads()) {
+      auto sweep = exp::run_sweep(arch, w, opts);
+      if (w.name == "RNA") rna_only.push_back(sweep);
+      if (w.name == "CG") cg_only.push_back(sweep);
+      all.push_back(std::move(sweep));
+    }
+  }
+
+  std::cout << "=== Figure 9 (top left): all applications without "
+               "prefetching, "
+            << suite.size() << " architectures ===\n";
+  const auto agg_all = exp::aggregate_by_axis(all);
+  exp::print_axis_panel(std::cout, "percent difference of actual vs predicted",
+                        agg_all);
+
+  std::vector<exp::SweepResult> prefetch_sweeps;
+  const auto prefetch_archs = cluster::prefetch_suite();
+  const auto jacobi_pf = exp::jacobi_workload(true);
+  for (const auto& arch : prefetch_archs)
+    prefetch_sweeps.push_back(exp::run_sweep(arch, jacobi_pf, opts));
+
+  std::cout << "=== Figure 9 (top right): prefetching Jacobi, "
+            << prefetch_archs.size() << " architectures ===\n";
+  const auto agg_pf = exp::aggregate_by_axis(prefetch_sweeps);
+  exp::print_axis_panel(std::cout, "percent difference of actual vs predicted",
+                        agg_pf);
+
+  std::cout << "=== Figure 9 (bottom left): RNA (best case) ===\n";
+  exp::print_axis_panel(std::cout, "percent difference of actual vs predicted",
+                        exp::aggregate_by_axis(rna_only));
+
+  std::cout << "=== Figure 9 (bottom right): CG (worst case) ===\n";
+  exp::print_axis_panel(std::cout, "percent difference of actual vs predicted",
+                        exp::aggregate_by_axis(cg_only));
+
+  std::cout << "=== Headline (paper: \"on average 98% accurate\") ===\n"
+            << "without prefetching: accuracy "
+            << fmt_pct(1.0 - agg_all.overall_avg()) << '\n'
+            << "prefetching Jacobi:  accuracy "
+            << fmt_pct(1.0 - agg_pf.overall_avg()) << '\n';
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Headline H2: the cost of evaluating one distribution in MHETA.
+// The paper reports about 5.4 ms per distribution on 2005 hardware and
+// argues this is cheap enough to use on the fly; this benchmark measures
+// our implementation (expected to be far faster on modern hardware — the
+// claim to preserve is the order of magnitude: "cheap enough for on-line
+// search", i.e. sub-milliseconds per candidate).
+#include <benchmark/benchmark.h>
+
+#include "exp/experiment.hpp"
+
+using namespace mheta;
+
+namespace {
+
+struct Setup {
+  core::Predictor predictor;
+  std::vector<dist::GenBlock> candidates;
+};
+
+Setup make_setup(const char* arch_name, exp::Workload w) {
+  exp::ExperimentOptions opts;
+  const auto arch = cluster::find_arch(arch_name);
+  auto predictor = exp::build_predictor(arch, w, opts);
+  const auto ctx = exp::make_context(arch, w, opts);
+  std::vector<dist::GenBlock> candidates;
+  for (const auto& p :
+       dist::spectrum(ctx, arch.spectrum, /*steps_per_segment=*/15))
+    candidates.push_back(p.dist);
+  return Setup{std::move(predictor), std::move(candidates)};
+}
+
+void BM_PredictJacobi(benchmark::State& state) {
+  auto setup = make_setup("HY1", exp::jacobi_workload(false));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = setup.candidates[i++ % setup.candidates.size()];
+    benchmark::DoNotOptimize(
+        setup.predictor.predict(d, /*iterations=*/100).total_s);
+  }
+  state.SetLabel("Jacobi/HY1, 100 iterations per evaluation");
+}
+BENCHMARK(BM_PredictJacobi);
+
+void BM_PredictRnaPipeline(benchmark::State& state) {
+  auto setup = make_setup("HY1", exp::rna_workload());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = setup.candidates[i++ % setup.candidates.size()];
+    benchmark::DoNotOptimize(
+        setup.predictor.predict(d, /*iterations=*/10).total_s);
+  }
+  state.SetLabel("RNA/HY1 (pipelined, 8 tiles), 10 iterations");
+}
+BENCHMARK(BM_PredictRnaPipeline);
+
+void BM_PredictSingleIteration(benchmark::State& state) {
+  auto setup = make_setup("IO", exp::cg_workload());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = setup.candidates[i++ % setup.candidates.size()];
+    benchmark::DoNotOptimize(setup.predictor.predict(d, 1).total_s);
+  }
+  state.SetLabel("CG/IO, single iteration (paper: ~5.4 ms in 2005)");
+}
+BENCHMARK(BM_PredictSingleIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Extension bench (paper §6 future work): choosing a distribution "on the
+// fly" requires moving data, and moving data costs time. For each
+// application on each Table-1 architecture this binary prices the switch
+// from the naive Blk distribution to the model's best pick and reports the
+// break-even iteration count — how many remaining iterations justify
+// redistribution.
+#include <iostream>
+
+#include "core/redistribution.hpp"
+#include "exp/experiment.hpp"
+#include "search/search.hpp"
+#include "util/table.hpp"
+
+using namespace mheta;
+
+int main() {
+  exp::ExperimentOptions opts;
+  Table t({"app", "arch", "MB moved", "switch cost (s)", "old iter (s)",
+           "new iter (s)", "break-even iters", "verdict (paper iters)"});
+
+  for (const char* arch_name : {"DC", "IO", "HY1", "HY2"}) {
+    const auto arch = cluster::find_arch(arch_name);
+    for (const auto& w : exp::paper_workloads()) {
+      const auto predictor = exp::build_predictor(arch, w, opts);
+      const auto ctx = exp::make_context(arch, w, opts);
+      const search::SpectrumSpace space(ctx, arch.spectrum);
+      const search::Objective objective = [&](const dist::GenBlock& d) {
+        return predictor.predict(d, 1).total_s;
+      };
+      const auto pick = search::gbs(space, objective);
+      const auto from = dist::block_dist(ctx);
+      const auto plan = core::plan_switch(predictor, w.program,
+                                          predictor.params(), from, pick.best);
+      const auto cost = core::redistribution_cost(w.program,
+                                                  predictor.params(), from,
+                                                  pick.best);
+      std::string verdict;
+      if (plan.break_even_iterations == 0)
+        verdict = "never (Blk already best)";
+      else if (plan.worthwhile(w.iterations))
+        verdict = "switch";
+      else
+        verdict = "stay on Blk";
+      t.add_row({w.name, arch_name,
+                 fmt(static_cast<double>(cost.bytes_moved) / (1 << 20), 1),
+                 fmt(plan.switch_cost_s, 2), fmt(plan.old_iteration_s, 3),
+                 fmt(plan.new_iteration_s, 3),
+                 std::to_string(plan.break_even_iterations),
+                 verdict + " (" + std::to_string(w.iterations) + ")"});
+    }
+    t.add_separator();
+  }
+  std::cout << "=== Redistribution planning (extension; paper §6 future "
+               "work) ===\n";
+  t.print(std::cout);
+  std::cout << "Switching from Blk to the GBS pick pays off when the "
+               "remaining iteration count\nexceeds break-even; the verdict "
+               "uses each benchmark's paper iteration count.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 1: the four emulated architectures described in detail, plus a
+// summary of the full validation suite (seventeen architectures, twelve in
+// the prefetching subset).
+#include <iostream>
+
+#include "cluster/suite.hpp"
+#include "util/table.hpp"
+
+using namespace mheta;
+
+namespace {
+
+std::string memory_str(std::int64_t bytes) {
+  return fmt(static_cast<double>(bytes) / (1 << 20), 0) + " MiB";
+}
+
+void print_config(const cluster::ArchConfig& arch,
+                  const std::string& description) {
+  std::cout << arch.cluster.name << " — " << description << '\n';
+  Table t({"node", "cpu power", "memory", "disk read", "disk write"});
+  for (int i = 0; i < arch.cluster.size(); ++i) {
+    const auto& n = arch.cluster.node(i);
+    t.add_row({std::to_string(i), fmt(n.cpu_power, 2),
+               memory_str(n.memory_bytes),
+               fmt(1.0 / n.disk_read_s_per_byte / 1e6, 0) + " MB/s",
+               fmt(1.0 / n.disk_write_s_per_byte / 1e6, 0) + " MB/s"});
+  }
+  t.print(std::cout);
+  std::cout << "distribution spectrum: " << cluster::to_string(arch.spectrum)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table 1: sample configurations of the emulated "
+               "architectures ===\n\n";
+  print_config(cluster::make_dc(),
+               "two nodes with lower and two with higher relative CPU power");
+  print_config(cluster::make_io(),
+               "half the nodes with high I/O latency and small memories, "
+               "equal CPU power");
+  print_config(cluster::make_hy1(),
+               "four nodes with varying CPU power, four with low I/O latency "
+               "and small memories");
+  print_config(cluster::make_hy2(),
+               "four nodes with varying CPU power, two with high I/O "
+               "latency; two with large memories");
+
+  const auto suite = cluster::architecture_suite();
+  const auto prefetch = cluster::prefetch_suite();
+  std::cout << "=== Validation suite ===\n";
+  Table t({"architecture", "spectrum", "in prefetch suite"});
+  for (const auto& a : suite)
+    t.add_row({a.cluster.name, cluster::to_string(a.spectrum),
+               a.in_prefetch_suite ? "yes" : "no"});
+  t.print(std::cout);
+  std::cout << suite.size() << " architectures total, " << prefetch.size()
+            << " in the prefetching subset (paper: seventeen and twelve)\n";
+  return 0;
+}

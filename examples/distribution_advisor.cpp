@@ -1,0 +1,92 @@
+// Distribution advisor: the runtime-system scenario from the paper's
+// introduction. Given an application and a heterogeneous cluster, find an
+// effective GEN_BLOCK data distribution *without* running the candidates —
+// one instrumented iteration builds the model, then the search algorithms
+// from the companion paper explore the space using MHETA as the evaluation
+// function. The chosen distribution is finally validated with a real
+// (simulated) run.
+//
+// Usage: ./build/examples/distribution_advisor [arch] [app]
+//   arch: DC | IO | HY1 | HY2 | ... (default HY2)
+//   app:  jacobi | cg | lanczos | rna | multigrid (default lanczos)
+#include <iostream>
+#include <string>
+
+#include "apps/driver.hpp"
+#include "exp/experiment.hpp"
+#include "search/search.hpp"
+#include "util/table.hpp"
+
+using namespace mheta;
+
+namespace {
+
+exp::Workload workload_by_name(const std::string& name) {
+  if (name == "jacobi") return exp::jacobi_workload(false);
+  if (name == "cg") return exp::cg_workload();
+  if (name == "rna") return exp::rna_workload();
+  if (name == "multigrid") return exp::multigrid_workload();
+  return exp::lanczos_workload();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string arch_name = argc > 1 ? argv[1] : "HY2";
+  const std::string app_name = argc > 2 ? argv[2] : "lanczos";
+
+  const auto arch = cluster::find_arch(arch_name);
+  const auto workload = workload_by_name(app_name);
+  exp::ExperimentOptions opts;
+
+  std::cout << "Advising a data distribution for " << workload.name << " on "
+            << arch.cluster.name << "...\n\n";
+
+  // Build the model from one instrumented Blk iteration.
+  const auto predictor = exp::build_predictor(arch, workload, opts);
+  const auto ctx = exp::make_context(arch, workload, opts);
+  const search::Objective objective = [&](const dist::GenBlock& d) {
+    return predictor.predict(d, workload.iterations).total_s;
+  };
+
+  auto actual_of = [&](const dist::GenBlock& d) {
+    apps::RunOptions run;
+    run.iterations = workload.iterations;
+    run.runtime = opts.runtime;
+    return apps::run_program(arch.cluster, opts.effects, workload.program, d,
+                             run)
+        .seconds;
+  };
+
+  // Let all four algorithms propose.
+  const search::SpectrumSpace space(ctx, arch.spectrum);
+  struct Proposal {
+    const char* algo;
+    search::SearchResult result;
+  };
+  std::vector<Proposal> proposals;
+  proposals.push_back({"GBS", search::gbs(space, objective)});
+  proposals.push_back({"genetic", search::genetic(ctx, objective, {}, 1)});
+  proposals.push_back(
+      {"annealing", search::simulated_annealing(dist::block_dist(ctx),
+                                                objective, {}, 1)});
+  proposals.push_back({"random", search::random_search(space, objective, 40, 1)});
+
+  Table t({"algorithm", "model evals", "predicted (s)", "validated (s)"});
+  const Proposal* winner = &proposals[0];
+  for (const auto& p : proposals) {
+    t.add_row({p.algo, std::to_string(p.result.evaluations),
+               fmt(p.result.best_time, 2), fmt(actual_of(p.result.best), 2)});
+    if (p.result.best_time < winner->result.best_time) winner = &p;
+  }
+  t.print(std::cout);
+
+  const double baseline = actual_of(dist::block_dist(ctx));
+  const double chosen = actual_of(winner->result.best);
+  std::cout << "\nrecommended (" << winner->algo
+            << "): " << winner->result.best.to_string() << '\n'
+            << "naive Blk distribution: " << fmt(baseline, 2)
+            << " s; recommended: " << fmt(chosen, 2) << " s ("
+            << fmt(baseline / chosen, 2) << "x faster)\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// mheta_cli: a small command-line front end to the library — list the
+// emulated architectures, inspect one, export an application's structure
+// file, build and save a model parameter file, and run a prediction sweep.
+//
+// Usage:
+//   mheta_cli archs
+//   mheta_cli show <arch>
+//   mheta_cli structure <app>                 (writes the structure file to stdout)
+//   mheta_cli instrument <arch> <app> <file>  (runs calibration + the
+//                                              instrumented iteration, saves
+//                                              MhetaParams to <file>)
+//   mheta_cli sweep <arch> <app> [steps]      (predicted vs actual table)
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/driver.hpp"
+#include "core/structure_io.hpp"
+#include "dist/generators.hpp"
+#include "instrument/gantt.hpp"
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace mheta;
+
+namespace {
+
+exp::Workload workload_by_name(const std::string& name) {
+  if (name == "jacobi") return exp::jacobi_workload(false);
+  if (name == "jacobi-pf") return exp::jacobi_workload(true);
+  if (name == "cg") return exp::cg_workload();
+  if (name == "rna") return exp::rna_workload();
+  if (name == "multigrid") return exp::multigrid_workload();
+  if (name == "lanczos") return exp::lanczos_workload();
+  if (name == "isort") return exp::isort_workload();
+  std::cerr << "unknown app '" << name
+            << "' (try: jacobi jacobi-pf cg lanczos rna multigrid isort)\n";
+  std::exit(2);
+}
+
+int cmd_archs() {
+  Table t({"name", "nodes", "spectrum", "prefetch suite"});
+  for (const auto& a : cluster::architecture_suite()) {
+    t.add_row({a.cluster.name, std::to_string(a.cluster.size()),
+               cluster::to_string(a.spectrum),
+               a.in_prefetch_suite ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_show(const std::string& name) {
+  const auto arch = cluster::find_arch(name);
+  Table t({"node", "cpu", "memory (MiB)", "read MB/s", "write MB/s",
+           "seek r/w (ms)"});
+  for (int i = 0; i < arch.cluster.size(); ++i) {
+    const auto& n = arch.cluster.node(i);
+    t.add_row({std::to_string(i), fmt(n.cpu_power, 2),
+               fmt(static_cast<double>(n.memory_bytes) / (1 << 20), 0),
+               fmt(1.0 / n.disk_read_s_per_byte / 1e6, 0),
+               fmt(1.0 / n.disk_write_s_per_byte / 1e6, 0),
+               fmt(n.disk_read_seek_s * 1e3, 0) + "/" +
+                   fmt(n.disk_write_seek_s * 1e3, 0)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_structure(const std::string& app) {
+  const auto w = workload_by_name(app);
+  core::save_structure(std::cout, w.program);
+  return 0;
+}
+
+int cmd_instrument(const std::string& arch_name, const std::string& app,
+                   const std::string& path) {
+  const auto arch = cluster::find_arch(arch_name);
+  const auto w = workload_by_name(app);
+  exp::ExperimentOptions opts;
+  const auto predictor = exp::build_predictor(arch, w, opts);
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  predictor.params().save(out);
+  std::cout << "wrote MhetaParams for " << w.name << " on "
+            << arch.cluster.name << " to " << path << '\n';
+  return 0;
+}
+
+int cmd_gantt(const std::string& arch_name, const std::string& app) {
+  const auto arch = cluster::find_arch(arch_name);
+  const auto w = workload_by_name(app);
+  exp::ExperimentOptions opts;
+  const auto d = dist::block_dist(exp::make_context(arch, w, opts));
+  std::shared_ptr<instrument::TraceCollector> trace;
+  apps::RunOptions run;
+  run.iterations = 1;
+  run.runtime = opts.runtime;
+  run.setup = [&trace](mpi::World& world) {
+    trace = std::make_shared<instrument::TraceCollector>(world);
+    trace->install();
+  };
+  (void)apps::run_program(arch.cluster, opts.effects, w.program, d, run);
+  std::cout << "One iteration of " << w.name << " on " << arch.cluster.name
+            << " under Blk:\n";
+  instrument::render_gantt(std::cout, *trace, arch.cluster.size());
+  return 0;
+}
+
+int cmd_sweep(const std::string& arch_name, const std::string& app,
+              int steps) {
+  const auto arch = cluster::find_arch(arch_name);
+  const auto w = workload_by_name(app);
+  exp::ExperimentOptions opts;
+  opts.spectrum_steps = steps;
+  const auto sweep = exp::run_sweep(arch, w, opts);
+  Table t({"distribution", "actual (s)", "predicted (s)", "diff"});
+  for (const auto& p : sweep.points) {
+    t.add_row({p.point.label.empty() ? "t=" + fmt(p.point.t, 2)
+                                     : p.point.label,
+               fmt(p.actual_s, 2), fmt(p.predicted_s, 2),
+               fmt_pct(p.pct_diff())});
+  }
+  t.print(std::cout);
+  std::cout << "average difference " << fmt_pct(sweep.avg_diff())
+            << ", max " << fmt_pct(sweep.max_diff()) << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "archs") return cmd_archs();
+  if (cmd == "show" && argc > 2) return cmd_show(argv[2]);
+  if (cmd == "structure" && argc > 2) return cmd_structure(argv[2]);
+  if (cmd == "instrument" && argc > 4)
+    return cmd_instrument(argv[2], argv[3], argv[4]);
+  if (cmd == "sweep" && argc > 3)
+    return cmd_sweep(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 1);
+  if (cmd == "gantt" && argc > 3) return cmd_gantt(argv[2], argv[3]);
+  std::cerr << "usage:\n"
+               "  mheta_cli archs\n"
+               "  mheta_cli show <arch>\n"
+               "  mheta_cli structure <app>\n"
+               "  mheta_cli instrument <arch> <app> <params-file>\n"
+               "  mheta_cli sweep <arch> <app> [steps]\n"
+               "  mheta_cli gantt <arch> <app>\n";
+  return 2;
+}

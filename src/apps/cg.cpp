@@ -1,0 +1,77 @@
+#include "apps/cg.hpp"
+
+#include <cmath>
+
+namespace mheta::apps {
+
+namespace {
+// Stateless 64-bit mix (splitmix64 finalizer) for per-row determinism.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::int64_t cg_row_bytes(const CgConfig& cfg) {
+  // Index (4 B) + value (8 B) per nonzero, at the *average* density: the
+  // file layout reserves uniform row slots, another reason the per-row cost
+  // is invisible to the model.
+  return cfg.avg_nnz * 12;
+}
+
+std::int64_t cg_row_nnz(const CgConfig& cfg, std::int64_t row) {
+  const std::uint64_t h =
+      mix(cfg.matrix_seed * 0x100000001b3ULL + static_cast<std::uint64_t>(row));
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  const double factor = 1.0 + cfg.nnz_spread * (2.0 * u - 1.0);
+  const double nnz = static_cast<double>(cfg.avg_nnz) * factor;
+  return static_cast<std::int64_t>(std::llround(nnz));
+}
+
+core::ProgramStructure cg_program(const CgConfig& cfg) {
+  core::ProgramStructure p;
+  p.name = "CG";
+  p.arrays = {{"A_sp", cfg.rows, cg_row_bytes(cfg), ooc::Access::kReadOnly}};
+
+  // Section 0: sparse matvec q = A p, then the dot-product reduction.
+  {
+    core::SectionSpec s;
+    s.id = 0;
+    s.pattern = core::CommPattern::kNone;
+    s.has_reduction = true;
+    ooc::StageDef matvec;
+    matvec.id = 0;
+    matvec.read_vars = {"A_sp"};
+    // Per-row compute follows the row's actual nnz; MHETA assumes uniform
+    // rows (it scales compute by row count), so this is exactly the sparse
+    // load imbalance the paper reports as its worst case.
+    const double per_nnz_s =
+        cfg.work_per_row_s / static_cast<double>(cfg.avg_nnz);
+    matvec.work_per_row_s = cfg.work_per_row_s;
+    matvec.row_work = [cfg, per_nnz_s](std::int64_t row) {
+      return per_nnz_s * static_cast<double>(cg_row_nnz(cfg, row));
+    };
+    s.stages.push_back(std::move(matvec));
+    p.sections.push_back(std::move(s));
+  }
+
+  // Section 1: vector updates (axpy etc., in-core) plus the residual-norm
+  // reduction.
+  {
+    core::SectionSpec s;
+    s.id = 1;
+    s.pattern = core::CommPattern::kNone;
+    s.has_reduction = true;
+    ooc::StageDef axpy;
+    axpy.id = 0;
+    axpy.work_per_row_s = cfg.work_per_row_s * 0.05;  // vector ops are cheap
+    s.stages.push_back(std::move(axpy));
+    p.sections.push_back(std::move(s));
+  }
+  return p;
+}
+
+}  // namespace mheta::apps

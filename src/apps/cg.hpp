@@ -1,0 +1,35 @@
+// Conjugate Gradient (NAS CG-like, paper §5): a sparse, read-only matrix
+// streamed each iteration, two reductions per iteration, and non-uniform
+// per-row work (the nnz profile) that MHETA's uniform-work scaling cannot
+// see — the paper's worst-case application (limitation 3, §5.4).
+#pragma once
+
+#include <cstdint>
+
+#include "core/structure.hpp"
+
+namespace mheta::apps {
+
+struct CgConfig {
+  std::int64_t rows = 4096;
+  /// Average nonzeros per row; actual rows vary by +-`nnz_spread`.
+  std::int64_t avg_nnz = 1300;
+  /// Relative half-width of the per-row nnz variation (0.35 -> rows carry
+  /// between 0.65x and 1.35x the average work and storage rate).
+  double nnz_spread = 0.35;
+  /// Baseline seconds of computation per *average* row per matvec.
+  double work_per_row_s = 300e-6;
+  std::uint64_t matrix_seed = 7;
+  int iterations = 10;
+};
+
+/// Bytes per sparse row at the average density (index + value per nnz).
+std::int64_t cg_row_bytes(const CgConfig& cfg);
+
+/// Deterministic per-row nnz of the synthetic matrix.
+std::int64_t cg_row_nnz(const CgConfig& cfg, std::int64_t row);
+
+/// Builds the CG program structure.
+core::ProgramStructure cg_program(const CgConfig& cfg = {});
+
+}  // namespace mheta::apps

@@ -1,0 +1,61 @@
+// Generic application driver.
+//
+// Executes a ProgramStructure on the simulated cluster: every rank runs the
+// section/tile/stage schedule with the communication pattern the structure
+// declares. The same driver produces the "actual" runs, the instrumented
+// iteration (force_io + blocking-prefetch transform + recorder hooks), and
+// the prefetching runs — exactly one code path, as in the paper where the
+// application binary is the same and only the interposed hooks differ.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "core/structure.hpp"
+#include "dist/genblock.hpp"
+#include "mpi/world.hpp"
+#include "ooc/runtime.hpp"
+
+namespace mheta::apps {
+
+/// Options for one program run.
+struct RunOptions {
+  int iterations = 1;
+
+  /// Optional per-iteration computation-scale factors (non-uniform
+  /// iterations); missing entries default to 1.0. I/O and communication
+  /// are unscaled, matching Predictor::predict_nonuniform.
+  std::vector<double> iteration_work_scales;
+
+  /// Runtime options (force_io for the instrumented iteration).
+  ooc::RuntimeOptions runtime;
+
+  /// Apply the Figure-5 prefetch-instrumentation transform.
+  bool blocking_prefetch = false;
+
+  /// Called after the World is constructed and before anything runs; used
+  /// to install recorder hooks.
+  std::function<void(mpi::World&)> setup;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  /// Duration of the timed region (initial array load excluded; all ranks
+  /// start iterations at the same instant).
+  double seconds = 0;
+
+  /// Per-rank completion times relative to the start of the timed region.
+  std::vector<double> node_seconds;
+
+  /// Simulator events executed (diagnostic).
+  std::uint64_t events = 0;
+};
+
+/// Runs `opts.iterations` iterations of `program` under distribution `d`.
+RunResult run_program(const cluster::ClusterConfig& config,
+                      const cluster::SimEffects& effects,
+                      const core::ProgramStructure& program,
+                      const dist::GenBlock& d, const RunOptions& opts);
+
+}  // namespace mheta::apps

@@ -1,0 +1,28 @@
+#include "apps/isort.hpp"
+
+namespace mheta::apps {
+
+core::ProgramStructure isort_program(const IsortConfig& cfg) {
+  core::ProgramStructure p;
+  p.name = "ISort";
+  p.arrays = {{"K", cfg.rows, cfg.row_bytes, ooc::Access::kReadOnly}};
+
+  // Section 0: local ranking of the streamed key blocks, then the bucket
+  // exchange and a checksum reduction.
+  core::SectionSpec s;
+  s.id = 0;
+  s.pattern = core::CommPattern::kNone;
+  s.has_alltoall = true;
+  s.alltoall_bytes_per_pair = cfg.exchange_bytes_per_pair;
+  s.has_reduction = true;
+
+  ooc::StageDef rank_stage;
+  rank_stage.id = 0;
+  rank_stage.work_per_row_s = cfg.work_per_row_s;
+  rank_stage.read_vars = {"K"};
+  s.stages.push_back(std::move(rank_stage));
+  p.sections.push_back(std::move(s));
+  return p;
+}
+
+}  // namespace mheta::apps

@@ -1,0 +1,27 @@
+// Integer Sort (extension, NAS IS-like): bucketized key ranking with a
+// total exchange each iteration — a communication pattern none of the
+// paper's four benchmarks exercises. Keys are streamed from disk (read-
+// only, out of core on constrained nodes), ranked locally, and the bucket
+// counts are exchanged all-to-all before a verification reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/structure.hpp"
+
+namespace mheta::apps {
+
+struct IsortConfig {
+  std::int64_t rows = 4096;       ///< key blocks (distribution unit)
+  std::int64_t row_bytes = 8192;  ///< 2048 4-byte keys per block
+  /// Baseline seconds to rank one key block.
+  double work_per_row_s = 150e-6;
+  /// Bytes each node sends every other node in the bucket exchange.
+  std::int64_t exchange_bytes_per_pair = 64 << 10;
+  int iterations = 10;
+};
+
+/// Builds the integer-sort program structure.
+core::ProgramStructure isort_program(const IsortConfig& cfg = {});
+
+}  // namespace mheta::apps

@@ -1,0 +1,28 @@
+#include "apps/jacobi.hpp"
+
+namespace mheta::apps {
+
+core::ProgramStructure jacobi_program(const JacobiConfig& cfg) {
+  core::ProgramStructure p;
+  p.name = cfg.prefetch ? "Jacobi+prefetch" : "Jacobi";
+  p.arrays = {{"U", cfg.rows, cfg.row_bytes, ooc::Access::kReadWrite}};
+
+  core::SectionSpec section;
+  section.id = 0;
+  section.pattern = core::CommPattern::kNearestNeighbor;
+  section.message_bytes = cfg.row_bytes;  // one halo row per neighbor
+  section.has_reduction = true;           // convergence check
+
+  ooc::StageDef sweep;
+  sweep.id = 0;
+  sweep.work_per_row_s = cfg.work_per_row_s;
+  sweep.read_vars = {"U"};
+  sweep.write_vars = {"U"};
+  sweep.prefetch = cfg.prefetch;
+  section.stages.push_back(std::move(sweep));
+
+  p.sections.push_back(std::move(section));
+  return p;
+}
+
+}  // namespace mheta::apps

@@ -1,0 +1,26 @@
+// Jacobi iteration (paper §5): the simplest benchmark — one read+write
+// grid array, nearest-neighbor halo exchange, and a global convergence
+// reduction per iteration.
+#pragma once
+
+#include <cstdint>
+
+#include "core/structure.hpp"
+
+namespace mheta::apps {
+
+struct JacobiConfig {
+  std::int64_t rows = 4096;       ///< distributed grid rows
+  std::int64_t row_bytes = 16384; ///< 2048 doubles per row
+  /// Baseline seconds of computation per row per sweep.
+  double work_per_row_s = 700e-6;
+  /// Use the prefetching (unrolled) ICLA loop for out-of-core reads.
+  bool prefetch = false;
+  /// Iteration count used in the paper's experiments.
+  int iterations = 100;
+};
+
+/// Builds the Jacobi program structure.
+core::ProgramStructure jacobi_program(const JacobiConfig& cfg = {});
+
+}  // namespace mheta::apps

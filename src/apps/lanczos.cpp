@@ -1,0 +1,42 @@
+#include "apps/lanczos.hpp"
+
+namespace mheta::apps {
+
+core::ProgramStructure lanczos_program(const LanczosConfig& cfg) {
+  core::ProgramStructure p;
+  p.name = "Lanczos";
+  p.arrays = {{"A", cfg.rows, cfg.row_bytes, ooc::Access::kReadOnly}};
+
+  // Section 0: w = A v (dense matvec over the streamed matrix), then the
+  // alpha = <w, v> reduction.
+  {
+    core::SectionSpec s;
+    s.id = 0;
+    s.pattern = core::CommPattern::kNone;
+    s.has_reduction = true;
+    ooc::StageDef matvec;
+    matvec.id = 0;
+    matvec.work_per_row_s = cfg.work_per_row_s;
+    matvec.read_vars = {"A"};
+    matvec.prefetch = cfg.prefetch;
+    s.stages.push_back(std::move(matvec));
+    p.sections.push_back(std::move(s));
+  }
+
+  // Section 1: the recurrence update (in-core vectors) and the beta
+  // normalization reduction.
+  {
+    core::SectionSpec s;
+    s.id = 1;
+    s.pattern = core::CommPattern::kNone;
+    s.has_reduction = true;
+    ooc::StageDef update;
+    update.id = 0;
+    update.work_per_row_s = cfg.work_per_row_s * 0.04;
+    s.stages.push_back(std::move(update));
+    p.sections.push_back(std::move(s));
+  }
+  return p;
+}
+
+}  // namespace mheta::apps

@@ -1,0 +1,24 @@
+// Lanczos iterative solver (paper §5): the full-scale application — a dense
+// symmetric positive-definite matrix streamed read-only each iteration,
+// with the three-term recurrence's dot products as global reductions.
+#pragma once
+
+#include <cstdint>
+
+#include "core/structure.hpp"
+
+namespace mheta::apps {
+
+struct LanczosConfig {
+  std::int64_t rows = 4096;
+  std::int64_t row_bytes = 32768;  ///< 4096 doubles: a dense matrix row
+  /// Baseline seconds per row per matvec (cols x 2 flops).
+  double work_per_row_s = 1200e-6;
+  bool prefetch = false;
+  int iterations = 5;
+};
+
+/// Builds the Lanczos program structure.
+core::ProgramStructure lanczos_program(const LanczosConfig& cfg = {});
+
+}  // namespace mheta::apps

@@ -1,0 +1,90 @@
+#include "apps/multigrid.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace mheta::apps {
+
+core::ProgramStructure multigrid_program(const MultigridConfig& cfg) {
+  MHETA_CHECK(cfg.levels >= 1);
+  core::ProgramStructure p;
+  p.name = "Multigrid";
+
+  // One array per level; level k is semi-coarsened to half the row bytes.
+  std::vector<std::string> level_names;
+  std::int64_t row_bytes = cfg.fine_row_bytes;
+  for (int k = 0; k < cfg.levels; ++k) {
+    const std::string name = "U" + std::to_string(k);
+    p.arrays.push_back({name, cfg.rows, row_bytes, ooc::Access::kReadWrite});
+    level_names.push_back(name);
+    row_bytes = std::max<std::int64_t>(64, row_bytes / 2);
+  }
+
+  int section_id = 0;
+  double work = cfg.work_per_row_s;
+
+  // Down-sweep: relax + restrict per level.
+  for (int k = 0; k < cfg.levels; ++k) {
+    core::SectionSpec s;
+    s.id = section_id++;
+    s.pattern = core::CommPattern::kNearestNeighbor;
+    s.message_bytes = p.arrays[static_cast<std::size_t>(k)].row_bytes;
+    ooc::StageDef relax;
+    relax.id = 0;
+    relax.work_per_row_s = work;
+    relax.read_vars = {level_names[static_cast<std::size_t>(k)]};
+    relax.write_vars = {level_names[static_cast<std::size_t>(k)]};
+    relax.prefetch = cfg.prefetch;
+    s.stages.push_back(std::move(relax));
+    if (k + 1 < cfg.levels) {
+      ooc::StageDef restrict_op;
+      restrict_op.id = 1;
+      restrict_op.work_per_row_s = work * 0.25;
+      restrict_op.read_vars = {level_names[static_cast<std::size_t>(k)]};
+      restrict_op.write_vars = {level_names[static_cast<std::size_t>(k + 1)]};
+      restrict_op.prefetch = cfg.prefetch;
+      s.stages.push_back(std::move(restrict_op));
+    }
+    p.sections.push_back(std::move(s));
+    work *= 0.5;
+  }
+
+  // Up-sweep: prolong + relax per level (coarsest handled above).
+  for (int k = cfg.levels - 2; k >= 0; --k) {
+    work *= 2.0;
+    core::SectionSpec s;
+    s.id = section_id++;
+    s.pattern = core::CommPattern::kNearestNeighbor;
+    s.message_bytes = p.arrays[static_cast<std::size_t>(k)].row_bytes;
+    ooc::StageDef prolong;
+    prolong.id = 0;
+    prolong.work_per_row_s = work * 0.25;
+    prolong.read_vars = {level_names[static_cast<std::size_t>(k + 1)]};
+    prolong.write_vars = {level_names[static_cast<std::size_t>(k)]};
+    prolong.prefetch = cfg.prefetch;
+    s.stages.push_back(std::move(prolong));
+    ooc::StageDef relax;
+    relax.id = 1;
+    relax.work_per_row_s = work;
+    relax.read_vars = {level_names[static_cast<std::size_t>(k)]};
+    relax.write_vars = {level_names[static_cast<std::size_t>(k)]};
+    relax.prefetch = cfg.prefetch;
+    s.stages.push_back(std::move(relax));
+    p.sections.push_back(std::move(s));
+  }
+
+  // Convergence check.
+  core::SectionSpec conv;
+  conv.id = section_id++;
+  conv.pattern = core::CommPattern::kNone;
+  conv.has_reduction = true;
+  ooc::StageDef norm;
+  norm.id = 0;
+  norm.work_per_row_s = cfg.work_per_row_s * 0.02;
+  conv.stages.push_back(std::move(norm));
+  p.sections.push_back(std::move(conv));
+  return p;
+}
+
+}  // namespace mheta::apps

@@ -1,0 +1,29 @@
+// Multigrid V-cycle (the paper's §6 "future work" application, implemented
+// here as an extension): one parallel section per level on the way down
+// (relax + restrict) and up (prolong + relax), each with nearest-neighbor
+// halo exchange, plus a final residual-norm reduction. Coarser levels use
+// semi-coarsened arrays (same distributed rows, half the bytes per row) so
+// that one GEN_BLOCK distribution governs every level.
+#pragma once
+
+#include <cstdint>
+
+#include "core/structure.hpp"
+
+namespace mheta::apps {
+
+struct MultigridConfig {
+  std::int64_t rows = 4096;
+  std::int64_t fine_row_bytes = 16384;
+  int levels = 3;  ///< V-cycle depth (>= 1)
+  /// Baseline seconds of relaxation per row on the finest level; coarser
+  /// levels cost half as much per level.
+  double work_per_row_s = 150e-6;
+  bool prefetch = false;
+  int iterations = 20;
+};
+
+/// Builds the multigrid program structure.
+core::ProgramStructure multigrid_program(const MultigridConfig& cfg = {});
+
+}  // namespace mheta::apps

@@ -1,0 +1,39 @@
+#include "apps/rna.hpp"
+
+namespace mheta::apps {
+
+core::ProgramStructure rna_program(const RnaConfig& cfg) {
+  core::ProgramStructure p;
+  p.name = "RNA";
+  p.arrays = {{"S", cfg.rows, cfg.row_bytes, ooc::Access::kReadWrite}};
+
+  core::SectionSpec s;
+  s.id = 0;
+  s.pattern = core::CommPattern::kPipeline;
+  s.tiles = cfg.tiles;
+  s.message_bytes = cfg.boundary_bytes;
+  s.has_reduction = true;  // best-score reduction after the sweep
+
+  // Two DP stages per tile, as in Figure 1's two-loop skeleton: the first
+  // fills the score slab (read+write), the second scans it for the local
+  // optimum (read-only).
+  ooc::StageDef fill;
+  fill.id = 0;
+  fill.work_per_row_s = cfg.work_per_row_s * 0.8;
+  fill.read_vars = {"S"};
+  fill.write_vars = {"S"};
+  fill.prefetch = cfg.prefetch;
+  s.stages.push_back(std::move(fill));
+
+  ooc::StageDef scan;
+  scan.id = 1;
+  scan.work_per_row_s = cfg.work_per_row_s * 0.2;
+  scan.read_vars = {"S"};
+  scan.prefetch = cfg.prefetch;
+  s.stages.push_back(std::move(scan));
+
+  p.sections.push_back(std::move(s));
+  return p;
+}
+
+}  // namespace mheta::apps

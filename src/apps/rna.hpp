@@ -1,0 +1,29 @@
+// RNA pseudoknot pipeline (paper §5): a pipelined dynamic-programming
+// benchmark modeled after stochastic-grammar RNA structure prediction [Cai,
+// Malmberg & Wu]. Each parallel section has many tiles; node i's tile j
+// depends on node i-1's tile-j boundary — the wavefront Equation 4 models.
+#pragma once
+
+#include <cstdint>
+
+#include "core/structure.hpp"
+
+namespace mheta::apps {
+
+struct RnaConfig {
+  std::int64_t rows = 4096;
+  std::int64_t row_bytes = 16384;  ///< DP-score slab per row
+  /// Tiles per parallel section (pipeline depth).
+  int tiles = 8;
+  /// Bytes of the boundary passed down the pipeline per tile.
+  std::int64_t boundary_bytes = 16384;
+  /// Baseline seconds of computation per row per sweep (two DP stages).
+  double work_per_row_s = 700e-6;
+  bool prefetch = false;
+  int iterations = 10;
+};
+
+/// Builds the RNA pipeline program structure.
+core::ProgramStructure rna_program(const RnaConfig& cfg = {});
+
+}  // namespace mheta::apps

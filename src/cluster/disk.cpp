@@ -1,0 +1,92 @@
+#include "cluster/disk.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mheta::cluster {
+
+DiskModel::DiskModel(sim::Engine& engine, const NodeSpec& spec,
+                     bool file_cache_enabled)
+    : engine_(engine), spec_(spec), cache_enabled_(file_cache_enabled) {}
+
+DiskModel::FileState& DiskModel::state_for(const std::string& file,
+                                           std::int64_t /*end_offset*/) {
+  auto [it, inserted] = files_.try_emplace(file);
+  FileState& fs = it->second;
+  if (cache_enabled_ && inserted) {
+    // The OS cache retains as much of this file's prefix as still fits
+    // alongside what other files already occupy.
+    fs.resident_limit =
+        std::max<std::int64_t>(0, spec_.file_cache_bytes - cache_used_);
+  }
+  return fs;
+}
+
+void DiskModel::mark_touched(FileState& fs, std::int64_t end_offset) {
+  if (end_offset <= fs.touched_prefix) return;
+  if (cache_enabled_) {
+    const std::int64_t cached_before = std::min(fs.touched_prefix, fs.resident_limit);
+    const std::int64_t cached_after = std::min(end_offset, fs.resident_limit);
+    cache_used_ += cached_after - cached_before;
+  }
+  fs.touched_prefix = end_offset;
+}
+
+double DiskModel::read_cost_s(const FileState& fs, std::int64_t offset,
+                              std::int64_t bytes) const {
+  std::int64_t cached = 0;
+  if (cache_enabled_) {
+    // Bytes in [offset, offset+bytes) that were touched before this request
+    // and lie within the cache-resident prefix.
+    const std::int64_t cached_end = std::min(fs.touched_prefix, fs.resident_limit);
+    cached = std::clamp<std::int64_t>(cached_end - offset, 0, bytes);
+  }
+  const std::int64_t uncached = bytes - cached;
+  return spec_.disk_read_seek_s +
+         static_cast<double>(cached) * spec_.cache_read_s_per_byte +
+         static_cast<double>(uncached) * spec_.disk_read_s_per_byte;
+}
+
+sim::Time DiskModel::serve(double duration_s) {
+  const sim::Time start = std::max(engine_.now(), busy_until_);
+  const sim::Time done = start + sim::from_seconds(duration_s);
+  busy_until_ = done;
+  return done;
+}
+
+sim::Time DiskModel::read(const std::string& file, std::int64_t offset,
+                          std::int64_t bytes) {
+  MHETA_CHECK(offset >= 0 && bytes >= 0);
+  FileState& fs = state_for(file, offset + bytes);
+  const double cost = read_cost_s(fs, offset, bytes);  // pre-request state
+  mark_touched(fs, offset + bytes);
+  bytes_read_ += bytes;
+  return serve(cost);
+}
+
+sim::Time DiskModel::write(const std::string& file, std::int64_t offset,
+                           std::int64_t bytes) {
+  MHETA_CHECK(offset >= 0 && bytes >= 0);
+  FileState& fs = state_for(file, offset + bytes);
+  mark_touched(fs, offset + bytes);  // writes populate the cache prefix too
+  bytes_written_ += bytes;
+  const double cost = spec_.disk_write_seek_s +
+                      static_cast<double>(bytes) * spec_.disk_write_s_per_byte;
+  return serve(cost);
+}
+
+sim::TriggerPtr DiskModel::read_async(const std::string& file,
+                                      std::int64_t offset, std::int64_t bytes) {
+  const sim::Time done = read(file, offset, bytes);
+  auto trigger = sim::make_trigger(engine_);
+  trigger->fire_at(done);
+  return trigger;
+}
+
+void DiskModel::invalidate_cache() {
+  files_.clear();
+  cache_used_ = 0;
+}
+
+}  // namespace mheta::cluster

@@ -1,0 +1,83 @@
+// Local-disk timing model.
+//
+// One DiskModel per node. Requests are served in issue order (a single
+// spindle): a request issued while the disk is busy queues behind the
+// in-flight one. Costs are seek overhead plus per-byte latency, with an
+// optional OS file-cache that accelerates re-reads of recently touched data
+// (a simulator-only effect; MHETA does not model it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/trigger.hpp"
+
+namespace mheta::cluster {
+
+/// Timing model of one node's local disk.
+class DiskModel {
+ public:
+  DiskModel(sim::Engine& engine, const NodeSpec& spec, bool file_cache_enabled);
+
+  /// Issues a read of `bytes` from `file` starting at `offset`.
+  /// Returns the absolute completion time; the caller (a coroutine) awaits
+  /// it for synchronous I/O or attaches a trigger for prefetching.
+  sim::Time read(const std::string& file, std::int64_t offset,
+                 std::int64_t bytes);
+
+  /// Issues a write; same conventions as read().
+  sim::Time write(const std::string& file, std::int64_t offset,
+                  std::int64_t bytes);
+
+  /// Issues an asynchronous read; the returned trigger fires at completion.
+  sim::TriggerPtr read_async(const std::string& file, std::int64_t offset,
+                             std::int64_t bytes);
+
+  /// Time the disk becomes idle.
+  sim::Time busy_until() const { return busy_until_; }
+
+  /// Bytes currently resident in the file cache (all files).
+  std::int64_t cached_bytes() const { return cache_used_; }
+
+  /// Drops all cached data (e.g. between experiment repetitions).
+  void invalidate_cache();
+
+  /// Total bytes transferred, for diagnostics.
+  std::int64_t bytes_read() const { return bytes_read_; }
+  std::int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct FileState {
+    /// Longest prefix of the file that has been touched (read or written).
+    std::int64_t touched_prefix = 0;
+    /// Prefix of the file that the OS cache retains; fixed at first touch
+    /// to whatever global cache capacity remained.
+    std::int64_t resident_limit = 0;
+  };
+
+  /// Seconds to transfer a read, splitting cached vs. uncached bytes.
+  double read_cost_s(const FileState& fs, std::int64_t offset,
+                     std::int64_t bytes) const;
+
+  /// Advances the busy horizon and returns the request completion time.
+  sim::Time serve(double duration_s);
+
+  FileState& state_for(const std::string& file, std::int64_t end_offset);
+
+  /// Extends the touched prefix and accounts newly cached bytes.
+  void mark_touched(FileState& fs, std::int64_t end_offset);
+
+  sim::Engine& engine_;
+  const NodeSpec spec_;
+  const bool cache_enabled_;
+  sim::Time busy_until_ = 0;
+  std::int64_t cache_used_ = 0;
+  std::int64_t bytes_read_ = 0;
+  std::int64_t bytes_written_ = 0;
+  std::unordered_map<std::string, FileState> files_;
+};
+
+}  // namespace mheta::cluster

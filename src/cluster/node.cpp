@@ -1,0 +1,25 @@
+#include "cluster/node.hpp"
+
+namespace mheta::cluster {
+
+bool ClusterConfig::uniform_cpu() const {
+  for (const auto& n : nodes)
+    if (n.cpu_power != nodes.front().cpu_power) return false;
+  return true;
+}
+
+std::int64_t ClusterConfig::total_memory() const {
+  std::int64_t total = 0;
+  for (const auto& n : nodes) total += n.memory_bytes;
+  return total;
+}
+
+ClusterConfig ClusterConfig::uniform(int n, std::string name) {
+  MHETA_CHECK(n > 0);
+  ClusterConfig c;
+  c.name = std::move(name);
+  c.nodes.assign(static_cast<std::size_t>(n), NodeSpec{});
+  return c;
+}
+
+}  // namespace mheta::cluster

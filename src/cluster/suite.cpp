@@ -1,0 +1,292 @@
+#include "cluster/suite.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mheta::cluster {
+
+namespace {
+
+constexpr int kNodes = 8;
+
+// Memory classes. Applications in the experiment harness size their primary
+// arrays at ~256 MB, so a Blk distribution places ~32 MB on each of 8 nodes:
+// kLargeMem nodes are comfortably in core, kSmallMem nodes are forced out of
+// core, kTinyMem nodes severely so.
+constexpr std::int64_t kLargeMem = 512ll << 20;
+constexpr std::int64_t kSmallMem = 6ll << 20;
+constexpr std::int64_t kTinyMem = 3ll << 20;
+
+NodeSpec baseline() {
+  NodeSpec n;
+  n.cpu_power = 1.0;
+  n.memory_bytes = kLargeMem;
+  return n;
+}
+
+NodeSpec slow_disk(NodeSpec n) {
+  n.disk_read_seek_s = 15e-3;
+  n.disk_write_seek_s = 17e-3;
+  n.disk_read_s_per_byte = 1.0 / 12e6;   // 12 MB/s
+  n.disk_write_s_per_byte = 1.0 / 10e6;  // 10 MB/s
+  return n;
+}
+
+NodeSpec fast_disk(NodeSpec n) {
+  n.disk_read_seek_s = 4e-3;
+  n.disk_write_seek_s = 5e-3;
+  n.disk_read_s_per_byte = 1.0 / 100e6;  // 100 MB/s
+  n.disk_write_s_per_byte = 1.0 / 80e6;  // 80 MB/s
+  return n;
+}
+
+ClusterConfig cluster_of(std::string name, std::vector<NodeSpec> nodes) {
+  ClusterConfig c;
+  c.name = std::move(name);
+  c.nodes = std::move(nodes);
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(SpectrumKind k) {
+  switch (k) {
+    case SpectrumKind::kFull:
+      return "full";
+    case SpectrumKind::kBlkBal:
+      return "blk-bal";
+    case SpectrumKind::kBlkIC:
+      return "blk-ic";
+  }
+  return "?";
+}
+
+ArchConfig make_dc() {
+  // Table 1: "Two nodes have a lower relative CPU power, and two other
+  // nodes have higher relative CPU power. The rest are unchanged."
+  // No memory pressure, so the spectrum is Blk <-> Bal.
+  std::vector<NodeSpec> nodes(kNodes, baseline());
+  nodes[0].cpu_power = 0.5;
+  nodes[1].cpu_power = 0.5;
+  nodes[6].cpu_power = 2.0;
+  nodes[7].cpu_power = 2.0;
+  return ArchConfig{cluster_of("DC", std::move(nodes)), SpectrumKind::kBlkBal,
+                    true};
+}
+
+ArchConfig make_io() {
+  // Table 1: "Half of the nodes have high I/O latency and small memories,
+  // but all nodes have equal relative CPU power." Spectrum is Blk <-> I-C.
+  std::vector<NodeSpec> nodes(kNodes, baseline());
+  for (int i = 0; i < 4; ++i) {
+    nodes[static_cast<std::size_t>(i)] =
+        slow_disk(nodes[static_cast<std::size_t>(i)]);
+    nodes[static_cast<std::size_t>(i)].memory_bytes = kSmallMem;
+  }
+  return ArchConfig{cluster_of("IO", std::move(nodes)), SpectrumKind::kBlkIC,
+                    true};
+}
+
+ArchConfig make_hy1() {
+  // Table 1: "Four nodes have varying relative CPU powers and the other
+  // four have low I/O latencies and small memories."
+  std::vector<NodeSpec> nodes(kNodes, baseline());
+  nodes[0].cpu_power = 0.5;
+  nodes[1].cpu_power = 0.8;
+  nodes[2].cpu_power = 1.5;
+  nodes[3].cpu_power = 2.0;
+  for (int i = 4; i < 8; ++i) {
+    nodes[static_cast<std::size_t>(i)] =
+        fast_disk(nodes[static_cast<std::size_t>(i)]);
+    nodes[static_cast<std::size_t>(i)].memory_bytes = kSmallMem;
+  }
+  return ArchConfig{cluster_of("HY1", std::move(nodes)), SpectrumKind::kFull,
+                    true};
+}
+
+ArchConfig make_hy2() {
+  // Table 1: "Four nodes have varying relative CPU power and two nodes have
+  // high I/O latencies. The other two have large memories."
+  std::vector<NodeSpec> nodes(kNodes, baseline());
+  nodes[0].cpu_power = 0.6;
+  nodes[1].cpu_power = 0.8;
+  nodes[2].cpu_power = 1.4;
+  nodes[3].cpu_power = 1.8;
+  for (std::size_t i : {0u, 1u, 2u, 3u})
+    nodes[i].memory_bytes = kSmallMem;  // the varying-CPU nodes also feel I/O
+  nodes[4] = slow_disk(nodes[4]);
+  nodes[4].memory_bytes = kSmallMem;
+  nodes[5] = slow_disk(nodes[5]);
+  nodes[5].memory_bytes = kSmallMem;
+  nodes[6].memory_bytes = kLargeMem;
+  nodes[7].memory_bytes = kLargeMem;
+  return ArchConfig{cluster_of("HY2", std::move(nodes)), SpectrumKind::kFull,
+                    true};
+}
+
+std::vector<ArchConfig> architecture_suite() {
+  std::vector<ArchConfig> suite;
+  suite.push_back(make_dc());
+  suite.push_back(make_io());
+  suite.push_back(make_hy1());
+  suite.push_back(make_hy2());
+
+  // DC2: wider CPU spread.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    const double powers[kNodes] = {0.4, 0.6, 0.8, 1.0, 1.2, 1.6, 2.0, 2.5};
+    for (int i = 0; i < kNodes; ++i)
+      nodes[static_cast<std::size_t>(i)].cpu_power = powers[i];
+    suite.push_back(
+        {cluster_of("DC2", std::move(nodes)), SpectrumKind::kBlkBal, true});
+  }
+  // DC3: one fast node among slow ones.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (auto& n : nodes) n.cpu_power = 0.7;
+    nodes[7].cpu_power = 2.8;
+    suite.push_back(
+        {cluster_of("DC3", std::move(nodes)), SpectrumKind::kBlkBal, false});
+  }
+  // DC4: two equal-sized classes.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (int i = 0; i < 4; ++i) nodes[static_cast<std::size_t>(i)].cpu_power = 0.5;
+    for (int i = 4; i < 8; ++i) nodes[static_cast<std::size_t>(i)].cpu_power = 2.0;
+    suite.push_back(
+        {cluster_of("DC4", std::move(nodes)), SpectrumKind::kBlkBal, true});
+  }
+  // DC5: mild +-20% variation.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    const double powers[kNodes] = {0.8, 0.9, 1.0, 1.1, 1.2, 0.85, 1.15, 1.0};
+    for (int i = 0; i < kNodes; ++i)
+      nodes[static_cast<std::size_t>(i)].cpu_power = powers[i];
+    suite.push_back(
+        {cluster_of("DC5", std::move(nodes)), SpectrumKind::kBlkBal, false});
+  }
+  // IO2: a quarter of the nodes with tiny memories and very slow disks.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (std::size_t i : {0u, 1u}) {
+      nodes[i] = slow_disk(nodes[i]);
+      nodes[i].memory_bytes = kTinyMem;
+    }
+    suite.push_back(
+        {cluster_of("IO2", std::move(nodes)), SpectrumKind::kBlkIC, true});
+  }
+  // IO3: alternating small/large memories, uniform disks.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (int i = 0; i < kNodes; i += 2)
+      nodes[static_cast<std::size_t>(i)].memory_bytes = kSmallMem;
+    suite.push_back(
+        {cluster_of("IO3", std::move(nodes)), SpectrumKind::kBlkIC, true});
+  }
+  // IO4: every node memory-constrained (fully out-of-core everywhere).
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (auto& n : nodes) n.memory_bytes = kSmallMem;
+    suite.push_back(
+        {cluster_of("IO4", std::move(nodes)), SpectrumKind::kBlkIC, false});
+  }
+  // IO5: heterogeneous disk speeds, ample memory on half the nodes.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (std::size_t i : {0u, 2u, 4u, 6u}) {
+      nodes[i] = slow_disk(nodes[i]);
+      nodes[i].memory_bytes = kSmallMem;
+    }
+    for (std::size_t i : {1u, 3u, 5u, 7u}) nodes[i] = fast_disk(nodes[i]);
+    suite.push_back(
+        {cluster_of("IO5", std::move(nodes)), SpectrumKind::kBlkIC, true});
+  }
+  // HY3: CPU spread plus half the nodes with slow disks and small memories.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    const double powers[kNodes] = {0.5, 1.0, 1.5, 2.0, 0.5, 1.0, 1.5, 2.0};
+    for (int i = 0; i < kNodes; ++i)
+      nodes[static_cast<std::size_t>(i)].cpu_power = powers[i];
+    for (std::size_t i : {4u, 5u, 6u, 7u}) {
+      nodes[i] = slow_disk(nodes[i]);
+      nodes[i].cpu_power = powers[i];
+      nodes[i].memory_bytes = kSmallMem;
+    }
+    suite.push_back(
+        {cluster_of("HY3", std::move(nodes)), SpectrumKind::kFull, true});
+  }
+  // HY4: CPU spread plus a single tiny-memory node.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    const double powers[kNodes] = {0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+    for (int i = 0; i < kNodes; ++i)
+      nodes[static_cast<std::size_t>(i)].cpu_power = powers[i];
+    nodes[0].memory_bytes = kTinyMem;
+    suite.push_back(
+        {cluster_of("HY4", std::move(nodes)), SpectrumKind::kFull, true});
+  }
+  // HY5: CPU power increases while memory decreases across the nodes.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (int i = 0; i < kNodes; ++i) {
+      auto& n = nodes[static_cast<std::size_t>(i)];
+      n.cpu_power = 0.5 + 0.25 * i;
+      n.memory_bytes = (i < 4) ? kLargeMem : kSmallMem;
+    }
+    suite.push_back(
+        {cluster_of("HY5", std::move(nodes)), SpectrumKind::kFull, true});
+  }
+  // HY6: mixed bag — fast CPUs with slow disks, slow CPUs with fast disks.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (std::size_t i : {0u, 1u}) {
+      nodes[i] = slow_disk(nodes[i]);
+      nodes[i].cpu_power = 2.0;
+      nodes[i].memory_bytes = kSmallMem;
+    }
+    for (std::size_t i : {2u, 3u}) {
+      nodes[i] = fast_disk(nodes[i]);
+      nodes[i].cpu_power = 0.5;
+      nodes[i].memory_bytes = kSmallMem;
+    }
+    suite.push_back(
+        {cluster_of("HY6", std::move(nodes)), SpectrumKind::kFull, false});
+  }
+  // HY7: memory-rich slow nodes vs. memory-poor fast nodes.
+  {
+    std::vector<NodeSpec> nodes(kNodes, baseline());
+    for (int i = 0; i < 4; ++i) {
+      auto& n = nodes[static_cast<std::size_t>(i)];
+      n.cpu_power = 0.6;
+      n.memory_bytes = kLargeMem;
+    }
+    for (int i = 4; i < 8; ++i) {
+      auto& n = nodes[static_cast<std::size_t>(i)];
+      n.cpu_power = 2.0;
+      n.memory_bytes = kTinyMem;
+    }
+    suite.push_back(
+        {cluster_of("HY7", std::move(nodes)), SpectrumKind::kFull, false});
+  }
+  MHETA_CHECK(suite.size() == 17);
+  return suite;
+}
+
+std::vector<ArchConfig> prefetch_suite() {
+  std::vector<ArchConfig> all = architecture_suite();
+  std::vector<ArchConfig> subset;
+  for (auto& a : all)
+    if (a.in_prefetch_suite) subset.push_back(std::move(a));
+  MHETA_CHECK(subset.size() == 12);
+  return subset;
+}
+
+ArchConfig find_arch(const std::string& name) {
+  for (auto& a : architecture_suite())
+    if (a.cluster.name == name) return a;
+  MHETA_CHECK_MSG(false, "unknown architecture: " << name);
+  return {};  // unreachable
+}
+
+}  // namespace mheta::cluster

@@ -1,0 +1,53 @@
+// The emulated-architecture suite used in the paper's evaluation (§5.1).
+//
+// The paper tests MHETA on seventeen emulated configurations (twelve for the
+// prefetching experiments), four of which are described in detail in
+// Table 1: DC ("different CPUs"), IO ("I/O-induced"), HY1 and HY2 ("hybrid").
+// Exact parameter values are not given in the paper, so this suite chooses
+// values that reproduce the qualitative structure: CPU-power spreads around
+// 2-4x, small memories that force out-of-core execution, and disk-speed
+// spreads around 4x.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+
+namespace mheta::cluster {
+
+/// Which slice of the distribution spectrum an architecture exercises
+/// (paper §5.1): with identical CPU powers, Blk already balances the load so
+/// only Blk..I-C is swept; with no memory pressure, only Blk..Bal is swept.
+enum class SpectrumKind {
+  kFull,    // Blk -> I-C -> I-C/Bal -> Bal -> Blk
+  kBlkBal,  // Blk -> Bal (no memory pressure)
+  kBlkIC,   // Blk -> I-C (identical CPU powers)
+};
+
+const char* to_string(SpectrumKind k);
+
+/// One emulated architecture of the validation suite.
+struct ArchConfig {
+  ClusterConfig cluster;
+  SpectrumKind spectrum = SpectrumKind::kFull;
+  /// True for the twelve configurations also used in the prefetching runs.
+  bool in_prefetch_suite = false;
+};
+
+/// Table 1 configurations (8 nodes each).
+ArchConfig make_dc();
+ArchConfig make_io();
+ArchConfig make_hy1();
+ArchConfig make_hy2();
+
+/// All seventeen emulated architectures (includes the Table 1 four).
+std::vector<ArchConfig> architecture_suite();
+
+/// The twelve-architecture subset used for the prefetching experiments.
+std::vector<ArchConfig> prefetch_suite();
+
+/// Looks up a suite member by cluster name; throws if absent.
+ArchConfig find_arch(const std::string& name);
+
+}  // namespace mheta::cluster

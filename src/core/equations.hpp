@@ -1,0 +1,44 @@
+// The paper's closed-form stage-I/O equations (§4.2.1).
+//
+// The Predictor evaluates stage I/O block-exactly; these are the uniform-
+// block closed forms exactly as printed in the paper. When the OCLA divides
+// evenly into ICLAs the two formulations coincide (tests/core/
+// equations_test.cpp proves it); otherwise the closed forms overcharge the
+// final partial ICLA — the reason the Predictor prefers the exact sum.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mheta::core {
+
+/// Inputs of Eq. 1/2 for one variable v in one stage on one node.
+struct IoTerms {
+  std::int64_t nr = 0;      ///< NR(v): number of ICLA-sized passes
+  double read_seek_s = 0;   ///< O_r
+  double write_seek_s = 0;  ///< O_w (0 if the variable is not written)
+  double read_latency_s = 0;   ///< L_r(v) = r(v) * IC(v), per full ICLA
+  double write_latency_s = 0;  ///< L_w(v) = w(v) * IC(v), per full ICLA
+};
+
+/// Equation 1: synchronous I/O cost of an out-of-core variable,
+///   T_IO(v) = NR(v) * (O_r + L_r(v) + O_w + L_w(v)).
+inline double eq1_sync_io(const IoTerms& v) {
+  return static_cast<double>(v.nr) *
+         (v.read_seek_s + v.read_latency_s + v.write_seek_s +
+          v.write_latency_s);
+}
+
+/// Equation 2: I/O cost with prefetching. The first read pays the full
+/// latency; the remaining NR-1 reads pay the effective latency
+/// L_e = max(0, L_r - T_o), while the per-pass overheads (O_r, the overlap
+/// compute T_o charged regardless of success, and the write-back) remain:
+///   T_IO(v) = NR*(O_r + T_o + O_w + L_w) + L_r + (NR-1)*L_e.
+inline double eq2_prefetch_io(const IoTerms& v, double overlap_s) {
+  const double effective = std::max(0.0, v.read_latency_s - overlap_s);
+  return static_cast<double>(v.nr) *
+             (v.read_seek_s + overlap_s + v.write_seek_s + v.write_latency_s) +
+         v.read_latency_s + static_cast<double>(v.nr - 1) * effective;
+}
+
+}  // namespace mheta::core

@@ -1,0 +1,454 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "ooc/stage.hpp"
+#include "util/check.hpp"
+
+namespace mheta::core {
+
+const char* to_string(CommPattern p) {
+  switch (p) {
+    case CommPattern::kNone:
+      return "none";
+    case CommPattern::kNearestNeighbor:
+      return "nearest-neighbor";
+    case CommPattern::kPipeline:
+      return "pipeline";
+  }
+  return "?";
+}
+
+Predictor::Predictor(ProgramStructure structure,
+                     instrument::MhetaParams params,
+                     std::vector<std::int64_t> memory_bytes,
+                     ModelOptions options)
+    : structure_(std::move(structure)),
+      params_(std::move(params)),
+      memory_bytes_(std::move(memory_bytes)),
+      options_(options) {
+  MHETA_CHECK(params_.node_count() ==
+              static_cast<int>(memory_bytes_.size()));
+  MHETA_CHECK(params_.instrumented_dist.nodes() == params_.node_count());
+}
+
+double Predictor::o_s(int rank) const {
+  return params_.nodes[static_cast<std::size_t>(rank)].send_overhead_s;
+}
+
+double Predictor::o_r(int rank) const {
+  return params_.nodes[static_cast<std::size_t>(rank)].recv_overhead_s;
+}
+
+Predictor::NodeSectionTime Predictor::stage_time(
+    int rank, const SectionSpec& section, const ooc::StageDef& stage,
+    const ooc::NodePlan& plan, std::int64_t begin_row, std::int64_t end_row,
+    std::int64_t /*w_prime*/, double work_scale) const {
+  NodeSectionTime out;
+  const std::int64_t range = std::max<std::int64_t>(0, end_row - begin_row);
+  if (range == 0) return out;
+
+  const auto& node = params_.nodes[static_cast<std::size_t>(rank)];
+  const auto sc_it = node.stages.find({section.id, stage.id});
+  MHETA_CHECK_MSG(sc_it != node.stages.end(),
+                  "no instrumented costs for node " << rank << " section "
+                                                    << section.id << " stage "
+                                                    << stage.id);
+  const instrument::StageCosts& sc = sc_it->second;
+  const std::int64_t w_instr = params_.instrumented_dist.count(rank);
+  MHETA_CHECK_MSG(w_instr > 0,
+                  "instrumented run assigned no rows to node " << rank);
+
+  // T_c' = T_c * W'/W, applied to the slice [begin, end) of this tile and
+  // scaled for non-uniform iterations.
+  const double tc = work_scale * sc.compute_s * static_cast<double>(range) /
+                    static_cast<double>(w_instr);
+  out.compute_s = tc;
+
+  // I/O: mirror the runtime's blocked streaming (Eq. 1/2, evaluated
+  // block-exactly). The model never forces I/O and, per limitation 2, its
+  // plan ignored the runtime's buffer overhead.
+  const ooc::StageIoLayout io =
+      ooc::stage_io_layout(plan, stage, begin_row, end_row, /*force_io=*/false);
+
+  auto var_io = [&](const std::string& var) -> const instrument::VarIo& {
+    const auto it = sc.vars.find(var);
+    MHETA_CHECK_MSG(it != sc.vars.end(),
+                    "no measured latency for variable " << var);
+    return it->second;
+  };
+  auto read_dur = [&](const ooc::ArrayPlan* ap, std::int64_t rows) {
+    return node.read_seek_s + var_io(ap->name).read_s_per_byte *
+                                  static_cast<double>(rows * ap->row_bytes);
+  };
+  auto write_dur = [&](const ooc::ArrayPlan* ap, std::int64_t rows) {
+    return node.write_seek_s + var_io(ap->name).write_s_per_byte *
+                                   static_cast<double>(rows * ap->row_bytes);
+  };
+  const double tc_per_row = tc / static_cast<double>(range);
+
+  if (!stage.prefetch || io.streamed_reads.empty() || io.num_blocks <= 1) {
+    // Synchronous streaming (Eq. 1): reads, compute and writes are strictly
+    // sequential on one node, so the stage time is the plain sum.
+    double io_s = 0;
+    for (std::int64_t b = 0; b < io.num_blocks; ++b) {
+      const auto [bb, be] = io.block_range(b);
+      if (be <= bb) break;
+      for (const auto* ap : io.streamed_reads) io_s += read_dur(ap, be - bb);
+      for (const auto* ap : io.streamed_writes) io_s += write_dur(ap, be - bb);
+    }
+    out.io_s = io_s;
+    out.stage_s = tc + io_s;
+    return out;
+  }
+
+  // Prefetching (Eq. 2): mirror the unrolled loop of Figure 6, including
+  // the disk's request serialization. `disk` is the time the disk frees up.
+  double t = 0;
+  double disk = 0;
+  auto disk_op = [&](double dur) {
+    const double start = std::max(t, disk);
+    disk = start + dur;
+    return disk;
+  };
+  {  // Read ICLA(1) synchronously.
+    const auto [bb, be] = io.block_range(0);
+    for (const auto* ap : io.streamed_reads) t = disk_op(read_dur(ap, be - bb));
+  }
+  for (std::int64_t b = 1; b < io.num_blocks; ++b) {
+    const auto [bb, be] = io.block_range(b);
+    const auto [pb, pe] = io.block_range(b - 1);
+    if (be <= bb) break;
+    // Prefetch issues (asynchronous; disk serves them in order).
+    double completion = t;
+    for (const auto* ap : io.streamed_reads) {
+      const double start = std::max(t, disk);
+      disk = start + read_dur(ap, be - bb);
+      completion = disk;
+    }
+    // Overlapped compute T_o, then the wait, then the write-back.
+    t += tc_per_row * static_cast<double>(pe - pb);
+    t = std::max(t, completion);
+    for (const auto* ap : io.streamed_writes) t = disk_op(write_dur(ap, pe - pb));
+  }
+  {  // Last block: compute and write back.
+    const auto [bb, be] = io.block_range(io.num_blocks - 1);
+    t += tc_per_row * static_cast<double>(be - bb);
+    for (const auto* ap : io.streamed_writes) t = disk_op(write_dur(ap, be - bb));
+  }
+  out.stage_s = t;
+  out.io_s = std::max(0.0, t - tc);
+  return out;
+}
+
+void Predictor::apply_reduction(std::int64_t bytes,
+                                std::vector<double>& t) const {
+  const int n = static_cast<int>(t.size());
+  if (n <= 1) return;
+  const double x = params_.network.transfer_s(bytes);
+
+  // Reduce to rank 0 over the binomial tree (mirrors SimMPI::allreduce).
+  std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    // Senders at this level: lowest set bit == mask.
+    for (int r = 0; r < n; ++r) {
+      if ((r & mask) != 0 && (r & (mask - 1)) == 0) {
+        t[static_cast<std::size_t>(r)] += o_s(r);
+        arrival[static_cast<std::size_t>(r)] =
+            t[static_cast<std::size_t>(r)] + x;
+      }
+    }
+    // Receivers still active at this level.
+    for (int r = 0; r < n; ++r) {
+      if ((r & mask) == 0 && (r & (mask - 1)) == 0) {
+        const int partner = r | mask;
+        if (partner < n) {
+          auto& tr = t[static_cast<std::size_t>(r)];
+          tr = std::max(tr, arrival[static_cast<std::size_t>(partner)]) +
+               o_r(r);
+        }
+      }
+    }
+  }
+
+  // Broadcast from rank 0 (mirrors the second phase of SimMPI::allreduce).
+  std::vector<double> bcast_arrival(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < n; ++r) {
+    int entry;
+    if (r == 0) {
+      entry = 1;
+      while (entry < n) entry <<= 1;
+    } else {
+      auto& tr = t[static_cast<std::size_t>(r)];
+      tr = std::max(tr, bcast_arrival[static_cast<std::size_t>(r)]) + o_r(r);
+      entry = r & -r;  // lowest set bit
+    }
+    for (int m = entry >> 1; m >= 1; m >>= 1) {
+      if (r + m < n) {
+        t[static_cast<std::size_t>(r)] += o_s(r);
+        bcast_arrival[static_cast<std::size_t>(r + m)] =
+            t[static_cast<std::size_t>(r)] + x;
+      }
+    }
+  }
+}
+
+void Predictor::apply_alltoall(std::int64_t bytes_per_pair,
+                               std::vector<double>& t) const {
+  const int n = static_cast<int>(t.size());
+  if (n <= 1) return;
+  const double x = params_.network.transfer_s(bytes_per_pair);
+  // Ring-shifted pairwise exchange: at step s each rank sends to rank+s
+  // (paying o_s), then blocks receiving from rank-s (arrival + o_r). All of
+  // step s's sends depend only on progress through step s-1, so steps are
+  // evaluated in order with a send pass before the receive pass.
+  std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+  for (int s = 1; s < n; ++s) {
+    for (int r = 0; r < n; ++r) {
+      auto& tr = t[static_cast<std::size_t>(r)];
+      tr += o_s(r);
+      arrival[static_cast<std::size_t>((r + s) % n)] = tr + x;
+    }
+    for (int r = 0; r < n; ++r) {
+      auto& tr = t[static_cast<std::size_t>(r)];
+      tr = std::max(tr, arrival[static_cast<std::size_t>(r)]) + o_r(r);
+    }
+  }
+}
+
+void Predictor::apply_section(const SectionSpec& section,
+                              const std::vector<ooc::NodePlan>& plans,
+                              const dist::GenBlock& d, double work_scale,
+                              std::vector<double>& t, Prediction& agg) const {
+  const int n = static_cast<int>(t.size());
+
+  if (section.pattern == CommPattern::kPipeline) {
+    // Eq. 4 generalized to an n-node chain: tile j of node i starts after
+    // its own tile j-1 and after node i-1's tile-j boundary arrives.
+    std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+    for (int j = 0; j < section.tiles; ++j) {
+      for (int r = 0; r < n; ++r) {
+        auto& tr = t[static_cast<std::size_t>(r)];
+        if (r > 0) {
+          tr = std::max(tr, arrival[static_cast<std::size_t>(r - 1)]) + o_r(r);
+        }
+        const std::int64_t la = d.count(r);
+        const std::int64_t begin = j * la / section.tiles;
+        const std::int64_t end = (j + 1) * la / section.tiles;
+        for (const auto& stage : section.stages) {
+          const auto st = stage_time(r, section, stage,
+                                     plans[static_cast<std::size_t>(r)], begin,
+                                     end, la, work_scale);
+          tr += st.stage_s;
+          agg.compute_s += st.compute_s;
+          agg.io_s += st.io_s;
+        }
+        if (r < n - 1) {
+          tr += o_s(r);
+          arrival[static_cast<std::size_t>(r)] =
+              tr + params_.network.transfer_s(pipeline_bytes(r, section));
+        }
+      }
+    }
+  } else {
+    // Stages over the whole local array.
+    for (int r = 0; r < n; ++r) {
+      const std::int64_t la = d.count(r);
+      for (const auto& stage : section.stages) {
+        const auto st = stage_time(r, section, stage,
+                                   plans[static_cast<std::size_t>(r)], 0, la,
+                                   la, work_scale);
+        t[static_cast<std::size_t>(r)] += st.stage_s;
+        agg.compute_s += st.compute_s;
+        agg.io_s += st.io_s;
+      }
+    }
+    if (section.pattern == CommPattern::kNearestNeighbor) {
+      // Eq. 3 generalized: every node performs its recorded sends, then
+      // blocks on its recorded receives (FIFO per (src, dst) pair).
+      std::map<std::pair<int, int>, std::deque<double>> arrivals;
+      for (int r = 0; r < n; ++r) {
+        const auto& comm =
+            params_.nodes[static_cast<std::size_t>(r)].comm;
+        const auto it = comm.find(section.id);
+        if (it == comm.end()) continue;
+        auto& tr = t[static_cast<std::size_t>(r)];
+        for (const auto& m : it->second.sends) {
+          tr += o_s(r);
+          arrivals[{r, m.peer}].push_back(
+              tr + params_.network.transfer_s(m.bytes));
+        }
+      }
+      for (int r = 0; r < n; ++r) {
+        const auto& comm =
+            params_.nodes[static_cast<std::size_t>(r)].comm;
+        const auto it = comm.find(section.id);
+        if (it == comm.end()) continue;
+        auto& tr = t[static_cast<std::size_t>(r)];
+        for (const auto& m : it->second.recvs) {
+          auto& q = arrivals[{m.peer, r}];
+          MHETA_CHECK_MSG(!q.empty(), "recv without matching send in model");
+          tr = std::max(tr, q.front()) + o_r(r);
+          q.pop_front();
+        }
+      }
+    }
+  }
+
+  if (section.has_alltoall)
+    apply_alltoall(section.alltoall_bytes_per_pair, t);
+  if (section.has_reduction) apply_reduction(section.reduce_bytes, t);
+}
+
+std::int64_t Predictor::pipeline_bytes(int rank,
+                                       const SectionSpec& section) const {
+  // Prefer the bytes observed during the instrumented run; fall back to the
+  // structural declaration.
+  const auto& comm = params_.nodes[static_cast<std::size_t>(rank)].comm;
+  const auto it = comm.find(section.id);
+  if (it != comm.end() && !it->second.sends.empty())
+    return it->second.sends.front().bytes;
+  return section.message_bytes;
+}
+
+Prediction Predictor::predict(const dist::GenBlock& d, int iterations) const {
+  MHETA_CHECK(iterations >= 1);
+  return predict_nonuniform(
+      d, std::vector<double>(static_cast<std::size_t>(iterations), 1.0));
+}
+
+Prediction Predictor::predict_nonuniform(
+    const dist::GenBlock& d, const std::vector<double>& iteration_scales) const {
+  MHETA_CHECK(d.nodes() == params_.node_count());
+  MHETA_CHECK(!iteration_scales.empty());
+  const int n = d.nodes();
+
+  // The model's memory plans: same planner as the runtime, but blind to the
+  // runtime's buffer overhead (limitation 2).
+  ooc::PlannerOptions popts;
+  popts.overhead_bytes = options_.planner_overhead_bytes;
+  popts.max_blocks = options_.max_blocks;
+  std::vector<ooc::NodePlan> plans;
+  plans.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    plans.push_back(ooc::plan_node(structure_.arrays, d.count(r),
+                                   memory_bytes_[static_cast<std::size_t>(r)],
+                                   popts));
+  }
+
+  Prediction pred;
+  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
+  for (const double scale : iteration_scales) {
+    MHETA_CHECK(scale >= 0);
+    for (const auto& section : structure_.sections) {
+      apply_section(section, plans, d, scale, t, pred);
+    }
+  }
+  pred.node_end_s = t;
+  pred.total_s = *std::max_element(t.begin(), t.end());
+  return pred;
+}
+
+Prediction Predictor::predict2d(const dist::Dist2D& d,
+                                const dist::Dist2D& instrumented,
+                                int iterations) const {
+  const int n = d.grid().nodes();
+  MHETA_CHECK(n == params_.node_count());
+  MHETA_CHECK(instrumented.grid().nodes() == n);
+  MHETA_CHECK(iterations >= 1);
+
+  // Per-rank plans over the rank's tile: rows_p rows whose width is the
+  // rank's column block (the same rounding the runtime applies).
+  ooc::PlannerOptions popts;
+  popts.overhead_bytes = options_.planner_overhead_bytes;
+  popts.max_blocks = options_.max_blocks;
+  std::vector<ooc::NodePlan> plans;
+  plans.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    std::vector<ooc::ArraySpec> rank_arrays = structure_.arrays;
+    for (auto& a : rank_arrays) {
+      a.row_bytes = static_cast<std::int64_t>(std::llround(
+          static_cast<double>(a.row_bytes) * d.width_fraction(r)));
+    }
+    plans.push_back(ooc::plan_node(rank_arrays, d.rows(r),
+                                   memory_bytes_[static_cast<std::size_t>(r)],
+                                   popts));
+  }
+
+  const auto& grid = d.grid();
+  Prediction pred;
+  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    for (const auto& section : structure_.sections) {
+      MHETA_CHECK_MSG(section.pattern != CommPattern::kPipeline,
+                      "pipelined sections are 1-D only");
+      // Stages: compute scales with the tile area relative to the
+      // instrumented tile; I/O follows the scaled plans.
+      for (int r = 0; r < n; ++r) {
+        const double frac_instr = instrumented.width_fraction(r);
+        MHETA_CHECK(frac_instr > 0);
+        const double work_scale = d.width_fraction(r) / frac_instr;
+        for (const auto& stage : section.stages) {
+          const auto st = stage_time(r, section, stage,
+                                     plans[static_cast<std::size_t>(r)], 0,
+                                     d.rows(r), d.rows(r), work_scale);
+          t[static_cast<std::size_t>(r)] += st.stage_s;
+          pred.compute_s += st.compute_s;
+          pred.io_s += st.io_s;
+        }
+      }
+      if (section.pattern == CommPattern::kNearestNeighbor) {
+        // Mirror the 2-D driver: sends north, south, west, east, then
+        // receives in the same order.
+        std::map<std::pair<int, int>, std::deque<double>> arrivals;
+        auto peers_of = [&](int r) {
+          const int p = grid.row_of(r);
+          const int q = grid.col_of(r);
+          std::vector<std::pair<int, bool>> peers;  // (rank, is_ns)
+          if (p > 0) peers.push_back({grid.rank_of(p - 1, q), true});
+          if (p + 1 < grid.p) peers.push_back({grid.rank_of(p + 1, q), true});
+          if (q > 0) peers.push_back({grid.rank_of(p, q - 1), false});
+          if (q + 1 < grid.q) peers.push_back({grid.rank_of(p, q + 1), false});
+          return peers;
+        };
+        auto halo_bytes = [&](int r, bool ns) -> std::int64_t {
+          if (ns) {
+            return static_cast<std::int64_t>(
+                std::llround(static_cast<double>(section.message_bytes) *
+                             d.width_fraction(r)));
+          }
+          MHETA_CHECK(d.total_cols() > 0);
+          MHETA_CHECK(section.message_bytes % d.total_cols() == 0);
+          return d.rows(r) * (section.message_bytes / d.total_cols());
+        };
+        for (int r = 0; r < n; ++r) {
+          auto& tr = t[static_cast<std::size_t>(r)];
+          for (const auto& [peer, ns] : peers_of(r)) {
+            tr += o_s(r);
+            arrivals[{r, peer}].push_back(
+                tr + params_.network.transfer_s(halo_bytes(r, ns)));
+          }
+        }
+        for (int r = 0; r < n; ++r) {
+          auto& tr = t[static_cast<std::size_t>(r)];
+          for (const auto& [peer, ns] : peers_of(r)) {
+            (void)ns;
+            auto& queue = arrivals[{peer, r}];
+            MHETA_CHECK(!queue.empty());
+            tr = std::max(tr, queue.front()) + o_r(r);
+            queue.pop_front();
+          }
+        }
+      }
+      if (section.has_reduction) apply_reduction(section.reduce_bytes, t);
+    }
+  }
+  pred.node_end_s = t;
+  pred.total_s = *std::max_element(t.begin(), t.end());
+  return pred;
+}
+
+}  // namespace mheta::core

@@ -1,0 +1,132 @@
+// The MHETA model (paper §4.2).
+//
+// Given the program structure, the parameters measured during one
+// instrumented iteration (MhetaParams), and the per-node memory capacities,
+// the Predictor evaluates a system of parameterized equations for any
+// candidate GEN_BLOCK distribution:
+//
+//   computation   T_c' = T_c * W'/W                       (§4.2.1)
+//   synchronous   T_IO = NR * (O_r + L_r + O_w + L_w)      (Eq. 1)
+//   prefetching   first read full, later reads pay the     (Eq. 2)
+//                 effective latency L_e = max(0, L_r - T_o)
+//   comm waits    nearest-neighbor (Eq. 3), pipelined per-tile (Eq. 4),
+//                 section cost (Eq. 5), binomial-tree reduction, and the
+//                 multi-node generalization via per-section dataflow.
+//
+// The stage equations are evaluated block-exactly (per-ICLA terms summed;
+// identical to Eq. 1/2 when the OCLA divides evenly into ICLAs — see
+// equations.hpp for the paper's closed forms and the tests proving
+// equivalence).
+//
+// Deliberate blind spots, matching the paper's limitations (§5.4): no
+// memory-hierarchy model, a simplistic in-core/out-of-core heuristic (the
+// model's planner ignores the runtime's buffer overhead), and uniform
+// per-row work (sparse data sets violate it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/structure.hpp"
+#include "dist/dist2d.hpp"
+#include "dist/genblock.hpp"
+#include "instrument/params.hpp"
+#include "ooc/planner.hpp"
+
+namespace mheta::core {
+
+/// Model tuning; defaults reproduce the paper's setup.
+struct ModelOptions {
+  /// The model's planner deliberately assumes all node memory is available
+  /// for local arrays (the runtime reserves buffer/halo space) — paper
+  /// limitation 2.
+  std::int64_t planner_overhead_bytes = 0;
+
+  /// Must match the runtime's block-count ceiling.
+  std::int64_t max_blocks = 256;
+};
+
+/// Result of evaluating one distribution.
+struct Prediction {
+  /// Predicted execution time of `iterations` iterations (max over nodes).
+  double total_s = 0;
+
+  /// Per-node completion time after all iterations.
+  std::vector<double> node_end_s;
+
+  /// Aggregate single-iteration breakdown, summed over nodes (diagnostic).
+  double compute_s = 0;
+  double io_s = 0;
+};
+
+/// Evaluates MHETA for candidate distributions.
+class Predictor {
+ public:
+  /// `memory_bytes` are the per-node capacities M_i (machine knowledge the
+  /// model is allowed, like the CPU-power-relative instrumented costs).
+  Predictor(ProgramStructure structure, instrument::MhetaParams params,
+            std::vector<std::int64_t> memory_bytes, ModelOptions options = {});
+
+  /// Predicts the execution time of `iterations` uniform iterations
+  /// under `d`.
+  Prediction predict(const dist::GenBlock& d, int iterations = 1) const;
+
+  /// Non-uniform iterations (paper §3.1 notes MHETA supports them): one
+  /// computation-scale factor per iteration; I/O and communication are
+  /// unscaled.
+  Prediction predict_nonuniform(const dist::GenBlock& d,
+                                const std::vector<double>& iteration_scales) const;
+
+  /// Two-dimensional distributions (extension; §5.1 notes the model
+  /// extends to them). `instrumented` must be the 2-D distribution of the
+  /// instrumented run (its per-rank rows are params().instrumented_dist).
+  /// Supports kNone and kNearestNeighbor sections (pipelines are 1-D).
+  Prediction predict2d(const dist::Dist2D& d, const dist::Dist2D& instrumented,
+                       int iterations = 1) const;
+
+  const ProgramStructure& structure() const { return structure_; }
+  const instrument::MhetaParams& params() const { return params_; }
+
+ private:
+  struct NodeSectionTime {
+    double stage_s = 0;   // computation + I/O of all tiles' stages
+    double compute_s = 0; // diagnostic split
+    double io_s = 0;
+  };
+
+  /// Time for one stage over local rows [begin,end) on node `rank`;
+  /// `work_scale` multiplies the computation (non-uniform iterations).
+  NodeSectionTime stage_time(int rank, const SectionSpec& section,
+                             const ooc::StageDef& stage,
+                             const ooc::NodePlan& plan, std::int64_t begin_row,
+                             std::int64_t end_row, std::int64_t w_prime,
+                             double work_scale) const;
+
+  /// Advances per-node clocks through one section (stages + communication).
+  void apply_section(const SectionSpec& section,
+                     const std::vector<ooc::NodePlan>& plans,
+                     const dist::GenBlock& d, double work_scale,
+                     std::vector<double>& t, Prediction& agg) const;
+
+  /// Advances per-node clocks through the binomial reduce + broadcast tree
+  /// (mirrors the SimMPI collective exactly).
+  void apply_reduction(std::int64_t bytes, std::vector<double>& t) const;
+
+  /// Advances per-node clocks through the ring-shifted total exchange
+  /// (mirrors SimMPI::alltoall exactly).
+  void apply_alltoall(std::int64_t bytes_per_pair, std::vector<double>& t) const;
+
+  double o_s(int rank) const;
+  double o_r(int rank) const;
+
+  /// Boundary-message size for pipelined sections (recorded bytes if
+  /// available, structural declaration otherwise).
+  std::int64_t pipeline_bytes(int rank, const SectionSpec& section) const;
+
+  ProgramStructure structure_;
+  instrument::MhetaParams params_;
+  std::vector<std::int64_t> memory_bytes_;
+  ModelOptions options_;
+};
+
+}  // namespace mheta::core

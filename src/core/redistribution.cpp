@@ -1,0 +1,106 @@
+#include "core/redistribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace mheta::core {
+
+namespace {
+
+/// Rows node `i` owns under `d` as a half-open global range.
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t size() const { return std::max<std::int64_t>(0, end - begin); }
+};
+
+Range range_of(const dist::GenBlock& d, int i) {
+  return {d.first_row(i), d.first_row(i) + d.count(i)};
+}
+
+Range intersect(Range a, Range b) {
+  return {std::max(a.begin, b.begin), std::min(a.end, b.end)};
+}
+
+}  // namespace
+
+RedistributionCost redistribution_cost(const ProgramStructure& program,
+                                       const instrument::MhetaParams& params,
+                                       const dist::GenBlock& from,
+                                       const dist::GenBlock& to) {
+  MHETA_CHECK(from.nodes() == to.nodes());
+  MHETA_CHECK(from.nodes() == params.node_count());
+  MHETA_CHECK(from.total() == to.total());
+  const int n = from.nodes();
+  const std::int64_t bytes_per_row = program.bytes_per_row();
+
+  RedistributionCost cost;
+  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
+
+  // Phase 1: every node reads its departing rows (one request per
+  // receiving peer per array group; we treat the arrays as one contiguous
+  // transfer of bytes_per_row per row) and sends them.
+  std::map<std::pair<int, int>, std::deque<double>> arrivals;
+  std::vector<std::vector<std::pair<int, std::int64_t>>> incoming(
+      static_cast<std::size_t>(n));
+  for (int src = 0; src < n; ++src) {
+    const auto& np = params.nodes[static_cast<std::size_t>(src)];
+    auto& ts = t[static_cast<std::size_t>(src)];
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      const Range moved = intersect(range_of(from, src), range_of(to, dst));
+      if (moved.size() == 0) continue;
+      const std::int64_t bytes = moved.size() * bytes_per_row;
+      cost.bytes_moved += bytes;
+      incoming[static_cast<std::size_t>(dst)].push_back({src, bytes});
+      // Read from local disk, then send.
+      ts += np.read_seek_s +
+            np.disk_read_s_per_byte * static_cast<double>(bytes);
+      ts += np.send_overhead_s;
+      arrivals[{src, dst}].push_back(ts + params.network.transfer_s(bytes));
+    }
+  }
+
+  // Phase 2: receive (in sender order) and write to local disk.
+  for (int dst = 0; dst < n; ++dst) {
+    const auto& np = params.nodes[static_cast<std::size_t>(dst)];
+    auto& td = t[static_cast<std::size_t>(dst)];
+    for (const auto& [src, bytes] : incoming[static_cast<std::size_t>(dst)]) {
+      auto& q = arrivals[{src, dst}];
+      MHETA_CHECK(!q.empty());
+      td = std::max(td, q.front()) + np.recv_overhead_s;
+      q.pop_front();
+      td += np.write_seek_s +
+            np.disk_write_s_per_byte * static_cast<double>(bytes);
+    }
+  }
+
+  cost.node_s = t;
+  cost.total_s = *std::max_element(t.begin(), t.end());
+  return cost;
+}
+
+SwitchPlan plan_switch(const Predictor& predictor,
+                       const ProgramStructure& program,
+                       const instrument::MhetaParams& params,
+                       const dist::GenBlock& from, const dist::GenBlock& to) {
+  SwitchPlan plan;
+  plan.switch_cost_s =
+      redistribution_cost(program, params, from, to).total_s;
+  plan.old_iteration_s = predictor.predict(from, 1).total_s;
+  plan.new_iteration_s = predictor.predict(to, 1).total_s;
+  const double gain = plan.old_iteration_s - plan.new_iteration_s;
+  if (gain > 0) {
+    plan.break_even_iterations =
+        static_cast<int>(std::ceil(plan.switch_cost_s / gain));
+    // Guard against gain so small the ceiling overflows practical counts.
+    if (plan.switch_cost_s / gain > 1e9) plan.break_even_iterations = 0;
+  }
+  return plan;
+}
+
+}  // namespace mheta::core

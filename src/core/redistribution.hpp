@@ -1,0 +1,63 @@
+// Redistribution-cost model (extension).
+//
+// The paper's future work (§6) is an MPI runtime that selects a
+// distribution with MHETA and then "effects that distribution on the fly".
+// Doing that mid-run costs something: under the Local Placement model the
+// data lives on local disks, so switching from distribution `from` to `to`
+// means every node reads the rows it loses, ships them over the network,
+// and the receivers write them back to disk. This module prices that
+// switch with the same measured constants MHETA uses (O_r/O_w, the raw
+// disk rates, o_s/o_r, and the network), and answers the planning question:
+// after how many remaining iterations does switching pay off?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "dist/genblock.hpp"
+#include "instrument/params.hpp"
+
+namespace mheta::core {
+
+/// Cost of one redistribution.
+struct RedistributionCost {
+  /// Wall time of the switch (all nodes done).
+  double total_s = 0;
+  /// Per-node completion times.
+  std::vector<double> node_s;
+  /// Bytes that cross the network (sum over all arrays).
+  std::int64_t bytes_moved = 0;
+};
+
+/// Prices switching the arrays of `program` from distribution `from` to
+/// `to` on the machine described by `params`. Phases per node: read the
+/// departing row ranges from disk, send one message per receiving peer,
+/// receive one message per sending peer, write the arriving rows to disk.
+RedistributionCost redistribution_cost(const ProgramStructure& program,
+                                       const instrument::MhetaParams& params,
+                                       const dist::GenBlock& from,
+                                       const dist::GenBlock& to);
+
+/// Planning decision for switching mid-run.
+struct SwitchPlan {
+  double switch_cost_s = 0;
+  double old_iteration_s = 0;  ///< per-iteration time under `from`
+  double new_iteration_s = 0;  ///< per-iteration time under `to`
+  /// Smallest number of remaining iterations for which switching wins
+  /// (0 if `to` is not faster; includes the switch cost).
+  int break_even_iterations = 0;
+
+  /// True if switching is worthwhile with `remaining` iterations left.
+  bool worthwhile(int remaining) const {
+    return break_even_iterations > 0 && remaining >= break_even_iterations;
+  }
+};
+
+/// Combines the predictor and the redistribution price into a decision.
+SwitchPlan plan_switch(const Predictor& predictor,
+                       const ProgramStructure& program,
+                       const instrument::MhetaParams& params,
+                       const dist::GenBlock& from, const dist::GenBlock& to);
+
+}  // namespace mheta::core

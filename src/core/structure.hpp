@@ -1,0 +1,77 @@
+// Program structure (paper §3.1, Figure 1).
+//
+// An iterative application is a sequence of parallel sections; a section
+// holds one or more tiles (pipelined applications have many); a tile is a
+// sequence of stages; a stage is computation plus the I/O of the variables
+// it touches. Communication happens at section boundaries (nearest-neighbor
+// or pipelined point-to-point, plus optional global reduction).
+//
+// The paper extracts this structure by (manual) static analysis and feeds it
+// to MHETA as a file; here applications expose it programmatically and both
+// the generic application driver (apps/driver.hpp) and the model consume the
+// same object, exactly as the paper's runtime and model share one structure
+// file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ooc/array.hpp"
+#include "ooc/runtime.hpp"
+
+namespace mheta::core {
+
+/// Communication pattern of a parallel section.
+enum class CommPattern {
+  kNone,             // no point-to-point communication
+  kNearestNeighbor,  // exchange with ranks +-1 after the stages
+  kPipeline,         // tile-wise chain rank-1 -> rank -> rank+1
+};
+
+const char* to_string(CommPattern p);
+
+/// One parallel section.
+struct SectionSpec {
+  int id = 0;
+  CommPattern pattern = CommPattern::kNone;
+
+  /// Tiles per section (>1 only for pipelined sections). Tile j processes
+  /// local rows [j*la/tiles, (j+1)*la/tiles).
+  int tiles = 1;
+
+  /// Bytes of each boundary message (halo row / pipeline boundary).
+  std::int64_t message_bytes = 0;
+
+  /// Total exchange (alltoall) after the stages, before the reduction —
+  /// e.g. the bucket exchange of an integer sort. bytes are per node pair.
+  bool has_alltoall = false;
+  std::int64_t alltoall_bytes_per_pair = 0;
+
+  /// Global reduction at the end of the section.
+  bool has_reduction = false;
+  std::int64_t reduce_bytes = 8;
+
+  /// The stages executed in each tile.
+  std::vector<ooc::StageDef> stages;
+};
+
+/// The whole program: sections plus the distributed arrays they use.
+struct ProgramStructure {
+  std::string name;
+  std::vector<SectionSpec> sections;
+  std::vector<ooc::ArraySpec> arrays;
+
+  /// Sum of row_bytes over all arrays (memory per row of the distribution).
+  std::int64_t bytes_per_row() const {
+    std::int64_t total = 0;
+    for (const auto& a : arrays) total += a.row_bytes;
+    return total;
+  }
+
+  /// Global rows (all arrays share the distributed extent).
+  std::int64_t rows() const {
+    return arrays.empty() ? 0 : arrays.front().rows;
+  }
+};
+
+}  // namespace mheta::core

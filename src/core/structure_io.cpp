@@ -1,0 +1,147 @@
+#include "core/structure_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta::core {
+
+namespace {
+constexpr const char* kMagic = "MHETA-STRUCTURE v1";
+
+const char* access_str(ooc::Access a) {
+  return a == ooc::Access::kReadOnly ? "ro" : "rw";
+}
+
+ooc::Access parse_access(const std::string& s) {
+  if (s == "ro") return ooc::Access::kReadOnly;
+  MHETA_CHECK_MSG(s == "rw", "bad access mode: " << s);
+  return ooc::Access::kReadWrite;
+}
+
+const char* pattern_str(CommPattern p) {
+  switch (p) {
+    case CommPattern::kNone:
+      return "none";
+    case CommPattern::kNearestNeighbor:
+      return "neighbor";
+    case CommPattern::kPipeline:
+      return "pipeline";
+  }
+  return "?";
+}
+
+CommPattern parse_pattern(const std::string& s) {
+  if (s == "none") return CommPattern::kNone;
+  if (s == "neighbor") return CommPattern::kNearestNeighbor;
+  MHETA_CHECK_MSG(s == "pipeline", "bad comm pattern: " << s);
+  return CommPattern::kPipeline;
+}
+}  // namespace
+
+void save_structure(std::ostream& os, const ProgramStructure& p) {
+  os << kMagic << '\n' << std::setprecision(17);
+  os << "name " << (p.name.empty() ? "(unnamed)" : p.name) << '\n';
+  os << "arrays " << p.arrays.size() << '\n';
+  for (const auto& a : p.arrays) {
+    os << "array " << a.name << ' ' << a.rows << ' ' << a.row_bytes << ' '
+       << access_str(a.access) << '\n';
+  }
+  os << "sections " << p.sections.size() << '\n';
+  for (const auto& s : p.sections) {
+    os << "section " << s.id << ' ' << pattern_str(s.pattern) << ' '
+       << s.tiles << ' ' << s.message_bytes << ' '
+       << (s.has_reduction ? 1 : 0) << ' ' << s.reduce_bytes << ' '
+       << (s.has_alltoall ? 1 : 0) << ' ' << s.alltoall_bytes_per_pair << ' '
+       << s.stages.size() << '\n';
+    for (const auto& st : s.stages) {
+      os << "stage " << st.id << ' ' << st.work_per_row_s << ' '
+         << (st.prefetch ? 1 : 0) << ' ' << st.read_vars.size() << ' '
+         << st.write_vars.size() << '\n';
+      for (const auto& v : st.read_vars) os << "read " << v << '\n';
+      for (const auto& v : st.write_vars) os << "write " << v << '\n';
+    }
+  }
+}
+
+ProgramStructure load_structure(std::istream& is) {
+  std::string line;
+  MHETA_CHECK(std::getline(is, line));
+  MHETA_CHECK_MSG(line == kMagic, "bad structure header: " << line);
+
+  auto next = [&](const char* kw) -> std::istringstream {
+    MHETA_CHECK_MSG(std::getline(is, line), "unexpected EOF in structure");
+    std::istringstream ls(line);
+    std::string k;
+    ls >> k;
+    MHETA_CHECK_MSG(k == kw, "expected '" << kw << "', got '" << k << "'");
+    return ls;
+  };
+
+  ProgramStructure p;
+  {
+    auto ls = next("name");
+    ls >> p.name;
+  }
+  std::size_t array_count = 0;
+  {
+    auto ls = next("arrays");
+    ls >> array_count;
+  }
+  for (std::size_t i = 0; i < array_count; ++i) {
+    auto ls = next("array");
+    ooc::ArraySpec a;
+    std::string access;
+    ls >> a.name >> a.rows >> a.row_bytes >> access;
+    MHETA_CHECK_MSG(a.rows >= 0 && a.row_bytes >= 0,
+                    "bad array geometry for " << a.name);
+    a.access = parse_access(access);
+    p.arrays.push_back(std::move(a));
+  }
+  std::size_t section_count = 0;
+  {
+    auto ls = next("sections");
+    ls >> section_count;
+  }
+  for (std::size_t i = 0; i < section_count; ++i) {
+    auto ls = next("section");
+    SectionSpec s;
+    std::string pattern;
+    int reduction = 0, alltoall = 0;
+    std::size_t stage_count = 0;
+    ls >> s.id >> pattern >> s.tiles >> s.message_bytes >> reduction >>
+        s.reduce_bytes >> alltoall >> s.alltoall_bytes_per_pair >> stage_count;
+    s.pattern = parse_pattern(pattern);
+    s.has_reduction = reduction != 0;
+    s.has_alltoall = alltoall != 0;
+    MHETA_CHECK_MSG(s.tiles >= 1, "bad tile count in section " << s.id);
+    for (std::size_t j = 0; j < stage_count; ++j) {
+      auto sls = next("stage");
+      ooc::StageDef st;
+      int prefetch = 0;
+      std::size_t reads = 0, writes = 0;
+      sls >> st.id >> st.work_per_row_s >> prefetch >> reads >> writes;
+      st.prefetch = prefetch != 0;
+      for (std::size_t r = 0; r < reads; ++r) {
+        auto rls = next("read");
+        std::string v;
+        rls >> v;
+        st.read_vars.push_back(std::move(v));
+      }
+      for (std::size_t w = 0; w < writes; ++w) {
+        auto wls = next("write");
+        std::string v;
+        wls >> v;
+        st.write_vars.push_back(std::move(v));
+      }
+      s.stages.push_back(std::move(st));
+    }
+    p.sections.push_back(std::move(s));
+  }
+  return p;
+}
+
+}  // namespace mheta::core

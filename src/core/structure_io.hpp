@@ -1,0 +1,25 @@
+// Text serialization of ProgramStructure — the paper's structure file:
+// "We currently analyze the application source code manually to determine
+// the number and relationship between the parallel sections, tiles, and
+// stages in the program as well as which variables they use. We store this
+// information in a file read by MHETA." (§4.1)
+//
+// Non-uniform per-row work (StageDef::row_work) is a runtime-only closure
+// and round-trips as the uniform work_per_row_s — exactly the information
+// loss the real MHETA had, since its structure file cannot describe sparse
+// row profiles either (limitation 3).
+#pragma once
+
+#include <iosfwd>
+
+#include "core/structure.hpp"
+
+namespace mheta::core {
+
+/// Writes the structure file.
+void save_structure(std::ostream& os, const ProgramStructure& p);
+
+/// Reads a structure file; throws CheckError on malformed input.
+ProgramStructure load_structure(std::istream& is);
+
+}  // namespace mheta::core

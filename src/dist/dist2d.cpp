@@ -1,0 +1,77 @@
+#include "dist/dist2d.hpp"
+
+#include "dist/generators.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta::dist {
+
+Dist2D::Dist2D(NodeGrid grid, GenBlock rows, GenBlock cols)
+    : grid_(grid), rows_(std::move(rows)), cols_(std::move(cols)) {
+  MHETA_CHECK(grid_.p >= 1 && grid_.q >= 1);
+  MHETA_CHECK_MSG(rows_.nodes() == grid_.p,
+                  "row distribution has " << rows_.nodes()
+                                          << " blocks, grid has " << grid_.p);
+  MHETA_CHECK_MSG(cols_.nodes() == grid_.q,
+                  "col distribution has " << cols_.nodes()
+                                          << " blocks, grid has " << grid_.q);
+}
+
+double Dist2D::width_fraction(int rank) const {
+  MHETA_CHECK(total_cols() > 0);
+  return static_cast<double>(cols(rank)) /
+         static_cast<double>(total_cols());
+}
+
+std::string Dist2D::to_string() const {
+  std::ostringstream os;
+  os << "rows " << rows_.to_string() << " x cols " << cols_.to_string();
+  return os.str();
+}
+
+Dist2D block_dist_2d(const Dist2DContext& ctx) {
+  const std::vector<double> row_shares(static_cast<std::size_t>(ctx.grid.p),
+                                       1.0);
+  const std::vector<double> col_shares(static_cast<std::size_t>(ctx.grid.q),
+                                       1.0);
+  return Dist2D(ctx.grid, GenBlock(apportion(row_shares, ctx.rows)),
+                GenBlock(apportion(col_shares, ctx.cols)));
+}
+
+Dist2D balanced_dist_2d(const Dist2DContext& ctx) {
+  MHETA_CHECK(static_cast<int>(ctx.cpu_powers.size()) == ctx.grid.nodes());
+  // Mean power per grid row / per grid column.
+  std::vector<double> row_power(static_cast<std::size_t>(ctx.grid.p), 0.0);
+  std::vector<double> col_power(static_cast<std::size_t>(ctx.grid.q), 0.0);
+  for (int r = 0; r < ctx.grid.nodes(); ++r) {
+    row_power[static_cast<std::size_t>(ctx.grid.row_of(r))] +=
+        ctx.cpu_powers[static_cast<std::size_t>(r)];
+    col_power[static_cast<std::size_t>(ctx.grid.col_of(r))] +=
+        ctx.cpu_powers[static_cast<std::size_t>(r)];
+  }
+  return Dist2D(ctx.grid, GenBlock(apportion(row_power, ctx.rows)),
+                GenBlock(apportion(col_power, ctx.cols)));
+}
+
+std::vector<Dist2D> spectrum_2d(const Dist2DContext& ctx, int steps) {
+  MHETA_CHECK(steps >= 0);
+  const Dist2D blk = block_dist_2d(ctx);
+  const Dist2D bal = balanced_dist_2d(ctx);
+  const int points = steps + 2;  // endpoints included
+  std::vector<Dist2D> family;
+  family.reserve(static_cast<std::size_t>(points * points));
+  for (int i = 0; i < points; ++i) {
+    const double a = static_cast<double>(i) / (points - 1);
+    const GenBlock rows = interpolate(blk.row_dist(), bal.row_dist(), a);
+    for (int j = 0; j < points; ++j) {
+      const double b = static_cast<double>(j) / (points - 1);
+      family.emplace_back(ctx.grid, rows,
+                          interpolate(blk.col_dist(), bal.col_dist(), b));
+    }
+  }
+  return family;
+}
+
+}  // namespace mheta::dist

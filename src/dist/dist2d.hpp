@@ -1,0 +1,93 @@
+// Two-dimensional GEN_BLOCK distributions (extension).
+//
+// The paper notes that "the MHETA model extends to two-dimensional data
+// distributions, but such distributions are problematic for run-time data
+// distribution systems because the search space increases greatly" (§5.1).
+// This module implements that extension: nodes form a P x Q grid; the rows
+// are GEN_BLOCK-distributed over the P grid rows and the columns over the
+// Q grid columns, so node (p,q) owns a rows_p x cols_q tile of every array.
+// The bench/dim2_explosion binary quantifies the search-space claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/genblock.hpp"
+
+namespace mheta::dist {
+
+/// A P x Q logical node grid; rank r = p * q_dim + q.
+struct NodeGrid {
+  int p = 1;
+  int q = 1;
+
+  int nodes() const { return p * q; }
+  bool operator==(const NodeGrid&) const = default;
+  int rank_of(int pi, int qi) const { return pi * q + qi; }
+  int row_of(int rank) const { return rank / q; }
+  int col_of(int rank) const { return rank % q; }
+};
+
+/// A 2-D GEN_BLOCK distribution over a node grid.
+class Dist2D {
+ public:
+  Dist2D() = default;
+
+  /// `rows` must have grid.p entries, `cols` grid.q entries.
+  Dist2D(NodeGrid grid, GenBlock rows, GenBlock cols);
+
+  const NodeGrid& grid() const { return grid_; }
+  const GenBlock& row_dist() const { return rows_; }
+  const GenBlock& col_dist() const { return cols_; }
+
+  /// Global rows / columns.
+  std::int64_t total_rows() const { return rows_.total(); }
+  std::int64_t total_cols() const { return cols_.total(); }
+
+  /// The tile of rank r.
+  std::int64_t rows(int rank) const { return rows_.count(grid_.row_of(rank)); }
+  std::int64_t cols(int rank) const { return cols_.count(grid_.col_of(rank)); }
+  std::int64_t row_begin(int rank) const {
+    return rows_.first_row(grid_.row_of(rank));
+  }
+  std::int64_t col_begin(int rank) const {
+    return cols_.first_row(grid_.col_of(rank));
+  }
+
+  /// Fraction of each array row held by rank r (cols_q / total columns).
+  double width_fraction(int rank) const;
+
+  bool operator==(const Dist2D& other) const = default;
+  std::string to_string() const;
+
+ private:
+  NodeGrid grid_;
+  GenBlock rows_;
+  GenBlock cols_;
+};
+
+/// Context for the 2-D generators.
+struct Dist2DContext {
+  NodeGrid grid;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  /// Per-rank CPU powers (grid.nodes() entries, rank-ordered).
+  std::vector<double> cpu_powers;
+};
+
+/// Even split in both dimensions.
+Dist2D block_dist_2d(const Dist2DContext& ctx);
+
+/// Load-balancing heuristic: grid-row shares proportional to the mean CPU
+/// power of each grid row, grid-column shares to each grid column's mean.
+/// (Exact 2-D balancing is not possible with tensor-product GEN_BLOCKs
+/// unless the power matrix is rank-1; this is the standard approximation.)
+Dist2D balanced_dist_2d(const Dist2DContext& ctx);
+
+/// The 2-D candidate family: the tensor product of `steps+2` interpolation
+/// points per dimension between Blk and Bal — |family| grows quadratically
+/// with the per-dimension resolution, the explosion the paper cites.
+std::vector<Dist2D> spectrum_2d(const Dist2DContext& ctx, int steps);
+
+}  // namespace mheta::dist

@@ -1,0 +1,95 @@
+#include "dist/genblock.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta::dist {
+
+GenBlock::GenBlock(std::vector<std::int64_t> counts)
+    : counts_(std::move(counts)) {
+  MHETA_CHECK(!counts_.empty());
+  firsts_.resize(counts_.size() + 1, 0);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    MHETA_CHECK_MSG(counts_[i] >= 0, "negative block size at node " << i);
+    firsts_[i + 1] = firsts_[i] + counts_[i];
+  }
+}
+
+std::int64_t GenBlock::count(int i) const {
+  MHETA_CHECK(i >= 0 && i < nodes());
+  return counts_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t GenBlock::first_row(int i) const {
+  MHETA_CHECK(i >= 0 && i < nodes());
+  return firsts_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t GenBlock::total() const {
+  return counts_.empty() ? 0 : firsts_.back();
+}
+
+int GenBlock::owner(std::int64_t row) const {
+  MHETA_CHECK_MSG(row >= 0 && row < total(), "row " << row << " out of range");
+  // upper_bound over prefix sums; skip empty blocks.
+  const auto it = std::upper_bound(firsts_.begin(), firsts_.end(), row);
+  return static_cast<int>(std::distance(firsts_.begin(), it)) - 1;
+}
+
+std::string GenBlock::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << counts_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::vector<std::int64_t> apportion(const std::vector<double>& shares,
+                                    std::int64_t total) {
+  MHETA_CHECK(!shares.empty());
+  MHETA_CHECK(total >= 0);
+  double sum = 0;
+  for (double s : shares) {
+    MHETA_CHECK_MSG(s >= 0, "negative share " << s);
+    sum += s;
+  }
+  const std::size_t n = shares.size();
+  std::vector<std::int64_t> result(n, 0);
+  if (total == 0) return result;
+  if (sum <= 0) {
+    // Degenerate: split evenly.
+    const std::int64_t base = total / static_cast<std::int64_t>(n);
+    std::int64_t rem = total % static_cast<std::int64_t>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      result[i] = base + (static_cast<std::int64_t>(i) < rem ? 1 : 0);
+    return result;
+  }
+  // Largest-remainder method.
+  std::vector<double> remainders(n);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = shares[i] / sum * static_cast<double>(total);
+    result[i] = static_cast<std::int64_t>(std::floor(exact));
+    remainders[i] = exact - std::floor(exact);
+    assigned += result[i];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (std::size_t k = 0; assigned < total; ++k) {
+    result[order[k % n]] += 1;
+    ++assigned;
+  }
+  return result;
+}
+
+}  // namespace mheta::dist

@@ -1,0 +1,54 @@
+// GEN_BLOCK data distributions (HPF; paper §3.1).
+//
+// A one-dimensional distribution assigns each node a contiguous block of
+// rows; block sizes may differ per node. This is the object MHETA takes as
+// input and the search algorithms explore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mheta::dist {
+
+/// A 1-D GEN_BLOCK distribution: node i owns rows
+/// [first_row(i), first_row(i) + count(i)).
+class GenBlock {
+ public:
+  GenBlock() = default;
+
+  /// Builds from per-node row counts (all must be >= 0).
+  explicit GenBlock(std::vector<std::int64_t> counts);
+
+  int nodes() const { return static_cast<int>(counts_.size()); }
+
+  /// Rows owned by node i.
+  std::int64_t count(int i) const;
+
+  /// Global index of node i's first row.
+  std::int64_t first_row(int i) const;
+
+  /// Total rows across all nodes.
+  std::int64_t total() const;
+
+  /// The node owning global row `row`.
+  int owner(std::int64_t row) const;
+
+  const std::vector<std::int64_t>& counts() const { return counts_; }
+
+  bool operator==(const GenBlock& other) const = default;
+
+  /// e.g. "[100, 200, 100]".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::vector<std::int64_t> firsts_;  // prefix sums, size nodes()+1
+};
+
+/// Rounds fractional shares to integers that sum exactly to `total`,
+/// using the largest-remainder method. Shares must be non-negative.
+std::vector<std::int64_t> apportion(const std::vector<double>& shares,
+                                    std::int64_t total);
+
+}  // namespace mheta::dist

@@ -1,0 +1,202 @@
+#include "dist/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mheta::dist {
+
+std::int64_t DistContext::in_core_capacity(int i) const {
+  MHETA_CHECK(i >= 0 && i < nodes());
+  MHETA_CHECK(bytes_per_row > 0);
+  const std::int64_t usable =
+      std::max<std::int64_t>(0, memory_bytes[static_cast<std::size_t>(i)] -
+                                    overhead_bytes);
+  return usable / bytes_per_row;
+}
+
+DistContext DistContext::from_cluster(const cluster::ClusterConfig& c,
+                                      std::int64_t rows,
+                                      std::int64_t bytes_per_row,
+                                      std::int64_t overhead_bytes) {
+  DistContext ctx;
+  ctx.rows = rows;
+  ctx.bytes_per_row = bytes_per_row;
+  ctx.overhead_bytes = overhead_bytes;
+  for (const auto& n : c.nodes) {
+    ctx.cpu_powers.push_back(n.cpu_power);
+    ctx.memory_bytes.push_back(n.memory_bytes);
+  }
+  return ctx;
+}
+
+GenBlock block_dist(const DistContext& ctx) {
+  MHETA_CHECK(ctx.nodes() > 0);
+  const std::vector<double> shares(static_cast<std::size_t>(ctx.nodes()), 1.0);
+  return GenBlock(apportion(shares, ctx.rows));
+}
+
+GenBlock balanced_dist(const DistContext& ctx) {
+  MHETA_CHECK(ctx.nodes() > 0);
+  return GenBlock(apportion(ctx.cpu_powers, ctx.rows));
+}
+
+GenBlock in_core_dist(const DistContext& ctx) {
+  const int n = ctx.nodes();
+  MHETA_CHECK(n > 0);
+  std::vector<double> caps(static_cast<std::size_t>(n));
+  std::int64_t total_cap = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t c = ctx.in_core_capacity(i);
+    caps[static_cast<std::size_t>(i)] = static_cast<double>(c);
+    total_cap += c;
+  }
+  if (total_cap >= ctx.rows && total_cap > 0) {
+    // Everyone can stay in core: give rows proportional to capacity, then
+    // repair any rounding overshoot past a node's capacity.
+    auto counts = apportion(caps, ctx.rows);
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const auto cap = static_cast<std::int64_t>(caps[idx]);
+      if (counts[idx] > cap) {
+        std::int64_t excess = counts[idx] - cap;
+        counts[idx] = cap;
+        for (int j = 0; j < n && excess > 0; ++j) {
+          const auto jdx = static_cast<std::size_t>(j);
+          const std::int64_t room =
+              static_cast<std::int64_t>(caps[jdx]) - counts[jdx];
+          const std::int64_t take = std::min(room, excess);
+          counts[jdx] += take;
+          excess -= take;
+        }
+        MHETA_CHECK(excess == 0);
+      }
+    }
+    return GenBlock(std::move(counts));
+  }
+  // Total capacity insufficient: fill capacities, then spread the overflow
+  // proportional to capacity (nodes with more memory also take more of the
+  // out-of-core excess).
+  std::vector<double> shares(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    shares[idx] = caps[idx] > 0 ? caps[idx] : 0.0;
+  }
+  return GenBlock(apportion(shares, ctx.rows));
+}
+
+GenBlock in_core_balanced_dist(const DistContext& ctx) {
+  const int n = ctx.nodes();
+  MHETA_CHECK(n > 0);
+  std::vector<std::int64_t> caps(static_cast<std::size_t>(n));
+  std::int64_t total_cap = 0;
+  for (int i = 0; i < n; ++i) {
+    caps[static_cast<std::size_t>(i)] = ctx.in_core_capacity(i);
+    total_cap += caps[static_cast<std::size_t>(i)];
+  }
+  if (total_cap < ctx.rows) {
+    // Cannot keep everyone in core; fall back to capacity-filling (the
+    // in-core part) with the overflow balanced by CPU power.
+    std::vector<std::int64_t> counts(caps.begin(), caps.end());
+    const std::int64_t overflow = ctx.rows - total_cap;
+    const auto extra = apportion(ctx.cpu_powers, overflow);
+    for (int i = 0; i < n; ++i)
+      counts[static_cast<std::size_t>(i)] += extra[static_cast<std::size_t>(i)];
+    return GenBlock(std::move(counts));
+  }
+  // Water-filling: start from the balanced shares; clamp nodes at their
+  // in-core capacity and redistribute the excess among unclamped nodes
+  // proportional to CPU power.
+  std::vector<bool> clamped(static_cast<std::size_t>(n), false);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n), 0);
+  std::int64_t remaining = ctx.rows;
+  for (int round = 0; round < n + 1; ++round) {
+    std::vector<double> shares(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i)
+      if (!clamped[static_cast<std::size_t>(i)])
+        shares[static_cast<std::size_t>(i)] =
+            ctx.cpu_powers[static_cast<std::size_t>(i)];
+    const auto tentative = apportion(shares, remaining);
+    bool newly_clamped = false;
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (clamped[idx]) continue;
+      if (counts[idx] + tentative[idx] > caps[idx]) {
+        remaining -= caps[idx] - counts[idx];
+        counts[idx] = caps[idx];
+        clamped[idx] = true;
+        newly_clamped = true;
+      }
+    }
+    if (!newly_clamped) {
+      for (int i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (!clamped[idx]) counts[idx] += tentative[idx];
+      }
+      remaining = 0;
+      break;
+    }
+  }
+  MHETA_CHECK(remaining == 0);
+  return GenBlock(std::move(counts));
+}
+
+GenBlock interpolate(const GenBlock& a, const GenBlock& b, double alpha) {
+  MHETA_CHECK(a.nodes() == b.nodes());
+  MHETA_CHECK(a.total() == b.total());
+  MHETA_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  std::vector<double> shares(static_cast<std::size_t>(a.nodes()));
+  for (int i = 0; i < a.nodes(); ++i) {
+    shares[static_cast<std::size_t>(i)] =
+        (1.0 - alpha) * static_cast<double>(a.count(i)) +
+        alpha * static_cast<double>(b.count(i));
+  }
+  return GenBlock(apportion(shares, a.total()));
+}
+
+std::vector<SpectrumPoint> spectrum(const DistContext& ctx,
+                                    cluster::SpectrumKind kind,
+                                    int steps_per_segment) {
+  MHETA_CHECK(steps_per_segment >= 0);
+  // Anchor sequence per architecture kind (paper §5.1).
+  std::vector<std::pair<std::string, GenBlock>> anchors;
+  switch (kind) {
+    case cluster::SpectrumKind::kFull:
+      anchors = {{"Blk", block_dist(ctx)},
+                 {"I-C", in_core_dist(ctx)},
+                 {"I-C/Bal", in_core_balanced_dist(ctx)},
+                 {"Bal", balanced_dist(ctx)},
+                 {"Blk", block_dist(ctx)}};
+      break;
+    case cluster::SpectrumKind::kBlkBal:
+      anchors = {{"Blk", block_dist(ctx)}, {"Bal", balanced_dist(ctx)}};
+      break;
+    case cluster::SpectrumKind::kBlkIC:
+      anchors = {{"Blk", block_dist(ctx)}, {"I-C", in_core_dist(ctx)}};
+      break;
+  }
+  std::vector<SpectrumPoint> points;
+  const std::size_t segments = anchors.size() - 1;
+  const double denom =
+      static_cast<double>(segments * static_cast<std::size_t>(steps_per_segment + 1));
+  for (std::size_t s = 0; s < segments; ++s) {
+    points.push_back(
+        {static_cast<double>(s * static_cast<std::size_t>(steps_per_segment + 1)) /
+             denom,
+         anchors[s].first, anchors[s].second});
+    for (int k = 1; k <= steps_per_segment; ++k) {
+      const double alpha =
+          static_cast<double>(k) / static_cast<double>(steps_per_segment + 1);
+      points.push_back(
+          {(static_cast<double>(s * static_cast<std::size_t>(steps_per_segment + 1)) +
+            k) /
+               denom,
+           "", interpolate(anchors[s].second, anchors[s + 1].second, alpha)});
+    }
+  }
+  points.push_back({1.0, anchors.back().first, anchors.back().second});
+  return points;
+}
+
+}  // namespace mheta::dist

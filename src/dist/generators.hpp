@@ -1,0 +1,94 @@
+// The four named distribution generators and the distribution spectrum
+// (paper §5.1, Figure 8).
+//
+// The spectrum spans two dimensions: how well the load is balanced and to
+// what degree I/O costs are considered:
+//
+//   Blk      — even split, oblivious to both;
+//   Bal      — balances load (rows proportional to CPU power), ignores I/O;
+//   I-C      — keeps every node in core if possible, ignores load;
+//   I-C/Bal  — first maximizes the number of in-core nodes, then balances.
+//
+// Experiments walk Blk -> I-C -> I-C/Bal -> Bal -> Blk with interpolated
+// points in between (degenerate architectures use the shorter walks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/suite.hpp"
+#include "dist/genblock.hpp"
+
+namespace mheta::dist {
+
+/// Everything a generator needs to know about the problem and machine.
+struct DistContext {
+  /// Global rows of the distributed arrays.
+  std::int64_t rows = 0;
+
+  /// Bytes per row summed over all distributed arrays (a node holding k
+  /// rows needs k * bytes_per_row of memory to be fully in core).
+  std::int64_t bytes_per_row = 0;
+
+  /// Per-node relative CPU power (C_i).
+  std::vector<double> cpu_powers;
+
+  /// Per-node memory available for application data (M_i).
+  std::vector<std::int64_t> memory_bytes;
+
+  /// Per-node memory consumed by runtime buffers/halos, unavailable for
+  /// local arrays. Generators subtract it when computing in-core capacity.
+  std::int64_t overhead_bytes = 0;
+
+  int nodes() const { return static_cast<int>(cpu_powers.size()); }
+
+  /// Rows node i can hold fully in core.
+  std::int64_t in_core_capacity(int i) const;
+
+  /// Builds a context from a cluster configuration.
+  static DistContext from_cluster(const cluster::ClusterConfig& c,
+                                  std::int64_t rows,
+                                  std::int64_t bytes_per_row,
+                                  std::int64_t overhead_bytes = 0);
+};
+
+/// Blk: equal-sized blocks regardless of load or I/O.
+GenBlock block_dist(const DistContext& ctx);
+
+/// Bal: rows proportional to CPU power.
+GenBlock balanced_dist(const DistContext& ctx);
+
+/// I-C: keeps nodes in core (rows proportional to in-core capacity, capped
+/// by it); overflow beyond total capacity is spread proportional to
+/// capacity.
+GenBlock in_core_dist(const DistContext& ctx);
+
+/// I-C/Bal: maximizes the number of in-core nodes, then balances the load
+/// among them (iterative water-filling: balanced shares clamped to in-core
+/// capacity, excess redistributed by power).
+GenBlock in_core_balanced_dist(const DistContext& ctx);
+
+/// One point of the distribution spectrum.
+struct SpectrumPoint {
+  /// Position in [0,1] along the full walk.
+  double t = 0;
+  /// Anchor label ("Blk", "I-C", "I-C/Bal", "Bal") or "" for interpolated
+  /// points.
+  std::string label;
+  GenBlock dist;
+};
+
+/// Walks the spectrum for the given architecture kind with
+/// `steps_per_segment` interpolated points between consecutive anchors
+/// (0 = anchors only). Consecutive duplicate distributions are kept so the
+/// x-axis matches the paper's figures.
+std::vector<SpectrumPoint> spectrum(const DistContext& ctx,
+                                    cluster::SpectrumKind kind,
+                                    int steps_per_segment);
+
+/// Linear interpolation between two distributions with exact total.
+GenBlock interpolate(const GenBlock& a, const GenBlock& b, double alpha);
+
+}  // namespace mheta::dist

@@ -1,0 +1,30 @@
+#include "exp/csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace mheta::exp {
+
+namespace {
+void write_rows(std::ostream& os, const SweepResult& sweep) {
+  for (const auto& p : sweep.points) {
+    os << sweep.workload << ',' << sweep.arch << ',' << std::setprecision(10)
+       << p.point.t << ',' << p.point.label << ',' << p.actual_s << ','
+       << p.predicted_s << ',' << p.pct_diff() << '\n';
+  }
+}
+}  // namespace
+
+void write_sweep_csv(std::ostream& os, const SweepResult& sweep, bool header) {
+  if (header)
+    os << "workload,arch,t,label,actual_s,predicted_s,pct_diff\n";
+  write_rows(os, sweep);
+}
+
+void write_sweeps_csv(std::ostream& os,
+                      const std::vector<SweepResult>& sweeps) {
+  os << "workload,arch,t,label,actual_s,predicted_s,pct_diff\n";
+  for (const auto& s : sweeps) write_rows(os, s);
+}
+
+}  // namespace mheta::exp

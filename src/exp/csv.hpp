@@ -1,0 +1,20 @@
+// CSV export of experiment results — the series behind the paper's figures,
+// in a form any plotting tool ingests.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace mheta::exp {
+
+/// One sweep as rows: workload,arch,t,label,actual_s,predicted_s,pct_diff.
+void write_sweep_csv(std::ostream& os, const SweepResult& sweep,
+                     bool header = true);
+
+/// Many sweeps concatenated under one header.
+void write_sweeps_csv(std::ostream& os,
+                      const std::vector<SweepResult>& sweeps);
+
+}  // namespace mheta::exp

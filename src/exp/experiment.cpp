@@ -1,0 +1,174 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "apps/cg.hpp"
+#include "apps/driver.hpp"
+#include "apps/isort.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/lanczos.hpp"
+#include "apps/multigrid.hpp"
+#include "apps/rna.hpp"
+#include "instrument/calibration.hpp"
+#include "instrument/recorder.hpp"
+#include "util/check.hpp"
+
+namespace mheta::exp {
+
+Workload jacobi_workload(bool prefetch) {
+  apps::JacobiConfig cfg;
+  cfg.prefetch = prefetch;
+  return {prefetch ? "Jacobi+pf" : "Jacobi", apps::jacobi_program(cfg),
+          cfg.iterations};
+}
+
+Workload cg_workload() {
+  apps::CgConfig cfg;
+  return {"CG", apps::cg_program(cfg), cfg.iterations};
+}
+
+Workload rna_workload() {
+  apps::RnaConfig cfg;
+  return {"RNA", apps::rna_program(cfg), cfg.iterations};
+}
+
+Workload lanczos_workload() {
+  apps::LanczosConfig cfg;
+  return {"Lanczos", apps::lanczos_program(cfg), cfg.iterations};
+}
+
+Workload multigrid_workload() {
+  apps::MultigridConfig cfg;
+  return {"Multigrid", apps::multigrid_program(cfg), cfg.iterations};
+}
+
+Workload isort_workload() {
+  apps::IsortConfig cfg;
+  return {"ISort", apps::isort_program(cfg), cfg.iterations};
+}
+
+std::vector<Workload> paper_workloads() {
+  return {jacobi_workload(false), cg_workload(), lanczos_workload(),
+          rna_workload()};
+}
+
+dist::DistContext make_context(const cluster::ArchConfig& arch,
+                               const Workload& w,
+                               const ExperimentOptions& opts) {
+  return dist::DistContext::from_cluster(arch.cluster, w.program.rows(),
+                                         w.program.bytes_per_row(),
+                                         opts.runtime.overhead_bytes);
+}
+
+namespace {
+bool uses_prefetch(const core::ProgramStructure& p) {
+  for (const auto& s : p.sections)
+    for (const auto& st : s.stages)
+      if (st.prefetch) return true;
+  return false;
+}
+}  // namespace
+
+core::Predictor build_predictor(const cluster::ArchConfig& arch,
+                                const Workload& w,
+                                const ExperimentOptions& opts) {
+  // Micro-benchmarks (separate scratch world).
+  const auto cal = instrument::calibrate(arch.cluster, opts.effects);
+
+  // One instrumented iteration at Blk: forced I/O plus the Figure-5
+  // prefetch transform when the application prefetches.
+  const dist::GenBlock blk = dist::block_dist(make_context(arch, w, opts));
+  apps::RunOptions run;
+  run.iterations = 1;
+  run.runtime = opts.runtime;
+  run.runtime.force_io = true;
+  run.blocking_prefetch = opts.prefetch_transform && uses_prefetch(w.program);
+  std::optional<instrument::CostRecorder> recorder;
+  run.setup = [&](mpi::World& world) {
+    recorder.emplace(world, cal);
+    recorder->install();
+  };
+  (void)apps::run_program(arch.cluster, opts.effects, w.program, blk, run);
+  MHETA_CHECK(recorder.has_value());
+  // NOTE: the world the recorder observed is gone; finalize() only reads
+  // the recorder's own accumulated state.
+  auto params = recorder->finalize(blk);
+
+  std::vector<std::int64_t> memories;
+  for (const auto& n : arch.cluster.nodes) memories.push_back(n.memory_bytes);
+  return core::Predictor(w.program, std::move(params), std::move(memories),
+                         opts.model);
+}
+
+double PointResult::pct_diff() const {
+  const double lo = std::min(actual_s, predicted_s);
+  if (lo <= 0) return 0;
+  return std::abs(actual_s - predicted_s) / lo;
+}
+
+double SweepResult::min_diff() const {
+  double v = points.empty() ? 0 : points.front().pct_diff();
+  for (const auto& p : points) v = std::min(v, p.pct_diff());
+  return v;
+}
+
+double SweepResult::avg_diff() const {
+  if (points.empty()) return 0;
+  double sum = 0;
+  for (const auto& p : points) sum += p.pct_diff();
+  return sum / static_cast<double>(points.size());
+}
+
+double SweepResult::max_diff() const {
+  double v = 0;
+  for (const auto& p : points) v = std::max(v, p.pct_diff());
+  return v;
+}
+
+std::size_t SweepResult::best_actual() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].actual_s < points[best].actual_s) best = i;
+  return best;
+}
+
+std::size_t SweepResult::worst_actual() const {
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].actual_s > points[worst].actual_s) worst = i;
+  return worst;
+}
+
+std::size_t SweepResult::best_predicted() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].predicted_s < points[best].predicted_s) best = i;
+  return best;
+}
+
+SweepResult run_sweep(const cluster::ArchConfig& arch, const Workload& w,
+                      const ExperimentOptions& opts) {
+  const auto predictor = build_predictor(arch, w, opts);
+  const auto ctx = make_context(arch, w, opts);
+  const auto points = dist::spectrum(ctx, arch.spectrum, opts.spectrum_steps);
+
+  SweepResult result;
+  result.workload = w.name;
+  result.arch = arch.cluster.name;
+  for (const auto& pt : points) {
+    PointResult pr;
+    pr.point = pt;
+    apps::RunOptions run;
+    run.iterations = w.iterations;
+    run.runtime = opts.runtime;
+    pr.actual_s =
+        apps::run_program(arch.cluster, opts.effects, w.program, pt.dist, run)
+            .seconds;
+    pr.predicted_s = predictor.predict(pt.dist, w.iterations).total_s;
+    result.points.push_back(std::move(pr));
+  }
+  return result;
+}
+
+}  // namespace mheta::exp

@@ -1,0 +1,106 @@
+// The accuracy-experiment driver (paper §5.1–§5.2).
+//
+// For one application on one emulated architecture:
+//   1. run the micro-benchmarks (calibration);
+//   2. run ONE instrumented iteration under the Blk distribution with
+//      forced I/O, the prefetch transform, and the recorder hooks;
+//   3. build the Predictor from the harvested MhetaParams;
+//   4. walk the distribution spectrum, and at every point compare the
+//      predicted execution time against the "actual" (simulated) run.
+//
+// The percentage difference is the paper's metric: |actual - predicted|
+// divided by the smaller of the two.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/suite.hpp"
+#include "core/model.hpp"
+#include "core/structure.hpp"
+#include "dist/generators.hpp"
+
+namespace mheta::exp {
+
+/// Simulator-effect and runtime defaults used across the evaluation.
+struct ExperimentOptions {
+  cluster::SimEffects effects = default_effects();
+  ooc::RuntimeOptions runtime;  // overhead_bytes defaults to 1 MiB
+  core::ModelOptions model;
+  /// Interpolated points between spectrum anchors.
+  int spectrum_steps = 0;
+  /// Apply the Figure-5 prefetch-instrumentation transform during the
+  /// instrumented iteration (disable only for the ablation study).
+  bool prefetch_transform = true;
+
+  static cluster::SimEffects default_effects() {
+    cluster::SimEffects e;
+    e.file_cache = true;
+    e.cache_perturbation = true;
+    e.instrumentation_noise_rel = 0.0015;
+    e.runtime_noise_rel = 0.001;
+    e.seed = 1;
+    return e;
+  }
+};
+
+/// One application workload.
+struct Workload {
+  std::string name;
+  core::ProgramStructure program;
+  int iterations = 1;
+};
+
+/// The paper's four benchmarks with their iteration counts (§5.1). When
+/// `prefetch_jacobi` is set, Jacobi uses the prefetching ICLA loop (the
+/// Figure-9 top-right experiment).
+std::vector<Workload> paper_workloads();
+Workload jacobi_workload(bool prefetch);
+Workload cg_workload();
+Workload rna_workload();
+Workload lanczos_workload();
+Workload multigrid_workload();
+Workload isort_workload();
+
+/// Distribution context for a workload on an architecture (the generators
+/// see the true runtime overhead, so the I-C anchor is genuinely in core).
+dist::DistContext make_context(const cluster::ArchConfig& arch,
+                               const Workload& w,
+                               const ExperimentOptions& opts);
+
+/// Runs calibration + the instrumented Blk iteration and builds the model.
+core::Predictor build_predictor(const cluster::ArchConfig& arch,
+                                const Workload& w,
+                                const ExperimentOptions& opts);
+
+/// Result at one spectrum point.
+struct PointResult {
+  dist::SpectrumPoint point;
+  double actual_s = 0;
+  double predicted_s = 0;
+
+  /// |actual - predicted| / min(actual, predicted).
+  double pct_diff() const;
+};
+
+/// Full sweep result.
+struct SweepResult {
+  std::string workload;
+  std::string arch;
+  std::vector<PointResult> points;
+
+  double min_diff() const;
+  double avg_diff() const;
+  double max_diff() const;
+  /// Index of the best (fastest actual) and worst points.
+  std::size_t best_actual() const;
+  std::size_t worst_actual() const;
+  std::size_t best_predicted() const;
+};
+
+/// Runs the predicted-vs-actual sweep for one workload on one architecture.
+SweepResult run_sweep(const cluster::ArchConfig& arch, const Workload& w,
+                      const ExperimentOptions& opts);
+
+}  // namespace mheta::exp

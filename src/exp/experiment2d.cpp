@@ -1,0 +1,97 @@
+#include "exp/experiment2d.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "apps/driver2d.hpp"
+#include "apps/jacobi.hpp"
+#include "instrument/calibration.hpp"
+#include "instrument/recorder.hpp"
+#include "util/check.hpp"
+
+namespace mheta::exp {
+
+Workload2D jacobi2d_workload(dist::NodeGrid grid) {
+  apps::JacobiConfig cfg;
+  cfg.iterations = 20;  // 2-D sweeps are denser; keep runs brisk
+  Workload2D w;
+  w.name = "Jacobi2D";
+  w.program = apps::jacobi_program(cfg);
+  w.program.name = "Jacobi2D";
+  w.grid = grid;
+  w.iterations = cfg.iterations;
+  return w;
+}
+
+dist::Dist2DContext make_context_2d(const cluster::ArchConfig& arch,
+                                    const Workload2D& w) {
+  MHETA_CHECK(w.grid.nodes() == arch.cluster.size());
+  dist::Dist2DContext ctx;
+  ctx.grid = w.grid;
+  ctx.rows = w.program.rows();
+  // Columns at 8-byte elements of the first array's row.
+  MHETA_CHECK(!w.program.arrays.empty());
+  ctx.cols = w.program.arrays.front().row_bytes / 8;
+  for (const auto& n : arch.cluster.nodes)
+    ctx.cpu_powers.push_back(n.cpu_power);
+  return ctx;
+}
+
+dist::Dist2D instrumented_dist_2d(const cluster::ArchConfig& arch,
+                                  const Workload2D& w) {
+  return dist::block_dist_2d(make_context_2d(arch, w));
+}
+
+core::Predictor build_predictor_2d(const cluster::ArchConfig& arch,
+                                   const Workload2D& w,
+                                   const ExperimentOptions& opts) {
+  const auto cal = instrument::calibrate(arch.cluster, opts.effects);
+  const dist::Dist2D blk = instrumented_dist_2d(arch, w);
+
+  apps::RunOptions run;
+  run.iterations = 1;
+  run.runtime = opts.runtime;
+  run.runtime.force_io = true;
+  std::optional<instrument::CostRecorder> recorder;
+  run.setup = [&](mpi::World& world) {
+    recorder.emplace(world, cal);
+    recorder->install();
+  };
+  (void)apps::run_program_2d(arch.cluster, opts.effects, w.program, blk, run);
+  MHETA_CHECK(recorder.has_value());
+
+  // W on rank r is its instrumented tile's rows.
+  std::vector<std::int64_t> rank_rows;
+  for (int r = 0; r < arch.cluster.size(); ++r)
+    rank_rows.push_back(blk.rows(r));
+  auto params = recorder->finalize(dist::GenBlock(rank_rows));
+
+  std::vector<std::int64_t> memories;
+  for (const auto& n : arch.cluster.nodes) memories.push_back(n.memory_bytes);
+  return core::Predictor(w.program, std::move(params), std::move(memories),
+                         opts.model);
+}
+
+double Point2D::pct_diff() const {
+  const double lo = std::min(actual_s, predicted_s);
+  return lo > 0 ? std::abs(actual_s - predicted_s) / lo : 0.0;
+}
+
+Point2D run_point_2d(const cluster::ArchConfig& arch, const Workload2D& w,
+                     const core::Predictor& predictor, const dist::Dist2D& d,
+                     const ExperimentOptions& opts) {
+  Point2D point;
+  point.dist = d;
+  apps::RunOptions run;
+  run.iterations = w.iterations;
+  run.runtime = opts.runtime;
+  point.actual_s =
+      apps::run_program_2d(arch.cluster, opts.effects, w.program, d, run)
+          .seconds;
+  point.predicted_s =
+      predictor.predict2d(d, instrumented_dist_2d(arch, w), w.iterations)
+          .total_s;
+  return point;
+}
+
+}  // namespace mheta::exp

@@ -1,0 +1,50 @@
+// The 2-D accuracy experiment (extension; paper §5.1): same protocol as
+// the 1-D harness — calibrate, instrument one iteration at the 2-D Blk
+// distribution, predict candidates, compare against simulated runs.
+#pragma once
+
+#include "cluster/suite.hpp"
+#include "core/model.hpp"
+#include "dist/dist2d.hpp"
+#include "exp/experiment.hpp"
+
+namespace mheta::exp {
+
+/// A 2-D workload: a program plus the node grid it runs on.
+struct Workload2D {
+  std::string name;
+  core::ProgramStructure program;
+  dist::NodeGrid grid;
+  int iterations = 1;
+};
+
+/// 2-D Jacobi: the paper's Jacobi benchmark on a P x Q grid. The grid must
+/// have exactly as many nodes as the target cluster.
+Workload2D jacobi2d_workload(dist::NodeGrid grid);
+
+/// Context for the 2-D generators (columns derive from the program's row
+/// width at 8-byte elements).
+dist::Dist2DContext make_context_2d(const cluster::ArchConfig& arch,
+                                    const Workload2D& w);
+
+/// The instrumented 2-D distribution (Blk in both dimensions).
+dist::Dist2D instrumented_dist_2d(const cluster::ArchConfig& arch,
+                                  const Workload2D& w);
+
+/// Calibration + one instrumented iteration at 2-D Blk.
+core::Predictor build_predictor_2d(const cluster::ArchConfig& arch,
+                                   const Workload2D& w,
+                                   const ExperimentOptions& opts);
+
+/// Predicted vs actual at one 2-D distribution.
+struct Point2D {
+  dist::Dist2D dist;
+  double actual_s = 0;
+  double predicted_s = 0;
+  double pct_diff() const;
+};
+Point2D run_point_2d(const cluster::ArchConfig& arch, const Workload2D& w,
+                     const core::Predictor& predictor, const dist::Dist2D& d,
+                     const ExperimentOptions& opts);
+
+}  // namespace mheta::exp

@@ -1,0 +1,98 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace mheta::exp {
+
+std::optional<std::size_t> axis_slot(const SweepResult& sweep,
+                                     std::size_t point_index) {
+  const auto& label = sweep.points[point_index].point.label;
+  if (label.empty()) return std::nullopt;
+  if (label == "Blk") return point_index == 0 ? 0 : 4;
+  if (label == "I-C") return 1;
+  if (label == "I-C/Bal") return 2;
+  if (label == "Bal") return 3;
+  return std::nullopt;
+}
+
+double AxisAggregate::overall_avg() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& s : slots) {
+    sum += s.avg * s.samples;
+    n += s.samples;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+AxisAggregate aggregate_by_axis(const std::vector<SweepResult>& sweeps) {
+  AxisAggregate agg;
+  std::array<std::vector<double>, 5> diffs;
+  for (const auto& sweep : sweeps) {
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+      if (const auto slot = axis_slot(sweep, i)) {
+        diffs[*slot].push_back(sweep.points[i].pct_diff());
+      }
+    }
+  }
+  for (std::size_t s = 0; s < 5; ++s) {
+    auto& slot = agg.slots[s];
+    slot.samples = static_cast<int>(diffs[s].size());
+    if (diffs[s].empty()) continue;
+    slot.min = *std::min_element(diffs[s].begin(), diffs[s].end());
+    slot.max = *std::max_element(diffs[s].begin(), diffs[s].end());
+    double sum = 0;
+    for (double d : diffs[s]) sum += d;
+    slot.avg = sum / static_cast<double>(diffs[s].size());
+  }
+  return agg;
+}
+
+void print_axis_panel(std::ostream& os, const std::string& title,
+                      const AxisAggregate& agg) {
+  os << title << '\n';
+  Table t({"distribution", "min", "average", "max", "samples"});
+  for (std::size_t s = 0; s < 5; ++s) {
+    const auto& slot = agg.slots[s];
+    if (slot.samples == 0) continue;
+    t.add_row({kAxisLabels[s], fmt_pct(slot.min), fmt_pct(slot.avg),
+               fmt_pct(slot.max), std::to_string(slot.samples)});
+  }
+  t.print(os);
+  os << "overall average difference: " << fmt_pct(agg.overall_avg())
+     << "  (accuracy " << fmt_pct(1.0 - agg.overall_avg()) << ")\n\n";
+}
+
+void print_times_panel(std::ostream& os, const std::string& title,
+                       const std::vector<SweepResult>& sweeps) {
+  os << title << '\n';
+  Table t({"distribution", "app", "actual (s)", "predicted (s)", "diff"});
+  for (const auto& sweep : sweeps) {
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+      const auto& p = sweep.points[i];
+      const std::string label =
+          p.point.label.empty() ? "t=" + fmt(p.point.t, 2) : p.point.label;
+      std::string marker;
+      if (i == sweep.best_actual()) marker += " <- best actual";
+      if (i == sweep.best_predicted()) marker += " <- best predicted";
+      t.add_row({label, sweep.workload, fmt(p.actual_s, 2) + marker,
+                 fmt(p.predicted_s, 2), fmt_pct(p.pct_diff())});
+    }
+    t.add_separator();
+  }
+  t.print(os);
+  for (const auto& sweep : sweeps) {
+    const double worst = sweep.points[sweep.worst_actual()].actual_s;
+    const double best = sweep.points[sweep.best_actual()].actual_s;
+    os << sweep.workload << ": worst/best distribution ratio = "
+       << fmt(worst / best, 2) << "x, model picks a distribution within "
+       << fmt_pct(sweep.points[sweep.best_predicted()].actual_s / best - 1.0)
+       << " of the true best\n";
+  }
+  os << '\n';
+}
+
+}  // namespace mheta::exp

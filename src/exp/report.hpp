@@ -1,0 +1,48 @@
+// Report formatting for the experiment binaries: turns sweep results into
+// the tables/series the paper's figures plot.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace mheta::exp {
+
+/// The canonical five-slot x-axis of Figures 9-11:
+/// Blk, I-C, I-C/Bal, Bal, Blk.
+inline constexpr std::array<const char*, 5> kAxisLabels = {
+    "Blk", "I-C", "I-C/Bal", "Bal", "Blk"};
+
+/// Maps an anchor point of a sweep onto the canonical axis slot; nullopt
+/// for interpolated (unlabeled) points.
+std::optional<std::size_t> axis_slot(const SweepResult& sweep,
+                                     std::size_t point_index);
+
+/// Min/avg/max percentage difference per axis slot, aggregated over many
+/// sweeps (the Figure 9 panels).
+struct AxisAggregate {
+  struct Slot {
+    double min = 0, avg = 0, max = 0;
+    int samples = 0;
+  };
+  std::array<Slot, 5> slots;
+
+  /// Overall average over every sample in every slot.
+  double overall_avg() const;
+};
+AxisAggregate aggregate_by_axis(const std::vector<SweepResult>& sweeps);
+
+/// Prints one Figure-9 style panel.
+void print_axis_panel(std::ostream& os, const std::string& title,
+                      const AxisAggregate& agg);
+
+/// Prints one Figure-10/11 style panel: predicted & actual per point for a
+/// set of sweeps sharing an architecture.
+void print_times_panel(std::ostream& os, const std::string& title,
+                       const std::vector<SweepResult>& sweeps);
+
+}  // namespace mheta::exp

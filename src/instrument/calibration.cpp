@@ -1,0 +1,145 @@
+#include "instrument/calibration.hpp"
+
+#include <string>
+
+#include "mpi/world.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::instrument {
+
+namespace {
+
+constexpr std::int64_t kDiskSmall = 64 << 10;
+constexpr std::int64_t kDiskLarge = 1 << 20;
+constexpr std::int64_t kNetSmall = 1 << 10;
+constexpr std::int64_t kNetLarge = 256 << 10;
+constexpr int kOsTag = 1000;
+constexpr int kOrTag = 2000;
+constexpr int kWireTag = 3000;
+
+/// Solves duration = seek + bytes * rate from two measurements.
+void solve_linear(double d1, std::int64_t s1, double d2, std::int64_t s2,
+                  double& seek, double& rate) {
+  const double ds = static_cast<double>(s2 - s1);
+  rate = (d2 - d1) / ds;
+  seek = d1 - static_cast<double>(s1) * rate;
+  if (seek < 0) seek = 0;  // noise can push the intercept slightly negative
+}
+
+struct WireSample {
+  double oneway_small_s = 0;
+  double oneway_large_s = 0;
+};
+
+sim::Process bench_rank(mpi::World& w, int rank, Calibration& out,
+                        WireSample& wire, Rng& noise_rng, double noise_rel) {
+  auto& eng = w.engine();
+  auto& me = out.nodes[static_cast<std::size_t>(rank)];
+  auto measure = [&](sim::Time t0) {
+    return sim::to_seconds(eng.now() - t0) * noise_rng.noise_factor(noise_rel);
+  };
+  const int n = w.size();
+
+  // --- disk: two cold reads and writes of different sizes ---------------
+  {
+    sim::Time t0 = eng.now();
+    co_await w.file_read(rank, "scratch_r1", 0, kDiskSmall);
+    const double d1 = measure(t0);
+    t0 = eng.now();
+    co_await w.file_read(rank, "scratch_r2", 0, kDiskLarge);
+    const double d2 = measure(t0);
+    solve_linear(d1, kDiskSmall, d2, kDiskLarge, me.read_seek_s,
+                 me.read_s_per_byte);
+
+    t0 = eng.now();
+    co_await w.file_write(rank, "scratch_w1", 0, kDiskSmall);
+    const double e1 = measure(t0);
+    t0 = eng.now();
+    co_await w.file_write(rank, "scratch_w2", 0, kDiskLarge);
+    const double e2 = measure(t0);
+    solve_linear(e1, kDiskSmall, e2, kDiskLarge, me.write_seek_s,
+                 me.write_s_per_byte);
+  }
+
+  if (n == 1) co_return;  // no network to measure
+
+  // Heterogeneous disks make ranks reach the network phases at very
+  // different times; synchronize between phases so blocking time is never
+  // mistaken for overhead.
+  co_await w.barrier(rank);
+
+  // --- o_s: timed zero-byte send to the next rank ------------------------
+  {
+    const sim::Time t0 = eng.now();
+    co_await w.send(rank, (rank + 1) % n, 0, kOsTag + rank);
+    me.send_overhead_s = measure(t0);
+    // Drain the incoming o_s probe.
+    const int prev = (rank + n - 1) % n;
+    (void)co_await w.recv(rank, prev, kOsTag + prev);
+  }
+
+  co_await w.barrier(rank);
+
+  // --- o_r: receive a message that has certainly already arrived ---------
+  {
+    const int prev = (rank + n - 1) % n;
+    co_await w.send(rank, (rank + 1) % n, 0, kOrTag + rank);
+    co_await eng.delay(sim::from_seconds(0.1));  // let it land
+    const sim::Time t0 = eng.now();
+    (void)co_await w.recv(rank, prev, kOrTag + prev);
+    me.recv_overhead_s = measure(t0);
+  }
+
+  co_await w.barrier(rank);
+
+  // --- wire latency / bandwidth: two one-way transfers 0 -> 1 ------------
+  if (rank == 0) {
+    co_await eng.delay(sim::from_seconds(0.05));  // rank 1 posts its recv
+    co_await w.send(0, 1, kNetSmall, kWireTag);
+    co_await eng.delay(sim::from_seconds(0.05));
+    co_await w.send(0, 1, kNetLarge, kWireTag);
+  } else if (rank == 1) {
+    const mpi::Msg m1 = co_await w.recv(1, 0, kWireTag);
+    wire.oneway_small_s =
+        sim::to_seconds(eng.now() - m1.sent_at) * noise_rng.noise_factor(noise_rel);
+    const mpi::Msg m2 = co_await w.recv(1, 0, kWireTag);
+    wire.oneway_large_s =
+        sim::to_seconds(eng.now() - m2.sent_at) * noise_rng.noise_factor(noise_rel);
+  }
+}
+
+}  // namespace
+
+Calibration calibrate(const cluster::ClusterConfig& config,
+                      const cluster::SimEffects& effects) {
+  sim::Engine eng;
+  mpi::World world(eng, config, effects);
+  Calibration cal;
+  cal.nodes.resize(static_cast<std::size_t>(config.size()));
+  WireSample wire;
+  std::vector<Rng> rngs;
+  for (int r = 0; r < config.size(); ++r)
+    rngs.emplace_back(effects.seed, 0x2000u + static_cast<std::uint64_t>(r));
+  for (int r = 0; r < config.size(); ++r) {
+    eng.spawn(bench_rank(world, r, cal, wire,
+                         rngs[static_cast<std::size_t>(r)],
+                         effects.instrumentation_noise_rel));
+  }
+  eng.run();
+
+  if (config.size() > 1) {
+    // one-way = latency + bytes * per_byte + o_r(rank 1).
+    const double orr = cal.nodes[1].recv_overhead_s;
+    double latency = 0, per_byte = 0;
+    solve_linear(wire.oneway_small_s - orr, kNetSmall,
+                 wire.oneway_large_s - orr, kNetLarge, latency, per_byte);
+    cal.network.latency_s = latency;
+    cal.network.s_per_byte = per_byte;
+  }
+  return cal;
+}
+
+}  // namespace mheta::instrument

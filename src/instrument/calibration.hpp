@@ -1,0 +1,42 @@
+// Micro-benchmarks (paper §4.1): measure the machine constants that do not
+// depend on the application — disk seek overheads, send/receive overheads,
+// and network latency/bandwidth. Run once per cluster in a scratch world so
+// the measurements never pollute the application's file caches.
+#pragma once
+
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "instrument/params.hpp"
+
+namespace mheta::instrument {
+
+/// Machine constants obtained by the micro-benchmarks.
+struct Calibration {
+  struct NodeConstants {
+    double read_seek_s = 0.0;
+    double write_seek_s = 0.0;
+    /// Raw disk transfer rates from the scratch-file probes (per byte).
+    double read_s_per_byte = 0.0;
+    double write_s_per_byte = 0.0;
+    double send_overhead_s = 0.0;
+    double recv_overhead_s = 0.0;
+  };
+  std::vector<NodeConstants> nodes;
+  NetworkParams network;
+};
+
+/// Runs the micro-benchmarks on the given cluster.
+///
+/// Disk: two cold reads (and writes) of different sizes per node solve the
+/// linear model duration = seek + bytes * rate for the seek overhead.
+/// Network: timed zero-byte sends give o_s per node; pre-arrived receives
+/// give o_r; two one-way transfers of different sizes from node 0 give the
+/// wire latency and per-byte time.
+///
+/// The measurements inherit `effects.instrumentation_noise_rel` jitter, like
+/// every other instrumented quantity.
+Calibration calibrate(const cluster::ClusterConfig& config,
+                      const cluster::SimEffects& effects);
+
+}  // namespace mheta::instrument

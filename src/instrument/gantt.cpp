@@ -1,0 +1,85 @@
+#include "instrument/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace mheta::instrument {
+
+char gantt_glyph(mpi::Op op) {
+  switch (op) {
+    case mpi::Op::kCompute:
+      return 'C';
+    case mpi::Op::kFileRead:
+      return 'R';
+    case mpi::Op::kFileWrite:
+      return 'W';
+    case mpi::Op::kFileIread:
+    case mpi::Op::kFileWait:
+      return 'P';
+    case mpi::Op::kSend:
+      return 's';
+    case mpi::Op::kRecv:
+      return 'r';
+    case mpi::Op::kAllreduce:
+      return 'a';
+    case mpi::Op::kAlltoall:
+      return 'x';
+    case mpi::Op::kBarrier:
+      return 'b';
+    default:
+      return '?';
+  }
+}
+
+void render_gantt(std::ostream& os, const TraceCollector& trace, int ranks,
+                  const GanttOptions& opts) {
+  MHETA_CHECK(ranks > 0 && opts.width > 0);
+  double t_begin = 0, t_end = 0;
+  bool first = true;
+  for (const auto& e : trace.events()) {
+    if (first) {
+      t_begin = e.begin_s;
+      t_end = e.end_s;
+      first = false;
+    } else {
+      t_begin = std::min(t_begin, e.begin_s);
+      t_end = std::max(t_end, e.end_s);
+    }
+  }
+  if (first || t_end <= t_begin) {
+    os << "(empty trace)\n";
+    return;
+  }
+  const double span = t_end - t_begin;
+  auto column = [&](double t) {
+    const int c = static_cast<int>((t - t_begin) / span * opts.width);
+    return std::clamp(c, 0, opts.width - 1);
+  };
+
+  for (int r = 0; r < ranks; ++r) {
+    std::string lane(static_cast<std::size_t>(opts.width), '.');
+    for (const auto& e : trace.rank_events(r)) {
+      const char glyph = gantt_glyph(e.op);
+      const int from = column(e.begin_s);
+      const int to = std::max(from, column(e.end_s) - (e.end_s < t_end ? 0 : 0));
+      for (int c = from; c <= to && c < opts.width; ++c) {
+        // Later ops overwrite idle dots but never erase compute with a
+        // zero-length marker; favor the longer-running glyph already there
+        // only if the cell is idle.
+        if (lane[static_cast<std::size_t>(c)] == '.' || c == from) {
+          lane[static_cast<std::size_t>(c)] = glyph;
+        }
+      }
+    }
+    os << "rank " << r << " |" << lane << "|\n";
+  }
+  if (opts.show_legend) {
+    os << "        C compute  R read  W write  P prefetch  s/r send/recv  "
+          "a allreduce  x alltoall  . idle\n";
+  }
+}
+
+}  // namespace mheta::instrument

@@ -1,0 +1,31 @@
+// ASCII Gantt rendering of operation traces: one lane per rank, glyphs per
+// operation class — makes pipeline wavefronts, I/O stalls and reduction
+// waits visible at a glance in a terminal.
+//
+//   rank 0 |CCCCCCCCRRRW....a|
+//   rank 1 |.rCCCCCCCCRRRW.a.|
+//
+//   C compute   R file read   W file write   P prefetch issue/wait
+//   s/r send/recv   a allreduce   x alltoall   . idle/blocked
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "instrument/trace.hpp"
+
+namespace mheta::instrument {
+
+struct GanttOptions {
+  int width = 100;        ///< columns of the time axis
+  bool show_legend = true;
+};
+
+/// Renders the trace as an ASCII Gantt chart (one line per rank).
+void render_gantt(std::ostream& os, const TraceCollector& trace, int ranks,
+                  const GanttOptions& opts = {});
+
+/// The glyph used for an operation class (exposed for tests).
+char gantt_glyph(mpi::Op op);
+
+}  // namespace mheta::instrument

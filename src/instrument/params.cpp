@@ -1,0 +1,143 @@
+#include "instrument/params.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta::instrument {
+
+namespace {
+constexpr const char* kMagic = "MHETA-PARAMS v1";
+}
+
+void MhetaParams::save(std::ostream& os) const {
+  os << kMagic << '\n';
+  os << std::setprecision(17);
+  os << "nodes " << nodes.size() << '\n';
+  os << "network " << network.latency_s << ' ' << network.s_per_byte << '\n';
+  os << "dist";
+  for (int i = 0; i < instrumented_dist.nodes(); ++i)
+    os << ' ' << instrumented_dist.count(i);
+  os << '\n';
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const NodeParams& np = nodes[n];
+    os << "node " << n << ' ' << np.read_seek_s << ' ' << np.write_seek_s
+       << ' ' << np.disk_read_s_per_byte << ' ' << np.disk_write_s_per_byte
+       << ' ' << np.send_overhead_s << ' ' << np.recv_overhead_s << '\n';
+    for (const auto& [key, sc] : np.stages) {
+      os << "stage " << key.first << ' ' << key.second << ' ' << sc.compute_s
+         << ' ' << sc.overlap_s << ' ' << sc.vars.size() << '\n';
+      for (const auto& [var, io] : sc.vars) {
+        os << "var " << var << ' ' << io.read_s_per_byte << ' '
+           << io.write_s_per_byte << '\n';
+      }
+    }
+    for (const auto& [section, comm] : np.comm) {
+      os << "comm " << section << ' ' << comm.tiles << ' '
+         << (comm.has_reduction ? 1 : 0) << ' ' << comm.reduce_bytes << ' '
+         << comm.sends.size() << ' ' << comm.recvs.size() << '\n';
+      for (const auto& m : comm.sends)
+        os << "send " << m.peer << ' ' << m.bytes << '\n';
+      for (const auto& m : comm.recvs)
+        os << "recv " << m.peer << ' ' << m.bytes << '\n';
+    }
+    os << "endnode\n";
+  }
+}
+
+MhetaParams MhetaParams::load(std::istream& is) {
+  MhetaParams p;
+  std::string line;
+  MHETA_CHECK(std::getline(is, line));
+  MHETA_CHECK_MSG(line == kMagic, "bad params header: " << line);
+
+  auto next_line = [&](const char* expect_kw) -> std::istringstream {
+    MHETA_CHECK_MSG(std::getline(is, line), "unexpected EOF reading params");
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    MHETA_CHECK_MSG(kw == expect_kw,
+                    "expected '" << expect_kw << "', got '" << kw << "'");
+    return ls;
+  };
+
+  std::size_t node_count = 0;
+  {
+    auto ls = next_line("nodes");
+    ls >> node_count;
+  }
+  {
+    auto ls = next_line("network");
+    ls >> p.network.latency_s >> p.network.s_per_byte;
+  }
+  {
+    auto ls = next_line("dist");
+    std::vector<std::int64_t> counts;
+    std::int64_t c;
+    while (ls >> c) counts.push_back(c);
+    MHETA_CHECK(counts.size() == node_count);
+    p.instrumented_dist = dist::GenBlock(std::move(counts));
+  }
+  p.nodes.resize(node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    NodeParams& np = p.nodes[n];
+    {
+      auto ls = next_line("node");
+      std::size_t id;
+      ls >> id >> np.read_seek_s >> np.write_seek_s >>
+          np.disk_read_s_per_byte >> np.disk_write_s_per_byte >>
+          np.send_overhead_s >> np.recv_overhead_s;
+      MHETA_CHECK(id == n);
+    }
+    // Stage / comm lines until "endnode".
+    while (true) {
+      MHETA_CHECK_MSG(std::getline(is, line), "unexpected EOF in node block");
+      std::istringstream ls(line);
+      std::string kw;
+      ls >> kw;
+      if (kw == "endnode") break;
+      if (kw == "stage") {
+        int section, stage;
+        std::size_t var_count;
+        StageCosts sc;
+        ls >> section >> stage >> sc.compute_s >> sc.overlap_s >> var_count;
+        for (std::size_t v = 0; v < var_count; ++v) {
+          auto vls = next_line("var");
+          std::string name;
+          VarIo io;
+          vls >> name >> io.read_s_per_byte >> io.write_s_per_byte;
+          sc.vars.emplace(std::move(name), io);
+        }
+        np.stages.emplace(std::make_pair(section, stage), std::move(sc));
+      } else if (kw == "comm") {
+        int section, reduction;
+        SectionComm comm;
+        std::size_t send_count, recv_count;
+        ls >> section >> comm.tiles >> reduction >> comm.reduce_bytes >>
+            send_count >> recv_count;
+        comm.has_reduction = reduction != 0;
+        for (std::size_t m = 0; m < send_count; ++m) {
+          auto mls = next_line("send");
+          MessageRecord rec;
+          mls >> rec.peer >> rec.bytes;
+          comm.sends.push_back(rec);
+        }
+        for (std::size_t m = 0; m < recv_count; ++m) {
+          auto mls = next_line("recv");
+          MessageRecord rec;
+          mls >> rec.peer >> rec.bytes;
+          comm.recvs.push_back(rec);
+        }
+        np.comm.emplace(section, std::move(comm));
+      } else {
+        MHETA_CHECK_MSG(false, "unknown keyword in params: " << kw);
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace mheta::instrument

@@ -1,0 +1,100 @@
+// MhetaParams: the "internal MHETA file" (paper §4.1.1).
+//
+// Everything the model knows about an application/machine pair, harvested
+// from micro-benchmarks plus one instrumented iteration:
+//   - per-node disk seek overheads (O_r, O_w) and effective send/recv
+//     overheads (o_s, o_r)                        [micro-benchmarks]
+//   - network latency and per-byte transfer time  [micro-benchmarks]
+//   - per-(section,stage) computation time and per-variable
+//     read/write latencies per byte               [instrumented iteration]
+//   - observed communication (messages, reductions) per section
+//   - the distribution used during the instrumented run (defines W).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/genblock.hpp"
+
+namespace mheta::instrument {
+
+/// Per-variable measured disk latencies (r(v) and w(v), per byte).
+struct VarIo {
+  double read_s_per_byte = 0.0;
+  double write_s_per_byte = 0.0;
+};
+
+/// Costs of one stage on one node, summed over the tiles of its section.
+struct StageCosts {
+  /// Computation time (stage duration minus I/O), seconds.
+  double compute_s = 0.0;
+  /// Measured overlap-compute time under the prefetch transform, seconds
+  /// (diagnostic; the model re-derives overlap from compute_s).
+  double overlap_s = 0.0;
+  /// Per-variable latencies observed inside this stage.
+  std::map<std::string, VarIo> vars;
+};
+
+/// A point-to-point message observed at a section/tile boundary.
+struct MessageRecord {
+  int peer = -1;
+  std::int64_t bytes = 0;
+};
+
+/// Communication observed in one section on one node.
+struct SectionComm {
+  std::vector<MessageRecord> sends;
+  std::vector<MessageRecord> recvs;
+  int tiles = 1;  ///< tiles executed in this section (>= 1)
+  bool has_reduction = false;
+  std::int64_t reduce_bytes = 0;
+};
+
+/// Everything measured on one node.
+struct NodeParams {
+  double read_seek_s = 0.0;       ///< O_r
+  double write_seek_s = 0.0;      ///< O_w
+  /// Raw disk rates from the micro-benchmarks (per byte); used by the
+  /// redistribution-cost extension for data outside any measured stage.
+  double disk_read_s_per_byte = 0.0;
+  double disk_write_s_per_byte = 0.0;
+  double send_overhead_s = 0.0;   ///< o_s (effective, after CPU scaling)
+  double recv_overhead_s = 0.0;   ///< o_r
+
+  /// Keyed by (section, stage).
+  std::map<std::pair<int, int>, StageCosts> stages;
+
+  /// Keyed by section.
+  std::map<int, SectionComm> comm;
+};
+
+/// Network constants shared by all nodes.
+struct NetworkParams {
+  double latency_s = 0.0;
+  double s_per_byte = 0.0;
+
+  double transfer_s(std::int64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) * s_per_byte;
+  }
+};
+
+/// The complete parameter set handed to the model.
+struct MhetaParams {
+  std::vector<NodeParams> nodes;
+  NetworkParams network;
+  /// Distribution active during the instrumented iteration; W on node i is
+  /// instrumented_dist.count(i).
+  dist::GenBlock instrumented_dist;
+
+  int node_count() const { return static_cast<int>(nodes.size()); }
+
+  /// Text serialization (stable, line-oriented; round-trips exactly enough
+  /// for prediction purposes).
+  void save(std::ostream& os) const;
+  static MhetaParams load(std::istream& is);
+};
+
+}  // namespace mheta::instrument

@@ -1,0 +1,184 @@
+#include "instrument/recorder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mheta::instrument {
+
+CostRecorder::CostRecorder(mpi::World& world, Calibration calibration)
+    : world_(world), cal_(std::move(calibration)) {
+  MHETA_CHECK(static_cast<int>(cal_.nodes.size()) == world_.size());
+  ranks_.resize(static_cast<std::size_t>(world_.size()));
+  for (int r = 0; r < world_.size(); ++r)
+    noise_.emplace_back(world_.effects().seed,
+                        0x3000u + static_cast<std::uint64_t>(r));
+}
+
+void CostRecorder::install() {
+  world_.hooks().add_pre([this](const mpi::HookInfo& i) { on_pre(i); });
+  world_.hooks().add_post([this](const mpi::HookInfo& i) { on_post(i); });
+}
+
+double CostRecorder::noisy(int rank, double seconds) {
+  return seconds * noise_[static_cast<std::size_t>(rank)].noise_factor(
+                       world_.effects().instrumentation_noise_rel);
+}
+
+void CostRecorder::on_pre(const mpi::HookInfo& info) {
+  RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
+  switch (info.op) {
+    case mpi::Op::kStageBegin:
+      rs.in_stage = true;
+      rs.stage_start = info.now;
+      rs.stage_io_s = 0;
+      rs.stage_compute_s = 0;
+      break;
+    case mpi::Op::kTileBegin: {
+      // Count tiles per section: tile ids are 0-based per section.
+      SectionComm& comm = rs.comm[info.section];
+      comm.tiles = std::max(comm.tiles, info.tile + 1);
+      break;
+    }
+    default:
+      rs.pending[info.op] = info.now;
+      break;
+  }
+}
+
+void CostRecorder::on_post(const mpi::HookInfo& info) {
+  RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
+  const auto rank = info.rank;
+  auto pending_duration = [&]() -> double {
+    const auto it = rs.pending.find(info.op);
+    MHETA_CHECK_MSG(it != rs.pending.end(),
+                    "post without pre for op " << to_string(info.op));
+    const double d = sim::to_seconds(info.now - it->second);
+    rs.pending.erase(it);
+    return d;
+  };
+  const auto stage_key = std::make_pair(info.section, info.stage);
+
+  switch (info.op) {
+    case mpi::Op::kCompute: {
+      const double d = pending_duration();
+      rs.stage_compute_s += d;
+      if (rs.prefetches_in_flight > 0 && rs.in_stage) {
+        rs.stages[stage_key].overlap_s += noisy(rank, d);
+      }
+      break;
+    }
+    case mpi::Op::kFileRead:
+    case mpi::Op::kFileIread: {
+      // Under the Figure-5 transform an iread behaves exactly like a
+      // synchronous read, so both are attributed identically.
+      const double d = pending_duration();
+      const double noisy_d = noisy(rank, d);
+      if (rs.in_stage) rs.stage_io_s += noisy_d;
+      if (info.stage >= 0 && !info.var.empty()) {
+        VarAccum& va = rs.stages[stage_key].vars[info.var];
+        const double lat = std::max(
+            0.0, noisy_d - cal_.nodes[static_cast<std::size_t>(rank)].read_seek_s);
+        va.read_latency_s += lat;
+        va.read_bytes += info.bytes;
+      }
+      if (info.op == mpi::Op::kFileIread) rs.prefetches_in_flight++;
+      break;
+    }
+    case mpi::Op::kFileWait: {
+      const double d = pending_duration();
+      if (rs.in_stage) rs.stage_io_s += noisy(rank, d);
+      rs.prefetches_in_flight = std::max(0, rs.prefetches_in_flight - 1);
+      break;
+    }
+    case mpi::Op::kFileWrite: {
+      const double d = pending_duration();
+      const double noisy_d = noisy(rank, d);
+      if (rs.in_stage) rs.stage_io_s += noisy_d;
+      if (info.stage >= 0 && !info.var.empty()) {
+        VarAccum& va = rs.stages[stage_key].vars[info.var];
+        const double lat = std::max(
+            0.0,
+            noisy_d - cal_.nodes[static_cast<std::size_t>(rank)].write_seek_s);
+        va.write_latency_s += lat;
+        va.write_bytes += info.bytes;
+      }
+      break;
+    }
+    case mpi::Op::kStageEnd: {
+      MHETA_CHECK(rs.in_stage);
+      rs.in_stage = false;
+      const double dur = noisy(rank, sim::to_seconds(info.now - rs.stage_start));
+      // Computation = stage duration minus the I/O inside it (paper
+      // §4.1.1); clamped because jitter can make the difference negative
+      // in nearly I/O-only stages.
+      rs.stages[stage_key].compute_s += std::max(0.0, dur - rs.stage_io_s);
+      break;
+    }
+    case mpi::Op::kSend: {
+      (void)pending_duration();
+      if (info.section >= 0) {
+        rs.comm[info.section].sends.push_back({info.peer, info.bytes});
+      }
+      break;
+    }
+    case mpi::Op::kRecv: {
+      (void)pending_duration();
+      if (info.section >= 0) {
+        rs.comm[info.section].recvs.push_back({info.peer, info.bytes});
+      }
+      break;
+    }
+    case mpi::Op::kAllreduce: {
+      (void)pending_duration();
+      if (info.section >= 0) {
+        SectionComm& comm = rs.comm[info.section];
+        comm.has_reduction = true;
+        comm.reduce_bytes = info.bytes;
+      }
+      break;
+    }
+    case mpi::Op::kBarrier:
+      (void)pending_duration();
+      break;
+    default:
+      break;
+  }
+}
+
+MhetaParams CostRecorder::finalize(const dist::GenBlock& instrumented_dist) const {
+  MhetaParams p;
+  p.instrumented_dist = instrumented_dist;
+  p.network = cal_.network;
+  p.nodes.resize(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    NodeParams& np = p.nodes[r];
+    const auto& c = cal_.nodes[r];
+    np.read_seek_s = c.read_seek_s;
+    np.write_seek_s = c.write_seek_s;
+    np.disk_read_s_per_byte = c.read_s_per_byte;
+    np.disk_write_s_per_byte = c.write_s_per_byte;
+    np.send_overhead_s = c.send_overhead_s;
+    np.recv_overhead_s = c.recv_overhead_s;
+    for (const auto& [key, acc] : ranks_[r].stages) {
+      StageCosts sc;
+      sc.compute_s = acc.compute_s;
+      sc.overlap_s = acc.overlap_s;
+      for (const auto& [var, va] : acc.vars) {
+        VarIo io;
+        if (va.read_bytes > 0)
+          io.read_s_per_byte =
+              va.read_latency_s / static_cast<double>(va.read_bytes);
+        if (va.write_bytes > 0)
+          io.write_s_per_byte =
+              va.write_latency_s / static_cast<double>(va.write_bytes);
+        sc.vars.emplace(var, io);
+      }
+      np.stages.emplace(key, std::move(sc));
+    }
+    np.comm = ranks_[r].comm;
+  }
+  return p;
+}
+
+}  // namespace mheta::instrument

@@ -1,0 +1,70 @@
+// The cost recorder: turns one instrumented iteration into MhetaParams.
+//
+// Installed as pre/post hooks on a World (the MPI-Jack mechanism, paper
+// Figure 3). It times every operation, attributes I/O latencies to
+// (section, stage, variable), derives per-stage computation as stage
+// duration minus the I/O inside it, and logs communication participants per
+// section. Measurement jitter (SimEffects::instrumentation_noise_rel) is
+// applied to each sample, emulating timer perturbation on a real machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instrument/calibration.hpp"
+#include "instrument/params.hpp"
+#include "mpi/world.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::instrument {
+
+/// Records costs from hook events; one instance per instrumented run.
+class CostRecorder {
+ public:
+  /// The recorder needs the calibration for the disk seek overheads it
+  /// subtracts from measured I/O durations.
+  CostRecorder(mpi::World& world, Calibration calibration);
+
+  /// Installs the pre/post hooks. Call once before the run.
+  void install();
+
+  /// Builds the parameter file after the instrumented iteration. The
+  /// distribution in force during the run defines W per node.
+  MhetaParams finalize(const dist::GenBlock& instrumented_dist) const;
+
+ private:
+  struct VarAccum {
+    std::int64_t read_bytes = 0;
+    double read_latency_s = 0;
+    std::int64_t write_bytes = 0;
+    double write_latency_s = 0;
+  };
+  struct StageAccum {
+    double compute_s = 0;
+    double overlap_s = 0;
+    std::map<std::string, VarAccum> vars;
+  };
+  struct RankState {
+    std::map<mpi::Op, sim::Time> pending;  ///< pre-hook timestamps
+    sim::Time stage_start = 0;
+    bool in_stage = false;
+    double stage_io_s = 0;      ///< I/O time inside the current stage
+    double stage_compute_s = 0; ///< compute bursts inside the current stage
+    int prefetches_in_flight = 0;
+    std::map<std::pair<int, int>, StageAccum> stages;
+    std::map<int, SectionComm> comm;
+  };
+
+  void on_pre(const mpi::HookInfo& info);
+  void on_post(const mpi::HookInfo& info);
+  double noisy(int rank, double seconds);
+
+  mpi::World& world_;
+  Calibration cal_;
+  std::vector<RankState> ranks_;
+  std::vector<Rng> noise_;
+};
+
+}  // namespace mheta::instrument

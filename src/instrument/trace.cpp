@@ -1,0 +1,86 @@
+#include "instrument/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/time.hpp"
+
+namespace mheta::instrument {
+
+namespace {
+/// Marker ops have no duration and are not traced as intervals.
+bool is_marker(mpi::Op op) {
+  switch (op) {
+    case mpi::Op::kSectionBegin:
+    case mpi::Op::kSectionEnd:
+    case mpi::Op::kTileBegin:
+    case mpi::Op::kTileEnd:
+    case mpi::Op::kStageBegin:
+    case mpi::Op::kStageEnd:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+TraceCollector::TraceCollector(mpi::World& world) : world_(world) {}
+
+void TraceCollector::install() {
+  world_.hooks().add_pre([this](const mpi::HookInfo& i) { on_pre(i); });
+  world_.hooks().add_post([this](const mpi::HookInfo& i) { on_post(i); });
+}
+
+void TraceCollector::on_pre(const mpi::HookInfo& info) {
+  if (is_marker(info.op)) return;
+  pending_[{info.rank, info.op}] = info;
+}
+
+void TraceCollector::on_post(const mpi::HookInfo& info) {
+  if (is_marker(info.op)) return;
+  const auto it = pending_.find({info.rank, info.op});
+  if (it == pending_.end()) return;  // post without pre (collective inner)
+  const mpi::HookInfo& pre = it->second;
+  TraceEvent ev;
+  ev.rank = info.rank;
+  ev.op = info.op;
+  ev.var = info.var;
+  ev.bytes = info.bytes;
+  ev.peer = info.peer;
+  ev.section = pre.section;
+  ev.tile = pre.tile;
+  ev.stage = pre.stage;
+  ev.begin_s = sim::to_seconds(pre.now);
+  ev.end_s = sim::to_seconds(info.now);
+  events_.push_back(std::move(ev));
+  pending_.erase(it);
+}
+
+std::vector<TraceEvent> TraceCollector::rank_events(int rank) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.rank == rank) out.push_back(e);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.begin_s < b.begin_s;
+                   });
+  return out;
+}
+
+double TraceCollector::total_in(int rank, mpi::Op op) const {
+  double total = 0;
+  for (const auto& e : events_)
+    if (e.rank == rank && e.op == op) total += e.duration_s();
+  return total;
+}
+
+void TraceCollector::write_csv(std::ostream& os) const {
+  os << "rank,op,var,bytes,peer,section,tile,stage,begin_s,end_s\n";
+  for (const auto& e : events_) {
+    os << e.rank << ',' << mpi::to_string(e.op) << ',' << e.var << ','
+       << e.bytes << ',' << e.peer << ',' << e.section << ',' << e.tile << ','
+       << e.stage << ',' << e.begin_s << ',' << e.end_s << '\n';
+  }
+}
+
+}  // namespace mheta::instrument

@@ -1,0 +1,64 @@
+// Operation-interval tracing.
+//
+// A TraceCollector installs hooks like the recorder but keeps the full
+// per-rank timeline of operations (begin/end per op) instead of aggregates —
+// useful for debugging runs, for visualizing pipeline wavefronts, and for
+// tests that assert on execution shape. Dumps as CSV
+// (rank,op,var,section,tile,stage,begin_s,end_s).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/world.hpp"
+
+namespace mheta::instrument {
+
+/// One completed operation interval.
+struct TraceEvent {
+  int rank = 0;
+  mpi::Op op = mpi::Op::kCompute;
+  std::string var;
+  std::int64_t bytes = 0;
+  int peer = -1;
+  int section = -1;
+  int tile = -1;
+  int stage = -1;
+  double begin_s = 0;
+  double end_s = 0;
+
+  double duration_s() const { return end_s - begin_s; }
+};
+
+/// Collects operation intervals from a World's hooks.
+class TraceCollector {
+ public:
+  explicit TraceCollector(mpi::World& world);
+
+  /// Installs the hooks; call once before the run.
+  void install();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events of one rank, in time order.
+  std::vector<TraceEvent> rank_events(int rank) const;
+
+  /// Total time rank spent in an operation kind.
+  double total_in(int rank, mpi::Op op) const;
+
+  /// CSV dump.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void on_pre(const mpi::HookInfo& info);
+  void on_post(const mpi::HookInfo& info);
+
+  mpi::World& world_;
+  std::map<std::pair<int, mpi::Op>, mpi::HookInfo> pending_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mheta::instrument

@@ -1,0 +1,40 @@
+#include "kernels/cg.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mheta::kernels {
+
+CgResult cg_solve(const CsrMatrix& a, const std::vector<double>& b, double tol,
+                  int max_iterations) {
+  MHETA_CHECK(static_cast<std::int64_t>(b.size()) == a.n);
+  CgResult result;
+  result.x.assign(b.size(), 0.0);
+
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> p = r;
+  std::vector<double> ap(b.size());
+  double rr = dot(r, r);
+  const double stop = tol * norm2(b);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    if (std::sqrt(rr) <= stop) {
+      result.converged = true;
+      break;
+    }
+    spmv(a, p, ap);
+    const double alpha = rr / dot(p, ap);
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    const double rr_new = dot(r, r);
+    xpby(r, rr_new / rr, p);  // p = r + beta p
+    rr = rr_new;
+    result.iterations = it + 1;
+  }
+  result.residual = std::sqrt(rr);
+  if (std::sqrt(rr) <= stop) result.converged = true;
+  return result;
+}
+
+}  // namespace mheta::kernels

@@ -1,0 +1,23 @@
+// Conjugate Gradient solver for SPD systems (the numerical counterpart of
+// the CG benchmark).
+#pragma once
+
+#include <vector>
+
+#include "kernels/sparse.hpp"
+
+namespace mheta::kernels {
+
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for SPD A. Stops when ||r|| <= tol * ||b|| or after
+/// max_iterations.
+CgResult cg_solve(const CsrMatrix& a, const std::vector<double>& b,
+                  double tol = 1e-8, int max_iterations = 1000);
+
+}  // namespace mheta::kernels

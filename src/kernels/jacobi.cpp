@@ -1,0 +1,55 @@
+#include "kernels/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mheta::kernels {
+
+Grid2D Grid2D::dirichlet(std::int64_t rows, std::int64_t cols,
+                         double boundary) {
+  MHETA_CHECK(rows >= 2 && cols >= 2);
+  Grid2D g;
+  g.rows = rows;
+  g.cols = cols;
+  g.data.assign(static_cast<std::size_t>(rows * cols), 0.0);
+  for (std::int64_t c = 0; c < cols; ++c) {
+    g.at(0, c) = boundary;
+    g.at(rows - 1, c) = boundary;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    g.at(r, 0) = boundary;
+    g.at(r, cols - 1) = boundary;
+  }
+  return g;
+}
+
+double jacobi_sweep(const Grid2D& src, Grid2D& dst) {
+  MHETA_CHECK(src.rows == dst.rows && src.cols == dst.cols);
+  double max_delta = 0.0;
+  for (std::int64_t r = 1; r < src.rows - 1; ++r) {
+    for (std::int64_t c = 1; c < src.cols - 1; ++c) {
+      const double v = 0.25 * (src.at(r - 1, c) + src.at(r + 1, c) +
+                               src.at(r, c - 1) + src.at(r, c + 1));
+      max_delta = std::max(max_delta, std::abs(v - src.at(r, c)));
+      dst.at(r, c) = v;
+    }
+  }
+  return max_delta;
+}
+
+JacobiResult jacobi_solve(Grid2D initial, double tol, int max_iterations) {
+  JacobiResult result;
+  Grid2D next = initial;
+  for (int it = 0; it < max_iterations; ++it) {
+    result.last_delta = jacobi_sweep(initial, next);
+    std::swap(initial, next);
+    result.iterations = it + 1;
+    if (result.last_delta < tol) break;
+  }
+  result.grid = std::move(initial);
+  return result;
+}
+
+}  // namespace mheta::kernels

@@ -1,0 +1,42 @@
+// Jacobi relaxation on a 2-D Laplace problem (the numerical counterpart of
+// the Jacobi benchmark).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mheta::kernels {
+
+/// A dense 2-D grid with Dirichlet boundary values.
+struct Grid2D {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<double> data;  ///< row-major, size rows*cols
+
+  double& at(std::int64_t r, std::int64_t c) {
+    return data[static_cast<std::size_t>(r * cols + c)];
+  }
+  double at(std::int64_t r, std::int64_t c) const {
+    return data[static_cast<std::size_t>(r * cols + c)];
+  }
+
+  /// Interior zero, boundaries set to `boundary`.
+  static Grid2D dirichlet(std::int64_t rows, std::int64_t cols,
+                          double boundary);
+};
+
+/// One Jacobi sweep over the interior: dst = average of src's neighbors.
+/// Returns the max absolute change (the convergence measure reduced across
+/// nodes in the parallel version).
+double jacobi_sweep(const Grid2D& src, Grid2D& dst);
+
+struct JacobiResult {
+  Grid2D grid;
+  int iterations = 0;
+  double last_delta = 0.0;
+};
+
+/// Iterates until the max change drops below `tol` or `max_iterations`.
+JacobiResult jacobi_solve(Grid2D initial, double tol, int max_iterations);
+
+}  // namespace mheta::kernels

@@ -1,0 +1,97 @@
+#include "kernels/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::kernels {
+
+LanczosTridiag lanczos_tridiagonalize(const CsrMatrix& a, int k,
+                                      std::uint64_t seed) {
+  MHETA_CHECK(k >= 1 && k <= a.n);
+  const auto n = static_cast<std::size_t>(a.n);
+  LanczosTridiag t;
+
+  Rng rng(seed, 0x1A2Cu);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  const double nv = norm2(v);
+  for (auto& x : v) x /= nv;
+
+  std::vector<std::vector<double>> basis;  // for reorthogonalization
+  std::vector<double> v_prev(n, 0.0), w(n);
+  double beta_prev = 0.0;
+
+  for (int j = 0; j < k; ++j) {
+    spmv(a, v, w);
+    const double alpha = dot(w, v);
+    t.alpha.push_back(alpha);
+    if (j + 1 == k) break;
+    axpy(-alpha, v, w);
+    axpy(-beta_prev, v_prev, w);
+    basis.push_back(v);
+    // Full reorthogonalization (twice is enough).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& q : basis) axpy(-dot(w, q), q, w);
+    }
+    const double beta = norm2(w);
+    MHETA_CHECK_MSG(beta > 1e-14, "Lanczos breakdown at step " << j);
+    t.beta.push_back(beta);
+    v_prev = v;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / beta;
+    beta_prev = beta;
+  }
+  return t;
+}
+
+namespace {
+/// Number of eigenvalues of the tridiagonal matrix strictly less than x
+/// (Sturm sequence count).
+int sturm_count(const LanczosTridiag& t, double x) {
+  int count = 0;
+  double d = 1.0;
+  const std::size_t k = t.alpha.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const double beta2 =
+        i == 0 ? 0.0 : t.beta[i - 1] * t.beta[i - 1];
+    d = t.alpha[i] - x - beta2 / (d == 0.0 ? 1e-300 : d);
+    if (d < 0) ++count;
+  }
+  return count;
+}
+
+double bisect_eigen(const LanczosTridiag& t, int index, double lo, double hi,
+                    double tol) {
+  // Finds the (index+1)-th smallest eigenvalue.
+  while (hi - lo > tol * std::max(1.0, std::abs(hi) + std::abs(lo))) {
+    const double mid = 0.5 * (lo + hi);
+    if (sturm_count(t, mid) > index)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+}  // namespace
+
+EigenExtremes tridiag_eigen_extremes(const LanczosTridiag& t, double tol) {
+  MHETA_CHECK(!t.alpha.empty());
+  // Gershgorin bounds.
+  double lo = t.alpha[0], hi = t.alpha[0];
+  const std::size_t k = t.alpha.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    double radius = 0.0;
+    if (i > 0) radius += std::abs(t.beta[i - 1]);
+    if (i + 1 < k) radius += std::abs(t.beta[i]);
+    lo = std::min(lo, t.alpha[i] - radius);
+    hi = std::max(hi, t.alpha[i] + radius);
+  }
+  EigenExtremes e;
+  e.smallest = bisect_eigen(t, 0, lo, hi, tol);
+  e.largest = bisect_eigen(t, static_cast<int>(k) - 1, lo, hi, tol);
+  return e;
+}
+
+}  // namespace mheta::kernels

@@ -1,0 +1,34 @@
+// Lanczos tridiagonalization and extreme-eigenvalue estimation (the
+// numerical counterpart of the Lanczos benchmark: solving G x = b via the
+// three-term recurrence on a symmetric positive-definite matrix).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/sparse.hpp"
+
+namespace mheta::kernels {
+
+/// Output of k Lanczos steps: the tridiagonal coefficients.
+struct LanczosTridiag {
+  std::vector<double> alpha;  ///< diagonal, size k
+  std::vector<double> beta;   ///< off-diagonal, size k-1
+};
+
+/// Runs k steps of the Lanczos recurrence on SPD matrix A with full
+/// reorthogonalization (small k, so the cost is acceptable and the
+/// estimates are robust).
+LanczosTridiag lanczos_tridiagonalize(const CsrMatrix& a, int k,
+                                      std::uint64_t seed = 1);
+
+/// Extreme eigenvalues of a symmetric tridiagonal matrix via bisection with
+/// Sturm-sequence counts.
+struct EigenExtremes {
+  double smallest = 0;
+  double largest = 0;
+};
+EigenExtremes tridiag_eigen_extremes(const LanczosTridiag& t,
+                                     double tol = 1e-10);
+
+}  // namespace mheta::kernels

@@ -1,0 +1,123 @@
+#include "kernels/multigrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mheta::kernels {
+
+namespace {
+
+double h_of(std::size_t n) { return 1.0 / static_cast<double>(n + 1); }
+
+void smooth(std::vector<double>& u, const std::vector<double>& f, double omega,
+            int sweeps) {
+  const std::size_t n = u.size();
+  const double h2 = h_of(n) * h_of(n);
+  std::vector<double> next(n);
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double left = i > 0 ? u[i - 1] : 0.0;
+      const double right = i + 1 < n ? u[i + 1] : 0.0;
+      const double jac = 0.5 * (left + right + h2 * f[i]);
+      next[i] = u[i] + omega * (jac - u[i]);
+    }
+    u.swap(next);
+  }
+}
+
+std::vector<double> residual(const std::vector<double>& u,
+                             const std::vector<double>& f) {
+  const std::size_t n = u.size();
+  const double inv_h2 = 1.0 / (h_of(n) * h_of(n));
+  std::vector<double> r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double left = i > 0 ? u[i - 1] : 0.0;
+    const double right = i + 1 < n ? u[i + 1] : 0.0;
+    r[i] = f[i] - inv_h2 * (2.0 * u[i] - left - right);
+  }
+  return r;
+}
+
+std::vector<double> restrict_full(const std::vector<double>& fine) {
+  // Full-weighting restriction to the (n-1)/2 coarse grid.
+  const std::size_t nc = (fine.size() - 1) / 2;
+  std::vector<double> coarse(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const std::size_t fi = 2 * i + 1;
+    coarse[i] = 0.25 * (fine[fi - 1] + 2.0 * fine[fi] + fine[fi + 1]);
+  }
+  return coarse;
+}
+
+std::vector<double> prolong(const std::vector<double>& coarse,
+                            std::size_t nf) {
+  std::vector<double> fine(nf, 0.0);
+  const std::size_t nc = coarse.size();
+  for (std::size_t i = 0; i < nc; ++i) {
+    const std::size_t fi = 2 * i + 1;
+    fine[fi] += coarse[i];
+    fine[fi - 1] += 0.5 * coarse[i];
+    if (fi + 1 < nf) fine[fi + 1] += 0.5 * coarse[i];
+  }
+  return fine;
+}
+
+void solve_direct(std::vector<double>& u, const std::vector<double>& f) {
+  // Thomas algorithm for the small coarse system (1/h^2)(-u_{i-1}+2u_i-u_{i+1}) = f_i.
+  const std::size_t n = u.size();
+  const double h2 = h_of(n) * h_of(n);
+  std::vector<double> c(n, 0.0), d(n, 0.0);
+  double b = 2.0;
+  c[0] = -1.0 / b;
+  d[0] = h2 * f[0] / b;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = 2.0 + c[i - 1];
+    c[i] = -1.0 / m;
+    d[i] = (h2 * f[i] + d[i - 1]) / m;
+  }
+  u[n - 1] = d[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) u[i] = d[i] - c[i] * u[i + 1];
+}
+
+}  // namespace
+
+void v_cycle(std::vector<double>& u, const std::vector<double>& f,
+             const MultigridOptions& opts) {
+  MHETA_CHECK(u.size() == f.size());
+  if (static_cast<int>(u.size()) <= opts.coarse_size) {
+    solve_direct(u, f);
+    return;
+  }
+  smooth(u, f, opts.omega, opts.pre_smooth);
+  const auto r = residual(u, f);
+  const auto rc = restrict_full(r);
+  std::vector<double> ec(rc.size(), 0.0);
+  v_cycle(ec, rc, opts);
+  const auto ef = prolong(ec, u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] += ef[i];
+  smooth(u, f, opts.omega, opts.post_smooth);
+}
+
+double poisson_residual(const std::vector<double>& u,
+                        const std::vector<double>& f) {
+  double m = 0.0;
+  for (double v : residual(u, f)) m = std::max(m, std::abs(v));
+  return m;
+}
+
+MultigridResult multigrid_solve(const std::vector<double>& f, double tol,
+                                int max_cycles, const MultigridOptions& opts) {
+  MultigridResult result;
+  result.u.assign(f.size(), 0.0);
+  for (int c = 0; c < max_cycles; ++c) {
+    v_cycle(result.u, f, opts);
+    result.cycles = c + 1;
+    result.residual = poisson_residual(result.u, f);
+    if (result.residual < tol) break;
+  }
+  return result;
+}
+
+}  // namespace mheta::kernels

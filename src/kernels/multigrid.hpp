@@ -1,0 +1,37 @@
+// Geometric multigrid for the 1-D Poisson problem (the numerical
+// counterpart of the Multigrid extension benchmark).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mheta::kernels {
+
+struct MultigridOptions {
+  int pre_smooth = 2;
+  int post_smooth = 2;
+  double omega = 2.0 / 3.0;  ///< weighted-Jacobi damping
+  int coarse_size = 3;       ///< solve directly below this size
+};
+
+/// One V-cycle for -u'' = f on a uniform grid with homogeneous Dirichlet
+/// boundaries; `u` and `f` hold interior values (size n), h = 1/(n+1).
+void v_cycle(std::vector<double>& u, const std::vector<double>& f,
+             const MultigridOptions& opts = {});
+
+/// Residual max-norm of -u'' = f.
+double poisson_residual(const std::vector<double>& u,
+                        const std::vector<double>& f);
+
+struct MultigridResult {
+  std::vector<double> u;
+  int cycles = 0;
+  double residual = 0.0;
+};
+
+/// Repeats V-cycles until the residual drops below tol.
+MultigridResult multigrid_solve(const std::vector<double>& f, double tol,
+                                int max_cycles,
+                                const MultigridOptions& opts = {});
+
+}  // namespace mheta::kernels

@@ -1,0 +1,89 @@
+#include "kernels/rna.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::kernels {
+
+bool can_pair(char a, char b) {
+  if (a > b) std::swap(a, b);
+  return (a == 'A' && b == 'U') || (a == 'C' && b == 'G') ||
+         (a == 'G' && b == 'U');
+}
+
+namespace {
+void traceback(const std::string& seq, const std::vector<std::vector<int>>& dp,
+               int min_loop, int i, int j, std::string& out) {
+  if (i >= j) return;
+  const auto ii = static_cast<std::size_t>(i);
+  const auto jj = static_cast<std::size_t>(j);
+  if (dp[ii][jj] == dp[ii][jj - 1]) {
+    traceback(seq, dp, min_loop, i, j - 1, out);
+    return;
+  }
+  for (int k = i; k <= j - min_loop - 1; ++k) {
+    if (!can_pair(seq[static_cast<std::size_t>(k)],
+                  seq[static_cast<std::size_t>(j)]))
+      continue;
+    const auto kk = static_cast<std::size_t>(k);
+    const int left = k > i ? dp[ii][kk - 1] : 0;
+    const int inner = dp[kk + 1][jj - 1];
+    if (dp[ii][jj] == left + inner + 1) {
+      out[kk] = '(';
+      out[jj] = ')';
+      if (k > i) traceback(seq, dp, min_loop, i, k - 1, out);
+      traceback(seq, dp, min_loop, k + 1, j - 1, out);
+      return;
+    }
+  }
+  MHETA_CHECK_MSG(false, "Nussinov traceback failed");
+}
+}  // namespace
+
+RnaFold rna_fold(const std::string& seq, int min_loop) {
+  MHETA_CHECK(min_loop >= 0);
+  const int n = static_cast<int>(seq.size());
+  RnaFold fold;
+  fold.structure.assign(seq.size(), '.');
+  if (n == 0) return fold;
+
+  std::vector<std::vector<int>> dp(
+      static_cast<std::size_t>(n), std::vector<int>(static_cast<std::size_t>(n), 0));
+  // Diagonal-by-diagonal fill — the wavefront the pipelined benchmark
+  // distributes across nodes.
+  for (int span = min_loop + 1; span < n; ++span) {
+    for (int i = 0; i + span < n; ++i) {
+      const int j = i + span;
+      const auto ii = static_cast<std::size_t>(i);
+      const auto jj = static_cast<std::size_t>(j);
+      int best = dp[ii][jj - 1];  // j unpaired
+      for (int k = i; k <= j - min_loop - 1; ++k) {
+        if (!can_pair(seq[static_cast<std::size_t>(k)],
+                      seq[static_cast<std::size_t>(j)]))
+          continue;
+        const auto kk = static_cast<std::size_t>(k);
+        const int left = k > i ? dp[ii][kk - 1] : 0;
+        const int inner = dp[kk + 1][jj - 1];
+        best = std::max(best, left + inner + 1);
+      }
+      dp[ii][jj] = best;
+    }
+  }
+  fold.max_pairs = dp[0][static_cast<std::size_t>(n - 1)];
+  traceback(seq, dp, min_loop, 0, n - 1, fold.structure);
+  return fold;
+}
+
+std::string random_rna(std::int64_t length, std::uint64_t seed) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'U'};
+  Rng rng(seed, 0xA11u);
+  std::string s;
+  s.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t i = 0; i < length; ++i)
+    s.push_back(kBases[rng.uniform_int(0, 3)]);
+  return s;
+}
+
+}  // namespace mheta::kernels

@@ -1,0 +1,30 @@
+// RNA secondary-structure dynamic programming (Nussinov maximum base-pair
+// algorithm) — the numerical counterpart of the pipelined RNA benchmark,
+// whose wavefront dependence structure is exactly the one the pipeline
+// models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mheta::kernels {
+
+/// Result of the Nussinov DP.
+struct RnaFold {
+  int max_pairs = 0;
+  /// Dot-bracket representation of one optimal structure.
+  std::string structure;
+};
+
+/// True for the Watson-Crick / wobble pairs AU, GC, GU (and reverses).
+bool can_pair(char a, char b);
+
+/// Runs the Nussinov algorithm with a minimum hairpin loop of `min_loop`
+/// unpaired bases. Sequence uses alphabet {A,C,G,U}.
+RnaFold rna_fold(const std::string& sequence, int min_loop = 3);
+
+/// Deterministic random sequence generator for benchmarks/examples.
+std::string random_rna(std::int64_t length, std::uint64_t seed);
+
+}  // namespace mheta::kernels

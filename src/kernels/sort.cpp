@@ -1,0 +1,66 @@
+#include "kernels/sort.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::kernels {
+
+std::vector<std::int32_t> random_keys(std::int64_t n, std::int32_t max_key,
+                                      std::uint64_t seed) {
+  MHETA_CHECK(n >= 0 && max_key > 0);
+  Rng rng(seed, 0x15u);
+  std::vector<std::int32_t> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<std::int32_t>(rng.uniform_int(0, max_key - 1)));
+  }
+  return keys;
+}
+
+std::vector<std::int64_t> bucket_histogram(const std::vector<std::int32_t>& keys,
+                                           std::int32_t max_key, int buckets) {
+  MHETA_CHECK(buckets > 0 && max_key > 0);
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(buckets), 0);
+  for (std::int32_t k : keys) {
+    MHETA_CHECK(k >= 0 && k < max_key);
+    const auto b = static_cast<std::size_t>(
+        static_cast<std::int64_t>(k) * buckets / max_key);
+    hist[b]++;
+  }
+  return hist;
+}
+
+std::vector<std::int32_t> counting_sort(const std::vector<std::int32_t>& keys,
+                                        std::int32_t max_key) {
+  MHETA_CHECK(max_key > 0);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_key), 0);
+  for (std::int32_t k : keys) {
+    MHETA_CHECK(k >= 0 && k < max_key);
+    counts[static_cast<std::size_t>(k)]++;
+  }
+  std::vector<std::int32_t> sorted;
+  sorted.reserve(keys.size());
+  for (std::int32_t v = 0; v < max_key; ++v) {
+    for (std::int64_t c = 0; c < counts[static_cast<std::size_t>(v)]; ++c)
+      sorted.push_back(v);
+  }
+  return sorted;
+}
+
+std::vector<std::int64_t> key_ranks(const std::vector<std::int32_t>& keys,
+                                    std::int32_t max_key) {
+  MHETA_CHECK(max_key > 0);
+  // Prefix sums of the counts give each key value's first rank; ties take
+  // consecutive ranks in original order (stability).
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_key) + 1, 0);
+  for (std::int32_t k : keys) counts[static_cast<std::size_t>(k) + 1]++;
+  for (std::size_t v = 1; v < counts.size(); ++v) counts[v] += counts[v - 1];
+  std::vector<std::int64_t> ranks(keys.size());
+  std::vector<std::int64_t> next(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ranks[i] = next[static_cast<std::size_t>(keys[i])]++;
+  }
+  return ranks;
+}
+
+}  // namespace mheta::kernels

@@ -1,0 +1,28 @@
+// Integer-key ranking kernels (the numerical counterpart of the ISort
+// benchmark, NAS IS-style): bucketized counting sort with per-bucket
+// histograms — exactly the data that the benchmark's all-to-all exchanges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mheta::kernels {
+
+/// Generates `n` deterministic pseudo-random keys in [0, max_key).
+std::vector<std::int32_t> random_keys(std::int64_t n, std::int32_t max_key,
+                                      std::uint64_t seed);
+
+/// Histogram of keys into `buckets` equal-width buckets over [0, max_key).
+std::vector<std::int64_t> bucket_histogram(const std::vector<std::int32_t>& keys,
+                                           std::int32_t max_key, int buckets);
+
+/// Stable counting sort; max_key bounds the key range.
+std::vector<std::int32_t> counting_sort(const std::vector<std::int32_t>& keys,
+                                        std::int32_t max_key);
+
+/// The rank of each key (its index in the sorted order, ties broken by
+/// original position) — the quantity NAS IS verifies.
+std::vector<std::int64_t> key_ranks(const std::vector<std::int32_t>& keys,
+                                    std::int32_t max_key);
+
+}  // namespace mheta::kernels

@@ -1,0 +1,86 @@
+#include "kernels/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::kernels {
+
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y) {
+  MHETA_CHECK(static_cast<std::int64_t>(x.size()) == a.n);
+  y.assign(static_cast<std::size_t>(a.n), 0.0);
+  for (std::int64_t i = 0; i < a.n; ++i) {
+    double sum = 0.0;
+    for (std::int64_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i + 1)]; ++k) {
+      sum += a.values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+CsrMatrix make_banded_spd(std::int64_t n, std::int64_t half_bandwidth,
+                          double fill, std::uint64_t seed) {
+  MHETA_CHECK(n > 0 && half_bandwidth >= 0);
+  MHETA_CHECK(fill > 0.0 && fill <= 1.0);
+  // Build the strictly-upper band pattern first, mirror it, then make the
+  // diagonal dominant: A = B + B^T + (rowsum + 1) I is SPD.
+  std::vector<std::vector<std::pair<std::int32_t, double>>> rows(
+      static_cast<std::size_t>(n));
+  Rng rng(seed, 0x5EEDu);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j <= std::min(n - 1, i + half_bandwidth);
+         ++j) {
+      if (rng.uniform01() < fill) {
+        const double v = rng.uniform(-1.0, 1.0);
+        rows[static_cast<std::size_t>(i)].push_back(
+            {static_cast<std::int32_t>(j), v});
+        rows[static_cast<std::size_t>(j)].push_back(
+            {static_cast<std::int32_t>(i), v});
+      }
+    }
+  }
+  CsrMatrix a;
+  a.n = n;
+  a.row_ptr.resize(static_cast<std::size_t>(n + 1), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& row = rows[static_cast<std::size_t>(i)];
+    double offdiag_abs = 0.0;
+    for (const auto& [c, v] : row) offdiag_abs += std::abs(v);
+    row.push_back({static_cast<std::int32_t>(i), offdiag_abs + 1.0});
+    std::sort(row.begin(), row.end());
+    a.row_ptr[static_cast<std::size_t>(i + 1)] =
+        a.row_ptr[static_cast<std::size_t>(i)] +
+        static_cast<std::int64_t>(row.size());
+    for (const auto& [c, v] : row) {
+      a.col_idx.push_back(c);
+      a.values.push_back(v);
+    }
+  }
+  return a;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  MHETA_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  MHETA_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(const std::vector<double>& x, double beta, std::vector<double>& y) {
+  MHETA_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+}  // namespace mheta::kernels

@@ -1,0 +1,47 @@
+// Sparse-matrix kernels: CSR storage, SpMV, and the synthetic banded SPD
+// generator used by the CG benchmark and examples.
+//
+// These are the *numerical* counterparts of the cost skeletons the
+// simulator executes: the examples run them for real, and the CG cost model
+// derives its per-row weights from the same nnz profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mheta::kernels {
+
+/// Compressed-sparse-row matrix.
+struct CsrMatrix {
+  std::int64_t n = 0;  ///< square dimension
+  std::vector<std::int64_t> row_ptr;  ///< size n+1
+  std::vector<std::int32_t> col_idx;  ///< size nnz
+  std::vector<double> values;         ///< size nnz
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(values.size()); }
+  std::int64_t row_nnz(std::int64_t row) const {
+    return row_ptr[static_cast<std::size_t>(row + 1)] -
+           row_ptr[static_cast<std::size_t>(row)];
+  }
+};
+
+/// y = A x.
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y);
+
+/// Generates a symmetric positive-definite banded matrix with a random
+/// per-row band population (diagonally dominant by construction). The
+/// per-row nnz varies — the load-imbalance profile the CG benchmark feeds
+/// to the simulator.
+CsrMatrix make_banded_spd(std::int64_t n, std::int64_t half_bandwidth,
+                          double fill, std::uint64_t seed);
+
+// --- small vector helpers used by the iterative solvers -------------------
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm2(const std::vector<double>& a);
+/// y += alpha * x
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+/// y = x + beta * y
+void xpby(const std::vector<double>& x, double beta, std::vector<double>& y);
+
+}  // namespace mheta::kernels

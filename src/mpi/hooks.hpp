@@ -1,0 +1,84 @@
+// PMPI-style interposition (the MPI-Jack analog, paper §4.1, Figure 3).
+//
+// Every runtime operation fires a pre hook before it starts and a post hook
+// after it completes. Hooks receive the operation's metadata plus the
+// calling rank's current (parallel section, tile, stage) context — exactly
+// the information the paper's MPI-Jack hooks extract — and are the only
+// channel through which the instrumentation layer observes a run.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mheta::mpi {
+
+/// Operation kinds visible to hooks.
+enum class Op {
+  kCompute,     // a timed computation burst
+  kSend,        // point-to-point send (o_s side)
+  kRecv,        // point-to-point receive (o_r side, includes blocking)
+  kAllreduce,   // global reduction (inner messages are hidden)
+  kAlltoall,    // total exchange (inner messages are hidden)
+  kBarrier,     // synchronization barrier
+  kFileRead,    // synchronous local-disk read
+  kFileWrite,   // synchronous local-disk write
+  kFileIread,   // asynchronous read issue (prefetch)
+  kFileWait,    // wait for an asynchronous read
+  kSectionBegin,
+  kSectionEnd,
+  kTileBegin,
+  kTileEnd,
+  kStageBegin,
+  kStageEnd,
+};
+
+const char* to_string(Op op);
+
+/// Metadata delivered to hooks.
+struct HookInfo {
+  int rank = 0;
+  Op op = Op::kCompute;
+  sim::Time now = 0;  ///< simulated time at hook invocation
+
+  /// Variable (file) name for I/O ops; empty otherwise.
+  std::string var;
+  std::int64_t bytes = 0;
+  int peer = -1;  ///< src/dst rank for point-to-point ops
+  int tag = 0;
+
+  /// The calling rank's current structural context (set by the markers).
+  int section = -1;
+  int tile = -1;
+  int stage = -1;
+};
+
+using Hook = std::function<void(const HookInfo&)>;
+
+/// Registry of pre/post hooks. Multiple hooks may be installed; they run in
+/// installation order. An empty registry costs one branch per operation.
+class HookRegistry {
+ public:
+  void add_pre(Hook h) { pre_.push_back(std::move(h)); }
+  void add_post(Hook h) { post_.push_back(std::move(h)); }
+  void clear() {
+    pre_.clear();
+    post_.clear();
+  }
+  bool empty() const { return pre_.empty() && post_.empty(); }
+
+  void fire_pre(const HookInfo& info) const {
+    for (const auto& h : pre_) h(info);
+  }
+  void fire_post(const HookInfo& info) const {
+    for (const auto& h : post_) h(info);
+  }
+
+ private:
+  std::vector<Hook> pre_;
+  std::vector<Hook> post_;
+};
+
+}  // namespace mheta::mpi

@@ -1,0 +1,337 @@
+#include "mpi/world.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mheta::mpi {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kCompute: return "compute";
+    case Op::kSend: return "send";
+    case Op::kRecv: return "recv";
+    case Op::kAllreduce: return "allreduce";
+    case Op::kAlltoall: return "alltoall";
+    case Op::kBarrier: return "barrier";
+    case Op::kFileRead: return "file_read";
+    case Op::kFileWrite: return "file_write";
+    case Op::kFileIread: return "file_iread";
+    case Op::kFileWait: return "file_wait";
+    case Op::kSectionBegin: return "section_begin";
+    case Op::kSectionEnd: return "section_end";
+    case Op::kTileBegin: return "tile_begin";
+    case Op::kTileEnd: return "tile_end";
+    case Op::kStageBegin: return "stage_begin";
+    case Op::kStageEnd: return "stage_end";
+  }
+  return "?";
+}
+
+World::World(sim::Engine& engine, const cluster::ClusterConfig& config,
+             const cluster::SimEffects& effects)
+    : engine_(engine), config_(config), effects_(effects) {
+  MHETA_CHECK(config.size() > 0);
+  disks_.reserve(static_cast<std::size_t>(config.size()));
+  ranks_.resize(static_cast<std::size_t>(config.size()));
+  for (int i = 0; i < config.size(); ++i) {
+    disks_.push_back(std::make_unique<cluster::DiskModel>(
+        engine_, config.node(i), effects_.file_cache));
+    compute_rng_.emplace_back(effects_.seed,
+                              0x1000u + static_cast<std::uint64_t>(i));
+  }
+}
+
+cluster::DiskModel& World::disk(int rank) {
+  MHETA_CHECK(rank >= 0 && rank < size());
+  return *disks_[static_cast<std::size_t>(rank)];
+}
+
+double World::power(int rank) const { return config_.node(rank).cpu_power; }
+
+double World::send_overhead_s(int rank) const {
+  return config_.network.send_overhead_s / power(rank);
+}
+
+double World::recv_overhead_s(int rank) const {
+  return config_.network.recv_overhead_s / power(rank);
+}
+
+HookInfo World::info(int rank, Op op) const {
+  MHETA_CHECK(rank >= 0 && rank < size());
+  const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  HookInfo i;
+  i.rank = rank;
+  i.op = op;
+  i.now = engine_.now();
+  i.section = rs.section;
+  i.tile = rs.tile;
+  i.stage = rs.stage;
+  return i;
+}
+
+void World::fire_pre(HookInfo i) {
+  if (hooks_.empty()) return;
+  if (ranks_[static_cast<std::size_t>(i.rank)].suppress_hooks) return;
+  i.now = engine_.now();
+  hooks_.fire_pre(i);
+}
+
+void World::fire_post(HookInfo i) {
+  if (hooks_.empty()) return;
+  if (ranks_[static_cast<std::size_t>(i.rank)].suppress_hooks) return;
+  i.now = engine_.now();
+  hooks_.fire_post(i);
+}
+
+void World::section_begin(int rank, int section) {
+  ranks_[static_cast<std::size_t>(rank)].section = section;
+  ranks_[static_cast<std::size_t>(rank)].tile = -1;
+  ranks_[static_cast<std::size_t>(rank)].stage = -1;
+  fire_pre(info(rank, Op::kSectionBegin));
+}
+
+void World::section_end(int rank, int section) {
+  HookInfo i = info(rank, Op::kSectionEnd);
+  i.section = section;
+  fire_post(i);
+  ranks_[static_cast<std::size_t>(rank)].section = -1;
+}
+
+void World::tile_begin(int rank, int tile) {
+  ranks_[static_cast<std::size_t>(rank)].tile = tile;
+  fire_pre(info(rank, Op::kTileBegin));
+}
+
+void World::tile_end(int rank, int tile) {
+  HookInfo i = info(rank, Op::kTileEnd);
+  i.tile = tile;
+  fire_post(i);
+  ranks_[static_cast<std::size_t>(rank)].tile = -1;
+}
+
+void World::stage_begin(int rank, int stage) {
+  ranks_[static_cast<std::size_t>(rank)].stage = stage;
+  fire_pre(info(rank, Op::kStageBegin));
+}
+
+void World::stage_end(int rank, int stage) {
+  HookInfo i = info(rank, Op::kStageEnd);
+  i.stage = stage;
+  fire_post(i);
+  ranks_[static_cast<std::size_t>(rank)].stage = -1;
+}
+
+sim::Task<void> World::compute(int rank, double work_seconds,
+                               std::int64_t working_set_bytes) {
+  MHETA_CHECK(work_seconds >= 0);
+  HookInfo i = info(rank, Op::kCompute);
+  fire_pre(i);
+  const double cache_factor = config_.cache.factor(
+      working_set_bytes, effects_.cache_perturbation);
+  const double noise = compute_rng_[static_cast<std::size_t>(rank)]
+                           .noise_factor(effects_.runtime_noise_rel);
+  const double duration = work_seconds / power(rank) * cache_factor * noise;
+  co_await engine_.delay(sim::from_seconds(duration));
+  fire_post(i);
+}
+
+sim::Channel<Msg>& World::channel(int dst, int src, int tag) {
+  const ChannelKey key{dst, src, tag};
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(key, std::make_unique<sim::Channel<Msg>>(engine_))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> World::send(int src, int dst, std::int64_t bytes, int tag,
+                            double payload, const std::string& var) {
+  MHETA_CHECK(dst >= 0 && dst < size() && dst != src);
+  MHETA_CHECK(bytes >= 0);
+  HookInfo i = info(src, Op::kSend);
+  i.peer = dst;
+  i.bytes = bytes;
+  i.tag = tag;
+  i.var = var;
+  fire_pre(i);
+  // Sender CPU overhead o_s (scaled by CPU power), then the message is on
+  // the wire for transfer(bytes).
+  co_await engine_.delay(sim::from_seconds(send_overhead_s(src)));
+  Msg m;
+  m.src = src;
+  m.tag = tag;
+  m.bytes = bytes;
+  m.payload = payload;
+  m.sent_at = engine_.now();
+  const sim::Time arrival =
+      engine_.now() + sim::from_seconds(config_.network.transfer_s(bytes));
+  channel(dst, src, tag).push_at(arrival, m);
+  fire_post(i);
+}
+
+sim::Task<Msg> World::recv(int dst, int src, int tag) {
+  MHETA_CHECK(src >= 0 && src < size() && src != dst);
+  HookInfo i = info(dst, Op::kRecv);
+  i.peer = src;
+  i.tag = tag;
+  fire_pre(i);
+  Msg m = co_await channel(dst, src, tag).recv();
+  co_await engine_.delay(sim::from_seconds(recv_overhead_s(dst)));
+  i.bytes = m.bytes;
+  fire_post(i);
+  co_return m;
+}
+
+namespace {
+double combine(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMax: return std::max(a, b);
+    case ReduceOp::kMin: return std::min(a, b);
+  }
+  return a;
+}
+}  // namespace
+
+sim::Task<double> World::allreduce(int rank, double value, ReduceOp op) {
+  // Binomial-tree reduce to rank 0, then binomial broadcast — the exact
+  // tree the MHETA reduction model mirrors. Inner messages carry one
+  // double (8 bytes); their hooks are suppressed so the instrumentation
+  // sees a single kAllreduce operation.
+  constexpr std::int64_t kReduceBytes = 8;
+  HookInfo i = info(rank, Op::kAllreduce);
+  i.bytes = kReduceBytes;
+  fire_pre(i);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  const bool was_suppressed = rs.suppress_hooks;
+  rs.suppress_hooks = true;
+
+  const int n = size();
+  double acc = value;
+  // Reduce phase.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rank & mask) != 0) {
+      co_await send(rank, rank & ~mask, kReduceBytes, kReduceTag, acc);
+      break;
+    }
+    const int partner = rank | mask;
+    if (partner < n) {
+      const Msg m = co_await recv(rank, partner, kReduceTag);
+      acc = combine(op, acc, m.payload);
+    }
+  }
+  // Broadcast phase (root 0).
+  int mask = 1;
+  while (mask < n) {
+    if ((rank & mask) != 0) {
+      const Msg m = co_await recv(rank, rank - mask, kBcastTag);
+      acc = m.payload;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank + mask < n) {
+      co_await send(rank, rank + mask, kReduceBytes, kBcastTag, acc);
+    }
+    mask >>= 1;
+  }
+
+  rs.suppress_hooks = was_suppressed;
+  fire_post(i);
+  co_return acc;
+}
+
+sim::Task<void> World::alltoall(int rank, std::int64_t bytes_per_pair) {
+  MHETA_CHECK(bytes_per_pair >= 0);
+  HookInfo i = info(rank, Op::kAlltoall);
+  i.bytes = bytes_per_pair;
+  fire_pre(i);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  const bool was_suppressed = rs.suppress_hooks;
+  rs.suppress_hooks = true;
+  const int n = size();
+  for (int s = 1; s < n; ++s) {
+    const int to = (rank + s) % n;
+    const int from = (rank + n - s) % n;
+    co_await send(rank, to, bytes_per_pair, kAlltoallTag);
+    (void)co_await recv(rank, from, kAlltoallTag);
+  }
+  rs.suppress_hooks = was_suppressed;
+  fire_post(i);
+}
+
+sim::Task<void> World::barrier(int rank) {
+  HookInfo i = info(rank, Op::kBarrier);
+  fire_pre(i);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  const bool was_suppressed = rs.suppress_hooks;
+  rs.suppress_hooks = true;
+  (void)co_await allreduce(rank, 0.0, ReduceOp::kSum);
+  rs.suppress_hooks = was_suppressed;
+  fire_post(i);
+}
+
+sim::Task<void> World::file_read(int rank, const std::string& var,
+                                 std::int64_t offset, std::int64_t bytes) {
+  HookInfo i = info(rank, Op::kFileRead);
+  i.var = var;
+  i.bytes = bytes;
+  fire_pre(i);
+  const sim::Time done = disk(rank).read(var, offset, bytes);
+  co_await engine_.delay(done - engine_.now());
+  fire_post(i);
+}
+
+sim::Task<void> World::file_write(int rank, const std::string& var,
+                                  std::int64_t offset, std::int64_t bytes) {
+  HookInfo i = info(rank, Op::kFileWrite);
+  i.var = var;
+  i.bytes = bytes;
+  fire_pre(i);
+  const sim::Time done = disk(rank).write(var, offset, bytes);
+  co_await engine_.delay(done - engine_.now());
+  fire_post(i);
+}
+
+sim::Task<Request> World::file_iread(int rank, const std::string& var,
+                                     std::int64_t offset, std::int64_t bytes) {
+  HookInfo i = info(rank, Op::kFileIread);
+  i.var = var;
+  i.bytes = bytes;
+  fire_pre(i);
+  Request req;
+  req.var = var;
+  req.bytes = bytes;
+  req.issued_at = engine_.now();
+  if (blocking_prefetch_) {
+    // Figure 5 transform: the issue behaves like a synchronous read, so the
+    // instrumented run can time read latency and overlap compute exactly.
+    const sim::Time done = disk(rank).read(var, offset, bytes);
+    co_await engine_.delay(done - engine_.now());
+    req.done = sim::make_trigger(engine_);
+    req.done->fire();
+  } else {
+    req.done = disk(rank).read_async(var, offset, bytes);
+  }
+  fire_post(i);
+  co_return req;
+}
+
+sim::Task<void> World::file_wait(int rank, Request req) {
+  HookInfo i = info(rank, Op::kFileWait);
+  i.var = req.var;
+  i.bytes = req.bytes;
+  fire_pre(i);
+  MHETA_CHECK_MSG(req.done != nullptr, "file_wait on an empty request");
+  // Under the Figure-5 transform the request completed at issue time and
+  // this wait is a no-op, exactly as the paper prescribes.
+  co_await req.done->wait();
+  fire_post(i);
+}
+
+}  // namespace mheta::mpi

@@ -1,0 +1,157 @@
+// SimMPI: a simulated message-passing runtime.
+//
+// World is the simulated analog of an MPI communicator plus MPI-IO: ranks
+// are coroutine processes; send/recv/allreduce/barrier and file operations
+// advance the simulated clock according to the cluster's network and disk
+// models. All operations fire PMPI-style hooks (hooks.hpp) so the
+// instrumentation layer can observe a run without touching application code.
+//
+// Timing semantics (paper §4.2.2, Figure 7):
+//   send:  sender busy for o_s / C_src, message arrives at the receiver
+//          o_s/C_src + transfer(bytes) after the send call;
+//   recv:  receiver blocks until arrival, then busy for o_r / C_dst.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/disk.hpp"
+#include "cluster/node.hpp"
+#include "mpi/hooks.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::mpi {
+
+/// Reduction operators supported by allreduce.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// A point-to-point message (payload carries reduction partial values).
+struct Msg {
+  int src = -1;
+  int tag = 0;
+  std::int64_t bytes = 0;
+  double payload = 0.0;
+  sim::Time sent_at = 0;
+};
+
+/// Handle for an in-flight asynchronous read (prefetch).
+struct Request {
+  sim::TriggerPtr done;
+  std::string var;
+  std::int64_t bytes = 0;
+  sim::Time issued_at = 0;
+};
+
+/// The simulated world: one instance per run.
+class World {
+ public:
+  World(sim::Engine& engine, const cluster::ClusterConfig& config,
+        const cluster::SimEffects& effects);
+
+  int size() const { return config_.size(); }
+  sim::Engine& engine() { return engine_; }
+  const cluster::ClusterConfig& config() const { return config_; }
+  const cluster::SimEffects& effects() const { return effects_; }
+  cluster::DiskModel& disk(int rank);
+  HookRegistry& hooks() { return hooks_; }
+
+  // --- structural context markers (zero simulated cost) -----------------
+  // The paper's preprocessor inserts these; the instrumentation layer uses
+  // them to attribute costs to (section, tile, stage).
+  void section_begin(int rank, int section);
+  void section_end(int rank, int section);
+  void tile_begin(int rank, int tile);
+  void tile_end(int rank, int tile);
+  void stage_begin(int rank, int stage);
+  void stage_end(int rank, int stage);
+
+  // --- computation -------------------------------------------------------
+  /// Performs `work_seconds` of baseline-node computation on `rank`:
+  /// simulated duration = work / C_rank, modulated by the CPU-cache
+  /// perturbation (for the given working set) and runtime noise.
+  sim::Task<void> compute(int rank, double work_seconds,
+                          std::int64_t working_set_bytes = 0);
+
+  // --- point-to-point ----------------------------------------------------
+  /// Buffered send: the sender is busy for its o_s, then continues; the
+  /// message is delivered transfer(bytes) later.
+  sim::Task<void> send(int src, int dst, std::int64_t bytes, int tag = 0,
+                       double payload = 0.0, const std::string& var = "");
+
+  /// Blocking receive; returns the message after paying o_r.
+  sim::Task<Msg> recv(int dst, int src, int tag = 0);
+
+  // --- collectives (built from send/recv over a binomial tree) -----------
+  sim::Task<double> allreduce(int rank, double value,
+                              ReduceOp op = ReduceOp::kSum);
+  sim::Task<void> barrier(int rank);
+
+  /// Total exchange: every rank sends `bytes_per_pair` to every other rank
+  /// (ring-shifted pairwise algorithm: at step s, send to rank+s, receive
+  /// from rank-s). Inner messages are hidden from the hooks.
+  sim::Task<void> alltoall(int rank, std::int64_t bytes_per_pair);
+
+  // --- file I/O (local disk per rank) -------------------------------------
+  sim::Task<void> file_read(int rank, const std::string& var,
+                            std::int64_t offset, std::int64_t bytes);
+  sim::Task<void> file_write(int rank, const std::string& var,
+                             std::int64_t offset, std::int64_t bytes);
+
+  /// Issues an asynchronous (prefetch) read. When the prefetch-
+  /// instrumentation transform is active (paper Figure 5), the issue blocks
+  /// like a synchronous read and the matching file_wait is a no-op.
+  sim::Task<Request> file_iread(int rank, const std::string& var,
+                                std::int64_t offset, std::int64_t bytes);
+
+  /// Blocks until the asynchronous read completes.
+  sim::Task<void> file_wait(int rank, Request req);
+
+  /// Enables/disables the Figure-5 prefetch instrumentation transform.
+  void set_blocking_prefetch(bool on) { blocking_prefetch_ = on; }
+  bool blocking_prefetch() const { return blocking_prefetch_; }
+
+  /// Effective send/recv overheads for a rank (seconds), after CPU scaling.
+  double send_overhead_s(int rank) const;
+  double recv_overhead_s(int rank) const;
+
+ private:
+  using ChannelKey = std::tuple<int, int, int>;  // (dst, src, tag)
+
+  sim::Channel<Msg>& channel(int dst, int src, int tag);
+  HookInfo info(int rank, Op op) const;
+  void fire_pre(HookInfo i);
+  void fire_post(HookInfo i);
+  double power(int rank) const;
+
+  /// Internal tags used by collectives; disjoint from application tags.
+  static constexpr int kReduceTag = -101;
+  static constexpr int kBcastTag = -102;
+  static constexpr int kAlltoallTag = -103;
+
+  struct RankState {
+    int section = -1;
+    int tile = -1;
+    int stage = -1;
+    bool suppress_hooks = false;  // hides collective-internal sends/recvs
+  };
+
+  sim::Engine& engine_;
+  const cluster::ClusterConfig& config_;
+  cluster::SimEffects effects_;
+  HookRegistry hooks_;
+  bool blocking_prefetch_ = false;
+  std::vector<std::unique_ptr<cluster::DiskModel>> disks_;
+  std::vector<RankState> ranks_;
+  std::vector<Rng> compute_rng_;
+  std::map<ChannelKey, std::unique_ptr<sim::Channel<Msg>>> channels_;
+};
+
+}  // namespace mheta::mpi

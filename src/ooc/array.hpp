@@ -1,0 +1,57 @@
+// Distributed-array descriptors and out-of-core terminology (paper §3.1).
+//
+// Following [Bordawekar et al.]: a node's share of an array is its Local
+// Array (LA); if the LA does not fit in memory it is an Out-of-Core Local
+// Array (OCLA) processed in In-Core Local Array (ICLA) sized pieces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mheta::ooc {
+
+/// Access mode of an array within the application.
+enum class Access {
+  kReadOnly,   // e.g. the CG/Lanczos matrix: read each iteration, never written
+  kReadWrite,  // e.g. Jacobi's grid: read and written back each iteration
+};
+
+/// One distributed array (1-D row distribution; a row is the unit the
+/// GEN_BLOCK distribution assigns).
+struct ArraySpec {
+  std::string name;
+  std::int64_t rows = 0;       ///< global rows
+  std::int64_t row_bytes = 0;  ///< bytes per row
+  Access access = Access::kReadWrite;
+
+  std::int64_t total_bytes() const { return rows * row_bytes; }
+};
+
+/// Per-array decision of the memory planner for one node.
+struct ArrayPlan {
+  std::string name;
+  std::int64_t la_rows = 0;    ///< rows of the local array
+  std::int64_t row_bytes = 0;
+  Access access = Access::kReadWrite;
+  bool out_of_core = false;
+  /// Rows per in-core piece (== la_rows when in core).
+  std::int64_t icla_rows = 0;
+
+  std::int64_t la_bytes() const { return la_rows * row_bytes; }
+  std::int64_t icla_bytes() const { return icla_rows * row_bytes; }
+  /// NR(v): disk passes needed to stream the whole local array.
+  std::int64_t num_blocks() const;
+};
+
+/// The full memory plan for one node.
+struct NodePlan {
+  std::vector<ArrayPlan> arrays;
+  std::int64_t memory_bytes = 0;   ///< capacity the plan was computed for
+  std::int64_t in_core_bytes = 0;  ///< memory held by in-core local arrays
+
+  const ArrayPlan& array(const std::string& name) const;
+  bool any_out_of_core() const;
+};
+
+}  // namespace mheta::ooc

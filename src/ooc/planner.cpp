@@ -1,0 +1,95 @@
+#include "ooc/planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mheta::ooc {
+
+std::int64_t ArrayPlan::num_blocks() const {
+  if (!out_of_core) return 1;
+  MHETA_CHECK(icla_rows > 0);
+  return (la_rows + icla_rows - 1) / icla_rows;
+}
+
+const ArrayPlan& NodePlan::array(const std::string& name) const {
+  for (const auto& a : arrays)
+    if (a.name == name) return a;
+  MHETA_CHECK_MSG(false, "no plan for array " << name);
+  static const ArrayPlan dummy{};
+  return dummy;  // unreachable
+}
+
+bool NodePlan::any_out_of_core() const {
+  return std::any_of(arrays.begin(), arrays.end(),
+                     [](const ArrayPlan& a) { return a.out_of_core; });
+}
+
+NodePlan plan_node(const std::vector<ArraySpec>& arrays, std::int64_t la_rows,
+                   std::int64_t memory_bytes, const PlannerOptions& opts) {
+  MHETA_CHECK(la_rows >= 0);
+  MHETA_CHECK(memory_bytes >= 0);
+  NodePlan plan;
+  plan.memory_bytes = memory_bytes;
+  const std::int64_t usable =
+      std::max<std::int64_t>(0, memory_bytes - opts.overhead_bytes);
+
+  // Greedy smallest-first in-core selection (stable order by size, then by
+  // position, keeps the choice deterministic).
+  std::vector<std::size_t> order(arrays.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return arrays[a].row_bytes < arrays[b].row_bytes;
+  });
+
+  std::vector<bool> in_core(arrays.size(), false);
+  std::int64_t used = 0;
+  for (std::size_t idx : order) {
+    const std::int64_t la_bytes = la_rows * arrays[idx].row_bytes;
+    if (used + la_bytes <= usable) {
+      in_core[idx] = true;
+      used += la_bytes;
+    }
+  }
+  plan.in_core_bytes = used;
+
+  // Remaining memory is shared by the out-of-core arrays proportionally to
+  // their local sizes.
+  std::int64_t ooc_total_bytes = 0;
+  for (std::size_t i = 0; i < arrays.size(); ++i)
+    if (!in_core[i]) ooc_total_bytes += la_rows * arrays[i].row_bytes;
+  const std::int64_t available = usable - used;
+
+  plan.arrays.reserve(arrays.size());
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    const ArraySpec& spec = arrays[i];
+    ArrayPlan ap;
+    ap.name = spec.name;
+    ap.la_rows = la_rows;
+    ap.row_bytes = spec.row_bytes;
+    ap.access = spec.access;
+    if (in_core[i] || la_rows == 0) {
+      ap.out_of_core = false;
+      ap.icla_rows = la_rows;
+    } else {
+      ap.out_of_core = true;
+      const double share = ooc_total_bytes > 0
+                               ? static_cast<double>(la_rows * spec.row_bytes) /
+                                     static_cast<double>(ooc_total_bytes)
+                               : 0.0;
+      std::int64_t icla_bytes =
+          static_cast<std::int64_t>(share * static_cast<double>(available));
+      std::int64_t icla_rows = icla_bytes / std::max<std::int64_t>(1, spec.row_bytes);
+      // Respect the block-count ceiling; it also guarantees icla_rows >= 1.
+      const std::int64_t min_icla =
+          (la_rows + opts.max_blocks - 1) / opts.max_blocks;
+      ap.icla_rows = std::clamp(icla_rows, std::max<std::int64_t>(1, min_icla),
+                                la_rows);
+    }
+    plan.arrays.push_back(std::move(ap));
+  }
+  return plan;
+}
+
+}  // namespace mheta::ooc

@@ -1,0 +1,35 @@
+// The memory planner: decides which local arrays are out of core and sizes
+// their ICLAs (paper §4.2.1).
+//
+// The heuristic is deliberately simple, as in the paper ("MHETA currently
+// uses a simple heuristic"): in-core arrays are chosen greedily smallest-
+// first, and the remaining memory is divided among the out-of-core arrays
+// proportionally to their local sizes. The *same* planner is used by the
+// simulator runtime and by the model — but the simulator subtracts the
+// runtime's buffer/halo overhead from usable memory while the model does
+// not, reproducing the paper's limitation 2 (§5.4): the model occasionally
+// classifies a borderline array as in core and under-predicts I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ooc/array.hpp"
+
+namespace mheta::ooc {
+
+/// Planner tuning knobs.
+struct PlannerOptions {
+  /// Memory unavailable to local arrays (runtime buffers, halo rows).
+  std::int64_t overhead_bytes = 0;
+
+  /// Upper bound on NR(v); protects the simulator from degenerate cases
+  /// where a sliver of free memory would create thousands of tiny blocks.
+  std::int64_t max_blocks = 256;
+};
+
+/// Computes the plan for one node holding `la_rows` rows of every array.
+NodePlan plan_node(const std::vector<ArraySpec>& arrays, std::int64_t la_rows,
+                   std::int64_t memory_bytes, const PlannerOptions& opts);
+
+}  // namespace mheta::ooc

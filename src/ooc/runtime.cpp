@@ -1,0 +1,192 @@
+#include "ooc/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mheta::ooc {
+
+OocRuntime::OocRuntime(mpi::World& world, std::vector<ArraySpec> arrays,
+                       const dist::GenBlock& dist, RuntimeOptions opts)
+    : world_(world), arrays_(std::move(arrays)), dist_(dist), opts_(opts) {
+  MHETA_CHECK(dist_.nodes() == world_.size());
+  MHETA_CHECK(opts_.width_fractions.empty() ||
+              static_cast<int>(opts_.width_fractions.size()) == world_.size());
+  PlannerOptions popts = opts_.planner;
+  popts.overhead_bytes = opts_.overhead_bytes;
+  plans_.reserve(static_cast<std::size_t>(world_.size()));
+  for (int r = 0; r < world_.size(); ++r) {
+    // 2-D distributions narrow every array row to this rank's column block.
+    std::vector<ArraySpec> rank_arrays = arrays_;
+    for (auto& a : rank_arrays) a.row_bytes = scaled_row_bytes(r, a.row_bytes);
+    plans_.push_back(plan_node(rank_arrays, dist_.count(r),
+                               world_.config().node(r).memory_bytes, popts));
+  }
+}
+
+std::int64_t OocRuntime::scaled_row_bytes(int rank,
+                                          std::int64_t row_bytes) const {
+  if (opts_.width_fractions.empty()) return row_bytes;
+  const double frac = opts_.width_fractions[static_cast<std::size_t>(rank)];
+  MHETA_CHECK(frac >= 0.0 && frac <= 1.0);
+  return static_cast<std::int64_t>(
+      std::llround(static_cast<double>(row_bytes) * frac));
+}
+
+const NodePlan& OocRuntime::plan(int rank) const {
+  MHETA_CHECK(rank >= 0 && rank < world_.size());
+  return plans_[static_cast<std::size_t>(rank)];
+}
+
+std::int64_t OocRuntime::la_rows(int rank) const { return dist_.count(rank); }
+
+std::int64_t OocRuntime::first_row(int rank) const {
+  return dist_.first_row(rank);
+}
+
+sim::Task<void> OocRuntime::load_arrays(int rank) {
+  // Compulsory read of every in-core local array (paper §3.1: an in-core
+  // application incurs a single disk read per local array). Out-of-core
+  // arrays stay on disk and are streamed inside the stages.
+  for (const ArrayPlan& ap : plan(rank).arrays) {
+    if (!ap.out_of_core && ap.la_bytes() > 0) {
+      co_await world_.file_read(rank, ap.name, 0, ap.la_bytes());
+    }
+  }
+}
+
+
+double OocRuntime::rows_work_s(int rank, const StageDef& stage,
+                               std::int64_t begin, std::int64_t end) const {
+  if (end <= begin) return 0.0;
+  if (!stage.row_work) {
+    return stage.work_per_row_s * static_cast<double>(end - begin);
+  }
+  const std::int64_t base = first_row(rank);
+  double total = 0.0;
+  for (std::int64_t r = begin; r < end; ++r)
+    total += stage.row_work(base + r);
+  return total;
+}
+
+double OocRuntime::stage_work_s(int rank, const StageDef& stage) const {
+  return rows_work_s(rank, stage, 0, la_rows(rank));
+}
+
+std::int64_t OocRuntime::block_working_set(int rank, const StageDef& stage,
+                                           std::int64_t rows) const {
+  std::int64_t per_row = 0;
+  const NodePlan& np = plan(rank);
+  for (const auto& ap : np.arrays) {
+    const bool used =
+        std::find(stage.read_vars.begin(), stage.read_vars.end(), ap.name) !=
+            stage.read_vars.end() ||
+        std::find(stage.write_vars.begin(), stage.write_vars.end(), ap.name) !=
+            stage.write_vars.end();
+    if (used) per_row += ap.row_bytes;
+  }
+  return rows * per_row;
+}
+
+sim::Task<void> OocRuntime::run_stage(int rank, const StageDef& stage,
+                                      double work_scale) {
+  co_await run_stage_range(rank, stage, 0, la_rows(rank), work_scale);
+}
+
+sim::Task<void> OocRuntime::run_stage_range(int rank, const StageDef& stage,
+                                            std::int64_t begin_row,
+                                            std::int64_t end_row,
+                                            double work_scale) {
+  world_.stage_begin(rank, stage.id);
+  const StageIoLayout io =
+      stage_io_layout(plan(rank), stage, begin_row, end_row, opts_.force_io);
+  if (end_row <= begin_row) {
+    // Nothing assigned to this node in this stage.
+    world_.stage_end(rank, stage.id);
+    co_return;
+  }
+  if (stage.prefetch && !io.streamed_reads.empty() && io.num_blocks > 1) {
+    co_await run_stage_prefetch(rank, stage, io, work_scale);
+  } else {
+    co_await run_stage_sync(rank, stage, io, work_scale);
+  }
+  world_.stage_end(rank, stage.id);
+}
+
+sim::Task<void> OocRuntime::run_stage_sync(int rank, const StageDef& stage,
+                                           const StageIoLayout& io,
+                                           double work_scale) {
+  for (std::int64_t b = 0; b < io.num_blocks; ++b) {
+    const std::int64_t begin = io.begin_row + b * io.rows_per_block;
+    const std::int64_t end = std::min(io.end_row, begin + io.rows_per_block);
+    const std::int64_t rows = end - begin;
+    if (rows <= 0) break;
+    for (const ArrayPlan* ap : io.streamed_reads) {
+      co_await world_.file_read(rank, ap->name, begin * ap->row_bytes,
+                                rows * ap->row_bytes);
+    }
+    co_await world_.compute(rank,
+                            rows_work_s(rank, stage, begin, end) * work_scale,
+                            block_working_set(rank, stage, rows));
+    for (const ArrayPlan* ap : io.streamed_writes) {
+      co_await world_.file_write(rank, ap->name, begin * ap->row_bytes,
+                                 rows * ap->row_bytes);
+    }
+  }
+}
+
+sim::Task<void> OocRuntime::run_stage_prefetch(int rank, const StageDef& stage,
+                                               const StageIoLayout& io,
+                                               double work_scale) {
+  // The unrolled loop of paper Figure 6:
+  //   Read ICLA(1)
+  //   for i = 2..last: Prefetch ICLA(i); Process ICLA(i-1); Wait ICLA(i);
+  //                    write ICLA(i-1) if needed
+  //   Process ICLA(last); write ICLA(last) if needed
+  auto block_range = [&](std::int64_t b) {
+    const std::int64_t begin = io.begin_row + b * io.rows_per_block;
+    const std::int64_t end = std::min(io.end_row, begin + io.rows_per_block);
+    return std::pair{begin, end};
+  };
+
+  {  // Read ICLA(1) synchronously.
+    const auto [begin, end] = block_range(0);
+    for (const ArrayPlan* ap : io.streamed_reads) {
+      co_await world_.file_read(rank, ap->name, begin * ap->row_bytes,
+                                (end - begin) * ap->row_bytes);
+    }
+  }
+  for (std::int64_t b = 1; b < io.num_blocks; ++b) {
+    const auto [begin, end] = block_range(b);
+    const auto [pbegin, pend] = block_range(b - 1);
+    if (end <= begin) break;
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(io.streamed_reads.size());
+    for (const ArrayPlan* ap : io.streamed_reads) {
+      reqs.push_back(co_await world_.file_iread(rank, ap->name,
+                                                begin * ap->row_bytes,
+                                                (end - begin) * ap->row_bytes));
+    }
+    co_await world_.compute(
+        rank, rows_work_s(rank, stage, pbegin, pend) * work_scale,
+        block_working_set(rank, stage, pend - pbegin));
+    for (auto& req : reqs) co_await world_.file_wait(rank, std::move(req));
+    for (const ArrayPlan* ap : io.streamed_writes) {
+      co_await world_.file_write(rank, ap->name, pbegin * ap->row_bytes,
+                                 (pend - pbegin) * ap->row_bytes);
+    }
+  }
+  {  // Process and write back the last block.
+    const auto [begin, end] = block_range(io.num_blocks - 1);
+    co_await world_.compute(rank,
+                            rows_work_s(rank, stage, begin, end) * work_scale,
+                            block_working_set(rank, stage, end - begin));
+    for (const ArrayPlan* ap : io.streamed_writes) {
+      co_await world_.file_write(rank, ap->name, begin * ap->row_bytes,
+                                 (end - begin) * ap->row_bytes);
+    }
+  }
+}
+
+}  // namespace mheta::ooc

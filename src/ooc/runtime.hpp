@@ -1,0 +1,102 @@
+// The out-of-core execution runtime.
+//
+// Applications describe each stage (which arrays it reads/writes, how much
+// work per row) and the runtime executes it on a rank: in-core arrays cost
+// nothing per iteration, out-of-core arrays are streamed ICLA by ICLA, with
+// an optional prefetching (unrolled) loop exactly as in paper Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/genblock.hpp"
+#include "mpi/world.hpp"
+#include "ooc/array.hpp"
+#include "ooc/planner.hpp"
+#include "ooc/stage.hpp"
+#include "sim/task.hpp"
+
+namespace mheta::ooc {
+
+/// Runtime options.
+struct RuntimeOptions {
+  /// Memory consumed by runtime buffers and halo rows on every node; the
+  /// simulator's planner subtracts it from usable memory. The model's
+  /// planner does not know about it (paper limitation 2), so local arrays
+  /// that land within `overhead_bytes` of the capacity are misclassified
+  /// as in core by the model.
+  std::int64_t overhead_bytes = 0;
+
+  PlannerOptions planner;
+
+  /// Instrumented-iteration mode (paper §4.1.1): all distributed variables
+  /// are forced through disk so per-variable latencies can be measured even
+  /// on nodes that would be in core.
+  bool force_io = false;
+
+  /// 2-D distributions (extension): fraction of each array row held by
+  /// each rank (its column block over the total columns). Empty means 1.0
+  /// everywhere (pure 1-D row distribution). Scales the per-rank row bytes
+  /// used for planning and I/O; the caller scales compute accordingly.
+  std::vector<double> width_fractions;
+};
+
+/// Per-rank out-of-core runtime bound to a World and a distribution.
+class OocRuntime {
+ public:
+  OocRuntime(mpi::World& world, std::vector<ArraySpec> arrays,
+             const dist::GenBlock& dist, RuntimeOptions opts);
+
+  const NodePlan& plan(int rank) const;
+  std::int64_t la_rows(int rank) const;
+  std::int64_t first_row(int rank) const;
+  const std::vector<ArraySpec>& arrays() const { return arrays_; }
+  const RuntimeOptions& options() const { return opts_; }
+
+  /// Initial compulsory load of all local arrays (outside the timed
+  /// iteration region; in-core arrays are read once here).
+  sim::Task<void> load_arrays(int rank);
+
+  /// Executes one stage on `rank` over all local rows. `work_scale`
+  /// multiplies the stage's compute.
+  sim::Task<void> run_stage(int rank, const StageDef& stage,
+                            double work_scale = 1.0);
+
+  /// Executes one stage over local rows [begin_row, end_row) — used by
+  /// pipelined tiles, where each tile processes a slice of the local array.
+  sim::Task<void> run_stage_range(int rank, const StageDef& stage,
+                                  std::int64_t begin_row, std::int64_t end_row,
+                                  double work_scale = 1.0);
+
+  /// Seconds of baseline compute the stage performs on this rank in total
+  /// (what the simulator will charge, before CPU-power scaling).
+  double stage_work_s(int rank, const StageDef& stage) const;
+
+ private:
+  sim::Task<void> run_stage_sync(int rank, const StageDef& stage,
+                                 const StageIoLayout& io, double work_scale);
+  sim::Task<void> run_stage_prefetch(int rank, const StageDef& stage,
+                                     const StageIoLayout& io, double work_scale);
+
+  /// Compute seconds for rows [begin, end) of the local array.
+  double rows_work_s(int rank, const StageDef& stage, std::int64_t begin,
+                     std::int64_t end) const;
+
+  /// Working-set bytes for a block of `rows` rows on this rank (drives the
+  /// CPU-cache perturbation in the simulator).
+  std::int64_t block_working_set(int rank, const StageDef& stage,
+                                 std::int64_t rows) const;
+
+  /// Scales an array's row bytes by the rank's width fraction.
+  std::int64_t scaled_row_bytes(int rank, std::int64_t row_bytes) const;
+
+  mpi::World& world_;
+  std::vector<ArraySpec> arrays_;
+  dist::GenBlock dist_;
+  RuntimeOptions opts_;
+  std::vector<NodePlan> plans_;
+};
+
+}  // namespace mheta::ooc

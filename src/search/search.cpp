@@ -1,0 +1,326 @@
+#include "search/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::search {
+
+SpectrumSpace::SpectrumSpace(const dist::DistContext& ctx,
+                             cluster::SpectrumKind kind) {
+  switch (kind) {
+    case cluster::SpectrumKind::kFull:
+      anchors_ = {dist::block_dist(ctx), dist::in_core_dist(ctx),
+                  dist::in_core_balanced_dist(ctx), dist::balanced_dist(ctx),
+                  dist::block_dist(ctx)};
+      break;
+    case cluster::SpectrumKind::kBlkBal:
+      anchors_ = {dist::block_dist(ctx), dist::balanced_dist(ctx)};
+      break;
+    case cluster::SpectrumKind::kBlkIC:
+      anchors_ = {dist::block_dist(ctx), dist::in_core_dist(ctx)};
+      break;
+  }
+}
+
+dist::GenBlock SpectrumSpace::at(double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  const double scaled = t * segments();
+  const int seg = std::min(segments() - 1, static_cast<int>(scaled));
+  const double alpha = scaled - seg;
+  return dist::interpolate(anchors_[static_cast<std::size_t>(seg)],
+                           anchors_[static_cast<std::size_t>(seg) + 1], alpha);
+}
+
+SearchResult gbs(const SpectrumSpace& space, const Objective& objective,
+                 const GbsOptions& opts) {
+  MHETA_CHECK(opts.fanout >= 3);
+  SearchResult result;
+  double lo = 0.0, hi = 1.0;
+  double best_t = 0.0;
+  bool have_best = false;
+  double best_time = 0.0;
+  while (hi - lo > opts.resolution) {
+    double round_best_t = lo;
+    for (int i = 0; i < opts.fanout; ++i) {
+      const double t =
+          lo + (hi - lo) * static_cast<double>(i) /
+                   static_cast<double>(opts.fanout - 1);
+      const auto d = space.at(t);
+      const double v = objective(d);
+      ++result.evaluations;
+      if (!have_best || v < best_time) {
+        have_best = true;
+        best_time = v;
+        best_t = t;
+        round_best_t = t;
+        result.best = d;
+      } else if (t == best_t) {
+        round_best_t = t;
+      }
+    }
+    (void)round_best_t;
+    // Halve the interval around the best position seen so far.
+    const double width = (hi - lo) / 2.0;
+    lo = std::max(0.0, best_t - width / 2.0);
+    hi = std::min(1.0, best_t + width / 2.0);
+  }
+  result.best_time = best_time;
+  return result;
+}
+
+SearchResult random_search(const SpectrumSpace& space,
+                           const Objective& objective, int samples,
+                           std::uint64_t seed) {
+  MHETA_CHECK(samples >= 1);
+  Rng rng(seed, 0x7A17u);
+  SearchResult result;
+  bool have_best = false;
+  for (int i = 0; i < samples; ++i) {
+    const auto d = space.at(rng.uniform01());
+    const double v = objective(d);
+    ++result.evaluations;
+    if (!have_best || v < result.best_time) {
+      have_best = true;
+      result.best_time = v;
+      result.best = d;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Moves up to max_move rows from a random donor to a random receiver.
+dist::GenBlock neighbor_move(const dist::GenBlock& d, std::int64_t max_move,
+                             Rng& rng) {
+  const int n = d.nodes();
+  auto counts = d.counts();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int from = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int to = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (from == to || counts[static_cast<std::size_t>(from)] == 0) continue;
+    const std::int64_t amount = rng.uniform_int(
+        1, std::max<std::int64_t>(1,
+                                  std::min(max_move,
+                                           counts[static_cast<std::size_t>(from)])));
+    counts[static_cast<std::size_t>(from)] -= amount;
+    counts[static_cast<std::size_t>(to)] += amount;
+    break;
+  }
+  return dist::GenBlock(counts);
+}
+
+std::int64_t default_move(std::int64_t rows, std::int64_t configured) {
+  if (configured > 0) return configured;
+  return std::max<std::int64_t>(1, rows / 16);
+}
+
+}  // namespace
+
+SearchResult simulated_annealing(const dist::GenBlock& start,
+                                 const Objective& objective,
+                                 const AnnealOptions& opts,
+                                 std::uint64_t seed) {
+  Rng rng(seed, 0xA22a1u);
+  SearchResult result;
+  dist::GenBlock current = start;
+  double current_time = objective(current);
+  ++result.evaluations;
+  result.best = current;
+  result.best_time = current_time;
+
+  const std::int64_t max_move = default_move(start.total(), opts.max_move_rows);
+  const double initial_temperature =
+      std::max(1e-300, current_time * opts.initial_temperature_rel);
+  double temperature = initial_temperature;
+  for (int step = 0; step < opts.steps; ++step) {
+    // Move size anneals with the temperature: coarse exploration first,
+    // single-row refinement at the end.
+    const double scale = std::sqrt(temperature / initial_temperature);
+    const std::int64_t move = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(max_move) * scale));
+    const auto candidate = neighbor_move(current, move, rng);
+    const double v = objective(candidate);
+    ++result.evaluations;
+    const double delta = v - current_time;
+    if (delta <= 0 ||
+        (temperature > 0 && rng.uniform01() < std::exp(-delta / temperature))) {
+      current = candidate;
+      current_time = v;
+      if (v < result.best_time) {
+        result.best_time = v;
+        result.best = current;
+      }
+    }
+    temperature *= opts.cooling;
+  }
+  return result;
+}
+
+SearchResult hill_climb(const dist::GenBlock& start,
+                        const Objective& objective,
+                        const HillClimbOptions& opts, std::uint64_t seed) {
+  MHETA_CHECK(opts.neighbors >= 1);
+  Rng rng(seed, 0x41C1u);
+  SearchResult result;
+  result.best = start;
+  result.best_time = objective(start);
+  ++result.evaluations;
+  // Variable-neighborhood descent: exhaust improvements at a coarse move
+  // scale, then refine; a plain fixed-scale climber stalls on the
+  // discontinuous I/O landscape.
+  const std::int64_t max_move = default_move(start.total(), opts.max_move_rows);
+  int rounds = 0;
+  for (std::int64_t scale = max_move; scale >= 1; scale /= 4) {
+    bool improving = true;
+    while (improving && rounds < opts.max_rounds) {
+      ++rounds;
+      improving = false;
+      dist::GenBlock best_neighbor = result.best;
+      double best_time = result.best_time;
+      for (int k = 0; k < opts.neighbors; ++k) {
+        const auto candidate = neighbor_move(result.best, scale, rng);
+        const double v = objective(candidate);
+        ++result.evaluations;
+        if (v < best_time) {
+          best_time = v;
+          best_neighbor = candidate;
+        }
+      }
+      if (best_time < result.best_time) {
+        result.best = best_neighbor;
+        result.best_time = best_time;
+        improving = true;
+      }
+    }
+    if (scale == 1) break;
+  }
+  return result;
+}
+
+SearchResult tabu_search(const dist::GenBlock& start,
+                         const Objective& objective, const TabuOptions& opts,
+                         std::uint64_t seed) {
+  MHETA_CHECK(opts.neighbors >= 1 && opts.tabu_tenure >= 1);
+  Rng rng(seed, 0x7ABu);
+  SearchResult result;
+  dist::GenBlock current = start;
+  double current_time = objective(current);
+  ++result.evaluations;
+  result.best = current;
+  result.best_time = current_time;
+  const std::int64_t max_move = default_move(start.total(), opts.max_move_rows);
+
+  std::deque<std::vector<std::int64_t>> tabu;
+  auto is_tabu = [&](const dist::GenBlock& d) {
+    return std::find(tabu.begin(), tabu.end(), d.counts()) != tabu.end();
+  };
+  tabu.push_back(current.counts());
+
+  for (int step = 0; step < opts.steps; ++step) {
+    bool found = false;
+    dist::GenBlock best_neighbor = current;
+    double best_time = 0;
+    for (int k = 0; k < opts.neighbors; ++k) {
+      const auto candidate = neighbor_move(current, max_move, rng);
+      if (is_tabu(candidate)) continue;
+      const double v = objective(candidate);
+      ++result.evaluations;
+      if (!found || v < best_time) {
+        found = true;
+        best_time = v;
+        best_neighbor = candidate;
+      }
+    }
+    if (!found) break;  // every sampled neighbor tabu
+    current = best_neighbor;  // accept even if worse (tabu escape)
+    current_time = best_time;
+    tabu.push_back(current.counts());
+    if (static_cast<int>(tabu.size()) > opts.tabu_tenure) tabu.pop_front();
+    if (current_time < result.best_time) {
+      result.best_time = current_time;
+      result.best = current;
+    }
+  }
+  return result;
+}
+
+SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
+                     const GeneticOptions& opts, std::uint64_t seed) {
+  MHETA_CHECK(opts.population >= 4);
+  Rng rng(seed, 0x6E6Eu);
+  const std::int64_t max_move = default_move(ctx.rows, opts.max_move_rows);
+
+  struct Individual {
+    dist::GenBlock d;
+    double time = 0;
+  };
+  auto evaluate = [&](const dist::GenBlock& d) { return objective(d); };
+
+  // Seed the population with the four anchors plus random perturbations.
+  std::vector<Individual> pop;
+  SearchResult result;
+  auto add = [&](dist::GenBlock d) {
+    Individual ind{std::move(d), 0};
+    ind.time = evaluate(ind.d);
+    ++result.evaluations;
+    pop.push_back(std::move(ind));
+  };
+  add(dist::block_dist(ctx));
+  add(dist::balanced_dist(ctx));
+  add(dist::in_core_dist(ctx));
+  add(dist::in_core_balanced_dist(ctx));
+  while (static_cast<int>(pop.size()) < opts.population) {
+    auto base = pop[static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))]
+                    .d;
+    add(neighbor_move(base, max_move, rng));
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const auto n = static_cast<std::int64_t>(pop.size()) - 1;
+    const auto& a = pop[static_cast<std::size_t>(rng.uniform_int(0, n))];
+    const auto& b = pop[static_cast<std::size_t>(rng.uniform_int(0, n))];
+    return a.time <= b.time ? a : b;
+  };
+  auto crossover = [&](const dist::GenBlock& a, const dist::GenBlock& b) {
+    std::vector<double> shares(static_cast<std::size_t>(a.nodes()));
+    for (int i = 0; i < a.nodes(); ++i) {
+      const double w = rng.uniform01();
+      shares[static_cast<std::size_t>(i)] =
+          w * static_cast<double>(a.count(i)) +
+          (1 - w) * static_cast<double>(b.count(i));
+    }
+    return dist::GenBlock(dist::apportion(shares, a.total()));
+  };
+
+  for (int gen = 0; gen < opts.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.time < b.time;
+              });
+    std::vector<Individual> next(pop.begin(), pop.begin() + 2);  // elitism
+    while (static_cast<int>(next.size()) < opts.population) {
+      auto child = crossover(tournament().d, tournament().d);
+      if (rng.uniform01() < opts.mutation_rate)
+        child = neighbor_move(child, max_move, rng);
+      Individual ind{std::move(child), 0};
+      ind.time = evaluate(ind.d);
+      ++result.evaluations;
+      next.push_back(std::move(ind));
+    }
+    pop = std::move(next);
+  }
+  const auto best = std::min_element(
+      pop.begin(), pop.end(),
+      [](const Individual& a, const Individual& b) { return a.time < b.time; });
+  result.best = best->d;
+  result.best_time = best->time;
+  return result;
+}
+
+}  // namespace mheta::search

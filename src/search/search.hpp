@@ -1,0 +1,108 @@
+// Distribution-search algorithms (companion paper [26], referenced in §5.3:
+// "MHETA is used as part of four different algorithms — genetic, simulated
+// annealing, generalized binary search, and random — to determine an
+// effective distribution").
+//
+// All algorithms treat the model as a black-box objective: GenBlock -> time.
+// GBS and random search explore the one-dimensional distribution spectrum
+// (Figure 8); simulated annealing and the genetic search work directly on
+// GEN_BLOCK vectors and can reach distributions off the spectrum path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/suite.hpp"
+#include "dist/generators.hpp"
+
+namespace mheta::search {
+
+/// Black-box objective: predicted execution time of a distribution.
+using Objective = std::function<double(const dist::GenBlock&)>;
+
+/// The continuous spectrum parameterization explored by GBS and random
+/// search: position t in [0,1] maps to an interpolated distribution along
+/// the architecture's anchor walk.
+class SpectrumSpace {
+ public:
+  SpectrumSpace(const dist::DistContext& ctx, cluster::SpectrumKind kind);
+
+  /// Distribution at spectrum position t (clamped to [0,1]).
+  dist::GenBlock at(double t) const;
+
+  int segments() const { return static_cast<int>(anchors_.size()) - 1; }
+
+ private:
+  std::vector<dist::GenBlock> anchors_;
+};
+
+/// Outcome of a search.
+struct SearchResult {
+  dist::GenBlock best;
+  double best_time = 0;
+  int evaluations = 0;
+};
+
+/// Generalized Binary Search over the spectrum: each round samples the
+/// current interval at `fanout` evenly spaced points, keeps the best
+/// sample's neighborhood, and halves the interval until it is narrower than
+/// `resolution`.
+struct GbsOptions {
+  int fanout = 5;
+  double resolution = 1e-3;
+};
+SearchResult gbs(const SpectrumSpace& space, const Objective& objective,
+                 const GbsOptions& opts = {});
+
+/// Uniform random sampling of the spectrum.
+SearchResult random_search(const SpectrumSpace& space,
+                           const Objective& objective, int samples,
+                           std::uint64_t seed);
+
+/// Simulated annealing over GEN_BLOCK vectors; neighbor moves shift a
+/// random number of rows between two random nodes.
+struct AnnealOptions {
+  int steps = 1500;
+  double initial_temperature_rel = 0.03;  ///< relative to the start time
+  double cooling = 0.996;
+  std::int64_t max_move_rows = 0;  ///< 0 -> rows/16
+};
+SearchResult simulated_annealing(const dist::GenBlock& start,
+                                 const Objective& objective,
+                                 const AnnealOptions& opts, std::uint64_t seed);
+
+/// Steepest-descent hill climbing over GEN_BLOCK vectors (extension):
+/// repeatedly applies the best of `neighbors` sampled row-moves until no
+/// sampled move improves.
+struct HillClimbOptions {
+  int neighbors = 16;
+  int max_rounds = 200;
+  std::int64_t max_move_rows = 0;  ///< 0 -> rows/16
+};
+SearchResult hill_climb(const dist::GenBlock& start, const Objective& objective,
+                        const HillClimbOptions& opts, std::uint64_t seed);
+
+/// Tabu search over GEN_BLOCK vectors (extension): hill climbing that may
+/// accept worsening moves but never revisits a recently-seen distribution.
+struct TabuOptions {
+  int steps = 300;
+  int neighbors = 12;
+  int tabu_tenure = 50;
+  std::int64_t max_move_rows = 0;  ///< 0 -> rows/16
+};
+SearchResult tabu_search(const dist::GenBlock& start, const Objective& objective,
+                         const TabuOptions& opts, std::uint64_t seed);
+
+/// Genetic search over GEN_BLOCK vectors: tournament selection, blend
+/// crossover (repaired to the exact total), row-move mutation, elitism.
+struct GeneticOptions {
+  int population = 24;
+  int generations = 30;
+  double mutation_rate = 0.3;
+  std::int64_t max_move_rows = 0;  ///< 0 -> rows/16
+};
+SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
+                     const GeneticOptions& opts, std::uint64_t seed);
+
+}  // namespace mheta::search

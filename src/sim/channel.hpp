@@ -1,0 +1,90 @@
+// Typed message channels with timed delivery.
+//
+// Channels connect simulated processes: a sender deposits a value (now or at
+// a future time, modelling network transfer), a receiver awaits it. Receive
+// order is FIFO in both values and waiters, so runs are deterministic.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace mheta::sim {
+
+/// Unbounded FIFO channel carrying values of type T.
+///
+/// The channel must outlive every process that uses it; in this library
+/// channels are owned by the communicator, which lives for the whole run.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Deposits a value at the current simulated time.
+  void push(T value) {
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      // Hand the value directly to the waiting receiver; the awaiter object
+      // lives in the suspended coroutine frame, so the slot stays valid.
+      w.slot->emplace(std::move(value));
+      engine_.schedule_resume(engine_.now(), w.handle);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  /// Deposits a value at absolute time `t` (models in-flight delivery).
+  void push_at(Time t, T value) {
+    engine_.at(t, [this, v = std::move(value)]() mutable { push(std::move(v)); });
+  }
+
+  /// Awaitable: yields the next value, blocking if none is available.
+  auto recv() {
+    struct RecvAwaiter {
+      Channel& ch;
+      std::optional<T> slot;
+
+      bool await_ready() {
+        if (!ch.items_.empty()) {
+          slot.emplace(std::move(ch.items_.front()));
+          ch.items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.waiters_.push_back(Waiter{h, &slot});
+      }
+      T await_resume() {
+        MHETA_CHECK(slot.has_value());
+        return std::move(*slot);
+      }
+    };
+    return RecvAwaiter{*this, std::nullopt};
+  }
+
+  /// Values deposited but not yet received.
+  std::size_t size() const { return items_.size(); }
+
+  /// Processes currently blocked in recv().
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  Engine& engine_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace mheta::sim

@@ -1,0 +1,55 @@
+#include "sim/engine.hpp"
+
+#include <memory>
+
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace mheta::sim {
+
+Engine::~Engine() = default;
+
+void Engine::at(Time t, std::function<void()> fn) {
+  MHETA_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
+                                                               << " now=" << now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::in(Time dt, std::function<void()> fn) {
+  MHETA_CHECK(dt >= 0);
+  at(now_ + dt, std::move(fn));
+}
+
+Process& Engine::spawn(Process p) {
+  auto owned = std::make_unique<Process>(std::move(p));
+  Process& ref = *owned;
+  ref.h_.promise().engine = this;
+  schedule_resume(now_, ref.h_);
+  processes_.push_back(std::move(owned));
+  return ref;
+}
+
+void Engine::run() {
+  while (!queue_.empty() && !stopped_ && first_error_ == nullptr) {
+    // The queue stores const refs via top(); move the closure out before pop.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++events_processed_;
+    ev.fn();
+  }
+  if (first_error_ != nullptr) {
+    auto e = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Engine::schedule_resume(Time t, std::coroutine_handle<> h) {
+  at(t, [h] { h.resume(); });
+}
+
+void Engine::note_exception(std::exception_ptr e) {
+  if (first_error_ == nullptr) first_error_ = e;
+}
+
+}  // namespace mheta::sim

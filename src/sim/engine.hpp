@@ -1,0 +1,99 @@
+// The discrete-event simulation engine.
+//
+// A single-threaded event loop: callbacks are executed in (time, insertion
+// order). Application code rarely touches callbacks directly — it is written
+// as coroutine Processes (see process.hpp) that await engine operations.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mheta::sim {
+
+class Process;
+
+/// Deterministic discrete-event engine.
+///
+/// Events at equal timestamps run in insertion order, which makes every run
+/// bit-reproducible. The engine owns the coroutine frames of all spawned
+/// processes; frames stay valid until the engine is destroyed.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` at now() + dt (dt must be >= 0).
+  void in(Time dt, std::function<void()> fn);
+
+  /// Starts a coroutine process; it first runs at the current time.
+  /// Returns a handle that can be awaited (see Process::join).
+  Process& spawn(Process p);
+
+  /// Runs until the event queue is empty or stop() is called.
+  /// Rethrows the first unhandled exception from any process.
+  void run();
+
+  /// Stops the run loop after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Awaitable: suspends the calling process for `dt` simulated time.
+  auto delay(Time dt);
+
+  /// Total number of events executed so far (diagnostics).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // -- internal: used by the coroutine machinery -------------------------
+  void schedule_resume(Time t, std::coroutine_handle<> h);
+  void note_exception(std::exception_ptr e);
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  std::exception_ptr first_error_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+/// Awaitable returned by Engine::delay.
+struct DelayAwaiter {
+  Engine& engine;
+  Time dt;
+  bool await_ready() const noexcept { return dt <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine.schedule_resume(engine.now() + dt, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline auto Engine::delay(Time dt) { return DelayAwaiter{*this, dt}; }
+
+}  // namespace mheta::sim

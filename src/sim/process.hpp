@@ -1,0 +1,104 @@
+// Coroutine process type for the simulation engine.
+//
+// A Process is a coroutine that performs simulated work by awaiting engine
+// operations:
+//
+//   sim::Process worker(sim::Engine& eng) {
+//     co_await eng.delay(sim::from_seconds(0.5));   // compute for 0.5 s
+//     co_await channel.recv();                      // block on a message
+//   }
+//   eng.spawn(worker(eng));
+//   eng.run();
+//
+// Processes are started with Engine::spawn, which takes ownership of the
+// coroutine frame. Unhandled exceptions inside a process abort the run and
+// are rethrown from Engine::run().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mheta::sim {
+
+/// A simulated process (void-returning coroutine).
+class [[nodiscard]] Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Engine* engine = nullptr;
+    bool finished = false;
+    std::exception_ptr exception;
+    std::vector<std::coroutine_handle<>> joiners;
+
+    Process get_return_object() { return Process(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Handle h) const noexcept {
+        auto& p = h.promise();
+        p.finished = true;
+        for (auto j : p.joiners) p.engine->schedule_resume(p.engine->now(), j);
+        p.joiners.clear();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+      finished = true;
+      if (engine != nullptr) engine->note_exception(exception);
+    }
+  };
+
+  Process(Process&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  /// True once the coroutine has run to completion (or threw).
+  bool done() const { return h_.promise().finished; }
+
+  /// Awaitable: suspends the caller until this process completes.
+  /// The awaited process must outlive the joiner (Engine::spawn guarantees
+  /// this for engine-owned processes).
+  auto join() {
+    struct JoinAwaiter {
+      Process& proc;
+      bool await_ready() const noexcept { return proc.done(); }
+      void await_suspend(std::coroutine_handle<> h) const {
+        proc.h_.promise().joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return JoinAwaiter{*this};
+  }
+
+ private:
+  friend class Engine;
+  explicit Process(Handle h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  Handle h_;
+};
+
+}  // namespace mheta::sim

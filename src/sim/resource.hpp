@@ -1,0 +1,74 @@
+// Counting resource (semaphore) for simulated processes.
+//
+// Used to serialize access to contended devices. Waiters are served FIFO,
+// keeping runs deterministic.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace mheta::sim {
+
+/// A counting resource with FIFO admission.
+class Resource {
+ public:
+  Resource(Engine& engine, int capacity)
+      : engine_(engine), available_(capacity), capacity_(capacity) {
+    MHETA_CHECK(capacity > 0);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable: acquires one unit, blocking until available.
+  auto acquire() {
+    struct AcquireAwaiter {
+      Resource& res;
+      bool await_ready() {
+        if (res.available_ > 0) {
+          // Claim immediately; the token is returned via release().
+          --res.available_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return AcquireAwaiter{*this};
+  }
+
+  /// Returns one unit; wakes the longest-waiting acquirer, if any.
+  void release() {
+    if (!waiters_.empty()) {
+      // Transfer the token directly to the next waiter.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_.schedule_resume(engine_.now(), h);
+    } else {
+      MHETA_CHECK_MSG(available_ < capacity_, "release without acquire");
+      ++available_;
+    }
+  }
+
+  int available() const { return available_; }
+  int capacity() const { return capacity_; }
+
+ private:
+  Engine& engine_;
+  int available_;
+  int capacity_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII-less scoped helper: acquire in a coroutine with
+///   co_await res.acquire();  ...  res.release();
+/// A coroutine-friendly RAII guard is intentionally not provided: the guard
+/// destructor would run at coroutine frame destruction, not at scope exit
+/// visible to the engine clock.
+
+}  // namespace mheta::sim

@@ -1,0 +1,137 @@
+// Composable awaitable coroutines.
+//
+// Process (process.hpp) is the top-level, engine-owned coroutine; Task<T> is
+// the library-level building block: a lazy coroutine that starts when
+// awaited and resumes its awaiter when done, optionally returning a value.
+// This lets runtime operations (send, recv, file_read, ...) be written as
+// coroutines and composed:
+//
+//   sim::Task<double> allreduce(...) { co_await send(...); ... co_return v; }
+//   sim::Process app(...) { double v = co_await allreduce(...); }
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mheta::sim {
+
+namespace detail {
+
+template <typename Promise>
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) const noexcept {
+    // Symmetric transfer back to the awaiter, if any.
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine yielding a T. Must be awaited exactly once;
+/// destroying an unawaited Task is allowed (the body never runs).
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::TaskFinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;  // start the task body (symmetric transfer)
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        MHETA_CHECK(p.value.has_value());
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::TaskFinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception)
+          std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace mheta::sim

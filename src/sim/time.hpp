@@ -1,0 +1,33 @@
+// Simulated time.
+//
+// The event engine orders events by integer nanoseconds so that event order
+// is exact and platform-independent; floating-point "seconds" are used only
+// at the model/reporting boundary.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mheta::sim {
+
+/// Simulated time in nanoseconds since the start of the run.
+using Time = std::int64_t;
+
+/// A time later than any event in a realistic run.
+inline constexpr Time kForever = std::numeric_limits<Time>::max() / 4;
+
+/// Converts seconds to simulated time (rounds to nearest nanosecond).
+inline Time from_seconds(double s) {
+  return static_cast<Time>(std::llround(s * 1e9));
+}
+
+/// Converts microseconds to simulated time.
+inline Time from_micros(double us) {
+  return static_cast<Time>(std::llround(us * 1e3));
+}
+
+/// Converts simulated time to seconds.
+inline double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace mheta::sim

@@ -1,0 +1,75 @@
+// One-shot completion events.
+//
+// A Trigger models an asynchronous completion (e.g. a disk read finishing):
+// one party fires it, any number of processes await it. Triggers are shared
+// between the issuer and the waiters, so they are handled via shared_ptr.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace mheta::sim {
+
+/// One-shot event. Await before or after firing; both complete correctly.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(engine) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  /// Fires the event at the current time, waking all waiters. Idempotent
+  /// firing is a bug in the caller, so it is checked.
+  void fire() {
+    MHETA_CHECK_MSG(!fired_, "trigger fired twice");
+    fired_ = true;
+    fire_time_ = engine_.now();
+    for (auto w : waiters_) engine_.schedule_resume(engine_.now(), w);
+    waiters_.clear();
+  }
+
+  /// Schedules fire() at absolute time `t`. The trigger must stay alive
+  /// until then (waiters holding a shared_ptr is the normal pattern).
+  void fire_at(Time t) {
+    engine_.at(t, [this] { fire(); });
+  }
+
+  bool fired() const { return fired_; }
+
+  /// Time at which the event fired; only meaningful once fired().
+  Time fire_time() const {
+    MHETA_CHECK(fired_);
+    return fire_time_;
+  }
+
+  /// Awaitable: completes immediately if already fired.
+  auto wait() {
+    struct WaitAwaiter {
+      Trigger& trig;
+      bool await_ready() const noexcept { return trig.fired_; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        trig.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return WaitAwaiter{*this};
+  }
+
+ private:
+  Engine& engine_;
+  bool fired_ = false;
+  Time fire_time_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+using TriggerPtr = std::shared_ptr<Trigger>;
+
+/// Creates a trigger bound to `engine`.
+inline TriggerPtr make_trigger(Engine& engine) {
+  return std::make_shared<Trigger>(engine);
+}
+
+}  // namespace mheta::sim

@@ -1,0 +1,49 @@
+// Lightweight precondition checking used across the library.
+//
+// MHETA_CHECK is always on (never compiled out): the library is a research
+// instrument, and a silent out-of-range index invalidates an experiment far
+// more expensively than the branch costs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mheta {
+
+/// Thrown when a MHETA_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mheta
+
+/// Verify a precondition; throws mheta::CheckError with location on failure.
+#define MHETA_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::mheta::detail::check_failed(#expr, __FILE__, __LINE__, {});    \
+  } while (0)
+
+/// MHETA_CHECK with an additional streamed message, e.g.
+/// MHETA_CHECK_MSG(i < n, "index " << i << " out of range " << n);
+#define MHETA_CHECK_MSG(expr, stream_expr)                             \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream mheta_check_os_;                              \
+      mheta_check_os_ << stream_expr;                                  \
+      ::mheta::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    mheta_check_os_.str());            \
+    }                                                                  \
+  } while (0)

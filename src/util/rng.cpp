@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mheta {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id into the seed sequence so streams are independent.
+  std::uint64_t x = seed ^ (0x6a09e667f3bcc909ULL * (stream + 1));
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MHETA_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MHETA_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform.
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::noise_factor(double rel) {
+  if (rel <= 0.0) return 1.0;
+  double f = 1.0 + normal(0.0, rel);
+  const double lo = 1.0 - 4.0 * rel;
+  const double hi = 1.0 + 4.0 * rel;
+  if (f < lo) f = lo;
+  if (f > hi) f = hi;
+  return f;
+}
+
+}  // namespace mheta

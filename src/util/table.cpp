@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MHETA_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MHETA_CHECK_MSG(cells.size() == header_.size(),
+                  "row has " << cells.size() << " cells, header has "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+namespace {
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> w(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) w[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+  }
+  return w;
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  const auto w = column_widths(header_, rows_);
+  auto print_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(w[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      os << std::string(w[c], '-');
+      if (c + 1 < w.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_line(header_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty())
+      print_sep();
+    else
+      print_line(row);
+  }
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  auto print_line = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      os << (c + 1 < cells.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+  print_line(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (!row.empty()) print_line(row);
+  }
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (fraction * 100.0)
+     << '%';
+  return os.str();
+}
+
+}  // namespace mheta

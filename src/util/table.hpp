@@ -1,0 +1,47 @@
+// Plain-text table formatting for experiment reports.
+//
+// Every bench binary prints paper-style rows; this keeps the column
+// alignment logic in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mheta {
+
+/// A simple column-aligned text table.
+///
+///   Table t({"app", "config", "accuracy"});
+///   t.add_row({"Jacobi", "DC", "98.7%"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders with padded columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as GitHub-flavored markdown.
+  void print_markdown(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt(double v, int precision = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.0213 -> "2.13%".
+std::string fmt_pct(double fraction, int precision = 2);
+
+}  // namespace mheta

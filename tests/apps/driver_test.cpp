@@ -1,0 +1,114 @@
+#include "apps/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.hpp"
+#include "apps/rna.hpp"
+#include "cluster/suite.hpp"
+#include "dist/generators.hpp"
+#include "exp/experiment.hpp"
+
+namespace mheta::apps {
+namespace {
+
+RunOptions plain_run(int iterations) {
+  RunOptions o;
+  o.iterations = iterations;
+  o.runtime.overhead_bytes = 0;
+  return o;
+}
+
+dist::GenBlock blk_for(const core::ProgramStructure& p,
+                       const cluster::ClusterConfig& c) {
+  return dist::block_dist(
+      dist::DistContext::from_cluster(c, p.rows(), p.bytes_per_row()));
+}
+
+TEST(Driver, TimeScalesLinearlyWithIterations) {
+  const auto arch = cluster::find_arch("DC");
+  const auto p = jacobi_program({});
+  const auto d = blk_for(p, arch.cluster);
+  const auto one = run_program(arch.cluster, cluster::SimEffects::none(), p, d,
+                               plain_run(1));
+  const auto five = run_program(arch.cluster, cluster::SimEffects::none(), p,
+                                d, plain_run(5));
+  // The first iteration differs from steady state only by the small
+  // post-reduction skew between ranks.
+  EXPECT_NEAR(five.seconds / one.seconds, 5.0, 0.01);
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  const auto arch = cluster::find_arch("HY1");
+  const auto p = rna_program({});
+  const auto d = blk_for(p, arch.cluster);
+  auto opts = exp::ExperimentOptions::default_effects();
+  const auto a = run_program(arch.cluster, opts, p, d, plain_run(2));
+  const auto b = run_program(arch.cluster, opts, p, d, plain_run(2));
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Driver, AllRanksReported) {
+  const auto arch = cluster::find_arch("DC");
+  const auto p = jacobi_program({});
+  const auto d = blk_for(p, arch.cluster);
+  const auto r = run_program(arch.cluster, cluster::SimEffects::none(), p, d,
+                             plain_run(1));
+  ASSERT_EQ(r.node_seconds.size(), 8u);
+  for (double s : r.node_seconds) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, r.seconds);
+  }
+}
+
+TEST(Driver, SlowCpuNodeDominatesUnderBlk) {
+  // DC: nodes 0/1 have half the power -> they bound the iteration.
+  auto arch = cluster::find_arch("DC");
+  const auto p = jacobi_program({});
+  const auto d = blk_for(p, arch.cluster);
+  const auto r = run_program(arch.cluster, cluster::SimEffects::none(), p, d,
+                             plain_run(1));
+  // Node 7 (fast) finishes its stages long before the slow nodes, but the
+  // reduction synchronizes everyone to within the collective's own cost.
+  EXPECT_NEAR(r.node_seconds[0], r.seconds, 0.01 * r.seconds);
+}
+
+TEST(Driver, ForceIoMakesInCoreRunsSlower) {
+  const auto arch = cluster::find_arch("DC");  // everything in core
+  const auto p = jacobi_program({});
+  const auto d = blk_for(p, arch.cluster);
+  auto forced = plain_run(1);
+  forced.runtime.force_io = true;
+  const auto normal = run_program(arch.cluster, cluster::SimEffects::none(), p,
+                                  d, plain_run(1));
+  const auto instrumented = run_program(arch.cluster,
+                                        cluster::SimEffects::none(), p, d,
+                                        forced);
+  EXPECT_GT(instrumented.seconds, normal.seconds * 1.2);
+}
+
+TEST(Driver, PipelineStaggersRankCompletion) {
+  const auto arch = cluster::find_arch("DC");
+  RnaConfig cfg;
+  const auto p = rna_program(cfg);
+  const auto d = blk_for(p, arch.cluster);
+  const auto r = run_program(arch.cluster, cluster::SimEffects::none(), p, d,
+                             plain_run(1));
+  // With the final reduction the ranks resynchronize, but the run must have
+  // completed and be positive.
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Driver, SetupHookObservesWorld) {
+  const auto arch = cluster::find_arch("DC");
+  const auto p = jacobi_program({});
+  const auto d = blk_for(p, arch.cluster);
+  auto opts = plain_run(1);
+  int observed_size = 0;
+  opts.setup = [&](mpi::World& w) { observed_size = w.size(); };
+  (void)run_program(arch.cluster, cluster::SimEffects::none(), p, d, opts);
+  EXPECT_EQ(observed_size, 8);
+}
+
+}  // namespace
+}  // namespace mheta::apps

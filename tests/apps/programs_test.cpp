@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "apps/cg.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/lanczos.hpp"
+#include "apps/multigrid.hpp"
+#include "apps/rna.hpp"
+
+namespace mheta::apps {
+namespace {
+
+TEST(JacobiProgram, StructureMatchesPaper) {
+  const auto p = jacobi_program({});
+  EXPECT_EQ(p.name, "Jacobi");
+  ASSERT_EQ(p.sections.size(), 1u);
+  const auto& s = p.sections[0];
+  EXPECT_EQ(s.pattern, core::CommPattern::kNearestNeighbor);
+  EXPECT_TRUE(s.has_reduction);
+  ASSERT_EQ(s.stages.size(), 1u);
+  // Jacobi both reads and writes its grid (paper §4.2.1).
+  EXPECT_EQ(s.stages[0].read_vars, std::vector<std::string>{"U"});
+  EXPECT_EQ(s.stages[0].write_vars, std::vector<std::string>{"U"});
+}
+
+TEST(JacobiProgram, PrefetchFlagPropagates) {
+  JacobiConfig cfg;
+  cfg.prefetch = true;
+  const auto p = jacobi_program(cfg);
+  EXPECT_TRUE(p.sections[0].stages[0].prefetch);
+  EXPECT_EQ(p.name, "Jacobi+prefetch");
+}
+
+TEST(CgProgram, MatrixIsReadOnly) {
+  const auto p = cg_program({});
+  ASSERT_EQ(p.arrays.size(), 1u);
+  // "For the Conjugate Gradient and Lanzcos applications, the array is
+  // read-only, and no writes are performed" (§4.2.1).
+  EXPECT_EQ(p.arrays[0].access, ooc::Access::kReadOnly);
+  for (const auto& s : p.sections)
+    for (const auto& st : s.stages) EXPECT_TRUE(st.write_vars.empty());
+}
+
+TEST(CgProgram, RowWorkFollowsNnzProfile) {
+  CgConfig cfg;
+  const auto p = cg_program(cfg);
+  const auto& matvec = p.sections[0].stages[0];
+  ASSERT_TRUE(static_cast<bool>(matvec.row_work));
+  // Per-row work proportional to nnz; spread within the configured band.
+  double lo = 1e9, hi = 0;
+  for (std::int64_t r = 0; r < cfg.rows; r += 13) {
+    const double w = matvec.row_work(r);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GT(hi / lo, 1.3);  // genuine imbalance
+  // Uniform spread s keeps the ratio under (1+s)/(1-s).
+  EXPECT_LE(hi / lo, (1.0 + cfg.nnz_spread) / (1.0 - cfg.nnz_spread) + 1e-6);
+}
+
+TEST(CgProgram, NnzIsDeterministic) {
+  CgConfig cfg;
+  EXPECT_EQ(cg_row_nnz(cfg, 123), cg_row_nnz(cfg, 123));
+  cfg.matrix_seed = 8;
+  const auto other = cg_row_nnz(cfg, 123);
+  cfg.matrix_seed = 7;
+  EXPECT_NE(other, cg_row_nnz(cfg, 123));
+}
+
+TEST(RnaProgram, IsPipelinedWithTiles) {
+  const auto p = rna_program({});
+  ASSERT_EQ(p.sections.size(), 1u);
+  EXPECT_EQ(p.sections[0].pattern, core::CommPattern::kPipeline);
+  EXPECT_GT(p.sections[0].tiles, 1);
+  EXPECT_EQ(p.sections[0].stages.size(), 2u);  // fill + scan
+}
+
+TEST(LanczosProgram, TwoSectionsWithReductions) {
+  const auto p = lanczos_program({});
+  ASSERT_EQ(p.sections.size(), 2u);
+  for (const auto& s : p.sections) EXPECT_TRUE(s.has_reduction);
+  EXPECT_EQ(p.arrays[0].access, ooc::Access::kReadOnly);
+}
+
+TEST(MultigridProgram, VShapedSectionSequence) {
+  MultigridConfig cfg;
+  cfg.levels = 3;
+  const auto p = multigrid_program(cfg);
+  // 3 down + 2 up + 1 convergence.
+  EXPECT_EQ(p.sections.size(), 6u);
+  EXPECT_EQ(p.arrays.size(), 3u);
+  // Coarser levels shrink.
+  EXPECT_GT(p.arrays[0].row_bytes, p.arrays[1].row_bytes);
+  EXPECT_GT(p.arrays[1].row_bytes, p.arrays[2].row_bytes);
+  EXPECT_TRUE(p.sections.back().has_reduction);
+}
+
+TEST(ProgramStructure, BytesPerRowSumsArrays) {
+  const auto p = multigrid_program({});
+  std::int64_t expected = 0;
+  for (const auto& a : p.arrays) expected += a.row_bytes;
+  EXPECT_EQ(p.bytes_per_row(), expected);
+  EXPECT_EQ(p.rows(), p.arrays[0].rows);
+}
+
+}  // namespace
+}  // namespace mheta::apps

@@ -1,0 +1,136 @@
+#include "cluster/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace mheta::cluster {
+namespace {
+
+NodeSpec simple_spec() {
+  NodeSpec n;
+  n.disk_read_seek_s = 0.010;              // 10 ms
+  n.disk_write_seek_s = 0.020;             // 20 ms
+  n.disk_read_s_per_byte = 1e-6;           // 1 MB/s -> 1 us/byte
+  n.disk_write_s_per_byte = 2e-6;          // 0.5 MB/s
+  n.file_cache_bytes = 1000;
+  n.cache_read_s_per_byte = 1e-8;
+  return n;
+}
+
+TEST(DiskModel, SyncReadCostIsSeekPlusBytes) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), /*file_cache_enabled=*/false);
+  const sim::Time done = disk.read("A", 0, 500);
+  // 10 ms seek + 500 us transfer.
+  EXPECT_EQ(done, sim::from_seconds(0.010) + sim::from_seconds(500e-6));
+}
+
+TEST(DiskModel, WriteUsesWriteParameters) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), false);
+  const sim::Time done = disk.write("A", 0, 100);
+  EXPECT_EQ(done, sim::from_seconds(0.020) + sim::from_seconds(200e-6));
+}
+
+TEST(DiskModel, BackToBackRequestsQueue) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), false);
+  const sim::Time t1 = disk.read("A", 0, 100);
+  const sim::Time t2 = disk.read("A", 100, 100);
+  // Second request starts when the first completes.
+  EXPECT_EQ(t2 - t1, sim::from_seconds(0.010) + sim::from_seconds(100e-6));
+}
+
+TEST(DiskModel, CacheDisabledRereadsCostFull) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), false);
+  const sim::Time t1 = disk.read("A", 0, 100);
+  const sim::Time t2 = disk.read("A", 0, 100);
+  EXPECT_EQ(t2 - t1, t1 - 0);
+  EXPECT_EQ(disk.cached_bytes(), 0);
+}
+
+TEST(DiskModel, CachedRereadIsFaster) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), true);
+  const sim::Time t1 = disk.read("A", 0, 500);       // cold
+  const sim::Time t2 = disk.read("A", 0, 500);       // warm
+  const sim::Time cold_cost = t1;
+  const sim::Time warm_cost = t2 - t1;
+  EXPECT_LT(warm_cost, cold_cost);
+  // Warm cost ~ seek + 500 * cache rate.
+  EXPECT_EQ(warm_cost,
+            sim::from_seconds(0.010) + sim::from_seconds(500 * 1e-8));
+}
+
+TEST(DiskModel, CacheCapacityLimitsResidency) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), true);  // cache = 1000 bytes
+  disk.read("A", 0, 1500);                   // only first 1000 bytes cached
+  EXPECT_EQ(disk.cached_bytes(), 1000);
+  const sim::Time before = disk.busy_until();
+  const sim::Time after = disk.read("A", 0, 1500);
+  // 1000 cached + 500 uncached.
+  EXPECT_EQ(after - before, sim::from_seconds(0.010) +
+                                sim::from_seconds(1000 * 1e-8) +
+                                sim::from_seconds(500 * 1e-6));
+}
+
+TEST(DiskModel, CacheSharedAcrossFiles) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), true);
+  disk.read("A", 0, 800);
+  disk.read("B", 0, 800);  // only 200 bytes of B fit
+  EXPECT_EQ(disk.cached_bytes(), 1000);
+}
+
+TEST(DiskModel, WritesPopulateCache) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), true);
+  disk.write("A", 0, 400);
+  EXPECT_EQ(disk.cached_bytes(), 400);
+  const sim::Time before = disk.busy_until();
+  const sim::Time after = disk.read("A", 0, 400);
+  EXPECT_EQ(after - before,
+            sim::from_seconds(0.010) + sim::from_seconds(400 * 1e-8));
+}
+
+TEST(DiskModel, InvalidateCacheRestoresColdCosts) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), true);
+  disk.read("A", 0, 500);
+  disk.invalidate_cache();
+  EXPECT_EQ(disk.cached_bytes(), 0);
+  const sim::Time before = disk.busy_until();
+  const sim::Time after = disk.read("A", 0, 500);
+  EXPECT_EQ(after - before,
+            sim::from_seconds(0.010) + sim::from_seconds(500e-6));
+}
+
+TEST(DiskModel, AsyncReadFiresTriggerAtCompletion) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), false);
+  auto trig = disk.read_async("A", 0, 100);
+  sim::Time woke = -1;
+  eng.spawn([](sim::Engine& e, sim::TriggerPtr t, sim::Time& w) -> sim::Process {
+    co_await t->wait();
+    w = e.now();
+  }(eng, trig, woke));
+  eng.run();
+  EXPECT_EQ(woke, sim::from_seconds(0.010) + sim::from_seconds(100e-6));
+}
+
+TEST(DiskModel, TracksByteCounters) {
+  sim::Engine eng;
+  DiskModel disk(eng, simple_spec(), false);
+  disk.read("A", 0, 100);
+  disk.read("A", 100, 50);
+  disk.write("B", 0, 30);
+  EXPECT_EQ(disk.bytes_read(), 150);
+  EXPECT_EQ(disk.bytes_written(), 30);
+}
+
+}  // namespace
+}  // namespace mheta::cluster

@@ -1,0 +1,129 @@
+#include "cluster/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace mheta::cluster {
+namespace {
+
+TEST(Suite, HasSeventeenArchitectures) {
+  EXPECT_EQ(architecture_suite().size(), 17u);
+}
+
+TEST(Suite, PrefetchSubsetHasTwelve) {
+  EXPECT_EQ(prefetch_suite().size(), 12u);
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& a : architecture_suite()) names.insert(a.cluster.name);
+  EXPECT_EQ(names.size(), 17u);
+}
+
+TEST(Suite, AllEightNodes) {
+  for (const auto& a : architecture_suite())
+    EXPECT_EQ(a.cluster.size(), 8) << a.cluster.name;
+}
+
+TEST(Suite, DcMatchesTableOne) {
+  const auto dc = make_dc();
+  // Two lower, two higher, rest baseline; no memory pressure.
+  int lower = 0, higher = 0, base = 0;
+  for (const auto& n : dc.cluster.nodes) {
+    if (n.cpu_power < 1.0) ++lower;
+    else if (n.cpu_power > 1.0) ++higher;
+    else ++base;
+  }
+  EXPECT_EQ(lower, 2);
+  EXPECT_EQ(higher, 2);
+  EXPECT_EQ(base, 4);
+  EXPECT_EQ(dc.spectrum, SpectrumKind::kBlkBal);
+  EXPECT_FALSE(dc.cluster.uniform_cpu());
+}
+
+TEST(Suite, IoMatchesTableOne) {
+  const auto io = make_io();
+  // Equal CPU power everywhere; half the nodes slow-disk + small-memory.
+  EXPECT_TRUE(io.cluster.uniform_cpu());
+  int constrained = 0;
+  for (const auto& n : io.cluster.nodes)
+    if (n.memory_bytes < (64ll << 20)) ++constrained;
+  EXPECT_EQ(constrained, 4);
+  EXPECT_EQ(io.spectrum, SpectrumKind::kBlkIC);
+}
+
+TEST(Suite, Hy1HasCpuSpreadAndSmallMemories) {
+  const auto hy1 = make_hy1();
+  EXPECT_FALSE(hy1.cluster.uniform_cpu());
+  int constrained = 0;
+  for (const auto& n : hy1.cluster.nodes)
+    if (n.memory_bytes < (64ll << 20)) ++constrained;
+  EXPECT_EQ(constrained, 4);
+  EXPECT_EQ(hy1.spectrum, SpectrumKind::kFull);
+}
+
+TEST(Suite, Hy2HasTwoLargeMemoryNodes) {
+  const auto hy2 = make_hy2();
+  int large = 0;
+  for (const auto& n : hy2.cluster.nodes)
+    if (n.memory_bytes >= (512ll << 20)) ++large;
+  EXPECT_EQ(large, 2);
+}
+
+TEST(Suite, FindArchByName) {
+  EXPECT_EQ(find_arch("HY1").cluster.name, "HY1");
+  EXPECT_THROW(find_arch("nope"), CheckError);
+}
+
+TEST(Suite, SpectrumKindConsistentWithHeterogeneity) {
+  for (const auto& a : architecture_suite()) {
+    if (a.spectrum == SpectrumKind::kBlkIC) {
+      EXPECT_TRUE(a.cluster.uniform_cpu()) << a.cluster.name;
+    }
+    if (a.spectrum == SpectrumKind::kBlkBal) {
+      // No memory-constrained nodes in a Blk<->Bal architecture.
+      for (const auto& n : a.cluster.nodes)
+        EXPECT_GE(n.memory_bytes, 64ll << 20) << a.cluster.name;
+    }
+  }
+}
+
+TEST(Suite, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(SpectrumKind::kFull), "full");
+  EXPECT_STREQ(to_string(SpectrumKind::kBlkBal), "blk-bal");
+  EXPECT_STREQ(to_string(SpectrumKind::kBlkIC), "blk-ic");
+}
+
+TEST(ClusterConfig, UniformBuilder) {
+  const auto c = ClusterConfig::uniform(4, "test");
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_TRUE(c.uniform_cpu());
+  EXPECT_EQ(c.name, "test");
+  EXPECT_THROW(ClusterConfig::uniform(0), CheckError);
+}
+
+TEST(ClusterConfig, TotalMemorySums) {
+  auto c = ClusterConfig::uniform(3);
+  for (auto& n : c.nodes) n.memory_bytes = 100;
+  EXPECT_EQ(c.total_memory(), 300);
+}
+
+TEST(ClusterConfig, NodeAccessorBoundsChecked) {
+  const auto c = ClusterConfig::uniform(2);
+  EXPECT_THROW(c.node(2), CheckError);
+  EXPECT_THROW(c.node(-1), CheckError);
+}
+
+TEST(NetworkSpec, TransferTimeIsLatencyPlusBytes) {
+  NetworkSpec net;
+  net.latency_s = 1e-3;
+  net.s_per_byte = 1e-6;
+  EXPECT_DOUBLE_EQ(net.transfer_s(1000), 1e-3 + 1e-3);
+  EXPECT_DOUBLE_EQ(net.transfer_s(0), 1e-3);
+}
+
+}  // namespace
+}  // namespace mheta::cluster

@@ -1,0 +1,80 @@
+// Unit test of the model's total-exchange mirror against hand-computed
+// values (the integration fuzz already checks it against the simulator).
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+
+namespace mheta::core {
+namespace {
+
+using instrument::MhetaParams;
+using instrument::StageCosts;
+
+ProgramStructure a2a_program(std::int64_t bytes_per_pair) {
+  ProgramStructure p;
+  p.name = "a2a";
+  p.arrays = {{"K", 100, 64, ooc::Access::kReadOnly}};
+  SectionSpec s;
+  s.id = 0;
+  s.has_alltoall = true;
+  s.alltoall_bytes_per_pair = bytes_per_pair;
+  ooc::StageDef st;
+  st.id = 0;
+  s.stages.push_back(st);  // no work, no I/O: isolates the exchange
+  p.sections.push_back(s);
+  return p;
+}
+
+MhetaParams flat_params(int n) {
+  MhetaParams params;
+  params.network.latency_s = 1e-3;
+  params.network.s_per_byte = 1e-6;
+  params.instrumented_dist =
+      dist::GenBlock(std::vector<std::int64_t>(static_cast<std::size_t>(n), 50));
+  params.nodes.resize(static_cast<std::size_t>(n));
+  for (auto& np : params.nodes) {
+    np.send_overhead_s = 1e-3;
+    np.recv_overhead_s = 2e-3;
+    StageCosts sc;
+    sc.compute_s = 0.0;
+    np.stages[{0, 0}] = sc;
+  }
+  return params;
+}
+
+TEST(AlltoallModel, TwoNodesHandComputed) {
+  Predictor pred(a2a_program(1000), flat_params(2),
+                 {1ll << 30, 1ll << 30});
+  const auto p = pred.predict(dist::GenBlock({50, 50}));
+  // Step 1 (the only step): both send at o_s = 1 ms; arrival at
+  // 1 ms + (1 ms + 1 ms transfer) = 3 ms; unblock + o_r = 5 ms.
+  EXPECT_NEAR(p.node_end_s[0], 5e-3, 1e-12);
+  EXPECT_NEAR(p.node_end_s[1], 5e-3, 1e-12);
+}
+
+TEST(AlltoallModel, ZeroBytesStillPaysOverheads) {
+  Predictor pred(a2a_program(0), flat_params(2), {1ll << 30, 1ll << 30});
+  const auto p = pred.predict(dist::GenBlock({50, 50}));
+  // o_s + latency + o_r.
+  EXPECT_NEAR(p.node_end_s[0], 1e-3 + 1e-3 + 2e-3, 1e-12);
+}
+
+TEST(AlltoallModel, CostGrowsWithNodeCount) {
+  double prev = 0;
+  for (int n : {2, 4, 8}) {
+    std::vector<std::int64_t> mem(static_cast<std::size_t>(n), 1ll << 30);
+    Predictor pred(a2a_program(1000), flat_params(n), mem);
+    const auto p = pred.predict(dist::GenBlock(
+        std::vector<std::int64_t>(static_cast<std::size_t>(n), 50)));
+    EXPECT_GT(p.total_s, prev);
+    prev = p.total_s;
+  }
+}
+
+TEST(AlltoallModel, SingleNodeIsFree) {
+  Predictor pred(a2a_program(1000), flat_params(1), {1ll << 30});
+  EXPECT_EQ(pred.predict(dist::GenBlock({100})).total_s, 0.0);
+}
+
+}  // namespace
+}  // namespace mheta::core

@@ -1,0 +1,74 @@
+#include "core/equations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mheta::core {
+namespace {
+
+TEST(Equations, Eq1SumsPerPassCosts) {
+  IoTerms v;
+  v.nr = 4;
+  v.read_seek_s = 0.01;
+  v.write_seek_s = 0.02;
+  v.read_latency_s = 0.1;
+  v.write_latency_s = 0.2;
+  EXPECT_DOUBLE_EQ(eq1_sync_io(v), 4 * (0.01 + 0.1 + 0.02 + 0.2));
+}
+
+TEST(Equations, Eq1ReadOnlyVariable) {
+  IoTerms v;
+  v.nr = 3;
+  v.read_seek_s = 0.01;
+  v.read_latency_s = 0.5;
+  EXPECT_DOUBLE_EQ(eq1_sync_io(v), 3 * 0.51);
+}
+
+TEST(Equations, Eq2ReducesToEq1WithoutPrefetching) {
+  // Paper §4.2.1: with no prefetching L_e = L_r and T_o = 0, so Eq. 2 must
+  // equal Eq. 1.
+  IoTerms v;
+  v.nr = 5;
+  v.read_seek_s = 0.01;
+  v.write_seek_s = 0.02;
+  v.read_latency_s = 0.3;
+  v.write_latency_s = 0.25;
+  EXPECT_DOUBLE_EQ(eq2_prefetch_io(v, /*overlap_s=*/0.0), eq1_sync_io(v));
+}
+
+TEST(Equations, Eq2FullyMaskedLatency) {
+  // Overlap >= read latency: only the first read's latency survives, plus
+  // the per-pass overheads (including the overlap compute itself).
+  IoTerms v;
+  v.nr = 4;
+  v.read_seek_s = 0.01;
+  v.read_latency_s = 0.1;
+  const double overlap = 0.5;  // > L_r
+  EXPECT_DOUBLE_EQ(eq2_prefetch_io(v, overlap),
+                   4 * (0.01 + 0.5) + 0.1 + 3 * 0.0);
+}
+
+TEST(Equations, Eq2PartialMasking) {
+  IoTerms v;
+  v.nr = 3;
+  v.read_seek_s = 0.0;
+  v.read_latency_s = 0.4;
+  const double overlap = 0.1;
+  // L_e = 0.3; total = 3*(0+0.1) + 0.4 + 2*0.3.
+  EXPECT_NEAR(eq2_prefetch_io(v, overlap), 0.3 + 0.4 + 0.6, 1e-12);
+}
+
+TEST(Equations, Eq2BeneficialOnlyWhenLatencyDominates) {
+  // Prefetching charges T_o per pass regardless of success (paper: "can be
+  // more expensive than regular synchronous reads").
+  IoTerms v;
+  v.nr = 10;
+  v.read_seek_s = 0.01;
+  v.read_latency_s = 0.05;
+  // Overlap far larger than latency: prefetch total exceeds sync total.
+  EXPECT_GT(eq2_prefetch_io(v, 0.5), eq1_sync_io(v));
+  // Matched overlap: prefetch wins by hiding NR-1 latencies.
+  EXPECT_LT(eq2_prefetch_io(v, 0.05) - 10 * 0.05, eq1_sync_io(v));
+}
+
+}  // namespace
+}  // namespace mheta::core

@@ -1,0 +1,142 @@
+#include "core/redistribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mheta::core {
+namespace {
+
+ProgramStructure tiny_program() {
+  ProgramStructure p;
+  p.name = "tiny";
+  p.arrays = {{"A", 100, 1000, ooc::Access::kReadWrite}};
+  SectionSpec s;
+  s.id = 0;
+  ooc::StageDef st;
+  st.id = 0;
+  st.read_vars = {"A"};
+  s.stages.push_back(st);
+  p.sections.push_back(s);
+  return p;
+}
+
+instrument::MhetaParams two_node_params() {
+  instrument::MhetaParams params;
+  params.network.latency_s = 1e-3;
+  params.network.s_per_byte = 1e-6;
+  params.instrumented_dist = dist::GenBlock({50, 50});
+  params.nodes.resize(2);
+  for (auto& np : params.nodes) {
+    np.read_seek_s = 0.01;
+    np.write_seek_s = 0.02;
+    np.disk_read_s_per_byte = 1e-6;
+    np.disk_write_s_per_byte = 2e-6;
+    np.send_overhead_s = 1e-3;
+    np.recv_overhead_s = 1e-3;
+    instrument::StageCosts sc;
+    sc.compute_s = 1.0;
+    sc.vars["A"] = {1e-6, 2e-6};
+    np.stages[{0, 0}] = sc;
+  }
+  return params;
+}
+
+TEST(Redistribution, IdenticalDistributionsCostNothing) {
+  const auto cost = redistribution_cost(tiny_program(), two_node_params(),
+                                        dist::GenBlock({50, 50}),
+                                        dist::GenBlock({50, 50}));
+  EXPECT_EQ(cost.bytes_moved, 0);
+  EXPECT_EQ(cost.total_s, 0.0);
+}
+
+TEST(Redistribution, SingleTransferHandComputed) {
+  // 20 rows (20 KB) move from node 0 to node 1.
+  const auto cost = redistribution_cost(tiny_program(), two_node_params(),
+                                        dist::GenBlock({50, 50}),
+                                        dist::GenBlock({30, 70}));
+  EXPECT_EQ(cost.bytes_moved, 20 * 1000);
+  // Node 0: read (0.01 + 0.02) + o_s (0.001) = 0.031.
+  EXPECT_NEAR(cost.node_s[0], 0.031, 1e-12);
+  // Node 1: arrival = 0.031 + (1e-3 + 0.02) transfer; + o_r + write
+  // (0.02 + 0.04).
+  EXPECT_NEAR(cost.node_s[1], 0.031 + 0.021 + 0.001 + 0.06, 1e-12);
+  EXPECT_NEAR(cost.total_s, cost.node_s[1], 1e-12);
+}
+
+TEST(Redistribution, SymmetricSwapMovesBothWays) {
+  // Shift boundary left: rows move 0 -> 1; shift right: rows move 1 -> 0.
+  const auto params = two_node_params();
+  const auto left = redistribution_cost(tiny_program(), params,
+                                        dist::GenBlock({50, 50}),
+                                        dist::GenBlock({40, 60}));
+  const auto right = redistribution_cost(tiny_program(), params,
+                                         dist::GenBlock({50, 50}),
+                                         dist::GenBlock({60, 40}));
+  EXPECT_EQ(left.bytes_moved, right.bytes_moved);
+  EXPECT_GT(left.total_s, 0);
+}
+
+TEST(Redistribution, MultiArrayCountsAllBytes) {
+  auto p = tiny_program();
+  p.arrays.push_back({"B", 100, 3000, ooc::Access::kReadOnly});
+  const auto cost = redistribution_cost(p, two_node_params(),
+                                        dist::GenBlock({50, 50}),
+                                        dist::GenBlock({30, 70}));
+  EXPECT_EQ(cost.bytes_moved, 20 * (1000 + 3000));
+}
+
+TEST(Redistribution, CostGrowsWithDistance) {
+  const auto params = two_node_params();
+  const auto small = redistribution_cost(tiny_program(), params,
+                                         dist::GenBlock({50, 50}),
+                                         dist::GenBlock({45, 55}));
+  const auto large = redistribution_cost(tiny_program(), params,
+                                         dist::GenBlock({50, 50}),
+                                         dist::GenBlock({10, 90}));
+  EXPECT_LT(small.total_s, large.total_s);
+  EXPECT_LT(small.bytes_moved, large.bytes_moved);
+}
+
+TEST(Redistribution, RejectsMismatchedShapes) {
+  EXPECT_THROW(redistribution_cost(tiny_program(), two_node_params(),
+                                   dist::GenBlock({50, 50}),
+                                   dist::GenBlock({100})),
+               CheckError);
+  EXPECT_THROW(redistribution_cost(tiny_program(), two_node_params(),
+                                   dist::GenBlock({50, 50}),
+                                   dist::GenBlock({50, 51})),
+               CheckError);
+}
+
+TEST(SwitchPlan, BreakEvenArithmetic) {
+  const auto params = two_node_params();
+  const auto program = tiny_program();
+  Predictor predictor(program, params, {1ll << 30, 1ll << 30});
+  // Node 0 does all the work under `from`; `to` balances it.
+  const dist::GenBlock from({100, 0}), to({50, 50});
+  const auto plan = plan_switch(predictor, program, params, from, to);
+  EXPECT_GT(plan.switch_cost_s, 0);
+  EXPECT_GT(plan.old_iteration_s, plan.new_iteration_s);
+  EXPECT_GT(plan.break_even_iterations, 0);
+  // Exactly at break-even the switch wins (or ties).
+  const double gain = plan.old_iteration_s - plan.new_iteration_s;
+  EXPECT_GE(gain * plan.break_even_iterations, plan.switch_cost_s - 1e-12);
+  EXPECT_LT(gain * (plan.break_even_iterations - 1), plan.switch_cost_s);
+  EXPECT_TRUE(plan.worthwhile(plan.break_even_iterations));
+  EXPECT_FALSE(plan.worthwhile(plan.break_even_iterations - 1));
+}
+
+TEST(SwitchPlan, NeverWorthSwitchingToSlower) {
+  const auto params = two_node_params();
+  const auto program = tiny_program();
+  Predictor predictor(program, params, {1ll << 30, 1ll << 30});
+  const auto plan = plan_switch(predictor, program, params,
+                                dist::GenBlock({50, 50}),
+                                dist::GenBlock({100, 0}));
+  EXPECT_EQ(plan.break_even_iterations, 0);
+  EXPECT_FALSE(plan.worthwhile(1000000));
+}
+
+}  // namespace
+}  // namespace mheta::core

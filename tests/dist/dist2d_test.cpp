@@ -1,0 +1,78 @@
+#include "dist/dist2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mheta::dist {
+namespace {
+
+Dist2DContext ctx42() {
+  Dist2DContext ctx;
+  ctx.grid = {4, 2};
+  ctx.rows = 1000;
+  ctx.cols = 512;
+  // Powers laid out rank-major: grid row p has ranks 2p, 2p+1.
+  ctx.cpu_powers = {1, 1, 1, 1, 2, 2, 4, 4};
+  return ctx;
+}
+
+TEST(NodeGrid, RankMapping) {
+  NodeGrid g{3, 4};
+  EXPECT_EQ(g.nodes(), 12);
+  EXPECT_EQ(g.rank_of(2, 3), 11);
+  EXPECT_EQ(g.row_of(11), 2);
+  EXPECT_EQ(g.col_of(11), 3);
+  EXPECT_EQ(g.rank_of(0, 0), 0);
+}
+
+TEST(Dist2D, TileGeometry) {
+  Dist2D d({2, 2}, GenBlock({600, 400}), GenBlock({100, 412}));
+  EXPECT_EQ(d.total_rows(), 1000);
+  EXPECT_EQ(d.total_cols(), 512);
+  // rank 3 = grid (1,1): 400 rows x 412 cols.
+  EXPECT_EQ(d.rows(3), 400);
+  EXPECT_EQ(d.cols(3), 412);
+  EXPECT_EQ(d.row_begin(3), 600);
+  EXPECT_EQ(d.col_begin(3), 100);
+  EXPECT_NEAR(d.width_fraction(3), 412.0 / 512.0, 1e-12);
+}
+
+TEST(Dist2D, RejectsMismatchedShapes) {
+  EXPECT_THROW(Dist2D({2, 2}, GenBlock({10}), GenBlock({5, 5})), CheckError);
+  EXPECT_THROW(Dist2D({2, 2}, GenBlock({5, 5}), GenBlock({10})), CheckError);
+}
+
+TEST(Dist2D, BlockIsEvenBothWays) {
+  const auto d = block_dist_2d(ctx42());
+  EXPECT_EQ(d.row_dist().counts(), (std::vector<std::int64_t>{250, 250, 250, 250}));
+  EXPECT_EQ(d.col_dist().counts(), (std::vector<std::int64_t>{256, 256}));
+}
+
+TEST(Dist2D, BalancedFollowsGridMeans) {
+  const auto d = balanced_dist_2d(ctx42());
+  // Grid-row powers: 2, 2, 4, 8 -> shares of 1000.
+  EXPECT_EQ(d.row_dist().counts(), (std::vector<std::int64_t>{125, 125, 250, 500}));
+  // Grid-col powers: 1+1+2+4 = 8 on both columns -> even split.
+  EXPECT_EQ(d.col_dist().counts(), (std::vector<std::int64_t>{256, 256}));
+}
+
+TEST(Dist2D, SpectrumSizeGrowsQuadratically) {
+  const auto small = spectrum_2d(ctx42(), 0);
+  const auto large = spectrum_2d(ctx42(), 3);
+  EXPECT_EQ(small.size(), 4u);   // 2x2
+  EXPECT_EQ(large.size(), 25u);  // 5x5 — the paper's search-space explosion
+  for (const auto& d : large) {
+    EXPECT_EQ(d.total_rows(), 1000);
+    EXPECT_EQ(d.total_cols(), 512);
+  }
+}
+
+TEST(Dist2D, SpectrumEndpointsAreAnchors) {
+  const auto family = spectrum_2d(ctx42(), 0);
+  EXPECT_EQ(family.front(), block_dist_2d(ctx42()));
+  EXPECT_EQ(family.back(), balanced_dist_2d(ctx42()));
+}
+
+}  // namespace
+}  // namespace mheta::dist

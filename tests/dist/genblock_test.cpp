@@ -1,0 +1,100 @@
+#include "dist/genblock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mheta::dist {
+namespace {
+
+TEST(GenBlock, PrefixSumsAndTotal) {
+  GenBlock g({10, 0, 5, 25});
+  EXPECT_EQ(g.nodes(), 4);
+  EXPECT_EQ(g.total(), 40);
+  EXPECT_EQ(g.first_row(0), 0);
+  EXPECT_EQ(g.first_row(1), 10);
+  EXPECT_EQ(g.first_row(2), 10);
+  EXPECT_EQ(g.first_row(3), 15);
+  EXPECT_EQ(g.count(2), 5);
+}
+
+TEST(GenBlock, OwnerLookup) {
+  GenBlock g({10, 0, 5, 25});
+  EXPECT_EQ(g.owner(0), 0);
+  EXPECT_EQ(g.owner(9), 0);
+  EXPECT_EQ(g.owner(10), 2);  // node 1 is empty
+  EXPECT_EQ(g.owner(14), 2);
+  EXPECT_EQ(g.owner(15), 3);
+  EXPECT_EQ(g.owner(39), 3);
+  EXPECT_THROW(g.owner(40), CheckError);
+  EXPECT_THROW(g.owner(-1), CheckError);
+}
+
+TEST(GenBlock, RejectsNegativeCounts) {
+  EXPECT_THROW(GenBlock({5, -1}), CheckError);
+  EXPECT_THROW(GenBlock(std::vector<std::int64_t>{}), CheckError);
+}
+
+TEST(GenBlock, EqualityAndToString) {
+  GenBlock a({1, 2}), b({1, 2}), c({2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.to_string(), "[1, 2]");
+}
+
+TEST(GenBlock, BoundsCheckedAccessors) {
+  GenBlock g({3, 3});
+  EXPECT_THROW(g.count(2), CheckError);
+  EXPECT_THROW(g.first_row(-1), CheckError);
+}
+
+TEST(Apportion, ExactSplit) {
+  const auto r = apportion({1.0, 1.0, 1.0, 1.0}, 100);
+  EXPECT_EQ(r, (std::vector<std::int64_t>{25, 25, 25, 25}));
+}
+
+TEST(Apportion, RemainderGoesToLargestFractions) {
+  // Shares 1:1:2 of 10 -> exact 2.5, 2.5, 5.
+  const auto r = apportion({1.0, 1.0, 2.0}, 10);
+  EXPECT_EQ(std::accumulate(r.begin(), r.end(), 0ll), 10);
+  EXPECT_EQ(r[2], 5);
+  EXPECT_EQ(r[0] + r[1], 5);
+}
+
+TEST(Apportion, AlwaysSumsToTotal) {
+  // Property check over awkward share vectors.
+  const std::vector<std::vector<double>> cases = {
+      {0.1, 0.1, 0.1},       {3.0, 1.0, 1.0, 1.0, 1.0},
+      {1e-9, 1.0},           {7.0},
+      {0.0, 1.0, 0.0, 2.0},  {0.333, 0.333, 0.334}};
+  for (const auto& shares : cases) {
+    for (std::int64_t total : {0ll, 1ll, 7ll, 1000ll, 12345ll}) {
+      const auto r = apportion(shares, total);
+      EXPECT_EQ(std::accumulate(r.begin(), r.end(), 0ll), total);
+      for (auto v : r) EXPECT_GE(v, 0);
+    }
+  }
+}
+
+TEST(Apportion, ZeroShareGetsZeroWhenOthersSuffice) {
+  const auto r = apportion({0.0, 1.0}, 10);
+  EXPECT_EQ(r[0], 0);
+  EXPECT_EQ(r[1], 10);
+}
+
+TEST(Apportion, AllZeroSharesFallBackToEven) {
+  const auto r = apportion({0.0, 0.0, 0.0}, 10);
+  EXPECT_EQ(std::accumulate(r.begin(), r.end(), 0ll), 10);
+  EXPECT_LE(*std::max_element(r.begin(), r.end()) -
+                *std::min_element(r.begin(), r.end()),
+            1);
+}
+
+TEST(Apportion, RejectsNegativeShares) {
+  EXPECT_THROW(apportion({-1.0, 2.0}, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace mheta::dist

@@ -1,0 +1,165 @@
+#include "dist/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/suite.hpp"
+
+namespace mheta::dist {
+namespace {
+
+DistContext ctx4() {
+  DistContext ctx;
+  ctx.rows = 1000;
+  ctx.bytes_per_row = 1 << 10;  // 1 KiB
+  ctx.cpu_powers = {1.0, 1.0, 2.0, 4.0};
+  // In-core capacities: 100, 200, 400, 800 rows.
+  ctx.memory_bytes = {100 << 10, 200 << 10, 400 << 10, 800 << 10};
+  return ctx;
+}
+
+TEST(Generators, BlockIsEven) {
+  const auto g = block_dist(ctx4());
+  EXPECT_EQ(g.counts(), (std::vector<std::int64_t>{250, 250, 250, 250}));
+}
+
+TEST(Generators, BalancedFollowsCpuPower) {
+  const auto g = balanced_dist(ctx4());
+  EXPECT_EQ(g.counts(), (std::vector<std::int64_t>{125, 125, 250, 500}));
+}
+
+TEST(Generators, InCoreRespectsCapacitiesWhenFeasible) {
+  // Total capacity 1500 >= 1000 rows: nobody exceeds capacity.
+  const auto ctx = ctx4();
+  const auto g = in_core_dist(ctx);
+  EXPECT_EQ(g.total(), 1000);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_LE(g.count(i), ctx.in_core_capacity(i)) << "node " << i;
+}
+
+TEST(Generators, InCoreProportionalToCapacity) {
+  const auto g = in_core_dist(ctx4());
+  // Capacities 100:200:400:800 -> shares of 1000.
+  EXPECT_EQ(g.counts(), (std::vector<std::int64_t>{67, 133, 267, 533}));
+}
+
+TEST(Generators, InCoreOverflowSpreadsByCapacity) {
+  auto ctx = ctx4();
+  ctx.rows = 3000;  // beyond the 1500 total capacity
+  const auto g = in_core_dist(ctx);
+  EXPECT_EQ(g.total(), 3000);
+  // Proportional to capacity 100:200:400:800.
+  EXPECT_EQ(g.counts(), (std::vector<std::int64_t>{200, 400, 800, 1600}));
+}
+
+TEST(Generators, InCoreBalancedKeepsEveryoneInCore) {
+  const auto ctx = ctx4();
+  const auto g = in_core_balanced_dist(ctx);
+  EXPECT_EQ(g.total(), 1000);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_LE(g.count(i), ctx.in_core_capacity(i)) << "node " << i;
+}
+
+TEST(Generators, InCoreBalancedBalancesWithinCapacity) {
+  // Balanced would be {125,125,250,500}; all fit capacities {100,200,400,800}
+  // except node 0 (cap 100). Its extra 25 rows go to the others by power.
+  const auto g = in_core_balanced_dist(ctx4());
+  EXPECT_EQ(g.count(0), 100);
+  EXPECT_EQ(g.total(), 1000);
+  // Remaining 900 split 1:2:4 among nodes 1..3 = ~128.6, 257.1, 514.3.
+  EXPECT_EQ(g.count(1), 129);
+  EXPECT_EQ(g.count(2), 257);
+  EXPECT_EQ(g.count(3), 514);
+}
+
+TEST(Generators, InCoreBalancedFallsBackWhenInfeasible) {
+  auto ctx = ctx4();
+  ctx.rows = 2000;  // > 1500 capacity
+  const auto g = in_core_balanced_dist(ctx);
+  EXPECT_EQ(g.total(), 2000);
+  // Capacities filled, overflow 500 balanced by power 1:1:2:4.
+  EXPECT_EQ(g.counts(),
+            (std::vector<std::int64_t>{100 + 63, 200 + 62, 400 + 125, 800 + 250}));
+}
+
+TEST(Generators, OverheadBytesReduceCapacity) {
+  auto ctx = ctx4();
+  ctx.overhead_bytes = 50 << 10;  // eats 50 rows of capacity
+  EXPECT_EQ(ctx.in_core_capacity(0), 50);
+  EXPECT_EQ(ctx.in_core_capacity(3), 750);
+}
+
+TEST(Generators, FromClusterPullsNodeParameters) {
+  const auto arch = cluster::make_hy1();
+  const auto ctx =
+      DistContext::from_cluster(arch.cluster, 500, 1 << 20, 1 << 10);
+  EXPECT_EQ(ctx.nodes(), 8);
+  EXPECT_EQ(ctx.rows, 500);
+  EXPECT_EQ(ctx.cpu_powers[0], 0.5);
+  EXPECT_EQ(ctx.memory_bytes[4], arch.cluster.node(4).memory_bytes);
+}
+
+TEST(Interpolate, EndpointsMatchAnchors) {
+  const auto ctx = ctx4();
+  const auto a = block_dist(ctx);
+  const auto b = balanced_dist(ctx);
+  EXPECT_EQ(interpolate(a, b, 0.0), a);
+  EXPECT_EQ(interpolate(a, b, 1.0), b);
+}
+
+TEST(Interpolate, MidpointPreservesTotal) {
+  const auto ctx = ctx4();
+  const auto g = interpolate(block_dist(ctx), balanced_dist(ctx), 0.5);
+  EXPECT_EQ(g.total(), 1000);
+  // Midpoint of 250 and 500 on node 3.
+  EXPECT_NEAR(static_cast<double>(g.count(3)), 375.0, 1.0);
+}
+
+TEST(Spectrum, FullWalkHasAnchorsInOrder) {
+  const auto pts = spectrum(ctx4(), cluster::SpectrumKind::kFull, 0);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_EQ(pts[0].label, "Blk");
+  EXPECT_EQ(pts[1].label, "I-C");
+  EXPECT_EQ(pts[2].label, "I-C/Bal");
+  EXPECT_EQ(pts[3].label, "Bal");
+  EXPECT_EQ(pts[4].label, "Blk");
+  EXPECT_EQ(pts.front().t, 0.0);
+  EXPECT_EQ(pts.back().t, 1.0);
+}
+
+TEST(Spectrum, InterpolatedPointsBetweenAnchors) {
+  const auto pts = spectrum(ctx4(), cluster::SpectrumKind::kFull, 3);
+  // 4 segments * (1 anchor + 3 steps) + final anchor.
+  EXPECT_EQ(pts.size(), 4u * 4u + 1u);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GT(pts[i].t, pts[i - 1].t);
+  for (const auto& p : pts) EXPECT_EQ(p.dist.total(), 1000);
+}
+
+TEST(Spectrum, ShortWalks) {
+  const auto bb = spectrum(ctx4(), cluster::SpectrumKind::kBlkBal, 2);
+  ASSERT_EQ(bb.size(), 4u);
+  EXPECT_EQ(bb.front().label, "Blk");
+  EXPECT_EQ(bb.back().label, "Bal");
+  const auto bi = spectrum(ctx4(), cluster::SpectrumKind::kBlkIC, 0);
+  ASSERT_EQ(bi.size(), 2u);
+  EXPECT_EQ(bi.back().label, "I-C");
+}
+
+TEST(Spectrum, PropertySweepTotalsAndNonNegativity) {
+  for (int steps : {0, 1, 2, 5}) {
+    for (auto kind :
+         {cluster::SpectrumKind::kFull, cluster::SpectrumKind::kBlkBal,
+          cluster::SpectrumKind::kBlkIC}) {
+      const auto pts = spectrum(ctx4(), kind, steps);
+      for (const auto& p : pts) {
+        EXPECT_EQ(p.dist.total(), 1000);
+        for (int i = 0; i < p.dist.nodes(); ++i) EXPECT_GE(p.dist.count(i), 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mheta::dist

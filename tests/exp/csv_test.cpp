@@ -1,0 +1,59 @@
+#include "exp/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mheta::exp {
+namespace {
+
+SweepResult fake_sweep(const char* app, const char* arch) {
+  SweepResult s;
+  s.workload = app;
+  s.arch = arch;
+  PointResult p;
+  p.point.t = 0.0;
+  p.point.label = "Blk";
+  p.actual_s = 10;
+  p.predicted_s = 11;
+  s.points.push_back(p);
+  p.point.t = 1.0;
+  p.point.label = "Bal";
+  p.actual_s = 5;
+  p.predicted_s = 5;
+  s.points.push_back(p);
+  return s;
+}
+
+TEST(Csv, SingleSweep) {
+  std::ostringstream os;
+  write_sweep_csv(os, fake_sweep("Jacobi", "DC"));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("workload,arch,t,label,actual_s,predicted_s,pct_diff\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("Jacobi,DC,0,Blk,10,11,0.1\n"), std::string::npos);
+  EXPECT_NE(out.find("Jacobi,DC,1,Bal,5,5,0\n"), std::string::npos);
+}
+
+TEST(Csv, NoHeaderOption) {
+  std::ostringstream os;
+  write_sweep_csv(os, fake_sweep("Jacobi", "DC"), /*header=*/false);
+  EXPECT_EQ(os.str().find("workload,arch"), std::string::npos);
+}
+
+TEST(Csv, MultipleSweepsOneHeader) {
+  std::ostringstream os;
+  write_sweeps_csv(os, {fake_sweep("Jacobi", "DC"), fake_sweep("CG", "IO")});
+  const std::string out = os.str();
+  // One header, four data rows.
+  std::size_t lines = 0, pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 5u);
+  EXPECT_NE(out.find("CG,IO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mheta::exp

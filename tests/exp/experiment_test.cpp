@@ -1,0 +1,81 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mheta::exp {
+namespace {
+
+TEST(Workloads, PaperSetMatchesSectionFive) {
+  const auto ws = paper_workloads();
+  ASSERT_EQ(ws.size(), 4u);
+  EXPECT_EQ(ws[0].name, "Jacobi");
+  EXPECT_EQ(ws[0].iterations, 100);
+  EXPECT_EQ(ws[1].name, "CG");
+  EXPECT_EQ(ws[1].iterations, 10);
+  EXPECT_EQ(ws[2].name, "Lanczos");
+  EXPECT_EQ(ws[2].iterations, 5);
+  EXPECT_EQ(ws[3].name, "RNA");
+  EXPECT_EQ(ws[3].iterations, 10);
+}
+
+TEST(PointResult, PctDiffIsSymmetricRatio) {
+  PointResult p;
+  p.actual_s = 10;
+  p.predicted_s = 11;
+  EXPECT_NEAR(p.pct_diff(), 0.1, 1e-12);
+  std::swap(p.actual_s, p.predicted_s);
+  EXPECT_NEAR(p.pct_diff(), 0.1, 1e-12);
+}
+
+TEST(SweepResult, Aggregates) {
+  SweepResult s;
+  for (double a : {10.0, 20.0, 30.0}) {
+    PointResult p;
+    p.actual_s = a;
+    p.predicted_s = a * 1.1;
+    s.points.push_back(p);
+  }
+  EXPECT_NEAR(s.min_diff(), 0.1, 1e-9);
+  EXPECT_NEAR(s.max_diff(), 0.1, 1e-9);
+  EXPECT_NEAR(s.avg_diff(), 0.1, 1e-9);
+  EXPECT_EQ(s.best_actual(), 0u);
+  EXPECT_EQ(s.worst_actual(), 2u);
+  EXPECT_EQ(s.best_predicted(), 0u);
+}
+
+TEST(Sweep, PredictionsTrackActualAcrossSpectrum) {
+  // One representative end-to-end sweep with the paper's effects on.
+  ExperimentOptions opts;
+  opts.spectrum_steps = 1;
+  const auto sweep =
+      run_sweep(cluster::find_arch("HY1"), jacobi_workload(false), opts);
+  ASSERT_GE(sweep.points.size(), 9u);
+  EXPECT_LT(sweep.avg_diff(), 0.10);   // the paper's accuracy band
+  // Prediction identifies the actually-best distribution (or a neighbor
+  // within 10% of it) — MHETA's purpose (§5.3).
+  const auto best_pred = sweep.points[sweep.best_predicted()].actual_s;
+  const auto best_act = sweep.points[sweep.best_actual()].actual_s;
+  EXPECT_LT(best_pred, best_act * 1.10);
+}
+
+TEST(Sweep, InstrumentedPointError) {
+  // At the instrumented distribution (Blk) the only error sources are
+  // perturbation-level (paper: up to ~1%).
+  ExperimentOptions opts;
+  opts.effects.file_cache = false;  // isolate the noise effect
+  const auto sweep =
+      run_sweep(cluster::find_arch("DC"), lanczos_workload(), opts);
+  EXPECT_LT(sweep.points.front().pct_diff(), 0.02);
+}
+
+TEST(MakeContext, UsesRuntimeOverhead) {
+  ExperimentOptions opts;
+  opts.runtime.overhead_bytes = 5 << 20;
+  const auto ctx =
+      make_context(cluster::find_arch("IO"), cg_workload(), opts);
+  EXPECT_EQ(ctx.overhead_bytes, 5 << 20);
+  EXPECT_EQ(ctx.nodes(), 8);
+}
+
+}  // namespace
+}  // namespace mheta::exp

@@ -1,0 +1,77 @@
+#include "instrument/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/node.hpp"
+
+namespace mheta::instrument {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::SimEffects;
+
+TEST(Calibration, RecoversDiskConstantsExactly) {
+  auto cfg = ClusterConfig::uniform(2);
+  cfg.nodes[0].disk_read_seek_s = 0.012;
+  cfg.nodes[0].disk_read_s_per_byte = 2e-8;
+  cfg.nodes[0].disk_write_seek_s = 0.018;
+  cfg.nodes[0].disk_write_s_per_byte = 3e-8;
+  const auto cal = calibrate(cfg, SimEffects::none());
+  EXPECT_NEAR(cal.nodes[0].read_seek_s, 0.012, 1e-9);
+  EXPECT_NEAR(cal.nodes[0].write_seek_s, 0.018, 1e-9);
+  EXPECT_NEAR(cal.nodes[0].read_s_per_byte, 2e-8, 1e-14);
+  EXPECT_NEAR(cal.nodes[0].write_s_per_byte, 3e-8, 1e-14);
+}
+
+TEST(Calibration, RecoversSendRecvOverheads) {
+  auto cfg = ClusterConfig::uniform(4);
+  cfg.network.send_overhead_s = 25e-6;
+  cfg.network.recv_overhead_s = 40e-6;
+  cfg.nodes[2].cpu_power = 2.0;  // effective overheads halve on node 2
+  const auto cal = calibrate(cfg, SimEffects::none());
+  EXPECT_NEAR(cal.nodes[0].send_overhead_s, 25e-6, 1e-9);
+  EXPECT_NEAR(cal.nodes[0].recv_overhead_s, 40e-6, 1e-9);
+  EXPECT_NEAR(cal.nodes[2].send_overhead_s, 12.5e-6, 1e-9);
+  EXPECT_NEAR(cal.nodes[2].recv_overhead_s, 20e-6, 1e-9);
+}
+
+TEST(Calibration, RecoversNetworkLatencyAndBandwidth) {
+  auto cfg = ClusterConfig::uniform(2);
+  cfg.network.latency_s = 80e-6;
+  cfg.network.s_per_byte = 1.25e-8;
+  const auto cal = calibrate(cfg, SimEffects::none());
+  EXPECT_NEAR(cal.network.latency_s, 80e-6, 1e-9);
+  EXPECT_NEAR(cal.network.s_per_byte, 1.25e-8, 1e-12);
+}
+
+TEST(Calibration, SingleNodeSkipsNetwork) {
+  const auto cal = calibrate(ClusterConfig::uniform(1), SimEffects::none());
+  EXPECT_EQ(cal.network.latency_s, 0.0);
+  EXPECT_EQ(cal.nodes[0].send_overhead_s, 0.0);
+  EXPECT_GT(cal.nodes[0].read_seek_s, 0.0);
+}
+
+TEST(Calibration, NoiseStaysBounded) {
+  auto cfg = ClusterConfig::uniform(2);
+  auto effects = SimEffects::none();
+  effects.instrumentation_noise_rel = 0.01;
+  const auto cal = calibrate(cfg, effects);
+  // Within a few percent of the true values despite jitter.
+  EXPECT_NEAR(cal.nodes[0].read_seek_s, cfg.nodes[0].disk_read_seek_s,
+              cfg.nodes[0].disk_read_seek_s * 0.2);
+  EXPECT_NEAR(cal.network.s_per_byte, cfg.network.s_per_byte,
+              cfg.network.s_per_byte * 0.2);
+}
+
+TEST(Calibration, DeterministicForSameSeed) {
+  auto cfg = ClusterConfig::uniform(3);
+  auto effects = SimEffects::none();
+  effects.instrumentation_noise_rel = 0.01;
+  const auto a = calibrate(cfg, effects);
+  const auto b = calibrate(cfg, effects);
+  EXPECT_EQ(a.nodes[0].read_seek_s, b.nodes[0].read_seek_s);
+  EXPECT_EQ(a.network.latency_s, b.network.latency_s);
+}
+
+}  // namespace
+}  // namespace mheta::instrument

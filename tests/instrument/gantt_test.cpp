@@ -1,0 +1,75 @@
+#include "instrument/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/driver.hpp"
+#include "sim/process.hpp"
+#include "apps/jacobi.hpp"
+#include "cluster/suite.hpp"
+#include "dist/generators.hpp"
+
+namespace mheta::instrument {
+namespace {
+
+TEST(Gantt, GlyphMapping) {
+  EXPECT_EQ(gantt_glyph(mpi::Op::kCompute), 'C');
+  EXPECT_EQ(gantt_glyph(mpi::Op::kFileRead), 'R');
+  EXPECT_EQ(gantt_glyph(mpi::Op::kFileWrite), 'W');
+  EXPECT_EQ(gantt_glyph(mpi::Op::kAllreduce), 'a');
+  EXPECT_EQ(gantt_glyph(mpi::Op::kAlltoall), 'x');
+}
+
+TEST(Gantt, EmptyTraceRendersPlaceholder) {
+  sim::Engine eng;
+  auto cfg = cluster::ClusterConfig::uniform(2);
+  mpi::World w(eng, cfg, cluster::SimEffects::none());
+  TraceCollector trace(w);
+  std::ostringstream os;
+  render_gantt(os, trace, 2);
+  EXPECT_NE(os.str().find("(empty trace)"), std::string::npos);
+}
+
+TEST(Gantt, RendersLanePerRankWithComputeGlyphs) {
+  const auto arch = cluster::find_arch("IO");
+  const auto p = apps::jacobi_program({});
+  const auto d = dist::block_dist(dist::DistContext::from_cluster(
+      arch.cluster, p.rows(), p.bytes_per_row()));
+  std::shared_ptr<TraceCollector> trace;
+  apps::RunOptions run;
+  run.iterations = 1;
+  run.setup = [&trace](mpi::World& w) {
+    trace = std::make_shared<TraceCollector>(w);
+    trace->install();
+  };
+  (void)apps::run_program(arch.cluster, cluster::SimEffects::none(), p, d,
+                          run);
+  std::ostringstream os;
+  GanttOptions opts;
+  opts.width = 60;
+  render_gantt(os, *trace, 8, opts);
+  const std::string out = os.str();
+  // 8 lanes plus the legend.
+  for (int r = 0; r < 8; ++r)
+    EXPECT_NE(out.find("rank " + std::to_string(r) + " |"), std::string::npos);
+  EXPECT_NE(out.find('C'), std::string::npos);  // compute visible
+  EXPECT_NE(out.find('R'), std::string::npos);  // out-of-core reads visible
+  EXPECT_NE(out.find("C compute"), std::string::npos);  // legend present
+  // Every lane has exactly the configured width between the bars.
+  std::istringstream lines(out);
+  std::string line;
+  int lanes = 0;
+  while (std::getline(lines, line)) {
+    const auto open = line.find('|');
+    if (open == std::string::npos) continue;
+    const auto close = line.rfind('|');
+    if (close == open) continue;
+    EXPECT_EQ(close - open - 1, 60u);
+    ++lanes;
+  }
+  EXPECT_EQ(lanes, 8);
+}
+
+}  // namespace
+}  // namespace mheta::instrument

@@ -1,0 +1,174 @@
+#include "instrument/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/node.hpp"
+#include "sim/process.hpp"
+
+namespace mheta::instrument {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::SimEffects;
+
+ClusterConfig test_cluster(int n) {
+  auto c = ClusterConfig::uniform(n, "rec");
+  c.nodes[0].disk_read_seek_s = 0.010;
+  c.nodes[0].disk_read_s_per_byte = 1e-6;
+  c.nodes[0].disk_write_seek_s = 0.020;
+  c.nodes[0].disk_write_s_per_byte = 2e-6;
+  return c;
+}
+
+Calibration exact_calibration(const ClusterConfig& c) {
+  return calibrate(c, SimEffects::none());
+}
+
+sim::Process scripted_rank0(mpi::World& w) {
+  w.section_begin(0, 0);
+  w.stage_begin(0, 0);
+  co_await w.file_read(0, "A", 0, 1000);   // 10 ms + 1 ms
+  co_await w.compute(0, 0.5);              // 500 ms
+  co_await w.file_write(0, "A", 0, 1000);  // 20 ms + 2 ms
+  w.stage_end(0, 0);
+  co_await w.send(0, 1, 4000, /*tag=*/0);
+  (void)co_await w.recv(0, 1, /*tag=*/0);
+  (void)co_await w.allreduce(0, 1.0);
+  w.section_end(0, 0);
+}
+
+sim::Process scripted_rank1(mpi::World& w) {
+  w.section_begin(1, 0);
+  w.stage_begin(1, 0);
+  co_await w.compute(1, 0.1);
+  w.stage_end(1, 0);
+  co_await w.send(1, 0, 2000, /*tag=*/0);
+  (void)co_await w.recv(1, 0, /*tag=*/0);
+  (void)co_await w.allreduce(1, 2.0);
+  w.section_end(1, 0);
+}
+
+TEST(CostRecorder, CapturesComputeIoAndComm) {
+  sim::Engine eng;
+  const auto cfg = test_cluster(2);
+  mpi::World w(eng, cfg, SimEffects::none());
+  CostRecorder rec(w, exact_calibration(cfg));
+  rec.install();
+  eng.spawn(scripted_rank0(w));
+  eng.spawn(scripted_rank1(w));
+  eng.run();
+  const auto params = rec.finalize(dist::GenBlock({100, 100}));
+
+  ASSERT_EQ(params.node_count(), 2);
+  const auto& s0 = params.nodes[0].stages.at({0, 0});
+  EXPECT_NEAR(s0.compute_s, 0.5, 1e-9);
+  ASSERT_TRUE(s0.vars.count("A"));
+  EXPECT_NEAR(s0.vars.at("A").read_s_per_byte, 1e-6, 1e-12);
+  EXPECT_NEAR(s0.vars.at("A").write_s_per_byte, 2e-6, 1e-12);
+
+  const auto& comm0 = params.nodes[0].comm.at(0);
+  ASSERT_EQ(comm0.sends.size(), 1u);
+  EXPECT_EQ(comm0.sends[0].peer, 1);
+  EXPECT_EQ(comm0.sends[0].bytes, 4000);
+  ASSERT_EQ(comm0.recvs.size(), 1u);
+  EXPECT_EQ(comm0.recvs[0].peer, 1);
+  EXPECT_TRUE(comm0.has_reduction);
+  EXPECT_EQ(comm0.reduce_bytes, 8);
+
+  const auto& s1 = params.nodes[1].stages.at({0, 0});
+  EXPECT_NEAR(s1.compute_s, 0.1, 1e-9);
+  EXPECT_EQ(params.instrumented_dist.count(0), 100);
+}
+
+sim::Process prefetch_script(mpi::World& w) {
+  w.section_begin(0, 0);
+  w.stage_begin(0, 0);
+  co_await w.file_read(0, "B", 0, 1000);
+  auto req = co_await w.file_iread(0, "B", 1000, 1000);
+  co_await w.compute(0, 0.2);  // overlapped
+  co_await w.file_wait(0, std::move(req));
+  co_await w.compute(0, 0.3);  // not overlapped
+  w.stage_end(0, 0);
+  w.section_end(0, 0);
+}
+
+TEST(CostRecorder, MeasuresOverlapUnderBlockingTransform) {
+  sim::Engine eng;
+  const auto cfg = test_cluster(1);
+  mpi::World w(eng, cfg, SimEffects::none());
+  w.set_blocking_prefetch(true);
+  CostRecorder rec(w, exact_calibration(cfg));
+  rec.install();
+  eng.spawn(prefetch_script(w));
+  eng.run();
+  const auto params = rec.finalize(dist::GenBlock({10}));
+  const auto& sc = params.nodes[0].stages.at({0, 0});
+  // Overlap = the 0.2 s compute between iread and wait; total compute 0.5 s.
+  EXPECT_NEAR(sc.overlap_s, 0.2, 1e-9);
+  EXPECT_NEAR(sc.compute_s, 0.5, 1e-9);
+  // Both reads attributed to B: latency 2 * 1 ms over 2000 bytes.
+  EXPECT_NEAR(sc.vars.at("B").read_s_per_byte, 1e-6, 1e-12);
+}
+
+TEST(CostRecorder, TileCountsRecorded) {
+  sim::Engine eng;
+  const auto cfg = test_cluster(1);
+  mpi::World w(eng, cfg, SimEffects::none());
+  CostRecorder rec(w, exact_calibration(cfg));
+  rec.install();
+  eng.spawn([](mpi::World& w2) -> sim::Process {
+    w2.section_begin(0, 2);
+    for (int t = 0; t < 3; ++t) {
+      w2.tile_begin(0, t);
+      w2.stage_begin(0, 0);
+      co_await w2.compute(0, 0.01);
+      w2.stage_end(0, 0);
+      w2.tile_end(0, t);
+    }
+    w2.section_end(0, 2);
+  }(w));
+  eng.run();
+  const auto params = rec.finalize(dist::GenBlock({10}));
+  EXPECT_EQ(params.nodes[0].comm.at(2).tiles, 3);
+  // Stage compute accumulated over the three tiles.
+  EXPECT_NEAR(params.nodes[0].stages.at({2, 0}).compute_s, 0.03, 1e-9);
+}
+
+TEST(MhetaParams, SaveLoadRoundTrip) {
+  sim::Engine eng;
+  const auto cfg = test_cluster(2);
+  mpi::World w(eng, cfg, SimEffects::none());
+  CostRecorder rec(w, exact_calibration(cfg));
+  rec.install();
+  eng.spawn(scripted_rank0(w));
+  eng.spawn(scripted_rank1(w));
+  eng.run();
+  const auto params = rec.finalize(dist::GenBlock({100, 100}));
+
+  std::stringstream ss;
+  params.save(ss);
+  const auto loaded = MhetaParams::load(ss);
+
+  EXPECT_EQ(loaded.node_count(), params.node_count());
+  EXPECT_EQ(loaded.instrumented_dist, params.instrumented_dist);
+  EXPECT_DOUBLE_EQ(loaded.network.latency_s, params.network.latency_s);
+  EXPECT_DOUBLE_EQ(loaded.nodes[0].read_seek_s, params.nodes[0].read_seek_s);
+  const auto& a = params.nodes[0].stages.at({0, 0});
+  const auto& b = loaded.nodes[0].stages.at({0, 0});
+  EXPECT_DOUBLE_EQ(a.compute_s, b.compute_s);
+  EXPECT_DOUBLE_EQ(a.vars.at("A").read_s_per_byte,
+                   b.vars.at("A").read_s_per_byte);
+  EXPECT_EQ(loaded.nodes[0].comm.at(0).sends.size(), 1u);
+  EXPECT_EQ(loaded.nodes[0].comm.at(0).sends[0].bytes, 4000);
+  EXPECT_TRUE(loaded.nodes[0].comm.at(0).has_reduction);
+}
+
+TEST(MhetaParams, LoadRejectsGarbage) {
+  std::stringstream ss("not a params file\n");
+  EXPECT_THROW(MhetaParams::load(ss), CheckError);
+}
+
+}  // namespace
+}  // namespace mheta::instrument

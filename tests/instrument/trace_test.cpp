@@ -1,0 +1,119 @@
+#include "instrument/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/driver.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/rna.hpp"
+#include "cluster/suite.hpp"
+#include "dist/generators.hpp"
+
+namespace mheta::instrument {
+namespace {
+
+struct Traced {
+  std::shared_ptr<TraceCollector> trace;  // kept alive past the run
+  apps::RunResult result;
+};
+
+Traced traced_run(const core::ProgramStructure& p, const char* arch_name,
+                  int iterations) {
+  const auto arch = cluster::find_arch(arch_name);
+  const auto d = dist::block_dist(
+      dist::DistContext::from_cluster(arch.cluster, p.rows(), p.bytes_per_row()));
+  Traced out;
+  apps::RunOptions run;
+  run.iterations = iterations;
+  run.runtime.overhead_bytes = 0;
+  std::shared_ptr<TraceCollector>& trace = out.trace;
+  run.setup = [&trace](mpi::World& w) {
+    trace = std::make_shared<TraceCollector>(w);
+    trace->install();
+  };
+  out.result = apps::run_program(arch.cluster, cluster::SimEffects::none(), p,
+                                 d, run);
+  return out;
+}
+
+TEST(TraceCollector, CapturesComputeAndCommIntervals) {
+  const auto traced = traced_run(apps::jacobi_program({}), "DC", 2);
+  const auto& events = traced.trace->events();
+  EXPECT_FALSE(events.empty());
+  int computes = 0, sends = 0, recvs = 0, reduces = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.end_s, e.begin_s);
+    if (e.op == mpi::Op::kCompute) ++computes;
+    if (e.op == mpi::Op::kSend) ++sends;
+    if (e.op == mpi::Op::kRecv) ++recvs;
+    if (e.op == mpi::Op::kAllreduce) ++reduces;
+  }
+  // 8 ranks x 2 iterations: one compute per stage, sends/recvs at the
+  // boundary (interior nodes have 2 each), one reduction each.
+  EXPECT_GE(computes, 16);
+  EXPECT_EQ(reduces, 16);
+  EXPECT_EQ(sends, 2 * (2 * 6 + 2));  // 6 interior x2 + 2 edges x1, per iter
+  EXPECT_EQ(sends, recvs);
+}
+
+TEST(TraceCollector, ComputeTimeMatchesStageWork) {
+  // DC, in-core: total traced compute per node = work / power per iteration.
+  apps::JacobiConfig cfg;
+  const auto traced = traced_run(apps::jacobi_program(cfg), "DC", 1);
+  const auto arch = cluster::find_arch("DC");
+  // Node 0 has 512 rows at power 0.5.
+  const double expected = 512 * cfg.work_per_row_s / 0.5;
+  EXPECT_NEAR(traced.trace->total_in(0, mpi::Op::kCompute), expected, 1e-9);
+  (void)arch;
+}
+
+TEST(TraceCollector, RankEventsAreTimeOrdered) {
+  const auto traced = traced_run(apps::rna_program({}), "DC", 1);
+  for (int r = 0; r < 8; ++r) {
+    const auto evs = traced.trace->rank_events(r);
+    for (std::size_t i = 1; i < evs.size(); ++i)
+      EXPECT_GE(evs[i].begin_s, evs[i - 1].begin_s);
+  }
+}
+
+TEST(TraceCollector, PipelineWavefrontVisibleInTrace) {
+  // In the pipeline, rank r's first compute must start no earlier than
+  // rank r-1's first compute (the wavefront).
+  const auto traced = traced_run(apps::rna_program({}), "DC", 1);
+  double prev_start = -1;
+  for (int r = 0; r < 8; ++r) {
+    const auto evs = traced.trace->rank_events(r);
+    const auto first_compute =
+        std::find_if(evs.begin(), evs.end(), [](const TraceEvent& e) {
+          return e.op == mpi::Op::kCompute;
+        });
+    ASSERT_NE(first_compute, evs.end());
+    EXPECT_GE(first_compute->begin_s, prev_start);
+    prev_start = first_compute->begin_s;
+  }
+}
+
+TEST(TraceCollector, CsvHasHeaderAndRows) {
+  const auto traced = traced_run(apps::jacobi_program({}), "DC", 1);
+  std::ostringstream os;
+  traced.trace->write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rank,op,var,bytes,peer,section,tile,stage"),
+            std::string::npos);
+  EXPECT_NE(out.find("compute"), std::string::npos);
+  EXPECT_NE(out.find("allreduce"), std::string::npos);
+}
+
+TEST(TraceCollector, ContextAttribution) {
+  const auto traced = traced_run(apps::jacobi_program({}), "DC", 1);
+  for (const auto& e : traced.trace->events()) {
+    if (e.op == mpi::Op::kCompute) {
+      EXPECT_EQ(e.section, 0);
+      EXPECT_EQ(e.stage, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mheta::instrument

@@ -1,0 +1,90 @@
+// Property-style exactness sweeps: the model must equal the simulator (all
+// unmodelled effects off) on EVERY architecture of the validation suite and
+// on clusters of awkward sizes — the latter stresses the binomial
+// reduce/broadcast mirror on non-power-of-two node counts.
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.hpp"
+#include "apps/lanczos.hpp"
+#include "exp/experiment.hpp"
+
+namespace mheta::exp {
+namespace {
+
+ExperimentOptions exact_options() {
+  ExperimentOptions opts;
+  opts.effects = cluster::SimEffects::none();
+  opts.runtime.overhead_bytes = 0;
+  opts.spectrum_steps = 0;
+  return opts;
+}
+
+void expect_exact(const SweepResult& sweep) {
+  for (const auto& p : sweep.points) {
+    EXPECT_NEAR(p.predicted_s / p.actual_s, 1.0, 1e-4)
+        << sweep.workload << " on " << sweep.arch << " at '" << p.point.label
+        << "'";
+  }
+}
+
+// --- every architecture of the validation suite -------------------------
+
+class AllArchExactness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllArchExactness, JacobiExact) {
+  const auto arch = cluster::find_arch(GetParam());
+  expect_exact(run_sweep(arch, jacobi_workload(false), exact_options()));
+}
+
+TEST_P(AllArchExactness, LanczosPrefetchExact) {
+  apps::LanczosConfig cfg;
+  cfg.prefetch = true;
+  Workload w{"Lanczos+pf", apps::lanczos_program(cfg), cfg.iterations};
+  const auto arch = cluster::find_arch(GetParam());
+  expect_exact(run_sweep(arch, w, exact_options()));
+}
+
+std::vector<std::string> all_arch_names() {
+  std::vector<std::string> names;
+  for (const auto& a : cluster::architecture_suite())
+    names.push_back(a.cluster.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllArchExactness,
+                         ::testing::ValuesIn(all_arch_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+// --- awkward cluster sizes (binomial-tree mirror) ------------------------
+
+class ClusterSizeExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterSizeExactness, JacobiExactOnNNodes) {
+  const int n = GetParam();
+  auto cluster = cluster::ClusterConfig::uniform(n, "n" + std::to_string(n));
+  // Make it heterogeneous so the test is not trivially symmetric.
+  for (int i = 0; i < n; ++i) {
+    cluster.nodes[static_cast<std::size_t>(i)].cpu_power =
+        0.5 + 0.25 * (i % 5);
+    if (i % 3 == 0)
+      cluster.nodes[static_cast<std::size_t>(i)].memory_bytes = 6ll << 20;
+  }
+  const cluster::ArchConfig arch{cluster, cluster::SpectrumKind::kFull,
+                                 false};
+  expect_exact(run_sweep(arch, jacobi_workload(false), exact_options()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClusterSizeExactness,
+                         ::testing::Values(1, 2, 3, 5, 6, 7, 11, 16),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mheta::exp

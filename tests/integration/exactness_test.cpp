@@ -1,0 +1,90 @@
+// The strongest validation in the suite: when every simulator effect the
+// model deliberately ignores is switched off (no file cache, no CPU-cache
+// perturbation, no noise, no planner-overhead asymmetry, uniform per-row
+// work), the MHETA equations describe the simulator exactly, so prediction
+// and actual must agree to within the start-alignment slack (< 0.01%).
+//
+// Any drift between the runtime's streaming loops / communication and the
+// model's equations shows up here immediately.
+#include <gtest/gtest.h>
+
+#include "apps/cg.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/lanczos.hpp"
+#include "apps/multigrid.hpp"
+#include "apps/rna.hpp"
+#include "exp/experiment.hpp"
+
+namespace mheta::exp {
+namespace {
+
+ExperimentOptions exact_options() {
+  ExperimentOptions opts;
+  opts.effects = cluster::SimEffects::none();
+  opts.runtime.overhead_bytes = 0;  // model and runtime planners agree
+  opts.spectrum_steps = 1;
+  return opts;
+}
+
+void expect_exact(const SweepResult& sweep, double tol = 1e-4) {
+  for (const auto& p : sweep.points) {
+    EXPECT_NEAR(p.predicted_s / p.actual_s, 1.0, tol)
+        << sweep.workload << " on " << sweep.arch << " at '" << p.point.label
+        << "' t=" << p.point.t << ": actual=" << p.actual_s
+        << " predicted=" << p.predicted_s;
+  }
+}
+
+class ExactnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExactnessTest, JacobiMatchesSimulatorExactly) {
+  const auto arch = cluster::find_arch(GetParam());
+  expect_exact(run_sweep(arch, jacobi_workload(false), exact_options()));
+}
+
+TEST_P(ExactnessTest, JacobiPrefetchMatchesSimulatorExactly) {
+  const auto arch = cluster::find_arch(GetParam());
+  expect_exact(run_sweep(arch, jacobi_workload(true), exact_options()));
+}
+
+TEST_P(ExactnessTest, LanczosMatchesSimulatorExactly) {
+  const auto arch = cluster::find_arch(GetParam());
+  expect_exact(run_sweep(arch, lanczos_workload(), exact_options()));
+}
+
+TEST_P(ExactnessTest, RnaMatchesSimulatorExactly) {
+  const auto arch = cluster::find_arch(GetParam());
+  expect_exact(run_sweep(arch, rna_workload(), exact_options()));
+}
+
+TEST_P(ExactnessTest, MultigridMatchesSimulatorExactly) {
+  const auto arch = cluster::find_arch(GetParam());
+  expect_exact(run_sweep(arch, multigrid_workload(), exact_options()));
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOneConfigs, ExactnessTest,
+                         ::testing::Values("DC", "IO", "HY1", "HY2"),
+                         [](const auto& info) { return info.param; });
+
+// CG's nnz profile is invisible to the model even in the exact regime
+// (limitation 3) — unless the spread is zeroed, in which case CG too must
+// match exactly.
+TEST(ExactnessCg, UniformCgMatchesExactly) {
+  apps::CgConfig cfg;
+  cfg.nnz_spread = 0.0;
+  Workload w{"CG-uniform", apps::cg_program(cfg), cfg.iterations};
+  const auto arch = cluster::find_arch("IO");
+  expect_exact(run_sweep(arch, w, exact_options()));
+}
+
+TEST(ExactnessCg, SparseCgDisagreesOnlyModestly) {
+  // With the spread on, prediction errors appear but stay bounded — this is
+  // the paper's reported CG behaviour, not a model bug.
+  const auto arch = cluster::find_arch("IO");
+  const auto sweep = run_sweep(arch, cg_workload(), exact_options());
+  EXPECT_GT(sweep.max_diff(), 1e-4);  // genuinely imperfect
+  EXPECT_LT(sweep.max_diff(), 0.20);  // but bounded (paper: ~10%)
+}
+
+}  // namespace
+}  // namespace mheta::exp

@@ -1,0 +1,127 @@
+// Randomized exactness: generate random program structures (sections,
+// stages, arrays, patterns, tiles, prefetch flags) on random heterogeneous
+// clusters and random distributions; with unmodelled effects off, the model
+// must match the simulator on every one of them. This is the broadest
+// correctness statement in the suite: the MHETA equations are an exact
+// theory of the simulator for the *entire* supported program class, not
+// just the four benchmarks.
+#include <gtest/gtest.h>
+
+#include "apps/driver.hpp"
+#include "cluster/node.hpp"
+#include "exp/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::exp {
+namespace {
+
+core::ProgramStructure random_program(Rng& rng) {
+  core::ProgramStructure p;
+  p.name = "fuzz";
+  const int array_count = static_cast<int>(rng.uniform_int(1, 3));
+  const std::int64_t rows = rng.uniform_int(200, 3000);
+  for (int a = 0; a < array_count; ++a) {
+    ooc::ArraySpec spec;
+    spec.name = "V" + std::to_string(a);
+    spec.rows = rows;
+    spec.row_bytes = rng.uniform_int(1, 48) << 10;  // 1..48 KiB
+    spec.access = rng.uniform01() < 0.5 ? ooc::Access::kReadOnly
+                                        : ooc::Access::kReadWrite;
+    p.arrays.push_back(std::move(spec));
+  }
+  const int section_count = static_cast<int>(rng.uniform_int(1, 3));
+  for (int s = 0; s < section_count; ++s) {
+    core::SectionSpec sec;
+    sec.id = s;
+    const double pat = rng.uniform01();
+    if (pat < 0.4) {
+      sec.pattern = core::CommPattern::kNone;
+    } else if (pat < 0.75) {
+      sec.pattern = core::CommPattern::kNearestNeighbor;
+    } else {
+      sec.pattern = core::CommPattern::kPipeline;
+      sec.tiles = static_cast<int>(rng.uniform_int(2, 6));
+    }
+    sec.message_bytes = rng.uniform_int(64, 32 << 10);
+    sec.has_reduction = rng.uniform01() < 0.7;
+    if (rng.uniform01() < 0.25) {
+      sec.has_alltoall = true;
+      sec.alltoall_bytes_per_pair = rng.uniform_int(64, 128 << 10);
+    }
+    const int stage_count = static_cast<int>(rng.uniform_int(1, 3));
+    for (int st = 0; st < stage_count; ++st) {
+      ooc::StageDef stage;
+      stage.id = st;
+      stage.work_per_row_s = rng.uniform(20e-6, 500e-6);
+      stage.prefetch = rng.uniform01() < 0.3;
+      for (const auto& a : p.arrays) {
+        const double mode = rng.uniform01();
+        if (mode < 0.5) {
+          stage.read_vars.push_back(a.name);
+        } else if (mode < 0.75 && a.access == ooc::Access::kReadWrite) {
+          stage.read_vars.push_back(a.name);
+          stage.write_vars.push_back(a.name);
+        }
+      }
+      if (stage.read_vars.empty() && !p.arrays.empty())
+        stage.read_vars.push_back(p.arrays.front().name);
+      sec.stages.push_back(std::move(stage));
+    }
+    p.sections.push_back(std::move(sec));
+  }
+  return p;
+}
+
+cluster::ArchConfig random_arch(Rng& rng) {
+  const int n = static_cast<int>(rng.uniform_int(2, 10));
+  auto c = cluster::ClusterConfig::uniform(n, "fuzz-arch");
+  for (auto& node : c.nodes) {
+    node.cpu_power = rng.uniform(0.3, 3.0);
+    node.memory_bytes = rng.uniform_int(2, 96) << 20;
+    node.disk_read_s_per_byte = 1.0 / rng.uniform(8e6, 120e6);
+    node.disk_write_s_per_byte = 1.0 / rng.uniform(6e6, 100e6);
+    node.disk_read_seek_s = rng.uniform(1e-3, 20e-3);
+    node.disk_write_seek_s = rng.uniform(1e-3, 25e-3);
+  }
+  return {std::move(c), cluster::SpectrumKind::kFull, false};
+}
+
+dist::GenBlock random_dist(Rng& rng, std::int64_t rows, int nodes) {
+  std::vector<double> shares(static_cast<std::size_t>(nodes));
+  for (auto& s : shares) s = rng.uniform(0.05, 1.0);
+  return dist::GenBlock(dist::apportion(shares, rows));
+}
+
+TEST(FuzzExactness, RandomProgramsOnRandomClusters) {
+  Rng rng(20260704);
+  ExperimentOptions opts;
+  opts.effects = cluster::SimEffects::none();
+  opts.runtime.overhead_bytes = 0;
+
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto program = random_program(rng);
+    const auto arch = random_arch(rng);
+    Workload w{"fuzz", program, /*iterations=*/2};
+    const auto predictor = build_predictor(arch, w, opts);
+    for (int k = 0; k < 3; ++k) {
+      const auto d = random_dist(rng, program.rows(), arch.cluster.size());
+      apps::RunOptions run;
+      run.iterations = w.iterations;
+      run.runtime = opts.runtime;
+      const double actual =
+          apps::run_program(arch.cluster, opts.effects, program, d, run)
+              .seconds;
+      const double predicted = predictor.predict(d, w.iterations).total_s;
+      ASSERT_GT(actual, 0) << "trial " << trial;
+      EXPECT_NEAR(predicted / actual, 1.0, 2e-4)
+          << "trial " << trial << " dist " << d.to_string() << " nodes "
+          << arch.cluster.size();
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 120);
+}
+
+}  // namespace
+}  // namespace mheta::exp

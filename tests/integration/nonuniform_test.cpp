@@ -1,0 +1,81 @@
+// Non-uniform iterations (paper §3.1: "MHETA can support the case where
+// iterations take a nonuniform amount of time"): the same exactness
+// guarantee must hold when per-iteration computation scales vary.
+#include <gtest/gtest.h>
+
+#include "apps/driver.hpp"
+#include "apps/jacobi.hpp"
+#include "exp/experiment.hpp"
+
+namespace mheta::exp {
+namespace {
+
+TEST(NonUniformIterations, ExactnessHoldsWithVaryingWork) {
+  ExperimentOptions opts;
+  opts.effects = cluster::SimEffects::none();
+  opts.runtime.overhead_bytes = 0;
+  const auto arch = cluster::find_arch("HY1");
+  const auto w = jacobi_workload(false);
+  const auto predictor = build_predictor(arch, w, opts);
+  const auto ctx = make_context(arch, w, opts);
+
+  const std::vector<double> scales = {1.0, 2.0, 0.5, 1.5, 0.25,
+                                      3.0, 1.0, 0.1, 2.5, 1.0};
+  for (const auto& d : {dist::block_dist(ctx), dist::balanced_dist(ctx),
+                        dist::in_core_balanced_dist(ctx)}) {
+    apps::RunOptions run;
+    run.iterations = static_cast<int>(scales.size());
+    run.iteration_work_scales = scales;
+    run.runtime = opts.runtime;
+    const double actual =
+        apps::run_program(arch.cluster, opts.effects, w.program, d, run)
+            .seconds;
+    const double predicted = predictor.predict_nonuniform(d, scales).total_s;
+    EXPECT_NEAR(predicted / actual, 1.0, 1e-4) << d.to_string();
+  }
+}
+
+TEST(NonUniformIterations, ScalesChangeRelativeCosts) {
+  ExperimentOptions opts;
+  opts.effects = cluster::SimEffects::none();
+  opts.runtime.overhead_bytes = 0;
+  const auto arch = cluster::find_arch("IO");
+  const auto w = jacobi_workload(false);
+  const auto predictor = build_predictor(arch, w, opts);
+  const auto ctx = make_context(arch, w, opts);
+  const auto d = dist::block_dist(ctx);
+
+  const double light = predictor.predict_nonuniform(d, {0.1, 0.1}).total_s;
+  const double heavy = predictor.predict_nonuniform(d, {4.0, 4.0}).total_s;
+  const double uniform = predictor.predict(d, 2).total_s;
+  EXPECT_LT(light, uniform);
+  EXPECT_GT(heavy, uniform);
+  // I/O is unscaled, so heavy is NOT 40x light.
+  EXPECT_LT(heavy / light, 40.0);
+}
+
+TEST(NonUniformIterations, MissingScalesDefaultToOne) {
+  ExperimentOptions opts;
+  opts.effects = cluster::SimEffects::none();
+  opts.runtime.overhead_bytes = 0;
+  const auto arch = cluster::find_arch("DC");
+  const auto w = jacobi_workload(false);
+  const auto ctx = make_context(arch, w, opts);
+  const auto d = dist::block_dist(ctx);
+
+  apps::RunOptions with_partial;
+  with_partial.iterations = 4;
+  with_partial.iteration_work_scales = {1.0, 1.0};  // last two default
+  with_partial.runtime = opts.runtime;
+  apps::RunOptions plain;
+  plain.iterations = 4;
+  plain.runtime = opts.runtime;
+  const auto a = apps::run_program(arch.cluster, opts.effects, w.program, d,
+                                   with_partial);
+  const auto b =
+      apps::run_program(arch.cluster, opts.effects, w.program, d, plain);
+  EXPECT_EQ(a.seconds, b.seconds);
+}
+
+}  // namespace
+}  // namespace mheta::exp

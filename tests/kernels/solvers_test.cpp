@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/cg.hpp"
+#include "kernels/jacobi.hpp"
+#include "kernels/lanczos.hpp"
+#include "kernels/multigrid.hpp"
+#include "kernels/rna.hpp"
+
+namespace mheta::kernels {
+namespace {
+
+TEST(CgSolver, SolvesSpdSystem) {
+  const auto a = make_banded_spd(200, 6, 0.6, 42);
+  std::vector<double> x_true(200);
+  for (int i = 0; i < 200; ++i)
+    x_true[static_cast<std::size_t>(i)] = std::sin(0.1 * i);
+  std::vector<double> b;
+  spmv(a, x_true, b);
+  const auto result = cg_solve(a, b, 1e-10, 500);
+  EXPECT_TRUE(result.converged);
+  double max_err = 0;
+  for (std::size_t i = 0; i < x_true.size(); ++i)
+    max_err = std::max(max_err, std::abs(result.x[i] - x_true[i]));
+  EXPECT_LT(max_err, 1e-6);
+}
+
+TEST(CgSolver, ZeroRhsGivesZeroSolution) {
+  const auto a = make_banded_spd(50, 3, 0.5, 1);
+  const auto result = cg_solve(a, std::vector<double>(50, 0.0));
+  EXPECT_TRUE(result.converged);
+  for (double v : result.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CgSolver, RespectsIterationCap) {
+  const auto a = make_banded_spd(300, 10, 0.8, 5);
+  std::vector<double> b(300, 1.0);
+  const auto result = cg_solve(a, b, 1e-16, 3);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(JacobiKernel, ConvergesToBoundaryValue) {
+  // Laplace with constant boundary: the interior converges to it.
+  auto g = Grid2D::dirichlet(18, 18, 5.0);
+  const auto result = jacobi_solve(g, 1e-9, 5000);
+  EXPECT_LT(result.last_delta, 1e-9);
+  EXPECT_NEAR(result.grid.at(9, 9), 5.0, 1e-5);
+}
+
+TEST(JacobiKernel, SweepReportsMaxDelta) {
+  auto g = Grid2D::dirichlet(8, 8, 1.0);
+  Grid2D next = g;
+  const double delta = jacobi_sweep(g, next);
+  // Interior cells adjacent to two boundary edges jump to 0.5.
+  EXPECT_DOUBLE_EQ(delta, 0.5);
+}
+
+TEST(LanczosKernel, RecoversExtremeEigenvaluesOfDiagonal) {
+  // Diagonal matrix with known spectrum {1..60}.
+  CsrMatrix d;
+  d.n = 60;
+  d.row_ptr.resize(61);
+  for (int i = 0; i < 60; ++i) {
+    d.row_ptr[static_cast<std::size_t>(i)] = i;
+    d.col_idx.push_back(i);
+    d.values.push_back(i + 1.0);
+  }
+  d.row_ptr[60] = 60;
+  const auto t = lanczos_tridiagonalize(d, 40, 3);
+  const auto e = tridiag_eigen_extremes(t);
+  EXPECT_NEAR(e.largest, 60.0, 0.5);
+  EXPECT_NEAR(e.smallest, 1.0, 0.5);
+}
+
+TEST(LanczosKernel, BoundsSpdSpectrumFromBelow) {
+  const auto a = make_banded_spd(150, 5, 0.6, 9);
+  const auto t = lanczos_tridiagonalize(a, 30, 2);
+  const auto e = tridiag_eigen_extremes(t);
+  // SPD: both extremes positive, ordered.
+  EXPECT_GT(e.smallest, 0.0);
+  EXPECT_GT(e.largest, e.smallest);
+}
+
+TEST(RnaKernel, PairsComplementaryHairpin) {
+  // GGGG AAAA CCCC pairs G-C across the loop: 4 pairs with min_loop 3.
+  const auto fold = rna_fold("GGGGAAAACCCC", 3);
+  EXPECT_EQ(fold.max_pairs, 4);
+}
+
+TEST(RnaKernel, NoPairsWithoutComplements) {
+  const auto fold = rna_fold("AAAAAAAA", 3);
+  EXPECT_EQ(fold.max_pairs, 0);
+  EXPECT_EQ(fold.structure, "........");
+}
+
+TEST(RnaKernel, StructureIsBalancedAndConsistent) {
+  const auto seq = random_rna(120, 17);
+  const auto fold = rna_fold(seq, 3);
+  int open = 0, pairs = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < fold.structure.size(); ++i) {
+    const char c = fold.structure[i];
+    if (c == '(') {
+      stack.push_back(i);
+      ++open;
+    } else if (c == ')') {
+      ASSERT_FALSE(stack.empty());
+      const std::size_t j = stack.back();
+      stack.pop_back();
+      EXPECT_TRUE(can_pair(seq[j], seq[i])) << j << "," << i;
+      EXPECT_GE(i - j, 4u);  // min loop respected
+      ++pairs;
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(pairs, fold.max_pairs);
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(RnaKernel, MinLoopZeroAllowsAdjacentPairs) {
+  const auto fold = rna_fold("GC", 0);
+  EXPECT_EQ(fold.max_pairs, 1);
+  EXPECT_EQ(fold.structure, "()");
+}
+
+TEST(MultigridKernel, SolvesPoissonFast) {
+  // -u'' = pi^2 sin(pi x) has solution sin(pi x).
+  const std::size_t n = 255;
+  std::vector<double> f(n);
+  const double pi = 3.14159265358979323846;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i + 1) / static_cast<double>(n + 1);
+    f[i] = pi * pi * std::sin(pi * x);
+  }
+  const auto result = multigrid_solve(f, 1e-8, 30);
+  EXPECT_LT(result.residual, 1e-8);
+  EXPECT_LT(result.cycles, 15);  // textbook multigrid efficiency
+  for (std::size_t i = 0; i < n; i += 37) {
+    const double x = static_cast<double>(i + 1) / static_cast<double>(n + 1);
+    EXPECT_NEAR(result.u[i], std::sin(pi * x), 1e-4);
+  }
+}
+
+TEST(MultigridKernel, VCycleReducesResidual) {
+  const std::size_t n = 127;
+  std::vector<double> f(n, 1.0), u(n, 0.0);
+  const double r0 = poisson_residual(u, f);
+  v_cycle(u, f);
+  const double r1 = poisson_residual(u, f);
+  EXPECT_LT(r1, 0.25 * r0);  // strong per-cycle contraction
+}
+
+}  // namespace
+}  // namespace mheta::kernels

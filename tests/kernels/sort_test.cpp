@@ -1,0 +1,75 @@
+#include "kernels/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mheta::kernels {
+namespace {
+
+TEST(Sort, RandomKeysInRangeAndDeterministic) {
+  const auto a = random_keys(1000, 100, 7);
+  const auto b = random_keys(1000, 100, 7);
+  EXPECT_EQ(a, b);
+  for (auto k : a) {
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 100);
+  }
+  EXPECT_NE(a, random_keys(1000, 100, 8));
+}
+
+TEST(Sort, HistogramSumsToN) {
+  const auto keys = random_keys(5000, 1 << 16, 3);
+  const auto hist = bucket_histogram(keys, 1 << 16, 8);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), 0ll), 5000);
+  // Uniform keys: buckets roughly equal.
+  for (auto h : hist) EXPECT_NEAR(static_cast<double>(h), 625.0, 200.0);
+}
+
+TEST(Sort, HistogramEdgeValues) {
+  const std::vector<std::int32_t> keys = {0, 99, 50};
+  const auto hist = bucket_histogram(keys, 100, 2);
+  EXPECT_EQ(hist[0], 1);  // key 0
+  EXPECT_EQ(hist[1], 2);  // keys 99 and 50
+}
+
+TEST(Sort, CountingSortMatchesStdSort) {
+  auto keys = random_keys(3000, 512, 11);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(counting_sort(keys, 512), expected);
+}
+
+TEST(Sort, CountingSortRejectsOutOfRange) {
+  EXPECT_THROW(counting_sort({5}, 5), CheckError);
+  EXPECT_THROW(counting_sort({-1}, 5), CheckError);
+}
+
+TEST(Sort, RanksAreAPermutationAndOrderKeys) {
+  const auto keys = random_keys(2000, 64, 13);
+  const auto ranks = key_ranks(keys, 64);
+  // Permutation of 0..n-1.
+  std::vector<std::int64_t> sorted_ranks = ranks;
+  std::sort(sorted_ranks.begin(), sorted_ranks.end());
+  for (std::int64_t i = 0; i < 2000; ++i)
+    ASSERT_EQ(sorted_ranks[static_cast<std::size_t>(i)], i);
+  // Placing each key at its rank yields the sorted array.
+  std::vector<std::int32_t> placed(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    placed[static_cast<std::size_t>(ranks[i])] = keys[i];
+  EXPECT_EQ(placed, counting_sort(keys, 64));
+}
+
+TEST(Sort, RanksAreStableForTies) {
+  const std::vector<std::int32_t> keys = {3, 1, 3, 1};
+  const auto ranks = key_ranks(keys, 4);
+  // The first 1 ranks before the second 1; same for the 3s.
+  EXPECT_LT(ranks[1], ranks[3]);
+  EXPECT_LT(ranks[0], ranks[2]);
+}
+
+}  // namespace
+}  // namespace mheta::kernels

@@ -1,0 +1,100 @@
+#include "kernels/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mheta::kernels {
+namespace {
+
+TEST(Spmv, IdentityMatrix) {
+  CsrMatrix id;
+  id.n = 3;
+  id.row_ptr = {0, 1, 2, 3};
+  id.col_idx = {0, 1, 2};
+  id.values = {1, 1, 1};
+  std::vector<double> x = {1, 2, 3}, y;
+  spmv(id, x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Spmv, GeneralSmallMatrix) {
+  // [[2,1,0],[0,3,0],[4,0,5]] * [1,2,3] = [4,6,19]
+  CsrMatrix a;
+  a.n = 3;
+  a.row_ptr = {0, 2, 3, 5};
+  a.col_idx = {0, 1, 1, 0, 2};
+  a.values = {2, 1, 3, 4, 5};
+  std::vector<double> x = {1, 2, 3}, y;
+  spmv(a, x, y);
+  EXPECT_EQ(y, (std::vector<double>{4, 6, 19}));
+}
+
+TEST(BandedSpd, StructureIsValid) {
+  const auto a = make_banded_spd(100, 5, 0.7, 42);
+  EXPECT_EQ(a.n, 100);
+  EXPECT_EQ(a.row_ptr.size(), 101u);
+  EXPECT_EQ(a.row_ptr.back(), a.nnz());
+  for (std::int64_t i = 0; i < a.n; ++i) {
+    // Columns sorted and within the band.
+    for (std::int64_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i + 1)]; ++k) {
+      const auto c = a.col_idx[static_cast<std::size_t>(k)];
+      EXPECT_LE(std::abs(c - i), 5);
+      if (k > a.row_ptr[static_cast<std::size_t>(i)]) {
+        EXPECT_GT(c, a.col_idx[static_cast<std::size_t>(k - 1)]);
+      }
+    }
+  }
+}
+
+TEST(BandedSpd, IsSymmetric) {
+  const auto a = make_banded_spd(60, 4, 0.8, 7);
+  // Check A == A^T by comparing A x . y with A y . x for random-ish vectors.
+  std::vector<double> x(60), y(60), ax, ay;
+  for (int i = 0; i < 60; ++i) {
+    x[static_cast<std::size_t>(i)] = std::sin(i * 0.7);
+    y[static_cast<std::size_t>(i)] = std::cos(i * 1.3);
+  }
+  spmv(a, x, ax);
+  spmv(a, y, ay);
+  EXPECT_NEAR(dot(ax, y), dot(ay, x), 1e-10);
+}
+
+TEST(BandedSpd, IsDiagonallyDominant) {
+  const auto a = make_banded_spd(80, 6, 0.5, 3);
+  for (std::int64_t i = 0; i < a.n; ++i) {
+    double diag = 0, off = 0;
+    for (std::int64_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i + 1)]; ++k) {
+      if (a.col_idx[static_cast<std::size_t>(k)] == i)
+        diag = a.values[static_cast<std::size_t>(k)];
+      else
+        off += std::abs(a.values[static_cast<std::size_t>(k)]);
+    }
+    EXPECT_GT(diag, off);  // strict dominance -> SPD
+  }
+}
+
+TEST(BandedSpd, RowNnzVaries) {
+  const auto a = make_banded_spd(200, 8, 0.5, 11);
+  std::int64_t min_nnz = a.n, max_nnz = 0;
+  for (std::int64_t i = 0; i < a.n; ++i) {
+    min_nnz = std::min(min_nnz, a.row_nnz(i));
+    max_nnz = std::max(max_nnz, a.row_nnz(i));
+  }
+  EXPECT_GT(max_nnz, min_nnz);  // the imbalance CG feeds the simulator
+}
+
+TEST(VectorHelpers, DotNormAxpy) {
+  std::vector<double> a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3, 4}), 5);
+  axpy(2.0, a, b);  // b = {6, 9, 12}
+  EXPECT_EQ(b, (std::vector<double>{6, 9, 12}));
+  xpby(a, 0.5, b);  // b = a + 0.5 b = {4, 6.5, 9}
+  EXPECT_EQ(b, (std::vector<double>{4, 6.5, 9}));
+}
+
+}  // namespace
+}  // namespace mheta::kernels

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "sim/process.hpp"
+
+namespace mheta::mpi {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::SimEffects;
+
+ClusterConfig net_cluster(int n) {
+  auto c = ClusterConfig::uniform(n, "a2a");
+  c.network.send_overhead_s = 10e-6;
+  c.network.recv_overhead_s = 20e-6;
+  c.network.latency_s = 100e-6;
+  c.network.s_per_byte = 1e-9;
+  return c;
+}
+
+TEST(Alltoall, CompletesOnAllSizes) {
+  for (int n : {2, 3, 4, 5, 8}) {
+    sim::Engine eng;
+    const auto cfg = net_cluster(n);
+    mpi::World w(eng, cfg, SimEffects::none());
+    std::vector<sim::Time> done(static_cast<std::size_t>(n), -1);
+    for (int r = 0; r < n; ++r) {
+      eng.spawn([](mpi::World& w2, int rank, sim::Time& t) -> sim::Process {
+        co_await w2.alltoall(rank, 1000);
+        t = w2.engine().now();
+      }(w, r, done[static_cast<std::size_t>(r)]));
+    }
+    eng.run();
+    for (int r = 0; r < n; ++r)
+      EXPECT_GT(done[static_cast<std::size_t>(r)], 0) << "n=" << n;
+  }
+}
+
+TEST(Alltoall, TwoRanksHandTimed) {
+  sim::Engine eng;
+  const auto cfg = net_cluster(2);
+  mpi::World w(eng, cfg, SimEffects::none());
+  std::vector<sim::Time> done(2, -1);
+  for (int r = 0; r < 2; ++r) {
+    eng.spawn([](mpi::World& w2, int rank, sim::Time& t) -> sim::Process {
+      co_await w2.alltoall(rank, 1'000'000);  // 1 MB -> 1 ms transfer
+      t = w2.engine().now();
+    }(w, r, done[static_cast<std::size_t>(r)]));
+  }
+  eng.run();
+  // Each rank: send (o_s = 10 us), message arrives at 10us + 100us + 1ms;
+  // recv adds o_r = 20 us.
+  const sim::Time expected = sim::from_seconds(10e-6 + 100e-6 + 1e-3 + 20e-6);
+  EXPECT_EQ(done[0], expected);
+  EXPECT_EQ(done[1], expected);
+}
+
+TEST(Alltoall, HooksSeeSingleOperation) {
+  sim::Engine eng;
+  const auto cfg = net_cluster(4);
+  mpi::World w(eng, cfg, SimEffects::none());
+  std::vector<Op> pre_ops;
+  w.hooks().add_pre([&](const HookInfo& i) { pre_ops.push_back(i.op); });
+  for (int r = 0; r < 4; ++r) {
+    eng.spawn([](mpi::World& w2, int rank) -> sim::Process {
+      co_await w2.alltoall(rank, 100);
+    }(w, r));
+  }
+  eng.run();
+  ASSERT_EQ(pre_ops.size(), 4u);
+  for (Op op : pre_ops) EXPECT_EQ(op, Op::kAlltoall);
+}
+
+TEST(Alltoall, SlowRankDelaysEveryone) {
+  sim::Engine eng;
+  const auto cfg = net_cluster(4);
+  mpi::World w(eng, cfg, SimEffects::none());
+  std::vector<sim::Time> done(4, -1);
+  for (int r = 0; r < 4; ++r) {
+    eng.spawn([](mpi::World& w2, int rank, sim::Time& t) -> sim::Process {
+      if (rank == 2) co_await w2.engine().delay(sim::from_seconds(1.0));
+      co_await w2.alltoall(rank, 100);
+      t = w2.engine().now();
+    }(w, r, done[static_cast<std::size_t>(r)]));
+  }
+  eng.run();
+  // Everyone needs rank 2's buckets, so nobody finishes before ~1 s.
+  for (int r = 0; r < 4; ++r)
+    EXPECT_GE(done[static_cast<std::size_t>(r)], sim::from_seconds(1.0));
+}
+
+}  // namespace
+}  // namespace mheta::mpi

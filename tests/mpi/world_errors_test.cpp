@@ -1,0 +1,88 @@
+// Failure-injection and precondition tests for the SimMPI layer.
+#include <gtest/gtest.h>
+
+#include "mpi/world.hpp"
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace mheta::mpi {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::SimEffects;
+
+TEST(WorldErrors, SendToSelfIsRejected) {
+  sim::Engine eng;
+  const auto cfg = ClusterConfig::uniform(2);
+  World w(eng, cfg, SimEffects::none());
+  eng.spawn([](World& w2) -> sim::Process {
+    co_await w2.send(0, 0, 10);
+  }(w));
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(WorldErrors, SendOutOfRangeRankIsRejected) {
+  sim::Engine eng;
+  const auto cfg = ClusterConfig::uniform(2);
+  World w(eng, cfg, SimEffects::none());
+  eng.spawn([](World& w2) -> sim::Process {
+    co_await w2.send(0, 5, 10);
+  }(w));
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(WorldErrors, NegativeBytesRejected) {
+  sim::Engine eng;
+  const auto cfg = ClusterConfig::uniform(2);
+  World w(eng, cfg, SimEffects::none());
+  eng.spawn([](World& w2) -> sim::Process {
+    co_await w2.send(0, 1, -5);
+  }(w));
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(WorldErrors, NegativeComputeRejected) {
+  sim::Engine eng;
+  const auto cfg = ClusterConfig::uniform(1);
+  World w(eng, cfg, SimEffects::none());
+  eng.spawn([](World& w2) -> sim::Process {
+    co_await w2.compute(0, -1.0);
+  }(w));
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(WorldErrors, WaitOnEmptyRequestRejected) {
+  sim::Engine eng;
+  const auto cfg = ClusterConfig::uniform(1);
+  World w(eng, cfg, SimEffects::none());
+  eng.spawn([](World& w2) -> sim::Process {
+    Request empty;
+    co_await w2.file_wait(0, std::move(empty));
+  }(w));
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(WorldErrors, ThrowingHookAbortsRun) {
+  sim::Engine eng;
+  const auto cfg = ClusterConfig::uniform(1);
+  World w(eng, cfg, SimEffects::none());
+  w.hooks().add_pre([](const HookInfo&) {
+    throw std::runtime_error("hook failure");
+  });
+  eng.spawn([](World& w2) -> sim::Process {
+    co_await w2.compute(0, 0.1);
+  }(w));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(WorldErrors, DiskRejectsNegativeGeometry) {
+  sim::Engine eng;
+  const auto cfg = ClusterConfig::uniform(1);
+  World w(eng, cfg, SimEffects::none());
+  EXPECT_THROW(w.disk(0).read("A", -1, 10), CheckError);
+  EXPECT_THROW(w.disk(0).write("A", 0, -10), CheckError);
+  EXPECT_THROW(w.disk(2), CheckError);  // rank out of range
+}
+
+}  // namespace
+}  // namespace mheta::mpi

@@ -1,0 +1,343 @@
+#include "mpi/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/process.hpp"
+
+namespace mheta::mpi {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::SimEffects;
+
+ClusterConfig simple_cluster(int n) {
+  auto c = ClusterConfig::uniform(n, "test");
+  c.network.send_overhead_s = 10e-6;
+  c.network.recv_overhead_s = 20e-6;
+  c.network.latency_s = 100e-6;
+  c.network.s_per_byte = 1e-6;
+  return c;
+}
+
+sim::Process sender(World& w, int src, int dst, std::int64_t bytes,
+                    sim::Time& done) {
+  co_await w.send(src, dst, bytes);
+  done = w.engine().now();
+}
+
+sim::Process receiver(World& w, int dst, int src, sim::Time& done,
+                      std::int64_t& got_bytes) {
+  const Msg m = co_await w.recv(dst, src);
+  done = w.engine().now();
+  got_bytes = m.bytes;
+}
+
+TEST(World, SendRecvTiming) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  World w(eng, cfg, SimEffects::none());
+  sim::Time send_done = -1, recv_done = -1;
+  std::int64_t got = 0;
+  eng.spawn(sender(w, 0, 1, 1000, send_done));
+  eng.spawn(receiver(w, 1, 0, recv_done, got));
+  eng.run();
+  // Sender busy for o_s = 10 us.
+  EXPECT_EQ(send_done, sim::from_seconds(10e-6));
+  // Arrival = o_s + latency + bytes * per_byte; then o_r.
+  EXPECT_EQ(recv_done, sim::from_seconds(10e-6 + 100e-6 + 1000e-6 + 20e-6));
+  EXPECT_EQ(got, 1000);
+}
+
+TEST(World, SendOverheadScalesWithCpuPower) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  cfg.nodes[0].cpu_power = 2.0;  // twice as fast -> half the overhead
+  World w(eng, cfg, SimEffects::none());
+  sim::Time send_done = -1;
+  eng.spawn(sender(w, 0, 1, 0, send_done));
+  eng.run();
+  EXPECT_EQ(send_done, sim::from_seconds(5e-6));
+}
+
+TEST(World, RecvBlocksUntilArrival) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  World w(eng, cfg, SimEffects::none());
+  sim::Time recv_done = -1;
+  std::int64_t got = 0;
+  eng.spawn(receiver(w, 1, 0, recv_done, got));
+  // Sender starts late.
+  eng.at(sim::from_seconds(1.0), [&] {
+    eng.spawn([](World& w2, sim::Time&) -> sim::Process {
+      co_await w2.send(0, 1, 0);
+    }(w, recv_done));
+  });
+  eng.run();
+  EXPECT_EQ(recv_done,
+            sim::from_seconds(1.0 + 10e-6 + 100e-6 + 20e-6));
+}
+
+sim::Process reducer(World& w, int rank, double value, double& out,
+                     sim::Time& done) {
+  out = co_await w.allreduce(rank, value);
+  done = w.engine().now();
+}
+
+TEST(World, AllreduceSumsAcrossRanks) {
+  for (int n : {1, 2, 3, 4, 5, 8}) {
+    sim::Engine eng;
+    auto cfg = simple_cluster(n);
+    World w(eng, cfg, SimEffects::none());
+    std::vector<double> results(static_cast<std::size_t>(n));
+    std::vector<sim::Time> done(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      eng.spawn(reducer(w, r, static_cast<double>(r + 1),
+                        results[static_cast<std::size_t>(r)],
+                        done[static_cast<std::size_t>(r)]));
+    eng.run();
+    const double expected = n * (n + 1) / 2.0;
+    for (int r = 0; r < n; ++r)
+      EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], expected)
+          << "n=" << n << " rank=" << r;
+  }
+}
+
+TEST(World, AllreduceMaxAndMin) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(4);
+  World w(eng, cfg, SimEffects::none());
+  std::vector<double> maxes(4), mins(4);
+  for (int r = 0; r < 4; ++r) {
+    eng.spawn([](World& w2, int rank, double& mx, double& mn) -> sim::Process {
+      mx = co_await w2.allreduce(rank, static_cast<double>(rank), ReduceOp::kMax);
+      mn = co_await w2.allreduce(rank, static_cast<double>(rank), ReduceOp::kMin);
+    }(w, r, maxes[static_cast<std::size_t>(r)], mins[static_cast<std::size_t>(r)]));
+  }
+  eng.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(maxes[static_cast<std::size_t>(r)], 3.0);
+    EXPECT_DOUBLE_EQ(mins[static_cast<std::size_t>(r)], 0.0);
+  }
+}
+
+TEST(World, BarrierSynchronizesRanks) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(4);
+  World w(eng, cfg, SimEffects::none());
+  std::vector<sim::Time> after(4);
+  for (int r = 0; r < 4; ++r) {
+    eng.spawn([](World& w2, int rank, sim::Time& t) -> sim::Process {
+      // Stagger arrivals.
+      co_await w2.engine().delay(rank * sim::from_seconds(0.1));
+      co_await w2.barrier(rank);
+      t = w2.engine().now();
+    }(w, r, after[static_cast<std::size_t>(r)]));
+  }
+  eng.run();
+  // Nobody leaves the barrier before the last arrival at t=0.3s.
+  for (int r = 0; r < 4; ++r)
+    EXPECT_GE(after[static_cast<std::size_t>(r)], sim::from_seconds(0.3));
+}
+
+TEST(World, ComputeScalesByPower) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  cfg.nodes[1].cpu_power = 2.0;
+  World w(eng, cfg, SimEffects::none());
+  sim::Time t0 = -1, t1 = -1;
+  eng.spawn([](World& w2, sim::Time& t) -> sim::Process {
+    co_await w2.compute(0, 1.0);
+    t = w2.engine().now();
+  }(w, t0));
+  eng.spawn([](World& w2, sim::Time& t) -> sim::Process {
+    co_await w2.compute(1, 1.0);
+    t = w2.engine().now();
+  }(w, t1));
+  eng.run();
+  EXPECT_EQ(t0, sim::from_seconds(1.0));
+  EXPECT_EQ(t1, sim::from_seconds(0.5));
+}
+
+TEST(World, ComputeCachePerturbationAppliesForSmallWorkingSets) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(1);
+  cfg.cache.effective_cache_bytes = 1 << 20;
+  cfg.cache.in_cache_speedup = 0.10;
+  auto effects = SimEffects::none();
+  effects.cache_perturbation = true;
+  World w(eng, cfg, effects);
+  sim::Time t = -1;
+  eng.spawn([](World& w2, sim::Time& out) -> sim::Process {
+    co_await w2.compute(0, 1.0, /*working_set=*/1000);
+    out = w2.engine().now();
+  }(w, t));
+  eng.run();
+  EXPECT_EQ(t, sim::from_seconds(0.9));
+}
+
+sim::Process file_reader(World& w, int rank, sim::Time& done) {
+  co_await w.file_read(rank, "A", 0, 1000);
+  done = w.engine().now();
+}
+
+TEST(World, FileReadUsesDiskModel) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(1);
+  cfg.nodes[0].disk_read_seek_s = 0.01;
+  cfg.nodes[0].disk_read_s_per_byte = 1e-6;
+  World w(eng, cfg, SimEffects::none());
+  sim::Time done = -1;
+  eng.spawn(file_reader(w, 0, done));
+  eng.run();
+  EXPECT_EQ(done, sim::from_seconds(0.01 + 1000e-6));
+}
+
+TEST(World, PrefetchOverlapsCompute) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(1);
+  cfg.nodes[0].disk_read_seek_s = 0.01;
+  cfg.nodes[0].disk_read_s_per_byte = 1e-6;  // 1000 bytes -> 1 ms
+  World w(eng, cfg, SimEffects::none());
+  sim::Time done = -1;
+  eng.spawn([](World& w2, sim::Time& out) -> sim::Process {
+    Request r = co_await w2.file_iread(0, "A", 0, 1000);
+    co_await w2.compute(0, 0.1);  // compute overlaps the 11 ms read
+    co_await w2.file_wait(0, r);
+    out = w2.engine().now();
+  }(w, done));
+  eng.run();
+  // Read (11 ms) fully hidden behind 100 ms compute.
+  EXPECT_EQ(done, sim::from_seconds(0.1));
+}
+
+TEST(World, PrefetchWaitBlocksWhenComputeIsShort) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(1);
+  cfg.nodes[0].disk_read_seek_s = 0.01;
+  cfg.nodes[0].disk_read_s_per_byte = 1e-6;
+  World w(eng, cfg, SimEffects::none());
+  sim::Time done = -1;
+  eng.spawn([](World& w2, sim::Time& out) -> sim::Process {
+    Request r = co_await w2.file_iread(0, "A", 0, 1000);
+    co_await w2.compute(0, 0.001);  // 1 ms compute < 11 ms read
+    co_await w2.file_wait(0, r);
+    out = w2.engine().now();
+  }(w, done));
+  eng.run();
+  EXPECT_EQ(done, sim::from_seconds(0.011));
+}
+
+TEST(World, BlockingPrefetchTransformSerializes) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(1);
+  cfg.nodes[0].disk_read_seek_s = 0.01;
+  cfg.nodes[0].disk_read_s_per_byte = 1e-6;
+  World w(eng, cfg, SimEffects::none());
+  w.set_blocking_prefetch(true);
+  sim::Time after_issue = -1, done = -1;
+  eng.spawn([](World& w2, sim::Time& issue_t, sim::Time& out) -> sim::Process {
+    Request r = co_await w2.file_iread(0, "A", 0, 1000);
+    issue_t = w2.engine().now();
+    co_await w2.compute(0, 0.001);
+    co_await w2.file_wait(0, r);  // no-op under the transform
+    out = w2.engine().now();
+  }(w, after_issue, done));
+  eng.run();
+  EXPECT_EQ(after_issue, sim::from_seconds(0.011));  // issue blocked
+  EXPECT_EQ(done, sim::from_seconds(0.012));         // wait added nothing
+}
+
+TEST(World, HooksObserveOpsWithContext) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  World w(eng, cfg, SimEffects::none());
+  std::vector<HookInfo> pre, post;
+  w.hooks().add_pre([&](const HookInfo& i) { pre.push_back(i); });
+  w.hooks().add_post([&](const HookInfo& i) { post.push_back(i); });
+  eng.spawn([](World& w2) -> sim::Process {
+    w2.section_begin(0, 3);
+    w2.stage_begin(0, 1);
+    co_await w2.file_read(0, "B", 0, 10);
+    w2.stage_end(0, 1);
+    w2.section_end(0, 3);
+  }(w));
+  eng.run();
+  // section_begin, stage_begin, file_read pre.
+  ASSERT_EQ(pre.size(), 3u);
+  EXPECT_EQ(pre[2].op, Op::kFileRead);
+  EXPECT_EQ(pre[2].var, "B");
+  EXPECT_EQ(pre[2].section, 3);
+  EXPECT_EQ(pre[2].stage, 1);
+  // file_read post, stage_end, section_end.
+  ASSERT_EQ(post.size(), 3u);
+  EXPECT_EQ(post[0].op, Op::kFileRead);
+  EXPECT_GT(post[0].now, pre[2].now);
+}
+
+TEST(World, AllreduceHidesInternalMessages) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(4);
+  World w(eng, cfg, SimEffects::none());
+  std::vector<Op> ops;
+  w.hooks().add_pre([&](const HookInfo& i) { ops.push_back(i.op); });
+  for (int r = 0; r < 4; ++r) {
+    eng.spawn([](World& w2, int rank) -> sim::Process {
+      (void)co_await w2.allreduce(rank, 1.0);
+    }(w, r));
+  }
+  eng.run();
+  ASSERT_EQ(ops.size(), 4u);  // one kAllreduce per rank, no sends/recvs
+  for (Op op : ops) EXPECT_EQ(op, Op::kAllreduce);
+}
+
+TEST(World, BarrierHidesInnerAllreduce) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  World w(eng, cfg, SimEffects::none());
+  std::vector<Op> pre_ops, post_ops;
+  w.hooks().add_pre([&](const HookInfo& i) { pre_ops.push_back(i.op); });
+  w.hooks().add_post([&](const HookInfo& i) { post_ops.push_back(i.op); });
+  for (int r = 0; r < 2; ++r) {
+    eng.spawn([](World& w2, int rank) -> sim::Process {
+      co_await w2.barrier(rank);
+    }(w, r));
+  }
+  eng.run();
+  ASSERT_EQ(pre_ops.size(), 2u);
+  ASSERT_EQ(post_ops.size(), 2u);
+  for (Op op : pre_ops) EXPECT_EQ(op, Op::kBarrier);
+  for (Op op : post_ops) EXPECT_EQ(op, Op::kBarrier);
+}
+
+TEST(World, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Engine eng;
+    auto cfg = simple_cluster(4);
+    World w(eng, cfg, SimEffects::none());
+    std::vector<sim::Time> done(4);
+    for (int r = 0; r < 4; ++r) {
+      eng.spawn([](World& w2, int rank, sim::Time& t) -> sim::Process {
+        for (int it = 0; it < 3; ++it) {
+          co_await w2.compute(rank, 0.01 * (rank + 1));
+          (void)co_await w2.allreduce(rank, 1.0);
+        }
+        t = w2.engine().now();
+      }(w, r, done[static_cast<std::size_t>(r)]));
+    }
+    eng.run();
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(World, ToStringCoversOps) {
+  EXPECT_STREQ(to_string(Op::kSend), "send");
+  EXPECT_STREQ(to_string(Op::kFileIread), "file_iread");
+  EXPECT_STREQ(to_string(Op::kStageEnd), "stage_end");
+}
+
+}  // namespace
+}  // namespace mheta::mpi

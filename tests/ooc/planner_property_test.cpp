@@ -1,0 +1,89 @@
+// Property sweeps over the memory planner: invariants must hold for any
+// combination of array sizes, row counts and memory capacities.
+#include <gtest/gtest.h>
+
+#include "ooc/planner.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::ooc {
+namespace {
+
+struct PlannerCase {
+  std::int64_t la_rows;
+  std::int64_t memory;
+  std::int64_t overhead;
+};
+
+class PlannerProperty : public ::testing::TestWithParam<PlannerCase> {};
+
+TEST_P(PlannerProperty, InvariantsHold) {
+  const auto [la_rows, memory, overhead] = GetParam();
+  // Three arrays of diverse row widths.
+  const std::vector<ArraySpec> arrays = {
+      {"small", la_rows, 64, Access::kReadOnly},
+      {"medium", la_rows, 4096, Access::kReadWrite},
+      {"large", la_rows, 65536, Access::kReadWrite},
+  };
+  PlannerOptions opts;
+  opts.overhead_bytes = overhead;
+  const auto plan = plan_node(arrays, la_rows, memory, opts);
+
+  ASSERT_EQ(plan.arrays.size(), arrays.size());
+  const std::int64_t usable = std::max<std::int64_t>(0, memory - overhead);
+  std::int64_t in_core_total = 0;
+  for (const auto& ap : plan.arrays) {
+    EXPECT_EQ(ap.la_rows, la_rows);
+    EXPECT_GE(ap.icla_rows, 0);
+    EXPECT_LE(ap.icla_rows, std::max<std::int64_t>(la_rows, 0));
+    if (!ap.out_of_core) {
+      EXPECT_EQ(ap.icla_rows, ap.la_rows);
+      EXPECT_EQ(ap.num_blocks(), 1);
+      in_core_total += ap.la_bytes();
+    } else {
+      EXPECT_GT(ap.icla_rows, 0);
+      EXPECT_LE(ap.num_blocks(), opts.max_blocks);
+      // Streaming covers the whole local array.
+      EXPECT_GE(ap.icla_rows * ap.num_blocks(), ap.la_rows);
+    }
+  }
+  // In-core arrays respect the capacity.
+  EXPECT_LE(in_core_total, std::max<std::int64_t>(usable, 0));
+  EXPECT_EQ(plan.in_core_bytes, in_core_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlannerProperty,
+    ::testing::Values(PlannerCase{0, 0, 0},            // degenerate
+                      PlannerCase{1, 1, 0},            // single row, no room
+                      PlannerCase{100, 1 << 30, 0},    // everything fits
+                      PlannerCase{100, 1 << 20, 0},    // partial
+                      PlannerCase{100, 100 << 10, 0},  // tight
+                      PlannerCase{100, 100 << 10, 90 << 10},  // mostly overhead
+                      PlannerCase{100000, 1 << 20, 0},  // block-count cap
+                      PlannerCase{7, 300, 0},           // tiny everything
+                      PlannerCase{4096, 6 << 20, 32 << 10}));  // suite-like
+
+TEST(PlannerProperty, RandomizedFuzz) {
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::int64_t la = rng.uniform_int(0, 10000);
+    const std::int64_t mem = rng.uniform_int(0, 64ll << 20);
+    const std::int64_t row_a = rng.uniform_int(1, 1 << 16);
+    const std::int64_t row_b = rng.uniform_int(1, 1 << 16);
+    const std::vector<ArraySpec> arrays = {
+        {"a", la, row_a, Access::kReadWrite},
+        {"b", la, row_b, Access::kReadOnly}};
+    const auto plan = plan_node(arrays, la, mem, {});
+    for (const auto& ap : plan.arrays) {
+      ASSERT_GE(ap.icla_rows, ap.out_of_core ? 1 : 0);
+      ASSERT_LE(ap.icla_rows, std::max<std::int64_t>(la, 0));
+      if (ap.out_of_core) {
+        ASSERT_GE(ap.icla_rows * ap.num_blocks(), ap.la_rows);
+      }
+    }
+    ASSERT_LE(plan.in_core_bytes, std::max<std::int64_t>(mem, 0));
+  }
+}
+
+}  // namespace
+}  // namespace mheta::ooc

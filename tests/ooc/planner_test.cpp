@@ -1,0 +1,94 @@
+#include "ooc/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mheta::ooc {
+namespace {
+
+std::vector<ArraySpec> two_arrays() {
+  return {
+      {"A", 1000, 1 << 10, Access::kReadOnly},   // 1 KiB rows
+      {"B", 1000, 2 << 10, Access::kReadWrite},  // 2 KiB rows
+  };
+}
+
+TEST(Planner, EverythingInCoreWhenMemorySuffices) {
+  // 100 rows: A=100K, B=200K; memory 1 MiB.
+  const auto plan = plan_node(two_arrays(), 100, 1 << 20, {});
+  EXPECT_FALSE(plan.any_out_of_core());
+  EXPECT_EQ(plan.array("A").icla_rows, 100);
+  EXPECT_EQ(plan.array("A").num_blocks(), 1);
+  EXPECT_EQ(plan.in_core_bytes, (100 << 10) + (200 << 10));
+}
+
+TEST(Planner, SmallestArrayStaysInCoreFirst) {
+  // Memory fits A (100K) but not A+B (300K).
+  const auto plan = plan_node(two_arrays(), 100, 150 << 10, {});
+  EXPECT_FALSE(plan.array("A").out_of_core);
+  EXPECT_TRUE(plan.array("B").out_of_core);
+}
+
+TEST(Planner, OocIclaUsesRemainingMemory) {
+  // Memory 150K: A in core (100K), 50K left for B -> icla = 25 rows.
+  const auto plan = plan_node(two_arrays(), 100, 150 << 10, {});
+  const auto& b = plan.array("B");
+  EXPECT_EQ(b.icla_rows, 25);
+  EXPECT_EQ(b.num_blocks(), 4);
+}
+
+TEST(Planner, MultipleOocArraysShareBysize) {
+  // Memory 60K, nothing fits (A=100K, B=200K). Shares 1:2 of 60K.
+  const auto plan = plan_node(two_arrays(), 100, 60 << 10, {});
+  EXPECT_TRUE(plan.any_out_of_core());
+  EXPECT_EQ(plan.array("A").icla_rows, 20);  // 20K / 1K rows
+  EXPECT_EQ(plan.array("B").icla_rows, 20);  // 40K / 2K rows
+}
+
+TEST(Planner, OverheadBytesShrinkUsableMemory) {
+  PlannerOptions opts;
+  opts.overhead_bytes = 200 << 10;
+  // 350K memory - 200K overhead = 150K usable: same as the 150K case.
+  const auto plan = plan_node(two_arrays(), 100, 350 << 10, opts);
+  EXPECT_FALSE(plan.array("A").out_of_core);
+  EXPECT_TRUE(plan.array("B").out_of_core);
+  EXPECT_EQ(plan.array("B").icla_rows, 25);
+}
+
+TEST(Planner, MaxBlocksCapsStreaming) {
+  PlannerOptions opts;
+  opts.max_blocks = 10;
+  // Tiny memory: without the cap B would need hundreds of blocks.
+  const auto plan = plan_node(two_arrays(), 1000, 1 << 10, opts);
+  EXPECT_LE(plan.array("B").num_blocks(), 10);
+  EXPECT_GE(plan.array("B").icla_rows, 100);
+}
+
+TEST(Planner, ZeroRowsNodeHasTrivialPlan) {
+  const auto plan = plan_node(two_arrays(), 0, 1 << 20, {});
+  EXPECT_FALSE(plan.any_out_of_core());
+  EXPECT_EQ(plan.array("A").la_rows, 0);
+  EXPECT_EQ(plan.array("A").num_blocks(), 1);
+}
+
+TEST(Planner, ZeroMemoryStillProducesValidPlan) {
+  const auto plan = plan_node(two_arrays(), 100, 0, {});
+  EXPECT_TRUE(plan.array("A").out_of_core);
+  EXPECT_TRUE(plan.array("B").out_of_core);
+  // max_blocks keeps ICLAs at least 1 row.
+  EXPECT_GE(plan.array("A").icla_rows, 1);
+}
+
+TEST(Planner, UnknownArrayLookupThrows) {
+  const auto plan = plan_node(two_arrays(), 10, 1 << 20, {});
+  EXPECT_THROW(plan.array("missing"), CheckError);
+}
+
+TEST(Planner, IclaNeverExceedsLa) {
+  const auto plan = plan_node(two_arrays(), 7, 0, {});
+  EXPECT_LE(plan.array("A").icla_rows, 7);
+}
+
+}  // namespace
+}  // namespace mheta::ooc

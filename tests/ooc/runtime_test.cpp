@@ -1,0 +1,239 @@
+#include "ooc/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/process.hpp"
+
+namespace mheta::ooc {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::SimEffects;
+
+// One node, clean disk parameters for exact arithmetic.
+ClusterConfig one_node(std::int64_t memory) {
+  auto c = ClusterConfig::uniform(1, "t");
+  c.nodes[0].memory_bytes = memory;
+  c.nodes[0].disk_read_seek_s = 0.010;
+  c.nodes[0].disk_write_seek_s = 0.020;
+  c.nodes[0].disk_read_s_per_byte = 1e-6;
+  c.nodes[0].disk_write_s_per_byte = 2e-6;
+  return c;
+}
+
+std::vector<ArraySpec> one_array() {
+  return {{"A", 100, 1000, Access::kReadWrite}};  // 100 rows x 1000 B
+}
+
+RuntimeOptions no_overhead() {
+  RuntimeOptions o;
+  o.overhead_bytes = 0;
+  return o;
+}
+
+sim::Process run_one_stage(mpi::World& w, OocRuntime& rt, StageDef stage,
+                           sim::Time& done) {
+  co_await rt.run_stage(0, stage);
+  done = w.engine().now();
+}
+
+TEST(OocRuntime, InCoreStageIsComputeOnly) {
+  sim::Engine eng;
+  auto cfg = one_node(1 << 20);  // plenty of memory
+  mpi::World w(eng, cfg, SimEffects::none());
+  OocRuntime rt(w, one_array(), dist::GenBlock({100}), no_overhead());
+  EXPECT_FALSE(rt.plan(0).any_out_of_core());
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.001;
+  s.read_vars = {"A"};
+  s.write_vars = {"A"};
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  EXPECT_EQ(done, sim::from_seconds(0.1));  // 100 rows x 1 ms, no I/O
+}
+
+TEST(OocRuntime, OutOfCoreStageStreamsBlocks) {
+  sim::Engine eng;
+  auto cfg = one_node(25'000);  // 25 rows fit -> 4 blocks of 25
+  mpi::World w(eng, cfg, SimEffects::none());
+  OocRuntime rt(w, one_array(), dist::GenBlock({100}), no_overhead());
+  ASSERT_TRUE(rt.plan(0).array("A").out_of_core);
+  EXPECT_EQ(rt.plan(0).array("A").icla_rows, 25);
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.001;
+  s.read_vars = {"A"};
+  s.write_vars = {"A"};
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  // Per block: read (10ms + 25K us) + compute 25 ms + write (20 ms + 50 ms).
+  const double per_block = (0.010 + 0.025) + 0.025 + (0.020 + 0.050);
+  EXPECT_EQ(done, sim::from_seconds(4 * per_block));
+}
+
+TEST(OocRuntime, ReadOnlyArraySkipsWrites) {
+  sim::Engine eng;
+  auto cfg = one_node(25'000);
+  mpi::World w(eng, cfg, SimEffects::none());
+  std::vector<ArraySpec> arrays = {{"A", 100, 1000, Access::kReadOnly}};
+  OocRuntime rt(w, arrays, dist::GenBlock({100}), no_overhead());
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.001;
+  s.read_vars = {"A"};
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  const double per_block = (0.010 + 0.025) + 0.025;
+  EXPECT_EQ(done, sim::from_seconds(4 * per_block));
+  EXPECT_EQ(w.disk(0).bytes_written(), 0);
+}
+
+TEST(OocRuntime, ForceIoStreamsInCoreArrays) {
+  sim::Engine eng;
+  auto cfg = one_node(1 << 20);
+  mpi::World w(eng, cfg, SimEffects::none());
+  auto opts = no_overhead();
+  opts.force_io = true;
+  OocRuntime rt(w, one_array(), dist::GenBlock({100}), opts);
+  EXPECT_FALSE(rt.plan(0).any_out_of_core());
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.001;
+  s.read_vars = {"A"};
+  s.write_vars = {"A"};
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  // Whole LA in one block: read + compute + write.
+  EXPECT_EQ(done, sim::from_seconds((0.010 + 0.100) + 0.100 + (0.020 + 0.200)));
+}
+
+TEST(OocRuntime, PrefetchOverlapsComputeWithReads) {
+  sim::Engine eng;
+  auto cfg = one_node(25'000);
+  mpi::World w(eng, cfg, SimEffects::none());
+  std::vector<ArraySpec> arrays = {{"A", 100, 1000, Access::kReadOnly}};
+  OocRuntime rt(w, arrays, dist::GenBlock({100}), no_overhead());
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.004;  // 100 ms per 25-row block > 35 ms read
+  s.read_vars = {"A"};
+  s.prefetch = true;
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  // Block 1 read sync: 35 ms. Blocks 2..4 reads fully hidden behind the
+  // 100 ms computes. Total = 35 + 4 * 100 ms.
+  EXPECT_EQ(done, sim::from_seconds(0.035 + 4 * 0.100));
+}
+
+TEST(OocRuntime, PrefetchBlocksWhenComputeTooShort) {
+  sim::Engine eng;
+  auto cfg = one_node(25'000);
+  mpi::World w(eng, cfg, SimEffects::none());
+  std::vector<ArraySpec> arrays = {{"A", 100, 1000, Access::kReadOnly}};
+  OocRuntime rt(w, arrays, dist::GenBlock({100}), no_overhead());
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.0004;  // 10 ms per block < 35 ms read
+  s.read_vars = {"A"};
+  s.prefetch = true;
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  // Each of the 3 prefetched reads dominates its overlapped compute; the
+  // pipeline is disk-bound: 4 reads + final compute.
+  EXPECT_EQ(done, sim::from_seconds(4 * 0.035 + 0.010));
+}
+
+TEST(OocRuntime, LoadArraysReadsInCoreOnly) {
+  sim::Engine eng;
+  auto cfg = one_node(150'000);
+  mpi::World w(eng, cfg, SimEffects::none());
+  std::vector<ArraySpec> arrays = {{"A", 100, 1000, Access::kReadOnly},
+                                   {"B", 100, 2000, Access::kReadWrite}};
+  OocRuntime rt(w, arrays, dist::GenBlock({100}), no_overhead());
+  ASSERT_FALSE(rt.plan(0).array("A").out_of_core);
+  ASSERT_TRUE(rt.plan(0).array("B").out_of_core);
+  eng.spawn([](mpi::World&, OocRuntime& r) -> sim::Process {
+    co_await r.load_arrays(0);
+  }(w, rt));
+  eng.run();
+  EXPECT_EQ(w.disk(0).bytes_read(), 100 * 1000);  // A only
+}
+
+TEST(OocRuntime, NonUniformRowWork) {
+  sim::Engine eng;
+  auto cfg = one_node(1 << 20);
+  mpi::World w(eng, cfg, SimEffects::none());
+  OocRuntime rt(w, one_array(), dist::GenBlock({100}), no_overhead());
+  StageDef s;
+  s.id = 0;
+  s.row_work = [](std::int64_t row) { return row < 50 ? 0.001 : 0.003; };
+  s.read_vars = {"A"};
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  EXPECT_EQ(done, sim::from_seconds(50 * 0.001 + 50 * 0.003));
+  EXPECT_NEAR(rt.stage_work_s(0, s), 0.2, 1e-12);
+}
+
+TEST(OocRuntime, WorkScaleMultipliesCompute) {
+  sim::Engine eng;
+  auto cfg = one_node(1 << 20);
+  mpi::World w(eng, cfg, SimEffects::none());
+  OocRuntime rt(w, one_array(), dist::GenBlock({100}), no_overhead());
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.001;
+  sim::Time done = -1;
+  eng.spawn([](mpi::World& w2, OocRuntime& r, StageDef st, sim::Time& t) -> sim::Process {
+    co_await r.run_stage(0, st, 0.5);
+    t = w2.engine().now();
+  }(w, rt, s, done));
+  eng.run();
+  EXPECT_EQ(done, sim::from_seconds(0.05));
+}
+
+TEST(OocRuntime, ZeroRowNodeCompletesInstantly) {
+  sim::Engine eng;
+  auto cfg = one_node(1 << 20);
+  mpi::World w(eng, cfg, SimEffects::none());
+  OocRuntime rt(w, one_array(), dist::GenBlock({0}), no_overhead());
+  StageDef s;
+  s.id = 0;
+  s.work_per_row_s = 0.001;
+  s.read_vars = {"A"};
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(OocRuntime, StageMarkersFireAroundStage) {
+  sim::Engine eng;
+  auto cfg = one_node(1 << 20);
+  mpi::World w(eng, cfg, SimEffects::none());
+  OocRuntime rt(w, one_array(), dist::GenBlock({100}), no_overhead());
+  std::vector<mpi::Op> ops;
+  w.hooks().add_pre([&](const mpi::HookInfo& i) { ops.push_back(i.op); });
+  StageDef s;
+  s.id = 7;
+  s.work_per_row_s = 0.001;
+  sim::Time done = -1;
+  eng.spawn(run_one_stage(w, rt, s, done));
+  eng.run();
+  ASSERT_GE(ops.size(), 2u);
+  EXPECT_EQ(ops.front(), mpi::Op::kStageBegin);
+  EXPECT_EQ(ops[1], mpi::Op::kCompute);
+}
+
+}  // namespace
+}  // namespace mheta::ooc

@@ -1,0 +1,98 @@
+// Tests of the extension search algorithms (hill climbing, tabu) and the
+// gantt renderer glyph mapping.
+#include <gtest/gtest.h>
+
+#include "search/search.hpp"
+
+namespace mheta::search {
+namespace {
+
+dist::DistContext ctx4() {
+  dist::DistContext ctx;
+  ctx.rows = 1000;
+  ctx.bytes_per_row = 1 << 10;
+  ctx.cpu_powers = {1.0, 1.0, 2.0, 4.0};
+  ctx.memory_bytes = {100 << 10, 200 << 10, 400 << 10, 800 << 10};
+  return ctx;
+}
+
+Objective quadratic_objective(const dist::GenBlock& target) {
+  return [target](const dist::GenBlock& d) {
+    double sum = 1.0;
+    for (int i = 0; i < d.nodes(); ++i) {
+      const double diff = static_cast<double>(d.count(i) - target.count(i));
+      sum += diff * diff;
+    }
+    return sum;
+  };
+}
+
+TEST(HillClimb, DescendsToNearOptimum) {
+  const auto ctx = ctx4();
+  const auto target = dist::balanced_dist(ctx);
+  const auto obj = quadratic_objective(target);
+  const auto start = dist::block_dist(ctx);
+  HillClimbOptions opts;
+  opts.max_rounds = 400;
+  const auto result = hill_climb(start, obj, opts, 3);
+  EXPECT_LT(result.best_time, obj(start) * 0.01);
+  EXPECT_EQ(result.best.total(), 1000);
+}
+
+TEST(HillClimb, StopsAtLocalOptimum) {
+  const auto ctx = ctx4();
+  const auto target = dist::balanced_dist(ctx);
+  const auto obj = quadratic_objective(target);
+  // Starting at the optimum: no neighbor improves at any scale, so only
+  // one non-improving round per neighborhood scale is spent.
+  const auto result = hill_climb(target, obj, {}, 5);
+  EXPECT_EQ(result.best, target);
+  EXPECT_LE(result.evaluations, 1 + 16 * 8);
+}
+
+TEST(HillClimb, NeverWorseThanStart) {
+  const auto ctx = ctx4();
+  const auto obj = quadratic_objective(dist::balanced_dist(ctx));
+  const auto start = dist::in_core_dist(ctx);
+  const auto result = hill_climb(start, obj, {}, 7);
+  EXPECT_LE(result.best_time, obj(start));
+}
+
+TEST(TabuSearch, EscapesAndFindsOptimum) {
+  const auto ctx = ctx4();
+  const auto target = dist::balanced_dist(ctx);
+  const auto obj = quadratic_objective(target);
+  TabuOptions opts;
+  opts.steps = 600;
+  const auto result = tabu_search(dist::block_dist(ctx), obj, opts, 11);
+  EXPECT_LT(result.best_time, obj(dist::block_dist(ctx)) * 0.02);
+  EXPECT_EQ(result.best.total(), 1000);
+}
+
+TEST(TabuSearch, DeterministicForSeed) {
+  const auto ctx = ctx4();
+  const auto obj = quadratic_objective(dist::balanced_dist(ctx));
+  const auto a = tabu_search(dist::block_dist(ctx), obj, {}, 9);
+  const auto b = tabu_search(dist::block_dist(ctx), obj, {}, 9);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(TabuSearch, NeverRevisitsWithinTenure) {
+  // With a huge tenure and a tiny space, the search must terminate once
+  // every sampled neighborhood is tabu — without crashing or looping.
+  dist::DistContext ctx;
+  ctx.rows = 4;
+  ctx.bytes_per_row = 1;
+  ctx.cpu_powers = {1.0, 1.0};
+  ctx.memory_bytes = {1 << 20, 1 << 20};
+  const auto obj = quadratic_objective(dist::balanced_dist(ctx));
+  TabuOptions opts;
+  opts.steps = 1000;
+  opts.tabu_tenure = 1000;
+  const auto result = tabu_search(dist::block_dist(ctx), obj, opts, 1);
+  EXPECT_LE(result.best_time, obj(dist::block_dist(ctx)));
+}
+
+}  // namespace
+}  // namespace mheta::search

@@ -1,0 +1,158 @@
+#include "search/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mheta::search {
+namespace {
+
+dist::DistContext ctx4() {
+  dist::DistContext ctx;
+  ctx.rows = 1000;
+  ctx.bytes_per_row = 1 << 10;
+  ctx.cpu_powers = {1.0, 1.0, 2.0, 4.0};
+  ctx.memory_bytes = {100 << 10, 200 << 10, 400 << 10, 800 << 10};
+  return ctx;
+}
+
+/// A smooth objective minimized by the Bal distribution: squared deviation
+/// from power-proportional counts (plus 1 so times are positive).
+Objective balanced_objective(const dist::DistContext& ctx) {
+  const auto target = dist::balanced_dist(ctx);
+  return [target](const dist::GenBlock& d) {
+    double sum = 1.0;
+    for (int i = 0; i < d.nodes(); ++i) {
+      const double diff = static_cast<double>(d.count(i) - target.count(i));
+      sum += diff * diff;
+    }
+    return sum;
+  };
+}
+
+TEST(SpectrumSpace, EndpointsAreAnchors) {
+  const auto ctx = ctx4();
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  EXPECT_EQ(space.at(0.0), dist::block_dist(ctx));
+  EXPECT_EQ(space.at(1.0), dist::block_dist(ctx));
+  EXPECT_EQ(space.at(0.25), dist::in_core_dist(ctx));
+  EXPECT_EQ(space.at(0.75), dist::balanced_dist(ctx));
+  EXPECT_EQ(space.segments(), 4);
+}
+
+TEST(SpectrumSpace, ClampsOutOfRange) {
+  SpectrumSpace space(ctx4(), cluster::SpectrumKind::kBlkBal);
+  EXPECT_EQ(space.at(-1.0), space.at(0.0));
+  EXPECT_EQ(space.at(2.0), space.at(1.0));
+}
+
+TEST(Gbs, FindsSpectrumMinimum) {
+  const auto ctx = ctx4();
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  const auto obj = balanced_objective(ctx);
+  const auto result = gbs(space, obj);
+  // Bal sits at t=0.75; GBS must land on (or extremely near) it.
+  EXPECT_NEAR(result.best_time, 1.0, 10.0);
+  EXPECT_GT(result.evaluations, 5);
+}
+
+TEST(Gbs, FewEvaluationsComparedToFineSweep) {
+  const auto ctx = ctx4();
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  const auto result = gbs(space, balanced_objective(ctx));
+  EXPECT_LT(result.evaluations, 100);  // vs ~1000 for a fine sweep
+}
+
+TEST(RandomSearch, ImprovesWithMoreSamples) {
+  const auto ctx = ctx4();
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  const auto obj = balanced_objective(ctx);
+  const auto small = random_search(space, obj, 3, 1);
+  const auto large = random_search(space, obj, 200, 1);
+  EXPECT_LE(large.best_time, small.best_time);
+  EXPECT_EQ(large.evaluations, 200);
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  const auto ctx = ctx4();
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  const auto obj = balanced_objective(ctx);
+  const auto a = random_search(space, obj, 50, 9);
+  const auto b = random_search(space, obj, 50, 9);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_time, b.best_time);
+}
+
+TEST(SimulatedAnnealing, ReachesNearOptimum) {
+  const auto ctx = ctx4();
+  const auto obj = balanced_objective(ctx);
+  const auto start = dist::block_dist(ctx);
+  AnnealOptions opts;
+  opts.steps = 2000;
+  const auto result = simulated_annealing(start, obj, opts, 5);
+  // Start objective is ~ (125^2+125^2+0+375^2); annealing should close in.
+  EXPECT_LT(result.best_time, obj(start) * 0.01);
+  // Totals preserved by every move.
+  EXPECT_EQ(result.best.total(), 1000);
+}
+
+TEST(SimulatedAnnealing, NeverReturnsWorseThanStart) {
+  const auto ctx = ctx4();
+  const auto obj = balanced_objective(ctx);
+  const auto start = dist::balanced_dist(ctx);  // already optimal
+  const auto result = simulated_annealing(start, obj, {}, 3);
+  EXPECT_LE(result.best_time, obj(start));
+}
+
+TEST(Genetic, ReachesNearOptimum) {
+  const auto ctx = ctx4();
+  const auto obj = balanced_objective(ctx);
+  const auto result = genetic(ctx, obj, {}, 11);
+  // The Bal anchor is in the seed population, so this must be exact.
+  EXPECT_NEAR(result.best_time, 1.0, 1e-9);
+  EXPECT_EQ(result.best.total(), 1000);
+}
+
+TEST(Genetic, HandlesNonAnchorOptimum) {
+  // Optimum away from every anchor: counts {400, 300, 200, 100}.
+  const auto ctx = ctx4();
+  const dist::GenBlock target({400, 300, 200, 100});
+  Objective obj = [&](const dist::GenBlock& d) {
+    double sum = 1.0;
+    for (int i = 0; i < 4; ++i) {
+      const double diff = static_cast<double>(d.count(i) - target.count(i));
+      sum += diff * diff;
+    }
+    return sum;
+  };
+  GeneticOptions opts;
+  opts.generations = 60;
+  const auto result = genetic(ctx, obj, opts, 13);
+  EXPECT_LT(result.best_time, obj(dist::block_dist(ctx)) * 0.05);
+}
+
+TEST(Genetic, DeterministicForSeed) {
+  const auto ctx = ctx4();
+  const auto obj = balanced_objective(ctx);
+  const auto a = genetic(ctx, obj, {}, 21);
+  const auto b = genetic(ctx, obj, {}, 21);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(AllSearches, PreserveDistributionInvariants) {
+  const auto ctx = ctx4();
+  const auto obj = balanced_objective(ctx);
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  for (const auto& r :
+       {gbs(space, obj), random_search(space, obj, 40, 2),
+        simulated_annealing(dist::block_dist(ctx), obj, {}, 2),
+        genetic(ctx, obj, {}, 2)}) {
+    EXPECT_EQ(r.best.total(), ctx.rows);
+    for (int i = 0; i < r.best.nodes(); ++i) EXPECT_GE(r.best.count(i), 0);
+  }
+}
+
+}  // namespace
+}  // namespace mheta::search

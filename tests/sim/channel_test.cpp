@@ -1,0 +1,126 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace mheta::sim {
+namespace {
+
+Process receiver(Engine& eng, Channel<int>& ch, std::vector<std::pair<Time, int>>& log,
+                 int count) {
+  for (int i = 0; i < count; ++i) {
+    const int v = co_await ch.recv();
+    log.emplace_back(eng.now(), v);
+  }
+}
+
+TEST(Channel, DeliversValueToBlockedReceiver) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<Time, int>> log;
+  eng.spawn(receiver(eng, ch, log, 1));
+  ch.push_at(100, 42);
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 100);
+  EXPECT_EQ(log[0].second, 42);
+}
+
+TEST(Channel, RecvOnNonEmptyQueueIsImmediate) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.push(7);
+  std::vector<std::pair<Time, int>> log;
+  eng.spawn(receiver(eng, ch, log, 1));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 0);
+  EXPECT_EQ(log[0].second, 7);
+}
+
+TEST(Channel, ValuesAreFifo) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<Time, int>> log;
+  eng.spawn(receiver(eng, ch, log, 3));
+  ch.push_at(10, 1);
+  ch.push_at(20, 2);
+  ch.push_at(30, 3);
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].second, 1);
+  EXPECT_EQ(log[1].second, 2);
+  EXPECT_EQ(log[2].second, 3);
+}
+
+TEST(Channel, WaitersServedFifo) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<Time, int>> log_a, log_b;
+  eng.spawn(receiver(eng, ch, log_a, 1));  // first waiter
+  eng.spawn(receiver(eng, ch, log_b, 1));  // second waiter
+  ch.push_at(5, 100);
+  ch.push_at(6, 200);
+  eng.run();
+  ASSERT_EQ(log_a.size(), 1u);
+  ASSERT_EQ(log_b.size(), 1u);
+  EXPECT_EQ(log_a[0].second, 100);
+  EXPECT_EQ(log_b[0].second, 200);
+}
+
+TEST(Channel, SizeTracksDepositedValues) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  EXPECT_EQ(ch.size(), 0u);
+  ch.push("a");
+  ch.push("b");
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+Process pingpong_a(Engine& eng, Channel<int>& to_b, Channel<int>& from_b,
+                   std::vector<Time>& log, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    to_b.push_at(eng.now() + 10, i);
+    co_await from_b.recv();
+    log.push_back(eng.now());
+  }
+}
+
+Process pingpong_b(Engine& eng, Channel<int>& from_a, Channel<int>& to_a, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await from_a.recv();
+    to_a.push_at(eng.now() + 10, i);
+  }
+}
+
+TEST(Channel, PingPongRoundTripTiming) {
+  Engine eng;
+  Channel<int> ab(eng), ba(eng);
+  std::vector<Time> log;
+  eng.spawn(pingpong_a(eng, ab, ba, log, 3));
+  eng.spawn(pingpong_b(eng, ab, ba, 3));
+  eng.run();
+  // Each round trip is 20 time units.
+  EXPECT_EQ(log, (std::vector<Time>{20, 40, 60}));
+}
+
+TEST(Channel, MoveOnlyValues) {
+  Engine eng;
+  Channel<std::unique_ptr<int>> ch(eng);
+  ch.push(std::make_unique<int>(5));
+  bool saw = false;
+  eng.spawn([](Engine&, Channel<std::unique_ptr<int>>& c, bool& s) -> Process {
+    auto p = co_await c.recv();
+    s = (*p == 5);
+  }(eng, ch, saw));
+  eng.run();
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace mheta::sim

@@ -1,0 +1,104 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace mheta::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(30, [&] { order.push_back(3); });
+  eng.at(10, [&] { order.push_back(1); });
+  eng.at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, EqualTimesRunInInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) eng.at(5, [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, InSchedulesRelativeToNow) {
+  Engine eng;
+  Time seen = -1;
+  eng.at(100, [&] { eng.in(50, [&] { seen = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine eng;
+  bool threw = false;
+  eng.at(100, [&] {
+    try {
+      eng.at(50, [] {});
+    } catch (const CheckError&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Engine, RejectsNegativeDelayedEvent) {
+  Engine eng;
+  EXPECT_THROW(eng.in(-1, [] {}), CheckError);
+}
+
+TEST(Engine, StopHaltsTheLoop) {
+  Engine eng;
+  int ran = 0;
+  eng.at(1, [&] {
+    ++ran;
+    eng.stop();
+  });
+  eng.at(2, [&] { ++ran; });
+  eng.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Engine, CountsEvents) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.at(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_processed(), 7u);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.in(1, chain);
+  };
+  eng.at(0, chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.now(), 99);
+}
+
+TEST(Engine, TimeStartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(from_micros(2.5), 2'500);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.125)), 0.125);
+  EXPECT_EQ(from_seconds(0.0), 0);
+}
+
+}  // namespace
+}  // namespace mheta::sim

@@ -1,0 +1,136 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mheta::sim {
+namespace {
+
+Process delayer(Engine& eng, Time dt, std::vector<Time>& log) {
+  co_await eng.delay(dt);
+  log.push_back(eng.now());
+}
+
+TEST(Process, DelayAdvancesClock) {
+  Engine eng;
+  std::vector<Time> log;
+  eng.spawn(delayer(eng, 500, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 500);
+}
+
+TEST(Process, ZeroDelayCompletesImmediately) {
+  Engine eng;
+  std::vector<Time> log;
+  eng.spawn(delayer(eng, 0, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0);
+}
+
+Process multi_step(Engine& eng, std::vector<Time>& log) {
+  co_await eng.delay(10);
+  log.push_back(eng.now());
+  co_await eng.delay(20);
+  log.push_back(eng.now());
+  co_await eng.delay(30);
+  log.push_back(eng.now());
+}
+
+TEST(Process, SequentialDelaysAccumulate) {
+  Engine eng;
+  std::vector<Time> log;
+  eng.spawn(multi_step(eng, log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Time>{10, 30, 60}));
+}
+
+TEST(Process, ParallelProcessesInterleave) {
+  Engine eng;
+  std::vector<Time> log;
+  eng.spawn(delayer(eng, 100, log));
+  eng.spawn(delayer(eng, 50, log));
+  eng.spawn(delayer(eng, 150, log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Time>{50, 100, 150}));
+}
+
+Process joiner(Engine& eng, Process& target, std::vector<Time>& log) {
+  co_await target.join();
+  log.push_back(eng.now());
+}
+
+TEST(Process, JoinWaitsForCompletion) {
+  Engine eng;
+  std::vector<Time> log;
+  Process& p = eng.spawn(delayer(eng, 200, log));
+  eng.spawn(joiner(eng, p, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1], 200);
+  EXPECT_TRUE(p.done());
+}
+
+TEST(Process, JoinOnFinishedProcessCompletesImmediately) {
+  Engine eng;
+  std::vector<Time> log;
+  Process& p = eng.spawn(delayer(eng, 5, log));
+  eng.run();
+  ASSERT_TRUE(p.done());
+  eng.spawn(joiner(eng, p, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 2u);
+}
+
+Process thrower(Engine& eng) {
+  co_await eng.delay(10);
+  throw std::runtime_error("boom");
+}
+
+TEST(Process, UnhandledExceptionPropagatesFromRun) {
+  Engine eng;
+  eng.spawn(thrower(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Process, ExceptionStopsSubsequentEvents) {
+  Engine eng;
+  bool later_ran = false;
+  eng.spawn(thrower(eng));  // throws at t=10
+  eng.at(20, [&] { later_ran = true; });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+  EXPECT_FALSE(later_ran);
+}
+
+Process spawner(Engine& eng, std::vector<Time>& log) {
+  co_await eng.delay(10);
+  eng.spawn(delayer(eng, 5, log));  // nested spawn
+  co_await eng.delay(1);
+  log.push_back(eng.now());
+}
+
+TEST(Process, ProcessesCanSpawnProcesses) {
+  Engine eng;
+  std::vector<Time> log;
+  eng.spawn(spawner(eng, log));
+  eng.run();
+  // Nested delayer finishes at 15; spawner logs at 11.
+  EXPECT_EQ(log, (std::vector<Time>{11, 15}));
+}
+
+TEST(Process, ManyProcessesComplete) {
+  Engine eng;
+  std::vector<Time> log;
+  for (int i = 0; i < 1000; ++i) eng.spawn(delayer(eng, i, log));
+  eng.run();
+  EXPECT_EQ(log.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(log.begin(), log.end()));
+}
+
+}  // namespace
+}  // namespace mheta::sim

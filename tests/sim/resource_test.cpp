@@ -1,0 +1,64 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace mheta::sim {
+namespace {
+
+Process user(Engine& eng, Resource& res, Time hold, std::vector<Time>& log) {
+  co_await res.acquire();
+  co_await eng.delay(hold);
+  res.release();
+  log.push_back(eng.now());
+}
+
+TEST(Resource, CapacityOneSerializes) {
+  Engine eng;
+  Resource res(eng, 1);
+  std::vector<Time> log;
+  eng.spawn(user(eng, res, 10, log));
+  eng.spawn(user(eng, res, 10, log));
+  eng.spawn(user(eng, res, 10, log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Time>{10, 20, 30}));
+}
+
+TEST(Resource, CapacityTwoAllowsPairwiseOverlap) {
+  Engine eng;
+  Resource res(eng, 2);
+  std::vector<Time> log;
+  for (int i = 0; i < 4; ++i) eng.spawn(user(eng, res, 10, log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Time>{10, 10, 20, 20}));
+}
+
+TEST(Resource, ReleaseWithoutAcquireIsAnError) {
+  Engine eng;
+  Resource res(eng, 1);
+  EXPECT_THROW(res.release(), CheckError);
+}
+
+TEST(Resource, ZeroCapacityIsAnError) {
+  Engine eng;
+  EXPECT_THROW(Resource(eng, 0), CheckError);
+}
+
+TEST(Resource, AvailableTracksUsage) {
+  Engine eng;
+  Resource res(eng, 3);
+  EXPECT_EQ(res.available(), 3);
+  std::vector<Time> log;
+  eng.spawn(user(eng, res, 100, log));
+  eng.at(50, [&] { EXPECT_EQ(res.available(), 2); });
+  eng.run();
+  EXPECT_EQ(res.available(), 3);
+}
+
+}  // namespace
+}  // namespace mheta::sim

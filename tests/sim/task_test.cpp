@@ -1,0 +1,126 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace mheta::sim {
+namespace {
+
+Task<int> add_later(Engine& eng, int a, int b) {
+  co_await eng.delay(10);
+  co_return a + b;
+}
+
+Process driver_value(Engine& eng, int& out) {
+  out = co_await add_later(eng, 2, 3);
+}
+
+TEST(Task, ReturnsValueAfterDelay) {
+  Engine eng;
+  int out = 0;
+  eng.spawn(driver_value(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(eng.now(), 10);
+}
+
+Task<void> step(Engine& eng, std::vector<Time>& log) {
+  co_await eng.delay(7);
+  log.push_back(eng.now());
+}
+
+Process driver_void(Engine& eng, std::vector<Time>& log) {
+  co_await step(eng, log);
+  co_await step(eng, log);
+}
+
+TEST(Task, VoidTasksCompose) {
+  Engine eng;
+  std::vector<Time> log;
+  eng.spawn(driver_void(eng, log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Time>{7, 14}));
+}
+
+Task<int> outer(Engine& eng) {
+  const int x = co_await add_later(eng, 1, 1);
+  const int y = co_await add_later(eng, x, x);
+  co_return y;
+}
+
+Process driver_nested(Engine& eng, int& out) { out = co_await outer(eng); }
+
+TEST(Task, TasksNest) {
+  Engine eng;
+  int out = 0;
+  eng.spawn(driver_nested(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(eng.now(), 20);
+}
+
+Task<int> failing(Engine& eng) {
+  co_await eng.delay(1);
+  throw std::runtime_error("task failed");
+}
+
+Process driver_catch(Engine& eng, bool& caught) {
+  try {
+    (void)co_await failing(eng);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ExceptionsPropagateToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(driver_catch(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+Process driver_uncaught(Engine& eng) { (void)co_await failing(eng); }
+
+TEST(Task, UncaughtTaskExceptionReachesRun) {
+  Engine eng;
+  eng.spawn(driver_uncaught(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Task, UnawaitedTaskNeverRuns) {
+  Engine eng;
+  bool ran = false;
+  auto make = [&]() -> Task<void> {
+    ran = true;
+    co_return;
+  };
+  {
+    auto t = make();  // destroyed without being awaited
+  }
+  eng.run();
+  EXPECT_FALSE(ran);  // lazy: body does not start
+}
+
+Task<int> immediate(int v) { co_return v; }
+
+Process driver_immediate(Engine& eng, int& out) {
+  out = co_await immediate(9);
+  out += co_await add_later(eng, 0, 1);
+}
+
+TEST(Task, ImmediateTaskCompletesWithoutEvents) {
+  Engine eng;
+  int out = 0;
+  eng.spawn(driver_immediate(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 10);
+}
+
+}  // namespace
+}  // namespace mheta::sim

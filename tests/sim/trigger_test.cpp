@@ -1,0 +1,58 @@
+#include "sim/trigger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace mheta::sim {
+namespace {
+
+Process waiter(Engine& eng, TriggerPtr t, std::vector<Time>& log) {
+  co_await t->wait();
+  log.push_back(eng.now());
+}
+
+TEST(Trigger, WakesAllWaitersAtFireTime) {
+  Engine eng;
+  auto t = make_trigger(eng);
+  std::vector<Time> log;
+  eng.spawn(waiter(eng, t, log));
+  eng.spawn(waiter(eng, t, log));
+  t->fire_at(77);
+  eng.run();
+  EXPECT_EQ(log, (std::vector<Time>{77, 77}));
+  EXPECT_TRUE(t->fired());
+  EXPECT_EQ(t->fire_time(), 77);
+}
+
+TEST(Trigger, WaitAfterFireIsImmediate) {
+  Engine eng;
+  auto t = make_trigger(eng);
+  t->fire_at(10);
+  std::vector<Time> log;
+  eng.at(50, [&] { eng.spawn(waiter(eng, t, log)); });
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 50);  // completes at await time, not fire time
+}
+
+TEST(Trigger, DoubleFireIsAnError) {
+  Engine eng;
+  auto t = make_trigger(eng);
+  t->fire_at(1);
+  t->fire_at(2);
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(Trigger, FireTimeBeforeFiringIsAnError) {
+  Engine eng;
+  auto t = make_trigger(eng);
+  EXPECT_THROW(t->fire_time(), CheckError);
+}
+
+}  // namespace
+}  // namespace mheta::sim

@@ -1,0 +1,105 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mheta {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(13);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(10, 14);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 14);
+    counts[static_cast<std::size_t>(v - 10)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng r(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng r(19);
+  EXPECT_THROW(r.uniform(2.0, 1.0), CheckError);
+  EXPECT_THROW(r.uniform_int(2, 1), CheckError);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(23);
+  const int n = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng r(29);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, NoiseFactorZeroRelIsExactlyOne) {
+  Rng r(31);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.noise_factor(0.0), 1.0);
+}
+
+TEST(Rng, NoiseFactorClampedToFourSigma) {
+  Rng r(37);
+  for (int i = 0; i < 100000; ++i) {
+    const double f = r.noise_factor(0.01);
+    ASSERT_GE(f, 1.0 - 0.04);
+    ASSERT_LE(f, 1.0 + 0.04);
+  }
+}
+
+}  // namespace
+}  // namespace mheta

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"xxxxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header row, separator, one data row.
+  EXPECT_NE(out.find("a       long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxx  1"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, MarkdownHasHeaderSeparator) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_NE(os.str().find("|---|---|"), std::string::npos);
+  EXPECT_NE(os.str().find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorRowRendered) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  std::ostringstream os;
+  t.print(os);
+  // Two separator lines total: under header and the explicit one.
+  const std::string out = os.str();
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(FmtHelpers, FormatsNumbers) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.0213, 1), "2.1%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace mheta
