@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ooc_heuristic.dir/ablate_ooc_heuristic.cpp.o"
+  "CMakeFiles/ablate_ooc_heuristic.dir/ablate_ooc_heuristic.cpp.o.d"
+  "ablate_ooc_heuristic"
+  "ablate_ooc_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ooc_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_prefetch_instr.dir/ablate_prefetch_instr.cpp.o"
+  "CMakeFiles/ablate_prefetch_instr.dir/ablate_prefetch_instr.cpp.o.d"
+  "ablate_prefetch_instr"
+  "ablate_prefetch_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_prefetch_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

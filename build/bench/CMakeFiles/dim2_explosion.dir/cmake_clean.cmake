@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dim2_explosion.dir/dim2_explosion.cpp.o"
+  "CMakeFiles/dim2_explosion.dir/dim2_explosion.cpp.o.d"
+  "dim2_explosion"
+  "dim2_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dim2_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_preview.dir/extensions_preview.cpp.o"
+  "CMakeFiles/extensions_preview.dir/extensions_preview.cpp.o.d"
+  "extensions_preview"
+  "extensions_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dc_io.dir/fig10_dc_io.cpp.o"
+  "CMakeFiles/fig10_dc_io.dir/fig10_dc_io.cpp.o.d"
+  "fig10_dc_io"
+  "fig10_dc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

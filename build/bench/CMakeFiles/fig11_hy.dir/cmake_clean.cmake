@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hy.dir/fig11_hy.cpp.o"
+  "CMakeFiles/fig11_hy.dir/fig11_hy.cpp.o.d"
+  "fig11_hy"
+  "fig11_hy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_eval_speed.dir/model_eval_speed.cpp.o"
+  "CMakeFiles/model_eval_speed.dir/model_eval_speed.cpp.o.d"
+  "model_eval_speed"
+  "model_eval_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_eval_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

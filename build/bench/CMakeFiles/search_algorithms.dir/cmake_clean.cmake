@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_algorithms.dir/search_algorithms.cpp.o"
+  "CMakeFiles/search_algorithms.dir/search_algorithms.cpp.o.d"
+  "search_algorithms"
+  "search_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

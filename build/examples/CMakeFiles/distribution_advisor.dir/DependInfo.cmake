@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/distribution_advisor.cpp" "examples/CMakeFiles/distribution_advisor.dir/distribution_advisor.cpp.o" "gcc" "examples/CMakeFiles/distribution_advisor.dir/distribution_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/mheta_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/mheta_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mheta_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mheta_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mheta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/mheta_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooc/CMakeFiles/mheta_ooc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mheta_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mheta_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mheta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mheta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_cli.dir/mheta_cli.cpp.o"
+  "CMakeFiles/mheta_cli.dir/mheta_cli.cpp.o.d"
+  "mheta_cli"
+  "mheta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

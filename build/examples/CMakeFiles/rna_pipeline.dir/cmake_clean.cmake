@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_pipeline.dir/rna_pipeline.cpp.o"
+  "CMakeFiles/rna_pipeline.dir/rna_pipeline.cpp.o.d"
+  "rna_pipeline"
+  "rna_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

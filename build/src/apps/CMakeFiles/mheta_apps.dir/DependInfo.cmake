@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/mheta_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/driver.cpp" "src/apps/CMakeFiles/mheta_apps.dir/driver.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/driver.cpp.o.d"
+  "/root/repo/src/apps/driver2d.cpp" "src/apps/CMakeFiles/mheta_apps.dir/driver2d.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/driver2d.cpp.o.d"
+  "/root/repo/src/apps/isort.cpp" "src/apps/CMakeFiles/mheta_apps.dir/isort.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/isort.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/apps/CMakeFiles/mheta_apps.dir/jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/jacobi.cpp.o.d"
+  "/root/repo/src/apps/lanczos.cpp" "src/apps/CMakeFiles/mheta_apps.dir/lanczos.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/lanczos.cpp.o.d"
+  "/root/repo/src/apps/multigrid.cpp" "src/apps/CMakeFiles/mheta_apps.dir/multigrid.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/multigrid.cpp.o.d"
+  "/root/repo/src/apps/rna.cpp" "src/apps/CMakeFiles/mheta_apps.dir/rna.cpp.o" "gcc" "src/apps/CMakeFiles/mheta_apps.dir/rna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mheta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooc/CMakeFiles/mheta_ooc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mheta_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mheta_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mheta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/mheta_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mheta_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_apps.dir/cg.cpp.o"
+  "CMakeFiles/mheta_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/mheta_apps.dir/driver.cpp.o"
+  "CMakeFiles/mheta_apps.dir/driver.cpp.o.d"
+  "CMakeFiles/mheta_apps.dir/driver2d.cpp.o"
+  "CMakeFiles/mheta_apps.dir/driver2d.cpp.o.d"
+  "CMakeFiles/mheta_apps.dir/isort.cpp.o"
+  "CMakeFiles/mheta_apps.dir/isort.cpp.o.d"
+  "CMakeFiles/mheta_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/mheta_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/mheta_apps.dir/lanczos.cpp.o"
+  "CMakeFiles/mheta_apps.dir/lanczos.cpp.o.d"
+  "CMakeFiles/mheta_apps.dir/multigrid.cpp.o"
+  "CMakeFiles/mheta_apps.dir/multigrid.cpp.o.d"
+  "CMakeFiles/mheta_apps.dir/rna.cpp.o"
+  "CMakeFiles/mheta_apps.dir/rna.cpp.o.d"
+  "libmheta_apps.a"
+  "libmheta_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

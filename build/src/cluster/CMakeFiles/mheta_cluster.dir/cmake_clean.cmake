@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_cluster.dir/disk.cpp.o"
+  "CMakeFiles/mheta_cluster.dir/disk.cpp.o.d"
+  "CMakeFiles/mheta_cluster.dir/node.cpp.o"
+  "CMakeFiles/mheta_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/mheta_cluster.dir/suite.cpp.o"
+  "CMakeFiles/mheta_cluster.dir/suite.cpp.o.d"
+  "libmheta_cluster.a"
+  "libmheta_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

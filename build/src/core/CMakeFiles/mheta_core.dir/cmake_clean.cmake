@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_core.dir/model.cpp.o"
+  "CMakeFiles/mheta_core.dir/model.cpp.o.d"
+  "CMakeFiles/mheta_core.dir/redistribution.cpp.o"
+  "CMakeFiles/mheta_core.dir/redistribution.cpp.o.d"
+  "CMakeFiles/mheta_core.dir/structure_io.cpp.o"
+  "CMakeFiles/mheta_core.dir/structure_io.cpp.o.d"
+  "libmheta_core.a"
+  "libmheta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

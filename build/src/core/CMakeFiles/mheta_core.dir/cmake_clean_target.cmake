@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmheta_core.a"
+)

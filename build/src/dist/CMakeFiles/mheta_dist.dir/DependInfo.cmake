@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/dist2d.cpp" "src/dist/CMakeFiles/mheta_dist.dir/dist2d.cpp.o" "gcc" "src/dist/CMakeFiles/mheta_dist.dir/dist2d.cpp.o.d"
+  "/root/repo/src/dist/genblock.cpp" "src/dist/CMakeFiles/mheta_dist.dir/genblock.cpp.o" "gcc" "src/dist/CMakeFiles/mheta_dist.dir/genblock.cpp.o.d"
+  "/root/repo/src/dist/generators.cpp" "src/dist/CMakeFiles/mheta_dist.dir/generators.cpp.o" "gcc" "src/dist/CMakeFiles/mheta_dist.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mheta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mheta_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

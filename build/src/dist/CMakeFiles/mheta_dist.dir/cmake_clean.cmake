@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_dist.dir/dist2d.cpp.o"
+  "CMakeFiles/mheta_dist.dir/dist2d.cpp.o.d"
+  "CMakeFiles/mheta_dist.dir/genblock.cpp.o"
+  "CMakeFiles/mheta_dist.dir/genblock.cpp.o.d"
+  "CMakeFiles/mheta_dist.dir/generators.cpp.o"
+  "CMakeFiles/mheta_dist.dir/generators.cpp.o.d"
+  "libmheta_dist.a"
+  "libmheta_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_exp.dir/csv.cpp.o"
+  "CMakeFiles/mheta_exp.dir/csv.cpp.o.d"
+  "CMakeFiles/mheta_exp.dir/experiment.cpp.o"
+  "CMakeFiles/mheta_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/mheta_exp.dir/experiment2d.cpp.o"
+  "CMakeFiles/mheta_exp.dir/experiment2d.cpp.o.d"
+  "CMakeFiles/mheta_exp.dir/report.cpp.o"
+  "CMakeFiles/mheta_exp.dir/report.cpp.o.d"
+  "libmheta_exp.a"
+  "libmheta_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

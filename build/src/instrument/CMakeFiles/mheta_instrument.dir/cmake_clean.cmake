@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_instrument.dir/calibration.cpp.o"
+  "CMakeFiles/mheta_instrument.dir/calibration.cpp.o.d"
+  "CMakeFiles/mheta_instrument.dir/gantt.cpp.o"
+  "CMakeFiles/mheta_instrument.dir/gantt.cpp.o.d"
+  "CMakeFiles/mheta_instrument.dir/params.cpp.o"
+  "CMakeFiles/mheta_instrument.dir/params.cpp.o.d"
+  "CMakeFiles/mheta_instrument.dir/recorder.cpp.o"
+  "CMakeFiles/mheta_instrument.dir/recorder.cpp.o.d"
+  "CMakeFiles/mheta_instrument.dir/trace.cpp.o"
+  "CMakeFiles/mheta_instrument.dir/trace.cpp.o.d"
+  "libmheta_instrument.a"
+  "libmheta_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cg.cpp" "src/kernels/CMakeFiles/mheta_kernels.dir/cg.cpp.o" "gcc" "src/kernels/CMakeFiles/mheta_kernels.dir/cg.cpp.o.d"
+  "/root/repo/src/kernels/jacobi.cpp" "src/kernels/CMakeFiles/mheta_kernels.dir/jacobi.cpp.o" "gcc" "src/kernels/CMakeFiles/mheta_kernels.dir/jacobi.cpp.o.d"
+  "/root/repo/src/kernels/lanczos.cpp" "src/kernels/CMakeFiles/mheta_kernels.dir/lanczos.cpp.o" "gcc" "src/kernels/CMakeFiles/mheta_kernels.dir/lanczos.cpp.o.d"
+  "/root/repo/src/kernels/multigrid.cpp" "src/kernels/CMakeFiles/mheta_kernels.dir/multigrid.cpp.o" "gcc" "src/kernels/CMakeFiles/mheta_kernels.dir/multigrid.cpp.o.d"
+  "/root/repo/src/kernels/rna.cpp" "src/kernels/CMakeFiles/mheta_kernels.dir/rna.cpp.o" "gcc" "src/kernels/CMakeFiles/mheta_kernels.dir/rna.cpp.o.d"
+  "/root/repo/src/kernels/sort.cpp" "src/kernels/CMakeFiles/mheta_kernels.dir/sort.cpp.o" "gcc" "src/kernels/CMakeFiles/mheta_kernels.dir/sort.cpp.o.d"
+  "/root/repo/src/kernels/sparse.cpp" "src/kernels/CMakeFiles/mheta_kernels.dir/sparse.cpp.o" "gcc" "src/kernels/CMakeFiles/mheta_kernels.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

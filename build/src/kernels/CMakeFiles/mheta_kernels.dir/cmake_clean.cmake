@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_kernels.dir/cg.cpp.o"
+  "CMakeFiles/mheta_kernels.dir/cg.cpp.o.d"
+  "CMakeFiles/mheta_kernels.dir/jacobi.cpp.o"
+  "CMakeFiles/mheta_kernels.dir/jacobi.cpp.o.d"
+  "CMakeFiles/mheta_kernels.dir/lanczos.cpp.o"
+  "CMakeFiles/mheta_kernels.dir/lanczos.cpp.o.d"
+  "CMakeFiles/mheta_kernels.dir/multigrid.cpp.o"
+  "CMakeFiles/mheta_kernels.dir/multigrid.cpp.o.d"
+  "CMakeFiles/mheta_kernels.dir/rna.cpp.o"
+  "CMakeFiles/mheta_kernels.dir/rna.cpp.o.d"
+  "CMakeFiles/mheta_kernels.dir/sort.cpp.o"
+  "CMakeFiles/mheta_kernels.dir/sort.cpp.o.d"
+  "CMakeFiles/mheta_kernels.dir/sparse.cpp.o"
+  "CMakeFiles/mheta_kernels.dir/sparse.cpp.o.d"
+  "libmheta_kernels.a"
+  "libmheta_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_mpi.dir/world.cpp.o"
+  "CMakeFiles/mheta_mpi.dir/world.cpp.o.d"
+  "libmheta_mpi.a"
+  "libmheta_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

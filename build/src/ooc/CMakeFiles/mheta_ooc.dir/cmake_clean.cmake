@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_ooc.dir/planner.cpp.o"
+  "CMakeFiles/mheta_ooc.dir/planner.cpp.o.d"
+  "CMakeFiles/mheta_ooc.dir/runtime.cpp.o"
+  "CMakeFiles/mheta_ooc.dir/runtime.cpp.o.d"
+  "CMakeFiles/mheta_ooc.dir/stage.cpp.o"
+  "CMakeFiles/mheta_ooc.dir/stage.cpp.o.d"
+  "libmheta_ooc.a"
+  "libmheta_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/search.cpp" "src/search/CMakeFiles/mheta_search.dir/search.cpp.o" "gcc" "src/search/CMakeFiles/mheta_search.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/mheta_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mheta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mheta_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_search.dir/search.cpp.o"
+  "CMakeFiles/mheta_search.dir/search.cpp.o.d"
+  "libmheta_search.a"
+  "libmheta_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

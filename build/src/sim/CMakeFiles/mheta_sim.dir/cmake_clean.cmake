@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_sim.dir/engine.cpp.o"
+  "CMakeFiles/mheta_sim.dir/engine.cpp.o.d"
+  "libmheta_sim.a"
+  "libmheta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheta_util.dir/rng.cpp.o"
+  "CMakeFiles/mheta_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mheta_util.dir/table.cpp.o"
+  "CMakeFiles/mheta_util.dir/table.cpp.o.d"
+  "libmheta_util.a"
+  "libmheta_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheta_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

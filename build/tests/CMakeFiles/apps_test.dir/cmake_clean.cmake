@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_test.dir/apps/driver2d_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/driver2d_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/driver_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/driver_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/programs_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/programs_test.cpp.o.d"
+  "apps_test"
+  "apps_test.pdb"
+  "apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

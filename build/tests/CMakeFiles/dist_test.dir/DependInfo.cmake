@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dist/dist2d_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/dist2d_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/dist2d_test.cpp.o.d"
+  "/root/repo/tests/dist/genblock_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/genblock_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/genblock_test.cpp.o.d"
+  "/root/repo/tests/dist/generators_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/generators_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/generators_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/mheta_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mheta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mheta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

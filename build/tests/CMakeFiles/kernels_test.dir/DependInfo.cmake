@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/solvers_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/solvers_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/solvers_test.cpp.o.d"
+  "/root/repo/tests/kernels/sort_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/sort_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/sort_test.cpp.o.d"
+  "/root/repo/tests/kernels/sparse_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/sparse_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/mheta_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

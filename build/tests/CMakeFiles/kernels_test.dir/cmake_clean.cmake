@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_test.dir/kernels/solvers_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/kernels/solvers_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/kernels/sort_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/kernels/sort_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/kernels/sparse_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/kernels/sparse_test.cpp.o.d"
+  "kernels_test"
+  "kernels_test.pdb"
+  "kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/alltoall_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/alltoall_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/alltoall_test.cpp.o.d"
+  "/root/repo/tests/mpi/world_errors_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/world_errors_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/world_errors_test.cpp.o.d"
+  "/root/repo/tests/mpi/world_test.cpp" "tests/CMakeFiles/mpi_test.dir/mpi/world_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi/world_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mheta_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mheta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mheta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mheta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

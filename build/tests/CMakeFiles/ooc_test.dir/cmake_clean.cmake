@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_test.dir/ooc/planner_property_test.cpp.o"
+  "CMakeFiles/ooc_test.dir/ooc/planner_property_test.cpp.o.d"
+  "CMakeFiles/ooc_test.dir/ooc/planner_test.cpp.o"
+  "CMakeFiles/ooc_test.dir/ooc/planner_test.cpp.o.d"
+  "CMakeFiles/ooc_test.dir/ooc/runtime_test.cpp.o"
+  "CMakeFiles/ooc_test.dir/ooc/runtime_test.cpp.o.d"
+  "ooc_test"
+  "ooc_test.pdb"
+  "ooc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
