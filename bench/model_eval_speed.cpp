@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "exp/experiment.hpp"
+#include "search/search.hpp"
 
 using namespace mheta;
 
@@ -17,8 +18,10 @@ struct Setup {
   std::vector<dist::GenBlock> candidates;
 };
 
-Setup make_setup(const char* arch_name, exp::Workload w) {
+Setup make_setup(const char* arch_name, exp::Workload w,
+                 core::ModelOptions model = {}) {
   exp::ExperimentOptions opts;
+  opts.model = model;
   const auto arch = cluster::find_arch(arch_name);
   auto predictor = exp::build_predictor(arch, w, opts);
   const auto ctx = exp::make_context(arch, w, opts);
@@ -40,6 +43,40 @@ void BM_PredictJacobi(benchmark::State& state) {
   state.SetLabel("Jacobi/HY1, 100 iterations per evaluation");
 }
 BENCHMARK(BM_PredictJacobi);
+
+void BM_PredictJacobiNoFastPath(benchmark::State& state) {
+  // The naive loop the fast path replaces: no steady-state shortcut, no
+  // plan memoization. Kept as the denominator of the per-PR speedup.
+  core::ModelOptions model;
+  model.steady_state_shortcut = false;
+  model.plan_cache_capacity = 0;
+  auto setup = make_setup("HY1", exp::jacobi_workload(false), model);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = setup.candidates[i++ % setup.candidates.size()];
+    benchmark::DoNotOptimize(
+        setup.predictor.predict(d, /*iterations=*/100).total_s);
+  }
+  state.SetLabel("Jacobi/HY1, 100 iterations, fast path disabled");
+}
+BENCHMARK(BM_PredictJacobiNoFastPath);
+
+void BM_CachingObjectiveJacobi(benchmark::State& state) {
+  // Repeated candidates through the search-facing cache: the steady cost of
+  // re-encountering a distribution during a search.
+  auto setup = make_setup("HY1", exp::jacobi_workload(false));
+  const search::CachingObjective objective(
+      [&](const dist::GenBlock& d) {
+        return setup.predictor.predict(d, /*iterations=*/100).total_s;
+      });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = setup.candidates[i++ % setup.candidates.size()];
+    benchmark::DoNotOptimize(objective(d));
+  }
+  state.SetLabel("Jacobi/HY1 via CachingObjective (all hits after lap 1)");
+}
+BENCHMARK(BM_CachingObjectiveJacobi);
 
 void BM_PredictRnaPipeline(benchmark::State& state) {
   auto setup = make_setup("HY1", exp::rna_workload());

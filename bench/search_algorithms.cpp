@@ -3,14 +3,98 @@
 // architecture, compares what GBS, genetic, simulated annealing, and random
 // search find (using *predicted* time) against a fine exhaustive sweep, and
 // reports how far each pick is from the true (simulated) optimum.
+#include <chrono>
 #include <iostream>
 
 #include "apps/driver.hpp"
 #include "exp/experiment.hpp"
 #include "search/search.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace mheta;
+
+namespace {
+
+// Batch-evaluation determinism and scaling: every batchable algorithm run
+// through a thread pool must return a SearchResult bit-identical to the
+// serial run (same best counts, same best_time bits, same evaluations).
+void batch_scaling_report() {
+  exp::ExperimentOptions opts;
+  const auto arch = cluster::find_arch("HY1");
+  const auto w = exp::jacobi_workload(false);
+  const auto predictor = exp::build_predictor(arch, w, opts);
+  const auto ctx = exp::make_context(arch, w, opts);
+  const search::SpectrumSpace space(ctx, arch.spectrum);
+  search::Objective objective = [&](const dist::GenBlock& d) {
+    return predictor.predict(d, w.iterations).total_s;
+  };
+  // Large rounds so the pool has work to spread.
+  search::GbsOptions gbs_opts;
+  gbs_opts.fanout = 33;
+  search::HillClimbOptions hill_opts;
+  hill_opts.neighbors = 64;
+  search::TabuOptions tabu_opts;
+  tabu_opts.neighbors = 64;
+  tabu_opts.steps = 60;
+  search::GeneticOptions gen_opts;
+  gen_opts.population = 64;
+  gen_opts.generations = 20;
+
+  struct Algo {
+    const char* name;
+    std::function<search::SearchResult(const search::BatchObjective&)> run;
+  };
+  const Algo algos[] = {
+      {"GBS", [&](const search::BatchObjective& o) {
+         return search::gbs(space, o, gbs_opts);
+       }},
+      {"random", [&](const search::BatchObjective& o) {
+         return search::random_search(space, o, 512, 1);
+       }},
+      {"hill-climb", [&](const search::BatchObjective& o) {
+         return search::hill_climb(dist::block_dist(ctx), o, hill_opts, 1);
+       }},
+      {"tabu", [&](const search::BatchObjective& o) {
+         return search::tabu_search(dist::block_dist(ctx), o, tabu_opts, 1);
+       }},
+      {"genetic", [&](const search::BatchObjective& o) {
+         return search::genetic(ctx, o, gen_opts, 1);
+       }},
+  };
+
+  Table t({"algorithm", "evals", "serial (ms)", "2 threads (ms)",
+           "4 threads (ms)", "bit-identical"});
+  util::ThreadPool pool2(2), pool4(4);
+  for (const auto& algo : algos) {
+    auto timed = [&](const search::BatchObjective& o, search::SearchResult& r) {
+      const auto start = std::chrono::steady_clock::now();
+      r = algo.run(o);
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    search::SearchResult serial, par2, par4;
+    const double ms1 = timed(search::BatchObjective(objective), serial);
+    const double ms2 = timed(search::BatchObjective(objective, pool2), par2);
+    const double ms4 = timed(search::BatchObjective(objective, pool4), par4);
+    auto same = [&](const search::SearchResult& r) {
+      return r.best.counts() == serial.best.counts() &&
+             r.best_time == serial.best_time &&
+             r.evaluations == serial.evaluations;
+    };
+    t.add_row({algo.name, std::to_string(serial.evaluations), fmt(ms1, 2),
+               fmt(ms2, 2), fmt(ms4, 2),
+               same(par2) && same(par4) ? "yes" : "NO"});
+  }
+  std::cout << "\n=== Batch evaluation: serial vs thread pool (Jacobi/HY1) "
+               "===\n";
+  t.print(std::cout);
+  std::cout << "Parallel runs must be bit-identical to serial (same best "
+               "distribution,\nbest_time bits, and evaluation count).\n";
+}
+
+}  // namespace
 
 int main() {
   exp::ExperimentOptions opts;
@@ -70,5 +154,6 @@ int main() {
   std::cout << "\"vs fine-sweep best\" compares the actual run time of each "
                "algorithm's pick\nagainst the best actual time over a "
                "65-point exhaustive sweep of the spectrum.\n";
+  batch_scaling_report();
   return 0;
 }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <deque>
 #include <map>
+#include <mutex>
 
 #include "ooc/stage.hpp"
 #include "util/check.hpp"
+#include "util/lru.hpp"
 
 namespace mheta::core {
 
@@ -22,6 +25,28 @@ const char* to_string(CommPattern p) {
   return "?";
 }
 
+/// Memoized per-(rank, rows) plans, shared across Predictor copies and
+/// threads (guarded by `mu`; plan_node is pure, so concurrent misses at
+/// worst recompute the same immutable plan).
+struct Predictor::PlanCache {
+  struct KeyHash {
+    std::size_t operator()(const std::pair<int, std::int64_t>& k) const {
+      std::uint64_t h = 0x9E3779B97F4A7C15ull ^
+                        static_cast<std::uint64_t>(k.first);
+      h ^= static_cast<std::uint64_t>(k.second) + 0x9E3779B97F4A7C15ull +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  explicit PlanCache(std::size_t capacity) : cache(capacity) {}
+
+  std::mutex mu;
+  util::LruCache<std::pair<int, std::int64_t>,
+                 std::shared_ptr<const ooc::NodePlan>, KeyHash>
+      cache;
+};
+
 Predictor::Predictor(ProgramStructure structure,
                      instrument::MhetaParams params,
                      std::vector<std::int64_t> memory_bytes,
@@ -33,6 +58,7 @@ Predictor::Predictor(ProgramStructure structure,
   MHETA_CHECK(params_.node_count() ==
               static_cast<int>(memory_bytes_.size()));
   MHETA_CHECK(params_.instrumented_dist.nodes() == params_.node_count());
+  intern_tables();
 }
 
 double Predictor::o_s(int rank) const {
@@ -43,28 +69,186 @@ double Predictor::o_r(int rank) const {
   return params_.nodes[static_cast<std::size_t>(rank)].recv_overhead_s;
 }
 
+void Predictor::intern_tables() {
+  const int n = params_.node_count();
+  const auto& sections = structure_.sections;
+  const auto& arrays = structure_.arrays;
+
+  instrumented_counts_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    instrumented_counts_[static_cast<std::size_t>(r)] =
+        params_.instrumented_dist.count(r);
+
+  section_stage_offset_.clear();
+  int total = 0;
+  for (const auto& s : sections) {
+    section_stage_offset_.push_back(total);
+    total += static_cast<int>(s.stages.size());
+  }
+  total_stage_slots_ = total;
+
+  // Dense (rank, section, stage) -> costs, with per-variable latencies
+  // re-addressed by array index. Missing entries stay absent and fail at
+  // use, exactly like the map lookups they replace.
+  stages_interned_.assign(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(total),
+                          {});
+  for (int r = 0; r < n; ++r) {
+    const auto& node = params_.nodes[static_cast<std::size_t>(r)];
+    for (std::size_t si = 0; si < sections.size(); ++si) {
+      for (std::size_t g = 0; g < sections[si].stages.size(); ++g) {
+        auto& ist =
+            stages_interned_[static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(total) +
+                             static_cast<std::size_t>(
+                                 section_stage_offset_[si]) +
+                             g];
+        const auto it = node.stages.find(
+            {sections[si].id, sections[si].stages[g].id});
+        if (it == node.stages.end()) continue;
+        ist.present = true;
+        ist.compute_s = it->second.compute_s;
+        ist.var_io.resize(arrays.size());
+        ist.var_present.assign(arrays.size(), 0);
+        for (std::size_t ai = 0; ai < arrays.size(); ++ai) {
+          const auto vit = it->second.vars.find(arrays[ai].name);
+          if (vit == it->second.vars.end()) continue;
+          ist.var_io[ai] = vit->second;
+          ist.var_present[ai] = 1;
+        }
+      }
+    }
+  }
+
+  // Per-section communication, with transfer times precomputed and every
+  // recv resolved to its FIFO-matched send slot.
+  comm_interned_.assign(sections.size(), {});
+  for (std::size_t si = 0; si < sections.size(); ++si) {
+    auto& ic = comm_interned_[si];
+    ic.sends.resize(static_cast<std::size_t>(n));
+    ic.recvs.resize(static_cast<std::size_t>(n));
+    ic.send_offset.resize(static_cast<std::size_t>(n));
+    ic.pipeline_transfer_s.assign(static_cast<std::size_t>(n), 0.0);
+    for (int r = 0; r < n; ++r) {
+      const auto& comm = params_.nodes[static_cast<std::size_t>(r)].comm;
+      const auto it = comm.find(sections[si].id);
+      // Boundary-message size for pipelined sections: prefer the bytes
+      // observed during the instrumented run, else the structural
+      // declaration.
+      std::int64_t pipeline_bytes = sections[si].message_bytes;
+      if (it != comm.end()) {
+        for (const auto& m : it->second.sends)
+          ic.sends[static_cast<std::size_t>(r)].push_back(
+              {m.peer, params_.network.transfer_s(m.bytes)});
+        if (!it->second.sends.empty())
+          pipeline_bytes = it->second.sends.front().bytes;
+      }
+      ic.pipeline_transfer_s[static_cast<std::size_t>(r)] =
+          params_.network.transfer_s(pipeline_bytes);
+    }
+    int flat = 0;
+    for (int r = 0; r < n; ++r) {
+      ic.send_offset[static_cast<std::size_t>(r)] = flat;
+      flat += static_cast<int>(ic.sends[static_cast<std::size_t>(r)].size());
+    }
+    ic.total_sends = flat;
+    for (int r = 0; r < n && ic.matched; ++r) {
+      const auto& comm = params_.nodes[static_cast<std::size_t>(r)].comm;
+      const auto it = comm.find(sections[si].id);
+      if (it == comm.end()) continue;
+      std::vector<int> consumed(static_cast<std::size_t>(n), 0);
+      for (const auto& m : it->second.recvs) {
+        if (m.peer < 0 || m.peer >= n) {
+          ic.matched = false;
+          break;
+        }
+        const auto& peer_sends = ic.sends[static_cast<std::size_t>(m.peer)];
+        int want = consumed[static_cast<std::size_t>(m.peer)]++;
+        int slot = -1;
+        for (std::size_t k = 0; k < peer_sends.size(); ++k) {
+          if (peer_sends[k].peer == r && want-- == 0) {
+            slot = ic.send_offset[static_cast<std::size_t>(m.peer)] +
+                   static_cast<int>(k);
+            break;
+          }
+        }
+        if (slot < 0) {
+          ic.matched = false;
+          break;
+        }
+        ic.recvs[static_cast<std::size_t>(r)].push_back({m.peer, slot});
+      }
+    }
+  }
+
+  if (options_.plan_cache_capacity > 0)
+    plan_cache_ = std::make_shared<PlanCache>(options_.plan_cache_capacity);
+}
+
+const Predictor::InternedStage& Predictor::interned_stage(
+    int rank, int section_index, int stage_index) const {
+  return stages_interned_[static_cast<std::size_t>(rank) *
+                              static_cast<std::size_t>(total_stage_slots_) +
+                          static_cast<std::size_t>(
+                              section_stage_offset_[static_cast<std::size_t>(
+                                  section_index)]) +
+                          static_cast<std::size_t>(stage_index)];
+}
+
+std::vector<std::shared_ptr<const ooc::NodePlan>> Predictor::plans_for(
+    const dist::GenBlock& d) const {
+  const int n = d.nodes();
+  // The model's memory plans: same planner as the runtime, but blind to the
+  // runtime's buffer overhead (limitation 2).
+  ooc::PlannerOptions popts;
+  popts.overhead_bytes = options_.planner_overhead_bytes;
+  popts.max_blocks = options_.max_blocks;
+  std::vector<std::shared_ptr<const ooc::NodePlan>> plans;
+  plans.reserve(static_cast<std::size_t>(n));
+  if (!plan_cache_) {
+    for (int r = 0; r < n; ++r)
+      plans.push_back(std::make_shared<const ooc::NodePlan>(ooc::plan_node(
+          structure_.arrays, d.count(r),
+          memory_bytes_[static_cast<std::size_t>(r)], popts)));
+    return plans;
+  }
+  std::lock_guard<std::mutex> lock(plan_cache_->mu);
+  for (int r = 0; r < n; ++r) {
+    const std::pair<int, std::int64_t> key{r, d.count(r)};
+    if (auto* hit = plan_cache_->cache.get(key)) {
+      plans.push_back(*hit);
+      continue;
+    }
+    auto plan = std::make_shared<const ooc::NodePlan>(ooc::plan_node(
+        structure_.arrays, d.count(r),
+        memory_bytes_[static_cast<std::size_t>(r)], popts));
+    plan_cache_->cache.put(key, plan);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
 Predictor::NodeSectionTime Predictor::stage_time(
     int rank, const SectionSpec& section, const ooc::StageDef& stage,
-    const ooc::NodePlan& plan, std::int64_t begin_row, std::int64_t end_row,
-    std::int64_t /*w_prime*/, double work_scale) const {
+    const InternedStage& ist, const ooc::NodePlan& plan,
+    std::int64_t begin_row, std::int64_t end_row, double work_scale) const {
   NodeSectionTime out;
   const std::int64_t range = std::max<std::int64_t>(0, end_row - begin_row);
   if (range == 0) return out;
 
   const auto& node = params_.nodes[static_cast<std::size_t>(rank)];
-  const auto sc_it = node.stages.find({section.id, stage.id});
-  MHETA_CHECK_MSG(sc_it != node.stages.end(),
+  MHETA_CHECK_MSG(ist.present,
                   "no instrumented costs for node " << rank << " section "
                                                     << section.id << " stage "
                                                     << stage.id);
-  const instrument::StageCosts& sc = sc_it->second;
-  const std::int64_t w_instr = params_.instrumented_dist.count(rank);
+  const std::int64_t w_instr =
+      instrumented_counts_[static_cast<std::size_t>(rank)];
   MHETA_CHECK_MSG(w_instr > 0,
                   "instrumented run assigned no rows to node " << rank);
 
   // T_c' = T_c * W'/W, applied to the slice [begin, end) of this tile and
   // scaled for non-uniform iterations.
-  const double tc = work_scale * sc.compute_s * static_cast<double>(range) /
+  const double tc = work_scale * ist.compute_s * static_cast<double>(range) /
                     static_cast<double>(w_instr);
   out.compute_s = tc;
 
@@ -74,18 +258,21 @@ Predictor::NodeSectionTime Predictor::stage_time(
   const ooc::StageIoLayout io =
       ooc::stage_io_layout(plan, stage, begin_row, end_row, /*force_io=*/false);
 
-  auto var_io = [&](const std::string& var) -> const instrument::VarIo& {
-    const auto it = sc.vars.find(var);
-    MHETA_CHECK_MSG(it != sc.vars.end(),
-                    "no measured latency for variable " << var);
-    return it->second;
+  // An ArrayPlan's position in the plan equals its index in
+  // ProgramStructure::arrays, which is how the interned latencies are
+  // addressed — no string hashing in this loop.
+  auto var_io = [&](const ooc::ArrayPlan* ap) -> const instrument::VarIo& {
+    const auto idx = static_cast<std::size_t>(ap - plan.arrays.data());
+    MHETA_CHECK_MSG(idx < ist.var_present.size() && ist.var_present[idx],
+                    "no measured latency for variable " << ap->name);
+    return ist.var_io[idx];
   };
   auto read_dur = [&](const ooc::ArrayPlan* ap, std::int64_t rows) {
-    return node.read_seek_s + var_io(ap->name).read_s_per_byte *
+    return node.read_seek_s + var_io(ap).read_s_per_byte *
                                   static_cast<double>(rows * ap->row_bytes);
   };
   auto write_dur = [&](const ooc::ArrayPlan* ap, std::int64_t rows) {
-    return node.write_seek_s + var_io(ap->name).write_s_per_byte *
+    return node.write_seek_s + var_io(ap).write_s_per_byte *
                                    static_cast<double>(rows * ap->row_bytes);
   };
   const double tc_per_row = tc / static_cast<double>(range);
@@ -142,6 +329,130 @@ Predictor::NodeSectionTime Predictor::stage_time(
   out.stage_s = t;
   out.io_s = std::max(0.0, t - tc);
   return out;
+}
+
+void Predictor::build_iteration_cache(
+    const dist::GenBlock& d,
+    const std::vector<std::shared_ptr<const ooc::NodePlan>>& plans,
+    double scale, IterationCache& cache) const {
+  const int n = d.nodes();
+  const auto& sections = structure_.sections;
+  cache.sections.resize(sections.size());
+  for (std::size_t si = 0; si < sections.size(); ++si) {
+    const SectionSpec& section = sections[si];
+    const int tiles =
+        section.pattern == CommPattern::kPipeline ? section.tiles : 1;
+    const int stages = static_cast<int>(section.stages.size());
+    auto& slot = cache.sections[si];
+    slot.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(tiles) *
+                    static_cast<std::size_t>(stages),
+                {});
+    for (int r = 0; r < n; ++r) {
+      const std::int64_t la = d.count(r);
+      for (int j = 0; j < tiles; ++j) {
+        const std::int64_t begin = tiles == 1 ? 0 : j * la / tiles;
+        const std::int64_t end = tiles == 1 ? la : (j + 1) * la / tiles;
+        for (int g = 0; g < stages; ++g) {
+          slot[(static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
+                static_cast<std::size_t>(j)) *
+                   static_cast<std::size_t>(stages) +
+               static_cast<std::size_t>(g)] =
+              stage_time(r, section, section.stages[static_cast<std::size_t>(g)],
+                         interned_stage(r, static_cast<int>(si), g),
+                         *plans[static_cast<std::size_t>(r)], begin, end, scale);
+        }
+      }
+    }
+  }
+  cache.scale = scale;
+  cache.valid = true;
+}
+
+void Predictor::apply_section(int section_index, const IterationCache& cache,
+                              std::vector<double>& t,
+                              std::vector<double>& arrivals,
+                              IterationAgg& agg) const {
+  const SectionSpec& section =
+      structure_.sections[static_cast<std::size_t>(section_index)];
+  const int n = static_cast<int>(t.size());
+  const auto& st = cache.sections[static_cast<std::size_t>(section_index)];
+  const int stages = static_cast<int>(section.stages.size());
+  const auto& ic = comm_interned_[static_cast<std::size_t>(section_index)];
+
+  if (section.pattern == CommPattern::kPipeline) {
+    // Eq. 4 generalized to an n-node chain: tile j of node i starts after
+    // its own tile j-1 and after node i-1's tile-j boundary arrives. The
+    // scratch slot of rank r is always written (by r at tile j) before rank
+    // r+1 reads it, so it needs no clearing between sections.
+    const int tiles = section.tiles;
+    if (static_cast<int>(arrivals.size()) < n)
+      arrivals.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < tiles; ++j) {
+      for (int r = 0; r < n; ++r) {
+        auto& tr = t[static_cast<std::size_t>(r)];
+        if (r > 0) {
+          tr = std::max(tr, arrivals[static_cast<std::size_t>(r - 1)]) + o_r(r);
+        }
+        const NodeSectionTime* s =
+            st.data() + (static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(tiles) +
+                         static_cast<std::size_t>(j)) *
+                            static_cast<std::size_t>(stages);
+        for (int g = 0; g < stages; ++g) {
+          tr += s[g].stage_s;
+          agg.compute_s += s[g].compute_s;
+          agg.io_s += s[g].io_s;
+        }
+        if (r < n - 1) {
+          tr += o_s(r);
+          arrivals[static_cast<std::size_t>(r)] =
+              tr + ic.pipeline_transfer_s[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+  } else {
+    // Stages over the whole local array.
+    for (int r = 0; r < n; ++r) {
+      auto& tr = t[static_cast<std::size_t>(r)];
+      const NodeSectionTime* s =
+          st.data() +
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(stages);
+      for (int g = 0; g < stages; ++g) {
+        tr += s[g].stage_s;
+        agg.compute_s += s[g].compute_s;
+        agg.io_s += s[g].io_s;
+      }
+    }
+    if (section.pattern == CommPattern::kNearestNeighbor) {
+      // Eq. 3 generalized: every node performs its recorded sends, then
+      // blocks on its recorded receives. The FIFO matching per (src, dst)
+      // pair was resolved at construction, so this is two flat passes.
+      MHETA_CHECK_MSG(ic.matched, "recv without matching send in model");
+      if (static_cast<int>(arrivals.size()) < ic.total_sends)
+        arrivals.resize(static_cast<std::size_t>(ic.total_sends));
+      for (int r = 0; r < n; ++r) {
+        auto& tr = t[static_cast<std::size_t>(r)];
+        const auto& sends = ic.sends[static_cast<std::size_t>(r)];
+        const int base = ic.send_offset[static_cast<std::size_t>(r)];
+        for (std::size_t k = 0; k < sends.size(); ++k) {
+          tr += o_s(r);
+          arrivals[static_cast<std::size_t>(base) + k] =
+              tr + sends[k].transfer_s;
+        }
+      }
+      for (int r = 0; r < n; ++r) {
+        auto& tr = t[static_cast<std::size_t>(r)];
+        for (const auto& rv : ic.recvs[static_cast<std::size_t>(r)]) {
+          tr = std::max(tr, arrivals[static_cast<std::size_t>(rv.send_slot)]) +
+               o_r(r);
+        }
+      }
+    }
+  }
+
+  if (section.has_alltoall)
+    apply_alltoall(section.alltoall_bytes_per_pair, t);
+  if (section.has_reduction) apply_reduction(section.reduce_bytes, t);
 }
 
 void Predictor::apply_reduction(std::int64_t bytes,
@@ -219,101 +530,6 @@ void Predictor::apply_alltoall(std::int64_t bytes_per_pair,
   }
 }
 
-void Predictor::apply_section(const SectionSpec& section,
-                              const std::vector<ooc::NodePlan>& plans,
-                              const dist::GenBlock& d, double work_scale,
-                              std::vector<double>& t, Prediction& agg) const {
-  const int n = static_cast<int>(t.size());
-
-  if (section.pattern == CommPattern::kPipeline) {
-    // Eq. 4 generalized to an n-node chain: tile j of node i starts after
-    // its own tile j-1 and after node i-1's tile-j boundary arrives.
-    std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
-    for (int j = 0; j < section.tiles; ++j) {
-      for (int r = 0; r < n; ++r) {
-        auto& tr = t[static_cast<std::size_t>(r)];
-        if (r > 0) {
-          tr = std::max(tr, arrival[static_cast<std::size_t>(r - 1)]) + o_r(r);
-        }
-        const std::int64_t la = d.count(r);
-        const std::int64_t begin = j * la / section.tiles;
-        const std::int64_t end = (j + 1) * la / section.tiles;
-        for (const auto& stage : section.stages) {
-          const auto st = stage_time(r, section, stage,
-                                     plans[static_cast<std::size_t>(r)], begin,
-                                     end, la, work_scale);
-          tr += st.stage_s;
-          agg.compute_s += st.compute_s;
-          agg.io_s += st.io_s;
-        }
-        if (r < n - 1) {
-          tr += o_s(r);
-          arrival[static_cast<std::size_t>(r)] =
-              tr + params_.network.transfer_s(pipeline_bytes(r, section));
-        }
-      }
-    }
-  } else {
-    // Stages over the whole local array.
-    for (int r = 0; r < n; ++r) {
-      const std::int64_t la = d.count(r);
-      for (const auto& stage : section.stages) {
-        const auto st = stage_time(r, section, stage,
-                                   plans[static_cast<std::size_t>(r)], 0, la,
-                                   la, work_scale);
-        t[static_cast<std::size_t>(r)] += st.stage_s;
-        agg.compute_s += st.compute_s;
-        agg.io_s += st.io_s;
-      }
-    }
-    if (section.pattern == CommPattern::kNearestNeighbor) {
-      // Eq. 3 generalized: every node performs its recorded sends, then
-      // blocks on its recorded receives (FIFO per (src, dst) pair).
-      std::map<std::pair<int, int>, std::deque<double>> arrivals;
-      for (int r = 0; r < n; ++r) {
-        const auto& comm =
-            params_.nodes[static_cast<std::size_t>(r)].comm;
-        const auto it = comm.find(section.id);
-        if (it == comm.end()) continue;
-        auto& tr = t[static_cast<std::size_t>(r)];
-        for (const auto& m : it->second.sends) {
-          tr += o_s(r);
-          arrivals[{r, m.peer}].push_back(
-              tr + params_.network.transfer_s(m.bytes));
-        }
-      }
-      for (int r = 0; r < n; ++r) {
-        const auto& comm =
-            params_.nodes[static_cast<std::size_t>(r)].comm;
-        const auto it = comm.find(section.id);
-        if (it == comm.end()) continue;
-        auto& tr = t[static_cast<std::size_t>(r)];
-        for (const auto& m : it->second.recvs) {
-          auto& q = arrivals[{m.peer, r}];
-          MHETA_CHECK_MSG(!q.empty(), "recv without matching send in model");
-          tr = std::max(tr, q.front()) + o_r(r);
-          q.pop_front();
-        }
-      }
-    }
-  }
-
-  if (section.has_alltoall)
-    apply_alltoall(section.alltoall_bytes_per_pair, t);
-  if (section.has_reduction) apply_reduction(section.reduce_bytes, t);
-}
-
-std::int64_t Predictor::pipeline_bytes(int rank,
-                                       const SectionSpec& section) const {
-  // Prefer the bytes observed during the instrumented run; fall back to the
-  // structural declaration.
-  const auto& comm = params_.nodes[static_cast<std::size_t>(rank)].comm;
-  const auto it = comm.find(section.id);
-  if (it != comm.end() && !it->second.sends.empty())
-    return it->second.sends.front().bytes;
-  return section.message_bytes;
-}
-
 Prediction Predictor::predict(const dist::GenBlock& d, int iterations) const {
   MHETA_CHECK(iterations >= 1);
   return predict_nonuniform(
@@ -325,30 +541,90 @@ Prediction Predictor::predict_nonuniform(
   MHETA_CHECK(d.nodes() == params_.node_count());
   MHETA_CHECK(!iteration_scales.empty());
   const int n = d.nodes();
+  const auto plans = plans_for(d);
 
-  // The model's memory plans: same planner as the runtime, but blind to the
-  // runtime's buffer overhead (limitation 2).
-  ooc::PlannerOptions popts;
-  popts.overhead_bytes = options_.planner_overhead_bytes;
-  popts.max_blocks = options_.max_blocks;
-  std::vector<ooc::NodePlan> plans;
-  plans.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    plans.push_back(ooc::plan_node(structure_.arrays, d.count(r),
-                                   memory_bytes_[static_cast<std::size_t>(r)],
-                                   popts));
-  }
-
+  // The per-node clocks are evaluated in offset space: `off` carries the
+  // clock skews within the current iteration, `base` the time already
+  // absorbed by renormalization between iterations. Because every section
+  // operation is a composition of adds and maxes over `off` with
+  // iteration-invariant constants (the cached stage times), the offsets of
+  // a uniform run reach a bitwise fixed point after a few iterations —
+  // which the steady-state shortcut detects and replays exactly.
   Prediction pred;
-  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
-  for (const double scale : iteration_scales) {
+  std::vector<double> off(static_cast<std::size_t>(n), 0.0);
+  double base = 0.0;
+  IterationCache cache;
+  std::vector<double> arrivals;  // scratch reused across sections
+
+  std::vector<double> prev_off;   // start-of-iteration offsets, one behind
+  bool prev_valid = false;
+  std::vector<double> last_end;   // pre-renormalization offsets of the
+  double last_m = 0;              // previous iteration, its renorm delta,
+  IterationAgg last_agg;          // and its diagnostic sums
+
+  const std::size_t total = iteration_scales.size();
+  std::size_t k = 0;
+  while (k < total) {
+    const double scale = iteration_scales[k];
     MHETA_CHECK(scale >= 0);
-    for (const auto& section : structure_.sections) {
-      apply_section(section, plans, d, scale, t, pred);
+    if (!cache.valid || cache.scale != scale) {
+      build_iteration_cache(d, plans, scale, cache);
+      prev_valid = false;
     }
+
+    if (options_.steady_state_shortcut && prev_valid &&
+        std::memcmp(off.data(), prev_off.data(),
+                    off.size() * sizeof(double)) == 0) {
+      // Steady state: this iteration starts from exactly the state the
+      // previous one did, so it (and every following iteration at this
+      // scale) reproduces the recorded step bit for bit.
+      std::size_t end = k;
+      while (end < total && iteration_scales[end] == scale) ++end;
+      const bool covers_final = end == total;
+      const std::size_t full = (end - k) - (covers_final ? 1 : 0);
+      for (std::size_t i = 0; i < full; ++i) {
+        pred.compute_s += last_agg.compute_s;
+        pred.io_s += last_agg.io_s;
+        base += last_m;
+      }
+      k += full;
+      if (covers_final) {
+        pred.compute_s += last_agg.compute_s;
+        pred.io_s += last_agg.io_s;
+        off = last_end;  // the final iteration is not renormalized
+        ++k;
+      }
+      prev_valid = false;
+      continue;
+    }
+
+    // One full iteration.
+    std::vector<double> start = off;
+    IterationAgg agg;
+    for (std::size_t si = 0; si < structure_.sections.size(); ++si)
+      apply_section(static_cast<int>(si), cache, off, arrivals, agg);
+    pred.compute_s += agg.compute_s;
+    pred.io_s += agg.io_s;
+    ++k;
+    if (k == total) break;  // the final iteration stays un-renormalized
+
+    // Renormalize between iterations so offsets stay small and can repeat.
+    last_end = off;
+    const double m = *std::min_element(off.begin(), off.end());
+    base += m;
+    for (auto& o : off) o -= m;
+    last_m = m;
+    last_agg = agg;
+    prev_off = std::move(start);
+    prev_valid = true;
   }
-  pred.node_end_s = t;
-  pred.total_s = *std::max_element(t.begin(), t.end());
+
+  pred.node_end_s.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    pred.node_end_s[static_cast<std::size_t>(r)] =
+        base + off[static_cast<std::size_t>(r)];
+  pred.total_s = *std::max_element(pred.node_end_s.begin(),
+                                   pred.node_end_s.end());
   return pred;
 }
 
@@ -382,7 +658,8 @@ Prediction Predictor::predict2d(const dist::Dist2D& d,
   Prediction pred;
   std::vector<double> t(static_cast<std::size_t>(n), 0.0);
   for (int it = 0; it < iterations; ++it) {
-    for (const auto& section : structure_.sections) {
+    for (std::size_t si = 0; si < structure_.sections.size(); ++si) {
+      const auto& section = structure_.sections[si];
       MHETA_CHECK_MSG(section.pattern != CommPattern::kPipeline,
                       "pipelined sections are 1-D only");
       // Stages: compute scales with the tile area relative to the
@@ -391,10 +668,11 @@ Prediction Predictor::predict2d(const dist::Dist2D& d,
         const double frac_instr = instrumented.width_fraction(r);
         MHETA_CHECK(frac_instr > 0);
         const double work_scale = d.width_fraction(r) / frac_instr;
-        for (const auto& stage : section.stages) {
-          const auto st = stage_time(r, section, stage,
-                                     plans[static_cast<std::size_t>(r)], 0,
-                                     d.rows(r), d.rows(r), work_scale);
+        for (std::size_t g = 0; g < section.stages.size(); ++g) {
+          const auto st = stage_time(
+              r, section, section.stages[g],
+              interned_stage(r, static_cast<int>(si), static_cast<int>(g)),
+              plans[static_cast<std::size_t>(r)], 0, d.rows(r), work_scale);
           t[static_cast<std::size_t>(r)] += st.stage_s;
           pred.compute_s += st.compute_s;
           pred.io_s += st.io_s;

@@ -18,6 +18,15 @@
 // equations.hpp for the paper's closed forms and the tests proving
 // equivalence).
 //
+// Evaluation fast path (the paper's on-line-search usability claim rests on
+// per-candidate cost): at construction the string/pair-keyed parameter maps
+// are interned into dense index-addressed tables so the innermost stage
+// loop does no map lookups; per-(rank, rows) memory plans are memoized in
+// an LRU; and repeated uniform iterations collapse through a steady-state
+// shortcut once the per-node clock offsets reach a bitwise fixed point.
+// All knobs live in ModelOptions; disabling them reproduces the naive
+// per-iteration loop bit for bit (the fast-path tests enforce this).
+//
 // Deliberate blind spots, matching the paper's limitations (§5.4): no
 // memory-hierarchy model, a simplistic in-core/out-of-core heuristic (the
 // model's planner ignores the runtime's buffer overhead), and uniform
@@ -25,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/structure.hpp"
@@ -44,6 +54,15 @@ struct ModelOptions {
 
   /// Must match the runtime's block-count ceiling.
   std::int64_t max_blocks = 256;
+
+  /// Collapse repeated uniform iterations once the per-node clock offsets
+  /// reach a bitwise fixed point. Bit-identical to the per-iteration loop;
+  /// disable only to benchmark or test against the naive path.
+  bool steady_state_shortcut = true;
+
+  /// LRU entries for memoized per-(rank, rows) memory plans; 0 disables
+  /// plan caching entirely.
+  std::size_t plan_cache_capacity = 1024;
 };
 
 /// Result of evaluating one distribution.
@@ -68,7 +87,7 @@ class Predictor {
             std::vector<std::int64_t> memory_bytes, ModelOptions options = {});
 
   /// Predicts the execution time of `iterations` uniform iterations
-  /// under `d`.
+  /// under `d`. Safe to call concurrently from multiple threads.
   Prediction predict(const dist::GenBlock& d, int iterations = 1) const;
 
   /// Non-uniform iterations (paper §3.1 notes MHETA supports them): one
@@ -94,19 +113,79 @@ class Predictor {
     double io_s = 0;
   };
 
+  /// Per-iteration diagnostic sums, accumulated into Prediction once per
+  /// iteration (keeps the steady-state replay bit-identical to the loop).
+  struct IterationAgg {
+    double compute_s = 0;
+    double io_s = 0;
+  };
+
+  // ---- interned cost tables (built once, at construction) ----
+
+  /// node.stages[{section,stage}] flattened: compute cost plus per-variable
+  /// I/O latencies addressed by array index (NodePlan::arrays preserves the
+  /// order of ProgramStructure::arrays, so an ArrayPlan's position doubles
+  /// as its variable id).
+  struct InternedStage {
+    bool present = false;
+    double compute_s = 0;
+    std::vector<instrument::VarIo> var_io;  // by array index
+    std::vector<char> var_present;          // by array index
+  };
+
+  struct InternedSend {
+    int peer = -1;
+    double transfer_s = 0;  // network.transfer_s(bytes), precomputed
+  };
+  /// A recv resolved to the flat slot of its FIFO-matched send.
+  struct InternedRecv {
+    int sender = -1;
+    int send_slot = -1;  // send_offset[sender] + index in sender's send list
+  };
+  struct InternedSectionComm {
+    std::vector<std::vector<InternedSend>> sends;  // per rank
+    std::vector<std::vector<InternedRecv>> recvs;  // per rank
+    std::vector<int> send_offset;                  // per rank, into flat slots
+    int total_sends = 0;
+    bool matched = true;  // every recv found its matching send
+    std::vector<double> pipeline_transfer_s;       // per rank (Eq. 4 boundary)
+  };
+
+  /// Stage times of one full iteration at one work scale, cached per
+  /// predict call: flat [rank][tile][stage] per section.
+  struct IterationCache {
+    bool valid = false;
+    double scale = 0;
+    std::vector<std::vector<NodeSectionTime>> sections;
+  };
+
+  void intern_tables();
+  const InternedStage& interned_stage(int rank, int section_index,
+                                      int stage_index) const;
+
   /// Time for one stage over local rows [begin,end) on node `rank`;
   /// `work_scale` multiplies the computation (non-uniform iterations).
   NodeSectionTime stage_time(int rank, const SectionSpec& section,
                              const ooc::StageDef& stage,
+                             const InternedStage& ist,
                              const ooc::NodePlan& plan, std::int64_t begin_row,
-                             std::int64_t end_row, std::int64_t w_prime,
-                             double work_scale) const;
+                             std::int64_t end_row, double work_scale) const;
 
-  /// Advances per-node clocks through one section (stages + communication).
-  void apply_section(const SectionSpec& section,
-                     const std::vector<ooc::NodePlan>& plans,
-                     const dist::GenBlock& d, double work_scale,
-                     std::vector<double>& t, Prediction& agg) const;
+  /// Memoized (or freshly computed) per-rank plans for `d`.
+  std::vector<std::shared_ptr<const ooc::NodePlan>> plans_for(
+      const dist::GenBlock& d) const;
+
+  /// Fills `cache` with every section/rank/tile/stage time for one
+  /// iteration at `scale`.
+  void build_iteration_cache(
+      const dist::GenBlock& d,
+      const std::vector<std::shared_ptr<const ooc::NodePlan>>& plans,
+      double scale, IterationCache& cache) const;
+
+  /// Advances per-node clocks through one section using cached stage times.
+  void apply_section(int section_index, const IterationCache& cache,
+                     std::vector<double>& t, std::vector<double>& arrivals,
+                     IterationAgg& agg) const;
 
   /// Advances per-node clocks through the binomial reduce + broadcast tree
   /// (mirrors the SimMPI collective exactly).
@@ -119,14 +198,22 @@ class Predictor {
   double o_s(int rank) const;
   double o_r(int rank) const;
 
-  /// Boundary-message size for pipelined sections (recorded bytes if
-  /// available, structural declaration otherwise).
-  std::int64_t pipeline_bytes(int rank, const SectionSpec& section) const;
-
   ProgramStructure structure_;
   instrument::MhetaParams params_;
   std::vector<std::int64_t> memory_bytes_;
   ModelOptions options_;
+
+  // Interned tables (values only, so the Predictor stays copyable).
+  std::vector<InternedStage> stages_interned_;   // [rank * total + flat stage]
+  std::vector<int> section_stage_offset_;        // per section
+  int total_stage_slots_ = 0;
+  std::vector<InternedSectionComm> comm_interned_;  // per section
+  std::vector<std::int64_t> instrumented_counts_;   // per rank
+
+  // Memoized per-(rank, rows) plans; shared (and locked) so copies of the
+  // Predictor share one cache and predict() stays const and thread-safe.
+  struct PlanCache;
+  std::shared_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace mheta::core

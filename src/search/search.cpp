@@ -3,11 +3,103 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <mutex>
+#include <optional>
 
 #include "util/check.hpp"
+#include "util/lru.hpp"
 #include "util/rng.hpp"
 
 namespace mheta::search {
+
+namespace {
+
+/// FNV-1a over the raw count words; collisions only cost a (correct) probe
+/// of the unordered_map's equality check.
+struct CountsHash {
+  std::size_t operator()(const std::vector<std::int64_t>& counts) const {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const std::int64_t c : counts) {
+      auto v = static_cast<std::uint64_t>(c);
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFFu;
+        h *= 0x100000001B3ull;
+      }
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+struct CachingObjective::State {
+  explicit State(std::size_t capacity) : cache(capacity) {}
+
+  std::mutex mu;
+  util::LruCache<std::vector<std::int64_t>, double, CountsHash> cache;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+CachingObjective::CachingObjective(Objective objective, std::size_t capacity)
+    : objective_(std::move(objective)),
+      state_(std::make_shared<State>(capacity)) {
+  MHETA_CHECK(objective_ != nullptr);
+}
+
+double CachingObjective::operator()(const dist::GenBlock& d) const {
+  auto key = d.counts();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (const double* hit = state_->cache.get(key)) {
+      ++state_->hits;
+      return *hit;
+    }
+  }
+  // Evaluate outside the lock; concurrent misses on one key recompute the
+  // same pure value, which is cheaper than serializing every evaluation.
+  const double v = objective_(d);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  ++state_->misses;
+  state_->cache.put(std::move(key), v);
+  return v;
+}
+
+std::size_t CachingObjective::hits() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->hits;
+}
+
+std::size_t CachingObjective::misses() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->misses;
+}
+
+BatchObjective::BatchObjective(Objective objective)
+    : objective_(std::move(objective)) {
+  MHETA_CHECK(objective_ != nullptr);
+}
+
+BatchObjective::BatchObjective(Objective objective, util::ThreadPool& pool)
+    : objective_(std::move(objective)), pool_(&pool) {
+  MHETA_CHECK(objective_ != nullptr);
+}
+
+std::vector<double> BatchObjective::operator()(
+    const std::vector<dist::GenBlock>& candidates) const {
+  std::vector<double> values(candidates.size());
+  if (pool_ != nullptr && candidates.size() > 1) {
+    pool_->parallel_for(static_cast<std::int64_t>(candidates.size()),
+                        [&](std::int64_t i) {
+                          values[static_cast<std::size_t>(i)] =
+                              objective_(candidates[static_cast<std::size_t>(i)]);
+                        });
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      values[i] = objective_(candidates[i]);
+  }
+  return values;
+}
 
 SpectrumSpace::SpectrumSpace(const dist::DistContext& ctx,
                              cluster::SpectrumKind kind) {
@@ -35,7 +127,7 @@ dist::GenBlock SpectrumSpace::at(double t) const {
                            anchors_[static_cast<std::size_t>(seg) + 1], alpha);
 }
 
-SearchResult gbs(const SpectrumSpace& space, const Objective& objective,
+SearchResult gbs(const SpectrumSpace& space, const BatchObjective& objective,
                  const GbsOptions& opts) {
   MHETA_CHECK(opts.fanout >= 3);
   SearchResult result;
@@ -43,26 +135,28 @@ SearchResult gbs(const SpectrumSpace& space, const Objective& objective,
   double best_t = 0.0;
   bool have_best = false;
   double best_time = 0.0;
+  std::vector<double> ts;
+  std::vector<dist::GenBlock> candidates;
   while (hi - lo > opts.resolution) {
-    double round_best_t = lo;
+    ts.clear();
+    candidates.clear();
     for (int i = 0; i < opts.fanout; ++i) {
       const double t =
           lo + (hi - lo) * static_cast<double>(i) /
                    static_cast<double>(opts.fanout - 1);
-      const auto d = space.at(t);
-      const double v = objective(d);
+      ts.push_back(t);
+      candidates.push_back(space.at(t));
+    }
+    const auto values = objective(candidates);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
       ++result.evaluations;
-      if (!have_best || v < best_time) {
+      if (!have_best || values[i] < best_time) {
         have_best = true;
-        best_time = v;
-        best_t = t;
-        round_best_t = t;
-        result.best = d;
-      } else if (t == best_t) {
-        round_best_t = t;
+        best_time = values[i];
+        best_t = ts[i];
+        result.best = candidates[i];
       }
     }
-    (void)round_best_t;
     // Halve the interval around the best position seen so far.
     const double width = (hi - lo) / 2.0;
     lo = std::max(0.0, best_t - width / 2.0);
@@ -72,45 +166,62 @@ SearchResult gbs(const SpectrumSpace& space, const Objective& objective,
   return result;
 }
 
+SearchResult gbs(const SpectrumSpace& space, const Objective& objective,
+                 const GbsOptions& opts) {
+  return gbs(space, BatchObjective(objective), opts);
+}
+
 SearchResult random_search(const SpectrumSpace& space,
-                           const Objective& objective, int samples,
+                           const BatchObjective& objective, int samples,
                            std::uint64_t seed) {
   MHETA_CHECK(samples >= 1);
   Rng rng(seed, 0x7A17u);
   SearchResult result;
+  std::vector<dist::GenBlock> candidates;
+  candidates.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) candidates.push_back(space.at(rng.uniform01()));
+  const auto values = objective(candidates);
   bool have_best = false;
-  for (int i = 0; i < samples; ++i) {
-    const auto d = space.at(rng.uniform01());
-    const double v = objective(d);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
     ++result.evaluations;
-    if (!have_best || v < result.best_time) {
+    if (!have_best || values[i] < result.best_time) {
       have_best = true;
-      result.best_time = v;
-      result.best = d;
+      result.best_time = values[i];
+      result.best = candidates[i];
     }
   }
   return result;
 }
 
+SearchResult random_search(const SpectrumSpace& space,
+                           const Objective& objective, int samples,
+                           std::uint64_t seed) {
+  return random_search(space, BatchObjective(objective), samples, seed);
+}
+
 namespace {
 
-/// Moves up to max_move rows from a random donor to a random receiver.
-dist::GenBlock neighbor_move(const dist::GenBlock& d, std::int64_t max_move,
-                             Rng& rng) {
+/// Moves up to max_move rows from a random donor to a distinct random
+/// receiver. Always produces a distribution different from `d` — the donor
+/// is the first node with rows at or after a uniformly drawn rank, and the
+/// receiver is drawn uniformly from the remaining nodes — or returns
+/// nullopt when no move exists (fewer than two nodes, or zero total rows)
+/// so callers skip the objective evaluation instead of burning it on a
+/// duplicate.
+std::optional<dist::GenBlock> neighbor_move(const dist::GenBlock& d,
+                                            std::int64_t max_move, Rng& rng) {
   const int n = d.nodes();
+  if (n < 2 || d.total() == 0) return std::nullopt;
   auto counts = d.counts();
-  for (int attempt = 0; attempt < 16; ++attempt) {
-    const int from = static_cast<int>(rng.uniform_int(0, n - 1));
-    const int to = static_cast<int>(rng.uniform_int(0, n - 1));
-    if (from == to || counts[static_cast<std::size_t>(from)] == 0) continue;
-    const std::int64_t amount = rng.uniform_int(
-        1, std::max<std::int64_t>(1,
-                                  std::min(max_move,
-                                           counts[static_cast<std::size_t>(from)])));
-    counts[static_cast<std::size_t>(from)] -= amount;
-    counts[static_cast<std::size_t>(to)] += amount;
-    break;
-  }
+  int from = static_cast<int>(rng.uniform_int(0, n - 1));
+  while (counts[static_cast<std::size_t>(from)] == 0) from = (from + 1) % n;
+  int to = static_cast<int>(rng.uniform_int(0, n - 2));
+  if (to >= from) ++to;
+  const std::int64_t amount = rng.uniform_int(
+      1, std::max<std::int64_t>(
+             1, std::min(max_move, counts[static_cast<std::size_t>(from)])));
+  counts[static_cast<std::size_t>(from)] -= amount;
+  counts[static_cast<std::size_t>(to)] += amount;
   return dist::GenBlock(counts);
 }
 
@@ -144,16 +255,18 @@ SearchResult simulated_annealing(const dist::GenBlock& start,
     const std::int64_t move = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(static_cast<double>(max_move) * scale));
     const auto candidate = neighbor_move(current, move, rng);
-    const double v = objective(candidate);
-    ++result.evaluations;
-    const double delta = v - current_time;
-    if (delta <= 0 ||
-        (temperature > 0 && rng.uniform01() < std::exp(-delta / temperature))) {
-      current = candidate;
-      current_time = v;
-      if (v < result.best_time) {
-        result.best_time = v;
-        result.best = current;
+    if (candidate) {
+      const double v = objective(*candidate);
+      ++result.evaluations;
+      const double delta = v - current_time;
+      if (delta <= 0 || (temperature > 0 &&
+                         rng.uniform01() < std::exp(-delta / temperature))) {
+        current = *candidate;
+        current_time = v;
+        if (v < result.best_time) {
+          result.best_time = v;
+          result.best = current;
+        }
       }
     }
     temperature *= opts.cooling;
@@ -162,7 +275,7 @@ SearchResult simulated_annealing(const dist::GenBlock& start,
 }
 
 SearchResult hill_climb(const dist::GenBlock& start,
-                        const Objective& objective,
+                        const BatchObjective& objective,
                         const HillClimbOptions& opts, std::uint64_t seed) {
   MHETA_CHECK(opts.neighbors >= 1);
   Rng rng(seed, 0x41C1u);
@@ -174,21 +287,26 @@ SearchResult hill_climb(const dist::GenBlock& start,
   // scale, then refine; a plain fixed-scale climber stalls on the
   // discontinuous I/O landscape.
   const std::int64_t max_move = default_move(start.total(), opts.max_move_rows);
+  std::vector<dist::GenBlock> candidates;
   int rounds = 0;
   for (std::int64_t scale = max_move; scale >= 1; scale /= 4) {
     bool improving = true;
     while (improving && rounds < opts.max_rounds) {
       ++rounds;
       improving = false;
+      candidates.clear();
+      for (int k = 0; k < opts.neighbors; ++k) {
+        if (auto candidate = neighbor_move(result.best, scale, rng))
+          candidates.push_back(std::move(*candidate));
+      }
+      const auto values = objective(candidates);
       dist::GenBlock best_neighbor = result.best;
       double best_time = result.best_time;
-      for (int k = 0; k < opts.neighbors; ++k) {
-        const auto candidate = neighbor_move(result.best, scale, rng);
-        const double v = objective(candidate);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
         ++result.evaluations;
-        if (v < best_time) {
-          best_time = v;
-          best_neighbor = candidate;
+        if (values[i] < best_time) {
+          best_time = values[i];
+          best_neighbor = candidates[i];
         }
       }
       if (best_time < result.best_time) {
@@ -202,9 +320,14 @@ SearchResult hill_climb(const dist::GenBlock& start,
   return result;
 }
 
+SearchResult hill_climb(const dist::GenBlock& start, const Objective& objective,
+                        const HillClimbOptions& opts, std::uint64_t seed) {
+  return hill_climb(start, BatchObjective(objective), opts, seed);
+}
+
 SearchResult tabu_search(const dist::GenBlock& start,
-                         const Objective& objective, const TabuOptions& opts,
-                         std::uint64_t seed) {
+                         const BatchObjective& objective,
+                         const TabuOptions& opts, std::uint64_t seed) {
   MHETA_CHECK(opts.neighbors >= 1 && opts.tabu_tenure >= 1);
   Rng rng(seed, 0x7ABu);
   SearchResult result;
@@ -221,19 +344,24 @@ SearchResult tabu_search(const dist::GenBlock& start,
   };
   tabu.push_back(current.counts());
 
+  std::vector<dist::GenBlock> candidates;
   for (int step = 0; step < opts.steps; ++step) {
+    candidates.clear();
+    for (int k = 0; k < opts.neighbors; ++k) {
+      auto candidate = neighbor_move(current, max_move, rng);
+      if (!candidate || is_tabu(*candidate)) continue;  // skipped, not evaluated
+      candidates.push_back(std::move(*candidate));
+    }
+    const auto values = objective(candidates);
     bool found = false;
     dist::GenBlock best_neighbor = current;
     double best_time = 0;
-    for (int k = 0; k < opts.neighbors; ++k) {
-      const auto candidate = neighbor_move(current, max_move, rng);
-      if (is_tabu(candidate)) continue;
-      const double v = objective(candidate);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
       ++result.evaluations;
-      if (!found || v < best_time) {
+      if (!found || values[i] < best_time) {
         found = true;
-        best_time = v;
-        best_neighbor = candidate;
+        best_time = values[i];
+        best_neighbor = candidates[i];
       }
     }
     if (!found) break;  // every sampled neighbor tabu
@@ -249,7 +377,14 @@ SearchResult tabu_search(const dist::GenBlock& start,
   return result;
 }
 
-SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
+SearchResult tabu_search(const dist::GenBlock& start,
+                         const Objective& objective, const TabuOptions& opts,
+                         std::uint64_t seed) {
+  return tabu_search(start, BatchObjective(objective), opts, seed);
+}
+
+SearchResult genetic(const dist::DistContext& ctx,
+                     const BatchObjective& objective,
                      const GeneticOptions& opts, std::uint64_t seed) {
   MHETA_CHECK(opts.population >= 4);
   Rng rng(seed, 0x6E6Eu);
@@ -259,26 +394,30 @@ SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
     dist::GenBlock d;
     double time = 0;
   };
-  auto evaluate = [&](const dist::GenBlock& d) { return objective(d); };
+  SearchResult result;
 
   // Seed the population with the four anchors plus random perturbations.
+  // Candidate generation never consumes objective values, so the whole seed
+  // population is generated first and evaluated as one batch.
+  std::vector<dist::GenBlock> seeds = {
+      dist::block_dist(ctx), dist::balanced_dist(ctx), dist::in_core_dist(ctx),
+      dist::in_core_balanced_dist(ctx)};
+  while (static_cast<int>(seeds.size()) < opts.population) {
+    const auto& base = seeds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(seeds.size()) - 1))];
+    if (auto moved = neighbor_move(base, max_move, rng))
+      seeds.push_back(std::move(*moved));
+    else
+      seeds.push_back(base);  // degenerate context; keep the population full
+  }
   std::vector<Individual> pop;
-  SearchResult result;
-  auto add = [&](dist::GenBlock d) {
-    Individual ind{std::move(d), 0};
-    ind.time = evaluate(ind.d);
-    ++result.evaluations;
-    pop.push_back(std::move(ind));
-  };
-  add(dist::block_dist(ctx));
-  add(dist::balanced_dist(ctx));
-  add(dist::in_core_dist(ctx));
-  add(dist::in_core_balanced_dist(ctx));
-  while (static_cast<int>(pop.size()) < opts.population) {
-    auto base = pop[static_cast<std::size_t>(
-                        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))]
-                    .d;
-    add(neighbor_move(base, max_move, rng));
+  pop.reserve(seeds.size());
+  {
+    const auto values = objective(seeds);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      ++result.evaluations;
+      pop.push_back({std::move(seeds[i]), values[i]});
+    }
   }
 
   auto tournament = [&]() -> const Individual& {
@@ -298,20 +437,28 @@ SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
     return dist::GenBlock(dist::apportion(shares, a.total()));
   };
 
+  std::vector<dist::GenBlock> children;
   for (int gen = 0; gen < opts.generations; ++gen) {
     std::sort(pop.begin(), pop.end(),
               [](const Individual& a, const Individual& b) {
                 return a.time < b.time;
               });
     std::vector<Individual> next(pop.begin(), pop.begin() + 2);  // elitism
-    while (static_cast<int>(next.size()) < opts.population) {
+    // Offspring depend only on the current generation's fitness, so the
+    // whole brood is generated first and evaluated as one batch.
+    children.clear();
+    while (static_cast<int>(next.size() + children.size()) < opts.population) {
       auto child = crossover(tournament().d, tournament().d);
-      if (rng.uniform01() < opts.mutation_rate)
-        child = neighbor_move(child, max_move, rng);
-      Individual ind{std::move(child), 0};
-      ind.time = evaluate(ind.d);
+      if (rng.uniform01() < opts.mutation_rate) {
+        if (auto mutated = neighbor_move(child, max_move, rng))
+          child = std::move(*mutated);
+      }
+      children.push_back(std::move(child));
+    }
+    const auto values = objective(children);
+    for (std::size_t i = 0; i < children.size(); ++i) {
       ++result.evaluations;
-      next.push_back(std::move(ind));
+      next.push_back({std::move(children[i]), values[i]});
     }
     pop = std::move(next);
   }
@@ -321,6 +468,11 @@ SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
   result.best = best->d;
   result.best_time = best->time;
   return result;
+}
+
+SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
+                     const GeneticOptions& opts, std::uint64_t seed) {
+  return genetic(ctx, BatchObjective(objective), opts, seed);
 }
 
 }  // namespace mheta::search

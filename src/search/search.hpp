@@ -7,19 +7,76 @@
 // GBS and random search explore the one-dimensional distribution spectrum
 // (Figure 8); simulated annealing and the genetic search work directly on
 // GEN_BLOCK vectors and can reach distributions off the spectrum path.
+//
+// Batch evaluation: every algorithm except simulated annealing (whose
+// accept/reject chain is inherently sequential) generates its candidate set
+// for a round before evaluating any of them, so those sets can be handed to
+// a BatchObjective backed by a thread pool. The contract is determinism:
+// candidate generation consumes the RNG in exactly the serial order,
+// objective values land in per-candidate slots, and the reduction walks them
+// in candidate-index order — so the parallel path returns a SearchResult
+// bit-identical to the serial one (same `best`, `best_time`, `evaluations`).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/suite.hpp"
 #include "dist/generators.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mheta::search {
 
 /// Black-box objective: predicted execution time of a distribution.
 using Objective = std::function<double(const dist::GenBlock&)>;
+
+/// Memoizing objective wrapper: an LRU keyed on GenBlock::counts(). Safe to
+/// call concurrently (the cache has its own lock; the wrapped objective runs
+/// outside it). Because the objective is pure, hits are bit-identical to
+/// recomputation, so wrapping never changes a search trajectory.
+class CachingObjective {
+ public:
+  explicit CachingObjective(Objective objective, std::size_t capacity = 4096);
+
+  double operator()(const dist::GenBlock& d) const;
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  struct State;
+  Objective objective_;
+  std::shared_ptr<State> state_;
+};
+
+/// Evaluates candidate sets, either serially or on a thread pool. The batch
+/// overload guarantees values[i] corresponds to candidates[i]; the pool only
+/// changes evaluation order, never placement, so downstream index-order
+/// reductions are deterministic.
+class BatchObjective {
+ public:
+  /// Serial evaluation (explicit so lambdas keep binding to Objective
+  /// overloads of the search functions).
+  explicit BatchObjective(Objective objective);
+
+  /// Parallel evaluation on `pool` (not owned; must outlive this object).
+  /// The objective must be safe to call concurrently.
+  BatchObjective(Objective objective, util::ThreadPool& pool);
+
+  double operator()(const dist::GenBlock& d) const { return objective_(d); }
+
+  /// Evaluates every candidate; values[i] is objective(candidates[i]).
+  std::vector<double> operator()(
+      const std::vector<dist::GenBlock>& candidates) const;
+
+  int threads() const { return pool_ ? pool_->threads() : 1; }
+
+ private:
+  Objective objective_;
+  util::ThreadPool* pool_ = nullptr;
+};
 
 /// The continuous spectrum parameterization explored by GBS and random
 /// search: position t in [0,1] maps to an interpolated distribution along
@@ -54,14 +111,20 @@ struct GbsOptions {
 };
 SearchResult gbs(const SpectrumSpace& space, const Objective& objective,
                  const GbsOptions& opts = {});
+SearchResult gbs(const SpectrumSpace& space, const BatchObjective& objective,
+                 const GbsOptions& opts = {});
 
 /// Uniform random sampling of the spectrum.
 SearchResult random_search(const SpectrumSpace& space,
                            const Objective& objective, int samples,
                            std::uint64_t seed);
+SearchResult random_search(const SpectrumSpace& space,
+                           const BatchObjective& objective, int samples,
+                           std::uint64_t seed);
 
 /// Simulated annealing over GEN_BLOCK vectors; neighbor moves shift a
-/// random number of rows between two random nodes.
+/// random number of rows between two random nodes. No batch overload: each
+/// step's candidate depends on the previous accept/reject decision.
 struct AnnealOptions {
   int steps = 1500;
   double initial_temperature_rel = 0.03;  ///< relative to the start time
@@ -82,6 +145,9 @@ struct HillClimbOptions {
 };
 SearchResult hill_climb(const dist::GenBlock& start, const Objective& objective,
                         const HillClimbOptions& opts, std::uint64_t seed);
+SearchResult hill_climb(const dist::GenBlock& start,
+                        const BatchObjective& objective,
+                        const HillClimbOptions& opts, std::uint64_t seed);
 
 /// Tabu search over GEN_BLOCK vectors (extension): hill climbing that may
 /// accept worsening moves but never revisits a recently-seen distribution.
@@ -93,6 +159,9 @@ struct TabuOptions {
 };
 SearchResult tabu_search(const dist::GenBlock& start, const Objective& objective,
                          const TabuOptions& opts, std::uint64_t seed);
+SearchResult tabu_search(const dist::GenBlock& start,
+                         const BatchObjective& objective,
+                         const TabuOptions& opts, std::uint64_t seed);
 
 /// Genetic search over GEN_BLOCK vectors: tournament selection, blend
 /// crossover (repaired to the exact total), row-move mutation, elitism.
@@ -103,6 +172,9 @@ struct GeneticOptions {
   std::int64_t max_move_rows = 0;  ///< 0 -> rows/16
 };
 SearchResult genetic(const dist::DistContext& ctx, const Objective& objective,
+                     const GeneticOptions& opts, std::uint64_t seed);
+SearchResult genetic(const dist::DistContext& ctx,
+                     const BatchObjective& objective,
                      const GeneticOptions& opts, std::uint64_t seed);
 
 }  // namespace mheta::search

@@ -1,0 +1,138 @@
+// A fixed-size worker pool with one fork-join primitive.
+//
+// parallel_for(n, fn) runs fn(0..n-1) across the pool's threads; each index
+// runs exactly once and results are expected to land in caller-owned,
+// per-index slots, so the outcome is independent of scheduling. The batch
+// search path uses this to evaluate candidate sets in parallel while staying
+// bit-identical to the serial path (reduce in index order afterwards).
+//
+// One parallel_for runs at a time; concurrent callers serialize. A pool of
+// `threads` uses the calling thread as one of the workers, so ThreadPool(1)
+// spawns nothing and degenerates to a plain loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mheta::util {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0) {
+    if (threads <= 0)
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+    threads_ = threads;
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int i = 0; i < threads - 1; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count, including the calling thread.
+  int threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n); blocks until all calls return.
+  /// The first exception thrown by any fn is rethrown here.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& fn) {
+    if (n <= 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::lock_guard<std::mutex> serialize(submit_mu_);
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->fn = &fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+    }
+    cv_.notify_all();
+    run_job(*job);  // the calling thread is one of the workers
+    {
+      std::unique_lock<std::mutex> lock(job->mu);
+      job->done_cv.wait(lock, [&] { return job->completed == job->n; });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == job) job_ = nullptr;
+    }
+    cv_.notify_all();  // release workers parked on the exhausted job
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  struct Job {
+    std::int64_t n = 0;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::atomic<std::int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::int64_t completed = 0;      // guarded by mu
+    std::exception_ptr error;        // guarded by mu; first failure wins
+  };
+
+  void run_job(Job& job) {
+    for (;;) {
+      const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      std::exception_ptr error;
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (error && !job.error) job.error = error;
+      if (++job.completed == job.n) job.done_cv.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || job_ != nullptr; });
+        if (stop_) return;
+        job = job_;
+      }
+      run_job(*job);
+      // Park until this job is retired so we never busy-loop on it.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || job_ != job; });
+      if (stop_) return;
+    }
+  }
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // serializes parallel_for calls
+  std::mutex mu_;         // guards job_ / stop_
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;  // guarded by mu_
+  bool stop_ = false;         // guarded by mu_
+};
+
+}  // namespace mheta::util

@@ -1,0 +1,192 @@
+// The determinism contract of batch evaluation: running any batchable
+// search algorithm through a thread pool must reproduce the serial
+// SearchResult bit for bit — same best distribution, same best_time bits,
+// same evaluation count. Candidate generation consumes the RNG in serial
+// order and the reduction walks values in candidate-index order, so the
+// pool can only change *when* objectives run, never what the search sees.
+#include "search/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mheta::search {
+namespace {
+
+dist::DistContext ctx4() {
+  dist::DistContext ctx;
+  ctx.rows = 1000;
+  ctx.bytes_per_row = 1 << 10;
+  ctx.cpu_powers = {1.0, 1.0, 2.0, 4.0};
+  ctx.memory_bytes = {100 << 10, 200 << 10, 400 << 10, 800 << 10};
+  return ctx;
+}
+
+/// A deliberately bumpy objective (not smooth, several local minima) so the
+/// search trajectories exercise accept/skip/tie paths.
+Objective bumpy_objective(const dist::DistContext& ctx) {
+  const auto target = dist::balanced_dist(ctx);
+  return [target](const dist::GenBlock& d) {
+    double sum = 1.0;
+    for (int i = 0; i < d.nodes(); ++i) {
+      const double diff = static_cast<double>(d.count(i) - target.count(i));
+      sum += diff * diff + 40.0 * ((d.count(i) / 7) % 3);
+    }
+    return sum;
+  };
+}
+
+void expect_identical(const SearchResult& serial, const SearchResult& batch) {
+  EXPECT_EQ(serial.best.counts(), batch.best.counts());
+  EXPECT_EQ(serial.best_time, batch.best_time);
+  EXPECT_EQ(serial.evaluations, batch.evaluations);
+}
+
+class BatchDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchDeterminism, Gbs) {
+  const auto ctx = ctx4();
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  const auto obj = bumpy_objective(ctx);
+  const auto serial = gbs(space, obj);
+  util::ThreadPool pool(GetParam());
+  expect_identical(serial, gbs(space, BatchObjective(obj, pool)));
+}
+
+TEST_P(BatchDeterminism, RandomSearch) {
+  const auto ctx = ctx4();
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  const auto obj = bumpy_objective(ctx);
+  const auto serial = random_search(space, obj, 100, 7);
+  util::ThreadPool pool(GetParam());
+  expect_identical(serial,
+                   random_search(space, BatchObjective(obj, pool), 100, 7));
+}
+
+TEST_P(BatchDeterminism, HillClimb) {
+  const auto ctx = ctx4();
+  const auto obj = bumpy_objective(ctx);
+  const auto start = dist::block_dist(ctx);
+  const auto serial = hill_climb(start, obj, {}, 7);
+  util::ThreadPool pool(GetParam());
+  expect_identical(serial, hill_climb(start, BatchObjective(obj, pool), {}, 7));
+}
+
+TEST_P(BatchDeterminism, TabuSearch) {
+  const auto ctx = ctx4();
+  const auto obj = bumpy_objective(ctx);
+  const auto start = dist::block_dist(ctx);
+  TabuOptions opts;
+  opts.steps = 80;
+  const auto serial = tabu_search(start, obj, opts, 7);
+  util::ThreadPool pool(GetParam());
+  expect_identical(serial,
+                   tabu_search(start, BatchObjective(obj, pool), opts, 7));
+}
+
+TEST_P(BatchDeterminism, Genetic) {
+  const auto ctx = ctx4();
+  const auto obj = bumpy_objective(ctx);
+  const auto serial = genetic(ctx, obj, {}, 7);
+  util::ThreadPool pool(GetParam());
+  expect_identical(serial, genetic(ctx, BatchObjective(obj, pool), {}, 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, BatchDeterminism, ::testing::Values(1, 2, 4));
+
+TEST(BatchObjective, ValuesLandInCandidateOrder) {
+  const auto ctx = ctx4();
+  const auto obj = bumpy_objective(ctx);
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  std::vector<dist::GenBlock> candidates;
+  for (int i = 0; i < 37; ++i) candidates.push_back(space.at(i / 36.0));
+  util::ThreadPool pool(4);
+  const auto parallel = BatchObjective(obj, pool)(candidates);
+  const auto serial = BatchObjective(obj)(candidates);
+  ASSERT_EQ(parallel.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]);
+    EXPECT_EQ(parallel[i], obj(candidates[i]));
+  }
+}
+
+TEST(CachingObjective, HitsAreBitIdenticalToRecomputation) {
+  const auto ctx = ctx4();
+  const auto obj = bumpy_objective(ctx);
+  CachingObjective cached(obj, 64);
+  SpectrumSpace space(ctx, cluster::SpectrumKind::kFull);
+  std::vector<dist::GenBlock> candidates;
+  for (int i = 0; i < 20; ++i) candidates.push_back(space.at(i / 19.0));
+  for (int lap = 0; lap < 3; ++lap)
+    for (const auto& d : candidates) EXPECT_EQ(cached(d), obj(d));
+  EXPECT_GT(cached.hits(), 0u);
+  EXPECT_LE(cached.misses(), candidates.size());
+  EXPECT_EQ(cached.hits() + cached.misses(), 3 * candidates.size());
+}
+
+TEST(CachingObjective, CountsMissesPerDistinctKey) {
+  std::atomic<int> calls{0};
+  CachingObjective cached(
+      [&](const dist::GenBlock& d) {
+        calls.fetch_add(1);
+        return static_cast<double>(d.count(0));
+      },
+      16);
+  const dist::GenBlock a({3, 1}), b({2, 2});
+  EXPECT_EQ(cached(a), 3.0);
+  EXPECT_EQ(cached(a), 3.0);
+  EXPECT_EQ(cached(b), 2.0);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.misses(), 2u);
+}
+
+TEST(CachingObjective, DoesNotChangeSearchTrajectories) {
+  const auto ctx = ctx4();
+  const auto obj = bumpy_objective(ctx);
+  const CachingObjective cached(obj, 4096);
+  const auto plain = genetic(ctx, obj, {}, 3);
+  const auto through_cache = genetic(ctx, Objective(cached), {}, 3);
+  expect_identical(plain, through_cache);
+}
+
+TEST(CachingObjective, SafeUnderParallelBatch) {
+  const auto ctx = ctx4();
+  const auto obj = bumpy_objective(ctx);
+  const CachingObjective cached(obj, 4096);
+  util::ThreadPool pool(4);
+  const auto serial = tabu_search(dist::block_dist(ctx), obj, {}, 5);
+  const auto parallel_cached = tabu_search(
+      dist::block_dist(ctx), BatchObjective(Objective(cached), pool), {}, 5);
+  expect_identical(serial, parallel_cached);
+}
+
+TEST(NeighborMoves, AlwaysDistinctFromOrigin) {
+  // The fixed neighbor_move never returns an unchanged copy: every
+  // hill-climb evaluation is spent on a genuinely different distribution,
+  // so a search from an optimum terminates at the sampling bound without
+  // wasting duplicate evaluations. (Regression for the silent 16-attempt
+  // fallthrough.)
+  const auto ctx = ctx4();
+  const auto start = dist::balanced_dist(ctx);
+  std::atomic<int> duplicates{0};
+  Objective obj = [&](const dist::GenBlock& d) {
+    if (d.counts() == start.counts()) duplicates.fetch_add(1);
+    double sum = 1.0;
+    for (int i = 0; i < d.nodes(); ++i) {
+      const double diff = static_cast<double>(d.count(i) - start.count(i));
+      sum += diff * diff;
+    }
+    return sum;
+  };
+  const auto result = hill_climb(start, obj, {}, 11);
+  EXPECT_EQ(duplicates.load(), 1);  // only the start itself
+  EXPECT_EQ(result.best.counts(), start.counts());
+}
+
+}  // namespace
+}  // namespace mheta::search

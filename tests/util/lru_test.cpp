@@ -1,0 +1,78 @@
+#include "util/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mheta::util {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruCache<int, std::string> cache(4);
+  EXPECT_EQ(cache.get(1), nullptr);
+  cache.put(1, "one");
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), "one");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);  // evicts 1
+  EXPECT_EQ(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(2), nullptr);
+  ASSERT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, GetRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_NE(cache.get(1), nullptr);  // 1 becomes most recent
+  cache.put(3, 30);                  // evicts 2, not 1
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+}
+
+TEST(LruCache, PutOverwritesAndRefreshes) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // overwrite refreshes 1
+  cache.put(3, 30);  // evicts 2
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), 11);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, CapacityOneThrashes) {
+  LruCache<int, int> cache(1);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_EQ(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(2), nullptr);
+  EXPECT_EQ(*cache.get(2), 20);
+}
+
+TEST(LruCache, ClearEmpties) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(1), nullptr);
+  cache.put(3, 30);  // still usable after clear
+  EXPECT_NE(cache.get(3), nullptr);
+}
+
+TEST(LruCache, ZeroCapacityIsAnError) {
+  EXPECT_ANY_THROW((LruCache<int, int>(0)));
+}
+
+}  // namespace
+}  // namespace mheta::util

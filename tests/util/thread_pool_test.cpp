@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mheta::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadDegeneratesToLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<std::int64_t> order;
+  pool.parallel_for(5, [&](std::int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ResultsLandInPerIndexSlots) {
+  ThreadPool pool(3);
+  constexpr std::int64_t kN = 257;
+  std::vector<std::int64_t> out(kN, -1);
+  pool.parallel_for(kN, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = i * i;
+  });
+  for (std::int64_t i = 0; i < kN; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::int64_t i) {
+                                   if (i == 17)
+                                     throw std::runtime_error("boom");
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // Remaining indices still ran (no silent truncation of the batch).
+  EXPECT_EQ(completed.load(), 63);
+  // The pool is still usable afterwards.
+  std::atomic<int> again{0};
+  pool.parallel_for(8, [&](std::int64_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(round % 7 + 1,
+                      [&](std::int64_t i) { sum.fetch_add(i + 1); });
+    const std::int64_t n = round % 7 + 1;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  }
+}
+
+TEST(ThreadPool, ConcurrentCallersSerialize) {
+  ThreadPool pool(2);
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round)
+        pool.parallel_for(16, [&](std::int64_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 16);
+}
+
+}  // namespace
+}  // namespace mheta::util
