@@ -12,6 +12,7 @@
 #include "cluster/node.hpp"
 #include "cluster/suite.hpp"
 #include "exp/experiment.hpp"
+#include "search/objective.hpp"
 #include "search/search.hpp"
 #include "util/table.hpp"
 
@@ -57,9 +58,8 @@ int main() {
   exp::ExperimentOptions opts;
   const auto predictor = exp::build_predictor(arch, workload, opts);
   const auto ctx = exp::make_context(arch, workload, opts);
-  const search::Objective objective = [&](const dist::GenBlock& d) {
-    return predictor.predict(d, workload.iterations).total_s;
-  };
+  const search::Objective objective =
+      search::make_objective(predictor, workload.iterations, machine);
   const auto pick = search::genetic(ctx, objective, {}, /*seed=*/1);
 
   // --- 4. Compare against the naive choices -----------------------------

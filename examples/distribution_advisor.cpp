@@ -14,6 +14,7 @@
 
 #include "apps/driver.hpp"
 #include "exp/experiment.hpp"
+#include "search/objective.hpp"
 #include "search/search.hpp"
 #include "util/table.hpp"
 
@@ -45,9 +46,8 @@ int main(int argc, char** argv) {
   // Build the model from one instrumented Blk iteration.
   const auto predictor = exp::build_predictor(arch, workload, opts);
   const auto ctx = exp::make_context(arch, workload, opts);
-  const search::Objective objective = [&](const dist::GenBlock& d) {
-    return predictor.predict(d, workload.iterations).total_s;
-  };
+  const search::Objective objective =
+      search::make_objective(predictor, workload.iterations, arch.cluster);
 
   auto actual_of = [&](const dist::GenBlock& d) {
     apps::RunOptions run;

@@ -1,0 +1,169 @@
+#include "analysis/diagnostic.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mheta::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+SourceLoc StructureLocations::array(std::size_t i) const {
+  return {file, i < array_lines.size() ? array_lines[i] : 0};
+}
+
+SourceLoc StructureLocations::section(std::size_t i) const {
+  return {file, i < section_lines.size() ? section_lines[i] : 0};
+}
+
+SourceLoc StructureLocations::stage(std::size_t section,
+                                    std::size_t stage) const {
+  if (section < stage_lines.size() && stage < stage_lines[section].size())
+    return {file, stage_lines[section][stage]};
+  return {file, 0};
+}
+
+void Diagnostics::add(Severity severity, std::string rule, std::string message,
+                      SourceLoc loc, std::string fix) {
+  diags_.push_back({severity, std::move(rule), std::move(message),
+                    std::move(loc), std::move(fix)});
+}
+
+void Diagnostics::merge(const Diagnostics& other) {
+  for (const auto& d : other.diags_) diags_.push_back(d);
+}
+
+std::size_t Diagnostics::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+bool Diagnostics::has_rule(const std::string& rule) const {
+  for (const auto& d : diags_)
+    if (d.rule == rule) return true;
+  return false;
+}
+
+namespace {
+
+void print_prefix(std::ostream& os, const std::string& artifact,
+                  const SourceLoc& loc) {
+  if (loc.valid()) {
+    os << (loc.file.empty() ? artifact : loc.file) << ':' << loc.line;
+  } else if (!loc.file.empty()) {
+    os << loc.file;
+  } else {
+    os << (artifact.empty() ? "<input>" : artifact);
+  }
+  os << ": ";
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Diagnostics::print(std::ostream& os) const {
+  for (const auto& d : diags_) {
+    print_prefix(os, artifact_, d.loc);
+    os << analysis::to_string(d.severity) << ": " << d.message << " ["
+       << d.rule << "]\n";
+    if (!d.fix.empty()) {
+      print_prefix(os, artifact_, d.loc);
+      os << "note: fix-it: " << d.fix << '\n';
+    }
+  }
+}
+
+void Diagnostics::print_json(std::ostream& os) const {
+  os << "{\"artifact\": ";
+  json_string(os, artifact_);
+  os << ", \"errors\": " << error_count()
+     << ", \"warnings\": " << warning_count() << ", \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const auto& d = diags_[i];
+    if (i > 0) os << ", ";
+    os << "{\"severity\": ";
+    json_string(os, analysis::to_string(d.severity));
+    os << ", \"rule\": ";
+    json_string(os, d.rule);
+    os << ", \"message\": ";
+    json_string(os, d.message);
+    if (d.loc.valid() || !d.loc.file.empty()) {
+      os << ", \"file\": ";
+      json_string(os, d.loc.file.empty() ? artifact_ : d.loc.file);
+      os << ", \"line\": " << d.loc.line;
+    }
+    if (!d.fix.empty()) {
+      os << ", \"fix\": ";
+      json_string(os, d.fix);
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+std::string Diagnostics::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+namespace {
+std::string lint_error_message(const std::string& context,
+                               const Diagnostics& diagnostics) {
+  std::ostringstream os;
+  os << context << ": " << diagnostics.error_count() << " error(s)\n"
+     << diagnostics.to_string();
+  return os.str();
+}
+}  // namespace
+
+LintError::LintError(std::string context, Diagnostics diagnostics)
+    : CheckError(lint_error_message(context, diagnostics)),
+      diagnostics_(std::move(diagnostics)) {}
+
+void enforce(const Diagnostics& diagnostics, const std::string& context) {
+  if (diagnostics.has_errors()) throw LintError(context, diagnostics);
+}
+
+}  // namespace mheta::analysis

@@ -1,0 +1,135 @@
+// Diagnostics engine of the static model-verification subsystem.
+//
+// The paper extracts MHETA's program structure by manual static analysis
+// (§3.1) and implicitly assumes the structure, cluster description and
+// GEN_BLOCK distribution are mutually consistent; a malformed triple used to
+// produce garbage predictions or a hung simulation. This engine gives every
+// checked invariant a stable rule ID (MH001, MH002, ...), a severity, an
+// optional source location into a structure file, and an optional fix-it
+// suggestion, and renders them clang-style or as machine-readable JSON.
+//
+// The engine layer depends on nothing above util; the rules over the
+// structure/cluster/distribution triple live in rules.hpp.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mheta::analysis {
+
+/// Severity of a diagnostic. Errors make lint fail (and entry points
+/// refuse the input); warnings are suspicious but evaluable; notes carry
+/// context and fix-it text.
+enum class Severity {
+  kError,
+  kWarning,
+  kNote,
+};
+
+const char* to_string(Severity s);
+
+/// A position inside a structure file (line-oriented format: no columns).
+/// Default-constructed locations are "unknown" and render as the artifact
+/// name instead.
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+
+  bool valid() const { return line > 0; }
+};
+
+/// One finding of the rule engine.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;     ///< stable rule ID, e.g. "MH004"
+  std::string message;  ///< human-readable, one line
+  SourceLoc loc;        ///< optional location into a structure file
+  std::string fix;      ///< optional fix-it suggestion ("set tiles to 8")
+};
+
+/// Line numbers recorded while loading a structure file, so rules can point
+/// at the offending declaration instead of just naming it.
+struct StructureLocations {
+  std::string file;  ///< display name of the input
+  int name_line = 0;
+  std::vector<int> array_lines;                 ///< by array index
+  std::vector<int> section_lines;               ///< by section index
+  std::vector<std::vector<int>> stage_lines;    ///< [section][stage]
+
+  SourceLoc array(std::size_t i) const;
+  SourceLoc section(std::size_t i) const;
+  SourceLoc stage(std::size_t section, std::size_t stage) const;
+};
+
+/// An ordered collection of findings plus the artifact they are about.
+class Diagnostics {
+ public:
+  Diagnostics() = default;
+  explicit Diagnostics(std::string artifact) : artifact_(std::move(artifact)) {}
+
+  /// Name shown for diagnostics without a file location (e.g. "Jacobi").
+  const std::string& artifact() const { return artifact_; }
+  void set_artifact(std::string artifact) { artifact_ = std::move(artifact); }
+
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void add(Severity severity, std::string rule, std::string message,
+           SourceLoc loc = {}, std::string fix = {});
+
+  /// Appends every finding of `other` (artifact is kept from *this).
+  void merge(const Diagnostics& other);
+
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+  const Diagnostic& operator[](std::size_t i) const { return diags_[i]; }
+  auto begin() const { return diags_.begin(); }
+  auto end() const { return diags_.end(); }
+
+  std::size_t count(Severity s) const;
+  std::size_t error_count() const { return count(Severity::kError); }
+  std::size_t warning_count() const { return count(Severity::kWarning); }
+  bool has_errors() const { return error_count() > 0; }
+
+  /// True if some finding carries the given rule ID.
+  bool has_rule(const std::string& rule) const;
+
+  /// Clang-style rendering, one line per finding plus fix-it notes:
+  ///   jacobi.mheta:12: error: counts sum to 4000 but arrays have 4096
+  ///   rows [MH008]
+  ///   jacobi.mheta:12: note: fix-it: raise node 7's count by 96
+  void print(std::ostream& os) const;
+
+  /// Machine-readable output: a JSON object with the artifact name, a
+  /// summary, and one entry per finding.
+  void print_json(std::ostream& os) const;
+
+  /// The print() rendering as a string (used in exception messages).
+  std::string to_string() const;
+
+ private:
+  std::string artifact_;
+  std::vector<Diagnostic> diags_;
+};
+
+/// Thrown by enforce() and by the fail-fast entry points (Predictor,
+/// experiment drivers, structure_io) when validation finds errors. Derives
+/// from CheckError so existing callers catching the library's precondition
+/// failures keep working.
+class LintError : public CheckError {
+ public:
+  LintError(std::string context, Diagnostics diagnostics);
+
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  Diagnostics diagnostics_;
+};
+
+/// Throws LintError carrying `diagnostics` if it contains any error;
+/// warnings and notes never throw.
+void enforce(const Diagnostics& diagnostics, const std::string& context);
+
+}  // namespace mheta::analysis

@@ -1,0 +1,68 @@
+#include "analysis/lint.hpp"
+
+namespace mheta::analysis {
+
+Diagnostics lint_structure(const core::ProgramStructure& structure,
+                           const StructureLocations* locations) {
+  LintInput in;
+  in.structure = &structure;
+  in.locations = locations;
+  return run_rules(in);
+}
+
+Diagnostics lint_distribution(const core::ProgramStructure& structure,
+                              const cluster::ClusterConfig& cluster,
+                              const dist::GenBlock& distribution,
+                              std::int64_t planner_overhead_bytes,
+                              std::int64_t max_blocks) {
+  LintInput in;
+  in.structure = &structure;
+  in.cluster = &cluster;
+  in.distribution = &distribution;
+  in.planner_overhead_bytes = planner_overhead_bytes;
+  in.max_blocks = max_blocks;
+  return run_rules(in);
+}
+
+Diagnostics lint_model_inputs(const core::ProgramStructure& structure,
+                              const instrument::MhetaParams& params,
+                              const std::vector<std::int64_t>& memory_bytes,
+                              std::int64_t planner_overhead_bytes,
+                              std::int64_t max_blocks) {
+  LintInput in;
+  in.structure = &structure;
+  in.params = &params;
+  in.memory_bytes = &memory_bytes;
+  in.planner_overhead_bytes = planner_overhead_bytes;
+  in.max_blocks = max_blocks;
+  return run_rules(in);
+}
+
+void verify_structure(const core::ProgramStructure& structure,
+                      const std::string& context) {
+  enforce(lint_structure(structure), context);
+}
+
+void verify_distribution(const core::ProgramStructure& structure,
+                         const cluster::ClusterConfig& cluster,
+                         const dist::GenBlock& distribution,
+                         const std::string& context,
+                         std::int64_t planner_overhead_bytes,
+                         std::int64_t max_blocks) {
+  enforce(lint_distribution(structure, cluster, distribution,
+                            planner_overhead_bytes, max_blocks),
+          context);
+}
+
+void verify_model_inputs(const core::ProgramStructure& structure,
+                         const instrument::MhetaParams& params,
+                         const std::vector<std::int64_t>& memory_bytes,
+                         const std::string& context,
+                         std::int64_t planner_overhead_bytes,
+                         std::int64_t max_blocks) {
+  enforce(lint_model_inputs(structure, params, memory_bytes,
+                            planner_overhead_bytes, max_blocks),
+          context);
+}
+
+}  // namespace mheta::analysis

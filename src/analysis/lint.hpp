@@ -1,0 +1,53 @@
+// Convenience entry points over the rule engine (rules.hpp), one per slice
+// of the MHETA input triple, plus throwing verify_* wrappers used by the
+// fail-fast call sites (core::Predictor, the experiment drivers, the
+// objective builders).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/rules.hpp"
+
+namespace mheta::analysis {
+
+/// Lints a program structure alone (rules MH001-MH007).
+Diagnostics lint_structure(const core::ProgramStructure& structure,
+                           const StructureLocations* locations = nullptr);
+
+/// Lints the full input triple: structure x cluster x distribution
+/// (adds MH008-MH011).
+Diagnostics lint_distribution(const core::ProgramStructure& structure,
+                              const cluster::ClusterConfig& cluster,
+                              const dist::GenBlock& distribution,
+                              std::int64_t planner_overhead_bytes = 0,
+                              std::int64_t max_blocks = 256);
+
+/// Lints the model inputs exactly as core::Predictor receives them
+/// (adds MH012-MH015).
+Diagnostics lint_model_inputs(const core::ProgramStructure& structure,
+                              const instrument::MhetaParams& params,
+                              const std::vector<std::int64_t>& memory_bytes,
+                              std::int64_t planner_overhead_bytes = 0,
+                              std::int64_t max_blocks = 256);
+
+/// Throwing forms: run the corresponding lint and throw LintError (a
+/// CheckError) if any rule fired at Error severity. `context` names the
+/// call site in the exception message.
+void verify_structure(const core::ProgramStructure& structure,
+                      const std::string& context = "structure");
+void verify_distribution(const core::ProgramStructure& structure,
+                         const cluster::ClusterConfig& cluster,
+                         const dist::GenBlock& distribution,
+                         const std::string& context = "distribution",
+                         std::int64_t planner_overhead_bytes = 0,
+                         std::int64_t max_blocks = 256);
+void verify_model_inputs(const core::ProgramStructure& structure,
+                         const instrument::MhetaParams& params,
+                         const std::vector<std::int64_t>& memory_bytes,
+                         const std::string& context = "model inputs",
+                         std::int64_t planner_overhead_bytes = 0,
+                         std::int64_t max_blocks = 256);
+
+}  // namespace mheta::analysis

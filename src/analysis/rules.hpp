@@ -1,0 +1,72 @@
+// The static verification rules over the MHETA input triple.
+//
+// Each rule has a stable ID (MH001, MH002, ...), a default severity, and a
+// rationale tying it to the invariant the paper leaves implicit. A rule
+// inspects whatever slice of the LintInput is present and stays silent when
+// its inputs are absent, so one registry serves every entry point:
+//
+//   structure only            — structure files, app definitions (MH001-7)
+//   structure x cluster x d   — the full input triple (adds MH008-11)
+//   structure x params x M_i  — what core::Predictor consumes (adds MH012-15)
+//
+// The catalog is ordered and append-only: IDs are contract (tests, CI and
+// fix-it tooling key on them), so a retired rule keeps its number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "cluster/node.hpp"
+#include "core/structure.hpp"
+#include "dist/genblock.hpp"
+#include "instrument/params.hpp"
+
+namespace mheta::analysis {
+
+/// Everything a rule may look at. `structure` is required; the rest is
+/// optional and gates which rules run.
+struct LintInput {
+  const core::ProgramStructure* structure = nullptr;
+  const StructureLocations* locations = nullptr;  ///< optional, for file inputs
+
+  // The machine half of the triple.
+  const cluster::ClusterConfig* cluster = nullptr;
+  const dist::GenBlock* distribution = nullptr;
+
+  // The model inputs as core::Predictor receives them.
+  const instrument::MhetaParams* params = nullptr;
+  const std::vector<std::int64_t>* memory_bytes = nullptr;
+
+  // Planner/model knobs relevant to feasibility (mirrors ModelOptions
+  // without depending on core/model.hpp).
+  std::int64_t planner_overhead_bytes = 0;
+  std::int64_t max_blocks = 256;
+};
+
+/// Static description of one rule.
+struct RuleInfo {
+  const char* id;         ///< stable, e.g. "MH003"
+  const char* name;       ///< short kebab-case slug
+  Severity severity;      ///< default severity of its findings
+  const char* rationale;  ///< one line: why the invariant matters
+};
+
+/// One registered rule.
+struct Rule {
+  RuleInfo info;
+  void (*check)(const LintInput&, Diagnostics&);
+};
+
+/// The ordered rule catalog.
+const std::vector<Rule>& rule_catalog();
+
+/// Looks up a rule by ID; nullptr if unknown.
+const Rule* find_rule(const std::string& id);
+
+/// Runs every applicable rule over `input`. The returned diagnostics keep
+/// catalog order (all MH001 findings, then MH002, ...).
+Diagnostics run_rules(const LintInput& input);
+
+}  // namespace mheta::analysis

@@ -7,23 +7,12 @@
 #include <map>
 #include <mutex>
 
+#include "analysis/lint.hpp"
 #include "ooc/stage.hpp"
 #include "util/check.hpp"
 #include "util/lru.hpp"
 
 namespace mheta::core {
-
-const char* to_string(CommPattern p) {
-  switch (p) {
-    case CommPattern::kNone:
-      return "none";
-    case CommPattern::kNearestNeighbor:
-      return "nearest-neighbor";
-    case CommPattern::kPipeline:
-      return "pipeline";
-  }
-  return "?";
-}
 
 /// Memoized per-(rank, rows) plans, shared across Predictor copies and
 /// threads (guarded by `mu`; plan_node is pure, so concurrent misses at
@@ -55,9 +44,13 @@ Predictor::Predictor(ProgramStructure structure,
       params_(std::move(params)),
       memory_bytes_(std::move(memory_bytes)),
       options_(options) {
-  MHETA_CHECK(params_.node_count() ==
-              static_cast<int>(memory_bytes_.size()));
-  MHETA_CHECK(params_.instrumented_dist.nodes() == params_.node_count());
+  // Fail fast on inconsistent model inputs (rules MH001-MH015): a bad
+  // triple used to surface as garbage predictions or out-of-range access
+  // deep in evaluation. Warnings are allowed — predict() itself stays
+  // check-free for speed.
+  analysis::verify_model_inputs(structure_, params_, memory_bytes_,
+                                "Predictor", options_.planner_overhead_bytes,
+                                options_.max_blocks);
   intern_tables();
 }
 

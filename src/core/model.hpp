@@ -105,6 +105,10 @@ class Predictor {
 
   const ProgramStructure& structure() const { return structure_; }
   const instrument::MhetaParams& params() const { return params_; }
+  const std::vector<std::int64_t>& memory_bytes() const {
+    return memory_bytes_;
+  }
+  const ModelOptions& options() const { return options_; }
 
  private:
   struct NodeSectionTime {

@@ -28,7 +28,19 @@ enum class CommPattern {
   kPipeline,         // tile-wise chain rank-1 -> rank -> rank+1
 };
 
-const char* to_string(CommPattern p);
+// Inline so layers below mheta_core (the analysis rule engine includes this
+// header-only type) can name patterns without linking the model library.
+inline const char* to_string(CommPattern p) {
+  switch (p) {
+    case CommPattern::kNone:
+      return "none";
+    case CommPattern::kNearestNeighbor:
+      return "nearest-neighbor";
+    case CommPattern::kPipeline:
+      return "pipeline";
+  }
+  return "?";
+}
 
 /// One parallel section.
 struct SectionSpec {

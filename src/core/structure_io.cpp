@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "util/check.hpp"
 
 namespace mheta::core {
@@ -67,44 +68,58 @@ void save_structure(std::ostream& os, const ProgramStructure& p) {
   }
 }
 
-ProgramStructure load_structure(std::istream& is) {
+ProgramStructure load_structure(std::istream& is,
+                                analysis::StructureLocations* locations,
+                                analysis::Diagnostics* diagnostics) {
   std::string line;
+  int line_no = 0;
   MHETA_CHECK(std::getline(is, line));
+  ++line_no;
   MHETA_CHECK_MSG(line == kMagic, "bad structure header: " << line);
 
   auto next = [&](const char* kw) -> std::istringstream {
-    MHETA_CHECK_MSG(std::getline(is, line), "unexpected EOF in structure");
+    MHETA_CHECK_MSG(std::getline(is, line),
+                    "unexpected EOF in structure at line " << line_no + 1);
+    ++line_no;
     std::istringstream ls(line);
     std::string k;
     ls >> k;
-    MHETA_CHECK_MSG(k == kw, "expected '" << kw << "', got '" << k << "'");
+    MHETA_CHECK_MSG(k == kw, "line " << line_no << ": expected '" << kw
+                                     << "', got '" << k << "'");
     return ls;
+  };
+  auto parsed = [&](const std::istringstream& ls, const char* what) {
+    MHETA_CHECK_MSG(!ls.fail(),
+                    "line " << line_no << ": malformed " << what << " record");
   };
 
   ProgramStructure p;
   {
     auto ls = next("name");
     ls >> p.name;
+    if (locations) locations->name_line = line_no;
   }
   std::size_t array_count = 0;
   {
     auto ls = next("arrays");
     ls >> array_count;
+    parsed(ls, "arrays");
   }
   for (std::size_t i = 0; i < array_count; ++i) {
     auto ls = next("array");
     ooc::ArraySpec a;
     std::string access;
     ls >> a.name >> a.rows >> a.row_bytes >> access;
-    MHETA_CHECK_MSG(a.rows >= 0 && a.row_bytes >= 0,
-                    "bad array geometry for " << a.name);
+    parsed(ls, "array");
     a.access = parse_access(access);
+    if (locations) locations->array_lines.push_back(line_no);
     p.arrays.push_back(std::move(a));
   }
   std::size_t section_count = 0;
   {
     auto ls = next("sections");
     ls >> section_count;
+    parsed(ls, "sections");
   }
   for (std::size_t i = 0; i < section_count; ++i) {
     auto ls = next("section");
@@ -114,34 +129,55 @@ ProgramStructure load_structure(std::istream& is) {
     std::size_t stage_count = 0;
     ls >> s.id >> pattern >> s.tiles >> s.message_bytes >> reduction >>
         s.reduce_bytes >> alltoall >> s.alltoall_bytes_per_pair >> stage_count;
+    parsed(ls, "section");
     s.pattern = parse_pattern(pattern);
     s.has_reduction = reduction != 0;
     s.has_alltoall = alltoall != 0;
-    MHETA_CHECK_MSG(s.tiles >= 1, "bad tile count in section " << s.id);
+    if (locations) {
+      locations->section_lines.push_back(line_no);
+      locations->stage_lines.emplace_back();
+    }
     for (std::size_t j = 0; j < stage_count; ++j) {
       auto sls = next("stage");
       ooc::StageDef st;
       int prefetch = 0;
       std::size_t reads = 0, writes = 0;
       sls >> st.id >> st.work_per_row_s >> prefetch >> reads >> writes;
+      parsed(sls, "stage");
       st.prefetch = prefetch != 0;
+      if (locations) locations->stage_lines.back().push_back(line_no);
       for (std::size_t r = 0; r < reads; ++r) {
         auto rls = next("read");
         std::string v;
         rls >> v;
+        parsed(rls, "read");
         st.read_vars.push_back(std::move(v));
       }
       for (std::size_t w = 0; w < writes; ++w) {
         auto wls = next("write");
         std::string v;
         wls >> v;
+        parsed(wls, "write");
         st.write_vars.push_back(std::move(v));
       }
       s.stages.push_back(std::move(st));
     }
     p.sections.push_back(std::move(s));
   }
+
+  // Validate the parsed structure with the MH001-7 rules, pointing findings
+  // at the recorded lines. Without a diagnostics sink errors are fatal.
+  analysis::Diagnostics found = analysis::lint_structure(p, locations);
+  if (diagnostics) {
+    diagnostics->merge(found);
+  } else {
+    analysis::enforce(found, "structure file");
+  }
   return p;
+}
+
+ProgramStructure load_structure(std::istream& is) {
+  return load_structure(is, nullptr, nullptr);
 }
 
 }  // namespace mheta::core

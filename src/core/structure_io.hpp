@@ -8,10 +8,16 @@
 // and round-trips as the uniform work_per_row_s — exactly the information
 // loss the real MHETA had, since its structure file cannot describe sparse
 // row profiles either (limitation 3).
+//
+// Loading validates the parsed structure with the analysis rules (MH001-7):
+// duplicate variable names, negative byte counts and stages referencing
+// undeclared arrays are rejected with file:line diagnostics instead of
+// surfacing later as garbage predictions.
 #pragma once
 
 #include <iosfwd>
 
+#include "analysis/diagnostic.hpp"
 #include "core/structure.hpp"
 
 namespace mheta::core {
@@ -19,7 +25,18 @@ namespace mheta::core {
 /// Writes the structure file.
 void save_structure(std::ostream& os, const ProgramStructure& p);
 
-/// Reads a structure file; throws CheckError on malformed input.
+/// Reads a structure file. Throws CheckError on malformed input and
+/// analysis::LintError (a CheckError) when the parsed structure violates
+/// the structure rules.
 ProgramStructure load_structure(std::istream& is);
+
+/// As above, but records the line number of every declaration into
+/// `locations` (if non-null) so diagnostics can point at the source. When
+/// `diagnostics` is non-null the rule findings are appended there and the
+/// structure is returned even with errors — the caller decides; syntax
+/// errors still throw.
+ProgramStructure load_structure(std::istream& is,
+                                analysis::StructureLocations* locations,
+                                analysis::Diagnostics* diagnostics = nullptr);
 
 }  // namespace mheta::core

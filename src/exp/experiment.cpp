@@ -10,6 +10,7 @@
 #include "apps/lanczos.hpp"
 #include "apps/multigrid.hpp"
 #include "apps/rna.hpp"
+#include "analysis/lint.hpp"
 #include "instrument/calibration.hpp"
 #include "instrument/recorder.hpp"
 #include "util/check.hpp"
@@ -73,12 +74,19 @@ bool uses_prefetch(const core::ProgramStructure& p) {
 core::Predictor build_predictor(const cluster::ArchConfig& arch,
                                 const Workload& w,
                                 const ExperimentOptions& opts) {
+  // Refuse inconsistent workload/architecture pairs before spending time
+  // on calibration and the instrumented run (rules MH001-MH011).
+  const dist::GenBlock blk = dist::block_dist(make_context(arch, w, opts));
+  analysis::verify_distribution(w.program, arch.cluster, blk,
+                                w.name + " on " + arch.cluster.name,
+                                opts.model.planner_overhead_bytes,
+                                opts.model.max_blocks);
+
   // Micro-benchmarks (separate scratch world).
   const auto cal = instrument::calibrate(arch.cluster, opts.effects);
 
   // One instrumented iteration at Blk: forced I/O plus the Figure-5
   // prefetch transform when the application prefetches.
-  const dist::GenBlock blk = dist::block_dist(make_context(arch, w, opts));
   apps::RunOptions run;
   run.iterations = 1;
   run.runtime = opts.runtime;
@@ -157,6 +165,10 @@ SweepResult run_sweep(const cluster::ArchConfig& arch, const Workload& w,
   result.workload = w.name;
   result.arch = arch.cluster.name;
   for (const auto& pt : points) {
+    analysis::verify_distribution(w.program, arch.cluster, pt.dist,
+                                  w.name + " @ " + pt.label,
+                                  opts.model.planner_overhead_bytes,
+                                  opts.model.max_blocks);
     PointResult pr;
     pr.point = pt;
     apps::RunOptions run;

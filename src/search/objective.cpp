@@ -1,0 +1,53 @@
+#include "search/objective.hpp"
+
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "analysis/rules.hpp"
+
+namespace mheta::search {
+
+namespace {
+
+Objective make_objective_impl(const core::Predictor& predictor, int iterations,
+                              const cluster::ClusterConfig* cluster) {
+  // One full rule run over everything we can see; Predictor construction
+  // already verified the model inputs, this re-checks them together with
+  // the cluster the search is targeting.
+  analysis::LintInput in;
+  in.structure = &predictor.structure();
+  in.cluster = cluster;
+  in.params = &predictor.params();
+  in.memory_bytes = &predictor.memory_bytes();
+  in.planner_overhead_bytes = predictor.options().planner_overhead_bytes;
+  in.max_blocks = predictor.options().max_blocks;
+  analysis::enforce(analysis::run_rules(in), "search objective");
+
+  const int nodes = predictor.params().node_count();
+  const std::int64_t rows = predictor.structure().rows();
+  return [&predictor, iterations, nodes, rows](const dist::GenBlock& d) {
+    if (d.nodes() != nodes || d.total() != rows) {
+      analysis::Diagnostics diags(predictor.structure().name);
+      std::ostringstream msg;
+      msg << "candidate GEN_BLOCK has " << d.nodes() << " blocks summing to "
+          << d.total() << " rows; the model expects " << nodes
+          << " nodes covering " << rows << " rows";
+      diags.add(analysis::Severity::kError, "MH008", msg.str());
+      throw analysis::LintError("search objective", std::move(diags));
+    }
+    return predictor.predict(d, iterations).total_s;
+  };
+}
+
+}  // namespace
+
+Objective make_objective(const core::Predictor& predictor, int iterations) {
+  return make_objective_impl(predictor, iterations, nullptr);
+}
+
+Objective make_objective(const core::Predictor& predictor, int iterations,
+                         const cluster::ClusterConfig& cluster) {
+  return make_objective_impl(predictor, iterations, &cluster);
+}
+
+}  // namespace mheta::search

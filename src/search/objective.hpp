@@ -1,0 +1,26 @@
+// Building a search objective from a Predictor, with fail-fast validation.
+//
+// The search algorithms evaluate millions of candidate distributions; a
+// predictor built from an inconsistent triple would score every one of them
+// with garbage. make_objective() runs the analysis rules once up front
+// (throwing analysis::LintError with the findings) and returns an objective
+// that guards each candidate with an O(1) shape check — full rule runs stay
+// out of the hot path.
+#pragma once
+
+#include "cluster/node.hpp"
+#include "core/model.hpp"
+#include "search/search.hpp"
+
+namespace mheta::search {
+
+/// Wraps `predictor` as a minimization objective (predicted seconds for
+/// `iterations` iterations). Verifies the predictor's inputs and, when a
+/// cluster is given, the structure x cluster pair; each evaluated candidate
+/// is shape-checked (node count, total rows) before prediction.
+/// The predictor (and cluster) must outlive the returned objective.
+Objective make_objective(const core::Predictor& predictor, int iterations);
+Objective make_objective(const core::Predictor& predictor, int iterations,
+                         const cluster::ClusterConfig& cluster);
+
+}  // namespace mheta::search

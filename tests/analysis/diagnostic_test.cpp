@@ -1,0 +1,114 @@
+#include "analysis/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta::analysis {
+namespace {
+
+TEST(Diagnostic, SeverityNames) {
+  EXPECT_STREQ(to_string(Severity::kError), "error");
+  EXPECT_STREQ(to_string(Severity::kWarning), "warning");
+  EXPECT_STREQ(to_string(Severity::kNote), "note");
+}
+
+TEST(Diagnostic, CountsBySeverity) {
+  Diagnostics d("x");
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.has_errors());
+  d.add(Severity::kError, "MH001", "e1");
+  d.add(Severity::kWarning, "MH006", "w1");
+  d.add(Severity::kWarning, "MH006", "w2");
+  d.add(Severity::kNote, "MH007", "n1");
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_EQ(d.warning_count(), 2u);
+  EXPECT_EQ(d.count(Severity::kNote), 1u);
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_TRUE(d.has_rule("MH006"));
+  EXPECT_FALSE(d.has_rule("MH999"));
+}
+
+TEST(Diagnostic, MergeKeepsOrderAndArtifact) {
+  Diagnostics a("first");
+  a.add(Severity::kError, "MH001", "e");
+  Diagnostics b("second");
+  b.add(Severity::kWarning, "MH005", "w");
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.artifact(), "first");
+  EXPECT_EQ(a[1].rule, "MH005");
+}
+
+TEST(Diagnostic, PrintsClangStyleWithLocation) {
+  Diagnostics d("app");
+  d.add(Severity::kError, "MH004", "unknown variable 'gird'",
+        {"f.mheta", 12}, "did you mean 'grid'?");
+  const std::string text = d.to_string();
+  EXPECT_NE(text.find("f.mheta:12: error: unknown variable 'gird' [MH004]"),
+            std::string::npos);
+  EXPECT_NE(text.find("f.mheta:12: note: fix-it: did you mean 'grid'?"),
+            std::string::npos);
+}
+
+TEST(Diagnostic, PrintsArtifactWhenNoLocation) {
+  Diagnostics d("Jacobi");
+  d.add(Severity::kWarning, "MH010", "uneven tiles");
+  EXPECT_NE(d.to_string().find("Jacobi: warning: uneven tiles [MH010]"),
+            std::string::npos);
+}
+
+TEST(Diagnostic, JsonOutputIsStructuredAndEscaped) {
+  Diagnostics d("a\"b");
+  d.add(Severity::kError, "MH003", "dup \"name\"\n", {"f", 3}, "rename");
+  std::ostringstream os;
+  d.print_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"artifact\": \"a\\\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"MH003\""), std::string::npos);
+  EXPECT_NE(json.find("\"message\": \"dup \\\"name\\\"\\n\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"fix\": \"rename\""), std::string::npos);
+}
+
+TEST(Diagnostic, EnforceThrowsOnlyOnErrors) {
+  Diagnostics warn("w");
+  warn.add(Severity::kWarning, "MH006", "zero bytes");
+  EXPECT_NO_THROW(enforce(warn, "ctx"));
+
+  Diagnostics err("e");
+  err.add(Severity::kError, "MH002", "bad rows");
+  EXPECT_THROW(enforce(err, "ctx"), LintError);
+  // LintError is a CheckError, so pre-existing catch sites keep working.
+  EXPECT_THROW(enforce(err, "ctx"), CheckError);
+  try {
+    enforce(err, "model build");
+  } catch (const LintError& e) {
+    EXPECT_EQ(e.diagnostics().error_count(), 1u);
+    EXPECT_NE(std::string(e.what()).find("model build"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("MH002"), std::string::npos);
+  }
+}
+
+TEST(Diagnostic, StructureLocationsHandleOutOfRange) {
+  StructureLocations loc;
+  loc.file = "f";
+  loc.array_lines = {4};
+  loc.section_lines = {7};
+  loc.stage_lines = {{8}};
+  EXPECT_EQ(loc.array(0).line, 4);
+  EXPECT_FALSE(loc.array(5).valid());
+  EXPECT_EQ(loc.section(0).line, 7);
+  EXPECT_EQ(loc.stage(0, 0).line, 8);
+  EXPECT_FALSE(loc.stage(0, 3).valid());
+  EXPECT_FALSE(loc.stage(2, 0).valid());
+  EXPECT_EQ(loc.stage(2, 0).file, "f");
+}
+
+}  // namespace
+}  // namespace mheta::analysis

@@ -1,0 +1,448 @@
+// One firing negative test per rule ID, clean-lint coverage of every
+// built-in application, and the fail-fast wiring (Predictor, structure_io,
+// search objective).
+#include "analysis/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "cluster/suite.hpp"
+#include "core/model.hpp"
+#include "core/structure_io.hpp"
+#include "dist/generators.hpp"
+#include "exp/experiment.hpp"
+#include "search/objective.hpp"
+
+namespace mheta::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal consistent fixture: 1000 rows of one 8-byte array, two uniform
+// nodes, nearest-neighbor halo plus a reduction, fully measured params.
+// ---------------------------------------------------------------------------
+
+core::ProgramStructure toy_structure() {
+  core::ProgramStructure p;
+  p.name = "toy";
+  p.arrays = {{"grid", 1000, 8, ooc::Access::kReadWrite}};
+  core::SectionSpec s;
+  s.id = 0;
+  s.pattern = core::CommPattern::kNearestNeighbor;
+  s.message_bytes = 8;
+  s.has_reduction = true;
+  s.reduce_bytes = 8;
+  ooc::StageDef st;
+  st.id = 0;
+  st.work_per_row_s = 1e-6;
+  st.read_vars = {"grid"};
+  st.write_vars = {"grid"};
+  s.stages.push_back(std::move(st));
+  p.sections.push_back(std::move(s));
+  return p;
+}
+
+instrument::MhetaParams toy_params() {
+  instrument::MhetaParams params;
+  params.nodes.resize(2);
+  params.network.latency_s = 1e-5;
+  params.network.s_per_byte = 1e-8;
+  for (int r = 0; r < 2; ++r) {
+    auto& n = params.nodes[static_cast<std::size_t>(r)];
+    n.read_seek_s = 1e-3;
+    n.write_seek_s = 1e-3;
+    n.disk_read_s_per_byte = 1e-8;
+    n.disk_write_s_per_byte = 1e-8;
+    n.send_overhead_s = 1e-6;
+    n.recv_overhead_s = 1e-6;
+    auto& costs = n.stages[{0, 0}];
+    costs.compute_s = 1e-3;
+    costs.vars["grid"] = {1e-8, 1e-8};
+    auto& comm = n.comm[0];
+    comm.sends = {{1 - r, 8}};
+    comm.recvs = {{1 - r, 8}};
+    comm.has_reduction = true;
+    comm.reduce_bytes = 8;
+  }
+  params.instrumented_dist = dist::GenBlock({500, 500});
+  return params;
+}
+
+std::vector<std::int64_t> toy_memories() { return {1 << 20, 1 << 20}; }
+
+cluster::ClusterConfig toy_cluster() {
+  return cluster::ClusterConfig::uniform(2, "toy-cluster");
+}
+
+TEST(Rules, CleanFixtureHasNoFindingsAtAnyLevel) {
+  const auto p = toy_structure();
+  EXPECT_TRUE(lint_structure(p).empty());
+  EXPECT_TRUE(lint_distribution(p, toy_cluster(), dist::GenBlock({500, 500}))
+                  .empty());
+  EXPECT_TRUE(lint_model_inputs(p, toy_params(), toy_memories()).empty());
+}
+
+TEST(Rules, CatalogIsAppendOnlyAndOrdered) {
+  const auto& catalog = rule_catalog();
+  ASSERT_GE(catalog.size(), 15u);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    char expect[32];
+    std::snprintf(expect, sizeof expect, "MH%03zu", i + 1);
+    EXPECT_STREQ(catalog[i].info.id, expect);
+  }
+  EXPECT_EQ(find_rule("MH013"), &catalog[12]);
+  EXPECT_EQ(find_rule("MH999"), nullptr);
+}
+
+// --------------------------------------------------------------------------
+// MH001-MH007: structure rules.
+// --------------------------------------------------------------------------
+
+TEST(Rules, MH001FiresOnEmptyStructure) {
+  core::ProgramStructure p;
+  const auto d = lint_structure(p);
+  EXPECT_TRUE(d.has_rule("MH001"));
+  EXPECT_TRUE(d.has_errors());
+
+  auto q = toy_structure();
+  q.sections[0].stages.clear();
+  EXPECT_TRUE(lint_structure(q).has_rule("MH001"));
+}
+
+TEST(Rules, MH002FiresOnBadGeometry) {
+  auto p = toy_structure();
+  p.arrays[0].rows = 0;
+  EXPECT_TRUE(lint_structure(p).has_rule("MH002"));
+
+  p = toy_structure();
+  p.arrays[0].row_bytes = -8;
+  EXPECT_TRUE(lint_structure(p).has_rule("MH002"));
+
+  p = toy_structure();
+  p.arrays.push_back({"other", 999, 8, ooc::Access::kReadOnly});
+  const auto d = lint_structure(p);
+  EXPECT_TRUE(d.has_rule("MH002"));
+  EXPECT_TRUE(d.has_errors());
+}
+
+TEST(Rules, MH003FiresOnDuplicateNames) {
+  auto p = toy_structure();
+  p.arrays.push_back(p.arrays[0]);
+  EXPECT_TRUE(lint_structure(p).has_rule("MH003"));
+
+  p = toy_structure();
+  p.sections.push_back(p.sections[0]);  // same section id
+  EXPECT_TRUE(lint_structure(p).has_rule("MH003"));
+
+  p = toy_structure();
+  p.sections[0].stages.push_back(p.sections[0].stages[0]);  // same stage id
+  EXPECT_TRUE(lint_structure(p).has_rule("MH003"));
+}
+
+TEST(Rules, MH004FiresOnUnknownVariableWithSuggestion) {
+  auto p = toy_structure();
+  p.sections[0].stages[0].read_vars = {"gird"};
+  const auto d = lint_structure(p);
+  ASSERT_TRUE(d.has_rule("MH004"));
+  bool suggested = false;
+  for (const auto& diag : d)
+    if (diag.rule == "MH004" &&
+        diag.fix.find("did you mean 'grid'") != std::string::npos)
+      suggested = true;
+  EXPECT_TRUE(suggested);
+}
+
+TEST(Rules, MH005FiresOnBadTileCounts) {
+  auto p = toy_structure();
+  p.sections[0].pattern = core::CommPattern::kPipeline;
+  p.sections[0].tiles = 1;
+  const auto err = lint_structure(p);
+  EXPECT_TRUE(err.has_rule("MH005"));
+  EXPECT_TRUE(err.has_errors());
+
+  p = toy_structure();
+  p.sections[0].tiles = 4;  // tiles on a non-pipelined section: warning
+  const auto warn = lint_structure(p);
+  EXPECT_TRUE(warn.has_rule("MH005"));
+  EXPECT_FALSE(warn.has_errors());
+}
+
+TEST(Rules, MH006FiresOnInconsistentCommBytes) {
+  auto p = toy_structure();
+  p.sections[0].message_bytes = -1;
+  const auto err = lint_structure(p);
+  EXPECT_TRUE(err.has_rule("MH006"));
+  EXPECT_TRUE(err.has_errors());
+
+  p = toy_structure();
+  p.sections[0].message_bytes = 0;  // neighbor pattern, no payload: warning
+  const auto warn = lint_structure(p);
+  EXPECT_TRUE(warn.has_rule("MH006"));
+  EXPECT_FALSE(warn.has_errors());
+}
+
+TEST(Rules, MH007NotesNonUniformRowWork) {
+  auto p = toy_structure();
+  p.sections[0].stages[0].row_work = [](std::int64_t) { return 1.0; };
+  const auto d = lint_structure(p);
+  EXPECT_TRUE(d.has_rule("MH007"));
+  EXPECT_FALSE(d.has_errors());
+  EXPECT_EQ(d.warning_count(), 0u);  // a note, so clean apps stay clean
+}
+
+// --------------------------------------------------------------------------
+// MH008-MH011: structure x cluster x distribution.
+// --------------------------------------------------------------------------
+
+TEST(Rules, MH008FiresOnDistributionShapeMismatch) {
+  const auto p = toy_structure();
+  const auto c = toy_cluster();
+  EXPECT_TRUE(lint_distribution(p, c, dist::GenBlock({500, 400}))
+                  .has_rule("MH008"));
+  EXPECT_TRUE(lint_distribution(p, c, dist::GenBlock({400, 300, 300}))
+                  .has_rule("MH008"));
+}
+
+TEST(Rules, MH009FiresOnMemoryInfeasibility) {
+  auto p = toy_structure();
+  p.arrays[0].row_bytes = 4 << 20;  // one row alone exceeds node memory
+  p.sections[0].message_bytes = 4 << 20;
+  auto c = toy_cluster();
+  for (auto& n : c.nodes) n.memory_bytes = 1 << 20;
+  const auto d = lint_distribution(p, c, dist::GenBlock({500, 500}));
+  EXPECT_TRUE(d.has_rule("MH009"));
+  EXPECT_TRUE(d.has_errors());
+
+  // A max_blocks ceiling of 1 forces the ICLA to the whole local array,
+  // silently overcommitting memory: warning, not error.
+  auto q = toy_structure();
+  auto c2 = toy_cluster();
+  for (auto& n : c2.nodes) n.memory_bytes = 1000;
+  const auto warn =
+      lint_distribution(q, c2, dist::GenBlock({500, 500}), 0, /*max_blocks=*/1);
+  EXPECT_TRUE(warn.has_rule("MH009"));
+  EXPECT_FALSE(warn.has_errors());
+}
+
+TEST(Rules, MH010WarnsOnIndivisiblePipelineRows) {
+  auto p = toy_structure();
+  p.sections[0].pattern = core::CommPattern::kPipeline;
+  p.sections[0].tiles = 4;
+  const auto c = toy_cluster();
+  const auto uneven = lint_distribution(p, c, dist::GenBlock({498, 502}));
+  EXPECT_TRUE(uneven.has_rule("MH010"));
+  EXPECT_FALSE(uneven.has_errors());
+  const auto starved = lint_distribution(p, c, dist::GenBlock({2, 998}));
+  EXPECT_TRUE(starved.has_rule("MH010"));
+}
+
+TEST(Rules, MH011FiresOnBadClusterParameters) {
+  const auto p = toy_structure();
+  auto c = toy_cluster();
+  c.nodes[0].cpu_power = 0.0;
+  EXPECT_TRUE(lint_distribution(p, c, dist::GenBlock({500, 500}))
+                  .has_rule("MH011"));
+
+  c = toy_cluster();
+  c.nodes[1].disk_read_seek_s = -1e-3;
+  const auto d = lint_distribution(p, c, dist::GenBlock({500, 500}));
+  EXPECT_TRUE(d.has_rule("MH011"));
+  EXPECT_TRUE(d.has_errors());
+}
+
+// --------------------------------------------------------------------------
+// MH012-MH015: structure x params x memories (what the Predictor sees).
+// --------------------------------------------------------------------------
+
+TEST(Rules, MH012FiresOnShapeMismatches) {
+  const auto p = toy_structure();
+  EXPECT_TRUE(lint_model_inputs(p, toy_params(), {1 << 20})  // 1 mem, 2 nodes
+                  .has_rule("MH012"));
+
+  auto params = toy_params();
+  params.instrumented_dist = dist::GenBlock({1000});
+  EXPECT_TRUE(lint_model_inputs(p, params, toy_memories()).has_rule("MH012"));
+
+  // Instrumented coverage smaller than the arrays: extrapolation warning.
+  params = toy_params();
+  params.instrumented_dist = dist::GenBlock({250, 250});
+  const auto warn = lint_model_inputs(p, params, toy_memories());
+  EXPECT_TRUE(warn.has_rule("MH012"));
+  EXPECT_FALSE(warn.has_errors());
+}
+
+TEST(Rules, MH013FiresOnUnmatchedReceives) {
+  const auto p = toy_structure();
+  auto params = toy_params();
+  params.nodes[1].comm[0].sends.clear();  // node 0 still expects a message
+  const auto d = lint_model_inputs(p, params, toy_memories());
+  EXPECT_TRUE(d.has_rule("MH013"));
+  EXPECT_TRUE(d.has_errors());
+
+  params = toy_params();
+  params.nodes[0].comm[0].recvs = {{7, 8}};  // peer does not exist
+  EXPECT_TRUE(
+      lint_model_inputs(p, params, toy_memories()).has_rule("MH013"));
+}
+
+TEST(Rules, MH014FiresOnBadMeasuredCosts) {
+  const auto p = toy_structure();
+  auto params = toy_params();
+  params.nodes[0].stages[{0, 0}].compute_s = -1.0;
+  const auto err = lint_model_inputs(p, params, toy_memories());
+  EXPECT_TRUE(err.has_rule("MH014"));
+  EXPECT_TRUE(err.has_errors());
+
+  params = toy_params();
+  params.nodes[1].stages.clear();  // node 1 was given rows but has no costs
+  const auto warn = lint_model_inputs(p, params, toy_memories());
+  EXPECT_TRUE(warn.has_rule("MH014"));
+  EXPECT_FALSE(warn.has_errors());
+}
+
+TEST(Rules, MH015FiresOnBadKnobsAndNonFiniteCosts) {
+  const auto p = toy_structure();
+  LintInput in;
+  in.structure = &p;
+  in.max_blocks = 0;
+  EXPECT_TRUE(run_rules(in).has_rule("MH015"));
+
+  in.max_blocks = 256;
+  in.planner_overhead_bytes = -1;
+  EXPECT_TRUE(run_rules(in).has_rule("MH015"));
+
+  auto params = toy_params();
+  params.nodes[0].stages[{0, 0}].compute_s =
+      std::numeric_limits<double>::quiet_NaN();
+  const auto d = lint_model_inputs(p, params, toy_memories());
+  EXPECT_TRUE(d.has_rule("MH015"));
+  EXPECT_TRUE(d.has_errors());
+}
+
+// --------------------------------------------------------------------------
+// Every built-in application lints clean, alone and as a triple with every
+// Table-1 architecture under the Blk distribution.
+// --------------------------------------------------------------------------
+
+std::vector<exp::Workload> all_workloads() {
+  return {exp::jacobi_workload(false),
+          exp::jacobi_workload(true),
+          exp::cg_workload(),
+          exp::lanczos_workload(),
+          exp::rna_workload(),
+          exp::multigrid_workload(),
+          exp::isort_workload()};
+}
+
+TEST(Rules, BuiltInAppsLintClean) {
+  for (const auto& w : all_workloads()) {
+    const auto d = lint_structure(w.program);
+    EXPECT_EQ(d.error_count(), 0u) << w.name << ":\n" << d.to_string();
+    EXPECT_EQ(d.warning_count(), 0u) << w.name << ":\n" << d.to_string();
+  }
+}
+
+TEST(Rules, BuiltInAppsLintCleanOnEverySuiteArchAtBlk) {
+  for (const auto& arch : cluster::architecture_suite()) {
+    for (const auto& w : all_workloads()) {
+      const auto ctx = dist::DistContext::from_cluster(
+          arch.cluster, w.program.rows(), w.program.bytes_per_row());
+      const auto d = lint_distribution(w.program, arch.cluster,
+                                       dist::block_dist(ctx));
+      EXPECT_EQ(d.error_count(), 0u)
+          << w.name << " on " << arch.cluster.name << ":\n" << d.to_string();
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fail-fast wiring.
+// --------------------------------------------------------------------------
+
+TEST(Wiring, PredictorAcceptsCleanInputs) {
+  EXPECT_NO_THROW(core::Predictor(toy_structure(), toy_params(),
+                                  toy_memories()));
+}
+
+TEST(Wiring, PredictorRejectsBadInputsWithDiagnostics) {
+  auto params = toy_params();
+  params.nodes[0].stages[{0, 0}].compute_s =
+      std::numeric_limits<double>::infinity();
+  try {
+    const core::Predictor p(toy_structure(), std::move(params),
+                            toy_memories());
+    (void)p;
+    FAIL() << "expected LintError";
+  } catch (const LintError& e) {
+    EXPECT_TRUE(e.diagnostics().has_rule("MH015"));
+  }
+
+  // Mismatched memory vector still throws (now with a rule attached), so
+  // callers catching CheckError keep working.
+  EXPECT_THROW(
+      core::Predictor(toy_structure(), toy_params(), {1 << 20}),
+      CheckError);
+}
+
+TEST(Wiring, StructureLoadRejectsDuplicateAndUnknownNames) {
+  const char* text =
+      "MHETA-STRUCTURE v1\n"
+      "name bad\n"
+      "arrays 2\n"
+      "array grid 1000 8 rw\n"
+      "array grid 1000 8 rw\n"
+      "sections 1\n"
+      "section 0 none 1 0 0 8 0 0 1\n"
+      "stage 0 1e-6 0 1 0\n"
+      "read gird\n";
+  std::istringstream is(text);
+  try {
+    core::load_structure(is);
+    FAIL() << "expected LintError";
+  } catch (const LintError& e) {
+    EXPECT_TRUE(e.diagnostics().has_rule("MH003"));
+    EXPECT_TRUE(e.diagnostics().has_rule("MH004"));
+  }
+
+  // With a diagnostics sink, loading returns the structure and the
+  // findings carry file:line locations.
+  std::istringstream again(text);
+  StructureLocations loc;
+  loc.file = "bad.mheta";
+  Diagnostics diags;
+  const auto p = core::load_structure(again, &loc, &diags);
+  EXPECT_EQ(p.arrays.size(), 2u);
+  EXPECT_TRUE(diags.has_errors());
+  bool located = false;
+  for (const auto& d : diags)
+    if (d.rule == "MH003" && d.loc.file == "bad.mheta" && d.loc.line == 5)
+      located = true;
+  EXPECT_TRUE(located);
+}
+
+TEST(Wiring, StructureLoadStillRejectsSyntaxErrors) {
+  std::istringstream is("MHETA-STRUCTURE v1\nname x\narrays nonsense\n");
+  EXPECT_THROW(core::load_structure(is), CheckError);
+}
+
+TEST(Wiring, MakeObjectivePredictsAndGuardsShape) {
+  core::Predictor predictor(toy_structure(), toy_params(), toy_memories());
+  const auto objective = search::make_objective(predictor, 10);
+  EXPECT_GT(objective(dist::GenBlock({500, 500})), 0.0);
+  EXPECT_THROW(objective(dist::GenBlock({1000})), LintError);
+  EXPECT_THROW(objective(dist::GenBlock({500, 400})), LintError);
+}
+
+TEST(Wiring, MakeObjectiveRejectsInconsistentCluster) {
+  core::Predictor predictor(toy_structure(), toy_params(), toy_memories());
+  const auto wrong = cluster::ClusterConfig::uniform(4, "wrong-size");
+  EXPECT_THROW(search::make_objective(predictor, 10, wrong), LintError);
+  EXPECT_NO_THROW(search::make_objective(predictor, 10, toy_cluster()));
+}
+
+}  // namespace
+}  // namespace mheta::analysis

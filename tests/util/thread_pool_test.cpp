@@ -78,6 +78,43 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
   }
 }
 
+TEST(ThreadPool, StressUnprotectedPerIndexSlots) {
+  // Per-index result slots need no synchronization beyond parallel_for's
+  // completion barrier: each index writes its own slot, the caller reads
+  // them all afterwards. Run under the tsan preset this is the test that
+  // proves the barrier publishes the writes (the CI job depends on it).
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    const std::int64_t n = 64 + round;
+    std::vector<double> results(static_cast<std::size_t>(n), -1.0);
+    pool.parallel_for(n, [&](std::int64_t i) {
+      results[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.5;
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+      ASSERT_EQ(results[static_cast<std::size_t>(i)],
+                static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ThreadPool, StressConcurrentPoolsDoNotInterfere) {
+  // Two pools driven from two caller threads at once: worker hand-off
+  // state is strictly per-pool.
+  ThreadPool a(3), b(3);
+  std::atomic<std::int64_t> sum_a{0}, sum_b{0};
+  std::thread ta([&] {
+    for (int r = 0; r < 100; ++r)
+      a.parallel_for(32, [&](std::int64_t i) { sum_a.fetch_add(i); });
+  });
+  std::thread tb([&] {
+    for (int r = 0; r < 100; ++r)
+      b.parallel_for(32, [&](std::int64_t i) { sum_b.fetch_add(i); });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sum_a.load(), 100 * (31 * 32 / 2));
+  EXPECT_EQ(sum_b.load(), 100 * (31 * 32 / 2));
+}
+
 TEST(ThreadPool, ConcurrentCallersSerialize) {
   ThreadPool pool(2);
   std::atomic<std::int64_t> total{0};
