@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "exp/experiment.hpp"
+#include "obs/registry.hpp"
 #include "search/search.hpp"
 
 using namespace mheta;
@@ -77,6 +78,25 @@ void BM_CachingObjectiveJacobi(benchmark::State& state) {
   state.SetLabel("Jacobi/HY1 via CachingObjective (all hits after lap 1)");
 }
 BENCHMARK(BM_CachingObjectiveJacobi);
+
+void BM_PredictJacobiWithMetrics(benchmark::State& state) {
+  // Same workload as BM_PredictJacobi but with a MetricsRegistry installed:
+  // the plan LRU counts its hits and misses. The instrumentation contract
+  // is that this stays within noise of the uninstrumented run (the hot loop
+  // only pays null checks plus relaxed atomic adds on cache misses).
+  obs::MetricsRegistry registry;
+  core::ModelOptions model;
+  model.metrics = &registry;
+  auto setup = make_setup("HY1", exp::jacobi_workload(false), model);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = setup.candidates[i++ % setup.candidates.size()];
+    benchmark::DoNotOptimize(
+        setup.predictor.predict(d, /*iterations=*/100).total_s);
+  }
+  state.SetLabel("Jacobi/HY1, 100 iterations, metrics registry installed");
+}
+BENCHMARK(BM_PredictJacobiWithMetrics);
 
 void BM_PredictRnaPipeline(benchmark::State& state) {
   auto setup = make_setup("HY1", exp::rna_workload());

@@ -14,40 +14,37 @@
 
 #include "apps/driver.hpp"
 #include "exp/experiment.hpp"
+#include "obs/convergence.hpp"
+#include "obs/registry.hpp"
 #include "search/objective.hpp"
 #include "search/search.hpp"
 #include "util/table.hpp"
 
 using namespace mheta;
 
-namespace {
-
-exp::Workload workload_by_name(const std::string& name) {
-  if (name == "jacobi") return exp::jacobi_workload(false);
-  if (name == "cg") return exp::cg_workload();
-  if (name == "rna") return exp::rna_workload();
-  if (name == "multigrid") return exp::multigrid_workload();
-  return exp::lanczos_workload();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const std::string arch_name = argc > 1 ? argv[1] : "HY2";
   const std::string app_name = argc > 2 ? argv[2] : "lanczos";
 
   const auto arch = cluster::find_arch(arch_name);
-  const auto workload = workload_by_name(app_name);
+  const auto workload =
+      exp::workload_by_name(app_name).value_or(exp::lanczos_workload());
   exp::ExperimentOptions opts;
 
   std::cout << "Advising a data distribution for " << workload.name << " on "
             << arch.cluster.name << "...\n\n";
 
-  // Build the model from one instrumented Blk iteration.
+  // Build the model from one instrumented Blk iteration. All algorithms
+  // share one memoized objective (searches revisit candidates) and one
+  // convergence recorder, both reporting into the metrics registry.
   const auto predictor = exp::build_predictor(arch, workload, opts);
   const auto ctx = exp::make_context(arch, workload, opts);
-  const search::Objective objective =
-      search::make_objective(predictor, workload.iterations, arch.cluster);
+  obs::MetricsRegistry registry;
+  const search::CachingObjective cached(
+      search::make_objective(predictor, workload.iterations, arch.cluster),
+      4096, &registry);
+  const obs::ConvergenceRecorder recorder{search::Objective(cached)};
+  const search::Objective objective{recorder};
 
   auto actual_of = [&](const dist::GenBlock& d) {
     apps::RunOptions run;
@@ -88,5 +85,22 @@ int main(int argc, char** argv) {
             << "naive Blk distribution: " << fmt(baseline, 2)
             << " s; recommended: " << fmt(chosen, 2) << " s ("
             << fmt(baseline / chosen, 2) << "x faster)\n";
+
+  // Observability summary: how much work the memoized objective saved and
+  // how quickly the combined search converged.
+  const auto series = recorder.series();
+  std::size_t to_best = series.size();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].best == recorder.best()) {
+      to_best = i + 1;
+      break;
+    }
+  }
+  std::cout << "\nobjective cache: " << cached.hits() << " hits / "
+            << cached.misses() << " misses ("
+            << fmt_pct(cached.hit_rate()) << " hit rate)\n"
+            << "convergence: best predicted time " << fmt(recorder.best(), 2)
+            << " s reached after " << to_best << " of "
+            << recorder.evaluations() << " evaluations\n";
   return 0;
 }

@@ -26,13 +26,7 @@ using namespace mheta;
 namespace {
 
 exp::Workload workload_by_name(const std::string& name) {
-  if (name == "jacobi") return exp::jacobi_workload(false);
-  if (name == "jacobi-pf") return exp::jacobi_workload(true);
-  if (name == "cg") return exp::cg_workload();
-  if (name == "rna") return exp::rna_workload();
-  if (name == "multigrid") return exp::multigrid_workload();
-  if (name == "lanczos") return exp::lanczos_workload();
-  if (name == "isort") return exp::isort_workload();
+  if (auto w = exp::workload_by_name(name)) return std::move(*w);
   std::cerr << "unknown app '" << name
             << "' (try: jacobi jacobi-pf cg lanczos rna multigrid isort)\n";
   std::exit(2);

@@ -112,6 +112,7 @@ RunResult run_program(const cluster::ClusterConfig& config,
                               opts.iteration_work_scales, ends));
   }
   eng.run();
+  if (opts.teardown) opts.teardown(world);
 
   RunResult result;
   result.node_seconds.reserve(ends.size());
@@ -121,6 +122,7 @@ RunResult run_program(const cluster::ClusterConfig& config,
     max_end = std::max(max_end, e);
   }
   result.seconds = sim::to_seconds(max_end - start);
+  result.timed_start_s = sim::to_seconds(start);
   result.events = eng.events_processed();
   return result;
 }

@@ -37,6 +37,11 @@ struct RunOptions {
   /// Called after the World is constructed and before anything runs; used
   /// to install recorder hooks.
   std::function<void(mpi::World&)> setup;
+
+  /// Called after the final iteration completes, while the World (and its
+  /// disks and engine) are still alive; used to harvest utilization data
+  /// that dies with the World.
+  std::function<void(mpi::World&)> teardown;
 };
 
 /// Outcome of a run.
@@ -47,6 +52,10 @@ struct RunResult {
 
   /// Per-rank completion times relative to the start of the timed region.
   std::vector<double> node_seconds;
+
+  /// Absolute simulated time at which the timed region began (i.e. the
+  /// duration of the untimed initial load phase) — the trace-export origin.
+  double timed_start_s = 0;
 
   /// Simulator events executed (diagnostic).
   std::uint64_t events = 0;

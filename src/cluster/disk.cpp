@@ -52,6 +52,7 @@ sim::Time DiskModel::serve(double duration_s) {
   const sim::Time start = std::max(engine_.now(), busy_until_);
   const sim::Time done = start + sim::from_seconds(duration_s);
   busy_until_ = done;
+  busy_s_ += duration_s;
   return done;
 }
 

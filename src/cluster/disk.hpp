@@ -49,6 +49,11 @@ class DiskModel {
   std::int64_t bytes_read() const { return bytes_read_; }
   std::int64_t bytes_written() const { return bytes_written_; }
 
+  /// Total seconds the spindle has been (or is scheduled to be) serving
+  /// requests; requests are served serially, so busy_seconds() divided by
+  /// elapsed simulated time is the disk utilization in [0,1].
+  double busy_seconds() const { return busy_s_; }
+
  private:
   struct FileState {
     /// Longest prefix of the file that has been touched (read or written).
@@ -74,6 +79,7 @@ class DiskModel {
   const NodeSpec spec_;
   const bool cache_enabled_;
   sim::Time busy_until_ = 0;
+  double busy_s_ = 0;
   std::int64_t cache_used_ = 0;
   std::int64_t bytes_read_ = 0;
   std::int64_t bytes_written_ = 0;

@@ -14,6 +14,59 @@
 
 namespace mheta::core {
 
+CostTerms& CostTerms::operator+=(const CostTerms& o) {
+  compute_s += o.compute_s;
+  file_read_s += o.file_read_s;
+  file_write_s += o.file_write_s;
+  prefetch_wait_s += o.prefetch_wait_s;
+  send_s += o.send_s;
+  recv_wait_s += o.recv_wait_s;
+  collective_s += o.collective_s;
+  return *this;
+}
+
+const char* cost_term_name(int term) {
+  switch (term) {
+    case 0: return "compute";
+    case 1: return "file_read";
+    case 2: return "file_write";
+    case 3: return "prefetch_wait";
+    case 4: return "send";
+    case 5: return "recv_wait";
+    case 6: return "collective";
+    default: return "?";
+  }
+}
+
+double cost_term_value(const CostTerms& t, int term) {
+  switch (term) {
+    case 0: return t.compute_s;
+    case 1: return t.file_read_s;
+    case 2: return t.file_write_s;
+    case 3: return t.prefetch_wait_s;
+    case 4: return t.send_s;
+    case 5: return t.recv_wait_s;
+    case 6: return t.collective_s;
+    default: return 0;
+  }
+}
+
+CostTerms AttributedPrediction::node_total(int rank) const {
+  CostTerms out;
+  for (const auto& section : terms)
+    out += section[static_cast<std::size_t>(rank)];
+  return out;
+}
+
+int AttributedPrediction::critical_rank() const {
+  int best = 0;
+  for (std::size_t r = 1; r < prediction.node_end_s.size(); ++r)
+    if (prediction.node_end_s[r] >
+        prediction.node_end_s[static_cast<std::size_t>(best)])
+      best = static_cast<int>(r);
+  return best;
+}
+
 /// Memoized per-(rank, rows) plans, shared across Predictor copies and
 /// threads (guarded by `mu`; plan_node is pure, so concurrent misses at
 /// worst recompute the same immutable plan).
@@ -34,6 +87,12 @@ struct Predictor::PlanCache {
   util::LruCache<std::pair<int, std::int64_t>,
                  std::shared_ptr<const ooc::NodePlan>, KeyHash>
       cache;
+  std::uint64_t hits = 0;    // guarded by mu
+  std::uint64_t misses = 0;  // guarded by mu
+  // Resolved once at construction when a registry is installed; updates are
+  // atomic on the metric itself.
+  obs::Counter* hit_counter = nullptr;
+  obs::Counter* miss_counter = nullptr;
 };
 
 Predictor::Predictor(ProgramStructure structure,
@@ -174,8 +233,27 @@ void Predictor::intern_tables() {
     }
   }
 
-  if (options_.plan_cache_capacity > 0)
+  if (options_.plan_cache_capacity > 0) {
     plan_cache_ = std::make_shared<PlanCache>(options_.plan_cache_capacity);
+    if (options_.metrics != nullptr) {
+      plan_cache_->hit_counter = &options_.metrics->counter(
+          "predictor_plan_cache_hits_total",
+          "per-(rank, rows) OOC-plan LRU hits");
+      plan_cache_->miss_counter = &options_.metrics->counter(
+          "predictor_plan_cache_misses_total",
+          "per-(rank, rows) OOC-plan LRU misses");
+    }
+  }
+}
+
+Predictor::PlanCacheStats Predictor::plan_cache_stats() const {
+  PlanCacheStats stats;
+  if (plan_cache_) {
+    std::lock_guard<std::mutex> lock(plan_cache_->mu);
+    stats.hits = plan_cache_->hits;
+    stats.misses = plan_cache_->misses;
+  }
+  return stats;
 }
 
 const Predictor::InternedStage& Predictor::interned_stage(
@@ -209,9 +287,13 @@ std::vector<std::shared_ptr<const ooc::NodePlan>> Predictor::plans_for(
   for (int r = 0; r < n; ++r) {
     const std::pair<int, std::int64_t> key{r, d.count(r)};
     if (auto* hit = plan_cache_->cache.get(key)) {
+      ++plan_cache_->hits;
+      if (plan_cache_->hit_counter != nullptr) plan_cache_->hit_counter->inc();
       plans.push_back(*hit);
       continue;
     }
+    ++plan_cache_->misses;
+    if (plan_cache_->miss_counter != nullptr) plan_cache_->miss_counter->inc();
     auto plan = std::make_shared<const ooc::NodePlan>(ooc::plan_node(
         structure_.arrays, d.count(r),
         memory_bytes_[static_cast<std::size_t>(r)], popts));
@@ -224,7 +306,21 @@ std::vector<std::shared_ptr<const ooc::NodePlan>> Predictor::plans_for(
 Predictor::NodeSectionTime Predictor::stage_time(
     int rank, const SectionSpec& section, const ooc::StageDef& stage,
     const InternedStage& ist, const ooc::NodePlan& plan,
-    std::int64_t begin_row, std::int64_t end_row, double work_scale) const {
+    std::int64_t begin_row, std::int64_t end_row, double work_scale,
+    CostTerms* terms) const {
+  return terms != nullptr
+             ? stage_time_impl<true>(rank, section, stage, ist, plan,
+                                     begin_row, end_row, work_scale, terms)
+             : stage_time_impl<false>(rank, section, stage, ist, plan,
+                                      begin_row, end_row, work_scale, nullptr);
+}
+
+template <bool WithTerms>
+Predictor::NodeSectionTime Predictor::stage_time_impl(
+    int rank, const SectionSpec& section, const ooc::StageDef& stage,
+    const InternedStage& ist, const ooc::NodePlan& plan,
+    std::int64_t begin_row, std::int64_t end_row, double work_scale,
+    [[maybe_unused]] CostTerms* terms) const {
   NodeSectionTime out;
   const std::int64_t range = std::max<std::int64_t>(0, end_row - begin_row);
   if (range == 0) return out;
@@ -277,9 +373,18 @@ Predictor::NodeSectionTime Predictor::stage_time(
     for (std::int64_t b = 0; b < io.num_blocks; ++b) {
       const auto [bb, be] = io.block_range(b);
       if (be <= bb) break;
-      for (const auto* ap : io.streamed_reads) io_s += read_dur(ap, be - bb);
-      for (const auto* ap : io.streamed_writes) io_s += write_dur(ap, be - bb);
+      for (const auto* ap : io.streamed_reads) {
+        const double dur = read_dur(ap, be - bb);
+        io_s += dur;
+        if constexpr (WithTerms) terms->file_read_s += dur;
+      }
+      for (const auto* ap : io.streamed_writes) {
+        const double dur = write_dur(ap, be - bb);
+        io_s += dur;
+        if constexpr (WithTerms) terms->file_write_s += dur;
+      }
     }
+    if constexpr (WithTerms) terms->compute_s += tc;
     out.io_s = io_s;
     out.stage_s = tc + io_s;
     return out;
@@ -287,6 +392,8 @@ Predictor::NodeSectionTime Predictor::stage_time(
 
   // Prefetching (Eq. 2): mirror the unrolled loop of Figure 6, including
   // the disk's request serialization. `disk` is the time the disk frees up.
+  // For attribution every advance of `t` lands in exactly one term, so the
+  // terms sum to stage_s bit-for-bit.
   double t = 0;
   double disk = 0;
   auto disk_op = [&](double dur) {
@@ -296,7 +403,11 @@ Predictor::NodeSectionTime Predictor::stage_time(
   };
   {  // Read ICLA(1) synchronously.
     const auto [bb, be] = io.block_range(0);
-    for (const auto* ap : io.streamed_reads) t = disk_op(read_dur(ap, be - bb));
+    for (const auto* ap : io.streamed_reads) {
+      const double before = t;
+      t = disk_op(read_dur(ap, be - bb));
+      if constexpr (WithTerms) terms->file_read_s += t - before;
+    }
   }
   for (std::int64_t b = 1; b < io.num_blocks; ++b) {
     const auto [bb, be] = io.block_range(b);
@@ -310,14 +421,29 @@ Predictor::NodeSectionTime Predictor::stage_time(
       completion = disk;
     }
     // Overlapped compute T_o, then the wait, then the write-back.
-    t += tc_per_row * static_cast<double>(pe - pb);
+    const double compute_add = tc_per_row * static_cast<double>(pe - pb);
+    t += compute_add;
+    if constexpr (WithTerms) {
+      terms->compute_s += compute_add;
+      if (completion > t) terms->prefetch_wait_s += completion - t;
+    }
     t = std::max(t, completion);
-    for (const auto* ap : io.streamed_writes) t = disk_op(write_dur(ap, pe - pb));
+    for (const auto* ap : io.streamed_writes) {
+      const double before = t;
+      t = disk_op(write_dur(ap, pe - pb));
+      if constexpr (WithTerms) terms->file_write_s += t - before;
+    }
   }
   {  // Last block: compute and write back.
     const auto [bb, be] = io.block_range(io.num_blocks - 1);
-    t += tc_per_row * static_cast<double>(be - bb);
-    for (const auto* ap : io.streamed_writes) t = disk_op(write_dur(ap, be - bb));
+    const double compute_add = tc_per_row * static_cast<double>(be - bb);
+    t += compute_add;
+    if constexpr (WithTerms) terms->compute_s += compute_add;
+    for (const auto* ap : io.streamed_writes) {
+      const double before = t;
+      t = disk_op(write_dur(ap, be - bb));
+      if constexpr (WithTerms) terms->file_write_s += t - before;
+    }
   }
   out.stage_s = t;
   out.io_s = std::max(0.0, t - tc);
@@ -327,10 +453,11 @@ Predictor::NodeSectionTime Predictor::stage_time(
 void Predictor::build_iteration_cache(
     const dist::GenBlock& d,
     const std::vector<std::shared_ptr<const ooc::NodePlan>>& plans,
-    double scale, IterationCache& cache) const {
+    double scale, IterationCache& cache, bool with_terms) const {
   const int n = d.nodes();
   const auto& sections = structure_.sections;
   cache.sections.resize(sections.size());
+  if (with_terms) cache.terms.resize(sections.size());
   for (std::size_t si = 0; si < sections.size(); ++si) {
     const SectionSpec& section = sections[si];
     const int tiles =
@@ -340,19 +467,23 @@ void Predictor::build_iteration_cache(
     slot.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(tiles) *
                     static_cast<std::size_t>(stages),
                 {});
+    if (with_terms) cache.terms[si].assign(slot.size(), {});
     for (int r = 0; r < n; ++r) {
       const std::int64_t la = d.count(r);
       for (int j = 0; j < tiles; ++j) {
         const std::int64_t begin = tiles == 1 ? 0 : j * la / tiles;
         const std::int64_t end = tiles == 1 ? la : (j + 1) * la / tiles;
         for (int g = 0; g < stages; ++g) {
-          slot[(static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
-                static_cast<std::size_t>(j)) *
-                   static_cast<std::size_t>(stages) +
-               static_cast<std::size_t>(g)] =
+          const std::size_t idx =
+              (static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
+               static_cast<std::size_t>(j)) *
+                  static_cast<std::size_t>(stages) +
+              static_cast<std::size_t>(g);
+          slot[idx] =
               stage_time(r, section, section.stages[static_cast<std::size_t>(g)],
                          interned_stage(r, static_cast<int>(si), g),
-                         *plans[static_cast<std::size_t>(r)], begin, end, scale);
+                         *plans[static_cast<std::size_t>(r)], begin, end, scale,
+                         with_terms ? &cache.terms[si][idx] : nullptr);
         }
       }
     }
@@ -364,13 +495,23 @@ void Predictor::build_iteration_cache(
 void Predictor::apply_section(int section_index, const IterationCache& cache,
                               std::vector<double>& t,
                               std::vector<double>& arrivals,
-                              IterationAgg& agg) const {
+                              IterationAgg& agg, Attribution* attr) const {
   const SectionSpec& section =
       structure_.sections[static_cast<std::size_t>(section_index)];
   const int n = static_cast<int>(t.size());
   const auto& st = cache.sections[static_cast<std::size_t>(section_index)];
   const int stages = static_cast<int>(section.stages.size());
   const auto& ic = comm_interned_[static_cast<std::size_t>(section_index)];
+
+  // Attribution sinks (attributed runs only; the hot path passes nullptr).
+  // `at[r]` accumulates this section's terms for rank r; `ct` mirrors `st`
+  // slot-for-slot with each stage's cost split.
+  CostTerms* at = nullptr;
+  const CostTerms* ct = nullptr;
+  if (attr != nullptr) {
+    at = attr->terms[static_cast<std::size_t>(section_index)].data();
+    ct = cache.terms[static_cast<std::size_t>(section_index)].data();
+  }
 
   if (section.pattern == CommPattern::kPipeline) {
     // Eq. 4 generalized to an n-node chain: tile j of node i starts after
@@ -384,20 +525,24 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
       for (int r = 0; r < n; ++r) {
         auto& tr = t[static_cast<std::size_t>(r)];
         if (r > 0) {
+          const double before = tr;
           tr = std::max(tr, arrivals[static_cast<std::size_t>(r - 1)]) + o_r(r);
+          if (at != nullptr) at[r].recv_wait_s += tr - before;
         }
-        const NodeSectionTime* s =
-            st.data() + (static_cast<std::size_t>(r) *
-                             static_cast<std::size_t>(tiles) +
-                         static_cast<std::size_t>(j)) *
-                            static_cast<std::size_t>(stages);
+        const std::size_t base_idx =
+            (static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
+             static_cast<std::size_t>(j)) *
+            static_cast<std::size_t>(stages);
+        const NodeSectionTime* s = st.data() + base_idx;
         for (int g = 0; g < stages; ++g) {
           tr += s[g].stage_s;
           agg.compute_s += s[g].compute_s;
           agg.io_s += s[g].io_s;
+          if (at != nullptr) at[r] += ct[base_idx + static_cast<std::size_t>(g)];
         }
         if (r < n - 1) {
           tr += o_s(r);
+          if (at != nullptr) at[r].send_s += o_s(r);
           arrivals[static_cast<std::size_t>(r)] =
               tr + ic.pipeline_transfer_s[static_cast<std::size_t>(r)];
         }
@@ -407,13 +552,14 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
     // Stages over the whole local array.
     for (int r = 0; r < n; ++r) {
       auto& tr = t[static_cast<std::size_t>(r)];
-      const NodeSectionTime* s =
-          st.data() +
+      const std::size_t base_idx =
           static_cast<std::size_t>(r) * static_cast<std::size_t>(stages);
+      const NodeSectionTime* s = st.data() + base_idx;
       for (int g = 0; g < stages; ++g) {
         tr += s[g].stage_s;
         agg.compute_s += s[g].compute_s;
         agg.io_s += s[g].io_s;
+        if (at != nullptr) at[r] += ct[base_idx + static_cast<std::size_t>(g)];
       }
     }
     if (section.pattern == CommPattern::kNearestNeighbor) {
@@ -429,6 +575,7 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
         const int base = ic.send_offset[static_cast<std::size_t>(r)];
         for (std::size_t k = 0; k < sends.size(); ++k) {
           tr += o_s(r);
+          if (at != nullptr) at[r].send_s += o_s(r);
           arrivals[static_cast<std::size_t>(base) + k] =
               tr + sends[k].transfer_s;
         }
@@ -436,16 +583,29 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
       for (int r = 0; r < n; ++r) {
         auto& tr = t[static_cast<std::size_t>(r)];
         for (const auto& rv : ic.recvs[static_cast<std::size_t>(r)]) {
+          const double before = tr;
           tr = std::max(tr, arrivals[static_cast<std::size_t>(rv.send_slot)]) +
                o_r(r);
+          if (at != nullptr) at[r].recv_wait_s += tr - before;
         }
       }
     }
   }
 
-  if (section.has_alltoall)
-    apply_alltoall(section.alltoall_bytes_per_pair, t);
-  if (section.has_reduction) apply_reduction(section.reduce_bytes, t);
+  if (section.has_alltoall || section.has_reduction) {
+    // Collectives advance every clock internally; attribute each node's net
+    // advance through the tree/ring as one collective term.
+    std::vector<double> before;
+    if (at != nullptr) before = t;
+    if (section.has_alltoall)
+      apply_alltoall(section.alltoall_bytes_per_pair, t);
+    if (section.has_reduction) apply_reduction(section.reduce_bytes, t);
+    if (at != nullptr) {
+      for (int r = 0; r < n; ++r)
+        at[r].collective_s +=
+            t[static_cast<std::size_t>(r)] - before[static_cast<std::size_t>(r)];
+    }
+  }
 }
 
 void Predictor::apply_reduction(std::int64_t bytes,
@@ -531,10 +691,30 @@ Prediction Predictor::predict(const dist::GenBlock& d, int iterations) const {
 
 Prediction Predictor::predict_nonuniform(
     const dist::GenBlock& d, const std::vector<double>& iteration_scales) const {
+  return predict_impl(d, iteration_scales, nullptr);
+}
+
+AttributedPrediction Predictor::predict_attributed(const dist::GenBlock& d,
+                                                   int iterations) const {
+  MHETA_CHECK(iterations >= 1);
+  Attribution attr;
+  AttributedPrediction out;
+  out.prediction = predict_impl(
+      d, std::vector<double>(static_cast<std::size_t>(iterations), 1.0), &attr);
+  out.terms = std::move(attr.terms);
+  return out;
+}
+
+Prediction Predictor::predict_impl(const dist::GenBlock& d,
+                                   const std::vector<double>& iteration_scales,
+                                   Attribution* attr) const {
   MHETA_CHECK(d.nodes() == params_.node_count());
   MHETA_CHECK(!iteration_scales.empty());
   const int n = d.nodes();
   const auto plans = plans_for(d);
+  if (attr != nullptr)
+    attr->terms.assign(structure_.sections.size(),
+                       std::vector<CostTerms>(static_cast<std::size_t>(n)));
 
   // The per-node clocks are evaluated in offset space: `off` carries the
   // clock skews within the current iteration, `base` the time already
@@ -561,11 +741,13 @@ Prediction Predictor::predict_nonuniform(
     const double scale = iteration_scales[k];
     MHETA_CHECK(scale >= 0);
     if (!cache.valid || cache.scale != scale) {
-      build_iteration_cache(d, plans, scale, cache);
+      build_iteration_cache(d, plans, scale, cache, attr != nullptr);
       prev_valid = false;
     }
 
-    if (options_.steady_state_shortcut && prev_valid &&
+    // Attributed runs take the plain per-iteration loop: the shortcut's
+    // replayed iterations would bypass apply_section, losing their terms.
+    if (attr == nullptr && options_.steady_state_shortcut && prev_valid &&
         std::memcmp(off.data(), prev_off.data(),
                     off.size() * sizeof(double)) == 0) {
       // Steady state: this iteration starts from exactly the state the
@@ -595,7 +777,7 @@ Prediction Predictor::predict_nonuniform(
     std::vector<double> start = off;
     IterationAgg agg;
     for (std::size_t si = 0; si < structure_.sections.size(); ++si)
-      apply_section(static_cast<int>(si), cache, off, arrivals, agg);
+      apply_section(static_cast<int>(si), cache, off, arrivals, agg, attr);
     pred.compute_s += agg.compute_s;
     pred.io_s += agg.io_s;
     ++k;

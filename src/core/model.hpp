@@ -41,6 +41,7 @@
 #include "dist/dist2d.hpp"
 #include "dist/genblock.hpp"
 #include "instrument/params.hpp"
+#include "obs/registry.hpp"
 #include "ooc/planner.hpp"
 
 namespace mheta::core {
@@ -63,7 +64,39 @@ struct ModelOptions {
   /// LRU entries for memoized per-(rank, rows) memory plans; 0 disables
   /// plan caching entirely.
   std::size_t plan_cache_capacity = 1024;
+
+  /// Optional metrics sink (not owned; must outlive the Predictor). When
+  /// set, the plan cache reports `predictor_plan_cache_{hits,misses}_total`;
+  /// when null — the default — the hot path pays nothing.
+  obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// One cell of the prediction-error attribution: the paper's cost terms
+/// (computation §4.2.1, file I/O Eq. 1, prefetch waits Eq. 2, send/recv
+/// waits Eq. 3-5, collectives) accumulated for one (section, node) pair.
+/// Every advance of a node's clock during evaluation lands in exactly one
+/// term, so total() equals the node's clock advance bit-for-bit up to
+/// summation order (the attribution tests pin this to 1e-9).
+struct CostTerms {
+  double compute_s = 0;        ///< T_c' = T_c * W'/W
+  double file_read_s = 0;      ///< synchronous reads (Eq. 1 / Eq. 2 first block)
+  double file_write_s = 0;     ///< write-back streams
+  double prefetch_wait_s = 0;  ///< unhidden read latency L_e (Eq. 2 waits)
+  double send_s = 0;           ///< send overheads o_s
+  double recv_wait_s = 0;      ///< blocking until arrival, plus o_r (Eq. 3/4)
+  double collective_s = 0;     ///< reduction tree + total exchange
+
+  double total() const {
+    return compute_s + file_read_s + file_write_s + prefetch_wait_s + send_s +
+           recv_wait_s + collective_s;
+  }
+  CostTerms& operator+=(const CostTerms& o);
+};
+
+/// Stable order used by reports and serializations.
+inline constexpr int kCostTermCount = 7;
+const char* cost_term_name(int term);  ///< "compute", "file_read", ...
+double cost_term_value(const CostTerms& t, int term);
 
 /// Result of evaluating one distribution.
 struct Prediction {
@@ -76,6 +109,23 @@ struct Prediction {
   /// Aggregate single-iteration breakdown, summed over nodes (diagnostic).
   double compute_s = 0;
   double io_s = 0;
+};
+
+/// A prediction with its full per-(section, node) cost decomposition.
+struct AttributedPrediction {
+  Prediction prediction;
+
+  /// terms[section_index][rank], accumulated over all iterations. The sum
+  /// over sections of terms[*][r].total() equals prediction.node_end_s[r]
+  /// (within floating summation error), so the critical rank's terms sum to
+  /// the headline prediction.
+  std::vector<std::vector<CostTerms>> terms;
+
+  /// All terms of one rank, summed over sections.
+  CostTerms node_total(int rank) const;
+
+  /// The rank whose completion time is the headline prediction.
+  int critical_rank() const;
 };
 
 /// Evaluates MHETA for candidate distributions.
@@ -95,6 +145,22 @@ class Predictor {
   /// unscaled.
   Prediction predict_nonuniform(const dist::GenBlock& d,
                                 const std::vector<double>& iteration_scales) const;
+
+  /// Like predict(), but additionally decomposes every node's predicted
+  /// time into the paper's cost terms per section (see CostTerms). Runs the
+  /// plain per-iteration loop — the steady-state shortcut is bypassed so
+  /// each iteration's costs are attributed — and is therefore slower than
+  /// predict(); the totals are identical (the fast-path tests prove the
+  /// shortcut bit-exact against this loop).
+  AttributedPrediction predict_attributed(const dist::GenBlock& d,
+                                          int iterations = 1) const;
+
+  /// Plan-LRU effectiveness counters (zero when caching is disabled).
+  struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  PlanCacheStats plan_cache_stats() const;
 
   /// Two-dimensional distributions (extension; §5.1 notes the model
   /// extends to them). `instrumented` must be the 2-D distribution of the
@@ -156,11 +222,18 @@ class Predictor {
   };
 
   /// Stage times of one full iteration at one work scale, cached per
-  /// predict call: flat [rank][tile][stage] per section.
+  /// predict call: flat [rank][tile][stage] per section. `terms` mirrors
+  /// `sections` slot-for-slot and is only filled on attributed runs.
   struct IterationCache {
     bool valid = false;
     double scale = 0;
     std::vector<std::vector<NodeSectionTime>> sections;
+    std::vector<std::vector<CostTerms>> terms;
+  };
+
+  /// Attribution sink for one evaluation: [section][rank] accumulators.
+  struct Attribution {
+    std::vector<std::vector<CostTerms>> terms;
   };
 
   void intern_tables();
@@ -169,27 +242,49 @@ class Predictor {
 
   /// Time for one stage over local rows [begin,end) on node `rank`;
   /// `work_scale` multiplies the computation (non-uniform iterations).
+  /// When `terms` is non-null the stage cost is additionally split into
+  /// compute / read / write / prefetch-wait such that the parts sum to
+  /// stage_s (attributed runs only; the hot path passes nullptr).
   NodeSectionTime stage_time(int rank, const SectionSpec& section,
                              const ooc::StageDef& stage,
                              const InternedStage& ist,
                              const ooc::NodePlan& plan, std::int64_t begin_row,
-                             std::int64_t end_row, double work_scale) const;
+                             std::int64_t end_row, double work_scale,
+                             CostTerms* terms = nullptr) const;
+
+  /// The two compiled variants behind stage_time: WithTerms=false is the
+  /// hot instantiation, with every attribution store folded away.
+  template <bool WithTerms>
+  NodeSectionTime stage_time_impl(int rank, const SectionSpec& section,
+                                  const ooc::StageDef& stage,
+                                  const InternedStage& ist,
+                                  const ooc::NodePlan& plan,
+                                  std::int64_t begin_row, std::int64_t end_row,
+                                  double work_scale, CostTerms* terms) const;
 
   /// Memoized (or freshly computed) per-rank plans for `d`.
   std::vector<std::shared_ptr<const ooc::NodePlan>> plans_for(
       const dist::GenBlock& d) const;
 
   /// Fills `cache` with every section/rank/tile/stage time for one
-  /// iteration at `scale`.
+  /// iteration at `scale`; per-slot terms too when `with_terms` is set.
   void build_iteration_cache(
       const dist::GenBlock& d,
       const std::vector<std::shared_ptr<const ooc::NodePlan>>& plans,
-      double scale, IterationCache& cache) const;
+      double scale, IterationCache& cache, bool with_terms = false) const;
 
   /// Advances per-node clocks through one section using cached stage times.
+  /// When `attr` is non-null every clock advance is also attributed to a
+  /// cost term in attr->terms[section_index].
   void apply_section(int section_index, const IterationCache& cache,
                      std::vector<double>& t, std::vector<double>& arrivals,
-                     IterationAgg& agg) const;
+                     IterationAgg& agg, Attribution* attr = nullptr) const;
+
+  /// Shared evaluation loop; `attr` selects the attributed (shortcut-free)
+  /// path.
+  Prediction predict_impl(const dist::GenBlock& d,
+                          const std::vector<double>& iteration_scales,
+                          Attribution* attr) const;
 
   /// Advances per-node clocks through the binomial reduce + broadcast tree
   /// (mirrors the SimMPI collective exactly).

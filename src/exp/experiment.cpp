@@ -54,6 +54,17 @@ std::vector<Workload> paper_workloads() {
           rna_workload()};
 }
 
+std::optional<Workload> workload_by_name(const std::string& name) {
+  if (name == "jacobi") return jacobi_workload(false);
+  if (name == "jacobi-pf") return jacobi_workload(true);
+  if (name == "cg") return cg_workload();
+  if (name == "lanczos") return lanczos_workload();
+  if (name == "rna") return rna_workload();
+  if (name == "multigrid") return multigrid_workload();
+  if (name == "isort") return isort_workload();
+  return std::nullopt;
+}
+
 dist::DistContext make_context(const cluster::ArchConfig& arch,
                                const Workload& w,
                                const ExperimentOptions& opts) {

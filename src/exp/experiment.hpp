@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,11 @@ struct Workload {
 /// `prefetch_jacobi` is set, Jacobi uses the prefetching ICLA loop (the
 /// Figure-9 top-right experiment).
 std::vector<Workload> paper_workloads();
+
+/// CLI-name lookup shared by the tools and examples: jacobi | jacobi-pf |
+/// cg | lanczos | rna | multigrid | isort. nullopt for unknown names.
+std::optional<Workload> workload_by_name(const std::string& name);
+
 Workload jacobi_workload(bool prefetch);
 Workload cg_workload();
 Workload rna_workload();

@@ -8,6 +8,23 @@
 namespace mheta::instrument {
 
 namespace {
+
+/// RFC-4180 field quoting: fields containing commas, quotes or newlines are
+/// wrapped in double quotes with embedded quotes doubled. Plain fields pass
+/// through untouched, keeping existing traces byte-identical.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 /// Marker ops have no duration and are not traced as intervals.
 bool is_marker(mpi::Op op) {
   switch (op) {
@@ -77,7 +94,7 @@ double TraceCollector::total_in(int rank, mpi::Op op) const {
 void TraceCollector::write_csv(std::ostream& os) const {
   os << "rank,op,var,bytes,peer,section,tile,stage,begin_s,end_s\n";
   for (const auto& e : events_) {
-    os << e.rank << ',' << mpi::to_string(e.op) << ',' << e.var << ','
+    os << e.rank << ',' << mpi::to_string(e.op) << ',' << csv_escape(e.var) << ','
        << e.bytes << ',' << e.peer << ',' << e.section << ',' << e.tile << ','
        << e.stage << ',' << e.begin_s << ',' << e.end_s << '\n';
   }

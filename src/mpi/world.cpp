@@ -34,6 +34,7 @@ World::World(sim::Engine& engine, const cluster::ClusterConfig& config,
   MHETA_CHECK(config.size() > 0);
   disks_.reserve(static_cast<std::size_t>(config.size()));
   ranks_.resize(static_cast<std::size_t>(config.size()));
+  cpu_busy_s_.resize(static_cast<std::size_t>(config.size()), 0.0);
   for (int i = 0; i < config.size(); ++i) {
     disks_.push_back(std::make_unique<cluster::DiskModel>(
         engine_, config.node(i), effects_.file_cache));
@@ -55,6 +56,11 @@ double World::send_overhead_s(int rank) const {
 
 double World::recv_overhead_s(int rank) const {
   return config_.network.recv_overhead_s / power(rank);
+}
+
+double World::cpu_busy_seconds(int rank) const {
+  MHETA_CHECK(rank >= 0 && rank < size());
+  return cpu_busy_s_[static_cast<std::size_t>(rank)];
 }
 
 HookInfo World::info(int rank, Op op) const {
@@ -132,6 +138,7 @@ sim::Task<void> World::compute(int rank, double work_seconds,
   const double noise = compute_rng_[static_cast<std::size_t>(rank)]
                            .noise_factor(effects_.runtime_noise_rel);
   const double duration = work_seconds / power(rank) * cache_factor * noise;
+  cpu_busy_s_[static_cast<std::size_t>(rank)] += duration;
   co_await engine_.delay(sim::from_seconds(duration));
   fire_post(i);
 }
@@ -159,6 +166,8 @@ sim::Task<void> World::send(int src, int dst, std::int64_t bytes, int tag,
   fire_pre(i);
   // Sender CPU overhead o_s (scaled by CPU power), then the message is on
   // the wire for transfer(bytes).
+  cpu_busy_s_[static_cast<std::size_t>(src)] += send_overhead_s(src);
+  network_busy_s_ += config_.network.transfer_s(bytes);
   co_await engine_.delay(sim::from_seconds(send_overhead_s(src)));
   Msg m;
   m.src = src;
@@ -179,6 +188,7 @@ sim::Task<Msg> World::recv(int dst, int src, int tag) {
   i.tag = tag;
   fire_pre(i);
   Msg m = co_await channel(dst, src, tag).recv();
+  cpu_busy_s_[static_cast<std::size_t>(dst)] += recv_overhead_s(dst);
   co_await engine_.delay(sim::from_seconds(recv_overhead_s(dst)));
   i.bytes = m.bytes;
   fire_post(i);

@@ -122,6 +122,16 @@ class World {
   double send_overhead_s(int rank) const;
   double recv_overhead_s(int rank) const;
 
+  // --- utilization accounting (always on; plain double adds) --------------
+  /// Seconds rank's CPU was busy: compute durations plus per-message
+  /// send/recv overheads (collective-internal messages included).
+  double cpu_busy_seconds(int rank) const;
+
+  /// Sum of on-the-wire transfer times of every message (collective-internal
+  /// messages included). Transfers may overlap, so divide by elapsed time
+  /// and clamp for a shared-network utilization estimate.
+  double network_busy_seconds() const { return network_busy_s_; }
+
  private:
   using ChannelKey = std::tuple<int, int, int>;  // (dst, src, tag)
 
@@ -148,6 +158,8 @@ class World {
   cluster::SimEffects effects_;
   HookRegistry hooks_;
   bool blocking_prefetch_ = false;
+  std::vector<double> cpu_busy_s_;  // per rank
+  double network_busy_s_ = 0;
   std::vector<std::unique_ptr<cluster::DiskModel>> disks_;
   std::vector<RankState> ranks_;
   std::vector<Rng> compute_rng_;

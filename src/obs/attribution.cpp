@@ -1,0 +1,179 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace mheta::obs {
+
+int cost_term_index(mpi::Op op) {
+  switch (op) {
+    case mpi::Op::kCompute: return 0;
+    case mpi::Op::kFileRead:
+    case mpi::Op::kFileIread: return 1;  // the issue is synchronous disk work
+    case mpi::Op::kFileWrite: return 2;
+    case mpi::Op::kFileWait: return 3;  // unhidden prefetch latency L_e
+    case mpi::Op::kSend: return 4;
+    case mpi::Op::kRecv: return 5;  // blocking until arrival, plus o_r
+    case mpi::Op::kAllreduce:
+    case mpi::Op::kAlltoall:
+    case mpi::Op::kBarrier: return 6;
+    default: return -1;  // structural markers carry no time
+  }
+}
+
+namespace {
+
+void add_term(core::CostTerms& t, int term, double seconds) {
+  switch (term) {
+    case 0: t.compute_s += seconds; break;
+    case 1: t.file_read_s += seconds; break;
+    case 2: t.file_write_s += seconds; break;
+    case 3: t.prefetch_wait_s += seconds; break;
+    case 4: t.send_s += seconds; break;
+    case 5: t.recv_wait_s += seconds; break;
+    case 6: t.collective_s += seconds; break;
+    default: break;
+  }
+}
+
+std::string signed_fmt(double v, int precision) {
+  return (v >= 0 ? "+" : "") + fmt(v, precision);
+}
+
+}  // namespace
+
+std::vector<std::vector<core::CostTerms>> attribute_trace(
+    const instrument::TraceCollector& trace,
+    const core::ProgramStructure& program, int ranks, double origin_s) {
+  std::unordered_map<int, std::size_t> section_index;
+  for (std::size_t i = 0; i < program.sections.size(); ++i)
+    section_index.emplace(program.sections[i].id, i);
+
+  std::vector<std::vector<core::CostTerms>> terms(
+      program.sections.size(),
+      std::vector<core::CostTerms>(static_cast<std::size_t>(ranks)));
+  for (const auto& e : trace.events()) {
+    if (e.end_s <= origin_s) continue;  // untimed load phase
+    const int term = cost_term_index(e.op);
+    if (term < 0) continue;
+    const auto it = section_index.find(e.section);
+    if (it == section_index.end()) continue;  // outside any known section
+    MHETA_CHECK(e.rank >= 0 && e.rank < ranks);
+    // Clip events straddling the origin (none in practice: the timed region
+    // starts with all ranks idle).
+    const double begin = std::max(e.begin_s, origin_s);
+    add_term(terms[it->second][static_cast<std::size_t>(e.rank)], term,
+             e.end_s - begin);
+  }
+  return terms;
+}
+
+core::CostTerms AttributionReport::predicted_node_total(int rank) const {
+  core::CostTerms out;
+  for (const auto& section : predicted)
+    out += section[static_cast<std::size_t>(rank)];
+  return out;
+}
+
+core::CostTerms AttributionReport::actual_node_total(int rank) const {
+  core::CostTerms out;
+  for (const auto& section : actual)
+    out += section[static_cast<std::size_t>(rank)];
+  return out;
+}
+
+double AttributionReport::pct_diff() const {
+  const double lo = std::min(actual_total_s, predicted_total_s);
+  if (lo <= 0) return 0;
+  return std::abs(actual_total_s - predicted_total_s) / lo;
+}
+
+void write_attribution_text(std::ostream& os, const AttributionReport& r) {
+  os << "prediction-error attribution: " << r.workload << " on " << r.arch
+     << " (dist " << r.dist << ", " << r.iterations << " iteration"
+     << (r.iterations == 1 ? "" : "s") << ", " << r.nodes() << " nodes)\n"
+     << "predicted " << fmt(r.predicted_total_s, 6) << " s   actual "
+     << fmt(r.actual_total_s, 6) << " s   error "
+     << signed_fmt(r.actual_total_s - r.predicted_total_s, 6) << " s ("
+     << fmt_pct(r.pct_diff()) << ")\n";
+
+  for (int rank = 0; rank < r.nodes(); ++rank) {
+    const core::CostTerms pred = r.predicted_node_total(rank);
+    const core::CostTerms act = r.actual_node_total(rank);
+    os << "\nnode " << rank << "  (end: predicted "
+       << fmt(r.predicted_node_end_s[static_cast<std::size_t>(rank)], 6)
+       << " s, actual "
+       << fmt(r.actual_node_end_s[static_cast<std::size_t>(rank)], 6)
+       << " s)\n";
+    Table t({"term", "predicted (s)", "actual (s)", "error (s)"});
+    for (int term = 0; term < core::kCostTermCount; ++term) {
+      const double p = core::cost_term_value(pred, term);
+      const double a = core::cost_term_value(act, term);
+      t.add_row({core::cost_term_name(term), fmt(p, 6), fmt(a, 6),
+                 signed_fmt(a - p, 6)});
+    }
+    t.add_separator();
+    t.add_row({"total", fmt(pred.total(), 6), fmt(act.total(), 6),
+               signed_fmt(act.total() - pred.total(), 6)});
+    t.print(os);
+  }
+}
+
+namespace {
+
+void write_terms_json(std::ostream& os, const core::CostTerms& t) {
+  os << '{';
+  for (int term = 0; term < core::kCostTermCount; ++term) {
+    if (term > 0) os << ", ";
+    os << json_escape(core::cost_term_name(term)) << ": "
+       << json_number(core::cost_term_value(t, term));
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_attribution_json(std::ostream& os, const AttributionReport& r) {
+  os << "{\n  \"workload\": " << json_escape(r.workload)
+     << ",\n  \"arch\": " << json_escape(r.arch)
+     << ",\n  \"dist\": " << json_escape(r.dist)
+     << ",\n  \"iterations\": " << r.iterations
+     << ",\n  \"predicted_total_s\": " << json_number(r.predicted_total_s)
+     << ",\n  \"actual_total_s\": " << json_number(r.actual_total_s)
+     << ",\n  \"pct_diff\": " << json_number(r.pct_diff())
+     << ",\n  \"nodes\": [";
+  for (int rank = 0; rank < r.nodes(); ++rank) {
+    if (rank > 0) os << ',';
+    os << "\n    {\"rank\": " << rank << ", \"predicted_end_s\": "
+       << json_number(r.predicted_node_end_s[static_cast<std::size_t>(rank)])
+       << ", \"actual_end_s\": "
+       << json_number(r.actual_node_end_s[static_cast<std::size_t>(rank)])
+       << ",\n     \"predicted\": ";
+    write_terms_json(os, r.predicted_node_total(rank));
+    os << ",\n     \"actual\": ";
+    write_terms_json(os, r.actual_node_total(rank));
+    os << "}";
+  }
+  os << "\n  ],\n  \"sections\": [";
+  for (std::size_t si = 0; si < r.predicted.size(); ++si) {
+    if (si > 0) os << ',';
+    os << "\n    {\"id\": " << r.section_ids[si] << ", \"nodes\": [";
+    for (std::size_t rank = 0; rank < r.predicted[si].size(); ++rank) {
+      if (rank > 0) os << ", ";
+      os << "{\"rank\": " << rank << ", \"predicted\": ";
+      write_terms_json(os, r.predicted[si][rank]);
+      os << ", \"actual\": ";
+      write_terms_json(os, r.actual[si][rank]);
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace mheta::obs

@@ -1,0 +1,74 @@
+// Prediction-error attribution (ISSUE 4 tentpole, piece 3).
+//
+// The model and the simulator both spend every second of a run on one of
+// the paper's cost terms: computation (§4.2.1), synchronous file reads and
+// writes (Eq. 1), unhidden prefetch latency (Eq. 2), send overheads and
+// receive waits (Eq. 3/4), and collectives. The predicted side comes from
+// core::Predictor::predict_attributed (each clock advance of the evaluation
+// tagged with its term); the actual side is recovered here from an
+// instrument::TraceCollector timeline of the same (app, arch, distribution)
+// run. Comparing the two decompositions turns "the prediction is 4% off"
+// into "the model under-estimates receive waits on node 3".
+//
+// Identity: per node, the sum over sections and terms of each side equals
+// that side's completion time (within floating summation error) — predicted
+// terms sum to Prediction::node_end_s, actual terms to the traced per-rank
+// busy time, which is gapless inside the timed region.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/structure.hpp"
+#include "instrument/trace.hpp"
+
+namespace mheta::obs {
+
+/// Cost-term index (core::cost_term_name order) charged for an operation's
+/// duration; -1 for structural markers, which carry no time.
+int cost_term_index(mpi::Op op);
+
+/// Decomposes a traced run into per-(section, node) cost terms:
+/// result[section_index][rank]. Events ending at or before `origin_s` (the
+/// untimed initial load phase) are dropped; events are mapped to sections
+/// by resolving their section id against `program`.
+std::vector<std::vector<core::CostTerms>> attribute_trace(
+    const instrument::TraceCollector& trace,
+    const core::ProgramStructure& program, int ranks, double origin_s);
+
+/// The full predicted-vs-actual decomposition of one profiled triple.
+struct AttributionReport {
+  std::string workload;
+  std::string arch;
+  std::string dist;
+  int iterations = 1;
+
+  std::vector<int> section_ids;  ///< by section index
+
+  /// terms[section_index][rank], both sides over all iterations.
+  std::vector<std::vector<core::CostTerms>> predicted;
+  std::vector<std::vector<core::CostTerms>> actual;
+
+  std::vector<double> predicted_node_end_s;
+  std::vector<double> actual_node_end_s;
+  double predicted_total_s = 0;  ///< headline prediction (max over nodes)
+  double actual_total_s = 0;     ///< simulated run time (max over nodes)
+
+  int nodes() const { return static_cast<int>(predicted_node_end_s.size()); }
+  core::CostTerms predicted_node_total(int rank) const;
+  core::CostTerms actual_node_total(int rank) const;
+
+  /// |actual - predicted| / min(actual, predicted) — the paper's metric.
+  double pct_diff() const;
+};
+
+/// Human-readable report: headline totals, then per-node tables of
+/// predicted vs. actual vs. signed error (actual - predicted) per term.
+void write_attribution_text(std::ostream& os, const AttributionReport& r);
+
+/// Machine-readable rendering with the full per-(section, node) nesting.
+void write_attribution_json(std::ostream& os, const AttributionReport& r);
+
+}  // namespace mheta::obs

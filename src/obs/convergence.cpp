@@ -1,0 +1,52 @@
+#include "obs/convergence.hpp"
+
+#include <mutex>
+#include <ostream>
+
+namespace mheta::obs {
+
+struct ConvergenceRecorder::State {
+  mutable std::mutex mu;
+  std::vector<Sample> samples;
+};
+
+ConvergenceRecorder::ConvergenceRecorder(search::Objective inner)
+    : inner_(std::move(inner)), state_(std::make_shared<State>()) {}
+
+double ConvergenceRecorder::operator()(const dist::GenBlock& d) const {
+  const double cost = inner_(d);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  Sample s;
+  s.evaluation = static_cast<int>(state_->samples.size()) + 1;
+  s.cost = cost;
+  s.best = state_->samples.empty()
+               ? cost
+               : std::min(cost, state_->samples.back().best);
+  state_->samples.push_back(s);
+  return cost;
+}
+
+std::vector<ConvergenceRecorder::Sample> ConvergenceRecorder::series() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->samples;
+}
+
+int ConvergenceRecorder::evaluations() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return static_cast<int>(state_->samples.size());
+}
+
+double ConvergenceRecorder::best() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->samples.empty() ? 0 : state_->samples.back().best;
+}
+
+void write_convergence_csv(std::ostream& os,
+                           const std::vector<ConvergenceRecorder::Sample>& s) {
+  os << "evaluation,cost,best\n";
+  for (const auto& sample : s)
+    os << sample.evaluation << ',' << sample.cost << ',' << sample.best
+       << '\n';
+}
+
+}  // namespace mheta::obs

@@ -1,0 +1,48 @@
+// Search-convergence recording.
+//
+// ConvergenceRecorder wraps a search::Objective and logs every evaluation's
+// cost together with the running best, without touching any search-algorithm
+// signature — the algorithms just see an Objective. Safe under BatchObjective
+// parallelism (samples append under a mutex); samples land in completion
+// order, which for convergence monitoring is the order that matters.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "search/search.hpp"
+
+namespace mheta::obs {
+
+class ConvergenceRecorder {
+ public:
+  explicit ConvergenceRecorder(search::Objective inner);
+
+  /// Evaluates and records. Copyable; copies share one sample log, so the
+  /// recorder can be handed to search algorithms by value like any
+  /// Objective.
+  double operator()(const dist::GenBlock& d) const;
+
+  struct Sample {
+    int evaluation = 0;  ///< 1-based completion index
+    double cost = 0;     ///< this evaluation's cost
+    double best = 0;     ///< best cost up to and including this evaluation
+  };
+
+  std::vector<Sample> series() const;
+  int evaluations() const;
+  /// Best cost recorded so far; 0 when nothing was evaluated.
+  double best() const;
+
+ private:
+  struct State;
+  search::Objective inner_;
+  std::shared_ptr<State> state_;
+};
+
+/// CSV dump of a series: `evaluation,cost,best` with a header row.
+void write_convergence_csv(std::ostream& os,
+                           const std::vector<ConvergenceRecorder::Sample>& s);
+
+}  // namespace mheta::obs

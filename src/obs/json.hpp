@@ -1,0 +1,56 @@
+// Minimal JSON support for the observability layer.
+//
+// Writing: `json_escape` quotes a string per RFC 8259 and `json_number`
+// renders a double round-trippably (17 significant digits; NaN/Inf, which
+// JSON cannot represent, become null).
+//
+// Reading: a small recursive-descent parser into a `JsonValue` tree. It is
+// not a general-purpose JSON library — it exists so the Perfetto-exporter
+// tests can round-trip `trace.json` and so `mheta-profile` can self-check
+// its outputs without external dependencies. It accepts exactly RFC 8259
+// (no comments, no trailing commas) and rejects everything else.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mheta::obs {
+
+/// Returns `s` as a quoted JSON string literal (quotes included).
+std::string json_escape(const std::string& s);
+
+/// Renders a finite double round-trippably; non-finite values become "null".
+std::string json_number(double v);
+
+/// A parsed JSON document node.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. On failure returns false and sets
+/// `error` (position-annotated) if provided; `out` is left unspecified.
+bool json_parse(const std::string& text, JsonValue& out,
+                std::string* error = nullptr);
+
+/// True when `text` is a single well-formed JSON document.
+bool json_valid(const std::string& text, std::string* error = nullptr);
+
+}  // namespace mheta::obs

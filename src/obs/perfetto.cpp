@@ -1,0 +1,140 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mheta::obs {
+
+const char* chrome_trace_category(mpi::Op op) {
+  switch (op) {
+    case mpi::Op::kCompute: return "compute";
+    case mpi::Op::kFileRead:
+    case mpi::Op::kFileWrite:
+    case mpi::Op::kFileIread:
+    case mpi::Op::kFileWait: return "io";
+    case mpi::Op::kSend:
+    case mpi::Op::kRecv: return "comm";
+    case mpi::Op::kAllreduce:
+    case mpi::Op::kAlltoall:
+    case mpi::Op::kBarrier: return "collective";
+    default: return "marker";
+  }
+}
+
+namespace {
+
+double to_us(double seconds) { return seconds * 1e6; }
+
+bool is_file_op(mpi::Op op) {
+  return op == mpi::Op::kFileRead || op == mpi::Op::kFileWrite ||
+         op == mpi::Op::kFileIread || op == mpi::Op::kFileWait;
+}
+
+/// One "X" slice per completed operation.
+void write_slice(std::ostream& os, const instrument::TraceEvent& e,
+                 double origin_s, bool& first) {
+  const double begin = std::max(e.begin_s - origin_s, 0.0);
+  const double end = std::max(e.end_s - origin_s, begin);
+  std::string name = mpi::to_string(e.op);
+  if (!e.var.empty()) name += " " + e.var;
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"name\": " << json_escape(name) << ", \"cat\": \""
+     << chrome_trace_category(e.op) << "\", \"ph\": \"X\", \"ts\": "
+     << json_number(to_us(begin)) << ", \"dur\": "
+     << json_number(to_us(end - begin)) << ", \"pid\": 0, \"tid\": " << e.rank
+     << ", \"args\": {\"bytes\": " << e.bytes << ", \"peer\": " << e.peer
+     << ", \"section\": " << e.section << ", \"tile\": " << e.tile
+     << ", \"stage\": " << e.stage;
+  if (!e.var.empty()) os << ", \"var\": " << json_escape(e.var);
+  os << "}}";
+}
+
+void write_counter(std::ostream& os, const std::string& name, int rank,
+                   double ts_us, const char* series, double value,
+                   bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"name\": " << json_escape(name)
+     << ", \"ph\": \"C\", \"ts\": " << json_number(ts_us)
+     << ", \"pid\": 0, \"tid\": " << rank << ", \"args\": {\"" << series
+     << "\": " << json_number(value) << "}}";
+}
+
+void write_metadata(std::ostream& os, const char* what, int tid,
+                    const std::string& name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"name\": \"" << what << "\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+     << tid << ", \"args\": {\"name\": " << json_escape(name) << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const instrument::TraceCollector& trace, int ranks,
+                        const ChromeTraceOptions& opts) {
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+
+  write_metadata(os, "process_name", 0, opts.process_name, first);
+  for (int r = 0; r < ranks; ++r)
+    write_metadata(os, "thread_name", r, "rank " + std::to_string(r), first);
+
+  for (int r = 0; r < ranks; ++r) {
+    const auto events = trace.rank_events(r);
+
+    // Slice track: one complete event per operation, in begin order.
+    for (const auto& e : events) {
+      if (e.end_s - opts.origin_s < 0) continue;  // untimed load phase
+      write_slice(os, e, opts.origin_s, first);
+    }
+
+    if (!opts.counter_tracks) continue;
+
+    // Counter tracks. Cumulative disk bytes step up at each file-op end;
+    // the cpu-active wave is 1 inside compute slices and 0 between them.
+    // Counter samples must be time-ordered, so collect and sort the sample
+    // points (ends for bytes; begin+end pairs for the wave).
+    struct Sample {
+      double ts_us;
+      int which;  // 0 = disk bytes, 1 = cpu active
+      double value;
+    };
+    std::vector<Sample> samples;
+    std::int64_t disk_bytes = 0;
+    for (const auto& e : events) {
+      if (e.end_s - opts.origin_s < 0) continue;
+      const double begin = to_us(std::max(e.begin_s - opts.origin_s, 0.0));
+      const double end = to_us(std::max(e.end_s - opts.origin_s, 0.0));
+      if (is_file_op(e.op)) {
+        disk_bytes += e.bytes;
+        samples.push_back({end, 0, static_cast<double>(disk_bytes)});
+      } else if (e.op == mpi::Op::kCompute) {
+        samples.push_back({begin, 1, 1.0});
+        samples.push_back({end, 1, 0.0});
+      }
+    }
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const Sample& a, const Sample& b) {
+                       return a.ts_us < b.ts_us;
+                     });
+    const std::string disk_name = "rank " + std::to_string(r) + " disk bytes";
+    const std::string cpu_name = "rank " + std::to_string(r) + " cpu active";
+    for (const auto& s : samples) {
+      if (s.which == 0)
+        write_counter(os, disk_name, r, s.ts_us, "bytes", s.value, first);
+      else
+        write_counter(os, cpu_name, r, s.ts_us, "active", s.value, first);
+    }
+  }
+
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace mheta::obs

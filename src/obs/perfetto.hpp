@@ -1,0 +1,46 @@
+// Perfetto / Chrome trace-event JSON export of operation traces.
+//
+// Converts an instrument::TraceCollector timeline into the JSON
+// trace-event format (the `{"traceEvents": [...]}` object form) loadable in
+// ui.perfetto.dev or chrome://tracing:
+//   - one track (tid) per rank, named "rank N", under one process;
+//   - complete events (ph "X") per operation, categorized by op class
+//     (compute / io / comm / collective), with bytes, peer, section, tile,
+//     stage and the variable name carried in `args`;
+//   - counter tracks (ph "C"): per-rank cumulative disk bytes and a 0/1
+//     cpu-active square wave derived from compute events, so utilization is
+//     visible live while scrubbing.
+//
+// Timestamps are microseconds of simulated time, relative to `origin_s`
+// (pass the start of the timed region to drop the initial array loads at
+// t < 0 — they are clamped out). Durations are always >= 0 and events on a
+// track are emitted in begin-time order.
+#pragma once
+
+#include <iosfwd>
+
+#include "instrument/trace.hpp"
+
+namespace mheta::obs {
+
+struct ChromeTraceOptions {
+  /// Simulated time mapped to ts = 0; events that *end* before the origin
+  /// are dropped (e.g. the untimed initial load phase).
+  double origin_s = 0.0;
+
+  /// Emit the per-rank counter tracks (cumulative disk bytes, cpu-active).
+  bool counter_tracks = true;
+
+  /// Process name shown in the UI.
+  const char* process_name = "mheta simulated cluster";
+};
+
+/// Writes the collected events as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& os,
+                        const instrument::TraceCollector& trace, int ranks,
+                        const ChromeTraceOptions& opts = {});
+
+/// Category string used for an operation class (exposed for tests).
+const char* chrome_trace_category(mpi::Op op);
+
+}  // namespace mheta::obs

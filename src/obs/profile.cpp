@@ -1,0 +1,210 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/driver.hpp"
+#include "instrument/gantt.hpp"
+#include "instrument/trace.hpp"
+#include "obs/perfetto.hpp"
+#include "search/objective.hpp"
+#include "search/search.hpp"
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace mheta::obs {
+
+dist::GenBlock dist_by_name(const dist::DistContext& ctx,
+                            const std::string& name) {
+  if (name == "even" || name == "blk") return dist::block_dist(ctx);
+  if (name == "bal") return dist::balanced_dist(ctx);
+  if (name == "ic") return dist::in_core_dist(ctx);
+  if (name == "icbal") return dist::in_core_balanced_dist(ctx);
+  throw std::runtime_error("unknown distribution '" + name +
+                           "' (expected even|blk|bal|ic|icbal)");
+}
+
+namespace {
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+search::SearchResult run_search(const std::string& algorithm,
+                                const search::Objective& objective,
+                                const dist::GenBlock& start,
+                                const dist::DistContext& ctx,
+                                const cluster::ArchConfig& arch,
+                                std::uint64_t seed) {
+  if (algorithm == "tabu")
+    return search::tabu_search(start, objective, {}, seed);
+  if (algorithm == "anneal")
+    return search::simulated_annealing(start, objective, {}, seed);
+  if (algorithm == "hill")
+    return search::hill_climb(start, objective, {}, seed);
+  if (algorithm == "genetic")
+    return search::genetic(ctx, objective, {}, seed);
+  if (algorithm == "gbs") {
+    search::SpectrumSpace space(ctx, arch.spectrum);
+    return search::gbs(space, objective);
+  }
+  if (algorithm == "random") {
+    search::SpectrumSpace space(ctx, arch.spectrum);
+    return search::random_search(space, objective, 64, seed);
+  }
+  throw std::runtime_error(
+      "unknown search algorithm '" + algorithm +
+      "' (expected tabu|gbs|anneal|genetic|random|hill)");
+}
+
+/// Opens an artifact for writing and remembers its path.
+std::ofstream open_artifact(const std::filesystem::path& dir,
+                            const char* name, std::vector<std::string>& files) {
+  const std::filesystem::path p = dir / name;
+  std::ofstream os(p);
+  MHETA_CHECK(os.good());
+  files.push_back(p.string());
+  return os;
+}
+
+}  // namespace
+
+ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
+                          MetricsRegistry& registry,
+                          const std::string& out_dir) {
+  const cluster::ArchConfig arch = cluster::find_arch(opts.arch);
+  const int nodes = arch.cluster.size();
+  const int iterations = opts.iterations > 0 ? opts.iterations : w.iterations;
+
+  exp::ExperimentOptions eopts = opts.experiment;
+  eopts.model.metrics = &registry;  // plan-LRU counters
+
+  const core::Predictor predictor = exp::build_predictor(arch, w, eopts);
+  const dist::DistContext ctx = exp::make_context(arch, w, eopts);
+  const dist::GenBlock d = dist_by_name(ctx, opts.dist);
+
+  // Predicted side: the full per-(section, node) cost decomposition.
+  const core::AttributedPrediction attributed =
+      predictor.predict_attributed(d, iterations);
+
+  // Actual side: the same triple through the simulator, traced. The
+  // teardown hook harvests utilization data that dies with the World.
+  ProfileResult result;
+  apps::RunOptions run;
+  run.iterations = iterations;
+  run.runtime = eopts.runtime;
+  std::optional<instrument::TraceCollector> trace;
+  run.setup = [&](mpi::World& world) {
+    trace.emplace(world);
+    trace->install();
+  };
+  run.teardown = [&](mpi::World& world) {
+    const double elapsed = sim::to_seconds(world.engine().now());
+    for (int r = 0; r < nodes; ++r) {
+      const double cpu =
+          elapsed > 0 ? clamp01(world.cpu_busy_seconds(r) / elapsed) : 0;
+      const double disk =
+          elapsed > 0 ? clamp01(world.disk(r).busy_seconds() / elapsed) : 0;
+      result.cpu_utilization.push_back(cpu);
+      result.disk_utilization.push_back(disk);
+      const std::string suffix = "_node" + std::to_string(r);
+      registry.gauge("cpu_utilization" + suffix).set(cpu);
+      registry.gauge("disk_utilization" + suffix).set(disk);
+    }
+    // Transfers overlap on the shared network, so this is clamped.
+    result.network_utilization =
+        elapsed > 0 ? clamp01(world.network_busy_seconds() / elapsed) : 0;
+    registry.gauge("network_utilization").set(result.network_utilization);
+    registry.counter("sim_events_processed_total")
+        .inc(world.engine().events_processed());
+  };
+  const apps::RunResult actual =
+      apps::run_program(arch.cluster, eopts.effects, w.program, d, run);
+  MHETA_CHECK(trace.has_value());
+
+  // The report: both decompositions of the same triple, side by side.
+  AttributionReport& report = result.report;
+  report.workload = w.name;
+  report.arch = opts.arch;
+  report.dist = opts.dist;
+  report.iterations = iterations;
+  for (const auto& section : w.program.sections)
+    report.section_ids.push_back(section.id);
+  report.predicted = attributed.terms;
+  report.actual =
+      attribute_trace(*trace, w.program, nodes, actual.timed_start_s);
+  report.predicted_node_end_s = attributed.prediction.node_end_s;
+  report.actual_node_end_s = actual.node_seconds;
+  report.predicted_total_s = attributed.prediction.total_s;
+  report.actual_total_s = actual.seconds;
+
+  // Objective cache: evaluate the profiled distribution twice so the cache
+  // counters are meaningful even without a search pass (one miss, one hit).
+  const search::CachingObjective cached(
+      search::make_objective(predictor, iterations, arch.cluster), 4096,
+      &registry);
+  (void)cached(d);
+  (void)cached(d);
+
+  if (!opts.search.empty()) {
+    const ConvergenceRecorder recorder{search::Objective(cached)};
+    const search::SearchResult sr = run_search(
+        opts.search, search::Objective(recorder), d, ctx, arch, opts.seed);
+    result.searched = true;
+    result.search_algorithm = opts.search;
+    result.search_best_s = sr.best_time;
+    result.search_evaluations = sr.evaluations;
+    result.convergence = recorder.series();
+    registry.gauge("search_best_cost_s").set(sr.best_time);
+  }
+
+  result.objective_cache_hit_rate = cached.hit_rate();
+  const core::Predictor::PlanCacheStats ps = predictor.plan_cache_stats();
+  result.plan_cache_hit_rate =
+      ps.hits + ps.misses > 0
+          ? static_cast<double>(ps.hits) /
+                static_cast<double>(ps.hits + ps.misses)
+          : 0;
+  registry.gauge("objective_cache_hit_rate")
+      .set(result.objective_cache_hit_rate);
+  registry.gauge("plan_cache_hit_rate").set(result.plan_cache_hit_rate);
+
+  // Artifacts. Metrics exports go last so they snapshot everything above.
+  const std::filesystem::path dir(out_dir);
+  std::filesystem::create_directories(dir);
+  {
+    auto os = open_artifact(dir, "trace.json", result.files);
+    ChromeTraceOptions topts;
+    topts.origin_s = actual.timed_start_s;
+    write_chrome_trace(os, *trace, nodes, topts);
+  }
+  {
+    auto os = open_artifact(dir, "gantt.txt", result.files);
+    instrument::render_gantt(os, *trace, nodes);
+  }
+  {
+    auto os = open_artifact(dir, "attribution.txt", result.files);
+    write_attribution_text(os, report);
+  }
+  {
+    auto os = open_artifact(dir, "attribution.json", result.files);
+    write_attribution_json(os, report);
+  }
+  if (result.searched) {
+    auto os = open_artifact(dir, "convergence.csv", result.files);
+    write_convergence_csv(os, result.convergence);
+  }
+  {
+    auto os = open_artifact(dir, "metrics.json", result.files);
+    registry.export_json(os);
+  }
+  {
+    auto os = open_artifact(dir, "metrics.prom", result.files);
+    registry.export_prometheus(os);
+  }
+  return result;
+}
+
+}  // namespace mheta::obs

@@ -1,0 +1,184 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace mheta::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("histogram bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound admits v; the extra slot is +Inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      // Linear interpolation inside bucket i. The overflow bucket has no
+      // upper bound; report its lower bound (the last finite boundary).
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac =
+          (target - static_cast<double>(before)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> MetricsRegistry::default_time_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0};
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
+                                                        Kind kind,
+                                                        const std::string& help) {
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind)
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another kind");
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.help = help;
+  return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, Kind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, Kind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, Kind::kHistogram, help);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+void MetricsRegistry::export_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{";
+  bool first = true;
+  for (const auto& [name, e] : metrics_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  " << json_escape(name) << ": {";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "\"type\": \"counter\", \"value\": " << e.counter->value();
+        break;
+      case Kind::kGauge:
+        os << "\"type\": \"gauge\", \"value\": "
+           << json_number(e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const auto& h = *e.histogram;
+        os << "\"type\": \"histogram\", \"count\": " << h.count()
+           << ", \"sum\": " << json_number(h.sum())
+           << ", \"p50\": " << json_number(h.p50())
+           << ", \"p95\": " << json_number(h.p95())
+           << ", \"p99\": " << json_number(h.p99()) << ", \"buckets\": [";
+        const auto counts = h.bucket_counts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << "{\"le\": "
+             << (i < h.bounds().size() ? json_number(h.bounds()[i])
+                                       : std::string("\"+Inf\""))
+             << ", \"count\": " << counts[i] << "}";
+        }
+        os << "]";
+        break;
+      }
+    }
+    if (!e.help.empty()) os << ", \"help\": " << json_escape(e.help);
+    os << "}";
+  }
+  os << "\n}\n";
+}
+
+void MetricsRegistry::export_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : metrics_) {
+    if (!e.help.empty()) os << "# HELP " << name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << ' ' << json_number(e.gauge->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const auto& h = *e.histogram;
+        os << "# TYPE " << name << " histogram\n";
+        const auto counts = h.bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          os << name << "_bucket{le=\""
+             << (i < h.bounds().size() ? json_number(h.bounds()[i])
+                                       : std::string("+Inf"))
+             << "\"} " << cumulative << '\n';
+        }
+        os << name << "_sum " << json_number(h.sum()) << '\n'
+           << name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mheta::obs

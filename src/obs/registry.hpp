@@ -1,0 +1,134 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms.
+//
+// The observability backbone (ISSUE 4): hot paths — the objective cache, the
+// predictor's plan LRU, the thread pool, the simulated world — carry an
+// optional `MetricsRegistry*` and update metrics only when one is installed,
+// so an uninstrumented run pays a single null check per site. Metric update
+// operations are lock-free (relaxed atomics); metric *creation* takes the
+// registry mutex and returns a stable pointer callers cache once.
+//
+// Exporters: `export_json` (machine-readable snapshot, one object keyed by
+// metric name) and `export_prometheus` (text exposition format 0.0.4).
+//
+// This header sits below util in the layering (it depends only on the
+// standard library) so even util::ThreadPool can report into it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mheta::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down (utilization, queue depth, seconds).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with quantile estimation.
+///
+/// Buckets are cumulative-upper-bound style (as in Prometheus): bucket i
+/// counts observations <= bounds[i]; one implicit +Inf bucket catches the
+/// rest. Quantiles are estimated by linear interpolation inside the bucket
+/// that crosses the requested rank (exact at bucket boundaries, which is
+/// what the pinned tests rely on).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Quantile estimate for q in [0,1]; 0 when empty. p50/p95/p99 helpers.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, including the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe registry of named metrics.
+///
+/// Names follow the Prometheus convention (`snake_case`, unit-suffixed:
+/// `_total`, `_seconds`, `_ratio`). The registry owns its metrics; pointers
+/// returned by the accessors stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. A name refers to
+  /// one kind of metric for the registry's lifetime; asking for an existing
+  /// name with a different kind throws.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// `bounds` are only used on first creation; they must be ascending.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Default latency bounds (seconds): 1us .. 10s, log-spaced-ish.
+  static std::vector<double> default_time_bounds();
+
+  /// JSON snapshot: {"name": {"type": ..., "value"/"count"/...}, ...}.
+  void export_json(std::ostream& os) const;
+
+  /// Prometheus text exposition format.
+  void export_prometheus(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, Kind kind,
+                        const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  // ordered -> stable export order
+};
+
+}  // namespace mheta::obs

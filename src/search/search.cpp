@@ -39,12 +39,27 @@ struct CachingObjective::State {
   util::LruCache<std::vector<std::int64_t>, double, CountsHash> cache;
   std::size_t hits = 0;
   std::size_t misses = 0;
+  // Resolved once at construction when a registry is installed; the metric
+  // updates themselves are atomic.
+  obs::Counter* hit_counter = nullptr;
+  obs::Counter* miss_counter = nullptr;
+  obs::Counter* eval_counter = nullptr;
 };
 
-CachingObjective::CachingObjective(Objective objective, std::size_t capacity)
+CachingObjective::CachingObjective(Objective objective, std::size_t capacity,
+                                   obs::MetricsRegistry* metrics)
     : objective_(std::move(objective)),
       state_(std::make_shared<State>(capacity)) {
   MHETA_CHECK(objective_ != nullptr);
+  if (metrics != nullptr) {
+    state_->hit_counter = &metrics->counter("objective_cache_hits_total",
+                                            "memoized objective cache hits");
+    state_->miss_counter = &metrics->counter("objective_cache_misses_total",
+                                             "memoized objective cache misses");
+    state_->eval_counter =
+        &metrics->counter("objective_evaluations_total",
+                          "underlying model evaluations (cache misses)");
+  }
 }
 
 double CachingObjective::operator()(const dist::GenBlock& d) const {
@@ -53,6 +68,7 @@ double CachingObjective::operator()(const dist::GenBlock& d) const {
     std::lock_guard<std::mutex> lock(state_->mu);
     if (const double* hit = state_->cache.get(key)) {
       ++state_->hits;
+      if (state_->hit_counter != nullptr) state_->hit_counter->inc();
       return *hit;
     }
   }
@@ -61,8 +77,18 @@ double CachingObjective::operator()(const dist::GenBlock& d) const {
   const double v = objective_(d);
   std::lock_guard<std::mutex> lock(state_->mu);
   ++state_->misses;
+  if (state_->miss_counter != nullptr) state_->miss_counter->inc();
+  if (state_->eval_counter != nullptr) state_->eval_counter->inc();
   state_->cache.put(std::move(key), v);
   return v;
+}
+
+double CachingObjective::hit_rate() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  const std::size_t total = state_->hits + state_->misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(state_->hits) /
+                          static_cast<double>(total);
 }
 
 std::size_t CachingObjective::hits() const {

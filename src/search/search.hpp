@@ -25,6 +25,7 @@
 
 #include "cluster/suite.hpp"
 #include "dist/generators.hpp"
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mheta::search {
@@ -38,12 +39,18 @@ using Objective = std::function<double(const dist::GenBlock&)>;
 /// recomputation, so wrapping never changes a search trajectory.
 class CachingObjective {
  public:
-  explicit CachingObjective(Objective objective, std::size_t capacity = 4096);
+  /// `metrics` (optional, not owned) reports `objective_cache_hits_total`,
+  /// `objective_cache_misses_total` and `objective_evaluations_total`; when
+  /// null — the default — lookups pay a single pointer check.
+  explicit CachingObjective(Objective objective, std::size_t capacity = 4096,
+                            obs::MetricsRegistry* metrics = nullptr);
 
   double operator()(const dist::GenBlock& d) const;
 
   std::size_t hits() const;
   std::size_t misses() const;
+  /// Hit fraction of all lookups so far; 0 when nothing was looked up.
+  double hit_rate() const;
 
  private:
   struct State;

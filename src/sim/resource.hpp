@@ -29,6 +29,7 @@ class Resource {
       bool await_ready() {
         if (res.available_ > 0) {
           // Claim immediately; the token is returned via release().
+          res.account();
           --res.available_;
           return true;
         }
@@ -45,23 +46,45 @@ class Resource {
   /// Returns one unit; wakes the longest-waiting acquirer, if any.
   void release() {
     if (!waiters_.empty()) {
-      // Transfer the token directly to the next waiter.
+      // Transfer the token directly to the next waiter; the unit count in
+      // use is unchanged, so no busy-integral accounting is needed.
       auto h = waiters_.front();
       waiters_.pop_front();
       engine_.schedule_resume(engine_.now(), h);
     } else {
       MHETA_CHECK_MSG(available_ < capacity_, "release without acquire");
+      account();
       ++available_;
     }
   }
 
   int available() const { return available_; }
   int capacity() const { return capacity_; }
+  int in_use() const { return capacity_ - available_; }
+
+  /// Time-integral of units in use (unit-seconds) up to now. Utilization of
+  /// an interval is busy_seconds() / (capacity * interval).
+  double busy_seconds() const {
+    return busy_unit_s_ +
+           to_seconds(engine_.now() - last_change_) *
+               static_cast<double>(in_use());
+  }
 
  private:
+  /// Folds the elapsed interval at the current occupancy into the integral;
+  /// call immediately before any change to `available_`.
+  void account() {
+    const Time now = engine_.now();
+    busy_unit_s_ +=
+        to_seconds(now - last_change_) * static_cast<double>(in_use());
+    last_change_ = now;
+  }
+
   Engine& engine_;
   int available_;
   int capacity_;
+  double busy_unit_s_ = 0;
+  Time last_change_ = 0;
   std::deque<std::coroutine_handle<>> waiters_;
 };
 

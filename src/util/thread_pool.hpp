@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -20,6 +21,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/registry.hpp"
 
 namespace mheta::util {
 
@@ -51,13 +54,39 @@ class ThreadPool {
   /// Worker count, including the calling thread.
   int threads() const { return threads_; }
 
+  /// Installs (or, with nullptr, removes) a metrics sink reporting
+  /// `thread_pool_parallel_for_total`, `thread_pool_tasks_total`,
+  /// `thread_pool_busy_seconds_total` (wall time inside task bodies) and
+  /// `thread_pool_queue_depth`. Call while the pool is quiescent — the
+  /// cached pointers are read unsynchronized from worker threads. Without a
+  /// sink — the default — the task loop pays one null check per task.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      parallel_for_counter_ = nullptr;
+      tasks_counter_ = nullptr;
+      busy_gauge_ = nullptr;
+      queue_gauge_ = nullptr;
+      return;
+    }
+    parallel_for_counter_ = &registry->counter(
+        "thread_pool_parallel_for_total", "fork-join batches submitted");
+    tasks_counter_ =
+        &registry->counter("thread_pool_tasks_total", "task bodies executed");
+    busy_gauge_ = &registry->gauge("thread_pool_busy_seconds_total",
+                                   "wall seconds spent inside task bodies");
+    queue_gauge_ = &registry->gauge("thread_pool_queue_depth",
+                                    "tasks of the in-flight batch not yet run");
+  }
+
   /// Runs fn(i) for every i in [0, n); blocks until all calls return.
   /// The first exception thrown by any fn is rethrown here.
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t)>& fn) {
     if (n <= 0) return;
+    if (parallel_for_counter_ != nullptr) parallel_for_counter_->inc();
+    if (queue_gauge_ != nullptr) queue_gauge_->set(static_cast<double>(n));
     if (workers_.empty() || n == 1) {
-      for (std::int64_t i = 0; i < n; ++i) fn(i);
+      for (std::int64_t i = 0; i < n; ++i) run_task(fn, i);
       return;
     }
     std::lock_guard<std::mutex> serialize(submit_mu_);
@@ -93,13 +122,31 @@ class ThreadPool {
     std::exception_ptr error;        // guarded by mu; first failure wins
   };
 
+  /// One instrumented task body; the hot path (no metrics installed) is a
+  /// single null check in front of the plain call.
+  void run_task(const std::function<void(std::int64_t)>& fn, std::int64_t i) {
+    if (tasks_counter_ == nullptr) {
+      fn(i);
+      return;
+    }
+    tasks_counter_->inc();
+    if (queue_gauge_ != nullptr) queue_gauge_->add(-1.0);
+    const auto begin = std::chrono::steady_clock::now();
+    fn(i);
+    if (busy_gauge_ != nullptr) {
+      busy_gauge_->add(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count());
+    }
+  }
+
   void run_job(Job& job) {
     for (;;) {
       const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job.n) return;
       std::exception_ptr error;
       try {
-        (*job.fn)(i);
+        run_task(*job.fn, i);
       } catch (...) {
         error = std::current_exception();
       }
@@ -127,6 +174,11 @@ class ThreadPool {
   }
 
   int threads_ = 1;
+  // Metrics sinks; null (the default) means uninstrumented.
+  obs::Counter* parallel_for_counter_ = nullptr;
+  obs::Counter* tasks_counter_ = nullptr;
+  obs::Gauge* busy_gauge_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
   std::vector<std::thread> workers_;
   std::mutex submit_mu_;  // serializes parallel_for calls
   std::mutex mu_;         // guards job_ / stop_

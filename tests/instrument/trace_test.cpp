@@ -9,6 +9,7 @@
 #include "apps/rna.hpp"
 #include "cluster/suite.hpp"
 #include "dist/generators.hpp"
+#include "sim/process.hpp"
 
 namespace mheta::instrument {
 namespace {
@@ -103,6 +104,48 @@ TEST(TraceCollector, CsvHasHeaderAndRows) {
             std::string::npos);
   EXPECT_NE(out.find("compute"), std::string::npos);
   EXPECT_NE(out.find("allreduce"), std::string::npos);
+}
+
+TEST(TraceCollector, CsvEscapesVariableNames) {
+  // Variable names containing commas, quotes or newlines must be RFC-4180
+  // quoted (embedded quotes doubled) so the CSV keeps one field per column.
+  sim::Engine eng;
+  const auto cfg = cluster::ClusterConfig::uniform(1, "csv");
+  mpi::World w(eng, cfg, cluster::SimEffects::none());
+  TraceCollector trace(w);
+  trace.install();
+  eng.spawn([](mpi::World& w2) -> sim::Process {
+    co_await w2.file_read(0, "a,\"b\"", 0, 1024);
+    co_await w2.file_read(0, "plain", 0, 1024);
+  }(w));
+  eng.run();
+
+  std::ostringstream os;
+  trace.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a,\"\"b\"\"\""), std::string::npos);
+  // Unremarkable fields stay unquoted (format stays byte-compatible).
+  EXPECT_NE(out.find(",plain,"), std::string::npos);
+  EXPECT_EQ(out.find("\"plain\""), std::string::npos);
+
+  // Quoted fields still parse back to the original name: strip the quotes
+  // and undouble.
+  const auto pos = out.find("\"a,");
+  ASSERT_NE(pos, std::string::npos);
+  std::string field;
+  for (std::size_t i = pos + 1; i < out.size(); ++i) {
+    if (out[i] == '"') {
+      if (i + 1 < out.size() && out[i + 1] == '"') {
+        field.push_back('"');
+        ++i;
+      } else {
+        break;
+      }
+    } else {
+      field.push_back(out[i]);
+    }
+  }
+  EXPECT_EQ(field, "a,\"b\"");
 }
 
 TEST(TraceCollector, ContextAttribution) {

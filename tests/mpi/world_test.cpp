@@ -339,5 +339,37 @@ TEST(World, ToStringCoversOps) {
   EXPECT_STREQ(to_string(Op::kStageEnd), "stage_end");
 }
 
+TEST(World, CpuAndNetworkBusyAccounting) {
+  // One 1000-byte message: the sender's CPU is busy for o_s, the receiver's
+  // for o_r, and the wire for latency + bytes/bandwidth.
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  World w(eng, cfg, SimEffects::none());
+  sim::Time send_done = -1, recv_done = -1;
+  std::int64_t got = 0;
+  eng.spawn(sender(w, 0, 1, 1000, send_done));
+  eng.spawn(receiver(w, 1, 0, recv_done, got));
+  eng.run();
+  EXPECT_DOUBLE_EQ(w.cpu_busy_seconds(0), 10e-6);
+  EXPECT_DOUBLE_EQ(w.cpu_busy_seconds(1), 20e-6);
+  EXPECT_DOUBLE_EQ(w.network_busy_seconds(), 100e-6 + 1000e-6);
+}
+
+TEST(World, ComputeAddsToCpuBusySeconds) {
+  sim::Engine eng;
+  auto cfg = simple_cluster(2);
+  cfg.nodes[1].cpu_power = 2.0;  // twice as fast -> half the busy time
+  World w(eng, cfg, SimEffects::none());
+  for (int r = 0; r < 2; ++r) {
+    eng.spawn([](World& w2, int rank) -> sim::Process {
+      co_await w2.compute(rank, 0.5);
+    }(w, r));
+  }
+  eng.run();
+  EXPECT_DOUBLE_EQ(w.cpu_busy_seconds(0), 0.5);
+  EXPECT_DOUBLE_EQ(w.cpu_busy_seconds(1), 0.25);
+  EXPECT_DOUBLE_EQ(w.network_busy_seconds(), 0.0);
+}
+
 }  // namespace
 }  // namespace mheta::mpi

@@ -1,0 +1,190 @@
+// The attribution identities (ISSUE 4 acceptance criteria):
+//   - predict_attributed() returns the same totals as predict();
+//   - per node, the predicted terms sum to the node's predicted end time
+//     within 1e-9 (so the critical rank's terms sum to the headline);
+//   - per node, the actual terms recovered from a trace sum to the node's
+//     simulated run time within 1e-9.
+#include "obs/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+#include "apps/driver.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/rna.hpp"
+#include "cluster/suite.hpp"
+#include "dist/generators.hpp"
+#include "exp/experiment.hpp"
+
+namespace mheta::obs {
+namespace {
+
+core::CostTerms sum_over_sections(
+    const std::vector<std::vector<core::CostTerms>>& terms, int rank) {
+  core::CostTerms out;
+  for (const auto& section : terms)
+    out += section[static_cast<std::size_t>(rank)];
+  return out;
+}
+
+class AttributionIdentity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AttributionIdentity, PredictedTermsSumToPrediction) {
+  const auto arch = cluster::find_arch("HY1");
+  const auto w = exp::workload_by_name(GetParam());
+  ASSERT_TRUE(w.has_value());
+  const auto predictor = exp::build_predictor(arch, *w, {});
+  const auto ctx = exp::make_context(arch, *w, {});
+
+  for (const auto& d :
+       {dist::block_dist(ctx), dist::balanced_dist(ctx),
+        dist::in_core_dist(ctx), dist::in_core_balanced_dist(ctx)}) {
+    const auto plain = predictor.predict(d, w->iterations);
+    const auto attributed = predictor.predict_attributed(d, w->iterations);
+
+    // Identical totals: the attributed path must renormalize exactly like
+    // the fast path.
+    EXPECT_DOUBLE_EQ(attributed.prediction.total_s, plain.total_s);
+    ASSERT_EQ(attributed.prediction.node_end_s.size(),
+              plain.node_end_s.size());
+    for (std::size_t r = 0; r < plain.node_end_s.size(); ++r) {
+      EXPECT_DOUBLE_EQ(attributed.prediction.node_end_s[r],
+                       plain.node_end_s[r]);
+      // Per-node decomposition sums back to the node's end time.
+      const core::CostTerms total =
+          sum_over_sections(attributed.terms, static_cast<int>(r));
+      EXPECT_NEAR(total.total(), plain.node_end_s[r], 1e-9);
+      EXPECT_DOUBLE_EQ(
+          total.total(),
+          attributed.node_total(static_cast<int>(r)).total());
+    }
+    // The critical rank's terms sum to the headline prediction.
+    const int critical = attributed.critical_rank();
+    EXPECT_NEAR(attributed.node_total(critical).total(), plain.total_s, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, AttributionIdentity,
+                         ::testing::Values("jacobi", "jacobi-pf", "cg", "rna",
+                                           "lanczos", "multigrid", "isort"));
+
+TEST(AttributeTrace, ActualTermsSumToNodeRunTimes) {
+  const auto arch = cluster::find_arch("HY1");
+  const auto p = apps::jacobi_program({});
+  const auto d = dist::block_dist(dist::DistContext::from_cluster(
+      arch.cluster, p.rows(), p.bytes_per_row()));
+
+  apps::RunOptions run;
+  run.iterations = 3;
+  run.runtime.overhead_bytes = 0;
+  std::shared_ptr<instrument::TraceCollector> trace;
+  run.setup = [&trace](mpi::World& w) {
+    trace = std::make_shared<instrument::TraceCollector>(w);
+    trace->install();
+  };
+  const auto result = apps::run_program(arch.cluster,
+                                        cluster::SimEffects::none(), p, d, run);
+
+  const auto terms = attribute_trace(*trace, p, arch.cluster.size(),
+                                     result.timed_start_s);
+  ASSERT_EQ(terms.size(), p.sections.size());
+  for (int r = 0; r < arch.cluster.size(); ++r) {
+    // Every second of a rank's timed region is inside exactly one hooked
+    // operation, so the decomposition telescopes to the node's run time.
+    EXPECT_NEAR(sum_over_sections(terms, r).total(),
+                result.node_seconds[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(AttributeTrace, LoadPhaseNeverLeaksAndOriginClipsTheTimedRegion) {
+  const auto arch = cluster::find_arch("IO");  // memory-pressured: real I/O
+  const auto p = apps::jacobi_program({});
+  const auto d = dist::block_dist(dist::DistContext::from_cluster(
+      arch.cluster, p.rows(), p.bytes_per_row()));
+  apps::RunOptions run;
+  run.iterations = 1;
+  run.runtime.overhead_bytes = 0;
+  std::shared_ptr<instrument::TraceCollector> trace;
+  run.setup = [&trace](mpi::World& w) {
+    trace = std::make_shared<instrument::TraceCollector>(w);
+    trace->install();
+  };
+  const auto result = apps::run_program(arch.cluster,
+                                        cluster::SimEffects::none(), p, d, run);
+  const int n = arch.cluster.size();
+
+  // The compulsory loads happen outside any section, so they cannot leak
+  // into the per-section decomposition even with origin 0: the two origins
+  // agree exactly.
+  const auto from_zero = attribute_trace(*trace, p, n, 0.0);
+  const auto timed_only = attribute_trace(*trace, p, n, result.timed_start_s);
+  double all = 0, timed = 0;
+  for (int r = 0; r < n; ++r) {
+    all += sum_over_sections(from_zero, r).total();
+    timed += sum_over_sections(timed_only, r).total();
+  }
+  EXPECT_DOUBLE_EQ(all, timed);
+  EXPECT_GT(timed, 0.0);
+
+  // An origin strictly inside the timed region clips what came before it.
+  const auto clipped =
+      attribute_trace(*trace, p, n, result.timed_start_s + 0.01);
+  double remaining = 0;
+  for (int r = 0; r < n; ++r)
+    remaining += sum_over_sections(clipped, r).total();
+  EXPECT_LT(remaining, timed);
+  EXPECT_GT(remaining, 0.0);
+}
+
+TEST(CostTermIndex, MapsEveryTimedOpAndRejectsMarkers) {
+  EXPECT_EQ(cost_term_index(mpi::Op::kCompute), 0);
+  EXPECT_EQ(cost_term_index(mpi::Op::kFileRead), 1);
+  EXPECT_EQ(cost_term_index(mpi::Op::kFileIread), 1);
+  EXPECT_EQ(cost_term_index(mpi::Op::kFileWrite), 2);
+  EXPECT_EQ(cost_term_index(mpi::Op::kFileWait), 3);
+  EXPECT_EQ(cost_term_index(mpi::Op::kSend), 4);
+  EXPECT_EQ(cost_term_index(mpi::Op::kRecv), 5);
+  EXPECT_EQ(cost_term_index(mpi::Op::kAllreduce), 6);
+  EXPECT_EQ(cost_term_index(mpi::Op::kAlltoall), 6);
+  EXPECT_EQ(cost_term_index(mpi::Op::kBarrier), 6);
+  EXPECT_EQ(cost_term_index(mpi::Op::kSectionBegin), -1);
+  EXPECT_EQ(cost_term_index(mpi::Op::kTileEnd), -1);
+}
+
+TEST(AttributionReport, WritersProduceNonEmptyOutput) {
+  AttributionReport r;
+  r.workload = "toy";
+  r.arch = "HY1";
+  r.dist = "even";
+  r.iterations = 2;
+  r.section_ids = {0};
+  core::CostTerms t;
+  t.compute_s = 1.5;
+  r.predicted = {{t, t}};
+  r.actual = {{t, t}};
+  r.predicted_node_end_s = {1.5, 1.5};
+  r.actual_node_end_s = {1.5, 1.5};
+  r.predicted_total_s = 1.5;
+  r.actual_total_s = 1.5;
+
+  std::ostringstream text;
+  write_attribution_text(text, r);
+  EXPECT_NE(text.str().find("compute"), std::string::npos);
+  EXPECT_NE(text.str().find("node 1"), std::string::npos);
+
+  std::ostringstream json;
+  write_attribution_json(json, r);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(json.str(), doc, &error)) << error;
+  EXPECT_EQ(doc.get("workload")->string, "toy");
+  EXPECT_EQ(doc.get("nodes")->array.size(), 2u);
+  EXPECT_EQ(doc.get("sections")->array.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mheta::obs

@@ -1,0 +1,82 @@
+#include "obs/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "cluster/suite.hpp"
+#include "dist/generators.hpp"
+
+namespace mheta::obs {
+namespace {
+
+dist::GenBlock toy_dist(std::int64_t first) {
+  return dist::GenBlock({first, 100 - first});
+}
+
+TEST(ConvergenceRecorder, RecordsEveryEvaluationWithRunningBest) {
+  // Cost = |first block - 30|: evaluations at 10, 50, 30, 40.
+  const ConvergenceRecorder rec{search::Objective(
+      [](const dist::GenBlock& d) {
+        return std::abs(static_cast<double>(d.counts()[0]) - 30.0);
+      })};
+  EXPECT_EQ(rec.evaluations(), 0);
+  EXPECT_DOUBLE_EQ(rec.best(), 0.0);
+
+  EXPECT_DOUBLE_EQ(rec(toy_dist(10)), 20.0);
+  EXPECT_DOUBLE_EQ(rec(toy_dist(50)), 20.0);
+  EXPECT_DOUBLE_EQ(rec(toy_dist(30)), 0.0);
+  EXPECT_DOUBLE_EQ(rec(toy_dist(40)), 10.0);
+
+  const auto series = rec.series();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0].evaluation, 1);
+  EXPECT_EQ(series[3].evaluation, 4);
+  EXPECT_DOUBLE_EQ(series[0].best, 20.0);
+  EXPECT_DOUBLE_EQ(series[1].best, 20.0);
+  EXPECT_DOUBLE_EQ(series[2].best, 0.0);
+  EXPECT_DOUBLE_EQ(series[3].best, 0.0);  // best never regresses
+  EXPECT_DOUBLE_EQ(series[3].cost, 10.0);
+  EXPECT_DOUBLE_EQ(rec.best(), 0.0);
+  EXPECT_EQ(rec.evaluations(), 4);
+}
+
+TEST(ConvergenceRecorder, CopiesShareOneLog) {
+  const ConvergenceRecorder rec{
+      search::Objective([](const dist::GenBlock&) { return 1.0; })};
+  const search::Objective as_objective{rec};  // copy, like a search would take
+  (void)as_objective(toy_dist(50));
+  EXPECT_EQ(rec.evaluations(), 1);
+}
+
+TEST(ConvergenceRecorder, DrivesARealSearch) {
+  // A convex objective over the toy space; tabu search through the recorder
+  // must log every model evaluation it reports.
+  const ConvergenceRecorder rec{search::Objective(
+      [](const dist::GenBlock& d) {
+        const double x = static_cast<double>(d.counts()[0]);
+        return (x - 30.0) * (x - 30.0);
+      })};
+  search::TabuOptions opts;
+  opts.steps = 20;
+  const auto result =
+      search::tabu_search(toy_dist(80), search::Objective(rec), opts, 1);
+  EXPECT_EQ(rec.evaluations(), result.evaluations);
+  EXPECT_DOUBLE_EQ(rec.best(), result.best_time);
+  const auto series = rec.series();
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_LE(series[i].best, series[i - 1].best);
+}
+
+TEST(ConvergenceCsv, HasHeaderAndOneRowPerSample) {
+  std::vector<ConvergenceRecorder::Sample> samples{
+      {1, 5.0, 5.0}, {2, 3.0, 3.0}, {3, 4.0, 3.0}};
+  std::ostringstream os;
+  write_convergence_csv(os, samples);
+  EXPECT_EQ(os.str(), "evaluation,cost,best\n1,5,5\n2,3,3\n3,4,3\n");
+}
+
+}  // namespace
+}  // namespace mheta::obs

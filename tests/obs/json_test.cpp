@@ -1,0 +1,59 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mheta::obs {
+namespace {
+
+TEST(JsonEscape, QuotesAndControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "\"plain\"");
+  EXPECT_EQ(json_escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_escape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_escape("a\nb"), "\"a\\nb\"");
+}
+
+TEST(JsonNumber, RoundTripsAndNullsNonFinite) {
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  // 17 significant digits round-trip any double.
+  JsonValue v;
+  ASSERT_TRUE(json_parse(json_number(1.0 / 3.0), v, nullptr));
+  EXPECT_DOUBLE_EQ(v.number, 1.0 / 3.0);
+}
+
+TEST(JsonParse, AcceptsDocumentsAndLooksUpMembers) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(
+      R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}})", doc, &error))
+      << error;
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].string, "x");
+  EXPECT_TRUE(doc.get("b")->get("c")->boolean);
+  EXPECT_EQ(doc.get("b")->get("d")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.get("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("[1, 2,]"));       // trailing comma
+  EXPECT_FALSE(json_valid("{'a': 1}"));      // single quotes
+  EXPECT_FALSE(json_valid("[1] [2]"));       // trailing garbage
+  EXPECT_FALSE(json_valid("// comment\n1")); // comments
+  EXPECT_TRUE(json_valid("[1, 2]"));
+  std::string error;
+  EXPECT_FALSE(json_valid("[1, ", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace mheta::obs

@@ -1,0 +1,156 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mheta::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Registry, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry r;
+  Counter& a = r.counter("requests_total");
+  a.inc(3);
+  EXPECT_EQ(&r.counter("requests_total"), &a);
+  EXPECT_EQ(r.counter("requests_total").value(), 3u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("x", {1.0}), std::invalid_argument);
+}
+
+TEST(Registry, ConcurrentUpdatesDontLoseCounts) {
+  MetricsRegistry r;
+  Counter& c = r.counter("spins_total");
+  Gauge& g = r.gauge("depth");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        c.inc();
+        g.add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+  EXPECT_DOUBLE_EQ(g.value(), 40000.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+// The bucket boundaries are pinned: upper bounds are inclusive
+// (Prometheus-style `le`), values above the last bound land in the
+// implicit +Inf bucket.
+TEST(Histogram, BucketBoundariesArePinned) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (boundary is inclusive)
+  h.observe(1.5);   // <= 2
+  h.observe(3.0);   // <= 4
+  h.observe(10.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.2);
+  const std::vector<std::uint64_t> expected{2, 1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), expected);
+}
+
+// Quantiles interpolate linearly inside the crossing bucket and are exact
+// at bucket boundaries; the overflow bucket reports the last finite bound.
+TEST(Histogram, QuantilesArePinned) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(10.0);
+  // p50: target rank 2.5 crosses the (1, 2] bucket halfway.
+  EXPECT_DOUBLE_EQ(h.p50(), 1.5);
+  // Rank 2.0 lands exactly on the first bucket's upper boundary.
+  EXPECT_DOUBLE_EQ(h.quantile(0.4), 1.0);
+  // p95/p99 cross into the overflow bucket -> last finite bound.
+  EXPECT_DOUBLE_EQ(h.p95(), 4.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 4.0);
+  // Halfway through the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 0.5);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Registry, JsonExportIsValidAndComplete) {
+  MetricsRegistry r;
+  r.counter("events_total", "processed events").inc(7);
+  r.gauge("utilization").set(0.25);
+  r.histogram("latency_seconds", {0.001, 0.01}).observe(0.005);
+  std::ostringstream os;
+  r.export_json(os);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(os.str(), doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* counter = doc.get("events_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->get("value")->number, 7.0);
+  EXPECT_EQ(counter->get("help")->string, "processed events");
+  EXPECT_DOUBLE_EQ(doc.get("utilization")->get("value")->number, 0.25);
+  const JsonValue* hist = doc.get("latency_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->get("count")->number, 1.0);
+  EXPECT_EQ(hist->get("buckets")->array.size(), 3u);  // 2 bounds + overflow
+}
+
+TEST(Registry, PrometheusExportHasTypeLinesAndCumulativeBuckets) {
+  MetricsRegistry r;
+  r.counter("events_total").inc(7);
+  Histogram& h = r.histogram("latency_seconds", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  std::ostringstream os;
+  r.export_prometheus(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE events_total counter"), std::string::npos);
+  EXPECT_NE(out.find("events_total 7"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE latency_seconds histogram"), std::string::npos);
+  // Buckets are cumulative in the text format.
+  EXPECT_NE(out.find("latency_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("latency_seconds_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(out.find("latency_seconds_count 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mheta::obs

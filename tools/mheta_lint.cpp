@@ -51,17 +51,6 @@ void print_rules(std::ostream& os) {
   }
 }
 
-std::optional<exp::Workload> workload_by_name(const std::string& name) {
-  if (name == "jacobi") return exp::jacobi_workload(false);
-  if (name == "jacobi-pf") return exp::jacobi_workload(true);
-  if (name == "cg") return exp::cg_workload();
-  if (name == "lanczos") return exp::lanczos_workload();
-  if (name == "rna") return exp::rna_workload();
-  if (name == "multigrid") return exp::multigrid_workload();
-  if (name == "isort") return exp::isort_workload();
-  return std::nullopt;
-}
-
 dist::GenBlock make_dist(const std::string& kind, const dist::DistContext& ctx) {
   if (kind == "blk") return dist::block_dist(ctx);
   if (kind == "bal") return dist::balanced_dist(ctx);
@@ -82,7 +71,7 @@ int lint_one(const std::string& input, const Options& opts) {
   analysis::StructureLocations locations;
   analysis::Diagnostics diags;
 
-  if (auto w = workload_by_name(input)) {
+  if (auto w = exp::workload_by_name(input)) {
     program = std::move(w->program);
     diags.set_artifact(program.name);
     diags.merge(analysis::lint_structure(program));
