@@ -105,6 +105,7 @@ RunResult run_program(const cluster::ClusterConfig& config,
   eng.run();
 
   // Phase 2: iterations — every rank starts at the same instant.
+  if (opts.before_iterations) opts.before_iterations(world);
   const sim::Time start = eng.now();
   std::vector<sim::Time> ends(static_cast<std::size_t>(config.size()), start);
   for (int r = 0; r < config.size(); ++r) {

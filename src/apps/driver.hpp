@@ -38,6 +38,11 @@ struct RunOptions {
   /// to install recorder hooks.
   std::function<void(mpi::World&)> setup;
 
+  /// Called after the initial load phase, at the instant the timed region
+  /// begins; used to arm fault-injection events relative to iteration time
+  /// (the untimed load stays unperturbed).
+  std::function<void(mpi::World&)> before_iterations;
+
   /// Called after the final iteration completes, while the World (and its
   /// disks and engine) are still alive; used to harvest utilization data
   /// that dies with the World.

@@ -43,9 +43,18 @@ double DiskModel::read_cost_s(const FileState& fs, std::int64_t offset,
     cached = std::clamp<std::int64_t>(cached_end - offset, 0, bytes);
   }
   const std::int64_t uncached = bytes - cached;
-  return spec_.disk_read_seek_s +
+  return spec_.disk_read_seek_s * seek_factor_ +
          static_cast<double>(cached) * spec_.cache_read_s_per_byte +
-         static_cast<double>(uncached) * spec_.disk_read_s_per_byte;
+         static_cast<double>(uncached) * spec_.disk_read_s_per_byte *
+             rate_factor_;
+}
+
+void DiskModel::set_slowdown(double seek_factor, double rate_factor) {
+  MHETA_CHECK_MSG(seek_factor >= 1.0 && rate_factor >= 1.0,
+                  "disk slowdown factors must be >= 1 (got "
+                      << seek_factor << ", " << rate_factor << ")");
+  seek_factor_ = seek_factor;
+  rate_factor_ = rate_factor;
 }
 
 sim::Time DiskModel::serve(double duration_s) {
@@ -72,8 +81,9 @@ sim::Time DiskModel::write(const std::string& file, std::int64_t offset,
   FileState& fs = state_for(file, offset + bytes);
   mark_touched(fs, offset + bytes);  // writes populate the cache prefix too
   bytes_written_ += bytes;
-  const double cost = spec_.disk_write_seek_s +
-                      static_cast<double>(bytes) * spec_.disk_write_s_per_byte;
+  const double cost =
+      spec_.disk_write_seek_s * seek_factor_ +
+      static_cast<double>(bytes) * spec_.disk_write_s_per_byte * rate_factor_;
   return serve(cost);
 }
 

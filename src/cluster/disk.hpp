@@ -36,6 +36,14 @@ class DiskModel {
   sim::TriggerPtr read_async(const std::string& file, std::int64_t offset,
                              std::int64_t bytes);
 
+  /// Live fault injection (mheta-adapt): multiplies seek overheads and
+  /// per-byte transfer latencies of every request issued from now on. The
+  /// cache-hit latency is unaffected (the OS cache is RAM, not spindle).
+  /// Factors must be >= 1; call again with 1.0 to lift the slowdown.
+  void set_slowdown(double seek_factor, double rate_factor);
+  double seek_slowdown() const { return seek_factor_; }
+  double rate_slowdown() const { return rate_factor_; }
+
   /// Time the disk becomes idle.
   sim::Time busy_until() const { return busy_until_; }
 
@@ -78,6 +86,8 @@ class DiskModel {
   sim::Engine& engine_;
   const NodeSpec spec_;
   const bool cache_enabled_;
+  double seek_factor_ = 1.0;
+  double rate_factor_ = 1.0;
   sim::Time busy_until_ = 0;
   double busy_s_ = 0;
   std::int64_t cache_used_ = 0;

@@ -85,6 +85,13 @@ bool uses_prefetch(const core::ProgramStructure& p) {
 core::Predictor build_predictor(const cluster::ArchConfig& arch,
                                 const Workload& w,
                                 const ExperimentOptions& opts) {
+  return build_predictor(arch, w, opts, nullptr);
+}
+
+core::Predictor build_predictor(const cluster::ArchConfig& arch,
+                                const Workload& w,
+                                const ExperimentOptions& opts,
+                                double* instrumented_s) {
   // Refuse inconsistent workload/architecture pairs before spending time
   // on calibration and the instrumented run (rules MH001-MH011).
   const dist::GenBlock blk = dist::block_dist(make_context(arch, w, opts));
@@ -108,7 +115,9 @@ core::Predictor build_predictor(const cluster::ArchConfig& arch,
     recorder.emplace(world, cal);
     recorder->install();
   };
-  (void)apps::run_program(arch.cluster, opts.effects, w.program, blk, run);
+  const apps::RunResult instrumented =
+      apps::run_program(arch.cluster, opts.effects, w.program, blk, run);
+  if (instrumented_s) *instrumented_s = instrumented.seconds;
   MHETA_CHECK(recorder.has_value());
   // NOTE: the world the recorder observed is gone; finalize() only reads
   // the recorder's own accumulated state.

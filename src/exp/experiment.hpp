@@ -80,6 +80,15 @@ core::Predictor build_predictor(const cluster::ArchConfig& arch,
                                 const Workload& w,
                                 const ExperimentOptions& opts);
 
+/// As above, but also reports the simulated wall time of the instrumented
+/// Blk iteration (load phase excluded) via `instrumented_s` — the price an
+/// online runtime pays to re-measure a drifted machine (mheta-adapt charges
+/// it against the adaptive policy). May be null.
+core::Predictor build_predictor(const cluster::ArchConfig& arch,
+                                const Workload& w,
+                                const ExperimentOptions& opts,
+                                double* instrumented_s);
+
 /// Result at one spectrum point.
 struct PointResult {
   dist::SpectrumPoint point;

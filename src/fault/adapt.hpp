@@ -1,0 +1,167 @@
+// The adaptive redistribution runtime (mheta-adapt; paper §6 future work).
+//
+// The paper closes by sketching an MPI runtime that uses MHETA to pick a
+// distribution and then "effects that distribution on the fly". This module
+// builds that loop on the simulated cluster and prices it honestly. A run
+// is divided into the scenario's epochs; under each policy every epoch
+// executes the same iterations while the scenario perturbs the hardware
+// (FaultInjector), and the policies differ only in what they may know and
+// what they must pay:
+//
+//   static    — search once on the nominal cluster, never react. The
+//               baseline an offline MHETA user gets.
+//   adaptive  — what a real runtime could do: watch the per-term drift
+//               between the model's attributed prediction and the traced
+//               run (obs::attribute_trace); when drift persists past the
+//               hysteresis, pay for one instrumented iteration on the
+//               drifted machine (re-calibration), re-search, and switch
+//               only if core::plan_switch says the remaining iterations
+//               amortize the redistribution cost. Every reaction second is
+//               charged to the policy's total.
+//   oracle    — knows each epoch's perturbed hardware in advance,
+//               re-models and switches for free. The lower bound that
+//               bounds what adaptivity could ever recover.
+//
+// On drift scenarios the invariant oracle <= adaptive <= static must hold
+// (the chaos-smoke CI job asserts it); all three runs replay bit-for-bit
+// from the scenario seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/suite.hpp"
+#include "core/model.hpp"
+#include "exp/experiment.hpp"
+#include "fault/scenario.hpp"
+
+namespace mheta::fault {
+
+/// The three redistribution policies compared by mheta-chaos.
+enum class Policy {
+  kStatic,
+  kAdaptive,
+  kOracle,
+};
+
+const char* to_string(Policy p);
+std::optional<Policy> parse_policy(const std::string& s);
+
+/// Knobs of the adaptive controller (and shared run options).
+struct AdaptOptions {
+  /// Effects, runtime and model options for every simulated run.
+  exp::ExperimentOptions experiment;
+
+  /// Search algorithm for the initial and every re-search:
+  /// gbs | random | tabu | anneal | hill | genetic.
+  std::string algorithm = "gbs";
+
+  /// Seed for the stochastic search algorithms.
+  std::uint64_t search_seed = 1;
+
+  /// An epoch counts as drifting when its *actionable* drift (see
+  /// DriftReport) exceeds the lowest actionable drift the current model
+  /// has shown by more than this. Measuring against the model's own floor
+  /// keeps a persistent model bias (which re-calibration cannot remove)
+  /// from triggering reactions forever.
+  double drift_threshold = 0.2;
+
+  /// Consecutive drifting epochs before the controller reacts (>= 1);
+  /// absorbs one-epoch transients like pauses.
+  int hysteresis = 1;
+
+  /// Terms smaller than this share of their node's total are ignored by
+  /// the drift metric (tiny terms have noisy relative errors).
+  double term_share_min = 0.05;
+
+  /// Minimum predicted relative gain before the oracle moves off its
+  /// current distribution. The oracle's switches are free but its model is
+  /// not perfect; without a margin, model error alone could make it adopt
+  /// a distribution the simulation runs slower than staying put.
+  double switch_margin = 0.02;
+};
+
+/// Drift between the model's attributed prediction of an epoch and what
+/// the traced simulation actually did.
+struct DriftReport {
+  double worst = 0;    ///< worst qualifying per-(node, term) relative error
+  int worst_rank = -1;
+  int worst_term = -1;  ///< core::cost_term_name index
+  double headline = 0;  ///< |actual - predicted| / min of the epoch totals
+
+  /// The part of the drift a redistribution could actually address. For
+  /// node-local terms (compute, file_read, file_write, prefetch_wait) this
+  /// is the worst |relative error| — a slow node can always shed rows. For
+  /// shared-network terms (send, recv_wait, collective) it is the *spread*
+  /// of the signed relative errors across qualifying nodes: uniform global
+  /// contention inflates every node alike and no redistribution helps, so
+  /// the controller must not pay to react to it.
+  double actionable = 0;
+};
+
+/// Computes the drift metric from the two per-(section, node) term
+/// decompositions (obs::attribute_trace shape). Terms are summed over
+/// sections per node; a (node, term) pair qualifies when its larger side is
+/// at least `term_share_min` of that node's larger total.
+DriftReport measure_drift(
+    const std::vector<std::vector<core::CostTerms>>& predicted,
+    const std::vector<std::vector<core::CostTerms>>& actual,
+    double term_share_min);
+
+/// What one policy did in one epoch.
+struct EpochRecord {
+  int epoch = 0;
+  double epoch_s = 0;      ///< simulated time of the epoch's iterations
+  double overhead_s = 0;   ///< re-calibration + switch time charged here
+  double predicted_s = 0;  ///< current model's prediction for the epoch
+  double drift = 0;        ///< measured drift (adaptive only; else 0)
+  double actionable = 0;   ///< redistribution-addressable part of the drift
+  bool perturbed = false;  ///< any scenario window active this epoch
+  bool recalibrated = false;
+  bool switched = false;
+  std::vector<std::int64_t> dist;  ///< GEN_BLOCK the epoch ran under
+};
+
+/// Outcome of one policy over the whole scenario.
+struct PolicyResult {
+  Policy policy = Policy::kStatic;
+  double total_s = 0;     ///< sum of epoch_s + overhead_s over all epochs
+  double overhead_s = 0;  ///< total charged reaction time
+  int switches = 0;
+  int recalibrations = 0;
+  std::vector<EpochRecord> epochs;
+};
+
+/// Outcome of the full three-policy comparison.
+struct ChaosRunResult {
+  std::string workload;
+  std::string arch;
+  std::string scenario;
+  std::uint64_t seed = 1;
+  int epochs = 0;
+  int iterations_per_epoch = 0;
+  std::string algorithm;
+  PolicyResult static_best;
+  PolicyResult adaptive;
+  PolicyResult oracle;
+
+  /// oracle <= adaptive <= static (with `tol_rel` relative slack).
+  bool ordered(double tol_rel = 0.0) const;
+};
+
+/// Runs one policy over the scenario. The initial distribution is the
+/// search's best on the *nominal* cluster (identical for every policy, so
+/// differences are pure policy). Scenario errors (MH016-MH018 against the
+/// architecture) throw analysis::LintError up front.
+PolicyResult run_policy(Policy policy, const cluster::ArchConfig& arch,
+                        const exp::Workload& w, const Scenario& s,
+                        const AdaptOptions& opts);
+
+/// Runs all three policies on identical per-epoch conditions.
+ChaosRunResult run_chaos(const cluster::ArchConfig& arch,
+                         const exp::Workload& w, const Scenario& s,
+                         const AdaptOptions& opts);
+
+}  // namespace mheta::fault

@@ -1,0 +1,71 @@
+#include "fault/injector.hpp"
+
+#include "util/check.hpp"
+
+namespace mheta::fault {
+
+bool InjectionPlan::any() const {
+  if (network_factor != 1.0 || !pauses.empty()) return true;
+  for (double f : cpu_factor)
+    if (f != 1.0) return true;
+  for (double f : disk_factor)
+    if (f != 1.0) return true;
+  return false;
+}
+
+InjectionPlan injection_plan(const Scenario& s, int epoch, int nodes) {
+  MHETA_CHECK_MSG(nodes > 0, "injection plan needs a non-empty cluster");
+  InjectionPlan plan;
+  plan.cpu_factor.assign(static_cast<std::size_t>(nodes), 1.0);
+  plan.disk_factor.assign(static_cast<std::size_t>(nodes), 1.0);
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    const Perturbation& p = s.perturbations[i];
+    if (!p.active(epoch)) continue;
+    const double m = effective_magnitude(s, i, epoch);
+    const int first = p.node < 0 ? 0 : p.node;
+    const int last = p.node < 0 ? nodes - 1 : p.node;
+    MHETA_CHECK_MSG(first >= 0 && last < nodes,
+                    "perturbation node " << p.node << " outside cluster of "
+                                         << nodes);
+    switch (p.kind) {
+      case PerturbKind::kCpuSlowdown:
+        for (int n = first; n <= last; ++n)
+          plan.cpu_factor[static_cast<std::size_t>(n)] *= m;
+        break;
+      case PerturbKind::kDiskSlowdown:
+        for (int n = first; n <= last; ++n)
+          plan.disk_factor[static_cast<std::size_t>(n)] *= m;
+        break;
+      case PerturbKind::kNetContention:
+        plan.network_factor *= m;
+        break;
+      case PerturbKind::kMemShrink:
+        break;  // config path only; see memory_config()
+      case PerturbKind::kNodePause:
+        if (m > 0) {
+          for (int n = first; n <= last; ++n) plan.pauses.push_back({n, m});
+        }
+        break;
+    }
+  }
+  return plan;
+}
+
+void FaultInjector::arm(mpi::World& world) const {
+  const int nodes = world.size();
+  MHETA_CHECK_MSG(static_cast<std::size_t>(nodes) == plan_.cpu_factor.size(),
+                  "injector planned for " << plan_.cpu_factor.size()
+                                          << " nodes, world has " << nodes);
+  for (int n = 0; n < nodes; ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    if (plan_.cpu_factor[i] != 1.0) world.set_cpu_factor(n, plan_.cpu_factor[i]);
+    if (plan_.disk_factor[i] != 1.0)
+      world.disk(n).set_slowdown(plan_.disk_factor[i], plan_.disk_factor[i]);
+  }
+  if (plan_.network_factor != 1.0)
+    world.set_network_factor(plan_.network_factor);
+  for (const PauseSpec& pause : plan_.pauses)
+    world.stall(pause.node, pause.seconds);
+}
+
+}  // namespace mheta::fault

@@ -1,0 +1,68 @@
+// Live fault injection into a running simulation.
+//
+// The FaultInjector is the bridge between a Scenario and the sim cluster:
+// for one epoch it resolves the active perturbations into a flat
+// InjectionPlan (per-node CPU and disk factors, the shared network factor,
+// and the epoch's pauses) and arms them onto a live mpi::World at the
+// instant the timed region begins (apps::RunOptions::before_iterations), so
+// the untimed initial array load always runs on nominal hardware.
+//
+// Two injection paths exist by design and must agree:
+//   live    — this class mutates the World/DiskModels of a run in flight;
+//   config  — perturbed_config() bakes the same factors into a
+//             ClusterConfig, which is what re-calibration and the oracle
+//             build models against (exp::build_predictor constructs its own
+//             worlds and cannot be injected into).
+// The injector equivalence test pins run-with-injector == run-on-perturbed-
+// config for every non-transient kind. Memory shrink is the exception: the
+// out-of-core planner reads M_i at runtime construction, so it can only
+// take the config path (memory_config()).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/scenario.hpp"
+#include "mpi/world.hpp"
+
+namespace mheta::fault {
+
+/// The composed effect of every perturbation active in one epoch.
+struct InjectionPlan {
+  std::vector<double> cpu_factor;   ///< per node, >= 1 (1 = nominal)
+  std::vector<double> disk_factor;  ///< per node, >= 1, seeks and rates
+  double network_factor = 1.0;      ///< shared, >= 1
+  std::vector<PauseSpec> pauses;    ///< fired at the timed-region start
+
+  /// True if the plan perturbs anything at all.
+  bool any() const;
+};
+
+/// Resolves the scenario's active windows in `epoch` for a cluster of
+/// `nodes` ranks. Same-kind overlaps compose multiplicatively, exactly like
+/// perturbed_config(); kMemShrink is ignored (config path only).
+InjectionPlan injection_plan(const Scenario& s, int epoch, int nodes);
+
+/// Arms one epoch's perturbations onto live runs.
+class FaultInjector {
+ public:
+  FaultInjector(const Scenario& s, int epoch, int nodes)
+      : plan_(injection_plan(s, epoch, nodes)) {}
+
+  const InjectionPlan& plan() const { return plan_; }
+
+  /// Applies the plan to `world` now: CPU/network factors, disk slowdowns,
+  /// and the epoch's pauses (relative to the world's current time). Meant
+  /// to run at the start of the timed region.
+  void arm(mpi::World& world) const;
+
+  /// The arm() call packaged for apps::RunOptions::before_iterations.
+  std::function<void(mpi::World&)> callback() const {
+    return [this](mpi::World& world) { arm(world); };
+  }
+
+ private:
+  InjectionPlan plan_;
+};
+
+}  // namespace mheta::fault

@@ -1,0 +1,113 @@
+#include "fault/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace mheta::fault {
+
+namespace {
+
+using obs::json_escape;
+using obs::json_number;
+
+void write_epoch_json(std::ostream& os, const EpochRecord& e,
+                      const char* indent) {
+  os << indent << "{\"epoch\": " << e.epoch
+     << ", \"seconds\": " << json_number(e.epoch_s)
+     << ", \"overhead_s\": " << json_number(e.overhead_s)
+     << ", \"predicted_s\": " << json_number(e.predicted_s)
+     << ", \"drift\": " << json_number(e.drift)
+     << ", \"actionable\": " << json_number(e.actionable)
+     << ", \"perturbed\": " << (e.perturbed ? "true" : "false")
+     << ", \"recalibrated\": " << (e.recalibrated ? "true" : "false")
+     << ", \"switched\": " << (e.switched ? "true" : "false")
+     << ", \"dist\": [";
+  for (std::size_t i = 0; i < e.dist.size(); ++i) {
+    if (i) os << ", ";
+    os << e.dist[i];
+  }
+  os << "]}";
+}
+
+void write_policy_json(std::ostream& os, const PolicyResult& p) {
+  os << "    " << json_escape(to_string(p.policy)) << ": {\n";
+  os << "      \"total_s\": " << json_number(p.total_s) << ",\n";
+  os << "      \"overhead_s\": " << json_number(p.overhead_s) << ",\n";
+  os << "      \"switches\": " << p.switches << ",\n";
+  os << "      \"recalibrations\": " << p.recalibrations << ",\n";
+  os << "      \"epochs\": [\n";
+  for (std::size_t i = 0; i < p.epochs.size(); ++i) {
+    write_epoch_json(os, p.epochs[i], "        ");
+    os << (i + 1 < p.epochs.size() ? ",\n" : "\n");
+  }
+  os << "      ]\n";
+  os << "    }";
+}
+
+void write_policy_text(std::ostream& os, const PolicyResult& p) {
+  os << to_string(p.policy) << ": total " << std::setprecision(6)
+     << p.total_s << " s";
+  if (p.overhead_s > 0) os << " (incl. " << p.overhead_s << " s overhead)";
+  if (p.switches) os << ", " << p.switches << " switch(es)";
+  if (p.recalibrations) os << ", " << p.recalibrations << " recalibration(s)";
+  os << "\n";
+  os << "  epoch   seconds  overhead     drift  actnble  flags\n";
+  for (const EpochRecord& e : p.epochs) {
+    os << "  " << std::setw(5) << e.epoch << "  " << std::setw(8)
+       << std::setprecision(4) << e.epoch_s << "  " << std::setw(8)
+       << e.overhead_s << "  " << std::setw(8) << e.drift << "  "
+       << std::setw(7) << e.actionable << "  ";
+    if (e.perturbed) os << "P";
+    if (e.recalibrated) os << "R";
+    if (e.switched) os << "S";
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+void write_chaos_json(std::ostream& os, const ChaosRunResult& r) {
+  os << "{\n";
+  os << "  \"workload\": " << json_escape(r.workload) << ",\n";
+  os << "  \"arch\": " << json_escape(r.arch) << ",\n";
+  os << "  \"scenario\": " << json_escape(r.scenario) << ",\n";
+  os << "  \"seed\": " << r.seed << ",\n";
+  os << "  \"epochs\": " << r.epochs << ",\n";
+  os << "  \"iterations_per_epoch\": " << r.iterations_per_epoch << ",\n";
+  os << "  \"algorithm\": " << json_escape(r.algorithm) << ",\n";
+  os << "  \"ordered\": " << (r.ordered() ? "true" : "false") << ",\n";
+  os << "  \"policies\": {\n";
+  write_policy_json(os, r.static_best);
+  os << ",\n";
+  write_policy_json(os, r.adaptive);
+  os << ",\n";
+  write_policy_json(os, r.oracle);
+  os << "\n  }\n";
+  os << "}\n";
+}
+
+void write_chaos_text(std::ostream& os, const ChaosRunResult& r) {
+  os << "chaos run: " << r.workload << " on " << r.arch << ", scenario '"
+     << r.scenario << "' (" << r.epochs << " epochs x "
+     << r.iterations_per_epoch << " iterations, seed " << r.seed << ")\n\n";
+  write_policy_text(os, r.static_best);
+  os << "\n";
+  write_policy_text(os, r.adaptive);
+  os << "\n";
+  write_policy_text(os, r.oracle);
+  os << "\n";
+  const double saved = r.static_best.total_s - r.adaptive.total_s;
+  const double bound = r.static_best.total_s - r.oracle.total_s;
+  os << std::setprecision(6) << "adaptive saved " << saved
+     << " s of the static total";
+  if (bound > 0)
+    os << " (" << std::setprecision(3) << 100.0 * saved / bound
+       << "% of the oracle bound)";
+  os << "\n";
+  os << "invariant oracle <= adaptive <= static: "
+     << (r.ordered() ? "holds" : "VIOLATED") << "\n";
+}
+
+}  // namespace mheta::fault

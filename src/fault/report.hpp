@@ -1,0 +1,24 @@
+// Rendering of chaos-run results (mheta-chaos outputs).
+//
+// The JSON report is the machine-readable contract: the chaos-smoke CI job
+// parses it to assert oracle <= adaptive <= static, and two runs with the
+// same scenario seed must produce byte-identical files (doubles render via
+// obs::json_number, 17 significant digits; no timestamps, no environment).
+#pragma once
+
+#include <iosfwd>
+
+#include "fault/adapt.hpp"
+
+namespace mheta::fault {
+
+/// Machine-readable report: scenario metadata, one object per policy with
+/// its totals and the per-epoch timeline (seconds, overhead, prediction,
+/// drift, switch/recalibration flags, the GEN_BLOCK the epoch ran under).
+void write_chaos_json(std::ostream& os, const ChaosRunResult& r);
+
+/// Human-readable summary: the three totals, the savings of adaptivity,
+/// and a per-epoch table per policy.
+void write_chaos_text(std::ostream& os, const ChaosRunResult& r);
+
+}  // namespace mheta::fault

@@ -1,0 +1,140 @@
+#include "fault/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mheta::fault {
+
+const char* to_string(PerturbKind k) {
+  switch (k) {
+    case PerturbKind::kCpuSlowdown: return "cpu-slow";
+    case PerturbKind::kDiskSlowdown: return "disk-slow";
+    case PerturbKind::kNetContention: return "net-contend";
+    case PerturbKind::kMemShrink: return "mem-shrink";
+    case PerturbKind::kNodePause: return "pause";
+  }
+  return "?";
+}
+
+std::optional<PerturbKind> parse_perturb_kind(const std::string& s) {
+  if (s == "cpu-slow") return PerturbKind::kCpuSlowdown;
+  if (s == "disk-slow") return PerturbKind::kDiskSlowdown;
+  if (s == "net-contend") return PerturbKind::kNetContention;
+  if (s == "mem-shrink") return PerturbKind::kMemShrink;
+  if (s == "pause") return PerturbKind::kNodePause;
+  return std::nullopt;
+}
+
+double effective_magnitude(const Scenario& s, std::size_t index, int epoch) {
+  MHETA_CHECK(index < s.perturbations.size());
+  const Perturbation& p = s.perturbations[index];
+  double m = p.magnitude;
+  if (p.jitter_rel > 0) {
+    // One independent stream per (perturbation, epoch): the draw never
+    // depends on which other perturbations exist or which epochs ran.
+    Rng rng(s.seed, 0xFA17u + (static_cast<std::uint64_t>(index) << 20) +
+                        static_cast<std::uint64_t>(epoch));
+    m *= rng.noise_factor(p.jitter_rel);
+  }
+  // Clamp back into the kind's representable range so jitter can never turn
+  // a slowdown into a speedup or shrink memory to zero.
+  switch (p.kind) {
+    case PerturbKind::kCpuSlowdown:
+    case PerturbKind::kDiskSlowdown:
+    case PerturbKind::kNetContention:
+      return std::max(1.0, m);
+    case PerturbKind::kMemShrink:
+      return std::clamp(m, 1e-3, 1.0);
+    case PerturbKind::kNodePause:
+      return std::max(0.0, m);
+  }
+  return m;
+}
+
+namespace {
+
+/// Applies perturbation `p` at magnitude `m` to `config` in place.
+void apply(cluster::ClusterConfig& config, const Perturbation& p, double m) {
+  const int first = p.node < 0 ? 0 : p.node;
+  const int last = p.node < 0 ? config.size() - 1 : p.node;
+  MHETA_CHECK_MSG(first >= 0 && last < config.size(),
+                  "perturbation node " << p.node << " outside cluster of "
+                                       << config.size());
+  switch (p.kind) {
+    case PerturbKind::kCpuSlowdown:
+      for (int i = first; i <= last; ++i)
+        config.nodes[static_cast<std::size_t>(i)].cpu_power /= m;
+      break;
+    case PerturbKind::kDiskSlowdown:
+      for (int i = first; i <= last; ++i) {
+        auto& n = config.nodes[static_cast<std::size_t>(i)];
+        n.disk_read_seek_s *= m;
+        n.disk_write_seek_s *= m;
+        n.disk_read_s_per_byte *= m;
+        n.disk_write_s_per_byte *= m;
+      }
+      break;
+    case PerturbKind::kNetContention:
+      config.network.latency_s *= m;
+      config.network.s_per_byte *= m;
+      break;
+    case PerturbKind::kMemShrink:
+      for (int i = first; i <= last; ++i) {
+        auto& n = config.nodes[static_cast<std::size_t>(i)];
+        n.memory_bytes = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   std::llround(static_cast<double>(n.memory_bytes) * m)));
+      }
+      break;
+    case PerturbKind::kNodePause:
+      break;  // transient; see pauses_at
+  }
+}
+
+}  // namespace
+
+cluster::ClusterConfig perturbed_config(const cluster::ClusterConfig& base,
+                                        const Scenario& s, int epoch) {
+  cluster::ClusterConfig config = base;
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    const Perturbation& p = s.perturbations[i];
+    if (!p.active(epoch) || p.kind == PerturbKind::kNodePause) continue;
+    apply(config, p, effective_magnitude(s, i, epoch));
+  }
+  return config;
+}
+
+cluster::ClusterConfig memory_config(const cluster::ClusterConfig& base,
+                                     const Scenario& s, int epoch) {
+  cluster::ClusterConfig config = base;
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    const Perturbation& p = s.perturbations[i];
+    if (!p.active(epoch) || p.kind != PerturbKind::kMemShrink) continue;
+    apply(config, p, effective_magnitude(s, i, epoch));
+  }
+  return config;
+}
+
+std::vector<PauseSpec> pauses_at(const Scenario& s, int epoch, int nodes) {
+  std::vector<PauseSpec> out;
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    const Perturbation& p = s.perturbations[i];
+    if (!p.active(epoch) || p.kind != PerturbKind::kNodePause) continue;
+    const double seconds = effective_magnitude(s, i, epoch);
+    if (seconds <= 0) continue;
+    const int first = p.node < 0 ? 0 : p.node;
+    const int last = p.node < 0 ? nodes - 1 : p.node;
+    for (int n = first; n <= last; ++n) out.push_back({n, seconds});
+  }
+  return out;
+}
+
+bool any_active(const Scenario& s, int epoch) {
+  return std::any_of(s.perturbations.begin(), s.perturbations.end(),
+                     [&](const Perturbation& p) { return p.active(epoch); });
+}
+
+}  // namespace mheta::fault

@@ -1,0 +1,117 @@
+// Fault-injection scenarios (mheta-adapt; paper §6 future work).
+//
+// A Scenario is a deterministic, seedable schedule of hardware perturbations
+// over a run that is divided into fixed-size epochs (an epoch is the unit at
+// which the adaptive runtime observes, decides and redistributes — see
+// adapt.hpp). Perturbations are windows [epoch_begin, epoch_end) during
+// which one hardware knob of the cluster drifts away from its description:
+// a node's CPU slows down, its disk ages, the shared network contends, its
+// memory shrinks, or the node pauses outright. Cornebize & Legrand show such
+// variability — not just static heterogeneity — dominates real clusters;
+// modelling it deterministically lets every policy comparison replay
+// bit-for-bit.
+//
+// Windows are epoch-indexed (not wall-clock) on purpose: every policy then
+// faces *identical* conditions in epoch e regardless of how fast its chosen
+// distribution runs, which is what makes "oracle <= adaptive <= static"
+// a meaningful invariant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+
+namespace mheta::fault {
+
+/// What a perturbation does while its window is active.
+enum class PerturbKind {
+  /// Node's relative CPU power C_i is divided by the magnitude (>= 1).
+  kCpuSlowdown,
+  /// Disk seek overheads and per-byte latencies multiply by the magnitude
+  /// (>= 1); the OS-cache hit latency is unaffected (RAM, not spindle).
+  kDiskSlowdown,
+  /// Wire latency and per-byte transfer time multiply by the magnitude
+  /// (>= 1). The network is shared, so the target must be `all`.
+  kNetContention,
+  /// Node's memory M_i multiplies by the magnitude (in (0, 1]).
+  kMemShrink,
+  /// Node's CPU freezes for `magnitude` seconds at the start of each epoch
+  /// in the window (a transient OS-level pause; I/O in flight drains).
+  kNodePause,
+};
+
+/// Serialization name: "cpu-slow", "disk-slow", "net-contend", "mem-shrink",
+/// "pause".
+const char* to_string(PerturbKind k);
+std::optional<PerturbKind> parse_perturb_kind(const std::string& s);
+
+/// One scheduled perturbation window.
+struct Perturbation {
+  PerturbKind kind = PerturbKind::kCpuSlowdown;
+  /// Target node index; -1 means every node (required for kNetContention).
+  int node = -1;
+  /// Active for epochs in [epoch_begin, epoch_end).
+  int epoch_begin = 0;
+  int epoch_end = 0;
+  /// Slowdown factor (>= 1), memory fraction (0, 1], or pause seconds.
+  double magnitude = 1.0;
+  /// Relative stddev of deterministic per-epoch jitter on the magnitude.
+  double jitter_rel = 0.0;
+
+  bool active(int epoch) const {
+    return epoch >= epoch_begin && epoch < epoch_end;
+  }
+};
+
+/// A complete scenario: the run shape plus the perturbation schedule.
+struct Scenario {
+  std::string name;
+  /// Master seed for all jitter draws (and the CLI's report determinism).
+  std::uint64_t seed = 1;
+  /// Number of epochs the run is divided into.
+  int epochs = 1;
+  /// Iterations executed per epoch.
+  int iterations_per_epoch = 1;
+  std::vector<Perturbation> perturbations;
+
+  int total_iterations() const { return epochs * iterations_per_epoch; }
+};
+
+/// The effective magnitude of perturbation `index` in `epoch`: the declared
+/// magnitude jittered by a draw keyed on (scenario seed, index, epoch), then
+/// clamped back into the kind's sane range. Deterministic; adding a
+/// perturbation never changes the draws other perturbations see.
+double effective_magnitude(const Scenario& s, std::size_t index, int epoch);
+
+/// The cluster as the scenario leaves it in `epoch`: every active non-pause
+/// perturbation applied to `base` (same-kind overlaps compose
+/// multiplicatively). This is what re-calibration and the oracle measure
+/// against; pauses are transient events, not a config (see pauses_at).
+cluster::ClusterConfig perturbed_config(const cluster::ClusterConfig& base,
+                                        const Scenario& s, int epoch);
+
+/// Only the kMemShrink perturbations applied to `base`. Epoch measurement
+/// runs use this config — memory feeds the out-of-core planner at runtime
+/// construction and cannot change mid-run — while CPU/disk/network windows
+/// are injected live into the world (FaultInjector), so the untimed initial
+/// load stays unperturbed.
+cluster::ClusterConfig memory_config(const cluster::ClusterConfig& base,
+                                     const Scenario& s, int epoch);
+
+/// A node pause firing at the start of an epoch's timed region.
+struct PauseSpec {
+  int node = 0;
+  double seconds = 0;
+};
+
+/// Pauses active in `epoch`, in perturbation order (node -1 expanded over
+/// all `nodes` ranks).
+std::vector<PauseSpec> pauses_at(const Scenario& s, int epoch, int nodes);
+
+/// True when any perturbation (of any kind) is active in `epoch`.
+bool any_active(const Scenario& s, int epoch);
+
+}  // namespace mheta::fault

@@ -1,0 +1,136 @@
+#include "fault/scenario_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "fault/scenario_lint.hpp"
+#include "util/check.hpp"
+
+namespace mheta::fault {
+
+namespace {
+constexpr const char* kMagic = "MHETA-CHAOS v1";
+}
+
+analysis::SourceLoc ScenarioLocations::perturbation(std::size_t i) const {
+  if (i < perturb_lines.size()) return {file, perturb_lines[i]};
+  return {};
+}
+
+void save_scenario(std::ostream& os, const Scenario& s) {
+  os << kMagic << '\n' << std::setprecision(17);
+  os << "name " << (s.name.empty() ? "(unnamed)" : s.name) << '\n';
+  os << "seed " << s.seed << '\n';
+  os << "epochs " << s.epochs << '\n';
+  os << "iterations-per-epoch " << s.iterations_per_epoch << '\n';
+  os << "perturbations " << s.perturbations.size() << '\n';
+  for (const auto& p : s.perturbations) {
+    os << "perturb " << to_string(p.kind) << ' ';
+    if (p.node < 0) {
+      os << "all";
+    } else {
+      os << p.node;
+    }
+    os << ' ' << p.epoch_begin << ' ' << p.epoch_end << ' ' << p.magnitude
+       << ' ' << p.jitter_rel << '\n';
+  }
+}
+
+Scenario load_scenario(std::istream& is, ScenarioLocations* locations,
+                       analysis::Diagnostics* diagnostics) {
+  std::string line;
+  int line_no = 0;
+  MHETA_CHECK_MSG(std::getline(is, line) && line == kMagic,
+                  "bad scenario header: expected '" << kMagic << "'");
+  ++line_no;
+
+  auto next = [&](const char* kw) -> std::istringstream {
+    MHETA_CHECK_MSG(std::getline(is, line),
+                    "unexpected EOF in scenario at line " << line_no + 1);
+    ++line_no;
+    std::istringstream ls(line);
+    std::string k;
+    ls >> k;
+    MHETA_CHECK_MSG(k == kw, "line " << line_no << ": expected '" << kw
+                                     << "', got '" << k << "'");
+    return ls;
+  };
+  auto parsed = [&](const std::istringstream& ls, const char* what) {
+    MHETA_CHECK_MSG(!ls.fail(),
+                    "line " << line_no << ": malformed " << what << " record");
+  };
+
+  Scenario s;
+  {
+    auto ls = next("name");
+    ls >> s.name;
+    if (locations) locations->name_line = line_no;
+  }
+  {
+    auto ls = next("seed");
+    ls >> s.seed;
+    parsed(ls, "seed");
+  }
+  {
+    auto ls = next("epochs");
+    ls >> s.epochs;
+    parsed(ls, "epochs");
+    if (locations) locations->epochs_line = line_no;
+  }
+  {
+    auto ls = next("iterations-per-epoch");
+    ls >> s.iterations_per_epoch;
+    parsed(ls, "iterations-per-epoch");
+    if (locations) locations->iterations_line = line_no;
+  }
+  std::size_t count = 0;
+  {
+    auto ls = next("perturbations");
+    ls >> count;
+    parsed(ls, "perturbations");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    auto ls = next("perturb");
+    std::string kind;
+    std::string node;
+    Perturbation p;
+    ls >> kind >> node >> p.epoch_begin >> p.epoch_end >> p.magnitude >>
+        p.jitter_rel;
+    parsed(ls, "perturb");
+    const auto k = parse_perturb_kind(kind);
+    MHETA_CHECK_MSG(k.has_value(), "line " << line_no
+                                           << ": unknown perturbation kind '"
+                                           << kind << "'");
+    p.kind = *k;
+    if (node == "all") {
+      p.node = -1;
+    } else {
+      std::istringstream ns(node);
+      ns >> p.node;
+      MHETA_CHECK_MSG(!ns.fail() && ns.eof(), "line "
+                                                  << line_no
+                                                  << ": bad perturbation node '"
+                                                  << node << "'");
+    }
+    if (locations) locations->perturb_lines.push_back(line_no);
+    s.perturbations.push_back(p);
+  }
+
+  // Validate with the scenario rules, pointing findings at the recorded
+  // lines. Without a diagnostics sink, errors are fatal (like structures).
+  analysis::Diagnostics found = lint_scenario(s, locations, nullptr);
+  if (diagnostics) {
+    diagnostics->merge(found);
+  } else {
+    analysis::enforce(found, "scenario file");
+  }
+  return s;
+}
+
+Scenario load_scenario(std::istream& is) {
+  return load_scenario(is, nullptr, nullptr);
+}
+
+}  // namespace mheta::fault

@@ -1,0 +1,55 @@
+// The `.chaos` scenario file format (line-oriented, like MHETA-STRUCTURE).
+//
+//   MHETA-CHAOS v1
+//   name step-cpu
+//   seed 7
+//   epochs 8
+//   iterations-per-epoch 12
+//   perturbations 2
+//   perturb cpu-slow 3 2 8 2.5 0
+//   perturb net-contend all 4 6 2 0.1
+//
+// One `perturb` record per perturbation:
+//   perturb <kind> <node|all> <epoch_begin> <epoch_end> <magnitude> <jitter>
+// with kind one of cpu-slow | disk-slow | net-contend | mem-shrink | pause.
+//
+// Loading mirrors core::load_structure: syntax errors throw CheckError with
+// the offending line number; semantic findings (rules MH016-MH018, see
+// scenario_lint.hpp) are collected into a Diagnostics sink when one is
+// given, and enforced (throwing analysis::LintError) when it is not.
+// save_scenario emits the canonical form; save(load(f)) == f for canonical
+// files, which the golden-file round-trip tests pin down.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "fault/scenario.hpp"
+
+namespace mheta::fault {
+
+/// Line numbers recorded while loading a `.chaos` file, so the scenario
+/// rules can point at the offending record.
+struct ScenarioLocations {
+  std::string file;  ///< display name of the input
+  int name_line = 0;
+  int epochs_line = 0;
+  int iterations_line = 0;
+  std::vector<int> perturb_lines;  ///< by perturbation index
+
+  analysis::SourceLoc perturbation(std::size_t i) const;
+  analysis::SourceLoc header() const { return {file, epochs_line}; }
+};
+
+/// Writes the canonical serialization.
+void save_scenario(std::ostream& os, const Scenario& s);
+
+/// Parses a scenario. Syntax errors throw CheckError; rule findings go to
+/// `diagnostics` when given, otherwise errors throw analysis::LintError.
+Scenario load_scenario(std::istream& is, ScenarioLocations* locations,
+                       analysis::Diagnostics* diagnostics);
+Scenario load_scenario(std::istream& is);
+
+}  // namespace mheta::fault

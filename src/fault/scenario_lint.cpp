@@ -1,0 +1,212 @@
+#include "fault/scenario_lint.hpp"
+
+#include <sstream>
+
+#include "fault/scenario_io.hpp"
+
+namespace mheta::fault {
+
+namespace {
+
+using analysis::Diagnostics;
+using analysis::Severity;
+using analysis::SourceLoc;
+
+SourceLoc loc_of(const ScenarioLocations* locs, std::size_t i) {
+  return locs ? locs->perturbation(i) : SourceLoc{};
+}
+
+std::string describe(const Perturbation& p, std::size_t i) {
+  std::ostringstream os;
+  os << "perturbation " << i << " (" << to_string(p.kind) << ")";
+  return os.str();
+}
+
+// MH016: every perturbation must target a node the cluster actually has
+// (or `all`); network contention is shared and must target `all`.
+void mh016_scenario_nodes(const Scenario& s, const ScenarioLocations* locs,
+                          const cluster::ClusterConfig* cluster,
+                          Diagnostics& out) {
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    const Perturbation& p = s.perturbations[i];
+    if (p.node < -1) {
+      out.add(Severity::kError, "MH016",
+              describe(p, i) + " targets negative node " +
+                  std::to_string(p.node),
+              loc_of(locs, i), "use a node index >= 0 or 'all'");
+      continue;
+    }
+    if (p.kind == PerturbKind::kNetContention && p.node != -1) {
+      out.add(Severity::kError, "MH016",
+              describe(p, i) +
+                  " targets one node, but the network is shared by all",
+              loc_of(locs, i), "set the target to 'all'");
+      continue;
+    }
+    if (cluster != nullptr && p.node >= cluster->size()) {
+      out.add(Severity::kError, "MH016",
+              describe(p, i) + " targets node " + std::to_string(p.node) +
+                  " but cluster '" + cluster->name + "' has " +
+                  std::to_string(cluster->size()) + " nodes",
+              loc_of(locs, i),
+              "use a node index in [0, " + std::to_string(cluster->size()) +
+                  ")");
+    }
+  }
+}
+
+// MH017: the run shape must be positive and every window non-empty and
+// inside it; same-target same-kind overlaps compose and deserve a warning.
+void mh017_window_sanity(const Scenario& s, const ScenarioLocations* locs,
+                         Diagnostics& out) {
+  const SourceLoc header = locs ? locs->header() : SourceLoc{};
+  if (s.epochs <= 0) {
+    out.add(Severity::kError, "MH017",
+            "scenario declares " + std::to_string(s.epochs) +
+                " epochs; the run needs at least one",
+            header, "set epochs to a positive count");
+  }
+  if (s.iterations_per_epoch <= 0) {
+    out.add(Severity::kError, "MH017",
+            "scenario declares " + std::to_string(s.iterations_per_epoch) +
+                " iterations per epoch; epochs must run at least one",
+            header, "set iterations-per-epoch to a positive count");
+  }
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    const Perturbation& p = s.perturbations[i];
+    if (p.epoch_begin < 0) {
+      out.add(Severity::kError, "MH017",
+              describe(p, i) + " starts at negative epoch " +
+                  std::to_string(p.epoch_begin),
+              loc_of(locs, i), "start the window at epoch 0 or later");
+    }
+    if (p.epoch_end <= p.epoch_begin) {
+      out.add(Severity::kError, "MH017",
+              describe(p, i) + " has empty window [" +
+                  std::to_string(p.epoch_begin) + ", " +
+                  std::to_string(p.epoch_end) + ")",
+              loc_of(locs, i),
+              p.epoch_end < p.epoch_begin
+                  ? "swap epoch_begin and epoch_end"
+                  : "make the window at least one epoch wide");
+    } else if (s.epochs > 0 && p.epoch_begin >= s.epochs) {
+      out.add(Severity::kError, "MH017",
+              describe(p, i) + " window [" + std::to_string(p.epoch_begin) +
+                  ", " + std::to_string(p.epoch_end) +
+                  ") lies entirely past the last epoch " +
+                  std::to_string(s.epochs - 1),
+              loc_of(locs, i), "move the window inside [0, " +
+                                   std::to_string(s.epochs) + ")");
+    } else if (s.epochs > 0 && p.epoch_end > s.epochs) {
+      out.add(Severity::kWarning, "MH017",
+              describe(p, i) + " window extends past the last epoch (ends " +
+                  std::to_string(p.epoch_end) + " of " +
+                  std::to_string(s.epochs) + ")",
+              loc_of(locs, i), "clamp epoch_end to " +
+                                   std::to_string(s.epochs));
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      const Perturbation& q = s.perturbations[j];
+      const bool nodes_overlap =
+          p.node == -1 || q.node == -1 || p.node == q.node;
+      const bool windows_overlap =
+          p.epoch_begin < q.epoch_end && q.epoch_begin < p.epoch_end;
+      if (p.kind == q.kind && nodes_overlap && windows_overlap) {
+        out.add(Severity::kWarning, "MH017",
+                describe(p, i) + " overlaps perturbation " +
+                    std::to_string(j) +
+                    " on the same target; their factors compose "
+                    "multiplicatively",
+                loc_of(locs, i), "merge the windows or stagger them");
+      }
+    }
+  }
+}
+
+// MH018: each kind has a representable magnitude range; values far outside
+// plausible hardware drift are almost always typos.
+void mh018_magnitude_bounds(const Scenario& s, const ScenarioLocations* locs,
+                            Diagnostics& out) {
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    const Perturbation& p = s.perturbations[i];
+    const SourceLoc loc = loc_of(locs, i);
+    if (p.jitter_rel < 0 || p.jitter_rel > 0.5) {
+      out.add(Severity::kError, "MH018",
+              describe(p, i) + " jitter " + std::to_string(p.jitter_rel) +
+                  " outside [0, 0.5]",
+              loc, "use a relative jitter in [0, 0.5]");
+    }
+    switch (p.kind) {
+      case PerturbKind::kCpuSlowdown:
+      case PerturbKind::kDiskSlowdown:
+      case PerturbKind::kNetContention:
+        if (p.magnitude < 1.0 || p.magnitude > 1000.0) {
+          out.add(Severity::kError, "MH018",
+                  describe(p, i) + " slowdown factor " +
+                      std::to_string(p.magnitude) + " outside [1, 1000]",
+                  loc, "use a slowdown factor >= 1 (1 means no effect)");
+        } else if (p.magnitude > 64.0) {
+          out.add(Severity::kWarning, "MH018",
+                  describe(p, i) + " slowdown factor " +
+                      std::to_string(p.magnitude) +
+                      " is implausibly large for hardware drift",
+                  loc, "factors up to ~16 match observed variability");
+        }
+        break;
+      case PerturbKind::kMemShrink:
+        if (p.magnitude <= 0.0 || p.magnitude > 1.0) {
+          out.add(Severity::kError, "MH018",
+                  describe(p, i) + " memory fraction " +
+                      std::to_string(p.magnitude) + " outside (0, 1]",
+                  loc, "use the fraction of memory that remains, in (0, 1]");
+        } else if (p.magnitude < 1.0 / 16.0) {
+          out.add(Severity::kWarning, "MH018",
+                  describe(p, i) + " shrinks memory below 1/16th; the "
+                                   "planner may refuse the distribution",
+                  loc, "keep at least 1/16th of memory");
+        }
+        break;
+      case PerturbKind::kNodePause:
+        if (p.magnitude < 0.0 || p.magnitude > 3600.0) {
+          out.add(Severity::kError, "MH018",
+                  describe(p, i) + " pause of " +
+                      std::to_string(p.magnitude) +
+                      " seconds outside [0, 3600]",
+                  loc, "use a pause duration in seconds, up to one hour");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<analysis::RuleInfo>& scenario_rule_catalog() {
+  static const std::vector<analysis::RuleInfo> kCatalog = {
+      {"MH016", "scenario-nodes", Severity::kError,
+       "a perturbation of a node the cluster does not have never fires"},
+      {"MH017", "window-sanity", Severity::kError,
+       "empty, negative or out-of-run windows schedule nothing"},
+      {"MH018", "magnitude-bounds", Severity::kError,
+       "magnitudes outside each kind's range are unrepresentable or typos"},
+  };
+  return kCatalog;
+}
+
+const analysis::RuleInfo* find_scenario_rule(const std::string& id) {
+  for (const auto& r : scenario_rule_catalog())
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+analysis::Diagnostics lint_scenario(const Scenario& s,
+                                    const ScenarioLocations* locations,
+                                    const cluster::ClusterConfig* cluster) {
+  Diagnostics out(s.name.empty() ? "<scenario>" : s.name);
+  mh016_scenario_nodes(s, locations, cluster, out);
+  mh017_window_sanity(s, locations, out);
+  mh018_magnitude_bounds(s, locations, out);
+  return out;
+}
+
+}  // namespace mheta::fault

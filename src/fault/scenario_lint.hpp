@@ -1,0 +1,38 @@
+// Scenario verification rules MH016-MH018 (mheta-lint's `.chaos` catalog).
+//
+// The scenario rules extend the MH001-MH015 catalog in analysis/rules.hpp
+// but live here because they inspect fault::Scenario, which sits above the
+// analysis layer. IDs remain contract: append-only, stable, shared with the
+// structure catalog's numbering space. mheta-lint prints both catalogs
+// under --rules and runs these via --scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/rules.hpp"
+#include "cluster/node.hpp"
+#include "fault/scenario.hpp"
+
+namespace mheta::fault {
+
+struct ScenarioLocations;  // scenario_io.hpp
+
+/// The ordered MH016-MH018 rule descriptions:
+///   MH016 scenario-nodes      error    perturbation targets must name a node
+///   MH017 window-sanity       error    windows non-empty, inside the run
+///   MH018 magnitude-bounds    error    magnitudes inside each kind's range
+const std::vector<analysis::RuleInfo>& scenario_rule_catalog();
+
+/// Looks up a scenario rule by ID; nullptr if unknown.
+const analysis::RuleInfo* find_scenario_rule(const std::string& id);
+
+/// Runs MH016-MH018 over `s`. `locations` (optional) points findings at
+/// `.chaos` lines; `cluster` (optional) enables the unknown-node-id check
+/// against a concrete machine (cross-input linting via --arch).
+analysis::Diagnostics lint_scenario(const Scenario& s,
+                                    const ScenarioLocations* locations,
+                                    const cluster::ClusterConfig* cluster);
+
+}  // namespace mheta::fault

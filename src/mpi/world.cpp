@@ -35,6 +35,8 @@ World::World(sim::Engine& engine, const cluster::ClusterConfig& config,
   disks_.reserve(static_cast<std::size_t>(config.size()));
   ranks_.resize(static_cast<std::size_t>(config.size()));
   cpu_busy_s_.resize(static_cast<std::size_t>(config.size()), 0.0);
+  cpu_factor_.resize(static_cast<std::size_t>(config.size()), 1.0);
+  stall_until_.resize(static_cast<std::size_t>(config.size()), 0);
   for (int i = 0; i < config.size(); ++i) {
     disks_.push_back(std::make_unique<cluster::DiskModel>(
         engine_, config.node(i), effects_.file_cache));
@@ -48,7 +50,40 @@ cluster::DiskModel& World::disk(int rank) {
   return *disks_[static_cast<std::size_t>(rank)];
 }
 
-double World::power(int rank) const { return config_.node(rank).cpu_power; }
+double World::power(int rank) const {
+  return config_.node(rank).cpu_power /
+         cpu_factor_[static_cast<std::size_t>(rank)];
+}
+
+void World::set_cpu_factor(int rank, double factor) {
+  MHETA_CHECK(rank >= 0 && rank < size());
+  MHETA_CHECK_MSG(factor >= 1.0, "cpu slowdown must be >= 1, got " << factor);
+  cpu_factor_[static_cast<std::size_t>(rank)] = factor;
+}
+
+double World::cpu_factor(int rank) const {
+  MHETA_CHECK(rank >= 0 && rank < size());
+  return cpu_factor_[static_cast<std::size_t>(rank)];
+}
+
+void World::set_network_factor(double factor) {
+  MHETA_CHECK_MSG(factor >= 1.0,
+                  "network contention factor must be >= 1, got " << factor);
+  network_factor_ = factor;
+}
+
+void World::stall(int rank, double seconds) {
+  MHETA_CHECK(rank >= 0 && rank < size());
+  MHETA_CHECK(seconds >= 0);
+  const sim::Time until = engine_.now() + sim::from_seconds(seconds);
+  sim::Time& s = stall_until_[static_cast<std::size_t>(rank)];
+  s = std::max(s, until);
+}
+
+sim::Time World::stalled_until(int rank) const {
+  MHETA_CHECK(rank >= 0 && rank < size());
+  return stall_until_[static_cast<std::size_t>(rank)];
+}
 
 double World::send_overhead_s(int rank) const {
   return config_.network.send_overhead_s / power(rank);
@@ -133,6 +168,12 @@ sim::Task<void> World::compute(int rank, double work_seconds,
   MHETA_CHECK(work_seconds >= 0);
   HookInfo i = info(rank, Op::kCompute);
   fire_pre(i);
+  // An injected stall (transient node pause) freezes the CPU: the next
+  // compute waits it out. The wait is idle time, not busy time.
+  const sim::Time stalled = stall_until_[static_cast<std::size_t>(rank)];
+  if (stalled > engine_.now()) {
+    co_await engine_.delay(stalled - engine_.now());
+  }
   const double cache_factor = config_.cache.factor(
       working_set_bytes, effects_.cache_perturbation);
   const double noise = compute_rng_[static_cast<std::size_t>(rank)]
@@ -166,8 +207,9 @@ sim::Task<void> World::send(int src, int dst, std::int64_t bytes, int tag,
   fire_pre(i);
   // Sender CPU overhead o_s (scaled by CPU power), then the message is on
   // the wire for transfer(bytes).
+  const double wire_s = config_.network.transfer_s(bytes) * network_factor_;
   cpu_busy_s_[static_cast<std::size_t>(src)] += send_overhead_s(src);
-  network_busy_s_ += config_.network.transfer_s(bytes);
+  network_busy_s_ += wire_s;
   co_await engine_.delay(sim::from_seconds(send_overhead_s(src)));
   Msg m;
   m.src = src;
@@ -175,8 +217,7 @@ sim::Task<void> World::send(int src, int dst, std::int64_t bytes, int tag,
   m.bytes = bytes;
   m.payload = payload;
   m.sent_at = engine_.now();
-  const sim::Time arrival =
-      engine_.now() + sim::from_seconds(config_.network.transfer_s(bytes));
+  const sim::Time arrival = engine_.now() + sim::from_seconds(wire_s);
   channel(dst, src, tag).push_at(arrival, m);
   fire_post(i);
 }

@@ -122,6 +122,28 @@ class World {
   double send_overhead_s(int rank) const;
   double recv_overhead_s(int rank) const;
 
+  // --- live fault injection (mheta-adapt) ---------------------------------
+  // These mutators let a fault::FaultInjector perturb the running world from
+  // sim::Engine events without rebuilding it. All factors default to 1 and
+  // cost nothing when untouched.
+
+  /// Slows rank's CPU by `factor` (>= 1): compute durations and its o_s/o_r
+  /// overheads stretch by the factor. 1.0 restores nominal speed.
+  void set_cpu_factor(int rank, double factor);
+  double cpu_factor(int rank) const;
+
+  /// Scales every subsequent message's wire time (latency and per-byte) by
+  /// `factor` (>= 1) — shared-network contention. 1.0 restores nominal.
+  void set_network_factor(double factor);
+  double network_factor() const { return network_factor_; }
+
+  /// Freezes rank's CPU until now() + `seconds`: the next compute on that
+  /// rank first waits out the stall (in-flight I/O and messages drain
+  /// normally, like an OS-level pause). Overlapping stalls extend, never
+  /// shorten.
+  void stall(int rank, double seconds);
+  sim::Time stalled_until(int rank) const;
+
   // --- utilization accounting (always on; plain double adds) --------------
   /// Seconds rank's CPU was busy: compute durations plus per-message
   /// send/recv overheads (collective-internal messages included).
@@ -158,6 +180,9 @@ class World {
   cluster::SimEffects effects_;
   HookRegistry hooks_;
   bool blocking_prefetch_ = false;
+  double network_factor_ = 1.0;
+  std::vector<double> cpu_factor_;      // per rank, >= 1
+  std::vector<sim::Time> stall_until_;  // per rank
   std::vector<double> cpu_busy_s_;  // per rank
   double network_busy_s_ = 0;
   std::vector<std::unique_ptr<cluster::DiskModel>> disks_;

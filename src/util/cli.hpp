@@ -1,0 +1,81 @@
+// Shared command-line conventions of the mheta-* tools.
+//
+// Every tool follows one contract: exit 0 on success, 1 when an input is
+// invalid (lint findings, scenario errors), 2 on usage or file problems;
+// --help prints usage to stdout and exits 0; --version prints the library
+// version. ArgCursor replaces the argv walk each tool used to hand-roll,
+// funneling the "--flag needs a value" handling through one place.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace mheta::util::cli {
+
+inline constexpr int kExitOk = 0;
+/// Invalid input: lint errors, malformed scenarios, failed invariants.
+inline constexpr int kExitError = 1;
+/// Usage problems: unknown flags, missing values, unreadable files.
+inline constexpr int kExitUsage = 2;
+
+/// Version reported by every tool's --version.
+inline constexpr const char* kVersion = "0.5.0";
+
+inline void print_version(std::ostream& os, const std::string& tool) {
+  os << tool << ' ' << kVersion << '\n';
+}
+
+/// Sequential cursor over argv[1..]; tools dispatch on each argument and use
+/// value() for flags that consume the next one.
+class ArgCursor {
+ public:
+  ArgCursor(int argc, char** argv, std::string tool)
+      : argc_(argc), argv_(argv), tool_(std::move(tool)) {}
+
+  const std::string& tool() const { return tool_; }
+
+  /// Advances to the next argument; false when argv is exhausted.
+  bool next(std::string& arg) {
+    if (i_ + 1 >= argc_) return false;
+    arg = argv_[++i_];
+    return true;
+  }
+
+  /// Consumes and returns the value of a `--flag VALUE` pair. When the flag
+  /// is the last argument, prints the standard complaint to stderr and
+  /// returns nullopt (the caller exits kExitUsage).
+  std::optional<std::string> value(const std::string& flag) {
+    if (i_ + 1 >= argc_) {
+      std::cerr << tool_ << ": " << flag << " needs a value\n";
+      return std::nullopt;
+    }
+    return std::string(argv_[++i_]);
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  std::string tool_;
+  int i_ = 0;
+};
+
+/// Handles the flags every tool shares. Returns an exit code when `arg` was
+/// --help/-h (usage to stdout) or --version; nullopt otherwise, and the
+/// caller dispatches its own flags.
+template <typename UsagePrinter>
+std::optional<int> handle_common_flag(const std::string& arg,
+                                      const std::string& tool,
+                                      UsagePrinter&& usage) {
+  if (arg == "--help" || arg == "-h") {
+    usage(std::cout);
+    return kExitOk;
+  }
+  if (arg == "--version") {
+    print_version(std::cout, tool);
+    return kExitOk;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mheta::util::cli

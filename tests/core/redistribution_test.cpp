@@ -98,6 +98,19 @@ TEST(Redistribution, CostGrowsWithDistance) {
   EXPECT_LT(small.bytes_moved, large.bytes_moved);
 }
 
+TEST(Redistribution, SingleNodeClusterMovesNothing) {
+  auto p = tiny_program();
+  instrument::MhetaParams params = two_node_params();
+  params.nodes.resize(1);
+  params.instrumented_dist = dist::GenBlock({100});
+  const auto cost = redistribution_cost(p, params, dist::GenBlock({100}),
+                                        dist::GenBlock({100}));
+  EXPECT_EQ(cost.bytes_moved, 0);
+  EXPECT_EQ(cost.total_s, 0.0);
+  ASSERT_EQ(cost.node_s.size(), 1u);
+  EXPECT_EQ(cost.node_s[0], 0.0);
+}
+
 TEST(Redistribution, RejectsMismatchedShapes) {
   EXPECT_THROW(redistribution_cost(tiny_program(), two_node_params(),
                                    dist::GenBlock({50, 50}),
@@ -125,6 +138,17 @@ TEST(SwitchPlan, BreakEvenArithmetic) {
   EXPECT_LT(gain * (plan.break_even_iterations - 1), plan.switch_cost_s);
   EXPECT_TRUE(plan.worthwhile(plan.break_even_iterations));
   EXPECT_FALSE(plan.worthwhile(plan.break_even_iterations - 1));
+}
+
+TEST(SwitchPlan, IdenticalDistributionsAreFree) {
+  const auto params = two_node_params();
+  const auto program = tiny_program();
+  Predictor predictor(program, params, {1ll << 30, 1ll << 30});
+  const dist::GenBlock d({50, 50});
+  const auto plan = plan_switch(predictor, program, params, d, d);
+  EXPECT_EQ(plan.switch_cost_s, 0.0);
+  EXPECT_EQ(plan.break_even_iterations, 0);
+  EXPECT_DOUBLE_EQ(plan.old_iteration_s, plan.new_iteration_s);
 }
 
 TEST(SwitchPlan, NeverWorthSwitchingToSlower) {

@@ -1,0 +1,180 @@
+#include "fault/adapt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/diagnostic.hpp"
+#include "fault/report.hpp"
+#include "obs/json.hpp"
+
+namespace mheta::fault {
+namespace {
+
+using core::CostTerms;
+
+std::vector<std::vector<CostTerms>> one_section(std::vector<CostTerms> ranks) {
+  return {std::move(ranks)};
+}
+
+CostTerms compute_only(double s) {
+  CostTerms t;
+  t.compute_s = s;
+  return t;
+}
+
+CostTerms recv_only(double s) {
+  CostTerms t;
+  t.recv_wait_s = s;
+  return t;
+}
+
+TEST(MeasureDrift, PerfectPredictionIsZero) {
+  const auto terms = one_section({compute_only(1.0), compute_only(2.0)});
+  const auto drift = measure_drift(terms, terms, 0.05);
+  EXPECT_DOUBLE_EQ(drift.worst, 0.0);
+  EXPECT_DOUBLE_EQ(drift.actionable, 0.0);
+  EXPECT_DOUBLE_EQ(drift.headline, 0.0);
+}
+
+TEST(MeasureDrift, LocalTermDriftIsActionable) {
+  // Node 1 computes twice as long as predicted: rel error 0.5 on a
+  // node-local term, fully addressable by moving rows off the node.
+  const auto predicted = one_section({compute_only(1.0), compute_only(1.0)});
+  const auto actual = one_section({compute_only(1.0), compute_only(2.0)});
+  const auto drift = measure_drift(predicted, actual, 0.05);
+  EXPECT_NEAR(drift.worst, 0.5, 1e-12);
+  EXPECT_EQ(drift.worst_rank, 1);
+  EXPECT_EQ(drift.worst_term, 0);  // compute
+  EXPECT_NEAR(drift.actionable, 0.5, 1e-12);
+}
+
+TEST(MeasureDrift, UniformNetworkDriftIsNotActionable) {
+  // Every node's recv_wait doubles — global contention. Worst is large,
+  // but the signed errors have zero spread: nothing to redistribute.
+  const auto predicted = one_section({recv_only(1.0), recv_only(1.0)});
+  const auto actual = one_section({recv_only(2.0), recv_only(2.0)});
+  const auto drift = measure_drift(predicted, actual, 0.05);
+  EXPECT_NEAR(drift.worst, 0.5, 1e-12);
+  EXPECT_NEAR(drift.actionable, 0.0, 1e-12);
+}
+
+TEST(MeasureDrift, AsymmetricNetworkDriftIsActionable) {
+  // One node waits 2x, the other as predicted: the spread is addressable.
+  const auto predicted = one_section({recv_only(1.0), recv_only(1.0)});
+  const auto actual = one_section({recv_only(2.0), recv_only(1.0)});
+  const auto drift = measure_drift(predicted, actual, 0.05);
+  EXPECT_NEAR(drift.actionable, 0.5, 1e-12);
+}
+
+TEST(MeasureDrift, TinyTermsAreIgnored) {
+  // The drifting term is 1% of the node's total, below term_share_min.
+  CostTerms p = compute_only(1.0);
+  p.recv_wait_s = 0.01;
+  CostTerms a = compute_only(1.0);
+  a.recv_wait_s = 0.02;
+  const auto drift = measure_drift(one_section({p}), one_section({a}), 0.05);
+  EXPECT_DOUBLE_EQ(drift.worst, 0.0);
+  EXPECT_DOUBLE_EQ(drift.actionable, 0.0);
+}
+
+TEST(MeasureDrift, RejectsMismatchedSections) {
+  const auto a = one_section({compute_only(1.0)});
+  std::vector<std::vector<CostTerms>> b;
+  EXPECT_THROW(measure_drift(a, b, 0.05), CheckError);
+}
+
+TEST(Policy, NamesRoundTrip) {
+  for (Policy p : {Policy::kStatic, Policy::kAdaptive, Policy::kOracle}) {
+    const auto parsed = parse_policy(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_policy("psychic").has_value());
+}
+
+TEST(ChaosRunResult, OrderedChecksBothInequalities) {
+  ChaosRunResult r;
+  r.oracle.total_s = 1.0;
+  r.adaptive.total_s = 2.0;
+  r.static_best.total_s = 3.0;
+  EXPECT_TRUE(r.ordered());
+  r.adaptive.total_s = 3.5;
+  EXPECT_FALSE(r.ordered());
+  EXPECT_TRUE(r.ordered(0.2));  // within 20% slack
+  r.adaptive.total_s = 0.5;
+  EXPECT_FALSE(r.ordered());
+}
+
+class AdaptEndToEnd : public ::testing::Test {
+ protected:
+  static Scenario scenario() {
+    Scenario s;
+    s.name = "e2e";
+    s.seed = 5;
+    s.epochs = 4;
+    s.iterations_per_epoch = 6;
+    s.perturbations.push_back(
+        {PerturbKind::kCpuSlowdown, 3, 1, 4, 3.0, 0.0});
+    return s;
+  }
+
+  static AdaptOptions options() { return {}; }
+};
+
+TEST_F(AdaptEndToEnd, PoliciesKeepTheirContracts) {
+  const auto arch = cluster::find_arch("HY1");
+  const auto w = exp::workload_by_name("jacobi");
+  ASSERT_TRUE(w.has_value());
+  const auto r = run_chaos(arch, *w, scenario(), options());
+
+  // Static never reacts; the oracle reacts for free.
+  EXPECT_EQ(r.static_best.recalibrations, 0);
+  EXPECT_EQ(r.static_best.switches, 0);
+  EXPECT_DOUBLE_EQ(r.static_best.overhead_s, 0.0);
+  EXPECT_EQ(r.oracle.recalibrations, 0);
+  EXPECT_DOUBLE_EQ(r.oracle.overhead_s, 0.0);
+
+  // A persistent one-node slowdown is actionable: the invariant holds and
+  // adaptivity strictly pays off.
+  EXPECT_TRUE(r.ordered());
+  EXPECT_LT(r.adaptive.total_s, r.static_best.total_s);
+  EXPECT_GE(r.adaptive.switches, 1);
+
+  // Totals are consistent with their epoch records.
+  for (const PolicyResult* p : {&r.static_best, &r.adaptive, &r.oracle}) {
+    double sum = 0;
+    for (const auto& e : p->epochs) sum += e.epoch_s + e.overhead_s;
+    EXPECT_NEAR(p->total_s, sum, 1e-9);
+    EXPECT_EQ(p->epochs.size(), 4u);
+  }
+}
+
+TEST_F(AdaptEndToEnd, ReplaysAreDeterministic) {
+  const auto arch = cluster::find_arch("HY1");
+  const auto w = exp::workload_by_name("jacobi");
+  ASSERT_TRUE(w.has_value());
+  const auto a = run_chaos(arch, *w, scenario(), options());
+  const auto b = run_chaos(arch, *w, scenario(), options());
+
+  std::ostringstream ja, jb;
+  write_chaos_json(ja, a);
+  write_chaos_json(jb, b);
+  EXPECT_EQ(ja.str(), jb.str());
+
+  std::string error;
+  EXPECT_TRUE(obs::json_valid(ja.str(), &error)) << error;
+}
+
+TEST_F(AdaptEndToEnd, RejectsIllFormedScenario) {
+  const auto arch = cluster::find_arch("HY1");
+  const auto w = exp::workload_by_name("jacobi");
+  ASSERT_TRUE(w.has_value());
+  auto s = scenario();
+  s.perturbations[0].node = 99;  // MH016 against the concrete cluster
+  EXPECT_THROW(run_policy(Policy::kStatic, arch, *w, s, options()),
+               analysis::LintError);
+}
+
+}  // namespace
+}  // namespace mheta::fault

@@ -1,0 +1,126 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/driver.hpp"
+#include "cluster/suite.hpp"
+#include "exp/experiment.hpp"
+#include "fault/scenario.hpp"
+
+namespace mheta::fault {
+namespace {
+
+Scenario base_scenario() {
+  Scenario s;
+  s.name = "inj";
+  s.seed = 3;
+  s.epochs = 4;
+  s.iterations_per_epoch = 2;
+  return s;
+}
+
+TEST(InjectionPlan, EmptyEpochIsIdentity) {
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 2, 3, 2.0, 0.0});
+  const auto plan = injection_plan(s, 0, 3);
+  EXPECT_FALSE(plan.any());
+  for (double f : plan.cpu_factor) EXPECT_DOUBLE_EQ(f, 1.0);
+  for (double f : plan.disk_factor) EXPECT_DOUBLE_EQ(f, 1.0);
+  EXPECT_DOUBLE_EQ(plan.network_factor, 1.0);
+  EXPECT_TRUE(plan.pauses.empty());
+}
+
+TEST(InjectionPlan, ComposesLikePerturbedConfig) {
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 1, 0, 4, 2.0, 0.0});
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 1, 0, 4, 3.0, 0.0});
+  s.perturbations.push_back(
+      {PerturbKind::kDiskSlowdown, 0, 0, 4, 4.0, 0.0});
+  s.perturbations.push_back(
+      {PerturbKind::kNetContention, -1, 0, 4, 5.0, 0.0});
+  const auto plan = injection_plan(s, 0, 2);
+  EXPECT_TRUE(plan.any());
+  EXPECT_DOUBLE_EQ(plan.cpu_factor[0], 1.0);
+  EXPECT_DOUBLE_EQ(plan.cpu_factor[1], 6.0);
+  EXPECT_DOUBLE_EQ(plan.disk_factor[0], 4.0);
+  EXPECT_DOUBLE_EQ(plan.disk_factor[1], 1.0);
+  EXPECT_DOUBLE_EQ(plan.network_factor, 5.0);
+
+  // The config path must agree factor-for-factor.
+  const auto base = cluster::ClusterConfig::uniform(2);
+  const auto cfg = perturbed_config(base, s, 0);
+  EXPECT_DOUBLE_EQ(cfg.node(1).cpu_power,
+                   base.node(1).cpu_power / plan.cpu_factor[1]);
+  EXPECT_DOUBLE_EQ(cfg.node(0).disk_read_s_per_byte,
+                   base.node(0).disk_read_s_per_byte * plan.disk_factor[0]);
+  EXPECT_DOUBLE_EQ(cfg.network.s_per_byte,
+                   base.network.s_per_byte * plan.network_factor);
+}
+
+TEST(InjectionPlan, MemShrinkTakesOnlyTheConfigPath) {
+  auto s = base_scenario();
+  s.perturbations.push_back({PerturbKind::kMemShrink, -1, 0, 4, 0.5, 0.0});
+  const auto plan = injection_plan(s, 0, 2);
+  EXPECT_FALSE(plan.any());
+}
+
+TEST(InjectionPlan, PausesAreTransient) {
+  auto s = base_scenario();
+  s.perturbations.push_back({PerturbKind::kNodePause, 1, 1, 2, 0.25, 0.0});
+  const auto plan = injection_plan(s, 1, 3);
+  EXPECT_TRUE(plan.any());
+  ASSERT_EQ(plan.pauses.size(), 1u);
+  EXPECT_EQ(plan.pauses[0].node, 1);
+  EXPECT_DOUBLE_EQ(plan.pauses[0].seconds, 0.25);
+  // A pause perturbs the epoch but bakes nothing into a config.
+  const auto base = cluster::ClusterConfig::uniform(3);
+  const auto cfg = perturbed_config(base, s, 1);
+  EXPECT_DOUBLE_EQ(cfg.node(1).cpu_power, base.node(1).cpu_power);
+}
+
+// The core guarantee of the dual-path design: running on nominal hardware
+// with the injector arming at the timed-region start costs exactly what
+// running on the equivalent perturbed_config() does, for every persistent
+// kind. Re-calibration measures the config path while epochs run the live
+// path, so any disagreement would corrupt the adaptive controller.
+TEST(FaultInjector, LiveRunMatchesPerturbedConfigRun) {
+  const cluster::ArchConfig arch = cluster::find_arch("HY1");
+  const auto workload = exp::workload_by_name("jacobi");
+  ASSERT_TRUE(workload.has_value());
+  const exp::ExperimentOptions opts;
+  const dist::GenBlock d =
+      dist::block_dist(exp::make_context(arch, *workload, opts));
+
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 2, 0, 4, 3.0, 0.0});
+  s.perturbations.push_back(
+      {PerturbKind::kDiskSlowdown, 0, 0, 4, 2.0, 0.0});
+  s.perturbations.push_back(
+      {PerturbKind::kNetContention, -1, 0, 4, 1.5, 0.0});
+
+  apps::RunOptions live;
+  live.iterations = 3;
+  live.runtime = opts.runtime;
+  const FaultInjector injector(s, 0, arch.cluster.size());
+  live.before_iterations = injector.callback();
+  const double live_s = apps::run_program(arch.cluster, opts.effects,
+                                          workload->program, d, live)
+                            .seconds;
+
+  apps::RunOptions baked;
+  baked.iterations = 3;
+  baked.runtime = opts.runtime;
+  const double baked_s =
+      apps::run_program(perturbed_config(arch.cluster, s, 0), opts.effects,
+                        workload->program, d, baked)
+          .seconds;
+
+  EXPECT_NEAR(live_s, baked_s, 1e-9 * baked_s);
+}
+
+}  // namespace
+}  // namespace mheta::fault

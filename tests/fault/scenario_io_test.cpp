@@ -1,0 +1,138 @@
+#include "fault/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mheta::fault {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The shipped example scenarios are canonical: save(load(f)) reproduces
+// the file byte for byte. This pins both the parser and the writer.
+class GoldenRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenRoundTrip, SaveOfLoadIsIdentity) {
+  const std::string path =
+      std::string(MHETA_EXAMPLES_DIR "/scenarios/") + GetParam();
+  const std::string original = slurp(path);
+
+  std::istringstream in(original);
+  const Scenario s = load_scenario(in);
+  std::ostringstream out;
+  save_scenario(out, s);
+  EXPECT_EQ(out.str(), original) << path << " is not canonical";
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, GoldenRoundTrip,
+                         ::testing::Values("step-cpu.chaos",
+                                           "disk-aging.chaos",
+                                           "net-burst.chaos"));
+
+TEST(ScenarioIo, RoundTripPreservesEveryField) {
+  Scenario s;
+  s.name = "rt";
+  s.seed = 42;
+  s.epochs = 5;
+  s.iterations_per_epoch = 3;
+  s.perturbations.push_back(
+      {PerturbKind::kNetContention, -1, 1, 4, 2.0, 0.125});
+  s.perturbations.push_back({PerturbKind::kNodePause, 2, 0, 1, 1.5, 0.0});
+
+  std::ostringstream out;
+  save_scenario(out, s);
+  std::istringstream in(out.str());
+  const Scenario back = load_scenario(in);
+
+  EXPECT_EQ(back.name, s.name);
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_EQ(back.epochs, s.epochs);
+  EXPECT_EQ(back.iterations_per_epoch, s.iterations_per_epoch);
+  ASSERT_EQ(back.perturbations.size(), s.perturbations.size());
+  for (std::size_t i = 0; i < s.perturbations.size(); ++i) {
+    EXPECT_EQ(back.perturbations[i].kind, s.perturbations[i].kind);
+    EXPECT_EQ(back.perturbations[i].node, s.perturbations[i].node);
+    EXPECT_EQ(back.perturbations[i].epoch_begin,
+              s.perturbations[i].epoch_begin);
+    EXPECT_EQ(back.perturbations[i].epoch_end, s.perturbations[i].epoch_end);
+    EXPECT_DOUBLE_EQ(back.perturbations[i].magnitude,
+                     s.perturbations[i].magnitude);
+    EXPECT_DOUBLE_EQ(back.perturbations[i].jitter_rel,
+                     s.perturbations[i].jitter_rel);
+  }
+}
+
+TEST(ScenarioIo, RecordsLocations) {
+  std::istringstream in(
+      "MHETA-CHAOS v1\n"
+      "name loc\n"
+      "seed 1\n"
+      "epochs 4\n"
+      "iterations-per-epoch 2\n"
+      "perturbations 1\n"
+      "perturb cpu-slow 0 1 3 2 0\n");
+  ScenarioLocations locations;
+  locations.file = "loc.chaos";
+  analysis::Diagnostics diags("loc.chaos");
+  load_scenario(in, &locations, &diags);
+  EXPECT_EQ(locations.epochs_line, 4);
+  ASSERT_EQ(locations.perturb_lines.size(), 1u);
+  EXPECT_EQ(locations.perturb_lines[0], 7);
+  EXPECT_EQ(locations.perturbation(0).line, 7);
+}
+
+TEST(ScenarioIo, RejectsBadHeader) {
+  std::istringstream in("MHETA-STRUCTURE v1\n");
+  EXPECT_THROW(load_scenario(in), CheckError);
+}
+
+TEST(ScenarioIo, RejectsUnknownKind) {
+  std::istringstream in(
+      "MHETA-CHAOS v1\n"
+      "name bad\n"
+      "seed 1\n"
+      "epochs 4\n"
+      "iterations-per-epoch 2\n"
+      "perturbations 1\n"
+      "perturb warp-core 0 1 3 2 0\n");
+  EXPECT_THROW(load_scenario(in), CheckError);
+}
+
+TEST(ScenarioIo, RejectsPerturbationCountMismatch) {
+  std::istringstream in(
+      "MHETA-CHAOS v1\n"
+      "name bad\n"
+      "seed 1\n"
+      "epochs 4\n"
+      "iterations-per-epoch 2\n"
+      "perturbations 2\n"
+      "perturb cpu-slow 0 1 3 2 0\n");
+  EXPECT_THROW(load_scenario(in), CheckError);
+}
+
+TEST(ScenarioIo, EnforcesLintWithoutSink) {
+  // Empty window [3, 1) is an MH017 error; with no Diagnostics sink the
+  // loader enforces and throws.
+  std::istringstream in(
+      "MHETA-CHAOS v1\n"
+      "name bad\n"
+      "seed 1\n"
+      "epochs 4\n"
+      "iterations-per-epoch 2\n"
+      "perturbations 1\n"
+      "perturb cpu-slow 0 3 1 2 0\n");
+  EXPECT_THROW(load_scenario(in), analysis::LintError);
+}
+
+}  // namespace
+}  // namespace mheta::fault

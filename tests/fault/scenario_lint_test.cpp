@@ -1,0 +1,141 @@
+#include "fault/scenario_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/suite.hpp"
+
+namespace mheta::fault {
+namespace {
+
+Scenario clean_scenario() {
+  Scenario s;
+  s.name = "clean";
+  s.seed = 1;
+  s.epochs = 8;
+  s.iterations_per_epoch = 4;
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 1, 2, 6, 3.0, 0.0});
+  return s;
+}
+
+bool fires(const analysis::Diagnostics& diags, const std::string& rule,
+           analysis::Severity severity) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const analysis::Diagnostic& d) {
+                       return d.rule == rule && d.severity == severity;
+                     });
+}
+
+TEST(ScenarioRules, CatalogIsStable) {
+  const auto& catalog = scenario_rule_catalog();
+  ASSERT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog[0].id, "MH016");
+  EXPECT_EQ(catalog[1].id, "MH017");
+  EXPECT_EQ(catalog[2].id, "MH018");
+  EXPECT_NE(find_scenario_rule("MH017"), nullptr);
+  EXPECT_EQ(find_scenario_rule("MH001"), nullptr);
+}
+
+TEST(ScenarioRules, CleanScenarioPasses) {
+  const auto diags = lint_scenario(clean_scenario(), nullptr, nullptr);
+  EXPECT_FALSE(diags.has_errors()) << diags.size() << " findings";
+}
+
+TEST(ScenarioRules, MH016NodeOutOfRangeNeedsCluster) {
+  auto s = clean_scenario();
+  s.perturbations[0].node = 99;
+  // Without a cluster the range is unknown: no finding.
+  EXPECT_FALSE(
+      fires(lint_scenario(s, nullptr, nullptr), "MH016",
+            analysis::Severity::kError));
+  const auto cluster = cluster::ClusterConfig::uniform(4);
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, &cluster), "MH016",
+                    analysis::Severity::kError));
+}
+
+TEST(ScenarioRules, MH016NetContentionMustTargetAll) {
+  auto s = clean_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kNetContention, 2, 2, 4, 2.0, 0.0});
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH016",
+                    analysis::Severity::kError));
+}
+
+TEST(ScenarioRules, MH017EmptyWindow) {
+  auto s = clean_scenario();
+  s.perturbations[0].epoch_begin = 5;
+  s.perturbations[0].epoch_end = 3;
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH017",
+                    analysis::Severity::kError));
+}
+
+TEST(ScenarioRules, MH017WindowPastTheRun) {
+  auto s = clean_scenario();
+  s.perturbations[0].epoch_begin = 9;
+  s.perturbations[0].epoch_end = 12;
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH017",
+                    analysis::Severity::kError));
+}
+
+TEST(ScenarioRules, MH017PartialOverrunIsWarning) {
+  auto s = clean_scenario();
+  s.perturbations[0].epoch_end = 12;  // begins inside, runs past epoch 8
+  const auto diags = lint_scenario(s, nullptr, nullptr);
+  EXPECT_TRUE(fires(diags, "MH017", analysis::Severity::kWarning));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(ScenarioRules, MH017NonPositiveRunShape) {
+  auto s = clean_scenario();
+  s.epochs = 0;
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH017",
+                    analysis::Severity::kError));
+}
+
+TEST(ScenarioRules, MH017OverlapSameKindSameTargetWarns) {
+  auto s = clean_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 1, 4, 7, 2.0, 0.0});
+  const auto diags = lint_scenario(s, nullptr, nullptr);
+  EXPECT_TRUE(fires(diags, "MH017", analysis::Severity::kWarning));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(ScenarioRules, MH018SlowdownBelowOne) {
+  auto s = clean_scenario();
+  s.perturbations[0].magnitude = 0.5;
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH018",
+                    analysis::Severity::kError));
+}
+
+TEST(ScenarioRules, MH018ImplausibleSlowdownWarns) {
+  auto s = clean_scenario();
+  s.perturbations[0].magnitude = 100.0;
+  const auto diags = lint_scenario(s, nullptr, nullptr);
+  EXPECT_TRUE(fires(diags, "MH018", analysis::Severity::kWarning));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(ScenarioRules, MH018MemShrinkFractionRange) {
+  auto s = clean_scenario();
+  s.perturbations[0] = {PerturbKind::kMemShrink, 1, 2, 6, 1.5, 0.0};
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH018",
+                    analysis::Severity::kError));
+  s.perturbations[0].magnitude = 0.0;
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH018",
+                    analysis::Severity::kError));
+  s.perturbations[0].magnitude = 0.5;
+  EXPECT_FALSE(lint_scenario(s, nullptr, nullptr).has_errors());
+}
+
+TEST(ScenarioRules, MH018JitterRange) {
+  auto s = clean_scenario();
+  s.perturbations[0].jitter_rel = 0.75;
+  EXPECT_TRUE(fires(lint_scenario(s, nullptr, nullptr), "MH018",
+                    analysis::Severity::kError));
+}
+
+}  // namespace
+}  // namespace mheta::fault

@@ -1,0 +1,169 @@
+#include "fault/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/suite.hpp"
+
+namespace mheta::fault {
+namespace {
+
+Scenario base_scenario() {
+  Scenario s;
+  s.name = "t";
+  s.seed = 7;
+  s.epochs = 6;
+  s.iterations_per_epoch = 4;
+  return s;
+}
+
+TEST(Scenario, TotalIterations) {
+  EXPECT_EQ(base_scenario().total_iterations(), 24);
+}
+
+TEST(Scenario, KindNamesRoundTrip) {
+  for (PerturbKind k :
+       {PerturbKind::kCpuSlowdown, PerturbKind::kDiskSlowdown,
+        PerturbKind::kNetContention, PerturbKind::kMemShrink,
+        PerturbKind::kNodePause}) {
+    const auto parsed = parse_perturb_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_perturb_kind("bogus").has_value());
+}
+
+TEST(EffectiveMagnitude, ExactWithoutJitter) {
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 1, 5, 2.5, 0.0});
+  for (int epoch = 1; epoch < 5; ++epoch)
+    EXPECT_DOUBLE_EQ(effective_magnitude(s, 0, epoch), 2.5);
+}
+
+TEST(EffectiveMagnitude, JitterIsDeterministicAndVaries) {
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 0, 6, 3.0, 0.2});
+  const double e0 = effective_magnitude(s, 0, 0);
+  const double e1 = effective_magnitude(s, 0, 1);
+  EXPECT_NE(e0, e1);  // different epochs draw differently
+  EXPECT_DOUBLE_EQ(effective_magnitude(s, 0, 0), e0);  // replayable
+  // Slowdowns never jitter below the nominal floor of 1.
+  for (int epoch = 0; epoch < 6; ++epoch)
+    EXPECT_GE(effective_magnitude(s, 0, epoch), 1.0);
+}
+
+TEST(EffectiveMagnitude, IndependentAcrossPerturbations) {
+  auto one = base_scenario();
+  one.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 0, 6, 3.0, 0.2});
+  auto two = one;
+  two.perturbations.push_back(
+      {PerturbKind::kDiskSlowdown, 1, 0, 6, 2.0, 0.2});
+  // Adding a perturbation must not change the draws the first one sees.
+  for (int epoch = 0; epoch < 6; ++epoch)
+    EXPECT_DOUBLE_EQ(effective_magnitude(one, 0, epoch),
+                     effective_magnitude(two, 0, epoch));
+}
+
+TEST(PerturbedConfig, CpuSlowdownDividesPower) {
+  const auto base = cluster::ClusterConfig::uniform(3);
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 1, 2, 4, 2.0, 0.0});
+  const auto out = perturbed_config(base, s, 2);
+  EXPECT_DOUBLE_EQ(out.node(0).cpu_power, base.node(0).cpu_power);
+  EXPECT_DOUBLE_EQ(out.node(1).cpu_power, base.node(1).cpu_power / 2.0);
+  // Outside the window nothing changes.
+  EXPECT_DOUBLE_EQ(perturbed_config(base, s, 4).node(1).cpu_power,
+                   base.node(1).cpu_power);
+}
+
+TEST(PerturbedConfig, SameKindOverlapsComposeMultiplicatively) {
+  const auto base = cluster::ClusterConfig::uniform(2);
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 0, 6, 2.0, 0.0});
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 2, 4, 3.0, 0.0});
+  EXPECT_DOUBLE_EQ(perturbed_config(base, s, 1).node(0).cpu_power,
+                   base.node(0).cpu_power / 2.0);
+  EXPECT_DOUBLE_EQ(perturbed_config(base, s, 3).node(0).cpu_power,
+                   base.node(0).cpu_power / 6.0);
+}
+
+TEST(PerturbedConfig, DiskSlowdownScalesSeeksAndRatesOnly) {
+  const auto base = cluster::ClusterConfig::uniform(2);
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kDiskSlowdown, 0, 0, 6, 4.0, 0.0});
+  const auto out = perturbed_config(base, s, 0);
+  EXPECT_DOUBLE_EQ(out.node(0).disk_read_seek_s,
+                   base.node(0).disk_read_seek_s * 4.0);
+  EXPECT_DOUBLE_EQ(out.node(0).disk_write_seek_s,
+                   base.node(0).disk_write_seek_s * 4.0);
+  EXPECT_DOUBLE_EQ(out.node(0).disk_read_s_per_byte,
+                   base.node(0).disk_read_s_per_byte * 4.0);
+  EXPECT_DOUBLE_EQ(out.node(0).disk_write_s_per_byte,
+                   base.node(0).disk_write_s_per_byte * 4.0);
+  // RAM-speed cache hits are not spindle-bound.
+  EXPECT_DOUBLE_EQ(out.node(0).cache_read_s_per_byte,
+                   base.node(0).cache_read_s_per_byte);
+}
+
+TEST(PerturbedConfig, NetContentionScalesSharedNetwork) {
+  const auto base = cluster::ClusterConfig::uniform(2);
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kNetContention, -1, 0, 6, 8.0, 0.0});
+  const auto out = perturbed_config(base, s, 0);
+  EXPECT_DOUBLE_EQ(out.network.latency_s, base.network.latency_s * 8.0);
+  EXPECT_DOUBLE_EQ(out.network.s_per_byte, base.network.s_per_byte * 8.0);
+}
+
+TEST(PerturbedConfig, MemShrinkScalesMemory) {
+  const auto base = cluster::ClusterConfig::uniform(2);
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kMemShrink, -1, 0, 6, 0.5, 0.0});
+  const auto out = perturbed_config(base, s, 0);
+  for (int n = 0; n < base.size(); ++n)
+    EXPECT_EQ(out.node(n).memory_bytes, base.node(n).memory_bytes / 2);
+}
+
+TEST(MemoryConfig, AppliesOnlyMemShrink) {
+  const auto base = cluster::ClusterConfig::uniform(2);
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 0, 6, 2.0, 0.0});
+  s.perturbations.push_back(
+      {PerturbKind::kMemShrink, 1, 0, 6, 0.25, 0.0});
+  const auto out = memory_config(base, s, 0);
+  EXPECT_DOUBLE_EQ(out.node(0).cpu_power, base.node(0).cpu_power);
+  EXPECT_EQ(out.node(1).memory_bytes, base.node(1).memory_bytes / 4);
+}
+
+TEST(PausesAt, ExpandsAllTargetOverRanks) {
+  auto s = base_scenario();
+  s.perturbations.push_back({PerturbKind::kNodePause, -1, 1, 2, 0.5, 0.0});
+  const auto pauses = pauses_at(s, 1, 3);
+  ASSERT_EQ(pauses.size(), 3u);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(pauses[static_cast<std::size_t>(n)].node, n);
+    EXPECT_DOUBLE_EQ(pauses[static_cast<std::size_t>(n)].seconds, 0.5);
+  }
+  EXPECT_TRUE(pauses_at(s, 0, 3).empty());
+}
+
+TEST(AnyActive, TracksWindows) {
+  auto s = base_scenario();
+  s.perturbations.push_back(
+      {PerturbKind::kCpuSlowdown, 0, 2, 4, 2.0, 0.0});
+  EXPECT_FALSE(any_active(s, 1));
+  EXPECT_TRUE(any_active(s, 2));
+  EXPECT_TRUE(any_active(s, 3));
+  EXPECT_FALSE(any_active(s, 4));
+}
+
+}  // namespace
+}  // namespace mheta::fault

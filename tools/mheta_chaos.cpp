@@ -1,0 +1,186 @@
+// mheta-chaos: fault-injection scenarios against redistribution policies.
+//
+// Loads a `.chaos` scenario (MHETA-CHAOS v1), verifies it against the
+// MH016-MH018 rules crossed with the target architecture, and replays it
+// against the three redistribution policies — static-best, adaptive, and
+// oracle (see fault/adapt.hpp). Emits a human-readable comparison on stdout
+// and, with --out, the machine-readable JSON report the chaos-smoke CI job
+// asserts the oracle <= adaptive <= static invariant on. Everything is
+// deterministic: two runs with the same scenario produce byte-identical
+// reports.
+//
+// Usage: mheta-chaos [options] <scenario.chaos>
+//   --workload NAME    built-in app (default jacobi): jacobi | jacobi-pf |
+//                      cg | lanczos | rna | multigrid | isort
+//   --arch NAME        Table-1 architecture (default HY1)
+//   --policy P         run one policy only: static | adaptive | oracle
+//                      (default: all three plus the comparison)
+//   --algorithm A      search algorithm (default gbs): gbs | random | tabu
+//                      | anneal | hill | genetic
+//   --out FILE         write the JSON report to FILE (all-policy runs only)
+//   --json             print the JSON report to stdout instead of text
+//   --help             this text
+//
+// Exit status: 0 on success, 1 when the scenario has lint errors, 2 on
+// usage or file problems.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "cluster/suite.hpp"
+#include "exp/experiment.hpp"
+#include "fault/adapt.hpp"
+#include "fault/report.hpp"
+#include "fault/scenario_io.hpp"
+#include "fault/scenario_lint.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+using namespace mheta;
+namespace cli = mheta::util::cli;
+
+namespace {
+
+constexpr const char* kTool = "mheta-chaos";
+
+void print_usage(std::ostream& os) {
+  os << "usage: mheta-chaos [--workload NAME] [--arch NAME]\n"
+        "                   [--policy static|adaptive|oracle]\n"
+        "                   [--algorithm ALGO] [--out FILE] [--json]\n"
+        "                   <scenario.chaos>\n"
+        "apps: jacobi jacobi-pf cg lanczos rna multigrid isort\n"
+        "search: gbs random tabu anneal hill genetic\n";
+}
+
+void print_policy_text(std::ostream& os, const fault::PolicyResult& p) {
+  os << to_string(p.policy) << ": total " << p.total_s << " s, "
+     << p.switches << " switch(es), " << p.recalibrations
+     << " recalibration(s)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_path;
+  std::string workload_name = "jacobi";
+  std::string arch_name = "HY1";
+  std::string policy_name;
+  std::string out_path;
+  bool json = false;
+  fault::AdaptOptions opts;
+
+  cli::ArgCursor args(argc, argv, kTool);
+  std::string arg;
+  while (args.next(arg)) {
+    const auto next = [&]() -> std::string {
+      const auto v = args.value(arg);
+      if (!v) std::exit(cli::kExitUsage);
+      return *v;
+    };
+    if (auto code = cli::handle_common_flag(arg, kTool, print_usage))
+      return *code;
+    if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--arch") {
+      arch_name = next();
+    } else if (arg == "--policy") {
+      policy_name = next();
+    } else if (arg == "--algorithm") {
+      opts.algorithm = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << kTool << ": unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return cli::kExitUsage;
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      std::cerr << kTool << ": one scenario at a time (got '" << scenario_path
+                << "' and '" << arg << "')\n";
+      return cli::kExitUsage;
+    }
+  }
+  if (scenario_path.empty()) {
+    print_usage(std::cerr);
+    return cli::kExitUsage;
+  }
+
+  std::ifstream file(scenario_path);
+  if (!file) {
+    std::cerr << kTool << ": cannot open '" << scenario_path << "'\n";
+    return cli::kExitUsage;
+  }
+
+  try {
+    // Load, then verify crossed with the concrete machine; lint errors are
+    // the scenario author's problem (exit 1), not a usage problem (exit 2).
+    fault::ScenarioLocations locations;
+    locations.file = scenario_path;
+    analysis::Diagnostics load_diags(scenario_path);
+    const fault::Scenario scenario =
+        fault::load_scenario(file, &locations, &load_diags);
+
+    const cluster::ArchConfig arch = cluster::find_arch(arch_name);
+    const analysis::Diagnostics diags =
+        fault::lint_scenario(scenario, &locations, &arch.cluster);
+    if (diags.has_errors()) {
+      diags.print(std::cerr);
+      std::cerr << scenario_path << ": " << diags.error_count()
+                << " error(s)\n";
+      return cli::kExitError;
+    }
+
+    const auto workload = exp::workload_by_name(workload_name);
+    if (!workload) {
+      std::cerr << kTool << ": unknown workload '" << workload_name << "'\n";
+      return cli::kExitUsage;
+    }
+
+    if (!policy_name.empty()) {
+      const auto policy = fault::parse_policy(policy_name);
+      if (!policy) {
+        std::cerr << kTool << ": unknown policy '" << policy_name
+                  << "' (expected static|adaptive|oracle)\n";
+        return cli::kExitUsage;
+      }
+      const fault::PolicyResult result =
+          fault::run_policy(*policy, arch, *workload, scenario, opts);
+      print_policy_text(std::cout, result);
+      return cli::kExitOk;
+    }
+
+    const fault::ChaosRunResult result =
+        fault::run_chaos(arch, *workload, scenario, opts);
+
+    std::ostringstream report;
+    fault::write_chaos_json(report, result);
+    std::string error;
+    MHETA_CHECK_MSG(obs::json_valid(report.str(), &error),
+                    "internal error: report is not valid JSON: " << error);
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << kTool << ": cannot write '" << out_path << "'\n";
+        return cli::kExitUsage;
+      }
+      out << report.str();
+    }
+    if (json) {
+      std::cout << report.str();
+    } else {
+      fault::write_chaos_text(std::cout, result);
+      if (!out_path.empty()) std::cout << "wrote " << out_path << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << kTool << ": " << e.what() << '\n';
+    return cli::kExitUsage;
+  }
+  return cli::kExitOk;
+}

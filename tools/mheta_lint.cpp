@@ -3,13 +3,17 @@
 // Lints program-structure files (MHETA-STRUCTURE v1) or the built-in
 // applications against the analysis rule catalog (MH001...), optionally
 // crossing them with a Table-1 architecture and a named distribution so the
-// full triple rules run. Diagnostics render clang-style with fix-it notes,
-// or as JSON with --json.
+// full triple rules run. Fault-injection scenario files (MHETA-CHAOS v1)
+// lint with --scenario against the MH016-MH018 catalog; with --arch the
+// unknown-node check runs against that concrete machine. Diagnostics render
+// clang-style with fix-it notes, or as JSON with --json.
 //
 // Usage: mheta-lint [options] <input>...
 //   <input>            structure file (*.mheta) or a built-in app name:
 //                      jacobi | jacobi-pf | cg | lanczos | rna | multigrid
 //                      | isort
+//   --scenario FILE    also lint the `.chaos` scenario FILE (repeatable;
+//                      crossed with --arch when given)
 //   --arch NAME        also lint against architecture NAME (DC, IO, HY1,
 //                      HY2, ...), enabling the distribution rules
 //   --dist KIND        distribution to check with --arch: blk (default),
@@ -32,15 +36,22 @@
 #include "core/structure_io.hpp"
 #include "dist/generators.hpp"
 #include "exp/experiment.hpp"
+#include "fault/scenario_io.hpp"
+#include "fault/scenario_lint.hpp"
 #include "util/check.hpp"
+#include "util/cli.hpp"
 
 using namespace mheta;
+namespace cli = mheta::util::cli;
 
 namespace {
 
+constexpr const char* kTool = "mheta-lint";
+
 void print_usage(std::ostream& os) {
   os << "usage: mheta-lint [--arch NAME] [--dist blk|bal|ic|icbal] [--json]\n"
-        "                  [--rules] <structure-file-or-app>...\n"
+        "                  [--scenario FILE]... [--rules] "
+        "<structure-file-or-app>...\n"
         "apps: jacobi jacobi-pf cg lanczos rna multigrid isort\n";
 }
 
@@ -48,6 +59,10 @@ void print_rules(std::ostream& os) {
   for (const auto& r : analysis::rule_catalog()) {
     os << r.info.id << "  " << analysis::to_string(r.info.severity) << "  "
        << r.info.name << "\n      " << r.info.rationale << '\n';
+  }
+  for (const auto& info : fault::scenario_rule_catalog()) {
+    os << info.id << "  " << analysis::to_string(info.severity) << "  "
+       << info.name << "\n      " << info.rationale << '\n';
   }
 }
 
@@ -64,7 +79,19 @@ struct Options {
   std::string dist_kind = "blk";
   bool json = false;
   std::vector<std::string> inputs;
+  std::vector<std::string> scenarios;
 };
+
+int report(const analysis::Diagnostics& diags, const Options& opts) {
+  if (opts.json) {
+    diags.print_json(std::cout);
+  } else {
+    diags.print(std::cout);
+    std::cout << diags.artifact() << ": " << diags.error_count()
+              << " error(s), " << diags.warning_count() << " warning(s)\n";
+  }
+  return diags.has_errors() ? cli::kExitError : cli::kExitOk;
+}
 
 int lint_one(const std::string& input, const Options& opts) {
   core::ProgramStructure program;
@@ -78,8 +105,8 @@ int lint_one(const std::string& input, const Options& opts) {
   } else {
     std::ifstream file(input);
     if (!file) {
-      std::cerr << "mheta-lint: cannot open '" << input << "'\n";
-      return 2;
+      std::cerr << kTool << ": cannot open '" << input << "'\n";
+      return cli::kExitUsage;
     }
     locations.file = input;
     diags.set_artifact(input);
@@ -104,62 +131,85 @@ int lint_one(const std::string& input, const Options& opts) {
     diags = std::move(full);
   }
 
-  if (opts.json) {
-    diags.print_json(std::cout);
-  } else {
-    diags.print(std::cout);
-    std::cout << diags.artifact() << ": " << diags.error_count()
-              << " error(s), " << diags.warning_count() << " warning(s)\n";
+  return report(diags, opts);
+}
+
+int lint_scenario_file(const std::string& path, const Options& opts) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << kTool << ": cannot open '" << path << "'\n";
+    return cli::kExitUsage;
   }
-  return diags.has_errors() ? 1 : 0;
+  fault::ScenarioLocations locations;
+  locations.file = path;
+  analysis::Diagnostics diags(path);
+  const fault::Scenario s = fault::load_scenario(file, &locations, &diags);
+  if (!opts.arch.empty()) {
+    // Re-run crossed with the concrete machine (a superset of the findings
+    // collected at load, so replace rather than merge).
+    const cluster::ArchConfig arch = cluster::find_arch(opts.arch);
+    analysis::Diagnostics full =
+        fault::lint_scenario(s, &locations, &arch.cluster);
+    full.set_artifact(path);
+    diags = std::move(full);
+  }
+  return report(diags, opts);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout);
-      return 0;
-    } else if (arg == "--rules") {
+  cli::ArgCursor args(argc, argv, kTool);
+  std::string arg;
+  while (args.next(arg)) {
+    if (auto code = cli::handle_common_flag(arg, kTool, print_usage))
+      return *code;
+    if (arg == "--rules") {
       print_rules(std::cout);
-      return 0;
+      return cli::kExitOk;
     } else if (arg == "--json") {
       opts.json = true;
     } else if (arg == "--arch") {
-      if (++i >= argc) {
-        print_usage(std::cerr);
-        return 2;
-      }
-      opts.arch = argv[i];
+      const auto v = args.value(arg);
+      if (!v) return cli::kExitUsage;
+      opts.arch = *v;
     } else if (arg == "--dist") {
-      if (++i >= argc) {
-        print_usage(std::cerr);
-        return 2;
-      }
-      opts.dist_kind = argv[i];
+      const auto v = args.value(arg);
+      if (!v) return cli::kExitUsage;
+      opts.dist_kind = *v;
+    } else if (arg == "--scenario") {
+      const auto v = args.value(arg);
+      if (!v) return cli::kExitUsage;
+      opts.scenarios.push_back(*v);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "mheta-lint: unknown option '" << arg << "'\n";
+      std::cerr << kTool << ": unknown option '" << arg << "'\n";
       print_usage(std::cerr);
-      return 2;
+      return cli::kExitUsage;
     } else {
       opts.inputs.push_back(arg);
     }
   }
-  if (opts.inputs.empty()) {
+  if (opts.inputs.empty() && opts.scenarios.empty()) {
     print_usage(std::cerr);
-    return 2;
+    return cli::kExitUsage;
   }
 
-  int status = 0;
+  int status = cli::kExitOk;
   for (const auto& input : opts.inputs) {
     try {
       status = std::max(status, lint_one(input, opts));
     } catch (const CheckError& e) {
-      std::cerr << "mheta-lint: " << input << ": " << e.what() << '\n';
-      return 2;
+      std::cerr << kTool << ": " << input << ": " << e.what() << '\n';
+      return cli::kExitUsage;
+    }
+  }
+  for (const auto& path : opts.scenarios) {
+    try {
+      status = std::max(status, lint_scenario_file(path, opts));
+    } catch (const CheckError& e) {
+      std::cerr << kTool << ": " << path << ": " << e.what() << '\n';
+      return cli::kExitUsage;
     }
   }
   return status;

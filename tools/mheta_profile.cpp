@@ -40,10 +40,14 @@
 #include "exp/experiment.hpp"
 #include "obs/profile.hpp"
 #include "obs/registry.hpp"
+#include "util/cli.hpp"
 
 using namespace mheta;
+namespace cli = mheta::util::cli;
 
 namespace {
+
+constexpr const char* kTool = "mheta-profile";
 
 void print_usage(std::ostream& os) {
   os << "usage: mheta-profile [--arch NAME] [--dist even|blk|bal|ic|icbal]\n"
@@ -57,7 +61,7 @@ std::optional<exp::Workload> load_input(const std::string& input) {
   if (auto w = exp::workload_by_name(input)) return w;
   std::ifstream file(input);
   if (!file) {
-    std::cerr << "mheta-profile: cannot open '" << input << "'\n";
+    std::cerr << kTool << ": cannot open '" << input << "'\n";
     return std::nullopt;
   }
   exp::Workload w;
@@ -74,19 +78,17 @@ int main(int argc, char** argv) {
   bool json = false;
   obs::ProfileOptions opts;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  cli::ArgCursor args(argc, argv, kTool);
+  std::string arg;
+  while (args.next(arg)) {
     const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "mheta-profile: " << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
+      const auto v = args.value(arg);
+      if (!v) std::exit(cli::kExitUsage);
+      return *v;
     };
-    if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout);
-      return 0;
-    } else if (arg == "--arch") {
+    if (auto code = cli::handle_common_flag(arg, kTool, print_usage))
+      return *code;
+    if (arg == "--arch") {
       opts.arch = next();
     } else if (arg == "--dist") {
       opts.dist = next();
@@ -101,24 +103,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "mheta-profile: unknown option " << arg << '\n';
+      std::cerr << kTool << ": unknown option " << arg << '\n';
       print_usage(std::cerr);
-      return 2;
+      return cli::kExitUsage;
     } else if (input.empty()) {
       input = arg;
     } else {
-      std::cerr << "mheta-profile: one input at a time (got '" << input
+      std::cerr << kTool << ": one input at a time (got '" << input
                 << "' and '" << arg << "')\n";
-      return 2;
+      return cli::kExitUsage;
     }
   }
   if (input.empty() || out_dir.empty()) {
     print_usage(std::cerr);
-    return 2;
+    return cli::kExitUsage;
   }
 
   const auto workload = load_input(input);
-  if (!workload) return 2;
+  if (!workload) return cli::kExitUsage;
 
   try {
     obs::MetricsRegistry registry;
@@ -143,8 +145,8 @@ int main(int argc, char** argv) {
       for (const auto& f : result.files) std::cout << "  " << f << '\n';
     }
   } catch (const std::exception& e) {
-    std::cerr << "mheta-profile: " << e.what() << '\n';
-    return 2;
+    std::cerr << kTool << ": " << e.what() << '\n';
+    return cli::kExitUsage;
   }
-  return 0;
+  return cli::kExitOk;
 }
