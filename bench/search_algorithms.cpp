@@ -3,11 +3,21 @@
 // architecture, compares what GBS, genetic, simulated annealing, and random
 // search find (using *predicted* time) against a fine exhaustive sweep, and
 // reports how far each pick is from the true (simulated) optimum.
+//
+// With `--out FILE` the binary instead measures search-move throughput with
+// the full objective vs. the incremental (delta) objective, writes the
+// comparison as JSON (see bench/README.md), and exits nonzero if the two
+// objectives ever disagree — the delta path must be bit-identical.
 #include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "apps/driver.hpp"
 #include "exp/experiment.hpp"
+#include "search/objective.hpp"
 #include "search/search.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -94,9 +104,216 @@ void batch_scaling_report() {
                "distribution,\nbest_time bits, and evaluation count).\n";
 }
 
+// Delta-evaluation throughput: each batchable algorithm, run serially once
+// with the full objective and once with the incremental objective, must
+// return bit-identical SearchResults while the incremental run serves moves
+// at a multiple of the full rate. Three paper workloads span the model-width
+// spectrum (Jacobi: 1 stage slot per rank; RNA: a 16-tile pipeline;
+// Multigrid: 6 sections, 10 slots per rank). Moves/s is measured over time
+// spent *inside* the objective (a timing shim both runs pay equally), so the
+// comparison isolates evaluation cost from neighbor generation; wall times
+// are reported alongside. A separate cross-checked pass per app measures
+// worst-case drift (zero by construction). Writes BENCH_search.json; the
+// process exits nonzero on any mismatch or drift above 1e-9 so CI can gate
+// on the same contract the tests assert.
+int delta_throughput_report(const std::string& out_path) {
+  exp::ExperimentOptions opts;
+  const auto arch = cluster::find_arch("HY1");
+
+  // Large rounds so timings are stable and row reuse dominates, as it does
+  // inside a real search.
+  search::GbsOptions gbs_opts;
+  gbs_opts.fanout = 33;
+  search::HillClimbOptions hill_opts;
+  hill_opts.neighbors = 64;
+  search::TabuOptions tabu_opts;
+  tabu_opts.neighbors = 64;
+  tabu_opts.steps = 120;
+  search::GeneticOptions gen_opts;
+  gen_opts.population = 64;
+  gen_opts.generations = 40;
+
+  auto seconds_of = [](const auto& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  // Accumulates time spent inside `inner` into `*acc_s`.
+  auto shimmed = [](const search::Objective& inner, double* acc_s) {
+    return search::Objective([&inner, acc_s](const dist::GenBlock& d) {
+      const auto start = std::chrono::steady_clock::now();
+      const double v = inner(d);
+      *acc_s += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      return v;
+    });
+  };
+
+  bool all_identical = true;
+  double min_speedup = 1e300;
+  double max_speedup = 0;
+  double min_table_reduction = 1e300;
+  double worst_drift = 0;
+  std::ostringstream apps_json;
+  for (const auto& w : {exp::jacobi_workload(false), exp::rna_workload(),
+                        exp::multigrid_workload()}) {
+    const auto predictor = exp::build_predictor(arch, w, opts);
+    const auto ctx = exp::make_context(arch, w, opts);
+    const search::SpectrumSpace space(ctx, arch.spectrum);
+    const search::Objective full =
+        search::make_objective(predictor, w.iterations, arch.cluster);
+
+    struct Algo {
+      const char* name;
+      std::function<search::SearchResult(const search::Objective&)> run;
+    };
+    const Algo algos[] = {
+        {"gbs", [&](const search::Objective& o) {
+           return search::gbs(space, o, gbs_opts);
+         }},
+        {"random", [&](const search::Objective& o) {
+           return search::random_search(space, o, 1024, 1);
+         }},
+        {"hill", [&](const search::Objective& o) {
+           return search::hill_climb(dist::block_dist(ctx), o, hill_opts, 1);
+         }},
+        {"tabu", [&](const search::Objective& o) {
+           return search::tabu_search(dist::block_dist(ctx), o, tabu_opts, 1);
+         }},
+        {"genetic", [&](const search::Objective& o) {
+           return search::genetic(ctx, o, gen_opts, 1);
+         }},
+    };
+
+    std::ostringstream rows;
+    Table t({"algorithm", "evals", "full obj (ms)", "delta obj (ms)",
+             "full moves/s", "delta moves/s", "speedup", "table work x",
+             "identical"});
+    for (const auto& algo : algos) {
+      // Fresh evaluator per algorithm so row-cache warmup is charged to
+      // each measurement, as a search driver would pay it.
+      const search::DeltaObjective delta(predictor, w.iterations,
+                                         arch.cluster);
+      search::SearchResult full_r, delta_r;
+      double full_obj_s = 0, delta_obj_s = 0;
+      const search::Objective full_t = shimmed(full, &full_obj_s);
+      const search::Objective delta_inner{delta};
+      const search::Objective delta_t = shimmed(delta_inner, &delta_obj_s);
+      const double full_wall_s = seconds_of([&] { full_r = algo.run(full_t); });
+      const double delta_wall_s =
+          seconds_of([&] { delta_r = algo.run(delta_t); });
+      const bool identical = full_r.best.counts() == delta_r.best.counts() &&
+                             full_r.best_time == delta_r.best_time &&
+                             full_r.evaluations == delta_r.evaluations;
+      all_identical = all_identical && identical;
+      const double evals = static_cast<double>(full_r.evaluations);
+      const double speedup = delta_obj_s > 0 ? full_obj_s / delta_obj_s : 0;
+      min_speedup = std::min(min_speedup, speedup);
+      max_speedup = std::max(max_speedup, speedup);
+      // Stage-table work per move: the full objective rebuilds every rank's
+      // stage tables each evaluation; the delta objective builds a rank's
+      // row only on a row-cache miss (a novel (rank, rows) pair).
+      const core::DeltaStats ds = delta.stats();
+      const std::uint64_t full_builds =
+          static_cast<std::uint64_t>(full_r.evaluations) *
+          static_cast<std::uint64_t>(
+              predictor.params().node_count());
+      const double table_reduction =
+          ds.rows_computed > 0
+              ? static_cast<double>(full_builds) /
+                    static_cast<double>(ds.rows_computed)
+              : static_cast<double>(full_builds);
+      min_table_reduction = std::min(min_table_reduction, table_reduction);
+      if (!rows.str().empty()) rows << ",\n";
+      rows << "      {\"name\": \"" << algo.name << "\", \"evaluations\": "
+           << full_r.evaluations << ", \"full_obj_s\": " << full_obj_s
+           << ", \"delta_obj_s\": " << delta_obj_s
+           << ", \"full_wall_s\": " << full_wall_s
+           << ", \"delta_wall_s\": " << delta_wall_s
+           << ", \"full_moves_per_s\": "
+           << (full_obj_s > 0 ? evals / full_obj_s : 0)
+           << ", \"delta_moves_per_s\": "
+           << (delta_obj_s > 0 ? evals / delta_obj_s : 0)
+           << ", \"speedup\": " << speedup
+           << ", \"full_rank_builds\": " << full_builds
+           << ", \"delta_rank_builds\": " << ds.rows_computed
+           << ", \"table_work_reduction\": " << table_reduction
+           << ", \"identical\": " << (identical ? "true" : "false") << "}";
+      t.add_row({algo.name, std::to_string(full_r.evaluations),
+                 fmt(full_obj_s * 1e3, 2), fmt(delta_obj_s * 1e3, 2),
+                 fmt(full_obj_s > 0 ? evals / full_obj_s : 0, 0),
+                 fmt(delta_obj_s > 0 ? evals / delta_obj_s : 0, 0),
+                 fmt(speedup, 1), fmt(table_reduction, 1),
+                 identical ? "yes" : "NO"});
+    }
+
+    // Drift oracle: a shorter cross-checked pass where every delta value is
+    // compared against a full predict inside the evaluator itself.
+    core::DeltaOptions check_opts;
+    check_opts.crosscheck_every = 1;
+    const search::DeltaObjective checked(predictor, w.iterations,
+                                         arch.cluster, check_opts);
+    search::TabuOptions check_tabu;
+    check_tabu.steps = 20;
+    check_tabu.neighbors = 16;
+    (void)search::tabu_search(dist::block_dist(ctx),
+                              search::Objective(checked), check_tabu, 1);
+    const core::DeltaStats check = checked.stats();
+    worst_drift = std::max(worst_drift, check.max_drift_s);
+
+    std::cout << "=== Search-move throughput: full vs delta objective ("
+              << w.name << "/HY1, " << w.iterations
+              << " iterations, serial) ===\n";
+    t.print(std::cout);
+    std::cout << "cross-checked evaluations " << check.evaluations
+              << ", max drift " << check.max_drift_s << " s\n\n";
+
+    if (!apps_json.str().empty()) apps_json << ",\n";
+    apps_json << "    {\"app\": \"" << w.name << "\", \"iterations\": "
+              << w.iterations << ", \"algorithms\": [\n"
+              << rows.str() << "\n    ],\n"
+              << "    \"crosscheck\": {\"evaluations\": " << check.evaluations
+              << ", \"crosschecks\": " << check.crosschecks
+              << ", \"full_fallbacks\": " << check.full_fallbacks
+              << ", \"max_drift_s\": " << check.max_drift_s << "}}";
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  os << "{\n  \"benchmark\": \"search_delta_throughput\",\n"
+     << "  \"arch\": \"HY1\",\n  \"apps\": [\n"
+     << apps_json.str() << "\n  ],\n"
+     << "  \"min_speedup\": " << min_speedup << ",\n"
+     << "  \"max_speedup\": " << max_speedup << ",\n"
+     << "  \"min_table_work_reduction\": " << min_table_reduction << ",\n"
+     << "  \"all_identical\": " << (all_identical ? "true" : "false") << ",\n"
+     << "  \"max_drift_s\": " << worst_drift << "\n}\n";
+
+  if (!all_identical) {
+    std::cerr << "FAIL: delta objective changed a search result\n";
+    return 1;
+  }
+  if (worst_drift > 1e-9) {
+    std::cerr << "FAIL: delta drift " << worst_drift << " s > 1e-9\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      return delta_throughput_report(argv[i + 1]);
+  }
+
   exp::ExperimentOptions opts;
 
   Table t({"app", "arch", "algorithm", "evals", "predicted (s)",

@@ -139,34 +139,36 @@ void Predictor::intern_tables() {
   }
   total_stage_slots_ = total;
 
-  // Dense (rank, section, stage) -> costs, with per-variable latencies
-  // re-addressed by array index. Missing entries stay absent and fail at
+  // Dense (rank, section, stage) -> costs as struct-of-arrays, with
+  // per-variable latencies re-addressed by array index in flat
+  // [slot * arrays + ai] tables. Missing entries stay absent and fail at
   // use, exactly like the map lookups they replace.
-  stages_interned_.assign(static_cast<std::size_t>(n) *
-                              static_cast<std::size_t>(total),
-                          {});
+  const std::size_t slots =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(total);
+  stage_present_.assign(slots, 0);
+  stage_compute_s_.assign(slots, 0.0);
+  var_read_spb_.assign(slots * arrays.size(), 0.0);
+  var_write_spb_.assign(slots * arrays.size(), 0.0);
+  var_present_.assign(slots * arrays.size(), 0);
   for (int r = 0; r < n; ++r) {
     const auto& node = params_.nodes[static_cast<std::size_t>(r)];
     for (std::size_t si = 0; si < sections.size(); ++si) {
       for (std::size_t g = 0; g < sections[si].stages.size(); ++g) {
-        auto& ist =
-            stages_interned_[static_cast<std::size_t>(r) *
-                                 static_cast<std::size_t>(total) +
-                             static_cast<std::size_t>(
-                                 section_stage_offset_[si]) +
-                             g];
+        const std::size_t slot =
+            static_cast<std::size_t>(r) * static_cast<std::size_t>(total) +
+            static_cast<std::size_t>(section_stage_offset_[si]) + g;
         const auto it = node.stages.find(
             {sections[si].id, sections[si].stages[g].id});
         if (it == node.stages.end()) continue;
-        ist.present = true;
-        ist.compute_s = it->second.compute_s;
-        ist.var_io.resize(arrays.size());
-        ist.var_present.assign(arrays.size(), 0);
+        stage_present_[slot] = 1;
+        stage_compute_s_[slot] = it->second.compute_s;
         for (std::size_t ai = 0; ai < arrays.size(); ++ai) {
           const auto vit = it->second.vars.find(arrays[ai].name);
           if (vit == it->second.vars.end()) continue;
-          ist.var_io[ai] = vit->second;
-          ist.var_present[ai] = 1;
+          var_read_spb_[slot * arrays.size() + ai] = vit->second.read_s_per_byte;
+          var_write_spb_[slot * arrays.size() + ai] =
+              vit->second.write_s_per_byte;
+          var_present_[slot * arrays.size() + ai] = 1;
         }
       }
     }
@@ -256,14 +258,22 @@ Predictor::PlanCacheStats Predictor::plan_cache_stats() const {
   return stats;
 }
 
-const Predictor::InternedStage& Predictor::interned_stage(
-    int rank, int section_index, int stage_index) const {
-  return stages_interned_[static_cast<std::size_t>(rank) *
-                              static_cast<std::size_t>(total_stage_slots_) +
-                          static_cast<std::size_t>(
-                              section_stage_offset_[static_cast<std::size_t>(
-                                  section_index)]) +
-                          static_cast<std::size_t>(stage_index)];
+Predictor::StageCosts Predictor::interned_stage(int rank, int section_index,
+                                                int stage_index) const {
+  const std::size_t slot =
+      static_cast<std::size_t>(rank) *
+          static_cast<std::size_t>(total_stage_slots_) +
+      static_cast<std::size_t>(
+          section_stage_offset_[static_cast<std::size_t>(section_index)]) +
+      static_cast<std::size_t>(stage_index);
+  StageCosts out;
+  out.present = stage_present_[slot] != 0;
+  out.compute_s = stage_compute_s_[slot];
+  const std::size_t base = slot * structure_.arrays.size();
+  out.read_s_per_byte = var_read_spb_.data() + base;
+  out.write_s_per_byte = var_write_spb_.data() + base;
+  out.var_present = var_present_.data() + base;
+  return out;
 }
 
 std::vector<std::shared_ptr<const ooc::NodePlan>> Predictor::plans_for(
@@ -271,41 +281,46 @@ std::vector<std::shared_ptr<const ooc::NodePlan>> Predictor::plans_for(
   const int n = d.nodes();
   // The model's memory plans: same planner as the runtime, but blind to the
   // runtime's buffer overhead (limitation 2).
+  std::vector<std::shared_ptr<const ooc::NodePlan>> plans;
+  plans.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) plans.push_back(plan_for_rank(r, d.count(r)));
+  return plans;
+}
+
+std::shared_ptr<const ooc::NodePlan> Predictor::plan_for_rank(
+    int rank, std::int64_t count) const {
   ooc::PlannerOptions popts;
   popts.overhead_bytes = options_.planner_overhead_bytes;
   popts.max_blocks = options_.max_blocks;
-  std::vector<std::shared_ptr<const ooc::NodePlan>> plans;
-  plans.reserve(static_cast<std::size_t>(n));
   if (!plan_cache_) {
-    for (int r = 0; r < n; ++r)
-      plans.push_back(std::make_shared<const ooc::NodePlan>(ooc::plan_node(
-          structure_.arrays, d.count(r),
-          memory_bytes_[static_cast<std::size_t>(r)], popts)));
-    return plans;
+    return std::make_shared<const ooc::NodePlan>(ooc::plan_node(
+        structure_.arrays, count, memory_bytes_[static_cast<std::size_t>(rank)],
+        popts));
   }
-  std::lock_guard<std::mutex> lock(plan_cache_->mu);
-  for (int r = 0; r < n; ++r) {
-    const std::pair<int, std::int64_t> key{r, d.count(r)};
+  const std::pair<int, std::int64_t> key{rank, count};
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_->mu);
     if (auto* hit = plan_cache_->cache.get(key)) {
       ++plan_cache_->hits;
       if (plan_cache_->hit_counter != nullptr) plan_cache_->hit_counter->inc();
-      plans.push_back(*hit);
-      continue;
+      return *hit;
     }
-    ++plan_cache_->misses;
-    if (plan_cache_->miss_counter != nullptr) plan_cache_->miss_counter->inc();
-    auto plan = std::make_shared<const ooc::NodePlan>(ooc::plan_node(
-        structure_.arrays, d.count(r),
-        memory_bytes_[static_cast<std::size_t>(r)], popts));
-    plan_cache_->cache.put(key, plan);
-    plans.push_back(std::move(plan));
   }
-  return plans;
+  // Plan outside the lock; plan_node is pure, so a concurrent miss on the
+  // same key at worst recomputes the same immutable plan.
+  auto plan = std::make_shared<const ooc::NodePlan>(ooc::plan_node(
+      structure_.arrays, count, memory_bytes_[static_cast<std::size_t>(rank)],
+      popts));
+  std::lock_guard<std::mutex> lock(plan_cache_->mu);
+  ++plan_cache_->misses;
+  if (plan_cache_->miss_counter != nullptr) plan_cache_->miss_counter->inc();
+  plan_cache_->cache.put(key, plan);
+  return plan;
 }
 
 Predictor::NodeSectionTime Predictor::stage_time(
     int rank, const SectionSpec& section, const ooc::StageDef& stage,
-    const InternedStage& ist, const ooc::NodePlan& plan,
+    const StageCosts& ist, const ooc::NodePlan& plan,
     std::int64_t begin_row, std::int64_t end_row, double work_scale,
     CostTerms* terms) const {
   return terms != nullptr
@@ -318,7 +333,7 @@ Predictor::NodeSectionTime Predictor::stage_time(
 template <bool WithTerms>
 Predictor::NodeSectionTime Predictor::stage_time_impl(
     int rank, const SectionSpec& section, const ooc::StageDef& stage,
-    const InternedStage& ist, const ooc::NodePlan& plan,
+    const StageCosts& ist, const ooc::NodePlan& plan,
     std::int64_t begin_row, std::int64_t end_row, double work_scale,
     [[maybe_unused]] CostTerms* terms) const {
   NodeSectionTime out;
@@ -348,20 +363,21 @@ Predictor::NodeSectionTime Predictor::stage_time_impl(
       ooc::stage_io_layout(plan, stage, begin_row, end_row, /*force_io=*/false);
 
   // An ArrayPlan's position in the plan equals its index in
-  // ProgramStructure::arrays, which is how the interned latencies are
-  // addressed — no string hashing in this loop.
-  auto var_io = [&](const ooc::ArrayPlan* ap) -> const instrument::VarIo& {
+  // ProgramStructure::arrays, which is how the interned SoA latency tables
+  // are addressed — no string hashing in this loop.
+  const std::size_t narrays = structure_.arrays.size();
+  auto var_index = [&](const ooc::ArrayPlan* ap) -> std::size_t {
     const auto idx = static_cast<std::size_t>(ap - plan.arrays.data());
-    MHETA_CHECK_MSG(idx < ist.var_present.size() && ist.var_present[idx],
+    MHETA_CHECK_MSG(idx < narrays && ist.var_present[idx],
                     "no measured latency for variable " << ap->name);
-    return ist.var_io[idx];
+    return idx;
   };
   auto read_dur = [&](const ooc::ArrayPlan* ap, std::int64_t rows) {
-    return node.read_seek_s + var_io(ap).read_s_per_byte *
+    return node.read_seek_s + ist.read_s_per_byte[var_index(ap)] *
                                   static_cast<double>(rows * ap->row_bytes);
   };
   auto write_dur = [&](const ooc::ArrayPlan* ap, std::int64_t rows) {
-    return node.write_seek_s + var_io(ap).write_s_per_byte *
+    return node.write_seek_s + ist.write_s_per_byte[var_index(ap)] *
                                    static_cast<double>(rows * ap->row_bytes);
   };
   const double tc_per_row = tc / static_cast<double>(range);
@@ -450,6 +466,34 @@ Predictor::NodeSectionTime Predictor::stage_time_impl(
   return out;
 }
 
+void Predictor::build_rank_section(int rank, int section_index,
+                                   std::int64_t count,
+                                   const ooc::NodePlan& plan, double scale,
+                                   double* stage_s, double* compute_s,
+                                   double* io_s, CostTerms* terms) const {
+  const SectionSpec& section =
+      structure_.sections[static_cast<std::size_t>(section_index)];
+  const int tiles =
+      section.pattern == CommPattern::kPipeline ? section.tiles : 1;
+  const int stages = static_cast<int>(section.stages.size());
+  for (int j = 0; j < tiles; ++j) {
+    const std::int64_t begin = tiles == 1 ? 0 : j * count / tiles;
+    const std::int64_t end = tiles == 1 ? count : (j + 1) * count / tiles;
+    for (int g = 0; g < stages; ++g) {
+      const std::size_t idx = static_cast<std::size_t>(j) *
+                                  static_cast<std::size_t>(stages) +
+                              static_cast<std::size_t>(g);
+      const NodeSectionTime st = stage_time(
+          rank, section, section.stages[static_cast<std::size_t>(g)],
+          interned_stage(rank, section_index, g), plan, begin, end, scale,
+          terms != nullptr ? terms + idx : nullptr);
+      stage_s[idx] = st.stage_s;
+      compute_s[idx] = st.compute_s;
+      io_s[idx] = st.io_s;
+    }
+  }
+}
+
 void Predictor::build_iteration_cache(
     const dist::GenBlock& d,
     const std::vector<std::shared_ptr<const ooc::NodePlan>>& plans,
@@ -462,30 +506,18 @@ void Predictor::build_iteration_cache(
     const SectionSpec& section = sections[si];
     const int tiles =
         section.pattern == CommPattern::kPipeline ? section.tiles : 1;
-    const int stages = static_cast<int>(section.stages.size());
+    const std::size_t per_rank = static_cast<std::size_t>(tiles) *
+                                 section.stages.size();
     auto& slot = cache.sections[si];
-    slot.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(tiles) *
-                    static_cast<std::size_t>(stages),
-                {});
-    if (with_terms) cache.terms[si].assign(slot.size(), {});
+    slot.assign(static_cast<std::size_t>(n) * per_rank);
+    if (with_terms) cache.terms[si].assign(slot.stage_s.size(), {});
     for (int r = 0; r < n; ++r) {
-      const std::int64_t la = d.count(r);
-      for (int j = 0; j < tiles; ++j) {
-        const std::int64_t begin = tiles == 1 ? 0 : j * la / tiles;
-        const std::int64_t end = tiles == 1 ? la : (j + 1) * la / tiles;
-        for (int g = 0; g < stages; ++g) {
-          const std::size_t idx =
-              (static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
-               static_cast<std::size_t>(j)) *
-                  static_cast<std::size_t>(stages) +
-              static_cast<std::size_t>(g);
-          slot[idx] =
-              stage_time(r, section, section.stages[static_cast<std::size_t>(g)],
-                         interned_stage(r, static_cast<int>(si), g),
-                         *plans[static_cast<std::size_t>(r)], begin, end, scale,
-                         with_terms ? &cache.terms[si][idx] : nullptr);
-        }
-      }
+      const std::size_t seg = static_cast<std::size_t>(r) * per_rank;
+      build_rank_section(r, static_cast<int>(si), d.count(r),
+                         *plans[static_cast<std::size_t>(r)], scale,
+                         slot.stage_s.data() + seg, slot.compute_s.data() + seg,
+                         slot.io_s.data() + seg,
+                         with_terms ? cache.terms[si].data() + seg : nullptr);
     }
   }
   cache.scale = scale;
@@ -495,7 +527,9 @@ void Predictor::build_iteration_cache(
 void Predictor::apply_section(int section_index, const IterationCache& cache,
                               std::vector<double>& t,
                               std::vector<double>& arrivals,
-                              IterationAgg& agg, Attribution* attr) const {
+                              IterationAgg& agg, Attribution* attr,
+                              std::vector<double>* coll_a,
+                              std::vector<double>* coll_b) const {
   const SectionSpec& section =
       structure_.sections[static_cast<std::size_t>(section_index)];
   const int n = static_cast<int>(t.size());
@@ -533,11 +567,13 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
             (static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
              static_cast<std::size_t>(j)) *
             static_cast<std::size_t>(stages);
-        const NodeSectionTime* s = st.data() + base_idx;
+        const double* ss = st.stage_s.data() + base_idx;
+        const double* cs = st.compute_s.data() + base_idx;
+        const double* ios = st.io_s.data() + base_idx;
         for (int g = 0; g < stages; ++g) {
-          tr += s[g].stage_s;
-          agg.compute_s += s[g].compute_s;
-          agg.io_s += s[g].io_s;
+          tr += ss[g];
+          agg.compute_s += cs[g];
+          agg.io_s += ios[g];
           if (at != nullptr) at[r] += ct[base_idx + static_cast<std::size_t>(g)];
         }
         if (r < n - 1) {
@@ -549,16 +585,19 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
       }
     }
   } else {
-    // Stages over the whole local array.
+    // Stages over the whole local array; each rank's segment is a
+    // contiguous run of doubles per table, so these sums vectorize.
     for (int r = 0; r < n; ++r) {
       auto& tr = t[static_cast<std::size_t>(r)];
       const std::size_t base_idx =
           static_cast<std::size_t>(r) * static_cast<std::size_t>(stages);
-      const NodeSectionTime* s = st.data() + base_idx;
+      const double* ss = st.stage_s.data() + base_idx;
+      const double* cs = st.compute_s.data() + base_idx;
+      const double* ios = st.io_s.data() + base_idx;
       for (int g = 0; g < stages; ++g) {
-        tr += s[g].stage_s;
-        agg.compute_s += s[g].compute_s;
-        agg.io_s += s[g].io_s;
+        tr += ss[g];
+        agg.compute_s += cs[g];
+        agg.io_s += ios[g];
         if (at != nullptr) at[r] += ct[base_idx + static_cast<std::size_t>(g)];
       }
     }
@@ -598,8 +637,9 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
     std::vector<double> before;
     if (at != nullptr) before = t;
     if (section.has_alltoall)
-      apply_alltoall(section.alltoall_bytes_per_pair, t);
-    if (section.has_reduction) apply_reduction(section.reduce_bytes, t);
+      apply_alltoall(section.alltoall_bytes_per_pair, t, coll_a);
+    if (section.has_reduction)
+      apply_reduction(section.reduce_bytes, t, coll_a, coll_b);
     if (at != nullptr) {
       for (int r = 0; r < n; ++r)
         at[r].collective_s +=
@@ -608,14 +648,17 @@ void Predictor::apply_section(int section_index, const IterationCache& cache,
   }
 }
 
-void Predictor::apply_reduction(std::int64_t bytes,
-                                std::vector<double>& t) const {
+void Predictor::apply_reduction(std::int64_t bytes, std::vector<double>& t,
+                                std::vector<double>* scratch_a,
+                                std::vector<double>* scratch_b) const {
   const int n = static_cast<int>(t.size());
   if (n <= 1) return;
   const double x = params_.network.transfer_s(bytes);
 
   // Reduce to rank 0 over the binomial tree (mirrors SimMPI::allreduce).
-  std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> local_a;
+  std::vector<double>& arrival = scratch_a != nullptr ? *scratch_a : local_a;
+  arrival.assign(static_cast<std::size_t>(n), 0.0);
   for (int mask = 1; mask < n; mask <<= 1) {
     // Senders at this level: lowest set bit == mask.
     for (int r = 0; r < n; ++r) {
@@ -639,7 +682,10 @@ void Predictor::apply_reduction(std::int64_t bytes,
   }
 
   // Broadcast from rank 0 (mirrors the second phase of SimMPI::allreduce).
-  std::vector<double> bcast_arrival(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> local_b;
+  std::vector<double>& bcast_arrival =
+      scratch_b != nullptr ? *scratch_b : local_b;
+  bcast_arrival.assign(static_cast<std::size_t>(n), 0.0);
   for (int r = 0; r < n; ++r) {
     int entry;
     if (r == 0) {
@@ -661,7 +707,8 @@ void Predictor::apply_reduction(std::int64_t bytes,
 }
 
 void Predictor::apply_alltoall(std::int64_t bytes_per_pair,
-                               std::vector<double>& t) const {
+                               std::vector<double>& t,
+                               std::vector<double>* scratch) const {
   const int n = static_cast<int>(t.size());
   if (n <= 1) return;
   const double x = params_.network.transfer_s(bytes_per_pair);
@@ -669,7 +716,9 @@ void Predictor::apply_alltoall(std::int64_t bytes_per_pair,
   // (paying o_s), then blocks receiving from rank-s (arrival + o_r). All of
   // step s's sends depend only on progress through step s-1, so steps are
   // evaluated in order with a send pass before the receive pass.
-  std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> local;
+  std::vector<double>& arrival = scratch != nullptr ? *scratch : local;
+  arrival.assign(static_cast<std::size_t>(n), 0.0);
   for (int s = 1; s < n; ++s) {
     for (int r = 0; r < n; ++r) {
       auto& tr = t[static_cast<std::size_t>(r)];
@@ -715,7 +764,20 @@ Prediction Predictor::predict_impl(const dist::GenBlock& d,
   if (attr != nullptr)
     attr->terms.assign(structure_.sections.size(),
                        std::vector<CostTerms>(static_cast<std::size_t>(n)));
+  IterationCache cache;
+  Prediction pred;
+  run_iterations(n, iteration_scales, attr, cache,
+                 [&](double scale, bool with_terms) {
+                   build_iteration_cache(d, plans, scale, cache, with_terms);
+                 },
+                 pred);
+  return pred;
+}
 
+void Predictor::run_iterations(
+    int n, const std::vector<double>& iteration_scales, Attribution* attr,
+    IterationCache& cache, const std::function<void(double, bool)>& rebuild,
+    Prediction& pred, IterScratch* scratch) const {
   // The per-node clocks are evaluated in offset space: `off` carries the
   // clock skews within the current iteration, `base` the time already
   // absorbed by renormalization between iterations. Because every section
@@ -723,17 +785,21 @@ Prediction Predictor::predict_impl(const dist::GenBlock& d,
   // iteration-invariant constants (the cached stage times), the offsets of
   // a uniform run reach a bitwise fixed point after a few iterations —
   // which the steady-state shortcut detects and replays exactly.
-  Prediction pred;
-  std::vector<double> off(static_cast<std::size_t>(n), 0.0);
+  pred.total_s = 0;
+  pred.compute_s = 0;
+  pred.io_s = 0;
+  IterScratch local;
+  IterScratch& s = scratch != nullptr ? *scratch : local;
+  s.off.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<double>& off = s.off;
   double base = 0.0;
-  IterationCache cache;
-  std::vector<double> arrivals;  // scratch reused across sections
+  std::vector<double>& arrivals = s.arrivals;  // reused across sections
 
-  std::vector<double> prev_off;   // start-of-iteration offsets, one behind
-  bool prev_valid = false;
-  std::vector<double> last_end;   // pre-renormalization offsets of the
-  double last_m = 0;              // previous iteration, its renorm delta,
-  IterationAgg last_agg;          // and its diagnostic sums
+  std::vector<double>& prev_off = s.prev_off;  // start-of-iteration offsets,
+  bool prev_valid = false;                     // one behind
+  std::vector<double>& last_end = s.last_end;  // pre-renormalization offsets
+  double last_m = 0;              // of the previous iteration, its renorm
+  IterationAgg last_agg;          // delta, and its diagnostic sums
 
   const std::size_t total = iteration_scales.size();
   std::size_t k = 0;
@@ -741,7 +807,7 @@ Prediction Predictor::predict_impl(const dist::GenBlock& d,
     const double scale = iteration_scales[k];
     MHETA_CHECK(scale >= 0);
     if (!cache.valid || cache.scale != scale) {
-      build_iteration_cache(d, plans, scale, cache, attr != nullptr);
+      rebuild(scale, attr != nullptr);
       prev_valid = false;
     }
 
@@ -774,23 +840,24 @@ Prediction Predictor::predict_impl(const dist::GenBlock& d,
     }
 
     // One full iteration.
-    std::vector<double> start = off;
+    s.start.assign(off.begin(), off.end());
     IterationAgg agg;
     for (std::size_t si = 0; si < structure_.sections.size(); ++si)
-      apply_section(static_cast<int>(si), cache, off, arrivals, agg, attr);
+      apply_section(static_cast<int>(si), cache, off, arrivals, agg, attr,
+                    &s.coll_a, &s.coll_b);
     pred.compute_s += agg.compute_s;
     pred.io_s += agg.io_s;
     ++k;
     if (k == total) break;  // the final iteration stays un-renormalized
 
     // Renormalize between iterations so offsets stay small and can repeat.
-    last_end = off;
+    last_end.assign(off.begin(), off.end());
     const double m = *std::min_element(off.begin(), off.end());
     base += m;
     for (auto& o : off) o -= m;
     last_m = m;
     last_agg = agg;
-    prev_off = std::move(start);
+    std::swap(prev_off, s.start);
     prev_valid = true;
   }
 
@@ -800,7 +867,6 @@ Prediction Predictor::predict_impl(const dist::GenBlock& d,
         base + off[static_cast<std::size_t>(r)];
   pred.total_s = *std::max_element(pred.node_end_s.begin(),
                                    pred.node_end_s.end());
-  return pred;
 }
 
 Prediction Predictor::predict2d(const dist::Dist2D& d,

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -45,6 +46,8 @@
 #include "ooc/planner.hpp"
 
 namespace mheta::core {
+
+class IncrementalEvaluator;
 
 /// Model tuning; defaults reproduce the paper's setup.
 struct ModelOptions {
@@ -177,6 +180,10 @@ class Predictor {
   const ModelOptions& options() const { return options_; }
 
  private:
+  // The incremental (delta) evaluator reuses the interned tables, the plan
+  // cache and the shared clock-propagation loop, caching per-(rank, rows)
+  // stage times across candidate distributions.
+  friend class IncrementalEvaluator;
   struct NodeSectionTime {
     double stage_s = 0;   // computation + I/O of all tiles' stages
     double compute_s = 0; // diagnostic split
@@ -192,15 +199,21 @@ class Predictor {
 
   // ---- interned cost tables (built once, at construction) ----
 
-  /// node.stages[{section,stage}] flattened: compute cost plus per-variable
-  /// I/O latencies addressed by array index (NodePlan::arrays preserves the
+  /// node.stages[{section,stage}] flattened struct-of-arrays: one dense
+  /// double (or flag) table per field, all indexed by
+  /// `rank * total_stage_slots_ + flat_stage`, with the per-variable I/O
+  /// latencies further flattened by array index
+  /// (`slot * arrays.size() + array_index`; NodePlan::arrays preserves the
   /// order of ProgramStructure::arrays, so an ArrayPlan's position doubles
-  /// as its variable id).
-  struct InternedStage {
+  /// as its variable id). The SoA layout keeps the innermost stage loop on
+  /// contiguous doubles — no per-slot vectors to chase — which is what lets
+  /// it vectorize and what the incremental evaluator streams from.
+  struct StageCosts {
     bool present = false;
     double compute_s = 0;
-    std::vector<instrument::VarIo> var_io;  // by array index
-    std::vector<char> var_present;          // by array index
+    const double* read_s_per_byte = nullptr;   // by array index
+    const double* write_s_per_byte = nullptr;  // by array index
+    const char* var_present = nullptr;         // by array index
   };
 
   struct InternedSend {
@@ -222,12 +235,27 @@ class Predictor {
   };
 
   /// Stage times of one full iteration at one work scale, cached per
-  /// predict call: flat [rank][tile][stage] per section. `terms` mirrors
-  /// `sections` slot-for-slot and is only filled on attributed runs.
+  /// predict call, struct-of-arrays: three parallel double tables per
+  /// section, each flat [rank][tile][stage] (rank-major, so one rank's
+  /// segment is contiguous and can be copied in/out wholesale — the
+  /// incremental evaluator assembles these tables from its per-(rank, rows)
+  /// row cache). `terms` mirrors the slots and is only filled on attributed
+  /// runs.
+  struct SectionTimes {
+    std::vector<double> stage_s;
+    std::vector<double> compute_s;
+    std::vector<double> io_s;
+
+    void assign(std::size_t slots) {
+      stage_s.assign(slots, 0.0);
+      compute_s.assign(slots, 0.0);
+      io_s.assign(slots, 0.0);
+    }
+  };
   struct IterationCache {
     bool valid = false;
     double scale = 0;
-    std::vector<std::vector<NodeSectionTime>> sections;
+    std::vector<SectionTimes> sections;
     std::vector<std::vector<CostTerms>> terms;
   };
 
@@ -237,8 +265,8 @@ class Predictor {
   };
 
   void intern_tables();
-  const InternedStage& interned_stage(int rank, int section_index,
-                                      int stage_index) const;
+  StageCosts interned_stage(int rank, int section_index,
+                            int stage_index) const;
 
   /// Time for one stage over local rows [begin,end) on node `rank`;
   /// `work_scale` multiplies the computation (non-uniform iterations).
@@ -247,7 +275,7 @@ class Predictor {
   /// stage_s (attributed runs only; the hot path passes nullptr).
   NodeSectionTime stage_time(int rank, const SectionSpec& section,
                              const ooc::StageDef& stage,
-                             const InternedStage& ist,
+                             const StageCosts& ist,
                              const ooc::NodePlan& plan, std::int64_t begin_row,
                              std::int64_t end_row, double work_scale,
                              CostTerms* terms = nullptr) const;
@@ -257,7 +285,7 @@ class Predictor {
   template <bool WithTerms>
   NodeSectionTime stage_time_impl(int rank, const SectionSpec& section,
                                   const ooc::StageDef& stage,
-                                  const InternedStage& ist,
+                                  const StageCosts& ist,
                                   const ooc::NodePlan& plan,
                                   std::int64_t begin_row, std::int64_t end_row,
                                   double work_scale, CostTerms* terms) const;
@@ -265,6 +293,21 @@ class Predictor {
   /// Memoized (or freshly computed) per-rank plans for `d`.
   std::vector<std::shared_ptr<const ooc::NodePlan>> plans_for(
       const dist::GenBlock& d) const;
+
+  /// Memoized (or freshly computed) plan for one node owning `count` rows.
+  std::shared_ptr<const ooc::NodePlan> plan_for_rank(int rank,
+                                                     std::int64_t count) const;
+
+  /// All stage times of `rank` for one section at `count` local rows,
+  /// written into the rank's contiguous [tile][stage] segment of the three
+  /// SoA output arrays (each sized tiles * stages). Single source of truth
+  /// for the per-slot values: build_iteration_cache and the incremental
+  /// evaluator's row cache both fill through it, so a cached row is
+  /// bit-identical to a freshly built one.
+  void build_rank_section(int rank, int section_index, std::int64_t count,
+                          const ooc::NodePlan& plan, double scale,
+                          double* stage_s, double* compute_s, double* io_s,
+                          CostTerms* terms) const;
 
   /// Fills `cache` with every section/rank/tile/stage time for one
   /// iteration at `scale`; per-slot terms too when `with_terms` is set.
@@ -278,7 +321,9 @@ class Predictor {
   /// cost term in attr->terms[section_index].
   void apply_section(int section_index, const IterationCache& cache,
                      std::vector<double>& t, std::vector<double>& arrivals,
-                     IterationAgg& agg, Attribution* attr = nullptr) const;
+                     IterationAgg& agg, Attribution* attr = nullptr,
+                     std::vector<double>* coll_a = nullptr,
+                     std::vector<double>* coll_b = nullptr) const;
 
   /// Shared evaluation loop; `attr` selects the attributed (shortcut-free)
   /// path.
@@ -286,13 +331,43 @@ class Predictor {
                           const std::vector<double>& iteration_scales,
                           Attribution* attr) const;
 
+  /// Reusable per-call vectors of run_iterations. A caller evaluating many
+  /// candidates (the incremental evaluator) passes one of these to keep the
+  /// loop allocation-free; passing nullptr uses call-local storage.
+  struct IterScratch {
+    std::vector<double> off;
+    std::vector<double> arrivals;
+    std::vector<double> start;
+    std::vector<double> prev_off;
+    std::vector<double> last_end;
+    std::vector<double> coll_a;  // collective arrival scratch
+    std::vector<double> coll_b;  // broadcast arrival scratch
+  };
+
+  /// The clock-propagation loop shared by predict_impl and the incremental
+  /// evaluator: advances per-node clocks through all sections per
+  /// iteration, renormalizing between iterations and collapsing repeated
+  /// uniform iterations through the steady-state shortcut. `rebuild(scale,
+  /// with_terms)` must (re)fill `cache` whenever the scale changes; a
+  /// caller that pre-assembled `cache` for the single scale in
+  /// `iteration_scales` never sees it invoked. The result is written into
+  /// `pred` (overwritten, capacity reused).
+  void run_iterations(int n, const std::vector<double>& iteration_scales,
+                      Attribution* attr, IterationCache& cache,
+                      const std::function<void(double, bool)>& rebuild,
+                      Prediction& pred, IterScratch* scratch = nullptr) const;
+
   /// Advances per-node clocks through the binomial reduce + broadcast tree
-  /// (mirrors the SimMPI collective exactly).
-  void apply_reduction(std::int64_t bytes, std::vector<double>& t) const;
+  /// (mirrors the SimMPI collective exactly). Optional scratch vectors
+  /// avoid the two per-call allocations on the hot loop.
+  void apply_reduction(std::int64_t bytes, std::vector<double>& t,
+                       std::vector<double>* scratch_a = nullptr,
+                       std::vector<double>* scratch_b = nullptr) const;
 
   /// Advances per-node clocks through the ring-shifted total exchange
-  /// (mirrors SimMPI::alltoall exactly).
-  void apply_alltoall(std::int64_t bytes_per_pair, std::vector<double>& t) const;
+  /// (mirrors SimMPI::alltoall exactly). `scratch` as in apply_reduction.
+  void apply_alltoall(std::int64_t bytes_per_pair, std::vector<double>& t,
+                      std::vector<double>* scratch = nullptr) const;
 
   double o_s(int rank) const;
   double o_r(int rank) const;
@@ -302,8 +377,13 @@ class Predictor {
   std::vector<std::int64_t> memory_bytes_;
   ModelOptions options_;
 
-  // Interned tables (values only, so the Predictor stays copyable).
-  std::vector<InternedStage> stages_interned_;   // [rank * total + flat stage]
+  // Interned tables (values only, so the Predictor stays copyable). The
+  // stage tables are struct-of-arrays; see StageCosts for the indexing.
+  std::vector<char> stage_present_;       // [rank * total + flat stage]
+  std::vector<double> stage_compute_s_;   // same indexing
+  std::vector<double> var_read_spb_;      // [slot * arrays + array_index]
+  std::vector<double> var_write_spb_;     // same indexing
+  std::vector<char> var_present_;         // same indexing
   std::vector<int> section_stage_offset_;        // per section
   int total_stage_slots_ = 0;
   std::vector<InternedSectionComm> comm_interned_;  // per section

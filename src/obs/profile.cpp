@@ -149,7 +149,17 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
   (void)cached(d);
 
   if (!opts.search.empty()) {
-    const ConvergenceRecorder recorder{search::Objective(cached)};
+    // The search scores candidates through the incremental (delta) objective
+    // — bit-identical to make_objective, so the trajectory is unchanged —
+    // wrapped in a memoizing cache just as a search driver would. The
+    // periodic cross-check keeps a live drift oracle in the metrics.
+    core::DeltaOptions dopts;
+    dopts.crosscheck_every = 32;
+    dopts.metrics = &registry;
+    const search::DeltaObjective delta(predictor, iterations, arch.cluster,
+                                       dopts);
+    const search::CachingObjective delta_cached{search::Objective(delta)};
+    const ConvergenceRecorder recorder{search::Objective(delta_cached)};
     const search::SearchResult sr = run_search(
         opts.search, search::Objective(recorder), d, ctx, arch, opts.seed);
     result.searched = true;
@@ -157,6 +167,7 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
     result.search_best_s = sr.best_time;
     result.search_evaluations = sr.evaluations;
     result.convergence = recorder.series();
+    result.delta = delta.stats();
     registry.gauge("search_best_cost_s").set(sr.best_time);
   }
 

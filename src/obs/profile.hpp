@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/incremental.hpp"
 #include "dist/generators.hpp"
 #include "exp/experiment.hpp"
 #include "obs/attribution.hpp"
@@ -62,6 +63,10 @@ struct ProfileResult {
   double search_best_s = 0;
   int search_evaluations = 0;
   std::vector<ConvergenceRecorder::Sample> convergence;
+  /// Delta-evaluation counters from the search pass (the search scores
+  /// candidates through a search::DeltaObjective; also exported as
+  /// delta_eval_* metrics).
+  core::DeltaStats delta;
 
   /// Paths of every artifact written, in write order.
   std::vector<std::string> files;

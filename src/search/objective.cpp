@@ -9,11 +9,11 @@ namespace mheta::search {
 
 namespace {
 
-Objective make_objective_impl(const core::Predictor& predictor, int iterations,
-                              const cluster::ClusterConfig* cluster) {
-  // One full rule run over everything we can see; Predictor construction
-  // already verified the model inputs, this re-checks them together with
-  // the cluster the search is targeting.
+// One full rule run over everything we can see; Predictor construction
+// already verified the model inputs, this re-checks them together with
+// the cluster the search is targeting.
+void lint_for_search(const core::Predictor& predictor,
+                     const cluster::ClusterConfig* cluster) {
   analysis::LintInput in;
   in.structure = &predictor.structure();
   in.cluster = cluster;
@@ -22,19 +22,28 @@ Objective make_objective_impl(const core::Predictor& predictor, int iterations,
   in.planner_overhead_bytes = predictor.options().planner_overhead_bytes;
   in.max_blocks = predictor.options().max_blocks;
   analysis::enforce(analysis::run_rules(in), "search objective");
+}
 
+void check_candidate_shape(const core::Predictor& predictor, int nodes,
+                           std::int64_t rows, const dist::GenBlock& d) {
+  if (d.nodes() != nodes || d.total() != rows) {
+    analysis::Diagnostics diags(predictor.structure().name);
+    std::ostringstream msg;
+    msg << "candidate GEN_BLOCK has " << d.nodes() << " blocks summing to "
+        << d.total() << " rows; the model expects " << nodes
+        << " nodes covering " << rows << " rows";
+    diags.add(analysis::Severity::kError, "MH008", msg.str());
+    throw analysis::LintError("search objective", std::move(diags));
+  }
+}
+
+Objective make_objective_impl(const core::Predictor& predictor, int iterations,
+                              const cluster::ClusterConfig* cluster) {
+  lint_for_search(predictor, cluster);
   const int nodes = predictor.params().node_count();
   const std::int64_t rows = predictor.structure().rows();
   return [&predictor, iterations, nodes, rows](const dist::GenBlock& d) {
-    if (d.nodes() != nodes || d.total() != rows) {
-      analysis::Diagnostics diags(predictor.structure().name);
-      std::ostringstream msg;
-      msg << "candidate GEN_BLOCK has " << d.nodes() << " blocks summing to "
-          << d.total() << " rows; the model expects " << nodes
-          << " nodes covering " << rows << " rows";
-      diags.add(analysis::Severity::kError, "MH008", msg.str());
-      throw analysis::LintError("search objective", std::move(diags));
-    }
+    check_candidate_shape(predictor, nodes, rows, d);
     return predictor.predict(d, iterations).total_s;
   };
 }
@@ -48,6 +57,31 @@ Objective make_objective(const core::Predictor& predictor, int iterations) {
 Objective make_objective(const core::Predictor& predictor, int iterations,
                          const cluster::ClusterConfig& cluster) {
   return make_objective_impl(predictor, iterations, &cluster);
+}
+
+DeltaObjective::DeltaObjective(const core::Predictor& predictor, int iterations,
+                               const cluster::ClusterConfig* cluster,
+                               core::DeltaOptions options)
+    : evaluator_(
+          std::make_shared<core::IncrementalEvaluator>(predictor, options)),
+      iterations_(iterations),
+      nodes_(predictor.params().node_count()),
+      rows_(predictor.structure().rows()) {
+  lint_for_search(predictor, cluster);
+}
+
+DeltaObjective::DeltaObjective(const core::Predictor& predictor, int iterations,
+                               core::DeltaOptions options)
+    : DeltaObjective(predictor, iterations, nullptr, options) {}
+
+DeltaObjective::DeltaObjective(const core::Predictor& predictor, int iterations,
+                               const cluster::ClusterConfig& cluster,
+                               core::DeltaOptions options)
+    : DeltaObjective(predictor, iterations, &cluster, options) {}
+
+double DeltaObjective::operator()(const dist::GenBlock& d) const {
+  check_candidate_shape(evaluator_->predictor(), nodes_, rows_, d);
+  return evaluator_->evaluate_total(d, iterations_);
 }
 
 }  // namespace mheta::search

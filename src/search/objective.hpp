@@ -8,7 +8,10 @@
 // out of the hot path.
 #pragma once
 
+#include <memory>
+
 #include "cluster/node.hpp"
+#include "core/incremental.hpp"
 #include "core/model.hpp"
 #include "search/search.hpp"
 
@@ -22,5 +25,42 @@ namespace mheta::search {
 Objective make_objective(const core::Predictor& predictor, int iterations);
 Objective make_objective(const core::Predictor& predictor, int iterations,
                          const cluster::ClusterConfig& cluster);
+
+/// Incremental-evaluation objective: same contract as make_objective()
+/// (lint at construction, MH008 shape check per candidate, predicted seconds
+/// out), but candidates are scored through a core::IncrementalEvaluator so a
+/// neighbor move costs O(changed nodes) stage-row work instead of a full
+/// Predictor::predict. Results are bit-identical to the full objective, so
+/// any search algorithm — and CachingObjective / BatchObjective, which accept
+/// it wherever an Objective is expected — follows the exact same trajectory.
+///
+/// Copies share the evaluator (row cache and statistics), so wrapping a
+/// DeltaObjective in CachingObjective/BatchObjective keeps stats() coherent.
+/// The predictor must outlive every copy.
+class DeltaObjective {
+ public:
+  DeltaObjective(const core::Predictor& predictor, int iterations,
+                 core::DeltaOptions options = {});
+  DeltaObjective(const core::Predictor& predictor, int iterations,
+                 const cluster::ClusterConfig& cluster,
+                 core::DeltaOptions options = {});
+
+  double operator()(const dist::GenBlock& d) const;
+
+  /// Delta-path counters across every copy of this objective.
+  core::DeltaStats stats() const { return evaluator_->stats(); }
+  core::IncrementalEvaluator& evaluator() const { return *evaluator_; }
+  int iterations() const { return iterations_; }
+
+ private:
+  DeltaObjective(const core::Predictor& predictor, int iterations,
+                 const cluster::ClusterConfig* cluster,
+                 core::DeltaOptions options);
+
+  std::shared_ptr<core::IncrementalEvaluator> evaluator_;
+  int iterations_ = 1;
+  int nodes_ = 0;
+  std::int64_t rows_ = 0;
+};
 
 }  // namespace mheta::search

@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "util/check.hpp"
 #include "util/lru.hpp"
@@ -364,11 +365,27 @@ SearchResult tabu_search(const dist::GenBlock& start,
   result.best_time = current_time;
   const std::int64_t max_move = default_move(start.total(), opts.max_move_rows);
 
-  std::deque<std::vector<std::int64_t>> tabu;
+  // Tenure-bounded ring of recently accepted distributions with a hashed
+  // O(1) membership test: the ring orders evictions, the map (keyed on the
+  // full counts vector under the FNV-1a digest, so equality stays exact)
+  // answers is_tabu without the old O(tenure * nodes) linear scan. Values
+  // count ring occurrences — re-accepting a distribution inside its tenure
+  // must not un-tabu it when the older ring entry expires.
+  std::deque<std::vector<std::int64_t>> tabu_ring;
+  std::unordered_map<std::vector<std::int64_t>, int, CountsHash> tabu_set;
   auto is_tabu = [&](const dist::GenBlock& d) {
-    return std::find(tabu.begin(), tabu.end(), d.counts()) != tabu.end();
+    return tabu_set.find(d.counts()) != tabu_set.end();
   };
-  tabu.push_back(current.counts());
+  auto tabu_insert = [&](std::vector<std::int64_t> counts) {
+    ++tabu_set[counts];
+    tabu_ring.push_back(std::move(counts));
+    if (static_cast<int>(tabu_ring.size()) > opts.tabu_tenure) {
+      auto it = tabu_set.find(tabu_ring.front());
+      if (--it->second == 0) tabu_set.erase(it);
+      tabu_ring.pop_front();
+    }
+  };
+  tabu_insert(current.counts());
 
   std::vector<dist::GenBlock> candidates;
   for (int step = 0; step < opts.steps; ++step) {
@@ -393,8 +410,7 @@ SearchResult tabu_search(const dist::GenBlock& start,
     if (!found) break;  // every sampled neighbor tabu
     current = best_neighbor;  // accept even if worse (tabu escape)
     current_time = best_time;
-    tabu.push_back(current.counts());
-    if (static_cast<int>(tabu.size()) > opts.tabu_tenure) tabu.pop_front();
+    tabu_insert(current.counts());
     if (current_time < result.best_time) {
       result.best_time = current_time;
       result.best = current;

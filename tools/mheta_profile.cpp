@@ -140,6 +140,12 @@ int main(int argc, char** argv) {
         std::cout << "search (" << result.search_algorithm << "): best "
                   << result.search_best_s << " s after "
                   << result.search_evaluations << " evaluations\n";
+        const core::DeltaStats& ds = result.delta;
+        std::cout << "delta eval: " << ds.evaluations << " incremental, "
+                  << ds.full_fallbacks << " full fallbacks, "
+                  << ds.rows_reused << " rows reused / " << ds.rows_computed
+                  << " computed, " << ds.crosschecks
+                  << " cross-checks, max drift " << ds.max_drift_s << " s\n";
       }
       std::cout << "wrote:\n";
       for (const auto& f : result.files) std::cout << "  " << f << '\n';
