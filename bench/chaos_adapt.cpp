@@ -18,6 +18,7 @@
 #include "fault/scenario_io.hpp"
 #include "obs/json.hpp"
 #include "util/check.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace mheta;
@@ -43,18 +44,32 @@ fault::Scenario load(const std::string& path) {
   return fault::load_scenario(in);
 }
 
+void usage(std::ostream& os) {
+  os << "usage: chaos_adapt [--out FILE]\n"
+     << "\n"
+     << "Replays every shipped drift scenario under the static-best,\n"
+     << "adaptive, and oracle policies. With --out FILE, also writes the\n"
+     << "comparison as JSON (BENCH_adapt.json format). Exits nonzero when\n"
+     << "the oracle <= adaptive <= static invariant breaks.\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::cli::ArgCursor args(argc, argv, "chaos_adapt");
   std::string out_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::cerr << "usage: chaos_adapt [--out FILE]\n";
-      return 2;
+  std::string arg;
+  while (args.next(arg)) {
+    if (auto code = util::cli::handle_common_flag(arg, args.tool(), usage))
+      return *code;
+    if (arg == "--out") {
+      const auto v = args.value(arg);
+      if (!v) return util::cli::kExitUsage;
+      out_path = *v;
+      continue;
     }
+    std::cerr << args.tool() << ": unknown argument '" << arg << "'\n";
+    return util::cli::kExitUsage;
   }
 
   Table t({"scenario", "app", "arch", "static (s)", "adaptive (s)",
@@ -119,11 +134,11 @@ int main(int argc, char** argv) {
 
   if (!all_ordered) {
     std::cerr << "FAIL: oracle <= adaptive <= static violated\n";
-    return 1;
+    return util::cli::kExitError;
   }
   if (!all_strict) {
     std::cerr << "FAIL: adaptive not strictly better than static-best\n";
-    return 1;
+    return util::cli::kExitError;
   }
-  return 0;
+  return util::cli::kExitOk;
 }

@@ -8,6 +8,7 @@
 
 #include "exp/experiment.hpp"
 #include "obs/registry.hpp"
+#include "search/objective.hpp"
 #include "search/search.hpp"
 
 using namespace mheta;
@@ -109,6 +110,66 @@ void BM_PredictRnaPipeline(benchmark::State& state) {
   state.SetLabel("RNA/HY1 (pipelined, 8 tiles), 10 iterations");
 }
 BENCHMARK(BM_PredictRnaPipeline);
+
+void BM_DeltaEvalComponents(benchmark::State& state) {
+  // The scalar incremental path with its timing split: `table_ms` is the
+  // cost-table work (row builds + cache assembly), `clock_ms` the clock-
+  // propagation loop, both per 1k evaluations. The split is what the lane
+  // batch attacks — it amortizes table work across lanes and vectorizes
+  // the loop — so these two counters are the denominators of the
+  // BENCH_search.json lane_vs_delta ratios.
+  auto setup = make_setup("HY1", exp::jacobi_workload(false));
+  core::DeltaOptions dopts;
+  dopts.time_components = true;
+  const search::DeltaObjective delta(setup.predictor, /*iterations=*/100,
+                                     dopts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = setup.candidates[i++ % setup.candidates.size()];
+    benchmark::DoNotOptimize(delta(d));
+  }
+  const core::DeltaStats ds = delta.stats();
+  const double evals = static_cast<double>(
+      ds.evaluations > 0 ? ds.evaluations : 1);
+  state.counters["table_ms_per_1k"] =
+      1e3 * static_cast<double>(ds.table_ns) * 1e-6 / evals;
+  state.counters["clock_ms_per_1k"] =
+      1e3 * static_cast<double>(ds.loop_ns) * 1e-6 / evals;
+  state.SetLabel("Jacobi/HY1 delta path, table-work vs clock-loop split");
+}
+BENCHMARK(BM_DeltaEvalComponents);
+
+void BM_LaneBatchedEval(benchmark::State& state) {
+  // The lane-batched path on population-shaped batches (one full lane
+  // group per call). Per-iteration time is per BATCH; `evals_per_s` and
+  // the component counters normalize per candidate for comparison against
+  // BM_DeltaEvalComponents.
+  auto setup = make_setup("HY1", exp::jacobi_workload(false));
+  core::LaneOptions lopts;
+  lopts.time_components = true;
+  const search::LaneObjective lanes(setup.predictor, /*iterations=*/100,
+                                    lopts);
+  const std::size_t width = static_cast<std::size_t>(lopts.lane_width);
+  std::vector<dist::GenBlock> batch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    batch.clear();
+    for (std::size_t l = 0; l < width; ++l)
+      batch.push_back(setup.candidates[i++ % setup.candidates.size()]);
+    benchmark::DoNotOptimize(lanes.evaluate(batch));
+  }
+  const core::LaneStats ls = lanes.stats();
+  const double evals = static_cast<double>(
+      ls.lane_evaluations > 0 ? ls.lane_evaluations : 1);
+  state.counters["evals_per_s"] = benchmark::Counter(
+      static_cast<double>(width), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["table_ms_per_1k"] =
+      1e3 * static_cast<double>(ls.assemble_ns) * 1e-6 / evals;
+  state.counters["clock_ms_per_1k"] =
+      1e3 * static_cast<double>(ls.sweep_ns) * 1e-6 / evals;
+  state.SetLabel("Jacobi/HY1 lane-batched, one full lane group per call");
+}
+BENCHMARK(BM_LaneBatchedEval);
 
 void BM_PredictSingleIteration(benchmark::State& state) {
   auto setup = make_setup("IO", exp::cg_workload());

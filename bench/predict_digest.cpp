@@ -1,0 +1,126 @@
+// Canonical prediction digest for cross-build bit-identity checks.
+//
+// Prints one line per (app, distribution) with the exact bit patterns of
+// the full Predictor::predict makespan and the lane-batched evaluation of a
+// small candidate set. Two builds of the repository are FP-identical iff
+// their outputs are byte-identical — CI builds the default and the
+// MHETA_NATIVE (-O3 -march=native -ffp-contract=off) configurations, runs
+// this tool in both, and diffs. Doubles are printed as hex bit patterns,
+// never decimal, so formatting can't round away a mismatch.
+#include <bit>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/lanes.hpp"
+#include "core/model.hpp"
+#include "dist/generators.hpp"
+#include "exp/experiment.hpp"
+#include "search/objective.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace mheta;
+
+std::string hex_bits(double v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0')
+     << std::bit_cast<std::uint64_t>(v);
+  return os.str();
+}
+
+// FNV-1a over the bit patterns, so the tail of the output carries one
+// summary line that is easy to compare by eye.
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+  void add(double v) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+void usage(std::ostream& os) {
+  os << "usage: predict_digest [--arch NAME]\n"
+     << "\n"
+     << "Prints the bit patterns (hex) of full and lane-batched predictions\n"
+     << "for every paper workload under four distributions. Outputs of two\n"
+     << "builds are byte-identical iff their predictions are bit-identical;\n"
+     << "CI diffs the default build against the MHETA_NATIVE one.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::cli::ArgCursor args(argc, argv, "predict_digest");
+  std::string arch_name = "HY1";
+  std::string arg;
+  while (args.next(arg)) {
+    if (auto code = util::cli::handle_common_flag(arg, args.tool(), usage))
+      return *code;
+    if (arg == "--arch") {
+      const auto v = args.value(arg);
+      if (!v) return util::cli::kExitUsage;
+      arch_name = *v;
+      continue;
+    }
+    std::cerr << args.tool() << ": unknown argument '" << arg << "'\n";
+    return util::cli::kExitUsage;
+  }
+
+  const auto arch = cluster::find_arch(arch_name);
+  exp::ExperimentOptions opts;
+  Fnv fnv;
+  for (const auto& w : exp::paper_workloads()) {
+    const core::Predictor predictor = exp::build_predictor(arch, w, opts);
+    const dist::DistContext ctx = exp::make_context(arch, w, opts);
+    const struct {
+      const char* name;
+      dist::GenBlock d;
+    } dists[] = {
+        {"blk", dist::block_dist(ctx)},
+        {"bal", dist::balanced_dist(ctx)},
+        {"ic", dist::in_core_dist(ctx)},
+        {"icbal", dist::in_core_balanced_dist(ctx)},
+    };
+    // Lane batch: the four distributions plus interpolations between them,
+    // wide enough to exercise a full lane group alongside the scalar path.
+    std::vector<dist::GenBlock> batch;
+    for (const auto& e : dists) batch.push_back(e.d);
+    for (int i = 1; i < 8; ++i)
+      batch.push_back(dist::interpolate(dists[0].d, dists[1].d,
+                                        static_cast<double>(i) / 8.0));
+    core::LaneOptions lopts;
+    lopts.min_fill = 1;
+    lopts.lane_width = static_cast<int>(batch.size());
+    const search::LaneObjective lanes(predictor, w.iterations, arch.cluster,
+                                      lopts);
+    const std::vector<double> lane_totals = lanes.evaluate(batch);
+    for (const auto& e : dists) {
+      const core::Prediction p = predictor.predict(e.d, w.iterations);
+      std::cout << w.name << ' ' << e.name << " total " << hex_bits(p.total_s);
+      fnv.add(p.total_s);
+      std::cout << " ends";
+      for (const double end : p.node_end_s) {
+        std::cout << ' ' << hex_bits(end);
+        fnv.add(end);
+      }
+      std::cout << '\n';
+    }
+    std::cout << w.name << " lane";
+    for (const double t : lane_totals) {
+      std::cout << ' ' << hex_bits(t);
+      fnv.add(t);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "digest " << std::hex << std::setw(16) << std::setfill('0')
+            << fnv.h << '\n';
+  return util::cli::kExitOk;
+}

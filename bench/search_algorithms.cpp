@@ -4,21 +4,26 @@
 // search find (using *predicted* time) against a fine exhaustive sweep, and
 // reports how far each pick is from the true (simulated) optimum.
 //
-// With `--out FILE` the binary instead measures search-move throughput with
-// the full objective vs. the incremental (delta) objective, writes the
-// comparison as JSON (see bench/README.md), and exits nonzero if the two
-// objectives ever disagree — the delta path must be bit-identical.
+// With `--out FILE` the binary instead measures search-move throughput three
+// ways — the full objective, the incremental (delta) objective, and the
+// lane-batched objective (K candidates per clock sweep) — writes the
+// comparison as JSON (see bench/README.md), and exits nonzero if any
+// accelerated objective ever disagrees with the full one: both the delta and
+// the lane path must be bit-identical, lane for lane, with zero crosscheck
+// drift and zero fallback latches.
 #include <chrono>
-#include <cstring>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/driver.hpp"
 #include "exp/experiment.hpp"
 #include "search/objective.hpp"
 #include "search/search.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -104,18 +109,22 @@ void batch_scaling_report() {
                "distribution,\nbest_time bits, and evaluation count).\n";
 }
 
-// Delta-evaluation throughput: each batchable algorithm, run serially once
-// with the full objective and once with the incremental objective, must
-// return bit-identical SearchResults while the incremental run serves moves
-// at a multiple of the full rate. Three paper workloads span the model-width
-// spectrum (Jacobi: 1 stage slot per rank; RNA: a 16-tile pipeline;
-// Multigrid: 6 sections, 10 slots per rank). Moves/s is measured over time
-// spent *inside* the objective (a timing shim both runs pay equally), so the
-// comparison isolates evaluation cost from neighbor generation; wall times
-// are reported alongside. A separate cross-checked pass per app measures
-// worst-case drift (zero by construction). Writes BENCH_search.json; the
-// process exits nonzero on any mismatch or drift above 1e-9 so CI can gate
-// on the same contract the tests assert.
+// Objective throughput, three ways: each batchable algorithm runs serially
+// with the full objective, the incremental (delta) objective, and the
+// lane-batched objective; all three must return bit-identical SearchResults
+// while the accelerated runs serve moves at a multiple of the full rate.
+// Three paper workloads span the model-width spectrum (Jacobi: 1 stage slot
+// per rank; RNA: a 16-tile pipeline; Multigrid: 6 sections, 10 slots per
+// rank). Moves/s is measured over time spent *inside* the objective (a
+// timing shim all runs pay equally), so the comparison isolates evaluation
+// cost from neighbor generation; wall times are reported alongside. The
+// delta run records its table-work vs clock-loop split (the measured Amdahl
+// floor the lane path attacks) and the lane run its assemble vs sweep
+// split. Separate cross-checked passes per app compare every delta value
+// and every lane against a full predict (zero drift by construction).
+// Writes BENCH_search.json; the process exits nonzero on any mismatch,
+// drift above 1e-9, or a lane fallback latch, so CI can gate on the same
+// contract the tests assert.
 int delta_throughput_report(const std::string& out_path) {
   exp::ExperimentOptions opts;
   const auto arch = cluster::find_arch("HY1");
@@ -131,7 +140,12 @@ int delta_throughput_report(const std::string& out_path) {
   tabu_opts.steps = 120;
   search::GeneticOptions gen_opts;
   gen_opts.population = 64;
-  gen_opts.generations = 40;
+  // Long enough that the population converges and the per-(rank, rows) row
+  // working set saturates (~3.5k rows on these apps) — the regime a real
+  // search spends most of its time in, where table work is amortized and
+  // the clock loop dominates. Stays under both row caches' 4096-entry
+  // capacity, so neither accelerated path thrashes.
+  gen_opts.generations = 100;
 
   auto seconds_of = [](const auto& fn) {
     const auto start = std::chrono::steady_clock::now();
@@ -153,10 +167,16 @@ int delta_throughput_report(const std::string& out_path) {
   };
 
   bool all_identical = true;
+  bool lane_all_identical = true;
   double min_speedup = 1e300;
   double max_speedup = 0;
+  double min_lane_speedup = 1e300;
+  double max_lane_speedup = 0;
   double min_table_reduction = 1e300;
   double worst_drift = 0;
+  double worst_lane_drift = 0;
+  std::uint64_t lane_latches = 0;
+  int apps_with_population_3x = 0;
   std::ostringstream apps_json;
   for (const auto& w : {exp::jacobi_workload(false), exp::rna_workload(),
                         exp::multigrid_workload()}) {
@@ -168,55 +188,123 @@ int delta_throughput_report(const std::string& out_path) {
 
     struct Algo {
       const char* name;
-      std::function<search::SearchResult(const search::Objective&)> run;
+      bool population;  // driven by whole-population batches
+      std::function<search::SearchResult(const search::BatchObjective&)> run;
     };
     const Algo algos[] = {
-        {"gbs", [&](const search::Objective& o) {
+        {"gbs", false, [&](const search::BatchObjective& o) {
            return search::gbs(space, o, gbs_opts);
          }},
-        {"random", [&](const search::Objective& o) {
+        {"random", false, [&](const search::BatchObjective& o) {
            return search::random_search(space, o, 1024, 1);
          }},
-        {"hill", [&](const search::Objective& o) {
+        {"hill", false, [&](const search::BatchObjective& o) {
            return search::hill_climb(dist::block_dist(ctx), o, hill_opts, 1);
          }},
-        {"tabu", [&](const search::Objective& o) {
+        {"tabu", false, [&](const search::BatchObjective& o) {
            return search::tabu_search(dist::block_dist(ctx), o, tabu_opts, 1);
          }},
-        {"genetic", [&](const search::Objective& o) {
+        {"genetic", true, [&](const search::BatchObjective& o) {
            return search::genetic(ctx, o, gen_opts, 1);
          }},
     };
 
+    double population_lane_vs_delta = 0;
     std::ostringstream rows;
-    Table t({"algorithm", "evals", "full obj (ms)", "delta obj (ms)",
-             "full moves/s", "delta moves/s", "speedup", "table work x",
-             "identical"});
+    Table t({"algorithm", "evals", "full (ms)", "delta (ms)", "lane (ms)",
+             "delta x", "lane x", "lane/delta", "fill", "identical"});
     for (const auto& algo : algos) {
-      // Fresh evaluator per algorithm so row-cache warmup is charged to
-      // each measurement, as a search driver would pay it.
-      const search::DeltaObjective delta(predictor, w.iterations,
-                                         arch.cluster);
-      search::SearchResult full_r, delta_r;
-      double full_obj_s = 0, delta_obj_s = 0;
-      const search::Objective full_t = shimmed(full, &full_obj_s);
-      const search::Objective delta_inner{delta};
-      const search::Objective delta_t = shimmed(delta_inner, &delta_obj_s);
-      const double full_wall_s = seconds_of([&] { full_r = algo.run(full_t); });
-      const double delta_wall_s =
-          seconds_of([&] { delta_r = algo.run(delta_t); });
-      const bool identical = full_r.best.counts() == delta_r.best.counts() &&
-                             full_r.best_time == delta_r.best_time &&
-                             full_r.evaluations == delta_r.evaluations;
+      // Each path is measured over kReps repetitions with fresh evaluators,
+      // so row-cache warmup is charged to each measurement as a search
+      // driver would pay it, and the best (minimum-time) rep is reported —
+      // the standard way to estimate the true cost under scheduler noise.
+      // The predictor-level plan cache stays warm across reps for every
+      // path alike. Component timing on for both accelerated paths: the
+      // delta split is the measured Amdahl floor, the lane split shows
+      // where the lane path spends what remains.
+      constexpr int kReps = 3;
+      search::SearchResult full_r, delta_r, lane_r;
+      double full_obj_s = 1e300, delta_obj_s = 1e300, lane_obj_s = 1e300;
+      double full_wall_s = 0, delta_wall_s = 0, lane_wall_s = 0;
+      bool identical = true, lane_identical = true;
+      core::DeltaStats ds;
+      core::LaneStats ls;
+      for (int rep = 0; rep < kReps; ++rep) {
+        core::DeltaOptions delta_opts;
+        delta_opts.time_components = true;
+        const search::DeltaObjective delta(predictor, w.iterations,
+                                           arch.cluster, delta_opts);
+        core::LaneOptions lane_opts;
+        lane_opts.time_components = true;
+        const search::LaneObjective lanes(predictor, w.iterations,
+                                          arch.cluster, lane_opts);
+        double full_s = 0, delta_s = 0, lane_s = 0;
+        const search::Objective full_t = shimmed(full, &full_s);
+        const search::Objective delta_inner{delta};
+        const search::Objective delta_t = shimmed(delta_inner, &delta_s);
+        const search::Objective lane_inner{lanes};
+        // The lane run batches whole candidate sets; the shim wraps both
+        // the scalar entry (single candidates) and the batch entry so
+        // lane_s covers every evaluated move, like the other two shims.
+        const search::BatchObjective lane_t(
+            shimmed(lane_inner, &lane_s),
+            [&lanes, &lane_s](const std::vector<dist::GenBlock>& cs) {
+              const auto start = std::chrono::steady_clock::now();
+              auto values = lanes.evaluate(cs);
+              lane_s += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+              return values;
+            });
+        search::SearchResult fr, dr, lr;
+        const double fw = seconds_of(
+            [&] { fr = algo.run(search::BatchObjective(full_t)); });
+        const double dw = seconds_of(
+            [&] { dr = algo.run(search::BatchObjective(delta_t)); });
+        const double lw = seconds_of([&] { lr = algo.run(lane_t); });
+        auto same = [&](const search::SearchResult& r) {
+          return r.best.counts() == fr.best.counts() &&
+                 r.best_time == fr.best_time && r.evaluations == fr.evaluations;
+        };
+        // Identity must hold on every rep, not just the reported one.
+        identical = identical && same(dr);
+        lane_identical = lane_identical && same(lr);
+        full_r = fr;
+        if (full_s < full_obj_s) {
+          full_obj_s = full_s;
+          full_wall_s = fw;
+        }
+        if (delta_s < delta_obj_s) {
+          delta_obj_s = delta_s;
+          delta_wall_s = dw;
+          delta_r = dr;
+          ds = delta.stats();
+        }
+        if (lane_s < lane_obj_s) {
+          lane_obj_s = lane_s;
+          lane_wall_s = lw;
+          lane_r = lr;
+          ls = lanes.stats();
+        }
+        // Fallback latches are a correctness signal: count them across all
+        // reps, not only the fastest one.
+        lane_latches += lanes.stats().fallback_latches;
+      }
       all_identical = all_identical && identical;
+      lane_all_identical = lane_all_identical && lane_identical;
       const double evals = static_cast<double>(full_r.evaluations);
       const double speedup = delta_obj_s > 0 ? full_obj_s / delta_obj_s : 0;
+      const double lane_speedup = lane_obj_s > 0 ? full_obj_s / lane_obj_s : 0;
+      const double lane_vs_delta =
+          lane_obj_s > 0 ? delta_obj_s / lane_obj_s : 0;
       min_speedup = std::min(min_speedup, speedup);
       max_speedup = std::max(max_speedup, speedup);
+      min_lane_speedup = std::min(min_lane_speedup, lane_speedup);
+      max_lane_speedup = std::max(max_lane_speedup, lane_speedup);
+      if (algo.population) population_lane_vs_delta = lane_vs_delta;
       // Stage-table work per move: the full objective rebuilds every rank's
       // stage tables each evaluation; the delta objective builds a rank's
       // row only on a row-cache miss (a novel (rank, rows) pair).
-      const core::DeltaStats ds = delta.stats();
       const std::uint64_t full_builds =
           static_cast<std::uint64_t>(full_r.evaluations) *
           static_cast<std::uint64_t>(
@@ -227,31 +315,55 @@ int delta_throughput_report(const std::string& out_path) {
                     static_cast<double>(ds.rows_computed)
               : static_cast<double>(full_builds);
       min_table_reduction = std::min(min_table_reduction, table_reduction);
+      const double delta_table_s = static_cast<double>(ds.table_ns) * 1e-9;
+      const double delta_loop_s = static_cast<double>(ds.loop_ns) * 1e-9;
+      const double component_s = delta_table_s + delta_loop_s;
       if (!rows.str().empty()) rows << ",\n";
       rows << "      {\"name\": \"" << algo.name << "\", \"evaluations\": "
            << full_r.evaluations << ", \"full_obj_s\": " << full_obj_s
            << ", \"delta_obj_s\": " << delta_obj_s
+           << ", \"lane_obj_s\": " << lane_obj_s
            << ", \"full_wall_s\": " << full_wall_s
            << ", \"delta_wall_s\": " << delta_wall_s
+           << ", \"lane_wall_s\": " << lane_wall_s
            << ", \"full_moves_per_s\": "
            << (full_obj_s > 0 ? evals / full_obj_s : 0)
            << ", \"delta_moves_per_s\": "
            << (delta_obj_s > 0 ? evals / delta_obj_s : 0)
+           << ", \"lane_moves_per_s\": "
+           << (lane_obj_s > 0 ? evals / lane_obj_s : 0)
            << ", \"speedup\": " << speedup
+           << ", \"lane_speedup\": " << lane_speedup
+           << ", \"lane_vs_delta\": " << lane_vs_delta
            << ", \"full_rank_builds\": " << full_builds
            << ", \"delta_rank_builds\": " << ds.rows_computed
            << ", \"table_work_reduction\": " << table_reduction
-           << ", \"identical\": " << (identical ? "true" : "false") << "}";
+           << ", \"delta_table_s\": " << delta_table_s
+           << ", \"delta_loop_s\": " << delta_loop_s
+           << ", \"clock_loop_fraction\": "
+           << (component_s > 0 ? delta_loop_s / component_s : 0)
+           << ", \"lane_assemble_s\": "
+           << static_cast<double>(ls.assemble_ns) * 1e-9
+           << ", \"lane_sweep_s\": " << static_cast<double>(ls.sweep_ns) * 1e-9
+           << ", \"lane_batched_sweeps\": " << ls.batched_sweeps
+           << ", \"lane_evaluations\": " << ls.lane_evaluations
+           << ", \"lane_scalar_evaluations\": " << ls.scalar_evaluations
+           << ", \"lane_fill_rate\": " << ls.fill_rate()
+           << ", \"lane_fallback_latches\": " << ls.fallback_latches
+           << ", \"identical\": " << (identical ? "true" : "false")
+           << ", \"lane_identical\": " << (lane_identical ? "true" : "false")
+           << "}";
       t.add_row({algo.name, std::to_string(full_r.evaluations),
                  fmt(full_obj_s * 1e3, 2), fmt(delta_obj_s * 1e3, 2),
-                 fmt(full_obj_s > 0 ? evals / full_obj_s : 0, 0),
-                 fmt(delta_obj_s > 0 ? evals / delta_obj_s : 0, 0),
-                 fmt(speedup, 1), fmt(table_reduction, 1),
-                 identical ? "yes" : "NO"});
+                 fmt(lane_obj_s * 1e3, 2), fmt(speedup, 1),
+                 fmt(lane_speedup, 1), fmt(lane_vs_delta, 2),
+                 fmt(ls.fill_rate(), 2),
+                 identical && lane_identical ? "yes" : "NO"});
     }
 
-    // Drift oracle: a shorter cross-checked pass where every delta value is
-    // compared against a full predict inside the evaluator itself.
+    // Drift oracles: shorter cross-checked passes where every delta value
+    // (and every lane of every sweep) is compared against a full predict
+    // inside the evaluator itself.
     core::DeltaOptions check_opts;
     check_opts.crosscheck_every = 1;
     const search::DeltaObjective checked(predictor, w.iterations,
@@ -264,55 +376,125 @@ int delta_throughput_report(const std::string& out_path) {
     const core::DeltaStats check = checked.stats();
     worst_drift = std::max(worst_drift, check.max_drift_s);
 
-    std::cout << "=== Search-move throughput: full vs delta objective ("
+    core::LaneOptions lane_check_opts;
+    lane_check_opts.crosscheck_every = 1;
+    const search::LaneObjective lane_checked(predictor, w.iterations,
+                                             arch.cluster, lane_check_opts);
+    search::GeneticOptions check_gen;
+    check_gen.population = 16;
+    check_gen.generations = 6;
+    (void)search::genetic(ctx, search::BatchObjective(lane_checked),
+                          check_gen, 1);
+    const core::LaneStats lane_check = lane_checked.stats();
+    worst_lane_drift = std::max(worst_lane_drift, lane_check.max_drift_s);
+    lane_latches += lane_check.fallback_latches;
+
+    std::cout << "=== Search-move throughput: full vs delta vs lane ("
               << w.name << "/HY1, " << w.iterations
               << " iterations, serial) ===\n";
     t.print(std::cout);
-    std::cout << "cross-checked evaluations " << check.evaluations
-              << ", max drift " << check.max_drift_s << " s\n\n";
+    std::cout << "cross-checked: delta " << check.evaluations
+              << " evaluations (max drift " << check.max_drift_s
+              << " s), lane " << lane_check.crosschecks
+              << " lane comparisons (max drift " << lane_check.max_drift_s
+              << " s, " << lane_check.fallback_latches << " latches)\n\n";
 
+    if (population_lane_vs_delta >= 3.0) ++apps_with_population_3x;
     if (!apps_json.str().empty()) apps_json << ",\n";
     apps_json << "    {\"app\": \"" << w.name << "\", \"iterations\": "
               << w.iterations << ", \"algorithms\": [\n"
               << rows.str() << "\n    ],\n"
+              << "    \"population_lane_vs_delta\": "
+              << population_lane_vs_delta << ",\n"
               << "    \"crosscheck\": {\"evaluations\": " << check.evaluations
               << ", \"crosschecks\": " << check.crosschecks
               << ", \"full_fallbacks\": " << check.full_fallbacks
-              << ", \"max_drift_s\": " << check.max_drift_s << "}}";
+              << ", \"max_drift_s\": " << check.max_drift_s << "},\n"
+              << "    \"lane_crosscheck\": {\"lane_evaluations\": "
+              << lane_check.lane_evaluations
+              << ", \"crosschecks\": " << lane_check.crosschecks
+              << ", \"fallback_latches\": " << lane_check.fallback_latches
+              << ", \"max_drift_s\": " << lane_check.max_drift_s << "}}";
   }
 
   std::ofstream os(out_path);
   if (!os) {
     std::cerr << "cannot write " << out_path << "\n";
-    return 1;
+    return util::cli::kExitUsage;
   }
   os << "{\n  \"benchmark\": \"search_delta_throughput\",\n"
      << "  \"arch\": \"HY1\",\n  \"apps\": [\n"
      << apps_json.str() << "\n  ],\n"
      << "  \"min_speedup\": " << min_speedup << ",\n"
      << "  \"max_speedup\": " << max_speedup << ",\n"
+     << "  \"min_lane_speedup\": " << min_lane_speedup << ",\n"
+     << "  \"max_lane_speedup\": " << max_lane_speedup << ",\n"
+     << "  \"apps_with_population_lane_3x\": " << apps_with_population_3x
+     << ",\n"
      << "  \"min_table_work_reduction\": " << min_table_reduction << ",\n"
      << "  \"all_identical\": " << (all_identical ? "true" : "false") << ",\n"
-     << "  \"max_drift_s\": " << worst_drift << "\n}\n";
+     << "  \"lane_all_identical\": "
+     << (lane_all_identical ? "true" : "false") << ",\n"
+     << "  \"max_drift_s\": " << worst_drift << ",\n"
+     << "  \"lane_max_drift_s\": " << worst_lane_drift << ",\n"
+     << "  \"lane_fallback_latches\": " << lane_latches << "\n}\n";
 
   if (!all_identical) {
     std::cerr << "FAIL: delta objective changed a search result\n";
-    return 1;
+    return util::cli::kExitError;
+  }
+  if (!lane_all_identical) {
+    std::cerr << "FAIL: lane objective changed a search result\n";
+    return util::cli::kExitError;
   }
   if (worst_drift > 1e-9) {
     std::cerr << "FAIL: delta drift " << worst_drift << " s > 1e-9\n";
-    return 1;
+    return util::cli::kExitError;
   }
-  return 0;
+  if (worst_lane_drift > 1e-9) {
+    std::cerr << "FAIL: lane drift " << worst_lane_drift << " s > 1e-9\n";
+    return util::cli::kExitError;
+  }
+  if (lane_latches > 0) {
+    std::cerr << "FAIL: " << lane_latches << " lane fallback latches\n";
+    return util::cli::kExitError;
+  }
+  return util::cli::kExitOk;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: search_algorithms [--out FILE]\n"
+     << "\n"
+     << "Without flags, prints the search-quality comparison (each\n"
+     << "algorithm's pick vs a fine exhaustive sweep) and the thread-pool\n"
+     << "determinism report. With --out FILE, instead measures objective\n"
+     << "throughput (full vs delta vs lane-batched) and writes the JSON\n"
+     << "comparison to FILE, exiting nonzero on any bit-identity or drift\n"
+     << "violation.\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-      return delta_throughput_report(argv[i + 1]);
+  util::cli::ArgCursor args(argc, argv, "search_algorithms");
+  std::string out_path;
+  std::string arg;
+  while (args.next(arg)) {
+    if (const auto code = util::cli::handle_common_flag(arg, args.tool(),
+                                                        usage)) {
+      return *code;
+    }
+    if (arg == "--out") {
+      const auto v = args.value(arg);
+      if (!v) return util::cli::kExitUsage;
+      out_path = *v;
+    } else {
+      std::cerr << args.tool() << ": unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return util::cli::kExitUsage;
+    }
   }
+  if (!out_path.empty()) return delta_throughput_report(out_path);
 
   exp::ExperimentOptions opts;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <mutex>
@@ -43,6 +44,8 @@ struct IncrementalEvaluator::State {
   std::atomic<std::uint64_t> rows_computed{0};
   std::atomic<std::uint64_t> full_fallbacks{0};
   std::atomic<std::uint64_t> crosschecks{0};
+  std::atomic<std::uint64_t> table_ns{0};
+  std::atomic<std::uint64_t> loop_ns{0};
   std::atomic<bool> fallback_forever{false};
   std::mutex crosscheck_mu;
   double max_drift_s = 0;  // guarded by crosscheck_mu
@@ -150,6 +153,10 @@ const Prediction& IncrementalEvaluator::evaluate_impl(const dist::GenBlock& d,
   const int n = d.nodes();
   const std::size_t nsections = section_len_.size();
 
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0;
+  if (options_.time_components) t0 = Clock::now();
+
   // Assemble the iteration cache from the per-(rank, rows) row cache. The
   // previous candidate's rows are still in place, so only ranks whose row
   // count changed are touched at all — O(changed nodes); each such rank
@@ -228,6 +235,16 @@ const Prediction& IncrementalEvaluator::evaluate_impl(const dist::GenBlock& d,
     if (st.computed_counter != nullptr) st.computed_counter->inc(computed);
   }
 
+  Clock::time_point t1;
+  if (options_.time_components) {
+    t1 = Clock::now();
+    st.table_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
   if (tc.scales.size() != static_cast<std::size_t>(iterations))
     tc.scales.assign(static_cast<std::size_t>(iterations), 1.0);
   predictor_->run_iterations(
@@ -236,6 +253,14 @@ const Prediction& IncrementalEvaluator::evaluate_impl(const dist::GenBlock& d,
         MHETA_CHECK_MSG(false, "delta iteration cache must cover scale 1.0");
       },
       tc.pred, &tc.iter);
+  if (options_.time_components) {
+    st.loop_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 t1)
+                .count()),
+        std::memory_order_relaxed);
+  }
   tc.last_counts = d.counts();
   tc.last_iterations = iterations;
 
@@ -292,6 +317,8 @@ DeltaStats IncrementalEvaluator::stats() const {
   out.rows_computed = st.rows_computed.load(std::memory_order_relaxed);
   out.full_fallbacks = st.full_fallbacks.load(std::memory_order_relaxed);
   out.crosschecks = st.crosschecks.load(std::memory_order_relaxed);
+  out.table_ns = st.table_ns.load(std::memory_order_relaxed);
+  out.loop_ns = st.loop_ns.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(st.crosscheck_mu);
     out.max_drift_s = st.max_drift_s;

@@ -46,6 +46,10 @@ struct DeltaStats {
   std::uint64_t full_fallbacks = 0;  ///< evaluations served by full predict
   std::uint64_t crosschecks = 0;     ///< delta-vs-full oracle comparisons
   double max_drift_s = 0;            ///< worst |delta - full| observed (s)
+  std::uint64_t table_ns = 0;        ///< table work (row builds + cache
+                                     ///< assembly); only with time_components
+  std::uint64_t loop_ns = 0;         ///< clock-propagation loop; only with
+                                     ///< time_components
 };
 
 /// Tuning knobs for IncrementalEvaluator (namespace scope, like ModelOptions,
@@ -67,6 +71,12 @@ struct DeltaOptions {
   /// `crosscheck_tolerance_s` permanently disables the delta path.
   int crosscheck_every = 0;
   double crosscheck_tolerance_s = 1e-9;
+
+  /// Accumulate DeltaStats::{table_ns, loop_ns} — the measured split
+  /// between per-candidate table work and the shared clock loop (the
+  /// Amdahl floor of DESIGN.md as numbers). Two steady_clock reads per
+  /// evaluation; off by default so the hot path pays nothing.
+  bool time_components = false;
 
   /// Optional metrics sink (not owned; must outlive the evaluator).
   /// Reports delta_eval_{evaluations,rows_reused,rows_computed,

@@ -139,6 +139,28 @@ void Predictor::intern_tables() {
   }
   total_stage_slots_ = total;
 
+  // Resolve every stage's variable names to array indices once; a name
+  // with no array is a malformed structure (the planner would fail on it
+  // at first use anyway).
+  stage_read_idx_.assign(static_cast<std::size_t>(total), {});
+  stage_write_idx_.assign(static_cast<std::size_t>(total), {});
+  auto array_index = [&](const std::string& name) {
+    for (std::size_t ai = 0; ai < arrays.size(); ++ai)
+      if (arrays[ai].name == name) return static_cast<int>(ai);
+    MHETA_CHECK_MSG(false, "no plan for array " << name);
+    return -1;  // unreachable
+  };
+  for (std::size_t si = 0; si < sections.size(); ++si) {
+    for (std::size_t g = 0; g < sections[si].stages.size(); ++g) {
+      const std::size_t flat =
+          static_cast<std::size_t>(section_stage_offset_[si]) + g;
+      for (const auto& name : sections[si].stages[g].read_vars)
+        stage_read_idx_[flat].push_back(array_index(name));
+      for (const auto& name : sections[si].stages[g].write_vars)
+        stage_write_idx_[flat].push_back(array_index(name));
+    }
+  }
+
   // Dense (rank, section, stage) -> costs as struct-of-arrays, with
   // per-variable latencies re-addressed by array index in flat
   // [slot * arrays + ai] tables. Missing entries stay absent and fail at
@@ -320,20 +342,22 @@ std::shared_ptr<const ooc::NodePlan> Predictor::plan_for_rank(
 
 Predictor::NodeSectionTime Predictor::stage_time(
     int rank, const SectionSpec& section, const ooc::StageDef& stage,
-    const StageCosts& ist, const ooc::NodePlan& plan,
+    int flat_stage, const StageCosts& ist, const ooc::NodePlan& plan,
     std::int64_t begin_row, std::int64_t end_row, double work_scale,
     CostTerms* terms) const {
   return terms != nullptr
-             ? stage_time_impl<true>(rank, section, stage, ist, plan,
-                                     begin_row, end_row, work_scale, terms)
-             : stage_time_impl<false>(rank, section, stage, ist, plan,
-                                      begin_row, end_row, work_scale, nullptr);
+             ? stage_time_impl<true>(rank, section, stage, flat_stage, ist,
+                                     plan, begin_row, end_row, work_scale,
+                                     terms)
+             : stage_time_impl<false>(rank, section, stage, flat_stage, ist,
+                                      plan, begin_row, end_row, work_scale,
+                                      nullptr);
 }
 
 template <bool WithTerms>
 Predictor::NodeSectionTime Predictor::stage_time_impl(
     int rank, const SectionSpec& section, const ooc::StageDef& stage,
-    const StageCosts& ist, const ooc::NodePlan& plan,
+    int flat_stage, const StageCosts& ist, const ooc::NodePlan& plan,
     std::int64_t begin_row, std::int64_t end_row, double work_scale,
     [[maybe_unused]] CostTerms* terms) const {
   NodeSectionTime out;
@@ -358,9 +382,15 @@ Predictor::NodeSectionTime Predictor::stage_time_impl(
 
   // I/O: mirror the runtime's blocked streaming (Eq. 1/2, evaluated
   // block-exactly). The model never forces I/O and, per limitation 2, its
-  // plan ignored the runtime's buffer overhead.
-  const ooc::StageIoLayout io =
-      ooc::stage_io_layout(plan, stage, begin_row, end_row, /*force_io=*/false);
+  // plan ignored the runtime's buffer overhead. The layout comes from the
+  // pre-resolved variable indices (no per-call name scans), into a
+  // thread-local scratch so the hot path performs no allocations.
+  static thread_local ooc::StageIoLayout io;
+  const auto& ridx = stage_read_idx_[static_cast<std::size_t>(flat_stage)];
+  const auto& widx = stage_write_idx_[static_cast<std::size_t>(flat_stage)];
+  ooc::stage_io_layout_into(io, plan, ridx.data(), ridx.size(), widx.data(),
+                            widx.size(), begin_row, end_row,
+                            /*force_io=*/false);
 
   // An ArrayPlan's position in the plan equals its index in
   // ProgramStructure::arrays, which is how the interned SoA latency tables
@@ -380,8 +410,6 @@ Predictor::NodeSectionTime Predictor::stage_time_impl(
     return node.write_seek_s + ist.write_s_per_byte[var_index(ap)] *
                                    static_cast<double>(rows * ap->row_bytes);
   };
-  const double tc_per_row = tc / static_cast<double>(range);
-
   if (!stage.prefetch || io.streamed_reads.empty() || io.num_blocks <= 1) {
     // Synchronous streaming (Eq. 1): reads, compute and writes are strictly
     // sequential on one node, so the stage time is the plain sum.
@@ -410,6 +438,7 @@ Predictor::NodeSectionTime Predictor::stage_time_impl(
   // the disk's request serialization. `disk` is the time the disk frees up.
   // For attribution every advance of `t` lands in exactly one term, so the
   // terms sum to stage_s bit-for-bit.
+  const double tc_per_row = tc / static_cast<double>(range);
   double t = 0;
   double disk = 0;
   auto disk_op = [&](double dur) {
@@ -476,22 +505,79 @@ void Predictor::build_rank_section(int rank, int section_index,
   const int tiles =
       section.pattern == CommPattern::kPipeline ? section.tiles : 1;
   const int stages = static_cast<int>(section.stages.size());
-  for (int j = 0; j < tiles; ++j) {
-    const std::int64_t begin = tiles == 1 ? 0 : j * count / tiles;
-    const std::int64_t end = tiles == 1 ? count : (j + 1) * count / tiles;
-    for (int g = 0; g < stages; ++g) {
+  // Stage-outer so the per-stage interned costs are resolved once, not per
+  // tile; the [tile][stage] output indexing is unchanged.
+  for (int g = 0; g < stages; ++g) {
+    const ooc::StageDef& stage = section.stages[static_cast<std::size_t>(g)];
+    const int flat = flat_stage_index(section_index, g);
+    const StageCosts ist = interned_stage(rank, section_index, g);
+    for (int j = 0; j < tiles; ++j) {
+      const std::int64_t begin = tiles == 1 ? 0 : j * count / tiles;
+      const std::int64_t end = tiles == 1 ? count : (j + 1) * count / tiles;
       const std::size_t idx = static_cast<std::size_t>(j) *
                                   static_cast<std::size_t>(stages) +
                               static_cast<std::size_t>(g);
-      const NodeSectionTime st = stage_time(
-          rank, section, section.stages[static_cast<std::size_t>(g)],
-          interned_stage(rank, section_index, g), plan, begin, end, scale,
-          terms != nullptr ? terms + idx : nullptr);
+      const NodeSectionTime st =
+          stage_time(rank, section, stage, flat, ist, plan, begin, end, scale,
+                     terms != nullptr ? terms + idx : nullptr);
       stage_s[idx] = st.stage_s;
       compute_s[idx] = st.compute_s;
       io_s[idx] = st.io_s;
     }
   }
+}
+
+std::vector<int> Predictor::rank_row_classes() const {
+  // Mirrors the rank-dependent inputs of build_rank_section/stage_time:
+  // the node's disk seek overheads, its instrumented count (the T_c
+  // normalizer), the memory capacity plan_node sees, and the rank's full
+  // stripe of the interned stage tables. Bitwise comparison throughout —
+  // merging is only ever allowed when the row computation literally cannot
+  // distinguish the ranks.
+  const int n = params_.node_count();
+  const std::size_t stride = static_cast<std::size_t>(total_stage_slots_);
+  const std::size_t var_stride = stride * structure_.arrays.size();
+  auto same = [&](int a, int b) {
+    const auto& na = params_.nodes[static_cast<std::size_t>(a)];
+    const auto& nb = params_.nodes[static_cast<std::size_t>(b)];
+    const std::size_t sa = static_cast<std::size_t>(a) * stride;
+    const std::size_t sb = static_cast<std::size_t>(b) * stride;
+    const std::size_t va = static_cast<std::size_t>(a) * var_stride;
+    const std::size_t vb = static_cast<std::size_t>(b) * var_stride;
+    return std::memcmp(&na.read_seek_s, &nb.read_seek_s, sizeof(double)) == 0 &&
+           std::memcmp(&na.write_seek_s, &nb.write_seek_s, sizeof(double)) ==
+               0 &&
+           instrumented_counts_[static_cast<std::size_t>(a)] ==
+               instrumented_counts_[static_cast<std::size_t>(b)] &&
+           memory_bytes_[static_cast<std::size_t>(a)] ==
+               memory_bytes_[static_cast<std::size_t>(b)] &&
+           std::memcmp(stage_present_.data() + sa, stage_present_.data() + sb,
+                       stride * sizeof(char)) == 0 &&
+           std::memcmp(stage_compute_s_.data() + sa,
+                       stage_compute_s_.data() + sb,
+                       stride * sizeof(double)) == 0 &&
+           std::memcmp(var_present_.data() + va, var_present_.data() + vb,
+                       var_stride * sizeof(char)) == 0 &&
+           std::memcmp(var_read_spb_.data() + va, var_read_spb_.data() + vb,
+                       var_stride * sizeof(double)) == 0 &&
+           std::memcmp(var_write_spb_.data() + va, var_write_spb_.data() + vb,
+                       var_stride * sizeof(double)) == 0;
+  };
+  std::vector<int> cls(static_cast<std::size_t>(n), -1);
+  std::vector<int> reps;
+  for (int r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < reps.size(); ++c) {
+      if (same(reps[c], r)) {
+        cls[static_cast<std::size_t>(r)] = static_cast<int>(c);
+        break;
+      }
+    }
+    if (cls[static_cast<std::size_t>(r)] < 0) {
+      cls[static_cast<std::size_t>(r)] = static_cast<int>(reps.size());
+      reps.push_back(r);
+    }
+  }
+  return cls;
 }
 
 void Predictor::build_iteration_cache(
@@ -912,6 +998,7 @@ Prediction Predictor::predict2d(const dist::Dist2D& d,
         for (std::size_t g = 0; g < section.stages.size(); ++g) {
           const auto st = stage_time(
               r, section, section.stages[g],
+              flat_stage_index(static_cast<int>(si), static_cast<int>(g)),
               interned_stage(r, static_cast<int>(si), static_cast<int>(g)),
               plans[static_cast<std::size_t>(r)], 0, d.rows(r), work_scale);
           t[static_cast<std::size_t>(r)] += st.stage_s;

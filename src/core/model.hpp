@@ -48,6 +48,8 @@
 namespace mheta::core {
 
 class IncrementalEvaluator;
+class LaneEvaluator;
+struct PredictorTestPeer;
 
 /// Model tuning; defaults reproduce the paper's setup.
 struct ModelOptions {
@@ -65,8 +67,11 @@ struct ModelOptions {
   bool steady_state_shortcut = true;
 
   /// LRU entries for memoized per-(rank, rows) memory plans; 0 disables
-  /// plan caching entirely.
-  std::size_t plan_cache_capacity = 1024;
+  /// plan caching entirely. Sized above the unique (rank, rows) working set
+  /// of a population search (a few thousand keys); below that the LRU
+  /// degenerates to 0% hits under sequential re-access and every path pays
+  /// plan construction per row.
+  std::size_t plan_cache_capacity = 8192;
 
   /// Optional metrics sink (not owned; must outlive the Predictor). When
   /// set, the plan cache reports `predictor_plan_cache_{hits,misses}_total`;
@@ -179,11 +184,28 @@ class Predictor {
   }
   const ModelOptions& options() const { return options_; }
 
+  /// Partitions ranks into row-equivalence classes: ranks in the same class
+  /// produce bitwise-identical stage rows (build_rank_section output) for
+  /// every (count, scale), because every per-rank input of that computation
+  /// — disk seek overheads, instrumented count, planner memory capacity and
+  /// the interned per-(section, stage) compute/latency tables — is bitwise
+  /// equal between them. Returns one class id in [0, classes) per rank;
+  /// heterogeneous clusters built from groups of identical machines
+  /// collapse to one class per group, which lets row caches keyed by
+  /// (class, count) share entries across ranks. Comparisons are bitwise, so
+  /// the partition is conservative (never merges ranks that could differ).
+  std::vector<int> rank_row_classes() const;
+
  private:
   // The incremental (delta) evaluator reuses the interned tables, the plan
   // cache and the shared clock-propagation loop, caching per-(rank, rows)
-  // stage times across candidate distributions.
+  // stage times across candidate distributions. The lane evaluator reuses
+  // the same tables but runs its own K-candidate-wide clock loop (see
+  // lanes.hpp for the bit-identity argument). The test peer exists so the
+  // scratch-reuse contract of run_iterations can be pinned directly.
   friend class IncrementalEvaluator;
+  friend class LaneEvaluator;
+  friend struct PredictorTestPeer;
   struct NodeSectionTime {
     double stage_s = 0;   // computation + I/O of all tiles' stages
     double compute_s = 0; // diagnostic split
@@ -273,8 +295,11 @@ class Predictor {
   /// When `terms` is non-null the stage cost is additionally split into
   /// compute / read / write / prefetch-wait such that the parts sum to
   /// stage_s (attributed runs only; the hot path passes nullptr).
+  /// `flat_stage` addresses the interned per-stage tables (see
+  /// flat_stage_index); it selects the pre-resolved variable indices so the
+  /// per-call I/O layout never re-scans variable names.
   NodeSectionTime stage_time(int rank, const SectionSpec& section,
-                             const ooc::StageDef& stage,
+                             const ooc::StageDef& stage, int flat_stage,
                              const StageCosts& ist,
                              const ooc::NodePlan& plan, std::int64_t begin_row,
                              std::int64_t end_row, double work_scale,
@@ -284,11 +309,18 @@ class Predictor {
   /// hot instantiation, with every attribution store folded away.
   template <bool WithTerms>
   NodeSectionTime stage_time_impl(int rank, const SectionSpec& section,
-                                  const ooc::StageDef& stage,
+                                  const ooc::StageDef& stage, int flat_stage,
                                   const StageCosts& ist,
                                   const ooc::NodePlan& plan,
                                   std::int64_t begin_row, std::int64_t end_row,
                                   double work_scale, CostTerms* terms) const;
+
+  /// Rank-independent flat index of (section, stage) into the interned
+  /// per-stage tables.
+  int flat_stage_index(int section_index, int stage_index) const {
+    return section_stage_offset_[static_cast<std::size_t>(section_index)] +
+           stage_index;
+  }
 
   /// Memoized (or freshly computed) per-rank plans for `d`.
   std::vector<std::shared_ptr<const ooc::NodePlan>> plans_for(
@@ -386,6 +418,12 @@ class Predictor {
   std::vector<char> var_present_;         // same indexing
   std::vector<int> section_stage_offset_;        // per section
   int total_stage_slots_ = 0;
+  // Per flat stage (rank-independent), each stage's read_vars/write_vars
+  // resolved to ProgramStructure::arrays indices — which equal the
+  // variable's position in every NodePlan, so the per-call I/O layout
+  // indexes plans directly instead of scanning names.
+  std::vector<std::vector<int>> stage_read_idx_;   // [flat stage]
+  std::vector<std::vector<int>> stage_write_idx_;  // same indexing
   std::vector<InternedSectionComm> comm_interned_;  // per section
   std::vector<std::int64_t> instrumented_counts_;   // per rank
 

@@ -15,6 +15,11 @@ ConvergenceRecorder::ConvergenceRecorder(search::Objective inner)
 
 double ConvergenceRecorder::operator()(const dist::GenBlock& d) const {
   const double cost = inner_(d);
+  record(cost);
+  return cost;
+}
+
+void ConvergenceRecorder::record(double cost) const {
   std::lock_guard<std::mutex> lock(state_->mu);
   Sample s;
   s.evaluation = static_cast<int>(state_->samples.size()) + 1;
@@ -23,7 +28,6 @@ double ConvergenceRecorder::operator()(const dist::GenBlock& d) const {
                ? cost
                : std::min(cost, state_->samples.back().best);
   state_->samples.push_back(s);
-  return cost;
 }
 
 std::vector<ConvergenceRecorder::Sample> ConvergenceRecorder::series() const {

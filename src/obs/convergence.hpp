@@ -24,6 +24,10 @@ class ConvergenceRecorder {
   /// Objective.
   double operator()(const dist::GenBlock& d) const;
 
+  /// Records a cost evaluated elsewhere (e.g. a lane-batched population
+  /// scored outside the wrapped Objective) into the same sample log.
+  void record(double cost) const;
+
   struct Sample {
     int evaluation = 0;  ///< 1-based completion index
     double cost = 0;     ///< this evaluation's cost

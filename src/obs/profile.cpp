@@ -33,7 +33,7 @@ namespace {
 double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
 
 search::SearchResult run_search(const std::string& algorithm,
-                                const search::Objective& objective,
+                                const search::BatchObjective& objective,
                                 const dist::GenBlock& start,
                                 const dist::DistContext& ctx,
                                 const cluster::ArchConfig& arch,
@@ -41,7 +41,14 @@ search::SearchResult run_search(const std::string& algorithm,
   if (algorithm == "tabu")
     return search::tabu_search(start, objective, {}, seed);
   if (algorithm == "anneal")
-    return search::simulated_annealing(start, objective, {}, seed);
+    // Inherently sequential (each candidate depends on the previous
+    // accept/reject), so it consumes the scalar entry only.
+    return search::simulated_annealing(
+        start,
+        search::Objective([&objective](const dist::GenBlock& d) {
+          return objective(d);
+        }),
+        {}, seed);
   if (algorithm == "hill")
     return search::hill_climb(start, objective, {}, seed);
   if (algorithm == "genetic")
@@ -149,25 +156,37 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
   (void)cached(d);
 
   if (!opts.search.empty()) {
-    // The search scores candidates through the incremental (delta) objective
-    // — bit-identical to make_objective, so the trajectory is unchanged —
-    // wrapped in a memoizing cache just as a search driver would. The
-    // periodic cross-check keeps a live drift oracle in the metrics.
-    core::DeltaOptions dopts;
-    dopts.crosscheck_every = 32;
-    dopts.metrics = &registry;
-    const search::DeltaObjective delta(predictor, iterations, arch.cluster,
-                                       dopts);
-    const search::CachingObjective delta_cached{search::Objective(delta)};
-    const ConvergenceRecorder recorder{search::Objective(delta_cached)};
-    const search::SearchResult sr = run_search(
-        opts.search, search::Objective(recorder), d, ctx, arch, opts.seed);
+    // The search scores candidates through the lane-batched objective —
+    // bit-identical to make_objective lane by lane, so the trajectory is
+    // unchanged. Single candidates take its scalar (delta) path wrapped in
+    // a memoizing cache just as a search driver would; population
+    // algorithms route whole candidate sets through K-wide clock sweeps,
+    // with every batch value fed into the convergence recorder. The
+    // periodic cross-check keeps a live drift oracle in the metrics for
+    // both paths.
+    core::LaneOptions lopts;
+    lopts.crosscheck_every = 16;
+    lopts.metrics = &registry;
+    const search::LaneObjective lanes(predictor, iterations, arch.cluster,
+                                      lopts);
+    const search::CachingObjective lane_cached{search::Objective(lanes)};
+    const ConvergenceRecorder recorder{search::Objective(lane_cached)};
+    const search::BatchObjective batched(
+        search::Objective(recorder),
+        [&lanes, &recorder](const std::vector<dist::GenBlock>& cs) {
+          auto values = lanes.evaluate(cs);
+          for (const double v : values) recorder.record(v);
+          return values;
+        });
+    const search::SearchResult sr =
+        run_search(opts.search, batched, d, ctx, arch, opts.seed);
     result.searched = true;
     result.search_algorithm = opts.search;
     result.search_best_s = sr.best_time;
     result.search_evaluations = sr.evaluations;
     result.convergence = recorder.series();
-    result.delta = delta.stats();
+    result.delta = lanes.scalar_stats();
+    result.lanes = lanes.stats();
     registry.gauge("search_best_cost_s").set(sr.best_time);
   }
 

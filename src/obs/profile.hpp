@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/incremental.hpp"
+#include "core/lanes.hpp"
 #include "dist/generators.hpp"
 #include "exp/experiment.hpp"
 #include "obs/attribution.hpp"
@@ -63,10 +64,14 @@ struct ProfileResult {
   double search_best_s = 0;
   int search_evaluations = 0;
   std::vector<ConvergenceRecorder::Sample> convergence;
-  /// Delta-evaluation counters from the search pass (the search scores
-  /// candidates through a search::DeltaObjective; also exported as
-  /// delta_eval_* metrics).
+  /// Delta-evaluation counters from the search pass: the scalar path of the
+  /// lane-batched objective the search scores candidates through (also
+  /// exported as delta_eval_* metrics).
   core::DeltaStats delta;
+  /// Lane-batch counters from the same search pass — population algorithms
+  /// route whole candidate sets through K-wide clock sweeps (also exported
+  /// as lane_eval_* metrics).
+  core::LaneStats lanes;
 
   /// Paths of every artifact written, in write order.
   std::vector<std::string> files;

@@ -1,5 +1,7 @@
 #include "search/objective.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <sstream>
 
 #include "analysis/lint.hpp"
@@ -82,6 +84,73 @@ DeltaObjective::DeltaObjective(const core::Predictor& predictor, int iterations,
 double DeltaObjective::operator()(const dist::GenBlock& d) const {
   check_candidate_shape(evaluator_->predictor(), nodes_, rows_, d);
   return evaluator_->evaluate_total(d, iterations_);
+}
+
+LaneObjective::LaneObjective(const core::Predictor& predictor, int iterations,
+                             const cluster::ClusterConfig* cluster,
+                             core::LaneOptions options)
+    : evaluator_(std::make_shared<core::LaneEvaluator>(predictor, options)),
+      iterations_(iterations),
+      nodes_(predictor.params().node_count()),
+      rows_(predictor.structure().rows()) {
+  lint_for_search(predictor, cluster);
+}
+
+LaneObjective::LaneObjective(const core::Predictor& predictor, int iterations,
+                             core::LaneOptions options)
+    : LaneObjective(predictor, iterations, nullptr, options) {}
+
+LaneObjective::LaneObjective(const core::Predictor& predictor, int iterations,
+                             const cluster::ClusterConfig& cluster,
+                             core::LaneOptions options)
+    : LaneObjective(predictor, iterations, &cluster, options) {}
+
+double LaneObjective::operator()(const dist::GenBlock& d) const {
+  check_candidate_shape(evaluator_->predictor(), nodes_, rows_, d);
+  return evaluator_->evaluate_total(d, iterations_);
+}
+
+std::vector<double> LaneObjective::evaluate(
+    const std::vector<dist::GenBlock>& candidates,
+    util::ThreadPool* pool) const {
+  for (const auto& d : candidates)
+    check_candidate_shape(evaluator_->predictor(), nodes_, rows_, d);
+  std::vector<double> values(candidates.size());
+  if (candidates.empty()) return values;
+  const std::size_t width = static_cast<std::size_t>(
+      std::max(1, evaluator_->options().lane_width));
+  const std::size_t groups = (candidates.size() + width - 1) / width;
+  if (pool != nullptr && groups > 1) {
+    // Same chunk boundaries as the serial path, spread across threads;
+    // every group's sweep is independent, so values are identical.
+    pool->parallel_for(
+        static_cast<std::int64_t>(groups), [&](std::int64_t g) {
+          const std::size_t begin = static_cast<std::size_t>(g) * width;
+          const std::size_t len =
+              std::min(width, candidates.size() - begin);
+          evaluator_->evaluate_totals(candidates.data() + begin, len,
+                                      iterations_, values.data() + begin);
+        });
+  } else {
+    evaluator_->evaluate_totals(candidates.data(), candidates.size(),
+                                iterations_, values.data());
+  }
+  return values;
+}
+
+BatchObjective::BatchObjective(const LaneObjective& lanes)
+    : BatchObjective(Objective(lanes),
+                     [lanes](const std::vector<dist::GenBlock>& candidates) {
+                       return lanes.evaluate(candidates);
+                     }) {}
+
+BatchObjective::BatchObjective(const LaneObjective& lanes,
+                               util::ThreadPool& pool)
+    : BatchObjective(Objective(lanes),
+                     [lanes, &pool](const std::vector<dist::GenBlock>& cs) {
+                       return lanes.evaluate(cs, &pool);
+                     }) {
+  pool_ = &pool;
 }
 
 }  // namespace mheta::search

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "cluster/node.hpp"
 #include "core/incremental.hpp"
+#include "core/lanes.hpp"
 #include "core/model.hpp"
 #include "search/search.hpp"
 
@@ -58,6 +60,56 @@ class DeltaObjective {
                  core::DeltaOptions options);
 
   std::shared_ptr<core::IncrementalEvaluator> evaluator_;
+  int iterations_ = 1;
+  int nodes_ = 0;
+  std::int64_t rows_ = 0;
+};
+
+/// Lane-batched objective: same contract as make_objective() (lint at
+/// construction, MH008 shape check per candidate, predicted seconds out),
+/// but whole candidate sets are scored K lanes per clock-propagation sweep
+/// through a core::LaneEvaluator — the loop control, table indexing and
+/// steady-state bookkeeping the delta path still paid per candidate are
+/// paid once per batch. Results are bit-identical to the full objective
+/// lane by lane; single candidates (and groups below the fill threshold)
+/// take the evaluator's scalar delta path, so any search algorithm can
+/// consume it as a plain Objective too. Route populations through it with
+/// BatchObjective(LaneObjective) — the genetic algorithm and every other
+/// batching search then sweep whole broods per clock loop.
+///
+/// Copies share the evaluator (row caches, statistics, the crosscheck
+/// latch). The predictor must outlive every copy.
+class LaneObjective {
+ public:
+  LaneObjective(const core::Predictor& predictor, int iterations,
+                core::LaneOptions options = {});
+  LaneObjective(const core::Predictor& predictor, int iterations,
+                const cluster::ClusterConfig& cluster,
+                core::LaneOptions options = {});
+
+  /// Scalar path (delta evaluation); bit-identical to the batch path.
+  double operator()(const dist::GenBlock& d) const;
+
+  /// Scores every candidate lane-batched; values[i] corresponds to
+  /// candidates[i]. With a pool, lane groups are spread across threads —
+  /// the grouping (and therefore every sweep and every value) is identical
+  /// to the serial call.
+  std::vector<double> evaluate(const std::vector<dist::GenBlock>& candidates,
+                               util::ThreadPool* pool = nullptr) const;
+
+  /// Lane-path counters across every copy of this objective.
+  core::LaneStats stats() const { return evaluator_->stats(); }
+  /// Counters of the embedded scalar (delta) path.
+  core::DeltaStats scalar_stats() const { return evaluator_->scalar_stats(); }
+  core::LaneEvaluator& evaluator() const { return *evaluator_; }
+  int iterations() const { return iterations_; }
+
+ private:
+  LaneObjective(const core::Predictor& predictor, int iterations,
+                const cluster::ClusterConfig* cluster,
+                core::LaneOptions options);
+
+  std::shared_ptr<core::LaneEvaluator> evaluator_;
   int iterations_ = 1;
   int nodes_ = 0;
   std::int64_t rows_ = 0;

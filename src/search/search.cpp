@@ -112,8 +112,15 @@ BatchObjective::BatchObjective(Objective objective, util::ThreadPool& pool)
   MHETA_CHECK(objective_ != nullptr);
 }
 
+BatchObjective::BatchObjective(Objective objective, BatchFn batch)
+    : objective_(std::move(objective)), batch_(std::move(batch)) {
+  MHETA_CHECK(objective_ != nullptr);
+  MHETA_CHECK(batch_ != nullptr);
+}
+
 std::vector<double> BatchObjective::operator()(
     const std::vector<dist::GenBlock>& candidates) const {
+  if (batch_ != nullptr && candidates.size() > 1) return batch_(candidates);
   std::vector<double> values(candidates.size());
   if (pool_ != nullptr && candidates.size() > 1) {
     pool_->parallel_for(static_cast<std::int64_t>(candidates.size()),

@@ -30,6 +30,8 @@
 
 namespace mheta::search {
 
+class LaneObjective;  // objective.hpp; lane-batched candidate-set evaluation
+
 /// Black-box objective: predicted execution time of a distribution.
 using Objective = std::function<double(const dist::GenBlock&)>;
 
@@ -64,6 +66,12 @@ class CachingObjective {
 /// reductions are deterministic.
 class BatchObjective {
  public:
+  /// A whole-set evaluation path: must return values[i] ==
+  /// objective(candidates[i]) bit for bit (the lane-batched evaluator's
+  /// contract; also what lets benches time whole candidate sets).
+  using BatchFn =
+      std::function<std::vector<double>(const std::vector<dist::GenBlock>&)>;
+
   /// Serial evaluation (explicit so lambdas keep binding to Objective
   /// overloads of the search functions).
   explicit BatchObjective(Objective objective);
@@ -71,6 +79,18 @@ class BatchObjective {
   /// Parallel evaluation on `pool` (not owned; must outlive this object).
   /// The objective must be safe to call concurrently.
   BatchObjective(Objective objective, util::ThreadPool& pool);
+
+  /// Candidate sets go through `batch`; single candidates through
+  /// `objective`. Both must score identically.
+  BatchObjective(Objective objective, BatchFn batch);
+
+  /// Lane-batched evaluation: candidate sets are scored K lanes per clock
+  /// sweep through `lanes` (sub-threshold groups and single candidates take
+  /// its scalar delta path). The pool overload spreads lane groups across
+  /// threads; grouping is identical either way, so trajectories don't
+  /// change. Defined in objective.cpp.
+  explicit BatchObjective(const LaneObjective& lanes);
+  BatchObjective(const LaneObjective& lanes, util::ThreadPool& pool);
 
   double operator()(const dist::GenBlock& d) const { return objective_(d); }
 
@@ -82,6 +102,7 @@ class BatchObjective {
 
  private:
   Objective objective_;
+  BatchFn batch_;
   util::ThreadPool* pool_ = nullptr;
 };
 

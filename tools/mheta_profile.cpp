@@ -146,6 +146,13 @@ int main(int argc, char** argv) {
                   << ds.rows_reused << " rows reused / " << ds.rows_computed
                   << " computed, " << ds.crosschecks
                   << " cross-checks, max drift " << ds.max_drift_s << " s\n";
+        const core::LaneStats& ls = result.lanes;
+        std::cout << "lane eval: " << ls.lane_evaluations << " in "
+                  << ls.batched_sweeps << " batched sweeps (fill "
+                  << ls.fill_rate() << "), " << ls.scalar_evaluations
+                  << " scalar, " << ls.crosschecks << " cross-checks, max "
+                  << "drift " << ls.max_drift_s << " s, "
+                  << ls.fallback_latches << " fallback latches\n";
       }
       std::cout << "wrote:\n";
       for (const auto& f : result.files) std::cout << "  " << f << '\n';
