@@ -10,7 +10,11 @@
 // comparison as JSON (see bench/README.md), and exits nonzero if any
 // accelerated objective ever disagrees with the full one: both the delta and
 // the lane path must be bit-identical, lane for lane, with zero crosscheck
-// drift and zero fallback latches.
+// drift and zero fallback latches. A certified branch-and-bound pass then
+// runs gbs/hill/tabu/genetic through search::BoundedObjective: zero
+// lo <= value <= hi oracle violations, zero latches, every pruned candidate
+// re-evaluating at or above its certified lower bound (and never below the
+// run's best), and pruning firing on at least two of the three apps.
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -177,6 +181,10 @@ int delta_throughput_report(const std::string& out_path) {
   double worst_lane_drift = 0;
   std::uint64_t lane_latches = 0;
   int apps_with_population_3x = 0;
+  std::uint64_t bounds_violations_total = 0;
+  std::uint64_t bounds_latches_total = 0;
+  int apps_with_bounds_pruning = 0;
+  bool bounds_audit_ok = true;
   std::ostringstream apps_json;
   for (const auto& w : {exp::jacobi_workload(false), exp::rna_workload(),
                         exp::multigrid_workload()}) {
@@ -389,6 +397,66 @@ int delta_throughput_report(const std::string& out_path) {
     worst_lane_drift = std::max(worst_lane_drift, lane_check.max_drift_s);
     lane_latches += lane_check.fallback_latches;
 
+    // Certified branch-and-bound pass: each bounded-compatible algorithm
+    // runs through a BoundedObjective that screens every candidate with
+    // the interval-bounds analyzer before scoring survivors lane-batched.
+    // Every evaluated candidate pays the lo <= value <= hi oracle (1e-9
+    // tolerance), and every pruned candidate is re-evaluated through the
+    // full model afterwards: its value must respect the certified lower
+    // bound and must not beat the run's best-found time — pruning never
+    // discards the winner.
+    bool app_pruned = false;
+    std::ostringstream bounded_rows;
+    Table bt({"algorithm", "evals", "pruned", "prune rate", "width_rel",
+              "violations", "audit"});
+    for (const auto& algo : algos) {
+      if (std::string(algo.name) == "random") continue;
+      const search::LaneObjective blanes(predictor, w.iterations,
+                                         arch.cluster);
+      search::BoundedOptions bopts;
+      bopts.max_pruned_samples = 1u << 16;
+      const search::BoundedObjective bounded(
+          predictor, w.iterations, search::Objective(blanes),
+          [blanes](const std::vector<dist::GenBlock>& cs) {
+            return blanes.evaluate(cs);
+          },
+          bopts);
+      const search::BatchObjective bounded_batch(
+          search::Objective(bounded),
+          [bounded](const std::vector<dist::GenBlock>& cs) {
+            return bounded(cs);
+          });
+      const search::SearchResult br = algo.run(bounded_batch);
+      const search::BoundedStats bs = bounded.stats();
+      bounds_violations_total += bs.violations;
+      if (bs.latched) ++bounds_latches_total;
+      if (bs.pruned > 0) app_pruned = true;
+      bool audit = true;
+      for (const auto& sample : bounded.pruned_samples()) {
+        const double v = full(sample.candidate);
+        if (v < sample.lower_bound - 1e-9 || v < br.best_time - 1e-9)
+          audit = false;
+      }
+      bounds_audit_ok = bounds_audit_ok && audit;
+      if (!bounded_rows.str().empty()) bounded_rows << ",\n";
+      bounded_rows << "      {\"name\": \"" << algo.name
+                   << "\", \"evaluations\": " << br.evaluations
+                   << ", \"best_time_s\": " << br.best_time
+                   << ", \"bounds_evaluated\": " << bs.evaluated
+                   << ", \"bounds_pruned\": " << bs.pruned
+                   << ", \"prune_rate\": " << bs.prune_rate()
+                   << ", \"bounds_width_rel\": " << bs.width_rel_mean
+                   << ", \"crosschecks\": " << bs.crosschecks
+                   << ", \"violations\": " << bs.violations
+                   << ", \"latched\": " << (bs.latched ? "true" : "false")
+                   << ", \"audit_ok\": " << (audit ? "true" : "false") << "}";
+      bt.add_row({algo.name, std::to_string(br.evaluations),
+                  std::to_string(bs.pruned), fmt(bs.prune_rate(), 3),
+                  fmt(bs.width_rel_mean, 3), std::to_string(bs.violations),
+                  audit ? "ok" : "FAIL"});
+    }
+    if (app_pruned) ++apps_with_bounds_pruning;
+
     std::cout << "=== Search-move throughput: full vs delta vs lane ("
               << w.name << "/HY1, " << w.iterations
               << " iterations, serial) ===\n";
@@ -397,7 +465,11 @@ int delta_throughput_report(const std::string& out_path) {
               << " evaluations (max drift " << check.max_drift_s
               << " s), lane " << lane_check.crosschecks
               << " lane comparisons (max drift " << lane_check.max_drift_s
-              << " s, " << lane_check.fallback_latches << " latches)\n\n";
+              << " s, " << lane_check.fallback_latches << " latches)\n";
+    std::cout << "--- certified branch-and-bound (interval bounds, oracle "
+                 "1e-9, pruned candidates re-evaluated) ---\n";
+    bt.print(std::cout);
+    std::cout << "\n";
 
     if (population_lane_vs_delta >= 3.0) ++apps_with_population_3x;
     if (!apps_json.str().empty()) apps_json << ",\n";
@@ -414,7 +486,10 @@ int delta_throughput_report(const std::string& out_path) {
               << lane_check.lane_evaluations
               << ", \"crosschecks\": " << lane_check.crosschecks
               << ", \"fallback_latches\": " << lane_check.fallback_latches
-              << ", \"max_drift_s\": " << lane_check.max_drift_s << "}}";
+              << ", \"max_drift_s\": " << lane_check.max_drift_s << "},\n"
+              << "    \"bounded\": [\n" << bounded_rows.str() << "\n    ],\n"
+              << "    \"bounds_pruned_any\": "
+              << (app_pruned ? "true" : "false") << "}";
   }
 
   std::ofstream os(out_path);
@@ -437,7 +512,13 @@ int delta_throughput_report(const std::string& out_path) {
      << (lane_all_identical ? "true" : "false") << ",\n"
      << "  \"max_drift_s\": " << worst_drift << ",\n"
      << "  \"lane_max_drift_s\": " << worst_lane_drift << ",\n"
-     << "  \"lane_fallback_latches\": " << lane_latches << "\n}\n";
+     << "  \"lane_fallback_latches\": " << lane_latches << ",\n"
+     << "  \"bounds_violations\": " << bounds_violations_total << ",\n"
+     << "  \"bounds_latches\": " << bounds_latches_total << ",\n"
+     << "  \"apps_with_bounds_pruning\": " << apps_with_bounds_pruning
+     << ",\n"
+     << "  \"bounds_audit_ok\": " << (bounds_audit_ok ? "true" : "false")
+     << "\n}\n";
 
   if (!all_identical) {
     std::cerr << "FAIL: delta objective changed a search result\n";
@@ -457,6 +538,22 @@ int delta_throughput_report(const std::string& out_path) {
   }
   if (lane_latches > 0) {
     std::cerr << "FAIL: " << lane_latches << " lane fallback latches\n";
+    return util::cli::kExitError;
+  }
+  if (bounds_violations_total > 0 || bounds_latches_total > 0) {
+    std::cerr << "FAIL: " << bounds_violations_total
+              << " bound-oracle violations, " << bounds_latches_total
+              << " bounded-objective latches\n";
+    return util::cli::kExitError;
+  }
+  if (!bounds_audit_ok) {
+    std::cerr << "FAIL: a pruned candidate re-evaluated below its certified "
+                 "lower bound or below the run's best\n";
+    return util::cli::kExitError;
+  }
+  if (apps_with_bounds_pruning < 2) {
+    std::cerr << "FAIL: certified pruning fired on only "
+              << apps_with_bounds_pruning << " of 3 apps (need >= 2)\n";
     return util::cli::kExitError;
   }
   return util::cli::kExitOk;
@@ -535,9 +632,17 @@ int main(int argc, char** argv) {
       };
       report("GBS", search::gbs(space, objective));
       report("genetic", search::genetic(ctx, objective, {}, 1));
+      // Annealing's accept/reject chain is one neighbor move per step —
+      // exactly the delta objective's O(changed nodes) shape. Values are
+      // bit-identical to the full model, so the trajectory is unchanged
+      // (the delta_objective tests pin this).
       search::AnnealOptions anneal;
-      report("annealing", search::simulated_annealing(dist::block_dist(ctx),
-                                                      objective, anneal, 1));
+      const search::DeltaObjective anneal_objective(predictor, w.iterations,
+                                                    arch.cluster);
+      report("annealing",
+             search::simulated_annealing(dist::block_dist(ctx),
+                                         search::Objective(anneal_objective),
+                                         anneal, 1));
       report("random", search::random_search(space, objective, 40, 1));
       // Extension algorithms beyond the companion paper's four.
       report("hill-climb (ext)",

@@ -1,0 +1,77 @@
+// The abstract domain of the bounds interpreter: closed intervals
+// [lo, hi] of seconds.
+//
+// Every MHETA cost equation is built from additions, maxima and
+// multiplications by non-negative constants — all monotone in each operand —
+// so evaluating the equations componentwise over intervals yields a sound
+// enclosure of every concrete evaluation (the standard interval-extension
+// argument; DESIGN.md "Interval bounds and certified pruning" carries the
+// full soundness case, including how floating-point rounding is absorbed).
+//
+// Rounding: the interpreter computes with ordinary nearest-rounding doubles
+// and then *widens* every produced interval by a small relative + absolute
+// margin (widened() below). The margin dominates both the interpreter's own
+// rounding error and the model's (a prediction performs on the order of 1e5
+// flops, each contributing ~1.1e-16 relative error), so the widened interval
+// still contains the bit-exact value Predictor::predict computes.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace mheta::analysis::bounds {
+
+/// A closed interval of seconds. Default: the exact point 0.
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+
+  double width() const { return hi - lo; }
+  bool contains(double v) const { return lo <= v && v <= hi; }
+
+  Interval& operator+=(const Interval& o) {
+    lo += o.lo;
+    hi += o.hi;
+    return *this;
+  }
+  Interval& operator+=(double c) {  // exact (degenerate) operand
+    lo += c;
+    hi += c;
+    return *this;
+  }
+};
+
+inline Interval operator+(Interval a, const Interval& b) { return a += b; }
+inline Interval operator+(Interval a, double c) { return a += c; }
+
+/// Componentwise maximum (max is monotone in both operands).
+inline Interval max(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Scale by a non-negative constant (iteration counts, byte totals).
+inline Interval scale(const Interval& a, double c) {
+  return {a.lo * c, a.hi * c};
+}
+
+/// Relative + absolute widening margins. 5e-10 relative is ~4 decimal
+/// orders above the accumulated rounding error of either evaluation path,
+/// and ~1 order below the 1e-9 oracle tolerance — wide enough to be sound,
+/// tight enough that certified widths stay negligible next to the genuine
+/// model width (prefetch envelopes, distribution families).
+inline constexpr double kWidenRel = 5e-10;
+inline constexpr double kWidenAbs = 1e-12;
+
+/// Builds the interval [lo, hi] widened outward by the margins; the lower
+/// end is clamped at 0 (all modeled times are non-negative).
+inline Interval widened(double lo, double hi) {
+  lo -= kWidenRel * std::abs(lo) + kWidenAbs;
+  hi += kWidenRel * std::abs(hi) + kWidenAbs;
+  return {std::max(0.0, lo), hi};
+}
+
+/// Widens an already-computed interval outward (used once on final totals to
+/// absorb the sweep's own accumulation rounding).
+inline Interval widened(const Interval& a) { return widened(a.lo, a.hi); }
+
+}  // namespace mheta::analysis::bounds

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/bounds/bounds.hpp"
 #include "ooc/planner.hpp"
 #include "util/check.hpp"
 
@@ -617,6 +618,202 @@ void mh015_steady_state(const LintInput& in, Diagnostics& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Numerical-safety and dominance rules (MH019-MH023). MH019-MH021 guard the
+// arithmetic the cost equations perform; MH022-MH023 use the interval-bounds
+// interpreter (analysis/bounds) to prove dead weight under a concrete
+// distribution. MH016-MH018 are the fault-scenario rules and live in
+// src/fault/scenario_lint.hpp.
+// ---------------------------------------------------------------------------
+
+void mh019_numeric_overflow(const LintInput& in, Diagnostics& out) {
+  if (!in.params) return;
+  const auto& params = *in.params;
+  const auto& p = *in.structure;
+  const std::int64_t rows = std::max<std::int64_t>(0, p.rows());
+  // The worst-case derived magnitudes the equations can form from finite
+  // inputs: T_c scaled to the full extent, per-byte latencies over a full
+  // local array, and the network transfer of the declared messages. A
+  // finite input whose product is Inf poisons every max() downstream
+  // (unlike NaN, Inf survives the steady-state fixed point — MH015 cannot
+  // catch it).
+  auto check_product = [&](double v, const std::string& what) {
+    if (!std::isfinite(v))
+      out.add(Severity::kError, "MH019",
+              cat(what, " overflows double precision; every prediction "
+                        "containing it is +Inf"),
+              {}, "rescale the measured unit (seconds, not nanoseconds)");
+  };
+  for (std::size_t r = 0; r < params.nodes.size(); ++r) {
+    const auto& node = params.nodes[r];
+    const std::int64_t w =
+        params.instrumented_dist.nodes() > static_cast<int>(r)
+            ? params.instrumented_dist.count(static_cast<int>(r))
+            : 0;
+    for (const auto& [key, costs] : node.stages) {
+      if (std::isfinite(costs.compute_s) && w > 0)
+        check_product(costs.compute_s * static_cast<double>(rows) /
+                          static_cast<double>(w),
+                      cat("node ", r, "'s compute time for section ",
+                          key.first, " stage ", key.second,
+                          " scaled to the full extent"));
+      for (const auto& [var, io] : costs.vars) {
+        double bytes = 0;
+        for (const auto& a : p.arrays)
+          if (a.name == var)
+            bytes = static_cast<double>(rows) * static_cast<double>(a.row_bytes);
+        if (std::isfinite(io.read_s_per_byte))
+          check_product(io.read_s_per_byte * bytes,
+                        cat("node ", r, "'s read latency for variable '", var,
+                            "' over a full local array"));
+        if (std::isfinite(io.write_s_per_byte))
+          check_product(io.write_s_per_byte * bytes,
+                        cat("node ", r, "'s write latency for variable '", var,
+                            "' over a full local array"));
+      }
+    }
+  }
+  if (std::isfinite(params.network.s_per_byte)) {
+    for (const auto& s : p.sections) {
+      check_product(params.network.transfer_s(s.message_bytes),
+                    cat("section ", s.id, "'s boundary-message transfer"));
+      check_product(params.network.transfer_s(s.alltoall_bytes_per_pair),
+                    cat("section ", s.id, "'s alltoall transfer"));
+      check_product(params.network.transfer_s(s.reduce_bytes),
+                    cat("section ", s.id, "'s reduction transfer"));
+    }
+  }
+}
+
+void mh020_accumulation_overflow(const LintInput& in, Diagnostics& out) {
+  const auto& p = *in.structure;
+  // Byte totals are carried in int64 (planner admission sums) and cast to
+  // double (per-byte latency products). Flag extents that overflow the
+  // former or exceed the latter's 2^53 integer-exact range before they
+  // silently wrap or lose rows in the arithmetic.
+  constexpr double kInt64Risk = 4.6e18;   // ~2^62, headroom before wrap
+  constexpr double kMantissa = 9.007199254740992e15;  // 2^53
+  long double total = 0;
+  for (std::size_t i = 0; i < p.arrays.size(); ++i) {
+    const auto& a = p.arrays[i];
+    if (a.rows <= 0 || a.row_bytes <= 0) continue;  // MH002's finding
+    const long double la = static_cast<long double>(a.rows) *
+                           static_cast<long double>(a.row_bytes);
+    total += la;
+    if (la > kInt64Risk)
+      out.add(Severity::kWarning, "MH020",
+              cat("array '", a.name, "' spans ", a.rows, " x ", a.row_bytes,
+                  " B; the planner's 64-bit byte sums are at overflow risk"),
+              array_loc(in, i), "shrink the extent or split the array");
+    else if (la > kMantissa)
+      out.add(Severity::kWarning, "MH020",
+              cat("array '", a.name, "' spans more than 2^53 bytes; "
+                  "per-byte latency products lose integer precision"),
+              array_loc(in, i));
+  }
+  if (total > kInt64Risk && !p.arrays.empty())
+    out.add(Severity::kWarning, "MH020",
+            "the arrays' combined byte total is at 64-bit overflow risk in "
+            "the planner's admission sums",
+            array_loc(in, 0), "shrink the extents");
+}
+
+void mh021_zero_measure_stage(const LintInput& in, Diagnostics& out) {
+  const auto& p = *in.structure;
+  for (std::size_t si = 0; si < p.sections.size(); ++si) {
+    const auto& s = p.sections[si];
+    for (std::size_t gi = 0; gi < s.stages.size(); ++gi) {
+      const auto& st = s.stages[gi];
+      if (st.work_per_row_s == 0 && !st.row_work && st.read_vars.empty() &&
+          st.write_vars.empty())
+        out.add(Severity::kWarning, "MH021",
+                cat("stage ", st.id, " of section ", s.id,
+                    " declares no work and streams no variables; it has "
+                    "zero measure in every cost equation"),
+                stage_loc(in, si, gi),
+                cat("remove stage ", st.id, " from section ", s.id));
+    }
+  }
+}
+
+/// True when the full model-input triple is present and shaped well enough
+/// for the bounds interpreter to evaluate (MH022/MH023 share this gate; a
+/// malformed triple is already reported by MH008/MH012/MH014).
+bool bounds_evaluable(const LintInput& in) {
+  if (!in.params || !in.memory_bytes || !in.distribution) return false;
+  const int n = in.params->node_count();
+  return n >= 1 && static_cast<int>(in.memory_bytes->size()) == n &&
+         in.distribution->nodes() == n;
+}
+
+void mh022_dead_weight_node(const LintInput& in, Diagnostics& out) {
+  if (!bounds_evaluable(in)) return;
+  const int n = in.params->node_count();
+  if (n < 2) return;
+  try {
+    const bounds::CostBoundsAnalyzer analyzer(
+        *in.structure, *in.params, *in.memory_bytes,
+        {in.planner_overhead_bytes, in.max_blocks});
+    const bounds::TotalBounds tb =
+        analyzer.total_bounds(*in.distribution, 1);
+    for (int r = 0; r < n; ++r) {
+      double other_lo = 0;
+      int critical = -1;
+      for (int s = 0; s < n; ++s) {
+        if (s == r) continue;
+        if (tb.node_end[static_cast<std::size_t>(s)].lo >= other_lo) {
+          other_lo = tb.node_end[static_cast<std::size_t>(s)].lo;
+          critical = s;
+        }
+      }
+      if (tb.node_end[static_cast<std::size_t>(r)].hi < other_lo)
+        out.add(Severity::kNote, "MH022",
+                cat("node ", r, " is provably never on the critical path "
+                    "(certified end <= ",
+                    tb.node_end[static_cast<std::size_t>(r)].hi,
+                    " s while node ", critical, " ends >= ", other_lo,
+                    " s); its slack is dead weight"),
+                {},
+                cat("move rows from node ", critical, " to node ", r));
+    }
+  } catch (const CheckError&) {
+    // The triple is not evaluable (missing measured costs, zero
+    // instrumented rows, ...); the coverage rules already reported why.
+  }
+}
+
+void mh023_dead_weight_stage(const LintInput& in, Diagnostics& out) {
+  if (!bounds_evaluable(in)) return;
+  // A (section, stage) whose certified upper bound is numerically zero on
+  // every rank burns a slot in every iteration's evaluation without moving
+  // any clock. Strictly below any measurable time: widening alone produces
+  // at most a few kWidenAbs per tile.
+  constexpr double kZero = 1e-10;
+  try {
+    const bounds::CostBoundsAnalyzer analyzer(
+        *in.structure, *in.params, *in.memory_bytes,
+        {in.planner_overhead_bytes, in.max_blocks});
+    const auto cells = analyzer.stage_bounds(*in.distribution);
+    std::map<std::pair<int, int>, double> max_hi;
+    for (const auto& c : cells) {
+      auto& slot = max_hi[{c.section_id, c.stage_id}];
+      slot = std::max(slot, c.time.hi);
+    }
+    for (const auto& [key, hi] : max_hi) {
+      if (hi <= kZero)
+        out.add(Severity::kNote, "MH023",
+                cat("stage ", key.second, " of section ", key.first,
+                    " contributes provably zero time on every node under "
+                    "this distribution and these measured costs"),
+                {},
+                cat("remove stage ", key.second, " from section ", key.first,
+                    " or re-instrument it"));
+    }
+  } catch (const CheckError&) {
+    // Not evaluable; covered by MH012/MH014.
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& rule_catalog() {
@@ -673,6 +870,27 @@ const std::vector<Rule>& rule_catalog() {
         "model knobs must be valid and costs finite for the steady-state "
         "fixed point"},
        mh015_steady_state},
+      // MH016-MH018 are the fault-scenario rules (src/fault); the IDs stay
+      // reserved here so the combined catalog is gap-free and append-only.
+      {{"MH019", "numeric-overflow", Severity::kError,
+        "finite inputs whose derived products are Inf poison every "
+        "prediction"},
+       mh019_numeric_overflow},
+      {{"MH020", "accumulation-overflow", Severity::kWarning,
+        "byte totals beyond int64/2^53 silently wrap or lose precision"},
+       mh020_accumulation_overflow},
+      {{"MH021", "zero-measure-stage", Severity::kWarning,
+        "a stage with no work and no variables has zero measure in every "
+        "equation"},
+       mh021_zero_measure_stage},
+      {{"MH022", "dead-weight-node", Severity::kNote,
+        "a node whose certified end never reaches another node's lower "
+        "bound is dead weight"},
+       mh022_dead_weight_node},
+      {{"MH023", "dead-weight-stage", Severity::kNote,
+        "a stage with a certified zero upper bound on every node burns "
+        "evaluation for nothing"},
+       mh023_dead_weight_stage},
   };
   return kCatalog;
 }

@@ -5,9 +5,16 @@
 // inspects whatever slice of the LintInput is present and stays silent when
 // its inputs are absent, so one registry serves every entry point:
 //
-//   structure only            — structure files, app definitions (MH001-7)
+//   structure only            — structure files, app definitions (MH001-7,
+//                               MH020-21)
 //   structure x cluster x d   — the full input triple (adds MH008-11)
-//   structure x params x M_i  — what core::Predictor consumes (adds MH012-15)
+//   structure x params x M_i  — what core::Predictor consumes (adds MH012-15,
+//                               MH019)
+//   the full model triple + d — interval-bounds dominance diagnostics
+//                               (MH022-23, via analysis/bounds)
+//
+// MH016-MH018 are the fault-scenario rules and live in
+// src/fault/scenario_lint.hpp; their IDs are reserved in this numbering.
 //
 // The catalog is ordered and append-only: IDs are contract (tests, CI and
 // fix-it tooling key on them), so a retired rule keeps its number.

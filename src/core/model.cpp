@@ -580,6 +580,59 @@ std::vector<int> Predictor::rank_row_classes() const {
   return cls;
 }
 
+std::vector<Predictor::StageTableView> Predictor::stage_table_view() const {
+  const int n = params_.node_count();
+  const std::size_t narrays = structure_.arrays.size();
+  std::vector<StageTableView> out;
+  out.reserve(static_cast<std::size_t>(total_stage_slots_));
+  for (std::size_t si = 0; si < structure_.sections.size(); ++si) {
+    const auto& section = structure_.sections[si];
+    for (std::size_t g = 0; g < section.stages.size(); ++g) {
+      StageTableView v;
+      v.section_id = section.id;
+      v.stage_id = section.stages[g].id;
+      const std::size_t flat =
+          static_cast<std::size_t>(section_stage_offset_[si]) + g;
+      bool first_compute = true;
+      bool first_read = true;
+      bool first_write = true;
+      auto fold = [](bool& first, double& mn, double& mx, double value) {
+        if (first) {
+          mn = mx = value;
+          first = false;
+        } else {
+          mn = std::min(mn, value);
+          mx = std::max(mx, value);
+        }
+      };
+      for (int r = 0; r < n; ++r) {
+        const std::size_t slot =
+            static_cast<std::size_t>(r) *
+                static_cast<std::size_t>(total_stage_slots_) +
+            flat;
+        if (stage_present_[slot] == 0) continue;
+        ++v.present_ranks;
+        fold(first_compute, v.compute_s_min, v.compute_s_max,
+             stage_compute_s_[slot]);
+        for (int ai : stage_read_idx_[flat]) {
+          const std::size_t vslot = slot * narrays + static_cast<std::size_t>(ai);
+          if (var_present_[vslot] != 0)
+            fold(first_read, v.read_spb_min, v.read_spb_max,
+                 var_read_spb_[vslot]);
+        }
+        for (int ai : stage_write_idx_[flat]) {
+          const std::size_t vslot = slot * narrays + static_cast<std::size_t>(ai);
+          if (var_present_[vslot] != 0)
+            fold(first_write, v.write_spb_min, v.write_spb_max,
+                 var_write_spb_[vslot]);
+        }
+      }
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
 void Predictor::build_iteration_cache(
     const dist::GenBlock& d,
     const std::vector<std::shared_ptr<const ooc::NodePlan>>& plans,

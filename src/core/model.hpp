@@ -196,6 +196,26 @@ class Predictor {
   /// the partition is conservative (never merges ranks that could differ).
   std::vector<int> rank_row_classes() const;
 
+  /// Per-(section, stage) extrema of the interned cost tables across ranks:
+  /// the min/max measured compute time and the min/max per-byte latencies
+  /// of the variables the stage actually streams (read extrema over its
+  /// read_vars, write extrema over its write_vars, present entries only).
+  /// This is the model-side view the interval-bounds interpreter
+  /// (analysis/bounds) is validated against: its independently interned
+  /// tables must produce cell envelopes consistent with these extrema.
+  struct StageTableView {
+    int section_id = 0;
+    int stage_id = 0;
+    int present_ranks = 0;  ///< ranks with measured costs for this stage
+    double compute_s_min = 0;
+    double compute_s_max = 0;
+    double read_spb_min = 0;   ///< s/B over present (rank, read var) entries
+    double read_spb_max = 0;
+    double write_spb_min = 0;  ///< s/B over present (rank, write var) entries
+    double write_spb_max = 0;
+  };
+  std::vector<StageTableView> stage_table_view() const;
+
  private:
   // The incremental (delta) evaluator reuses the interned tables, the plan
   // cache and the shared clock-propagation loop, caching per-(rank, rows)

@@ -169,12 +169,25 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
     lopts.metrics = &registry;
     const search::LaneObjective lanes(predictor, iterations, arch.cluster,
                                       lopts);
-    const search::CachingObjective lane_cached{search::Objective(lanes)};
-    const ConvergenceRecorder recorder{search::Objective(lane_cached)};
+    // Certified branch-and-bound screen between the search and the lane
+    // evaluator: candidates whose interval lower bound beats the incumbent
+    // are never scored; everything scored pays the lo <= value <= hi
+    // oracle, keeping a live soundness signal in the metrics (a violation
+    // latches straight through to the lane path).
+    search::BoundedOptions bopts;
+    bopts.metrics = &registry;
+    const search::BoundedObjective bounded(
+        predictor, iterations, search::Objective(lanes),
+        [lanes](const std::vector<dist::GenBlock>& cs) {
+          return lanes.evaluate(cs);
+        },
+        bopts);
+    const search::CachingObjective bounded_cached{search::Objective(bounded)};
+    const ConvergenceRecorder recorder{search::Objective(bounded_cached)};
     const search::BatchObjective batched(
         search::Objective(recorder),
-        [&lanes, &recorder](const std::vector<dist::GenBlock>& cs) {
-          auto values = lanes.evaluate(cs);
+        [&bounded, &recorder](const std::vector<dist::GenBlock>& cs) {
+          auto values = bounded(cs);
           for (const double v : values) recorder.record(v);
           return values;
         });
@@ -187,6 +200,7 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
     result.convergence = recorder.series();
     result.delta = lanes.scalar_stats();
     result.lanes = lanes.stats();
+    result.bounds = bounded.stats();
     registry.gauge("search_best_cost_s").set(sr.best_time);
   }
 

@@ -26,6 +26,7 @@
 #include "obs/attribution.hpp"
 #include "obs/convergence.hpp"
 #include "obs/registry.hpp"
+#include "search/objective.hpp"
 
 namespace mheta::obs {
 
@@ -72,6 +73,10 @@ struct ProfileResult {
   /// route whole candidate sets through K-wide clock sweeps (also exported
   /// as lane_eval_* metrics).
   core::LaneStats lanes;
+  /// Certified branch-and-bound counters from the same search pass: the
+  /// interval-bounds screen in front of the lane evaluator (also exported
+  /// as bounds_* metrics).
+  search::BoundedStats bounds;
 
   /// Paths of every artifact written, in write order.
   std::vector<std::string> files;

@@ -1,8 +1,11 @@
 #include "search/objective.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "analysis/lint.hpp"
 #include "analysis/rules.hpp"
@@ -136,6 +139,208 @@ std::vector<double> LaneObjective::evaluate(
                                 iterations_, values.data());
   }
   return values;
+}
+
+struct BoundedObjective::State {
+  State(const core::Predictor& p, Objective in, BatchObjective::BatchFn batch,
+        BoundedOptions opts)
+      : analyzer(p.structure(), p.params(), p.memory_bytes(),
+                 {p.options().planner_overhead_bytes, p.options().max_blocks}),
+        predictor(&p),
+        inner(std::move(in)),
+        inner_batch(std::move(batch)),
+        options(opts) {
+    if (options.metrics != nullptr) {
+      auto& m = *options.metrics;
+      m_pruned = &m.counter("bounds_pruned_total",
+                            "candidates skipped on a certified lower bound");
+      m_evaluated = &m.counter("bounds_evaluated_total",
+                               "candidates scored by the inner objective");
+      m_crosschecks = &m.counter("bounds_crosschecks_total",
+                                 "lo <= value <= hi oracle comparisons");
+      m_violations = &m.counter("bounds_violations_total",
+                                "oracle failures (latches the fallback)");
+      m_width = &m.gauge("bounds_width_rel",
+                         "mean relative envelope width over evaluated "
+                         "candidates");
+    }
+  }
+
+  analysis::bounds::CostBoundsAnalyzer analyzer;
+  const core::Predictor* predictor;
+  Objective inner;
+  BatchObjective::BatchFn inner_batch;
+  BoundedOptions options;
+
+  mutable std::mutex mu;
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<PrunedSample> samples;
+  double width_rel_sum = 0;
+  double max_violation_s = 0;
+
+  std::atomic<bool> latched{false};
+  std::atomic<std::size_t> evaluated{0};
+  std::atomic<std::size_t> pruned{0};
+  std::atomic<std::size_t> crosschecks{0};
+  std::atomic<std::size_t> violations{0};
+
+  obs::Counter* m_pruned = nullptr;
+  obs::Counter* m_evaluated = nullptr;
+  obs::Counter* m_crosschecks = nullptr;
+  obs::Counter* m_violations = nullptr;
+  obs::Gauge* m_width = nullptr;
+
+  // Prune bookkeeping; returns the certified lower bound as the candidate's
+  // value. lb > incumbent >= every later incumbent >= the run's best_time,
+  // so a pruned candidate can never win a comparison downstream.
+  double record_prune(const dist::GenBlock& d, double lb,
+                      double incumbent_at_prune) {
+    pruned.fetch_add(1, std::memory_order_relaxed);
+    if (m_pruned != nullptr) m_pruned->inc();
+    if (options.max_pruned_samples > 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (samples.size() < options.max_pruned_samples)
+        samples.push_back({d, lb, incumbent_at_prune});
+    }
+    return lb;
+  }
+
+  // Post-evaluation bookkeeping for one candidate the inner objective
+  // scored: oracle, width accounting, incumbent update.
+  double finish(const analysis::bounds::TotalBounds& b, double value) {
+    const std::size_t n = evaluated.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (m_evaluated != nullptr) m_evaluated->inc();
+    const int every = options.crosscheck_every;
+    if (every > 0 && (n - 1) % static_cast<std::size_t>(every) == 0) {
+      crosschecks.fetch_add(1, std::memory_order_relaxed);
+      if (m_crosschecks != nullptr) m_crosschecks->inc();
+      const double tol = options.crosscheck_tolerance_s;
+      if (value < b.total.lo - tol || value > b.total.hi + tol) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+        if (m_violations != nullptr) m_violations->inc();
+        latched.store(true, std::memory_order_relaxed);
+        const double gap = std::max(b.total.lo - value, value - b.total.hi);
+        std::lock_guard<std::mutex> lock(mu);
+        if (gap > max_violation_s) max_violation_s = gap;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      width_rel_sum += b.width_rel();
+      if (value < incumbent) incumbent = value;
+      if (m_width != nullptr)
+        m_width->set(width_rel_sum / static_cast<double>(n));
+    }
+    return value;
+  }
+};
+
+BoundedObjective::BoundedObjective(const core::Predictor& predictor,
+                                   int iterations, Objective inner,
+                                   BatchObjective::BatchFn inner_batch,
+                                   BoundedOptions options)
+    : iterations_(iterations),
+      nodes_(predictor.params().node_count()),
+      rows_(predictor.structure().rows()) {
+  lint_for_search(predictor, nullptr);
+  state_ = std::make_shared<State>(predictor, std::move(inner),
+                                   std::move(inner_batch), options);
+}
+
+BoundedObjective::BoundedObjective(const core::Predictor& predictor,
+                                   int iterations, Objective inner,
+                                   BoundedOptions options)
+    : BoundedObjective(predictor, iterations, std::move(inner),
+                       BatchObjective::BatchFn(), options) {}
+
+double BoundedObjective::operator()(const dist::GenBlock& d) const {
+  State& st = *state_;
+  check_candidate_shape(*st.predictor, nodes_, rows_, d);
+  if (!st.options.enabled || st.latched.load(std::memory_order_relaxed))
+    return st.inner(d);
+  const analysis::bounds::TotalBounds b =
+      st.analyzer.total_bounds(d, iterations_);
+  double incumbent;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    incumbent = st.incumbent;
+  }
+  if (b.total.lo > incumbent) return st.record_prune(d, b.total.lo, incumbent);
+  return st.finish(b, st.inner(d));
+}
+
+std::vector<double> BoundedObjective::operator()(
+    const std::vector<dist::GenBlock>& candidates) const {
+  State& st = *state_;
+  for (const auto& d : candidates)
+    check_candidate_shape(*st.predictor, nodes_, rows_, d);
+  std::vector<double> values(candidates.size());
+  if (candidates.empty()) return values;
+  if (!st.options.enabled || st.latched.load(std::memory_order_relaxed)) {
+    if (st.inner_batch) return st.inner_batch(candidates);
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      values[i] = st.inner(candidates[i]);
+    return values;
+  }
+  double incumbent;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    incumbent = st.incumbent;
+  }
+  // Prune decisions all use the incumbent at batch start, so the survivor
+  // set does not depend on the inner batch function's evaluation order.
+  std::vector<analysis::bounds::TotalBounds> bounds;
+  std::vector<dist::GenBlock> kept;
+  std::vector<std::size_t> kept_index;
+  bounds.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    analysis::bounds::TotalBounds b =
+        st.analyzer.total_bounds(candidates[i], iterations_);
+    if (b.total.lo > incumbent) {
+      values[i] = st.record_prune(candidates[i], b.total.lo, incumbent);
+    } else {
+      kept.push_back(candidates[i]);
+      kept_index.push_back(i);
+      bounds.push_back(std::move(b));
+    }
+  }
+  if (kept.empty()) return values;
+  std::vector<double> kept_values;
+  if (st.inner_batch) {
+    kept_values = st.inner_batch(kept);
+  } else {
+    kept_values.resize(kept.size());
+    for (std::size_t j = 0; j < kept.size(); ++j)
+      kept_values[j] = st.inner(kept[j]);
+  }
+  for (std::size_t j = 0; j < kept.size(); ++j)
+    values[kept_index[j]] = st.finish(bounds[j], kept_values[j]);
+  return values;
+}
+
+BoundedStats BoundedObjective::stats() const {
+  const State& st = *state_;
+  BoundedStats s;
+  s.evaluated = st.evaluated.load(std::memory_order_relaxed);
+  s.pruned = st.pruned.load(std::memory_order_relaxed);
+  s.crosschecks = st.crosschecks.load(std::memory_order_relaxed);
+  s.violations = st.violations.load(std::memory_order_relaxed);
+  s.latched = st.latched.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(st.mu);
+  s.width_rel_mean =
+      s.evaluated > 0 ? st.width_rel_sum / static_cast<double>(s.evaluated) : 0;
+  s.max_violation_s = st.max_violation_s;
+  s.incumbent_s = st.incumbent;
+  return s;
+}
+
+std::vector<PrunedSample> BoundedObjective::pruned_samples() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->samples;
+}
+
+const analysis::bounds::CostBoundsAnalyzer& BoundedObjective::analyzer() const {
+  return state_->analyzer;
 }
 
 BatchObjective::BatchObjective(const LaneObjective& lanes)

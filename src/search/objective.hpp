@@ -8,9 +8,12 @@
 // out of the hot path.
 #pragma once
 
+#include <cstddef>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "analysis/bounds/bounds.hpp"
 #include "cluster/node.hpp"
 #include "core/incremental.hpp"
 #include "core/lanes.hpp"
@@ -110,6 +113,108 @@ class LaneObjective {
                 core::LaneOptions options);
 
   std::shared_ptr<core::LaneEvaluator> evaluator_;
+  int iterations_ = 1;
+  int nodes_ = 0;
+  std::int64_t rows_ = 0;
+};
+
+/// Knobs for BoundedObjective.
+struct BoundedOptions {
+  /// Master switch: false routes every candidate straight to the inner
+  /// objective (measurement baseline; also what the latch degrades to).
+  bool enabled = true;
+  /// Run the lo <= value <= hi oracle on every Nth *evaluated* candidate
+  /// (pruned candidates are never crosschecked — that is the point of
+  /// pruning). 1 checks all of them; 0 disables the oracle.
+  int crosscheck_every = 1;
+  /// Oracle slack; the analyzer widens outward by ~5e-10 relative, so 1e-9
+  /// leaves real violations nowhere to hide without false alarms.
+  double crosscheck_tolerance_s = 1e-9;
+  /// Keep at most this many PrunedSamples for post-hoc re-evaluation audits
+  /// (the bench's pruned-candidate exactness check). 0 keeps none.
+  std::size_t max_pruned_samples = 0;
+  /// Optional (not owned): reports `bounds_pruned_total`,
+  /// `bounds_evaluated_total`, `bounds_crosschecks_total`,
+  /// `bounds_violations_total` and the `bounds_width_rel` gauge.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// One pruned candidate, recorded for post-hoc audits: re-evaluating
+/// `candidate` through the model must land at or above `lower_bound`
+/// (and therefore above the `incumbent` it was pruned against).
+struct PrunedSample {
+  dist::GenBlock candidate;
+  double lower_bound = 0;  ///< certified lower bound that triggered the prune
+  double incumbent = 0;    ///< best evaluated value at prune time
+};
+
+/// Counters across every copy of a BoundedObjective.
+struct BoundedStats {
+  std::size_t evaluated = 0;    ///< candidates scored by the inner objective
+  std::size_t pruned = 0;       ///< candidates skipped on certified bounds
+  std::size_t crosschecks = 0;  ///< oracle comparisons run
+  std::size_t violations = 0;   ///< oracle failures (should stay 0)
+  bool latched = false;         ///< permanent fallback engaged
+  double width_rel_mean = 0;    ///< mean relative envelope width (evaluated)
+  double max_violation_s = 0;   ///< worst oracle excursion seen
+  double incumbent_s = std::numeric_limits<double>::infinity();
+
+  /// Fraction of all bound-screened candidates that were pruned.
+  double prune_rate() const {
+    const std::size_t total = evaluated + pruned;
+    return total > 0 ? static_cast<double>(pruned) / total : 0;
+  }
+};
+
+/// Certified branch-and-bound objective: screens every candidate with the
+/// interval-bounds analyzer (analysis/bounds) before paying for a model
+/// evaluation. A candidate whose certified lower bound exceeds the best
+/// value evaluated so far cannot win, so the wrapper returns that lower
+/// bound without calling the inner objective at all — the search still sees
+/// a value that correctly loses every comparison against the incumbent, so
+/// the best-found distribution is never a pruned one.
+///
+/// Soundness is not taken on faith: the analyzer derives its tables from
+/// MhetaParams independently of the inner objective's Predictor, and a
+/// crosscheck oracle asserts lo <= value <= hi (within tolerance) on
+/// evaluated candidates. Any violation trips a permanent latch that routes
+/// everything to the inner objective — identical results, no pruning — and
+/// is reported through stats() and the metrics registry.
+///
+/// Wraps any inner Objective (make_objective, DeltaObjective,
+/// LaneObjective's scalar path); the batch constructor additionally routes
+/// whole candidate sets through an inner batch function (e.g.
+/// LaneObjective::evaluate) with prune decisions made against the incumbent
+/// as of the start of the batch. Copies share all state (incumbent, latch,
+/// counters, samples). The predictor must outlive every copy.
+class BoundedObjective {
+ public:
+  BoundedObjective(const core::Predictor& predictor, int iterations,
+                   Objective inner, BoundedOptions options = {});
+  BoundedObjective(const core::Predictor& predictor, int iterations,
+                   Objective inner, BatchObjective::BatchFn inner_batch,
+                   BoundedOptions options = {});
+
+  /// Scalar path: certified lower bound for pruned candidates, the inner
+  /// objective's value (oracle-checked) otherwise.
+  double operator()(const dist::GenBlock& d) const;
+
+  /// Batch path; values[i] corresponds to candidates[i]. Prune decisions
+  /// use the incumbent at batch start; survivors go through the inner
+  /// batch function (or the scalar inner objective when none was given).
+  std::vector<double> operator()(
+      const std::vector<dist::GenBlock>& candidates) const;
+
+  BoundedStats stats() const;
+  /// Copies of the recorded pruned candidates (bounded by
+  /// BoundedOptions::max_pruned_samples).
+  std::vector<PrunedSample> pruned_samples() const;
+  const analysis::bounds::CostBoundsAnalyzer& analyzer() const;
+  int iterations() const { return iterations_; }
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
   int iterations_ = 1;
   int nodes_ = 0;
   std::int64_t rows_ = 0;

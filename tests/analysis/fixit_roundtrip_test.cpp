@@ -1,0 +1,136 @@
+// Fix-it round trips: take an input that fires a rule, apply what the
+// diagnostic's `fix` text prescribes (parsed from the fix itself, so the
+// suggestion is what is being tested, not the test author's knowledge of
+// the rule), and assert the repaired input re-lints clean. One structure
+// rule (MH004), one cross-input rule (MH008) and one of the new
+// numerical-safety rules (MH021).
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "cluster/suite.hpp"
+#include "dist/generators.hpp"
+
+namespace mheta::analysis {
+namespace {
+
+core::ProgramStructure toy_structure() {
+  core::ProgramStructure p;
+  p.name = "toy";
+  p.arrays = {{"grid", 1000, 8, ooc::Access::kReadWrite}};
+  core::SectionSpec s;
+  s.id = 0;
+  s.pattern = core::CommPattern::kNearestNeighbor;
+  s.message_bytes = 8;
+  s.has_reduction = true;
+  s.reduce_bytes = 8;
+  ooc::StageDef st;
+  st.id = 0;
+  st.work_per_row_s = 1e-6;
+  st.read_vars = {"grid"};
+  st.write_vars = {"grid"};
+  s.stages.push_back(std::move(st));
+  p.sections.push_back(std::move(s));
+  return p;
+}
+
+/// The first finding of `rule`, which must exist and carry a fix.
+const Diagnostic& finding(const Diagnostics& d, const std::string& rule) {
+  for (const auto& diag : d)
+    if (diag.rule == rule && !diag.fix.empty()) return diag;
+  ADD_FAILURE() << "no " << rule << " finding with a fix in:\n"
+                << d.to_string();
+  static const Diagnostic none{};
+  return none;
+}
+
+/// Extracts the text between the first pair of single quotes after `after`.
+std::string quoted_after(const std::string& text, const std::string& after) {
+  const auto at = text.find(after);
+  if (at == std::string::npos) return {};
+  const auto open = text.find('\'', at);
+  if (open == std::string::npos) return {};
+  const auto close = text.find('\'', open + 1);
+  if (close == std::string::npos) return {};
+  return text.substr(open + 1, close - open - 1);
+}
+
+/// Extracts the integer following `after`.
+std::int64_t number_after(const std::string& text, const std::string& after) {
+  const auto at = text.find(after);
+  if (at == std::string::npos) {
+    ADD_FAILURE() << "'" << after << "' not in fix: " << text;
+    return 0;
+  }
+  return std::stoll(text.substr(at + after.size()));
+}
+
+// MH004 (structure rule): a typo'd variable name; the fix names the
+// intended array. Renaming per the suggestion re-lints clean.
+TEST(FixItRoundTrip, MH004RenamePerSuggestion) {
+  auto p = toy_structure();
+  p.sections[0].stages[0].read_vars = {"gird"};
+  const auto before = lint_structure(p);
+  ASSERT_TRUE(before.has_rule("MH004"));
+  const Diagnostic& diag = finding(before, "MH004");
+  const std::string suggested = quoted_after(diag.fix, "did you mean");
+  ASSERT_FALSE(suggested.empty()) << "fix carried no suggestion: " << diag.fix;
+
+  for (auto& v : p.sections[0].stages[0].read_vars)
+    if (v == "gird") v = suggested;
+  const auto after = lint_structure(p);
+  EXPECT_FALSE(after.has_rule("MH004")) << after.to_string();
+  EXPECT_TRUE(after.empty()) << after.to_string();
+}
+
+// MH008 (cross-input rule): a GEN_BLOCK that undershoots the extent; the
+// fix names the node and the corrected count. Applying it re-lints clean.
+TEST(FixItRoundTrip, MH008RaiseCountPerSuggestion) {
+  const auto p = toy_structure();
+  const auto c = cluster::ClusterConfig::uniform(2, "toy-cluster");
+  auto counts = std::vector<std::int64_t>{500, 400};
+  const auto before = lint_distribution(p, c, dist::GenBlock(counts));
+  ASSERT_TRUE(before.has_rule("MH008"));
+  const Diagnostic& diag = finding(before, "MH008");
+  const int node = static_cast<int>(number_after(diag.fix, "node "));
+  const std::int64_t corrected = number_after(diag.fix, "(to ");
+  ASSERT_GE(node, 0);
+  ASSERT_LT(node, static_cast<int>(counts.size()));
+
+  counts[static_cast<std::size_t>(node)] = corrected;
+  const auto after = lint_distribution(p, c, dist::GenBlock(counts));
+  EXPECT_FALSE(after.has_rule("MH008")) << after.to_string();
+  EXPECT_TRUE(after.empty()) << after.to_string();
+}
+
+// MH021 (numerical-safety rule, MH019+): a zero-measure stage; the fix
+// says to remove it (or re-instrument). Removing it re-lints clean.
+TEST(FixItRoundTrip, MH021RemoveStagePerSuggestion) {
+  auto p = toy_structure();
+  ooc::StageDef st;
+  st.id = 1;
+  p.sections[0].stages.push_back(std::move(st));
+  const auto before = lint_structure(p);
+  ASSERT_TRUE(before.has_rule("MH021"));
+  const Diagnostic& diag = finding(before, "MH021");
+  EXPECT_NE(diag.fix.find("remove"), std::string::npos) << diag.fix;
+  const int stage_id = static_cast<int>(number_after(diag.fix, "stage "));
+
+  auto& stages = p.sections[0].stages;
+  for (auto it = stages.begin(); it != stages.end(); ++it)
+    if (it->id == stage_id) {
+      stages.erase(it);
+      break;
+    }
+  const auto after = lint_structure(p);
+  EXPECT_FALSE(after.has_rule("MH021")) << after.to_string();
+  EXPECT_TRUE(after.empty()) << after.to_string();
+}
+
+}  // namespace
+}  // namespace mheta::analysis

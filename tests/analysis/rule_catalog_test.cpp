@@ -1,0 +1,109 @@
+// The combined rule catalog (analysis MH001-MH015 + MH019-MH023, fault
+// MH016-MH018) as `mheta-lint --rules` presents it: gap-free MH001-MH023,
+// each ID exactly once, ascending, with non-empty names and rationales —
+// and no orphan rule IDs anywhere under src/analysis (every MHxxx a rule
+// or a diagnostic mentions must exist in the combined catalog).
+#include "analysis/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/scenario_lint.hpp"
+
+namespace mheta::analysis {
+namespace {
+
+/// The catalog exactly as the CLI merges it: analysis + fault, by ID.
+std::vector<RuleInfo> combined_catalog() {
+  std::vector<RuleInfo> rules;
+  for (const auto& rule : rule_catalog()) rules.push_back(rule.info);
+  for (const auto& info : fault::scenario_rule_catalog())
+    rules.push_back(info);
+  std::sort(rules.begin(), rules.end(),
+            [](const RuleInfo& a, const RuleInfo& b) {
+              return std::string(a.id) < std::string(b.id);
+            });
+  return rules;
+}
+
+TEST(RuleCatalog, CombinedCatalogIsGapFreeAndOrdered) {
+  const auto rules = combined_catalog();
+  ASSERT_EQ(rules.size(), 23u);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    char expect[16];
+    std::snprintf(expect, sizeof expect, "MH%03zu", i + 1);
+    EXPECT_STREQ(rules[i].id, expect);
+  }
+}
+
+TEST(RuleCatalog, EveryRuleHasNameAndRationale) {
+  for (const auto& info : combined_catalog()) {
+    EXPECT_FALSE(std::string(info.name).empty()) << info.id;
+    EXPECT_FALSE(std::string(info.rationale).empty()) << info.id;
+    // Slugs are kebab-case: lowercase letters, digits and dashes.
+    for (const char c : std::string(info.name))
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) || c == '-')
+          << info.id << " slug '" << info.name << "'";
+  }
+}
+
+TEST(RuleCatalog, EveryIdListedExactlyOnceAcrossBothCatalogs) {
+  std::set<std::string> seen;
+  for (const auto& info : combined_catalog())
+    EXPECT_TRUE(seen.insert(info.id).second) << info.id << " listed twice";
+  // The two lookup functions partition the ID space.
+  for (const auto& info : combined_catalog()) {
+    const bool in_analysis = find_rule(info.id) != nullptr;
+    const bool in_fault = fault::find_scenario_rule(info.id) != nullptr;
+    EXPECT_NE(in_analysis, in_fault) << info.id;
+  }
+}
+
+// Scan every source file under src/analysis for MHxxx tokens: each one
+// must name a rule in the combined catalog. A typo'd or stale ID in a
+// diagnostic message would otherwise point users at nothing.
+TEST(RuleCatalog, NoOrphanRuleIdsInAnalysisSources) {
+  std::set<std::string> known;
+  for (const auto& info : combined_catalog()) known.insert(info.id);
+  const std::filesystem::path root(MHETA_ANALYSIS_SRC_DIR);
+  ASSERT_TRUE(std::filesystem::exists(root)) << root;
+  int files = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    ++files;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    for (std::size_t pos = text.find("MH"); pos != std::string::npos;
+         pos = text.find("MH", pos + 1)) {
+      if (pos + 5 > text.size()) break;
+      const std::string digits = text.substr(pos + 2, 3);
+      if (!std::all_of(digits.begin(), digits.end(), [](unsigned char c) {
+            return std::isdigit(c);
+          }))
+        continue;
+      const std::string id = "MH" + digits;
+      if (id == "MH999") continue;  // the canonical unknown-ID example
+      EXPECT_TRUE(known.count(id))
+          << "orphan rule ID " << id << " in " << entry.path();
+    }
+  }
+  EXPECT_GT(files, 0) << "scan found no sources under " << root;
+}
+
+}  // namespace
+}  // namespace mheta::analysis

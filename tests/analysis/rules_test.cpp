@@ -87,14 +87,18 @@ TEST(Rules, CleanFixtureHasNoFindingsAtAnyLevel) {
 }
 
 TEST(Rules, CatalogIsAppendOnlyAndOrdered) {
+  // MH001-MH015 are contiguous; MH016-MH018 are the fault-scenario rules
+  // (src/fault/scenario_lint.hpp) so the analysis catalog resumes at MH019.
   const auto& catalog = rule_catalog();
-  ASSERT_GE(catalog.size(), 15u);
+  ASSERT_EQ(catalog.size(), 20u);
   for (std::size_t i = 0; i < catalog.size(); ++i) {
     char expect[32];
-    std::snprintf(expect, sizeof expect, "MH%03zu", i + 1);
+    std::snprintf(expect, sizeof expect, "MH%03zu", i < 15 ? i + 1 : i + 4);
     EXPECT_STREQ(catalog[i].info.id, expect);
   }
   EXPECT_EQ(find_rule("MH013"), &catalog[12]);
+  EXPECT_EQ(find_rule("MH019"), &catalog[15]);
+  EXPECT_EQ(find_rule("MH016"), nullptr);  // lives in the fault catalog
   EXPECT_EQ(find_rule("MH999"), nullptr);
 }
 
@@ -321,6 +325,105 @@ TEST(Rules, MH015FiresOnBadKnobsAndNonFiniteCosts) {
   const auto d = lint_model_inputs(p, params, toy_memories());
   EXPECT_TRUE(d.has_rule("MH015"));
   EXPECT_TRUE(d.has_errors());
+}
+
+// --------------------------------------------------------------------------
+// MH019-MH023: numerical-safety and dominance rules.
+// --------------------------------------------------------------------------
+
+TEST(Rules, MH019FiresOnOverflowingDerivedProduct) {
+  const auto p = toy_structure();
+  auto params = toy_params();
+  // Finite input, infinite derived product: compute_s scaled to the full
+  // extent (1e308 * 1000 / 500 = 2e308 > DBL_MAX).
+  params.nodes[0].stages[{0, 0}].compute_s = 1e308;
+  const auto d = lint_model_inputs(p, params, toy_memories());
+  EXPECT_TRUE(d.has_rule("MH019"));
+  EXPECT_TRUE(d.has_errors());
+
+  // A finite per-byte latency whose full-array product overflows.
+  auto q = toy_params();
+  q.nodes[1].stages[{0, 0}].vars["grid"].read_s_per_byte = 1e305;
+  EXPECT_TRUE(lint_model_inputs(p, q, toy_memories()).has_rule("MH019"));
+}
+
+TEST(Rules, MH020WarnsOnOverflowRiskByteTotals) {
+  auto p = toy_structure();
+  // 2^60 rows x 8 B clears the int64 wrap-risk threshold.
+  p.arrays[0].rows = std::int64_t{1} << 60;
+  EXPECT_TRUE(lint_structure(p).has_rule("MH020"));
+
+  // 2^51 rows x 8 B = 2^54 B: inside int64, past the 2^53 mantissa.
+  auto q = toy_structure();
+  q.arrays[0].rows = std::int64_t{1} << 51;
+  EXPECT_TRUE(lint_structure(q).has_rule("MH020"));
+}
+
+TEST(Rules, MH021WarnsOnZeroMeasureStage) {
+  auto p = toy_structure();
+  ooc::StageDef st;
+  st.id = 1;  // no work_per_row_s, no row_work, no variables
+  p.sections[0].stages.push_back(std::move(st));
+  const auto d = lint_structure(p);
+  EXPECT_TRUE(d.has_rule("MH021"));
+  EXPECT_FALSE(d.has_errors());
+}
+
+// MH022/MH023 need the full triple plus a distribution (the bounds
+// interpreter evaluates a concrete candidate), so they build LintInput
+// directly rather than going through the three convenience entry points.
+LintInput full_triple_input(const core::ProgramStructure& p,
+                            const instrument::MhetaParams& params,
+                            const std::vector<std::int64_t>& memories,
+                            const dist::GenBlock& d) {
+  LintInput in;
+  in.structure = &p;
+  in.params = &params;
+  in.memory_bytes = &memories;
+  in.distribution = &d;
+  return in;
+}
+
+TEST(Rules, MH022NotesProvablyNonCriticalNode) {
+  // Decouple the ranks (no comm) and skew the rows 999:1 so node 1's
+  // certified end stays strictly below node 0's lower bound.
+  auto p = toy_structure();
+  p.sections[0].pattern = core::CommPattern::kNone;
+  p.sections[0].message_bytes = 0;
+  p.sections[0].has_reduction = false;
+  p.sections[0].reduce_bytes = 0;
+  auto params = toy_params();
+  for (auto& n : params.nodes) n.comm.clear();
+  const auto memories = toy_memories();
+  const dist::GenBlock skew({999, 1});
+  const auto d = run_rules(full_triple_input(p, params, memories, skew));
+  EXPECT_TRUE(d.has_rule("MH022"));
+
+  // The balanced candidate on the symmetric fixture has no dead weight.
+  const dist::GenBlock even({500, 500});
+  EXPECT_FALSE(
+      run_rules(full_triple_input(p, params, memories, even)).has_rule("MH022"));
+}
+
+TEST(Rules, MH023NotesProvablyZeroTimeStage) {
+  // A stage with no work and no variables, measured at zero compute cost,
+  // has a certified zero upper bound on every node.
+  auto p = toy_structure();
+  ooc::StageDef st;
+  st.id = 1;
+  p.sections[0].stages.push_back(std::move(st));
+  auto params = toy_params();
+  for (auto& n : params.nodes) n.stages[{0, 1}].compute_s = 0;
+  const auto memories = toy_memories();
+  const dist::GenBlock even({500, 500});
+  const auto d = run_rules(full_triple_input(p, params, memories, even));
+  EXPECT_TRUE(d.has_rule("MH023"));
+
+  // The working stage is never reported.
+  EXPECT_FALSE(
+      run_rules(full_triple_input(toy_structure(), toy_params(), memories,
+                                  even))
+          .has_rule("MH023"));
 }
 
 // --------------------------------------------------------------------------

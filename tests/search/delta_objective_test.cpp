@@ -236,6 +236,30 @@ TEST(DeltaObjective, PlugsIntoCachingAndBatchWrappers) {
   EXPECT_EQ(expect.evaluations, via_batch.evaluations);
 }
 
+// Simulated annealing is scalar (one accept/reject candidate per step), so
+// routing it through a DeltaObjective — as the bench quality mode now does —
+// must leave the whole trajectory untouched: same seed, same accepts, same
+// final result, bit for bit.
+TEST(DeltaObjective, AnnealingTrajectoryIsBitIdentical) {
+  const AppFixture& f = fixture("jacobi");
+  const DeltaObjective delta(f.predictor, f.iterations, f.arch.cluster);
+  const Objective full =
+      make_objective(f.predictor, f.iterations, f.arch.cluster);
+  AnnealOptions opts;
+  opts.steps = 200;
+  const dist::GenBlock start = dist::block_dist(f.ctx);
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const SearchResult with_full =
+        simulated_annealing(start, full, opts, seed);
+    const SearchResult with_delta =
+        simulated_annealing(start, Objective(delta), opts, seed);
+    EXPECT_EQ(with_full.best.counts(), with_delta.best.counts());
+    EXPECT_EQ(bits(with_full.best_time), bits(with_delta.best_time));
+    EXPECT_EQ(with_full.evaluations, with_delta.evaluations);
+  }
+  EXPECT_EQ(delta.stats().full_fallbacks, 0u);
+}
+
 // Shape guard parity with make_objective: malformed candidates must be
 // rejected up front (MH008), not fed to the evaluator.
 TEST(DeltaObjective, RejectsWrongShapedCandidates) {

@@ -18,18 +18,24 @@
 //                      HY2, ...), enabling the distribution rules
 //   --dist KIND        distribution to check with --arch: blk (default),
 //                      bal, ic, icbal
+//   --bounds           with --arch: calibrate the model on the emulated
+//                      machine, run the model-input and interval-bounds
+//                      rules (MH012-MH015, MH019-MH023) too, and print the
+//                      certified [lo, hi] envelope per stage and in total
 //   --json             machine-readable output, one JSON object per input
 //   --rules            print the rule catalog and exit
 //   --help             this text
 //
 // Exit status: 0 clean (warnings allowed), 1 if any input has errors,
 // 2 on usage or file problems.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/bounds/bounds.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/rules.hpp"
 #include "cluster/suite.hpp"
@@ -49,20 +55,27 @@ namespace {
 constexpr const char* kTool = "mheta-lint";
 
 void print_usage(std::ostream& os) {
-  os << "usage: mheta-lint [--arch NAME] [--dist blk|bal|ic|icbal] [--json]\n"
-        "                  [--scenario FILE]... [--rules] "
+  os << "usage: mheta-lint [--arch NAME] [--dist blk|bal|ic|icbal] [--bounds]\n"
+        "                  [--json] [--scenario FILE]... [--rules] "
         "<structure-file-or-app>...\n"
         "apps: jacobi jacobi-pf cg lanczos rna multigrid isort\n";
 }
 
+// One gap-free listing, MH001..MH023 ascending: the analysis catalog owns
+// MH001-MH015 and MH019-MH023, the fault-scenario catalog MH016-MH018, so
+// the merge is sorted by ID before printing.
 void print_rules(std::ostream& os) {
-  for (const auto& r : analysis::rule_catalog()) {
-    os << r.info.id << "  " << analysis::to_string(r.info.severity) << "  "
-       << r.info.name << "\n      " << r.info.rationale << '\n';
-  }
-  for (const auto& info : fault::scenario_rule_catalog()) {
-    os << info.id << "  " << analysis::to_string(info.severity) << "  "
-       << info.name << "\n      " << info.rationale << '\n';
+  std::vector<analysis::RuleInfo> rules;
+  for (const auto& r : analysis::rule_catalog()) rules.push_back(r.info);
+  for (const auto& info : fault::scenario_rule_catalog())
+    rules.push_back(info);
+  std::sort(rules.begin(), rules.end(),
+            [](const analysis::RuleInfo& a, const analysis::RuleInfo& b) {
+              return std::string(a.id) < std::string(b.id);
+            });
+  for (const auto& r : rules) {
+    os << r.id << "  " << analysis::to_string(r.severity) << "  " << r.name
+       << "\n      " << r.rationale << '\n';
   }
 }
 
@@ -78,9 +91,48 @@ struct Options {
   std::string arch;
   std::string dist_kind = "blk";
   bool json = false;
+  bool bounds = false;
   std::vector<std::string> inputs;
   std::vector<std::string> scenarios;
 };
+
+// The certified envelope report behind --bounds: per-stage [lo, hi] folded
+// across ranks, per-node end times, and the total, at the workload's
+// default iteration count.
+void print_bounds(std::ostream& os, const core::ProgramStructure& program,
+                  const analysis::bounds::CostBoundsAnalyzer& analyzer,
+                  const dist::GenBlock& d, int iterations) {
+  const auto total = analyzer.total_bounds(d, iterations);
+  os << "bounds (" << iterations << " iteration(s)): total ["
+     << total.total.lo << ", " << total.total.hi << "] s, rel width "
+     << total.width_rel() << '\n';
+  for (std::size_t r = 0; r < total.node_end.size(); ++r)
+    os << "  node " << r << ": [" << total.node_end[r].lo << ", "
+       << total.node_end[r].hi << "] s\n";
+  // Stage envelopes are per (section, stage, rank); fold ranks so the
+  // report stays one line per stage.
+  const auto stages = analyzer.stage_bounds(d);
+  for (const auto& section : program.sections) {
+    for (const auto& stage : section.stages) {
+      analysis::bounds::Interval folded{0, 0};
+      bool first = true;
+      for (const auto& sb : stages) {
+        if (sb.section_id != section.id || sb.stage_id != stage.id) continue;
+        if (first) {
+          folded = sb.time;
+          first = false;
+        } else {
+          folded.lo = std::min(folded.lo, sb.time.lo);
+          folded.hi = std::max(folded.hi, sb.time.hi);
+        }
+      }
+      if (first) continue;
+      os << "  section " << section.id << " stage " << stage.id
+         << " (per iteration, across ranks): [" << folded.lo << ", "
+         << folded.hi << "] s\n";
+    }
+  }
+}
 
 int report(const analysis::Diagnostics& diags, const Options& opts) {
   if (opts.json) {
@@ -124,11 +176,42 @@ int lint_one(const std::string& input, const Options& opts) {
     in.locations = locations.file.empty() ? nullptr : &locations;
     in.cluster = &arch.cluster;
     in.distribution = &d;
+    // With --bounds, calibrate the model on the emulated machine so the
+    // model-input rules (MH012-15, MH019) and the interval-bounds rules
+    // (MH022-23) see real MhetaParams and per-node memories. The workload's
+    // iteration count (1 for plain files) scales the printed envelope.
+    std::optional<exp::Workload> w;
+    std::optional<core::Predictor> predictor;
+    if (opts.bounds) {
+      exp::ExperimentOptions eopts;
+      if (auto known = exp::workload_by_name(input)) {
+        w = std::move(*known);
+      } else {
+        w = exp::Workload{diags.artifact(), program, 1};
+      }
+      predictor = exp::build_predictor(arch, *w, eopts);
+      in.structure = &predictor->structure();
+      in.params = &predictor->params();
+      in.memory_bytes = &predictor->memory_bytes();
+      in.planner_overhead_bytes = predictor->options().planner_overhead_bytes;
+      in.max_blocks = predictor->options().max_blocks;
+    }
     // Replace the structure-only findings with the full triple run so each
     // rule reports once.
     analysis::Diagnostics full = analysis::run_rules(in);
     full.set_artifact(diags.artifact());
     diags = std::move(full);
+    if (opts.bounds && !opts.json) {
+      const analysis::bounds::CostBoundsAnalyzer analyzer(
+          predictor->structure(), predictor->params(),
+          predictor->memory_bytes(),
+          {in.planner_overhead_bytes, in.max_blocks});
+      print_bounds(std::cout, predictor->structure(), analyzer, d,
+                   w->iterations);
+    }
+  } else if (opts.bounds) {
+    std::cerr << kTool << ": --bounds requires --arch\n";
+    return cli::kExitUsage;
   }
 
   return report(diags, opts);
@@ -170,6 +253,8 @@ int main(int argc, char** argv) {
       return cli::kExitOk;
     } else if (arg == "--json") {
       opts.json = true;
+    } else if (arg == "--bounds") {
+      opts.bounds = true;
     } else if (arg == "--arch") {
       const auto v = args.value(arg);
       if (!v) return cli::kExitUsage;
