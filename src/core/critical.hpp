@@ -1,0 +1,127 @@
+// Instrumented clock-sweep tracing and what-if parameter perturbations.
+//
+// Predictor::predict_traced runs the same clock-propagation recurrence as
+// predict(), but records every advance of every node's clock as a
+// SweepEvent whose predecessor link names the exact event that determined
+// its start time: the node's own previous event for sequential advances,
+// or — when a remote arrival won the max of a receive — the sender's send
+// event, with the network transfer carried on the edge. The chain therefore
+// telescopes exactly: for every event, t_start == events[pred].t_end +
+// edge_s, so walking any rank's head backwards reproduces that rank's final
+// clock as a sum of event durations plus edge transfers, bit for bit.
+// Walking the *critical* rank's head yields the causal critical path — the
+// unique chain of (node, section, stage/comm, cost term) residencies that
+// bounds the makespan — which obs/critical_path.* turns into the blame and
+// sensitivity reports.
+//
+// The traced sweep is deliberately scalar and shortcut-free: absolute
+// clocks, no inter-iteration renormalization, no steady-state collapse,
+// uniform iterations only. Its totals agree with predict() within floating
+// summation error (the tests pin 1e-9); the hot paths (delta evaluation,
+// lane batching) never touch any of this code — tracing is a separate entry
+// point, so prediction stays zero-cost when tracing is off.
+//
+// Perturbation + Predictor::perturbed support the what-if side: scale one
+// resource (a node's computation, a node's disk, the network latency or
+// bandwidth), re-intern the cost tables, and re-predict. perturb_params is
+// the single source of truth for what a perturbation touches, so the cheap
+// replay (table re-intern on a copy) and the brute-force cross-check (a
+// fresh Predictor built from the perturbed params) see identical inputs.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace mheta::core {
+
+/// One advance of one node's clock during a traced sweep.
+struct SweepEvent {
+  enum class Kind {
+    kStages,      ///< the stage run of one section (or one pipeline tile)
+    kSend,        ///< a send overhead o_s (nearest-neighbor or pipeline)
+    kRecv,        ///< a blocking receive: max(clock, arrival) + o_r
+    kCollective,  ///< one hop inside a reduction tree / total exchange
+  };
+
+  Kind kind = Kind::kStages;
+  int rank = -1;
+  int section_index = -1;  ///< index into ProgramStructure::sections
+  int iteration = -1;
+  int tile = -1;  ///< pipeline tile; -1 outside pipelined sections
+  /// Index of the event whose t_end this event's start derives from; -1 for
+  /// the origin (clock 0). Always satisfies
+  /// t_start == events[pred].t_end + edge_s (with t_end 0 for pred == -1).
+  int pred = -1;
+  /// Sender rank when a remote arrival won the max (kRecv/kCollective with
+  /// edge_s > 0); -1 for purely local advances.
+  int src_rank = -1;
+  double t_start = 0;
+  double t_end = 0;
+  /// Network transfer time between the predecessor's end and this event's
+  /// start (only nonzero when the predecessor is a remote send).
+  double edge_s = 0;
+  /// Cost term (cost_term_name order) of the advance; -1 for kStages, whose
+  /// duration splits across terms via SweepTrace::terms.
+  int term = -1;
+  /// kStages only: first slot of this run in SweepTrace::terms[section] and
+  /// the number of consecutive stage slots covered.
+  int slot_begin = -1;
+  int stage_count = 0;
+
+  double duration_s() const { return t_end - t_start; }
+};
+
+/// Everything predict_traced records about one evaluation.
+struct SweepTrace {
+  /// Totals of the traced sweep; equal to predict() within floating
+  /// summation error (renormalization is the only difference).
+  Prediction prediction;
+  int iterations = 0;
+
+  std::vector<SweepEvent> events;
+  /// Per rank: index of its final event (-1 if its clock never advanced).
+  std::vector<int> head;
+
+  /// Per-slot cost-term splits of the stage runs, mirroring the evaluation
+  /// cache: terms[section][(rank * tiles + tile) * stages + g]. A kStages
+  /// event's duration equals the sum over its covered slots' terms (within
+  /// floating summation error).
+  std::vector<std::vector<CostTerms>> terms;
+  std::vector<int> section_tiles;   ///< per section (1 when not pipelined)
+  std::vector<int> section_stages;  ///< per section
+
+  /// Rank whose final clock is the headline prediction (first of ties, like
+  /// AttributedPrediction::critical_rank).
+  int critical_rank() const;
+
+  /// Event indices on the critical path: the chain from critical_rank's
+  /// head through pred links, origin first. The chain telescopes exactly:
+  /// summing duration_s() + edge_s over it reproduces prediction.total_s
+  /// bit for bit.
+  std::vector<int> critical_path() const;
+};
+
+/// One what-if scaling of a measured resource.
+struct Perturbation {
+  enum class Kind {
+    kCompute,       ///< node `rank`: every stage's compute_s (C_i)
+    kDisk,          ///< node `rank`: seeks + every per-byte disk latency (S_i)
+    kNetLatency,    ///< network latency_s (all messages)
+    kNetBandwidth,  ///< network s_per_byte (all messages)
+  };
+
+  Kind kind = Kind::kCompute;
+  int rank = -1;      ///< target node for kCompute/kDisk; ignored otherwise
+  double factor = 1;  ///< multiplier on the targeted costs (must be > 0)
+};
+
+const char* perturbation_kind_name(Perturbation::Kind kind);
+
+/// Returns `params` with `p` applied. Single source of truth for the
+/// parameters a perturbation touches — Predictor::perturbed and any
+/// brute-force re-prediction must both build from this.
+instrument::MhetaParams perturb_params(const instrument::MhetaParams& params,
+                                       const Perturbation& p);
+
+}  // namespace mheta::core

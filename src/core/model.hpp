@@ -50,6 +50,8 @@ namespace mheta::core {
 class IncrementalEvaluator;
 class LaneEvaluator;
 struct PredictorTestPeer;
+struct SweepTrace;    // critical.hpp: instrumented clock-sweep trace
+struct Perturbation;  // critical.hpp: what-if parameter scaling
 
 /// Model tuning; defaults reproduce the paper's setup.
 struct ModelOptions {
@@ -162,6 +164,20 @@ class Predictor {
   /// shortcut bit-exact against this loop).
   AttributedPrediction predict_attributed(const dist::GenBlock& d,
                                           int iterations = 1) const;
+
+  /// Instrumented scalar sweep (see critical.hpp): same recurrence as
+  /// predict(), every clock advance recorded with its causal predecessor so
+  /// the critical path through the evaluation can be walked exactly.
+  /// Shortcut-free and renormalization-free — totals agree with predict()
+  /// within floating summation error (pinned to 1e-9 in tests). Separate
+  /// entry point: the untraced paths pay nothing for its existence.
+  SweepTrace predict_traced(const dist::GenBlock& d, int iterations = 1) const;
+
+  /// Copy of this predictor with `p` applied to its measured parameters and
+  /// the cost tables re-interned (structure, memory and options unchanged).
+  /// Bit-identical in prediction to a Predictor constructed from
+  /// perturb_params(params(), p) — the sensitivity tests pin this.
+  Predictor perturbed(const Perturbation& p) const;
 
   /// Plan-LRU effectiveness counters (zero when caching is disabled).
   struct PlanCacheStats {

@@ -50,6 +50,57 @@ const JsonValue* JsonValue::get(const std::string& key) const {
 
 namespace {
 
+void serialize_into(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      out += json_number(v.number);
+      break;
+    case JsonValue::Kind::kString:
+      out += json_escape(v.string);
+      break;
+    case JsonValue::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& element : v.array) {
+        if (!first) out.push_back(',');
+        first = false;
+        serialize_into(element, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.object) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += json_escape(key);
+        out.push_back(':');
+        serialize_into(member, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_serialize(const JsonValue& v) {
+  std::string out;
+  serialize_into(v, out);
+  return out;
+}
+
+namespace {
+
 /// Recursive-descent RFC 8259 parser over a string view of the input.
 class Parser {
  public:

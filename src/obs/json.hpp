@@ -45,6 +45,13 @@ struct JsonValue {
   const JsonValue* get(const std::string& key) const;
 };
 
+/// Serializes a JsonValue tree back to a compact JSON document. Object
+/// members render in key order (deterministic), numbers through
+/// json_number — so non-finite doubles, which RFC 8259 cannot represent,
+/// serialize as null rather than as the unparseable "nan"/"inf" tokens.
+/// parse -> serialize -> parse round-trips every finite document exactly.
+std::string json_serialize(const JsonValue& v);
+
 /// Parses a complete JSON document. On failure returns false and sets
 /// `error` (position-annotated) if provided; `out` is left unspecified.
 bool json_parse(const std::string& text, JsonValue& out,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -74,6 +76,20 @@ void write_metadata(std::ostream& os, const char* what, int tid,
      << tid << ", \"args\": {\"name\": " << json_escape(name) << "}}";
 }
 
+/// One half of a flow arrow. The start (ph "s") binds to the slice
+/// enclosing its timestamp on the sender's track; the finish (ph "f" with
+/// bp "e") binds to the end of the enclosing recv slice.
+void write_flow(std::ostream& os, const char* ph, int id, double ts_us,
+                int rank, bool finish, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"name\": \"msg\", \"cat\": \"flow\", \"ph\": \"" << ph
+     << "\", \"id\": " << id << ", \"ts\": " << json_number(ts_us)
+     << ", \"pid\": 0, \"tid\": " << rank;
+  if (finish) os << ", \"bp\": \"e\"";
+  os << "}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os,
@@ -131,6 +147,46 @@ void write_chrome_trace(std::ostream& os,
         write_counter(os, disk_name, r, s.ts_us, "bytes", s.value, first);
       else
         write_counter(os, cpu_name, r, s.ts_us, "active", s.value, first);
+    }
+  }
+
+  if (opts.flow_events) {
+    // FIFO-match sends to recvs per (sender, receiver) channel. Each rank's
+    // event list is in begin order, so pushing in list order preserves the
+    // simulator's per-channel message order; the k-th send on a channel
+    // pairs with the k-th recv.
+    struct FlowEnd {
+      double begin_us;
+      double end_us;
+      int rank;
+    };
+    std::map<std::pair<int, int>, std::vector<FlowEnd>> sends;
+    std::map<std::pair<int, int>, std::vector<FlowEnd>> recvs;
+    for (int r = 0; r < ranks; ++r) {
+      for (const auto& e : trace.rank_events(r)) {
+        if (e.end_s - opts.origin_s < 0) continue;
+        if (e.op != mpi::Op::kSend && e.op != mpi::Op::kRecv) continue;
+        FlowEnd end;
+        end.begin_us = to_us(std::max(e.begin_s - opts.origin_s, 0.0));
+        end.end_us = to_us(std::max(e.end_s - opts.origin_s, 0.0));
+        end.rank = r;
+        if (e.op == mpi::Op::kSend)
+          sends[{r, e.peer}].push_back(end);
+        else
+          recvs[{e.peer, r}].push_back(end);
+      }
+    }
+    int id = 0;
+    for (const auto& [channel, s] : sends) {
+      const auto it = recvs.find(channel);
+      if (it == recvs.end()) continue;
+      const std::size_t pairs = std::min(s.size(), it->second.size());
+      for (std::size_t k = 0; k < pairs; ++k) {
+        write_flow(os, "s", id, s[k].begin_us, s[k].rank, false, first);
+        write_flow(os, "f", id, it->second[k].end_us, it->second[k].rank,
+                   true, first);
+        ++id;
+      }
     }
   }
 

@@ -31,6 +31,12 @@ struct ChromeTraceOptions {
   /// Emit the per-rank counter tracks (cumulative disk bytes, cpu-active).
   bool counter_tracks = true;
 
+  /// Emit flow arrows (ph "s"/"f") linking each send slice to the matched
+  /// recv slice on the peer rank. Matching is FIFO per (sender, receiver)
+  /// channel — the simulator's message-order guarantee — so every arrow
+  /// joins the pair that actually communicated.
+  bool flow_events = true;
+
   /// Process name shown in the UI.
   const char* process_name = "mheta simulated cluster";
 };

@@ -147,6 +147,37 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
   report.predicted_total_s = attributed.prediction.total_s;
   report.actual_total_s = actual.seconds;
 
+  // Critical-path pass: the same prediction once more through the traced
+  // sweep (absolute clocks, one event per advance), folded into the blame
+  // report and replayed per parameter for the what-if table. Only when
+  // requested — the traced sweep is scalar-only and the fast paths stay
+  // untouched otherwise.
+  if (opts.critical_path) {
+    const core::SweepTrace sweep = predictor.predict_traced(d, iterations);
+    result.critical = true;
+    result.blame = build_blame(predictor, sweep);
+    result.blame.workload = w.name;
+    result.blame.arch = opts.arch;
+    result.blame.dist = opts.dist;
+    result.sensitivity = what_if_sensitivity(predictor, d, iterations,
+                                             result.blame,
+                                             opts.sensitivity_epsilon);
+    registry.gauge("critical_path_total_s").set(result.blame.total_s);
+    for (int term = 0; term < core::kCostTermCount; ++term) {
+      const double pct =
+          result.blame.path_seconds > 0
+              ? 100.0 * result.blame.term_s[static_cast<std::size_t>(term)] /
+                    result.blame.path_seconds
+              : 0;
+      registry
+          .gauge(std::string("critical_path_") + core::cost_term_name(term) +
+                 "_pct")
+          .set(pct);
+    }
+    registry.gauge("sensitivity_max_crosscheck_s")
+        .set(result.sensitivity.max_replay_vs_brute_s);
+  }
+
   // Objective cache: evaluate the profiled distribution twice so the cache
   // counters are meaningful even without a search pass (one miss, one hit).
   const search::CachingObjective cached(
@@ -183,12 +214,24 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
         },
         bopts);
     const search::CachingObjective bounded_cached{search::Objective(bounded)};
-    const ConvergenceRecorder recorder{search::Objective(bounded_cached)};
+    // With a critical-path report requested, an incumbent probe rides along
+    // so the best distribution the search observed can be blamed afterwards.
+    // Pruned candidates' certified lower bounds exceed the incumbent by
+    // construction, so recording them can never displace the best.
+    std::optional<search::IncumbentProbe> probe;
+    if (opts.critical_path)
+      probe.emplace(search::Objective(bounded_cached), &registry);
+    const ConvergenceRecorder recorder{
+        probe ? search::Objective(*probe) : search::Objective(bounded_cached)};
+    const search::IncumbentProbe* probe_p = probe ? &*probe : nullptr;
     const search::BatchObjective batched(
         search::Objective(recorder),
-        [&bounded, &recorder](const std::vector<dist::GenBlock>& cs) {
+        [&bounded, &recorder, probe_p](const std::vector<dist::GenBlock>& cs) {
           auto values = bounded(cs);
-          for (const double v : values) recorder.record(v);
+          for (std::size_t i = 0; i < values.size(); ++i) {
+            if (probe_p != nullptr) probe_p->record(cs[i], values[i]);
+            recorder.record(values[i]);
+          }
           return values;
         });
     const search::SearchResult sr =
@@ -202,6 +245,20 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
     result.lanes = lanes.stats();
     result.bounds = bounded.stats();
     registry.gauge("search_best_cost_s").set(sr.best_time);
+
+    if (probe && probe->has_best()) {
+      result.has_incumbent = true;
+      result.incumbent_best_s = probe->best_value();
+      result.incumbent_observed = probe->observed();
+      result.incumbent_improvements = probe->improvements();
+      const core::SweepTrace sweep =
+          predictor.predict_traced(probe->best_candidate(), iterations);
+      result.incumbent_blame = build_blame(predictor, sweep);
+      result.incumbent_blame.workload = w.name;
+      result.incumbent_blame.arch = opts.arch;
+      result.incumbent_blame.dist = "incumbent(" + opts.search + ")";
+      registry.gauge("incumbent_best_s").set(result.incumbent_best_s);
+    }
   }
 
   result.objective_cache_hit_rate = cached.hit_rate();
@@ -239,6 +296,25 @@ ProfileResult run_profile(const exp::Workload& w, const ProfileOptions& opts,
   if (result.searched) {
     auto os = open_artifact(dir, "convergence.csv", result.files);
     write_convergence_csv(os, result.convergence);
+  }
+  if (result.critical) {
+    {
+      auto os = open_artifact(dir, "critical_path.txt", result.files);
+      write_blame_text(os, result.blame);
+      write_sensitivity_text(os, result.sensitivity);
+    }
+    {
+      auto os = open_artifact(dir, "critical_path.json", result.files);
+      write_critical_path_json(os, result.blame, &result.sensitivity);
+    }
+    {
+      auto os = open_artifact(dir, "critical_path_trace.json", result.files);
+      write_critical_path_trace(os, result.blame);
+    }
+    if (result.has_incumbent) {
+      auto os = open_artifact(dir, "incumbent_blame.json", result.files);
+      write_critical_path_json(os, result.incumbent_blame);
+    }
   }
   {
     auto os = open_artifact(dir, "metrics.json", result.files);

@@ -25,6 +25,7 @@
 #include "exp/experiment.hpp"
 #include "obs/attribution.hpp"
 #include "obs/convergence.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/registry.hpp"
 #include "search/objective.hpp"
 
@@ -44,6 +45,14 @@ struct ProfileOptions {
   /// tabu | gbs | anneal | genetic | random | hill.
   std::string search;
   std::uint64_t seed = 42;
+  /// Trace the clock sweep and emit the causal critical-path blame and
+  /// what-if sensitivity reports (plus, with a search pass, the blame of
+  /// the search's incumbent). Off by default: the instrumented sweep and
+  /// the incumbent probe are only constructed when this is set, so the
+  /// delta/lane fast paths pay nothing otherwise.
+  bool critical_path = false;
+  /// Shrink factor for the what-if replays (parameter x (1 - epsilon)).
+  double sensitivity_epsilon = 0.1;
   exp::ExperimentOptions experiment;
 };
 
@@ -77,6 +86,18 @@ struct ProfileResult {
   /// interval-bounds screen in front of the lane evaluator (also exported
   /// as bounds_* metrics).
   search::BoundedStats bounds;
+
+  // Critical-path pass (when ProfileOptions::critical_path was set).
+  bool critical = false;
+  BlameReport blame;              ///< blame of the profiled distribution
+  SensitivityReport sensitivity;  ///< what-if replays of the same triple
+  /// Incumbent probe (critical_path together with a search pass): blame of
+  /// the best distribution the search observed.
+  bool has_incumbent = false;
+  double incumbent_best_s = 0;
+  std::size_t incumbent_observed = 0;
+  std::size_t incumbent_improvements = 0;
+  BlameReport incumbent_blame;
 
   /// Paths of every artifact written, in write order.
   std::vector<std::string> files;

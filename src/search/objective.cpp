@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "analysis/lint.hpp"
 #include "analysis/rules.hpp"
+#include "util/check.hpp"
 
 namespace mheta::search {
 
@@ -356,6 +358,75 @@ BatchObjective::BatchObjective(const LaneObjective& lanes,
                        return lanes.evaluate(cs, &pool);
                      }) {
   pool_ = &pool;
+}
+
+struct IncumbentProbe::State {
+  mutable std::mutex mu;
+  bool has_best = false;
+  dist::GenBlock best;
+  double best_value = std::numeric_limits<double>::infinity();
+  std::size_t observed = 0;
+  std::size_t improvements = 0;
+  obs::Counter* observed_total = nullptr;
+  obs::Counter* improvements_total = nullptr;
+};
+
+IncumbentProbe::IncumbentProbe(Objective inner, obs::MetricsRegistry* metrics)
+    : inner_(std::move(inner)), state_(std::make_shared<State>()) {
+  MHETA_CHECK(static_cast<bool>(inner_));
+  if (metrics != nullptr) {
+    state_->observed_total = &metrics->counter("incumbent_observed_total");
+    state_->improvements_total =
+        &metrics->counter("incumbent_improvements_total");
+  }
+}
+
+double IncumbentProbe::operator()(const dist::GenBlock& d) const {
+  const double value = inner_(d);
+  record(d, value);
+  return value;
+}
+
+void IncumbentProbe::record(const dist::GenBlock& d, double value) const {
+  State& st = *state_;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    ++st.observed;
+    if (!st.has_best || value < st.best_value) {
+      st.has_best = true;
+      st.best = d;
+      st.best_value = value;
+      ++st.improvements;
+      if (st.improvements_total != nullptr) st.improvements_total->inc();
+    }
+  }
+  if (st.observed_total != nullptr) st.observed_total->inc();
+}
+
+bool IncumbentProbe::has_best() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->has_best;
+}
+
+dist::GenBlock IncumbentProbe::best_candidate() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  MHETA_CHECK(state_->has_best);
+  return state_->best;
+}
+
+double IncumbentProbe::best_value() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->best_value;
+}
+
+std::size_t IncumbentProbe::observed() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->observed;
+}
+
+std::size_t IncumbentProbe::improvements() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->improvements;
 }
 
 }  // namespace mheta::search

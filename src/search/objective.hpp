@@ -220,4 +220,41 @@ class BoundedObjective {
   std::int64_t rows_ = 0;
 };
 
+/// Observes the incumbent of a search without changing it: a transparent
+/// wrapper that remembers the best (candidate, value) pair that flowed
+/// through it. The profiler uses it to trace the critical path of the
+/// distribution the search actually settled on — it is only inserted into
+/// the objective chain when that report was requested, so the fast paths
+/// pay nothing otherwise.
+///
+/// Values routed around the inner objective (e.g. certified lower bounds
+/// for pruned candidates) may be fed in through record(); a pruned value is
+/// by construction above the incumbent, so it can never displace the best.
+/// Copies share state (mutex-guarded), and both entry points are safe to
+/// call concurrently.
+class IncumbentProbe {
+ public:
+  /// `metrics` (optional, not owned) reports `incumbent_improvements_total`
+  /// and `incumbent_observed_total`.
+  explicit IncumbentProbe(Objective inner,
+                          obs::MetricsRegistry* metrics = nullptr);
+
+  /// Evaluates the inner objective and records the result.
+  double operator()(const dist::GenBlock& d) const;
+
+  /// Records an externally produced value for `d` (batch paths).
+  void record(const dist::GenBlock& d, double value) const;
+
+  bool has_best() const;
+  dist::GenBlock best_candidate() const;  ///< MHETA_CHECKs has_best()
+  double best_value() const;
+  std::size_t observed() const;
+  std::size_t improvements() const;
+
+ private:
+  struct State;
+  Objective inner_;
+  std::shared_ptr<State> state_;
+};
+
 }  // namespace mheta::search

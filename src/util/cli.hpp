@@ -60,6 +60,25 @@ class ArgCursor {
   int i_ = 0;
 };
 
+/// The standard exit-status footer of every tool's usage text. Tools whose
+/// only failure mode is a usage/file problem pass `with_input_errors` false
+/// to drop the exit-1 clause.
+inline void print_exit_status(std::ostream& os, bool with_input_errors = true) {
+  os << "exit status: 0 on success";
+  if (with_input_errors) os << ", 1 when an input is invalid";
+  os << ", 2 on usage or file problems\n";
+}
+
+/// The standard unknown-option complaint: one-line message plus the usage
+/// text, both to stderr. Returns kExitUsage for the caller to propagate.
+template <typename UsagePrinter>
+int unknown_option(const std::string& tool, const std::string& arg,
+                   UsagePrinter&& usage) {
+  std::cerr << tool << ": unknown option '" << arg << "'\n";
+  usage(std::cerr);
+  return kExitUsage;
+}
+
 /// Handles the flags every tool shares. Returns an exit code when `arg` was
 /// --help/-h (usage to stdout) or --version; nullopt otherwise, and the
 /// caller dispatches its own flags.

@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "cluster/suite.hpp"
 #include "dist/generators.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mheta::obs {
 namespace {
@@ -68,6 +71,50 @@ TEST(ConvergenceRecorder, DrivesARealSearch) {
   const auto series = rec.series();
   for (std::size_t i = 1; i < series.size(); ++i)
     EXPECT_LE(series[i].best, series[i - 1].best);
+}
+
+TEST(ConvergenceRecorder, ConcurrentRecordingFromAThreadPool) {
+  // The recorder's contract under BatchObjective parallelism: samples
+  // append under a mutex, in completion order. Hammer both entry points —
+  // operator() and record() — from a pool and check the invariants that
+  // survive any interleaving: nothing is lost, evaluation indices are
+  // dense, the running best is monotone non-increasing sample by sample,
+  // and the final best is the true minimum of everything recorded.
+  const ConvergenceRecorder rec{search::Objective(
+      [](const dist::GenBlock& d) {
+        return static_cast<double>(d.counts()[0]);
+      })};
+  constexpr std::int64_t kTasks = 256;
+  std::vector<double> expected;
+  for (std::int64_t i = 0; i < kTasks; ++i)
+    expected.push_back(i % 2 == 0 ? static_cast<double>(i % 99 + 1)
+                                  : static_cast<double>(i + 100));
+  util::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&rec, &expected](std::int64_t i) {
+    if (i % 2 == 0)  // the dist's first block is the cost
+      (void)rec(toy_dist(i % 99 + 1));
+    else
+      rec.record(expected[static_cast<std::size_t>(i)]);
+  });
+
+  EXPECT_EQ(rec.evaluations(), kTasks);
+  EXPECT_DOUBLE_EQ(rec.best(), 1.0);  // i = 0 contributes cost 1
+  const auto series = rec.series();
+  ASSERT_EQ(series.size(), static_cast<std::size_t>(kTasks));
+  std::vector<double> costs;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].evaluation, static_cast<int>(i) + 1);
+    if (i > 0) {
+      EXPECT_LE(series[i].best, series[i - 1].best);
+    }
+    EXPECT_LE(series[i].best, series[i].cost);
+    costs.push_back(series[i].cost);
+  }
+  // Every cost arrived exactly once, in some completion order.
+  std::sort(costs.begin(), costs.end());
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_DOUBLE_EQ(costs[i], expected[i]);
 }
 
 TEST(ConvergenceCsv, HasHeaderAndOneRowPerSample) {

@@ -43,6 +43,49 @@ TEST(JsonParse, AcceptsDocumentsAndLooksUpMembers) {
   EXPECT_EQ(doc.get("missing"), nullptr);
 }
 
+TEST(JsonSerialize, RoundTripsDocumentsExactly) {
+  // parse -> serialize -> parse must reproduce the tree; serialize of the
+  // reparse must be byte-identical (the serializer is deterministic: keys
+  // in sorted order, numbers via json_number).
+  const std::string text =
+      R"({"b": {"y": [1, 2.5, "x\n"], "z": null}, "a": [true, false, 1e-9]})";
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(text, doc, &error)) << error;
+  const std::string once = json_serialize(doc);
+  JsonValue again;
+  ASSERT_TRUE(json_parse(once, again, &error)) << once << ": " << error;
+  EXPECT_EQ(json_serialize(again), once);
+  EXPECT_DOUBLE_EQ(again.get("b")->get("y")->array[1].number, 2.5);
+  EXPECT_EQ(again.get("b")->get("y")->array[2].string, "x\n");
+  EXPECT_EQ(again.get("b")->get("z")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonSerialize, NonFiniteNumbersBecomeNullNotUnparseableTokens) {
+  // Regression: a programmatically built tree can hold NaN/Inf, which RFC
+  // 8259 cannot represent. They must serialize as null — never as "nan" or
+  // "inf", which no parser (ours included) would accept back.
+  JsonValue doc;
+  doc.kind = JsonValue::Kind::kObject;
+  JsonValue nan_v;
+  nan_v.kind = JsonValue::Kind::kNumber;
+  nan_v.number = std::numeric_limits<double>::quiet_NaN();
+  JsonValue inf_v;
+  inf_v.kind = JsonValue::Kind::kNumber;
+  inf_v.number = std::numeric_limits<double>::infinity();
+  JsonValue arr;
+  arr.kind = JsonValue::Kind::kArray;
+  arr.array = {nan_v, inf_v};
+  doc.object["bad"] = arr;
+
+  const std::string out = json_serialize(doc);
+  EXPECT_EQ(out, "{\"bad\":[null,null]}");
+  JsonValue back;
+  std::string error;
+  ASSERT_TRUE(json_parse(out, back, &error)) << error;  // round-trips
+  EXPECT_EQ(back.get("bad")->array[0].kind, JsonValue::Kind::kNull);
+}
+
 TEST(JsonParse, RejectsMalformedDocuments) {
   EXPECT_FALSE(json_valid("{"));
   EXPECT_FALSE(json_valid("[1, 2,]"));       // trailing comma

@@ -129,6 +129,49 @@ TEST(ChromeTrace, CounterTracksAreEmittedWhenEnabled) {
   EXPECT_GT(counters, 0);
 }
 
+TEST(ChromeTrace, FlowEventsLinkMatchedSendRecvPairs) {
+  // Jacobi on DC exchanges halos every iteration, so there are real
+  // send/recv pairs. Each matched pair must contribute exactly one flow
+  // start ("s", on the sender) and one flow finish ("f", on the receiver,
+  // binding point "e") sharing an id.
+  const auto traced = traced_run(2);
+  const JsonValue doc = export_and_parse(traced, {});
+  std::map<double, int> starts;    // id -> count
+  std::map<double, int> finishes;  // id -> count
+  for (const auto& e : doc.get("traceEvents")->array) {
+    const std::string& ph = e.get("ph")->string;
+    if (ph != "s" && ph != "f") continue;
+    EXPECT_EQ(e.get("name")->string, "msg");
+    EXPECT_EQ(e.get("cat")->string, "flow");
+    const double id = e.get("id")->number;
+    if (ph == "s") {
+      ++starts[id];
+    } else {
+      ++finishes[id];
+      ASSERT_NE(e.get("bp"), nullptr);
+      EXPECT_EQ(e.get("bp")->string, "e");
+    }
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_EQ(starts.size(), finishes.size());
+  for (const auto& [id, count] : starts) {
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(finishes[id], 1);  // every start has exactly one finish
+  }
+}
+
+TEST(ChromeTrace, FlowEventsCanBeDisabled) {
+  const auto traced = traced_run(1);
+  ChromeTraceOptions opts;
+  opts.flow_events = false;
+  const JsonValue doc = export_and_parse(traced, opts);
+  for (const auto& e : doc.get("traceEvents")->array) {
+    const std::string& ph = e.get("ph")->string;
+    EXPECT_NE(ph, "s");
+    EXPECT_NE(ph, "f");
+  }
+}
+
 TEST(ChromeTrace, CategoriesCoverTheOpClasses) {
   EXPECT_STREQ(chrome_trace_category(mpi::Op::kCompute), "compute");
   EXPECT_STREQ(chrome_trace_category(mpi::Op::kFileRead), "io");

@@ -1,0 +1,319 @@
+// mheta-bench-diff: noise-aware regression gate over two BENCH_*.json
+// snapshots (google-benchmark output or the repo's custom bench reports).
+//
+// Both documents are flattened into metric paths: object keys join with
+// '.', array elements of objects are keyed by their name-like member
+// ("name", "app", "workload", ...) so entries match across runs even when
+// reordered, and duplicate paths get a '#N' suffix. Numeric leaves (and
+// booleans, as 0/1) become metrics; everything present in both snapshots is
+// compared.
+//
+// A change only counts when it clears BOTH noise guards: the absolute
+// floor (--abs-floor, default 1e-6 — sub-microsecond timing jitter is
+// never significant) and the relative threshold (--threshold, percent,
+// default 25 — benchmark timings on shared CI runners are noisy; 25%
+// catches real regressions without flaking). Whether a significant change
+// is a regression depends on the metric's direction: higher-is-better
+// names (throughput, speedups, rates — checked first, so `moves_per_s`
+// is not misread as a `_s` timing) regress when they drop, lower-is-better
+// names (times, drift, violation counts) when they rise. Metrics matching
+// neither pattern are reported as changed but never gate.
+//
+// Usage: mheta-bench-diff [options] <baseline.json> <current.json>
+//   --threshold PCT      relative noise threshold in percent (default 25)
+//   --abs-floor X        ignore absolute deltas below X (default 1e-6)
+//   --metrics REGEX      only compare metric paths matching REGEX
+//   --higher-better REGEX  override the higher-is-better name pattern
+//   --json               machine-readable report on stdout
+//   --help               this text
+//
+// Exit status: 0 when no metric regressed, 1 when at least one did, 2 on
+// usage or file problems.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+using namespace mheta;
+namespace cli = mheta::util::cli;
+
+namespace {
+
+constexpr const char* kTool = "mheta-bench-diff";
+
+// Checked before the lower-is-better pattern so `moves_per_s` and
+// `hit_rate` are not misclassified by their `_s` / `_rate` tails.
+constexpr const char* kDefaultHigherBetter =
+    "(_per_s|per_second|speedup|_rate|fill|iterations$|hits$|pruned$)";
+constexpr const char* kDefaultLowerBetter =
+    "(real_time|cpu_time|_time|_s$|_seconds$|_ns$|_ms$|_us$|drift|error|"
+    "violations|fallbacks|latches|misses$|_bytes$)";
+
+void print_usage(std::ostream& os) {
+  os << "usage: mheta-bench-diff [--threshold PCT] [--abs-floor X]\n"
+        "                        [--metrics REGEX] [--higher-better REGEX]\n"
+        "                        [--json] <baseline.json> <current.json>\n";
+  os << "exit status: 0 when no metric regressed, 1 when at least one did,\n"
+        "2 on usage or file problems\n";
+}
+
+/// Array elements that are objects are keyed by their name-like member so
+/// metrics stay matched across runs even when entries are reordered.
+std::optional<std::string> name_key(const obs::JsonValue& v) {
+  static const char* kNameKeys[] = {"name",      "app",    "workload",
+                                    "arch",      "dist",   "algorithm",
+                                    "policy",    "label",  "id"};
+  if (!v.is_object()) return std::nullopt;
+  for (const char* key : kNameKeys) {
+    const obs::JsonValue* m = v.get(key);
+    if (m != nullptr && m->is_string() && !m->string.empty()) return m->string;
+  }
+  return std::nullopt;
+}
+
+/// Flattens numeric (and boolean, as 0/1) leaves into path -> value.
+/// Duplicate paths get a '#N' suffix instead of silently clobbering.
+void flatten(const obs::JsonValue& v, const std::string& path,
+             std::map<std::string, double>& out) {
+  auto insert = [&out](const std::string& p, double value) {
+    if (out.emplace(p, value).second) return;
+    for (int n = 2;; ++n) {
+      if (out.emplace(p + "#" + std::to_string(n), value).second) return;
+    }
+  };
+  switch (v.kind) {
+    case obs::JsonValue::Kind::kNumber:
+      insert(path, v.number);
+      break;
+    case obs::JsonValue::Kind::kBool:
+      insert(path, v.boolean ? 1.0 : 0.0);
+      break;
+    case obs::JsonValue::Kind::kObject:
+      for (const auto& [key, member] : v.object)
+        flatten(member, path.empty() ? key : path + "." + key, out);
+      break;
+    case obs::JsonValue::Kind::kArray:
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        const auto name = name_key(v.array[i]);
+        const std::string segment = name ? *name : std::to_string(i);
+        flatten(v.array[i], path.empty() ? segment : path + "." + segment,
+                out);
+      }
+      break;
+    default:
+      break;  // null and strings are not metrics
+  }
+}
+
+bool load_metrics(const std::string& path,
+                  std::map<std::string, double>& out) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << kTool << ": cannot open '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::json_parse(text.str(), doc, &error)) {
+    std::cerr << kTool << ": " << path << ": " << error << '\n';
+    return false;
+  }
+  flatten(doc, "", out);
+  return true;
+}
+
+enum class Direction { kHigherBetter, kLowerBetter, kNeutral };
+enum class Verdict { kUnchanged, kRegression, kImprovement, kChanged };
+
+struct MetricDiff {
+  std::string name;
+  double baseline = 0;
+  double current = 0;
+  double rel_pct = 0;  ///< signed relative change in percent
+  Direction direction = Direction::kNeutral;
+  Verdict verdict = Verdict::kUnchanged;
+};
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kUnchanged:
+      return "unchanged";
+    case Verdict::kRegression:
+      return "regression";
+    case Verdict::kImprovement:
+      return "improvement";
+    case Verdict::kChanged:
+      return "changed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  double threshold_pct = 25.0;
+  double abs_floor = 1e-6;
+  std::string metrics_pattern;
+  std::string higher_pattern = kDefaultHigherBetter;
+  bool json = false;
+
+  cli::ArgCursor args(argc, argv, kTool);
+  std::string arg;
+  while (args.next(arg)) {
+    const auto next = [&]() -> std::string {
+      const auto v = args.value(arg);
+      if (!v) std::exit(cli::kExitUsage);
+      return *v;
+    };
+    if (auto code = cli::handle_common_flag(arg, kTool, print_usage))
+      return *code;
+    if (arg == "--threshold") {
+      threshold_pct = std::atof(next().c_str());
+    } else if (arg == "--abs-floor") {
+      abs_floor = std::atof(next().c_str());
+    } else if (arg == "--metrics") {
+      metrics_pattern = next();
+    } else if (arg == "--higher-better") {
+      higher_pattern = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return cli::unknown_option(kTool, arg, print_usage);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.size() != 2) {
+    print_usage(std::cerr);
+    return cli::kExitUsage;
+  }
+  if (threshold_pct < 0 || abs_floor < 0) {
+    std::cerr << kTool << ": threshold and floor must be non-negative\n";
+    return cli::kExitUsage;
+  }
+
+  std::regex higher_re;
+  std::regex lower_re(kDefaultLowerBetter);
+  std::optional<std::regex> metrics_re;
+  try {
+    higher_re = std::regex(higher_pattern);
+    if (!metrics_pattern.empty()) metrics_re.emplace(metrics_pattern);
+  } catch (const std::regex_error& e) {
+    std::cerr << kTool << ": bad regex: " << e.what() << '\n';
+    return cli::kExitUsage;
+  }
+
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> current;
+  if (!load_metrics(inputs[0], baseline) || !load_metrics(inputs[1], current))
+    return cli::kExitUsage;
+
+  std::vector<MetricDiff> diffs;
+  std::vector<std::string> only_baseline;
+  std::vector<std::string> only_current;
+  for (const auto& [name, base] : baseline) {
+    if (metrics_re && !std::regex_search(name, *metrics_re)) continue;
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      only_baseline.push_back(name);
+      continue;
+    }
+    MetricDiff d;
+    d.name = name;
+    d.baseline = base;
+    d.current = it->second;
+    const double delta = d.current - d.baseline;
+    d.rel_pct = d.baseline != 0 ? 100.0 * delta / std::abs(d.baseline)
+               : delta == 0    ? 0
+                               : (delta > 0 ? 1e9 : -1e9);
+    if (std::regex_search(name, higher_re))
+      d.direction = Direction::kHigherBetter;
+    else if (std::regex_search(name, lower_re))
+      d.direction = Direction::kLowerBetter;
+    const bool significant = delta != 0 && std::abs(delta) >= abs_floor &&
+                             std::abs(d.rel_pct) >= threshold_pct;
+    if (significant) {
+      const bool worse =
+          (d.direction == Direction::kLowerBetter && delta > 0) ||
+          (d.direction == Direction::kHigherBetter && delta < 0);
+      d.verdict = d.direction == Direction::kNeutral ? Verdict::kChanged
+                  : worse                            ? Verdict::kRegression
+                                                     : Verdict::kImprovement;
+    }
+    diffs.push_back(d);
+  }
+  for (const auto& [name, value] : current) {
+    (void)value;
+    if (metrics_re && !std::regex_search(name, *metrics_re)) continue;
+    if (baseline.find(name) == baseline.end()) only_current.push_back(name);
+  }
+
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t changed = 0;
+  for (const auto& d : diffs) {
+    regressions += d.verdict == Verdict::kRegression ? 1 : 0;
+    improvements += d.verdict == Verdict::kImprovement ? 1 : 0;
+    changed += d.verdict == Verdict::kChanged ? 1 : 0;
+  }
+  const int status = regressions > 0 ? cli::kExitError : cli::kExitOk;
+
+  if (json) {
+    std::cout << "{\n  \"baseline\": " << obs::json_escape(inputs[0])
+              << ",\n  \"current\": " << obs::json_escape(inputs[1])
+              << ",\n  \"threshold_pct\": " << obs::json_number(threshold_pct)
+              << ",\n  \"abs_floor\": " << obs::json_number(abs_floor)
+              << ",\n  \"compared\": " << diffs.size()
+              << ",\n  \"regressions\": " << regressions
+              << ",\n  \"improvements\": " << improvements
+              << ",\n  \"changed\": " << changed
+              << ",\n  \"only_baseline\": " << only_baseline.size()
+              << ",\n  \"only_current\": " << only_current.size()
+              << ",\n  \"status\": " << status << ",\n  \"metrics\": [";
+    bool first = true;
+    for (const auto& d : diffs) {
+      if (d.verdict == Verdict::kUnchanged) continue;
+      std::cout << (first ? "\n    " : ",\n    ")
+                << "{\"name\": " << obs::json_escape(d.name)
+                << ", \"verdict\": \"" << to_string(d.verdict)
+                << "\", \"baseline\": " << obs::json_number(d.baseline)
+                << ", \"current\": " << obs::json_number(d.current)
+                << ", \"rel_pct\": " << obs::json_number(d.rel_pct) << "}";
+      first = false;
+    }
+    std::cout << "\n  ]\n}\n";
+  } else {
+    std::cout << kTool << ": compared " << diffs.size() << " metric(s) "
+              << "(threshold " << threshold_pct << "%, floor " << abs_floor
+              << ")\n";
+    for (const auto& d : diffs) {
+      if (d.verdict == Verdict::kUnchanged) continue;
+      std::cout << "  " << to_string(d.verdict) << "  " << d.name << ": "
+                << d.baseline << " -> " << d.current << " ("
+                << (d.rel_pct >= 0 ? "+" : "") << d.rel_pct << "%)\n";
+    }
+    if (!only_baseline.empty())
+      std::cout << "  " << only_baseline.size()
+                << " metric(s) only in baseline\n";
+    if (!only_current.empty())
+      std::cout << "  " << only_current.size()
+                << " metric(s) only in current\n";
+    std::cout << (regressions > 0 ? "FAIL" : "ok") << ": " << regressions
+              << " regression(s), " << improvements << " improvement(s), "
+              << changed << " neutral change(s)\n";
+  }
+  return status;
+}

@@ -53,6 +53,7 @@ void print_usage(std::ostream& os) {
         "                   <scenario.chaos>\n"
         "apps: jacobi jacobi-pf cg lanczos rna multigrid isort\n"
         "search: gbs random tabu anneal hill genetic\n";
+  cli::print_exit_status(os);
 }
 
 void print_policy_text(std::ostream& os, const fault::PolicyResult& p) {
@@ -95,9 +96,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << kTool << ": unknown option '" << arg << "'\n";
-      print_usage(std::cerr);
-      return cli::kExitUsage;
+      return cli::unknown_option(kTool, arg, print_usage);
     } else if (scenario_path.empty()) {
       scenario_path = arg;
     } else {

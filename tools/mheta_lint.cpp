@@ -59,6 +59,7 @@ void print_usage(std::ostream& os) {
         "                  [--json] [--scenario FILE]... [--rules] "
         "<structure-file-or-app>...\n"
         "apps: jacobi jacobi-pf cg lanczos rna multigrid isort\n";
+  cli::print_exit_status(os);
 }
 
 // One gap-free listing, MH001..MH023 ascending: the analysis catalog owns
@@ -268,9 +269,7 @@ int main(int argc, char** argv) {
       if (!v) return cli::kExitUsage;
       opts.scenarios.push_back(*v);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << kTool << ": unknown option '" << arg << "'\n";
-      print_usage(std::cerr);
-      return cli::kExitUsage;
+      return cli::unknown_option(kTool, arg, print_usage);
     } else {
       opts.inputs.push_back(arg);
     }

@@ -8,6 +8,11 @@
 //   attribution.txt   predicted vs. actual per cost term, per node
 //   attribution.json  the same decomposition, machine-readable
 //   convergence.csv   per-evaluation best-cost series (with --search)
+//   critical_path.txt/.json  causal blame + what-if sensitivity
+//                     (with --critical-path)
+//   critical_path_trace.json Perfetto counter tracks of the same
+//   incumbent_blame.json     blame of the search's best distribution
+//                     (with --critical-path and --search)
 //   metrics.json      metrics snapshot (cache hit rates, utilizations, ...)
 //   metrics.prom      the same snapshot, Prometheus text format
 //
@@ -23,6 +28,10 @@
 //                      convergence: tabu | gbs | anneal | genetic | random
 //                      | hill
 //   --seed N           search RNG seed (default 42)
+//   --critical-path    trace the clock sweep: blame report (per-node,
+//                      per-stage, per-term critical-path residency) and
+//                      what-if sensitivity (makespan delta per parameter)
+//   --epsilon E        what-if shrink factor 1-E (default 0.1)
 //   --json             print the attribution report as JSON instead of text
 //   --help             this text
 //
@@ -52,9 +61,11 @@ constexpr const char* kTool = "mheta-profile";
 void print_usage(std::ostream& os) {
   os << "usage: mheta-profile [--arch NAME] [--dist even|blk|bal|ic|icbal]\n"
         "                     [--iterations N] [--search ALGO] [--seed N]\n"
-        "                     [--json] --out DIR <structure-file-or-app>\n"
+        "                     [--critical-path] [--epsilon E] [--json]\n"
+        "                     --out DIR <structure-file-or-app>\n"
         "apps: jacobi jacobi-pf cg lanczos rna multigrid isort\n"
         "search: tabu gbs anneal genetic random hill\n";
+  cli::print_exit_status(os, /*with_input_errors=*/false);
 }
 
 std::optional<exp::Workload> load_input(const std::string& input) {
@@ -100,12 +111,14 @@ int main(int argc, char** argv) {
       opts.search = next();
     } else if (arg == "--seed") {
       opts.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--critical-path") {
+      opts.critical_path = true;
+    } else if (arg == "--epsilon") {
+      opts.sensitivity_epsilon = std::atof(next().c_str());
     } else if (arg == "--json") {
       json = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << kTool << ": unknown option " << arg << '\n';
-      print_usage(std::cerr);
-      return cli::kExitUsage;
+      return cli::unknown_option(kTool, arg, print_usage);
     } else if (input.empty()) {
       input = arg;
     } else {
@@ -160,6 +173,16 @@ int main(int argc, char** argv) {
                   << bs.width_rel_mean << ", " << bs.crosschecks
                   << " oracle checks, " << bs.violations << " violations"
                   << (bs.latched ? " (LATCHED)" : "") << '\n';
+      }
+      if (result.critical) {
+        std::cout << '\n';
+        obs::write_blame_text(std::cout, result.blame);
+        obs::write_sensitivity_text(std::cout, result.sensitivity);
+        if (result.has_incumbent)
+          std::cout << "incumbent: best " << result.incumbent_best_s
+                    << " s after " << result.incumbent_observed
+                    << " observations (" << result.incumbent_improvements
+                    << " improvements); blame in incumbent_blame.json\n";
       }
       std::cout << "wrote:\n";
       for (const auto& f : result.files) std::cout << "  " << f << '\n';
