@@ -1,0 +1,264 @@
+// Load generator for mheta-serve: drives an in-process Server over its real
+// Unix-domain socket from concurrent client threads and records latency and
+// throughput per phase into BENCH_serve.json.
+//
+// Two phases over the same mixed request list (predict/bounds/whatif/lint
+// across apps and distributions, plus pings):
+//   cold  caches start empty — session builds and payload computation
+//         dominate; the first client to touch a (input, arch) pair pays
+//         calibration, the rest block on the interned build;
+//   warm  every cacheable request is a response-cache hit.
+// The binary exits nonzero — and CI fails — if any request errors, if a
+// response ever differs between clients for the same request line, or if
+// the warm phase is not served from the cache (hit count must exceed its
+// request count's worth of misses; see the gate below).
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/server.hpp"
+#include "util/net.hpp"
+
+using namespace mheta;
+
+namespace {
+
+constexpr int kClientThreads = 6;
+constexpr int kWarmRepeats = 8;
+
+struct PhaseStats {
+  std::string name;
+  std::vector<double> latencies_s;  // merged across clients, then sorted
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double wall_s = 0;
+};
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// The mixed request list every client plays. One JSON line per request;
+// `id` is varied by the sender so identical payloads are still cache-equal
+// (the canonical key excludes it).
+std::vector<std::string> request_mix() {
+  std::vector<std::string> mix;
+  const char* apps[] = {"jacobi", "cg", "multigrid"};
+  const char* dists[] = {"blk", "bal", "ic", "icbal"};
+  for (const char* app : apps) {
+    for (const char* dist : dists) {
+      mix.push_back(std::string("{\"kind\":\"predict\",\"input\":\"") + app +
+                    "\",\"arch\":\"HY1\",\"dist\":\"" + dist + "\"}");
+    }
+    mix.push_back(std::string("{\"kind\":\"bounds\",\"input\":\"") + app +
+                  "\",\"arch\":\"HY1\"}");
+    mix.push_back(std::string("{\"kind\":\"lint\",\"input\":\"") + app +
+                  "\",\"arch\":\"HY1\"}");
+  }
+  mix.push_back(
+      "{\"kind\":\"whatif\",\"input\":\"jacobi\",\"arch\":\"HY1\","
+      "\"perturb\":[{\"param\":\"compute\",\"rank\":0,\"factor\":2.0}]}");
+  mix.push_back(
+      "{\"kind\":\"whatif\",\"input\":\"jacobi\",\"arch\":\"HY1\","
+      "\"perturb\":[{\"param\":\"net_bandwidth\",\"factor\":0.5}]}");
+  mix.push_back("{\"kind\":\"ping\",\"echo\":\"load\"}");
+  return mix;
+}
+
+/// Plays `repeats` passes of the mix over one connection; records per-request
+/// latency and cross-checks responses against `expected` (first writer wins).
+void run_client(const std::string& socket_path,
+                const std::vector<std::string>& mix, int repeats,
+                std::vector<std::string>& expected, std::mutex& expected_mu,
+                std::vector<double>& latencies, std::uint64_t& errors) {
+  const util::FdOwner conn = util::unix_connect(socket_path);
+  util::LineReader reader(conn.fd());
+  std::string response;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      if (!util::write_all(conn.fd(), mix[i] + "\n") ||
+          reader.next(response) != util::LineReader::Status::kLine) {
+        ++errors;
+        return;
+      }
+      latencies.push_back(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count());
+      if (response.find("\"ok\":true") == std::string::npos) {
+        ++errors;
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(expected_mu);
+      if (expected[i].empty()) {
+        expected[i] = response;
+      } else if (expected[i] != response) {
+        // Concurrent clients must read byte-identical responses.
+        ++errors;
+      }
+    }
+  }
+}
+
+PhaseStats run_phase(const std::string& name, const std::string& socket_path,
+                     const std::vector<std::string>& mix, int repeats) {
+  PhaseStats stats;
+  stats.name = name;
+  std::vector<std::vector<double>> latencies(kClientThreads);
+  std::vector<std::uint64_t> errors(kClientThreads, 0);
+  std::vector<std::string> expected(mix.size());
+  std::mutex expected_mu;
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      run_client(socket_path, mix, repeats, expected, expected_mu,
+                 latencies[c], errors[c]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  stats.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               begin)
+                     .count();
+  for (int c = 0; c < kClientThreads; ++c) {
+    stats.requests += latencies[c].size();
+    stats.errors += errors[c];
+    stats.latencies_s.insert(stats.latencies_s.end(), latencies[c].begin(),
+                             latencies[c].end());
+  }
+  std::sort(stats.latencies_s.begin(), stats.latencies_s.end());
+  return stats;
+}
+
+obs::JsonValue number(double v) {
+  obs::JsonValue j;
+  j.kind = obs::JsonValue::Kind::kNumber;
+  j.number = v;
+  return j;
+}
+
+obs::JsonValue phase_json(const PhaseStats& s) {
+  obs::JsonValue j;
+  j.kind = obs::JsonValue::Kind::kObject;
+  obs::JsonValue name;
+  name.kind = obs::JsonValue::Kind::kString;
+  name.string = s.name;
+  j.object["name"] = name;
+  j.object["requests"] = number(static_cast<double>(s.requests));
+  j.object["errors"] = number(static_cast<double>(s.errors));
+  j.object["wall_s"] = number(s.wall_s);
+  j.object["requests_per_s"] =
+      number(s.wall_s > 0 ? static_cast<double>(s.requests) / s.wall_s : 0);
+  j.object["p50_s"] = number(quantile(s.latencies_s, 0.50));
+  j.object["p99_s"] = number(quantile(s.latencies_s, 0.99));
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: serve_load [--out BENCH_serve.json]\n";
+      return 2;
+    }
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = "serve_load.sock";
+  options.threads = 6;
+  serve::Server server(options);
+  std::thread daemon([&] { server.run(); });
+  // The listener binds inside run(); wait for the socket to accept.
+  for (int i = 0; i < 200; ++i) {
+    try {
+      util::unix_connect(options.socket_path);
+      break;
+    } catch (...) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  const std::vector<std::string> mix = request_mix();
+  const auto cold = run_phase("cold", options.socket_path, mix, 1);
+  const auto cold_stats = server.cache().stats();
+  const auto warm =
+      run_phase("warm", options.socket_path, mix, kWarmRepeats);
+  const auto warm_stats = server.cache().stats();
+  server.shutdown();
+  daemon.join();
+
+  const std::uint64_t warm_hits = warm_stats.hits - cold_stats.hits;
+  const std::uint64_t warm_misses = warm_stats.misses - cold_stats.misses;
+  const double total_requests =
+      static_cast<double>(cold.requests + warm.requests);
+
+  obs::JsonValue root;
+  root.kind = obs::JsonValue::Kind::kObject;
+  root.object["client_threads"] = number(kClientThreads);
+  root.object["distinct_requests"] = number(static_cast<double>(mix.size()));
+  root.object["total_requests"] = number(total_requests);
+  obs::JsonValue phases;
+  phases.kind = obs::JsonValue::Kind::kArray;
+  phases.array.push_back(phase_json(cold));
+  phases.array.push_back(phase_json(warm));
+  root.object["phases"] = phases;
+  obs::JsonValue cache;
+  cache.kind = obs::JsonValue::Kind::kObject;
+  cache.object["hits"] = number(static_cast<double>(warm_stats.hits));
+  cache.object["misses"] = number(static_cast<double>(warm_stats.misses));
+  cache.object["evictions"] =
+      number(static_cast<double>(warm_stats.evictions));
+  cache.object["warm_hits"] = number(static_cast<double>(warm_hits));
+  cache.object["warm_hit_rate"] = number(
+      warm_hits + warm_misses > 0
+          ? static_cast<double>(warm_hits) /
+                static_cast<double>(warm_hits + warm_misses)
+          : 0);
+  root.object["cache"] = cache;
+
+  std::ofstream out(out_path);
+  out << obs::json_serialize(root) << '\n';
+  out.close();
+
+  std::cout << "serve_load: " << total_requests << " requests ("
+            << cold.requests << " cold / " << warm.requests << " warm), "
+            << "cold p50 " << quantile(cold.latencies_s, 0.5) * 1e3
+            << " ms, warm p50 " << quantile(warm.latencies_s, 0.5) * 1e3
+            << " ms, warm hit rate "
+            << (warm_hits + warm_misses > 0
+                    ? static_cast<double>(warm_hits) /
+                          static_cast<double>(warm_hits + warm_misses)
+                    : 0)
+            << ", errors " << cold.errors + warm.errors << '\n';
+
+  // Gates: a thousand-request mixed load, zero errors, warm phase served
+  // from the cache.
+  if (cold.errors + warm.errors != 0) {
+    std::cerr << "serve_load: FAILED — requests errored\n";
+    return 1;
+  }
+  if (total_requests < 1000) {
+    std::cerr << "serve_load: FAILED — load too small\n";
+    return 1;
+  }
+  if (warm_hits == 0) {
+    std::cerr << "serve_load: FAILED — warm phase never hit the cache\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the mheta-serve daemon.
+
+Starts the daemon on a fresh Unix socket, drives a mixed request script
+from several concurrent client connections, and asserts:
+
+  * every response is ok:true and responses are byte-identical across
+    clients for the same request line (the shared-cache contract),
+  * the response cache served a nonzero number of hits and the daemon
+    counted zero errors (read back through the `metrics` request kind),
+  * the daemon's lint payload embeds exactly the report `mheta-lint
+    --json` prints for the same input, and its predict total equals the
+    `predicted_total_s` in `mheta-profile`'s attribution.json for the
+    same triple (byte-identity pinning against the batch CLIs),
+  * SIGTERM makes the daemon drain and exit 0, printing "drained".
+
+Usage: serve_smoke.py [build-dir]   (default: build)
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+BUILD = sys.argv[1] if len(sys.argv) > 1 else "build"
+SERVE = os.path.join(BUILD, "tools", "mheta-serve")
+LINT = os.path.join(BUILD, "tools", "mheta-lint")
+PROFILE = os.path.join(BUILD, "tools", "mheta-profile")
+
+CLIENTS = 4
+
+# One mixed script, replayed by every client: all five model kinds over a
+# couple of apps, plus the even->blk alias to exercise key canonicalization.
+REQUESTS = [
+    {"kind": "ping", "id": 0, "echo": "smoke"},
+    {"kind": "predict", "id": 1, "input": "jacobi", "arch": "HY1"},
+    {"kind": "predict", "id": 2, "input": "jacobi", "arch": "HY1",
+     "dist": "even"},
+    {"kind": "predict", "id": 3, "input": "cg", "arch": "HY2", "dist": "bal"},
+    {"kind": "bounds", "id": 4, "input": "jacobi", "arch": "HY1"},
+    {"kind": "lint", "id": 5, "input": "jacobi", "arch": "HY1"},
+    {"kind": "lint", "id": 6, "input": "multigrid", "arch": "DC"},
+    {"kind": "whatif", "id": 7, "input": "jacobi", "arch": "HY1",
+     "perturb": [{"param": "compute", "rank": 0, "factor": 2.0}]},
+    {"kind": "search", "id": 8, "input": "jacobi", "arch": "HY1",
+     "algorithm": "hill", "seed": 7},
+]
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request_lines():
+    return [json.dumps(r, sort_keys=True) for r in REQUESTS]
+
+
+def run_client(sock_path, responses, index):
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.connect(sock_path)
+    reader = conn.makefile("r", encoding="utf-8")
+    try:
+        for line in request_lines():
+            conn.sendall((line + "\n").encode())
+            responses[index].append(reader.readline().rstrip("\n"))
+    finally:
+        conn.close()
+
+
+def single_request(sock_path, request):
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.connect(sock_path)
+    try:
+        conn.sendall((json.dumps(request) + "\n").encode())
+        return conn.makefile("r", encoding="utf-8").readline()
+    finally:
+        conn.close()
+
+
+def main():
+    for binary in (SERVE, LINT, PROFILE):
+        if not os.path.exists(binary):
+            fail(f"missing binary {binary} (build it first)")
+
+    workdir = tempfile.mkdtemp(prefix="serve_smoke_")
+    sock_path = os.path.join(workdir, "s")  # sun_path is only 108 bytes
+    daemon = subprocess.Popen(
+        [SERVE, "--socket", sock_path, "--threads", "4"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+    try:
+        for _ in range(200):
+            if os.path.exists(sock_path):
+                break
+            if daemon.poll() is not None:
+                fail(f"daemon exited early: {daemon.stdout.read()}")
+            time.sleep(0.05)
+        else:
+            fail("daemon never created its socket")
+
+        # Concurrent mixed-script clients.
+        responses = [[] for _ in range(CLIENTS)]
+        threads = [
+            threading.Thread(target=run_client,
+                             args=(sock_path, responses, c))
+            for c in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for c in range(CLIENTS):
+            if len(responses[c]) != len(REQUESTS):
+                fail(f"client {c}: {len(responses[c])} responses for "
+                     f"{len(REQUESTS)} requests")
+            for line in responses[c]:
+                envelope = json.loads(line)
+                if envelope.get("ok") is not True:
+                    fail(f"request failed: {line}")
+            if responses[c] != responses[0]:
+                fail(f"client {c} read different bytes than client 0")
+        print(f"serve_smoke: {CLIENTS} clients x {len(REQUESTS)} requests, "
+              "all ok, byte-identical across clients")
+
+        # Byte-identity pinning: the daemon's lint payload embeds exactly
+        # the report mheta-lint --json prints for the same input.
+        served = json.loads(single_request(
+            sock_path, {"kind": "lint", "input": "jacobi", "arch": "HY1"}))
+        cli = subprocess.run([LINT, "--json", "--arch", "HY1", "jacobi"],
+                             capture_output=True, text=True)
+        if cli.returncode != 0:
+            fail(f"mheta-lint exited {cli.returncode}: {cli.stderr}")
+        if served["payload"]["report"] != json.loads(cli.stdout):
+            fail("daemon lint report differs from mheta-lint --json")
+        print("serve_smoke: lint payload matches mheta-lint --json")
+
+        # The daemon's predict total must equal the predicted_total_s
+        # mheta-profile attributes for the same (input, arch, dist).
+        served = json.loads(single_request(
+            sock_path, {"kind": "predict", "input": "jacobi",
+                        "arch": "HY1"}))
+        profile_out = os.path.join(workdir, "profile")
+        cli = subprocess.run([PROFILE, "jacobi", "--arch", "HY1",
+                              "--out", profile_out],
+                             capture_output=True, text=True)
+        if cli.returncode != 0:
+            fail(f"mheta-profile exited {cli.returncode}: {cli.stderr}")
+        with open(os.path.join(profile_out, "attribution.json")) as f:
+            predicted = json.load(f)["predicted_total_s"]
+        if served["payload"]["total_s"] != predicted:
+            fail(f"daemon predict {served['payload']['total_s']!r} != "
+                 f"mheta-profile predicted_total_s {predicted!r}")
+        print("serve_smoke: predict total matches mheta-profile "
+              "attribution")
+
+        # Counters, via the daemon's own metrics endpoint.
+        metrics_text = json.loads(
+            single_request(sock_path, {"kind": "metrics"}))["payload"]
+        counters = {}
+        for line in metrics_text.splitlines():
+            if line and not line.startswith("#"):
+                name, _, value = line.partition(" ")
+                counters[name] = float(value)
+        if counters.get("serve_cache_hits_total", 0) <= 0:
+            fail(f"no cache hits recorded:\n{metrics_text}")
+        if counters.get("serve_errors_total", 0) != 0:
+            fail(f"daemon counted errors:\n{metrics_text}")
+        # script + lint pin + predict pin + the metrics request itself
+        expected = CLIENTS * len(REQUESTS) + 3
+        if counters.get("serve_requests_total") != expected:
+            fail(f"expected {expected} requests, metrics say "
+                 f"{counters.get('serve_requests_total')}")
+        print(f"serve_smoke: {int(counters['serve_cache_hits_total'])} cache "
+              f"hits, 0 errors over {expected} requests")
+
+        # Clean shutdown on SIGTERM.
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            output, _ = daemon.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            fail("daemon did not exit within 30s of SIGTERM")
+        if daemon.returncode != 0:
+            fail(f"daemon exited {daemon.returncode} on SIGTERM: {output}")
+        if "drained" not in output:
+            fail(f"daemon never reported draining: {output}")
+        print("serve_smoke: SIGTERM -> drained, exit 0")
+        print("serve_smoke: PASS")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+
+
+if __name__ == "__main__":
+    main()

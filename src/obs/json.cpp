@@ -104,10 +104,14 @@ namespace {
 /// Recursive-descent RFC 8259 parser over a string view of the input.
 class Parser {
  public:
-  Parser(const std::string& text, std::string* error)
-      : text_(text), error_(error) {}
+  Parser(const std::string& text, const JsonParseOptions& options,
+         std::string* error)
+      : text_(text), options_(options), error_(error) {}
 
   bool parse(JsonValue& out) {
+    if (options_.max_bytes > 0 && text_.size() > options_.max_bytes)
+      return fail("document exceeds " + std::to_string(options_.max_bytes) +
+                  " bytes");
     skip_ws();
     if (!value(out, 0)) return false;
     skip_ws();
@@ -116,7 +120,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 200;
 
   bool fail(const std::string& what) {
     if (error_ != nullptr)
@@ -138,7 +141,7 @@ class Parser {
   }
 
   bool value(JsonValue& out, int depth) {
-    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (depth > options_.max_depth) return fail("nesting too deep");
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{': return object(out, depth);
@@ -181,6 +184,9 @@ class Parser {
       skip_ws();
       JsonValue member;
       if (!value(member, depth + 1)) return false;
+      if (options_.reject_duplicate_keys &&
+          out.object.find(key) != out.object.end())
+        return fail("duplicate object key \"" + key + "\"");
       out.object[key] = std::move(member);
       skip_ws();
       if (pos_ >= text_.size()) return fail("unterminated object");
@@ -310,10 +316,13 @@ class Parser {
     }
     out.kind = JsonValue::Kind::kNumber;
     out.number = std::strtod(text_.c_str() + start, nullptr);
+    if (options_.reject_nonfinite_numbers && !std::isfinite(out.number))
+      return fail("number overflows double");
     return true;
   }
 
   const std::string& text_;
+  const JsonParseOptions& options_;
   std::string* error_;
   std::size_t pos_ = 0;
 };
@@ -321,7 +330,12 @@ class Parser {
 }  // namespace
 
 bool json_parse(const std::string& text, JsonValue& out, std::string* error) {
-  return Parser(text, error).parse(out);
+  return json_parse(text, out, JsonParseOptions{}, error);
+}
+
+bool json_parse(const std::string& text, JsonValue& out,
+                const JsonParseOptions& options, std::string* error) {
+  return Parser(text, options, error).parse(out);
 }
 
 bool json_valid(const std::string& text, std::string* error) {

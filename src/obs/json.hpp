@@ -11,6 +11,7 @@
 // (no comments, no trailing commas) and rejects everything else.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -52,10 +53,41 @@ struct JsonValue {
 /// parse -> serialize -> parse round-trips every finite document exactly.
 std::string json_serialize(const JsonValue& v);
 
+/// Parser limits and policies for untrusted input. The defaults reproduce
+/// the historical behavior (trusted, self-produced files); mheta-serve,
+/// which parses bytes off a socket, tightens every knob.
+struct JsonParseOptions {
+  /// Maximum container nesting depth; deeper documents are rejected.
+  int max_depth = 200;
+  /// Maximum document size in bytes; 0 means unlimited.
+  std::size_t max_bytes = 0;
+  /// Reject objects that bind the same key twice. Off (last wins, the
+  /// RFC 8259 "unpredictable behavior" everyone implements) by default.
+  bool reject_duplicate_keys = false;
+  /// Reject numbers that overflow double to +/-Inf (e.g. "1e999") — JSON
+  /// has no non-finite values, so accepting them smuggles Inf/NaN into
+  /// arithmetic that assumes finite inputs. Off by default.
+  bool reject_nonfinite_numbers = false;
+
+  /// The hardened profile used for network-facing parsing.
+  static JsonParseOptions untrusted() {
+    JsonParseOptions o;
+    o.max_depth = 32;
+    o.max_bytes = 1 << 20;
+    o.reject_duplicate_keys = true;
+    o.reject_nonfinite_numbers = true;
+    return o;
+  }
+};
+
 /// Parses a complete JSON document. On failure returns false and sets
 /// `error` (position-annotated) if provided; `out` is left unspecified.
 bool json_parse(const std::string& text, JsonValue& out,
                 std::string* error = nullptr);
+
+/// As above with explicit limits/policies (see JsonParseOptions).
+bool json_parse(const std::string& text, JsonValue& out,
+                const JsonParseOptions& options, std::string* error = nullptr);
 
 /// True when `text` is a single well-formed JSON document.
 bool json_valid(const std::string& text, std::string* error = nullptr);

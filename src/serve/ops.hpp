@@ -1,0 +1,86 @@
+// The request-kind implementations behind mheta-serve — and the single
+// source of truth the batch CLIs share with it.
+//
+// Every operation takes an interned Session and returns a deterministic
+// obs::JsonValue payload (object keys sort, numbers render through
+// json_number), so identical requests serialize to identical bytes whether
+// they were computed or served from the response cache. The lint and
+// bounds paths are the exact code mheta-lint runs (lint_input /
+// write_bounds_text), which is what pins the daemon's responses
+// byte-identical to the batch tools rather than merely close.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/critical.hpp"
+#include "obs/json.hpp"
+#include "serve/session.hpp"
+
+namespace mheta::serve {
+
+/// Outcome of linting one input, optionally crossed with an architecture
+/// and distribution (and, with `bounds`, the calibrated model). This is
+/// mheta-lint's `lint_one` core, factored here so the daemon and the tool
+/// run literally the same code.
+struct LintRun {
+  analysis::Diagnostics diags;
+  /// Set when bounds were requested: the certified envelope at the
+  /// workload's iteration count.
+  bool has_bounds = false;
+  analysis::bounds::TotalBounds total;
+  std::vector<analysis::bounds::StageBound> stages;
+  core::ProgramStructure structure;  ///< structure the stage fold reports on
+  int iterations = 1;
+};
+
+/// Lints `input` (a built-in app name or a structure-file path). With a
+/// non-empty `arch` the full triple rules run against `dist_kind`
+/// (blk|bal|ic|icbal); with `bounds` additionally calibrates the model
+/// (through `sessions` when provided, so the daemon reuses its interned
+/// predictor) and computes the certified envelope. Throws CheckError on
+/// unreadable files or unknown arch/dist names.
+LintRun lint_input(const std::string& input, const std::string& arch,
+                   const std::string& dist_kind, bool bounds,
+                   SessionRegistry* sessions = nullptr);
+
+/// The `mheta-lint --bounds` envelope report, exactly as the tool prints
+/// it (shared so tool and daemon cannot drift).
+void write_bounds_text(std::ostream& os, const LintRun& run);
+
+/// The same envelope, machine-readable (embedded in lint/bounds payloads
+/// and in `mheta-lint --bounds --json` output).
+obs::JsonValue bounds_to_json(const LintRun& run);
+
+// --- request payload builders -------------------------------------------
+
+/// predict: model the triple; totals are Predictor::predict verbatim.
+obs::JsonValue predict_payload(const Session& session, const std::string& dist,
+                               int iterations);
+
+/// lint: the diagnostics of `mheta-lint [--arch --dist]`, as JSON.
+obs::JsonValue lint_payload(const LintRun& run);
+
+/// bounds: certified [lo, hi] envelope for the session's triple.
+obs::JsonValue bounds_payload(const Session& session, const std::string& dist,
+                              int iterations);
+
+/// whatif: perturbed-config delta vs the session's base prediction.
+obs::JsonValue whatif_payload(const Session& session, const std::string& dist,
+                              int iterations,
+                              const std::vector<core::Perturbation>& perturbs);
+
+/// search: run one distribution-search algorithm to convergence.
+obs::JsonValue search_payload(const Session& session,
+                              const std::string& algorithm,
+                              std::uint64_t seed, int iterations);
+
+/// Parses one perturbation spec {"param": compute|disk|net_latency|
+/// net_bandwidth, "rank": N, "factor": F}. Throws CheckError on bad specs.
+core::Perturbation parse_perturbation(const obs::JsonValue& spec);
+
+}  // namespace mheta::serve

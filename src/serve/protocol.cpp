@@ -1,0 +1,211 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "serve/ops.hpp"
+#include "util/check.hpp"
+
+namespace mheta::serve {
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPredict: return "predict";
+    case RequestKind::kLint: return "lint";
+    case RequestKind::kBounds: return "bounds";
+    case RequestKind::kWhatif: return "whatif";
+    case RequestKind::kSearch: return "search";
+    case RequestKind::kMetrics: return "metrics";
+    case RequestKind::kPing: return "ping";
+  }
+  return "?";
+}
+
+bool Request::cacheable() const {
+  return kind != RequestKind::kMetrics && kind != RequestKind::kPing;
+}
+
+std::string Request::canonical_key() const {
+  std::string key = to_string(kind);
+  const auto field = [&key](const char* name, const std::string& value) {
+    key += '\x1f';
+    key += name;
+    key += '=';
+    key += value;
+  };
+  switch (kind) {
+    case RequestKind::kPredict:
+    case RequestKind::kBounds:
+      field("input", input);
+      field("arch", arch);
+      field("dist", dist);
+      field("iterations", std::to_string(iterations));
+      break;
+    case RequestKind::kLint:
+      field("input", input);
+      field("arch", arch);
+      field("dist", dist);
+      break;
+    case RequestKind::kWhatif: {
+      field("input", input);
+      field("arch", arch);
+      field("dist", dist);
+      field("iterations", std::to_string(iterations));
+      std::string specs;
+      for (const auto& p : perturbs) {
+        specs += core::perturbation_kind_name(p.kind);
+        specs += ':';
+        specs += std::to_string(p.rank);
+        specs += ':';
+        specs += obs::json_number(p.factor);
+        specs += ';';
+      }
+      field("perturb", specs);
+      break;
+    }
+    case RequestKind::kSearch:
+      field("input", input);
+      field("arch", arch);
+      field("algorithm", algorithm);
+      field("seed", std::to_string(seed));
+      field("iterations", std::to_string(iterations));
+      break;
+    case RequestKind::kMetrics:
+    case RequestKind::kPing:
+      break;  // never cached; the kind alone suffices
+  }
+  return key;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Reads an optional string member; false (with error) when present but
+/// not a string.
+bool read_string(const obs::JsonValue& doc, const char* name,
+                 std::string& out, std::string* error) {
+  const obs::JsonValue* v = doc.get(name);
+  if (v == nullptr) return true;
+  if (!v->is_string())
+    return fail(error, std::string("\"") + name + "\" must be a string");
+  out = v->string;
+  return true;
+}
+
+/// Reads an optional non-negative integer member (JSON numbers; rejects
+/// fractions and out-of-range values).
+bool read_int(const obs::JsonValue& doc, const char* name, int max_value,
+              int& out, std::string* error) {
+  const obs::JsonValue* v = doc.get(name);
+  if (v == nullptr) return true;
+  if (!v->is_number() || v->number < 0 || v->number > max_value ||
+      v->number != std::floor(v->number)) {
+    return fail(error, std::string("\"") + name +
+                           "\" must be an integer in [0, " +
+                           std::to_string(max_value) + "]");
+  }
+  out = static_cast<int>(v->number);
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request& out, std::string* error) {
+  out = Request{};
+  obs::JsonValue doc;
+  std::string parse_error;
+  if (!obs::json_parse(line, doc, obs::JsonParseOptions::untrusted(),
+                       &parse_error))
+    return fail(error, "malformed request: " + parse_error);
+  if (!doc.is_object()) return fail(error, "request must be a JSON object");
+
+  if (const obs::JsonValue* id = doc.get("id")) out.id = json_serialize(*id);
+
+  const obs::JsonValue* kind = doc.get("kind");
+  if (kind == nullptr || !kind->is_string())
+    return fail(error, "request needs a \"kind\" string");
+  if (kind->string == "predict") {
+    out.kind = RequestKind::kPredict;
+  } else if (kind->string == "lint") {
+    out.kind = RequestKind::kLint;
+  } else if (kind->string == "bounds") {
+    out.kind = RequestKind::kBounds;
+  } else if (kind->string == "whatif") {
+    out.kind = RequestKind::kWhatif;
+  } else if (kind->string == "search") {
+    out.kind = RequestKind::kSearch;
+  } else if (kind->string == "metrics") {
+    out.kind = RequestKind::kMetrics;
+  } else if (kind->string == "ping") {
+    out.kind = RequestKind::kPing;
+  } else {
+    return fail(error, "unknown request kind '" + kind->string +
+                           "' (expected predict|lint|bounds|whatif|search|"
+                           "metrics|ping)");
+  }
+
+  if (!read_string(doc, "input", out.input, error)) return false;
+  if (!read_string(doc, "arch", out.arch, error)) return false;
+  if (!read_string(doc, "dist", out.dist, error)) return false;
+  if (out.dist == "even") out.dist = "blk";  // canonical alias
+  if (!read_int(doc, "iterations", 1000000, out.iterations, error))
+    return false;
+  if (!read_string(doc, "algorithm", out.algorithm, error)) return false;
+  if (const obs::JsonValue* seed = doc.get("seed")) {
+    if (!seed->is_number() || seed->number < 0 ||
+        seed->number != std::floor(seed->number))
+      return fail(error, "\"seed\" must be a non-negative integer");
+    out.seed = static_cast<std::uint64_t>(seed->number);
+  }
+  if (!read_int(doc, "delay_ms", 10000, out.delay_ms, error)) return false;
+  if (!read_string(doc, "echo", out.echo, error)) return false;
+
+  if (const obs::JsonValue* perturb = doc.get("perturb")) {
+    if (!perturb->is_array())
+      return fail(error, "\"perturb\" must be an array of specs");
+    try {
+      for (const auto& spec : perturb->array)
+        out.perturbs.push_back(parse_perturbation(spec));
+    } catch (const CheckError& e) {
+      return fail(error, e.what());
+    }
+  }
+
+  const bool needs_input = out.kind == RequestKind::kPredict ||
+                           out.kind == RequestKind::kLint ||
+                           out.kind == RequestKind::kBounds ||
+                           out.kind == RequestKind::kWhatif ||
+                           out.kind == RequestKind::kSearch;
+  if (needs_input && out.input.empty())
+    return fail(error, std::string("\"") + to_string(out.kind) +
+                           "\" needs an \"input\"");
+  return true;
+}
+
+std::string ok_envelope(const Request& request, const std::string& payload) {
+  std::string line = "{\"id\":";
+  line += request.id;
+  line += ",\"kind\":";
+  line += obs::json_escape(to_string(request.kind));
+  line += ",\"ok\":true,\"payload\":";
+  line += payload;
+  line += '}';
+  return line;
+}
+
+std::string error_envelope(const Request& request,
+                           const std::string& message) {
+  std::string line = "{\"id\":";
+  line += request.id;
+  line += ",\"kind\":";
+  line += obs::json_escape(to_string(request.kind));
+  line += ",\"ok\":false,\"error\":";
+  line += obs::json_escape(message);
+  line += '}';
+  return line;
+}
+
+}  // namespace mheta::serve

@@ -1,0 +1,86 @@
+// The mheta-serve wire protocol.
+//
+// Framing is newline-delimited JSON: one request object per line, one
+// response object per line, over a local stream socket. Requests are
+// parsed with the hardened parser profile (depth/size limits, duplicate
+// keys and non-finite numbers rejected — these bytes come off a socket,
+// unlike the batch CLIs' self-produced files).
+//
+// Request object:
+//   {"kind": "predict|lint|bounds|whatif|search|metrics|ping",
+//    "id": <any JSON value, echoed verbatim>,          (optional)
+//    "input": "jacobi" | "path/to/file.mheta",
+//    "arch": "HY1", "dist": "even|blk|bal|ic|icbal",
+//    "iterations": N,                 (0 -> the workload's default)
+//    "perturb": [{"param": ..., "rank": N, "factor": F}, ...],  (whatif)
+//    "algorithm": "...", "seed": N,   (search)
+//    "delay_ms": N, "echo": "..."}    (ping; delay is capped server-side)
+//
+// Response envelope (one line):
+//   {"id": <echo>, "kind": "...", "ok": true,  "payload": {...}}
+//   {"id": <echo>, "kind": "...", "ok": false, "error": "..."}
+//
+// Caching: canonical_key() renders the normalized request fields (defaults
+// filled, dist aliases collapsed, `id` excluded) in a fixed order; two
+// requests with equal keys are the same query, so the response cache maps
+// (kind, key) -> payload bytes and the envelope is re-assembled around the
+// cached payload with the caller's own id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/critical.hpp"
+#include "obs/json.hpp"
+
+namespace mheta::serve {
+
+enum class RequestKind {
+  kPredict,
+  kLint,
+  kBounds,
+  kWhatif,
+  kSearch,
+  kMetrics,
+  kPing,
+};
+
+const char* to_string(RequestKind kind);
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  /// The request's "id" member re-serialized, or "null" when absent.
+  std::string id = "null";
+  std::string input;
+  std::string arch = "HY1";
+  std::string dist = "blk";  ///< canonical: "even" collapses to "blk"
+  int iterations = 0;
+  std::vector<core::Perturbation> perturbs;  // whatif
+  std::string algorithm = "hill";            // search
+  std::uint64_t seed = 42;                   // search
+  int delay_ms = 0;                          // ping
+  std::string echo;                          // ping
+
+  /// True for kinds whose payload is a pure function of the canonical key
+  /// (everything except metrics and ping).
+  bool cacheable() const;
+
+  /// Deterministic cache key over the normalized fields (id excluded).
+  std::string canonical_key() const;
+};
+
+/// Parses one request line with the hardened parser. Returns false and
+/// sets `error` on malformed JSON, unknown kinds, missing or ill-typed
+/// fields; `out.id` is still populated when the document parsed (so the
+/// error envelope can echo it).
+bool parse_request(const std::string& line, Request& out, std::string* error);
+
+/// Assembles the one-line success envelope around a serialized payload.
+std::string ok_envelope(const Request& request, const std::string& payload);
+
+/// Assembles the one-line error envelope. Usable before parsing succeeded
+/// (pass the parsed-or-default request).
+std::string error_envelope(const Request& request, const std::string& message);
+
+}  // namespace mheta::serve

@@ -1,0 +1,238 @@
+#include "serve/server.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "serve/ops.hpp"
+#include "util/check.hpp"
+#include "util/signal.hpp"
+
+namespace mheta::serve {
+
+namespace {
+
+constexpr int kMaxPingDelayMs = 2000;  // server-side cap on ping delay_ms
+
+int kind_index(RequestKind kind) { return static_cast<int>(kind); }
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      sessions_(&metrics_),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (options_.threads <= 0)
+    options_.threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (options_.threads < 2) options_.threads = 2;  // acceptor + >=1 worker
+
+  int fds[2];
+  MHETA_CHECK(::pipe(fds) == 0);
+  stop_read_ = util::FdOwner(fds[0]);
+  stop_write_ = util::FdOwner(fds[1]);
+
+  cache_.set_metrics(&metrics_, "serve_cache");
+  requests_total_ = &metrics_.counter("serve_requests_total",
+                                      "requests handled (any outcome)");
+  errors_total_ = &metrics_.counter("serve_errors_total",
+                                    "requests answered with an error envelope");
+  connections_total_ =
+      &metrics_.counter("serve_connections_total", "connections accepted");
+  inflight_ = &metrics_.gauge("serve_inflight_requests",
+                              "requests currently executing");
+  queue_depth_ = &metrics_.gauge("serve_queue_depth",
+                                 "accepted connections waiting for a worker");
+  request_seconds_ =
+      &metrics_.histogram("serve_request_seconds",
+                          obs::MetricsRegistry::default_time_bounds(),
+                          "request latency, all kinds");
+  for (int i = 0; i < 7; ++i) {
+    const char* kind = to_string(static_cast<RequestKind>(i));
+    kind_totals_[i] =
+        &metrics_.counter(std::string("serve_requests_") + kind + "_total",
+                          std::string(kind) + " requests handled");
+    kind_seconds_[i] =
+        &metrics_.histogram(std::string("serve_") + kind + "_seconds",
+                            obs::MetricsRegistry::default_time_bounds(),
+                            std::string(kind) + " request latency");
+  }
+}
+
+bool Server::stopping() const {
+  return stop_.load(std::memory_order_relaxed) ||
+         util::ShutdownToken::instance().requested();
+}
+
+void Server::shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_write_.fd(), &byte, 1);
+  queue_cv_.notify_all();
+}
+
+void Server::run() {
+  const util::UnixListener listener(options_.socket_path);
+  util::ThreadPool pool(options_.threads);
+  pool.parallel_for(options_.threads, [&](std::int64_t i) {
+    if (i == 0) {
+      acceptor_loop(listener);
+    } else {
+      worker_loop();
+    }
+  });
+}
+
+void Server::acceptor_loop(const util::UnixListener& listener) {
+  while (!stopping()) {
+    const int fd =
+        listener.accept(stop_read_.fd(), options_.accept_timeout_ms);
+    if (fd < 0) continue;  // timeout, signal or stop wake; recheck
+    connections_total_->inc();
+    util::set_recv_timeout(fd, options_.read_timeout_ms);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.emplace_back(fd);
+      queue_depth_->set(static_cast<double>(pending_.size()));
+    }
+    queue_cv_.notify_one();
+  }
+  // Translate a signal-initiated stop into the programmatic one so parked
+  // workers wake, then drain.
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    util::FdOwner conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopped and fully drained
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+      queue_depth_->set(static_cast<double>(pending_.size()));
+    }
+    serve_connection(std::move(conn));
+  }
+}
+
+void Server::serve_connection(util::FdOwner conn) {
+  util::LineReader reader(conn.fd(), options_.max_request_bytes);
+  std::string line;
+  for (;;) {
+    // Drain contract: once stopping, answer every complete line already
+    // received, then close; never abandon a request mid-flight.
+    if (stopping() && !reader.has_buffered_line()) return;
+    const util::LineReader::Status status = reader.next(line);
+    if (status == util::LineReader::Status::kTimeout) continue;
+    if (status == util::LineReader::Status::kTooLong) {
+      errors_total_->inc();
+      util::write_all(conn.fd(),
+                      "{\"id\":null,\"ok\":false,\"error\":\"request line "
+                      "exceeds the frame limit\"}\n");
+      return;  // framing is lost; the connection cannot be resynced
+    }
+    if (status != util::LineReader::Status::kLine) return;  // EOF or error
+    if (!util::write_all(conn.fd(), handle_line(line) + "\n")) return;
+  }
+}
+
+std::string Server::handle_line(const std::string& line) {
+  const auto begin = std::chrono::steady_clock::now();
+  requests_total_->inc();
+  inflight_->add(1.0);
+
+  Request request;
+  std::string response;
+  std::string error;
+  bool parsed = parse_request(line, request, &error);
+  if (!parsed) {
+    errors_total_->inc();
+    response = error_envelope(request, error);
+  } else {
+    kind_totals_[kind_index(request.kind)]->inc();
+    try {
+      switch (request.kind) {
+        case RequestKind::kMetrics: {
+          std::ostringstream text;
+          metrics_.export_prometheus(text);
+          response = ok_envelope(request, obs::json_escape(text.str()));
+          break;
+        }
+        case RequestKind::kPing: {
+          if (request.delay_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min(request.delay_ms, kMaxPingDelayMs)));
+          }
+          response = ok_envelope(request, "{\"echo\":" +
+                                              obs::json_escape(request.echo) +
+                                              ",\"pong\":true}");
+          break;
+        }
+        default: {
+          const std::string key = request.canonical_key();
+          std::string payload;
+          if (!cache_.get(key, &payload)) {
+            payload = compute_payload(request);
+            cache_.put(key, payload);
+          }
+          response = ok_envelope(request, payload);
+        }
+      }
+    } catch (const std::exception& e) {
+      errors_total_->inc();
+      response = error_envelope(request, e.what());
+    }
+  }
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  request_seconds_->observe(seconds);
+  if (parsed) kind_seconds_[kind_index(request.kind)]->observe(seconds);
+  inflight_->add(-1.0);
+  return response;
+}
+
+std::string Server::compute_payload(const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kLint: {
+      const LintRun run = lint_input(request.input, request.arch, request.dist,
+                                     /*bounds=*/false, &sessions_);
+      return obs::json_serialize(lint_payload(run));
+    }
+    case RequestKind::kPredict: {
+      const auto session = sessions_.acquire(request.input, request.arch);
+      return obs::json_serialize(
+          predict_payload(*session, request.dist, request.iterations));
+    }
+    case RequestKind::kBounds: {
+      const auto session = sessions_.acquire(request.input, request.arch);
+      return obs::json_serialize(
+          bounds_payload(*session, request.dist, request.iterations));
+    }
+    case RequestKind::kWhatif: {
+      const auto session = sessions_.acquire(request.input, request.arch);
+      return obs::json_serialize(whatif_payload(
+          *session, request.dist, request.iterations, request.perturbs));
+    }
+    case RequestKind::kSearch: {
+      const auto session = sessions_.acquire(request.input, request.arch);
+      return obs::json_serialize(search_payload(
+          *session, request.algorithm, request.seed, request.iterations));
+    }
+    case RequestKind::kMetrics:
+    case RequestKind::kPing:
+      break;  // handled inline in handle_line; never cached
+  }
+  throw CheckError("request kind has no payload");
+}
+
+}  // namespace mheta::serve

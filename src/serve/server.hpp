@@ -1,0 +1,108 @@
+// The mheta-serve daemon core.
+//
+// One Server owns the listening Unix-domain socket, a util::ThreadPool
+// whose single parallel_for call provides the long-lived threads (index 0
+// is the acceptor, the rest drain a connection queue), the interned
+// SessionRegistry, a sharded response cache mapping canonical request keys
+// to serialized payload bytes, and the obs::MetricsRegistry everything
+// reports into (also served to clients as Prometheus text by the
+// `metrics` request kind).
+//
+// Shutdown is drain-and-exit: shutdown() (or SIGINT/SIGTERM through
+// util::ShutdownToken) stops the acceptor, and each worker finishes its
+// in-flight request, answers any complete lines already received, then
+// closes — a mid-request signal never drops a response. Reads are bounded
+// by SO_RCVTIMEO so a half-written line cannot stall the drain.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+#include "util/concurrent_lru.hpp"
+#include "util/net.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mheta::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Total threads (acceptor + workers); <= 0 means hardware concurrency.
+  /// Clamped to >= 2 so there is always at least one worker.
+  int threads = 0;
+  std::size_t cache_capacity = 1024;  ///< responses; 0 disables the cache
+  std::size_t cache_shards = 8;
+  std::size_t max_request_bytes = 1 << 20;  ///< per request line
+  int accept_timeout_ms = 100;  ///< shutdown-poll period for the acceptor
+  int read_timeout_ms = 500;    ///< SO_RCVTIMEO on connections (drain bound)
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const ServerOptions& options() const { return options_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  SessionRegistry& sessions() { return sessions_; }
+  const util::ConcurrentLru<std::string, std::string>& cache() const {
+    return cache_;
+  }
+
+  /// Binds the socket and serves until shutdown() is called or a
+  /// ShutdownToken signal arrives. Blocks; run from the owning thread.
+  /// Throws CheckError when the socket cannot be bound.
+  void run();
+
+  /// Requests drain-and-exit; safe from any thread. run() returns once
+  /// every in-flight request has been answered.
+  void shutdown();
+
+  bool stopping() const;
+
+  /// Parses, dispatches and serializes one request line to its one-line
+  /// response (no trailing newline). This is the entire per-request path —
+  /// cache lookup included — exposed so tests and the in-process bench can
+  /// drive it without a socket.
+  std::string handle_line(const std::string& line);
+
+ private:
+  void acceptor_loop(const util::UnixListener& listener);
+  void worker_loop();
+  void serve_connection(util::FdOwner conn);
+
+  /// Computes a cacheable request's payload (serialized JSON).
+  std::string compute_payload(const Request& request);
+
+  ServerOptions options_;
+  obs::MetricsRegistry metrics_;
+  SessionRegistry sessions_;
+  util::ConcurrentLru<std::string, std::string> cache_;
+
+  std::atomic<bool> stop_{false};
+  util::FdOwner stop_read_, stop_write_;  // self-pipe waking the acceptor
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<util::FdOwner> pending_;  // accepted, not yet picked up
+
+  // Cached metric handles (created in the constructor; updates lock-free).
+  obs::Counter* requests_total_;
+  obs::Counter* errors_total_;
+  obs::Counter* connections_total_;
+  obs::Counter* kind_totals_[7];
+  obs::Gauge* inflight_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* request_seconds_;
+  obs::Histogram* kind_seconds_[7];
+};
+
+}  // namespace mheta::serve

@@ -1,0 +1,102 @@
+#include "serve/session.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "core/structure_io.hpp"
+#include "obs/profile.hpp"
+#include "util/check.hpp"
+
+namespace mheta::serve {
+
+namespace {
+
+exp::Workload resolve_workload(const std::string& input) {
+  if (auto w = exp::workload_by_name(input)) return *w;
+  std::ifstream file(input);
+  if (!file)
+    throw CheckError("unknown app or unreadable structure file '" + input +
+                     "'");
+  exp::Workload w;
+  w.program = core::load_structure(file);
+  w.name = w.program.name.empty() ? input : w.program.name;
+  return w;
+}
+
+}  // namespace
+
+Session::Session(std::string input, const std::string& arch_name)
+    : input_(std::move(input)),
+      arch_name_(arch_name),
+      workload_(resolve_workload(input_)),
+      arch_(cluster::find_arch(arch_name)),
+      predictor_(exp::build_predictor(arch_, workload_, eopts_)),
+      ctx_(exp::make_context(arch_, workload_, eopts_)) {}
+
+const analysis::bounds::CostBoundsAnalyzer& Session::bounds_analyzer() const {
+  std::lock_guard<std::mutex> lock(bounds_mu_);
+  if (!bounds_) {
+    bounds_.emplace(
+        predictor_.structure(), predictor_.params(), predictor_.memory_bytes(),
+        analysis::bounds::BoundsKnobs{
+            predictor_.options().planner_overhead_bytes,
+            predictor_.options().max_blocks});
+  }
+  return *bounds_;
+}
+
+dist::GenBlock Session::distribution(const std::string& name) const {
+  return obs::dist_by_name(ctx_, name);
+}
+
+SessionRegistry::SessionRegistry(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    built_ = &metrics->counter("serve_sessions_built_total",
+                               "predictor sessions calibrated and interned");
+    hits_ = &metrics->counter("serve_session_hits_total",
+                              "requests served from an interned session");
+  }
+}
+
+std::shared_ptr<const Session> SessionRegistry::acquire(
+    const std::string& input, const std::string& arch) {
+  const std::string key = input + '\x1f' + arch;
+  std::promise<std::shared_ptr<const Session>> promise;
+  SessionFuture future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(key);
+    if (it != sessions_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      sessions_.emplace(key, future);
+      builder = true;
+    }
+  }
+  if (builder) {
+    try {
+      auto session = std::make_shared<const Session>(input, arch);
+      if (built_ != nullptr) built_->inc();
+      promise.set_value(std::move(session));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // Do not cache the failure: a later request may retry (the file may
+      // exist by then).
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(key);
+      throw;
+    }
+  } else if (hits_ != nullptr) {
+    hits_->inc();
+  }
+  return future.get();
+}
+
+std::size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace mheta::serve

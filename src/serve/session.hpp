@@ -1,0 +1,91 @@
+// Interned per-(input, architecture) predictor sessions.
+//
+// Building a core::Predictor means running calibration plus one
+// instrumented iteration on the emulated machine — the full startup cost
+// every batch CLI pays per invocation. The daemon pays it once: the first
+// request against a (structure, arch) pair builds a Session (workload,
+// predictor with its interned cost tables, distribution context, lazily a
+// bounds analyzer) and every later request — predict, whatif, bounds,
+// search, whatever dist — shares it. Sessions are immutable after
+// construction and Predictor::predict/predict_attributed/perturbed are
+// const and thread-safe, so workers use them lock-free.
+//
+// Concurrent first touches of the same key build once: the registry stores
+// a shared_future per key, so the second requester blocks on the first
+// build instead of duplicating it, and the registry mutex is never held
+// across a build.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "analysis/bounds/bounds.hpp"
+#include "cluster/suite.hpp"
+#include "core/model.hpp"
+#include "dist/generators.hpp"
+#include "exp/experiment.hpp"
+#include "obs/registry.hpp"
+
+namespace mheta::serve {
+
+/// One interned (input, arch) state. Immutable after construction.
+class Session {
+ public:
+  Session(std::string input, const std::string& arch_name);
+
+  const std::string& input() const { return input_; }
+  const std::string& arch_name() const { return arch_name_; }
+  const exp::Workload& workload() const { return workload_; }
+  const cluster::ArchConfig& arch() const { return arch_; }
+  const core::Predictor& predictor() const { return predictor_; }
+  const dist::DistContext& context() const { return ctx_; }
+
+  /// The interval-bounds analyzer over this session's calibrated model,
+  /// built on first use (borrows the predictor's structure/params/memories,
+  /// which live exactly as long as this session).
+  const analysis::bounds::CostBoundsAnalyzer& bounds_analyzer() const;
+
+  /// Named distribution over this session's context (even|blk|bal|ic|icbal).
+  dist::GenBlock distribution(const std::string& name) const;
+
+ private:
+  std::string input_;
+  std::string arch_name_;
+  exp::Workload workload_;
+  cluster::ArchConfig arch_;
+  exp::ExperimentOptions eopts_;
+  core::Predictor predictor_;
+  dist::DistContext ctx_;
+  mutable std::mutex bounds_mu_;
+  mutable std::optional<analysis::bounds::CostBoundsAnalyzer> bounds_;
+};
+
+/// Thread-safe intern table of Sessions keyed by (input, arch).
+class SessionRegistry {
+ public:
+  /// `metrics` (optional, not owned) reports `serve_sessions_built_total`
+  /// and `serve_session_hits_total`.
+  explicit SessionRegistry(obs::MetricsRegistry* metrics = nullptr);
+
+  /// Returns the session for (input, arch), building it on first use.
+  /// Throws what the build threw (unknown app, unreadable file, bad arch);
+  /// failed builds are not cached, so a later request may retry.
+  std::shared_ptr<const Session> acquire(const std::string& input,
+                                         const std::string& arch);
+
+  std::size_t size() const;
+
+ private:
+  using SessionFuture = std::shared_future<std::shared_ptr<const Session>>;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SessionFuture> sessions_;  // guarded by mu_
+  obs::Counter* built_ = nullptr;
+  obs::Counter* hits_ = nullptr;
+};
+
+}  // namespace mheta::serve

@@ -1,0 +1,187 @@
+// A mutex-striped concurrent LRU cache.
+//
+// mheta-serve's cross-request response cache: many worker threads look up
+// and insert (request-digest -> serialized response) concurrently, so the
+// single-threaded util::LruCache is wrapped per shard behind its own mutex
+// and keys are spread across shards by hash. Recency is exact within a
+// shard (each shard is a true LRU over its own keys); across shards the
+// policy is shard-local, which is the standard striped-LRU trade-off.
+//
+// Capacity semantics:
+//   capacity == 0   caching disabled: get() always misses, put() drops.
+//   capacity  < shards   collapses to one shard so tiny caches (capacity 1)
+//                        keep exact global LRU order.
+//   otherwise       capacity is split evenly across shards (rounded up, so
+//                   total capacity is >= the request, never below).
+//
+// Hit/miss/eviction accounting uses relaxed atomics — cheap, and exact
+// whenever calls do not race (the serial-replay determinism test pins
+// single-threaded accounting against a plain LruCache). Optional metrics
+// wiring mirrors the counters into an obs::MetricsRegistry with a caller
+// chosen prefix, following the ThreadPool idiom: install while quiescent,
+// pay one null check per operation when absent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/lru.hpp"
+
+namespace mheta::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ConcurrentLru {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+    std::size_t size = 0;
+
+    double hit_rate() const {
+      const std::uint64_t lookups = hits + misses;
+      return lookups > 0 ? static_cast<double>(hits) / lookups : 0.0;
+    }
+  };
+
+  /// `shards` must be >= 1; it is rounded down to 1 when it exceeds what
+  /// `capacity` can fill (see capacity semantics above).
+  explicit ConcurrentLru(std::size_t capacity, std::size_t shards = 8) {
+    if (shards < 1) shards = 1;
+    if (capacity > 0 && capacity < shards) shards = 1;
+    if (capacity > 0) {
+      const std::size_t per_shard = (capacity + shards - 1) / shards;
+      shards_.reserve(shards);
+      for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+    capacity_ = capacity;
+  }
+
+  ConcurrentLru(const ConcurrentLru&) = delete;
+  ConcurrentLru& operator=(const ConcurrentLru&) = delete;
+
+  /// Copies the cached value into `out` and marks it most-recently-used.
+  /// False (a recorded miss) when absent or when caching is disabled.
+  bool get(const Key& key, Value* out) {
+    if (shards_.empty()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Shard& shard = shard_for(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (Value* v = shard.cache.get(key)) {
+        *out = *v;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (hits_counter_ != nullptr) hits_counter_->inc();
+        return true;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (misses_counter_ != nullptr) misses_counter_->inc();
+    return false;
+  }
+
+  /// Inserts (or overwrites) and marks most-recently-used; evicts the
+  /// shard's least-recently-used entry when the shard is full. A no-op when
+  /// caching is disabled.
+  void put(const Key& key, Value value) {
+    if (shards_.empty()) return;
+    Shard& shard = shard_for(key);
+    std::size_t evicted;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const std::size_t before = shard.cache.evictions();
+      shard.cache.put(key, std::move(value));
+      evicted = shard.cache.evictions() - before;
+    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    if (evicted > 0) {
+      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+      if (evictions_counter_ != nullptr) evictions_counter_->inc(evicted);
+    }
+  }
+
+  /// Total cached entries across shards (racy under concurrent writers,
+  /// exact when quiescent).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->cache.size();
+    }
+    return total;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  void clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->cache.clear();
+    }
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.size = size();
+    return s;
+  }
+
+  /// Mirrors hit/miss/eviction counts into `registry` as
+  /// `<prefix>_hits_total` / `<prefix>_misses_total` /
+  /// `<prefix>_evictions_total`. Install while quiescent (ThreadPool rule:
+  /// the cached pointers are read unsynchronized); nullptr uninstalls.
+  void set_metrics(obs::MetricsRegistry* registry, const std::string& prefix) {
+    if (registry == nullptr) {
+      hits_counter_ = nullptr;
+      misses_counter_ = nullptr;
+      evictions_counter_ = nullptr;
+      return;
+    }
+    hits_counter_ =
+        &registry->counter(prefix + "_hits_total", "cache lookups served");
+    misses_counter_ =
+        &registry->counter(prefix + "_misses_total", "cache lookups missed");
+    evictions_counter_ =
+        &registry->counter(prefix + "_evictions_total", "entries evicted");
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : cache(capacity) {}
+    mutable std::mutex mu;
+    LruCache<Key, Value, Hash> cache;  // guarded by mu
+  };
+
+  Shard& shard_for(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  // Metrics sinks; null (the default) means uninstrumented.
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+};
+
+}  // namespace mheta::util

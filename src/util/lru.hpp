@@ -43,6 +43,7 @@ class LruCache {
     if (items_.size() == capacity_) {
       index_.erase(items_.back().first);
       items_.pop_back();
+      ++evictions_;
     }
     items_.emplace_front(key, std::move(value));
     index_[key] = items_.begin();
@@ -50,6 +51,8 @@ class LruCache {
 
   std::size_t size() const { return items_.size(); }
   std::size_t capacity() const { return capacity_; }
+  /// Entries dropped to make room since construction (clear() not counted).
+  std::size_t evictions() const { return evictions_; }
 
   void clear() {
     items_.clear();
@@ -58,6 +61,7 @@ class LruCache {
 
  private:
   std::size_t capacity_;
+  std::size_t evictions_ = 0;
   std::list<std::pair<Key, Value>> items_;  // front = most recently used
   std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
                      Hash>

@@ -1,0 +1,135 @@
+#include "util/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace mheta::util {
+
+FdOwner& FdOwner::operator=(FdOwner&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FdOwner::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+LineReader::Status LineReader::next(std::string& out) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (newline + 1 > max_line_bytes_) {
+        buffer_.erase(0, newline + 1);  // discard the oversize frame
+        return Status::kTooLong;
+      }
+      out.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return Status::kLine;
+    }
+    if (buffer_.size() >= max_line_bytes_) return Status::kTooLong;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::kTimeout;
+      return Status::kError;
+    }
+    if (n == 0) return buffer_.empty() ? Status::kEof : Status::kError;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  MHETA_CHECK(path.size() < sizeof(addr.sun_path));  // NUL must fit too
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = make_addr(path);
+  FdOwner fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  MHETA_CHECK(fd.valid());
+  ::unlink(path.c_str());  // stale socket from a crashed predecessor
+  MHETA_CHECK(::bind(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0);
+  MHETA_CHECK(::listen(fd.fd(), 128) == 0);
+  fd_ = std::move(fd);
+}
+
+UnixListener::~UnixListener() {
+  fd_.close();
+  ::unlink(path_.c_str());
+}
+
+int UnixListener::accept(int wake_fd, int timeout_ms) const {
+  pollfd fds[2];
+  fds[0].fd = fd_.fd();
+  fds[0].events = POLLIN;
+  nfds_t nfds = 1;
+  if (wake_fd >= 0) {
+    fds[1].fd = wake_fd;
+    fds[1].events = POLLIN;
+    nfds = 2;
+  }
+  const int ready = ::poll(fds, nfds, timeout_ms);
+  if (ready <= 0) return -1;                        // timeout or EINTR
+  if (nfds == 2 && (fds[1].revents & POLLIN)) return -1;  // woken to stop
+  if (!(fds[0].revents & POLLIN)) return -1;
+  const int conn = ::accept(fd_.fd(), nullptr, nullptr);
+  return conn;  // -1 on a racing EINTR/EAGAIN; callers loop
+}
+
+bool set_recv_timeout(int fd, int timeout_ms) {
+  timeval tv = {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+FdOwner unix_connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  FdOwner fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  MHETA_CHECK(fd.valid());
+  if (::connect(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw CheckError("cannot connect to '" + path + "': " +
+                     std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace mheta::util

@@ -1,0 +1,104 @@
+// Minimal Unix-domain-socket plumbing for mheta-serve.
+//
+// Thin RAII wrappers over the POSIX calls the daemon and its clients need:
+// a listener (bind/listen/poll-accept), a connected stream with buffered
+// line reads, and whole-buffer writes that ride out short writes and EINTR.
+// Framing is newline-delimited: one JSON document per line in each
+// direction, which keeps the wire format readable, the parser reusable
+// (obs::json_parse on each line) and the per-connection state one buffer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mheta::util {
+
+/// Move-only owner of a file descriptor.
+class FdOwner {
+ public:
+  FdOwner() = default;
+  explicit FdOwner(int fd) : fd_(fd) {}
+  ~FdOwner() { close(); }
+  FdOwner(FdOwner&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdOwner& operator=(FdOwner&& other) noexcept;
+  FdOwner(const FdOwner&) = delete;
+  FdOwner& operator=(const FdOwner&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Writes the whole buffer, retrying on EINTR and short writes. False on a
+/// hard error (e.g. the peer hung up).
+bool write_all(int fd, const std::string& data);
+
+/// Buffered newline-framed reads from one connection.
+class LineReader {
+ public:
+  /// `max_line_bytes` bounds a single frame (terminator included); an
+  /// over-long line is a protocol error, not an allocation.
+  explicit LineReader(int fd, std::size_t max_line_bytes = 1 << 20)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  enum class Status {
+    kLine,     ///< `out` holds one complete line (terminator stripped)
+    kEof,      ///< orderly close with no buffered partial line
+    kError,    ///< read failed
+    kTooLong,  ///< frame exceeded max_line_bytes
+    kTimeout,  ///< receive timeout elapsed (see set_recv_timeout); buffered
+               ///< bytes are kept, so a later next() resumes the frame
+  };
+
+  /// Blocks until a full line, EOF, error or receive timeout.
+  Status next(std::string& out);
+
+  /// True when a complete line is already buffered — next() would return
+  /// without touching the socket. Lets a draining server finish framed
+  /// requests it has already received without risking a blocking read.
+  bool has_buffered_line() const {
+    return buffer_.find('\n') != std::string::npos;
+  }
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+};
+
+/// A listening Unix-domain socket. The constructor unlinks a stale socket
+/// file at `path`, binds and listens; the destructor closes and unlinks.
+class UnixListener {
+ public:
+  /// Throws CheckError when bind/listen fail (path too long, no permission).
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  const std::string& path() const { return path_; }
+  int fd() const { return fd_.fd(); }
+
+  /// Waits for a connection, also watching `wake_fd` (when >= 0). Returns
+  /// the accepted fd, or -1 when `wake_fd` became readable or the wait
+  /// timed out / was interrupted — callers re-check their shutdown latch
+  /// and loop.
+  int accept(int wake_fd, int timeout_ms) const;
+
+ private:
+  std::string path_;
+  FdOwner fd_;
+};
+
+/// Connects to a Unix-domain socket; throws CheckError on failure.
+FdOwner unix_connect(const std::string& path);
+
+/// Sets SO_RCVTIMEO so blocking reads return after `timeout_ms` instead of
+/// hanging forever — LineReader::next reports the lapse as kTimeout. This
+/// bounds how long a draining server waits on a half-written line.
+bool set_recv_timeout(int fd, int timeout_ms);
+
+}  // namespace mheta::util

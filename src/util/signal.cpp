@@ -1,0 +1,68 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace mheta::util {
+
+namespace {
+
+// Signal-handler state: everything the handler touches is lock-free and
+// async-signal-safe (an atomic flag and a write() to a pre-opened pipe).
+std::atomic<bool> g_requested{false};
+int g_pipe[2] = {-1, -1};
+
+extern "C" void shutdown_handler(int) {
+  g_requested.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  // The pipe is non-blocking; if it is full a wake byte is already pending.
+  [[maybe_unused]] const auto n = ::write(g_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+ShutdownToken::ShutdownToken() {
+  MHETA_CHECK(::pipe(g_pipe) == 0);
+  // Non-blocking on both ends: the handler must never block, and reset()
+  // drains without a poll loop.
+  for (const int fd : g_pipe) {
+    MHETA_CHECK(::fcntl(fd, F_SETFL,
+                        ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK) == 0);
+  }
+}
+
+ShutdownToken& ShutdownToken::instance() {
+  static ShutdownToken token;
+  return token;
+}
+
+void ShutdownToken::install_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = shutdown_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // interrupt blocking syscalls so loops re-check the latch
+  MHETA_CHECK(::sigaction(SIGINT, &sa, nullptr) == 0);
+  MHETA_CHECK(::sigaction(SIGTERM, &sa, nullptr) == 0);
+}
+
+bool ShutdownToken::requested() const {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+void ShutdownToken::request() { shutdown_handler(0); }
+
+int ShutdownToken::wake_fd() const { return g_pipe[0]; }
+
+void ShutdownToken::reset() {
+  g_requested.store(false, std::memory_order_relaxed);
+  char buf[64];
+  while (::read(g_pipe[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace mheta::util

@@ -1,0 +1,45 @@
+// Drain-and-exit shutdown signaling shared by the long-running tools.
+//
+// ShutdownToken is the process-wide SIGINT/SIGTERM latch mheta-serve drains
+// on: install() registers async-signal-safe handlers that set an atomic
+// flag and write one byte to a self-pipe, so blocking loops can poll() the
+// wake fd alongside their own descriptors and notice the request without
+// busy-waiting. request() raises the same latch programmatically (the
+// server's tests and its shutdown() entry point use it), so everything
+// downstream of the latch behaves identically whether the trigger was a
+// real signal or a call.
+//
+// The token is a process singleton (signal dispositions are process
+// state); reset() re-arms it between tests.
+#pragma once
+
+namespace mheta::util {
+
+class ShutdownToken {
+ public:
+  /// The process-wide token. Never installs handlers by itself.
+  static ShutdownToken& instance();
+
+  /// Registers the SIGINT and SIGTERM handlers (idempotent). Call once
+  /// from the daemon's main before serving.
+  void install_handlers();
+
+  /// True once a signal arrived or request() was called.
+  bool requested() const;
+
+  /// Raises the latch programmatically, waking any poll()ers.
+  void request();
+
+  /// A poll()able fd that becomes readable when the latch rises. Owned by
+  /// the token; never close it.
+  int wake_fd() const;
+
+  /// Lowers the latch and drains the wake pipe (tests only; racy against a
+  /// concurrent signal by nature).
+  void reset();
+
+ private:
+  ShutdownToken();
+};
+
+}  // namespace mheta::util

@@ -31,9 +31,9 @@ bool fires(const analysis::Diagnostics& diags, const std::string& rule,
 TEST(ScenarioRules, CatalogIsStable) {
   const auto& catalog = scenario_rule_catalog();
   ASSERT_EQ(catalog.size(), 3u);
-  EXPECT_EQ(catalog[0].id, "MH016");
-  EXPECT_EQ(catalog[1].id, "MH017");
-  EXPECT_EQ(catalog[2].id, "MH018");
+  EXPECT_STREQ(catalog[0].id, "MH016");
+  EXPECT_STREQ(catalog[1].id, "MH017");
+  EXPECT_STREQ(catalog[2].id, "MH018");
   EXPECT_NE(find_scenario_rule("MH017"), nullptr);
   EXPECT_EQ(find_scenario_rule("MH001"), nullptr);
 }

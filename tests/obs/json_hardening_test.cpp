@@ -1,0 +1,119 @@
+// Hostile-input regressions for the hardened parser profile. The daemon
+// feeds socket bytes through JsonParseOptions::untrusted(); these tests pin
+// the limits (depth, size), the duplicate-key policy, and the non-finite
+// number rejection (1e999 smuggling an inf through a "number").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace mheta::obs {
+namespace {
+
+std::string nested_arrays(int depth) {
+  std::string s(static_cast<std::size_t>(depth), '[');
+  s.append(static_cast<std::size_t>(depth), ']');
+  return s;
+}
+
+TEST(JsonHardening, UntrustedAcceptsOrdinaryDocuments) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(R"({"kind":"ping","id":7,"echo":"hi"})", v,
+                         JsonParseOptions::untrusted(), &error))
+      << error;
+  EXPECT_TRUE(v.is_object());
+}
+
+TEST(JsonHardening, TruncatedDocumentsFailWithError) {
+  const char* cases[] = {
+      R"({"kind":"predict")", R"({"a":)", R"(["x",)", R"("unterminated)",
+      R"({"a":1,)",
+  };
+  for (const char* doc : cases) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(json_parse(doc, v, JsonParseOptions::untrusted(), &error))
+        << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonHardening, DepthLimitRejectsDeepNesting) {
+  JsonValue v;
+  std::string error;
+  // 32 frames is the untrusted ceiling; 31 passes, 64 must not.
+  EXPECT_TRUE(json_parse(nested_arrays(31), v, JsonParseOptions::untrusted(),
+                         &error))
+      << error;
+  EXPECT_FALSE(
+      json_parse(nested_arrays(64), v, JsonParseOptions::untrusted(), &error));
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+  // The default profile still takes depth-100 documents (its limit is 200).
+  EXPECT_TRUE(json_parse(nested_arrays(100), v, &error)) << error;
+}
+
+TEST(JsonHardening, SizeLimitRejectsOversizeDocuments) {
+  JsonParseOptions options;
+  options.max_bytes = 16;
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(R"({"a":1})", v, options, &error)) << error;
+  EXPECT_FALSE(
+      json_parse(R"({"a":"0123456789abcdef"})", v, options, &error));
+  EXPECT_FALSE(error.empty());
+  // max_bytes == 0 (the default) means unlimited.
+  options.max_bytes = 0;
+  EXPECT_TRUE(json_parse(R"({"a":"0123456789abcdef"})", v, options, &error))
+      << error;
+}
+
+TEST(JsonHardening, DuplicateKeyPolicy) {
+  const std::string doc = R"({"a":1,"a":2})";
+  JsonValue v;
+  std::string error;
+  // Default profile: tolerated (last value wins, as before the hardening).
+  ASSERT_TRUE(json_parse(doc, v, &error)) << error;
+  ASSERT_NE(v.get("a"), nullptr);
+  EXPECT_EQ(v.get("a")->number, 2);
+  // Untrusted profile: rejected by name.
+  EXPECT_FALSE(json_parse(doc, v, JsonParseOptions::untrusted(), &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("\"a\""), std::string::npos) << error;
+}
+
+TEST(JsonHardening, NonFiniteNumberSmuggling) {
+  // 1e999 overflows double to inf; RFC 8259 has no representation for it,
+  // and a daemon echoing it back would emit invalid JSON downstream.
+  const char* cases[] = {R"({"x":1e999})", R"({"x":-1e999})", "[1e999]"};
+  for (const char* doc : cases) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(json_parse(doc, v, JsonParseOptions::untrusted(), &error))
+        << doc;
+    EXPECT_NE(error.find("overflows"), std::string::npos) << error;
+    // The lenient default still parses it (trusted, self-produced files).
+    ASSERT_TRUE(json_parse(doc, v, &error)) << doc << ": " << error;
+  }
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json_parse(R"({"x":1e999})", v, &error));
+  EXPECT_TRUE(std::isinf(v.get("x")->number));
+}
+
+TEST(JsonHardening, LiteralInfinityAndNanStillRejected) {
+  // NaN/Infinity tokens were never valid JSON; the hardened profile must
+  // not have loosened that.
+  for (const char* doc : {R"({"x":NaN})", R"({"x":Infinity})", "[nan]"}) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(json_parse(doc, v, JsonParseOptions::untrusted(), &error))
+        << doc;
+    EXPECT_FALSE(json_parse(doc, v, &error)) << doc;
+  }
+}
+
+}  // namespace
+}  // namespace mheta::obs

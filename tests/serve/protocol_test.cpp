@@ -1,0 +1,170 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace mheta::serve {
+namespace {
+
+TEST(Protocol, ParsesFullPredictRequest) {
+  Request r;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"kind":"predict","id":7,"input":"jacobi","arch":"HY2",)"
+      R"("dist":"bal","iterations":50})",
+      r, &error))
+      << error;
+  EXPECT_EQ(r.kind, RequestKind::kPredict);
+  EXPECT_EQ(r.id, "7");
+  EXPECT_EQ(r.input, "jacobi");
+  EXPECT_EQ(r.arch, "HY2");
+  EXPECT_EQ(r.dist, "bal");
+  EXPECT_EQ(r.iterations, 50);
+}
+
+TEST(Protocol, DefaultsWhenFieldsAbsent) {
+  Request r;
+  std::string error;
+  ASSERT_TRUE(parse_request(R"({"kind":"predict","input":"cg"})", r, &error))
+      << error;
+  EXPECT_EQ(r.id, "null");
+  EXPECT_EQ(r.arch, "HY1");
+  EXPECT_EQ(r.dist, "blk");
+  EXPECT_EQ(r.iterations, 0);  // 0 -> the workload's default
+  EXPECT_EQ(r.algorithm, "hill");
+  EXPECT_EQ(r.seed, 42u);
+}
+
+TEST(Protocol, EvenCollapsesToBlk) {
+  Request even, blk;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"kind":"predict","input":"jacobi","dist":"even","id":1})", even,
+      &error));
+  ASSERT_TRUE(parse_request(
+      R"({"kind":"predict","input":"jacobi","dist":"blk","id":2})", blk,
+      &error));
+  EXPECT_EQ(even.dist, "blk");
+  // The canonical key ignores the id and the alias: one cache entry.
+  EXPECT_EQ(even.canonical_key(), blk.canonical_key());
+}
+
+TEST(Protocol, CanonicalKeySeparatesKindsAndFields) {
+  Request predict, bounds, other_arch;
+  std::string error;
+  ASSERT_TRUE(parse_request(R"({"kind":"predict","input":"jacobi"})", predict,
+                            &error));
+  ASSERT_TRUE(
+      parse_request(R"({"kind":"bounds","input":"jacobi"})", bounds, &error));
+  ASSERT_TRUE(parse_request(
+      R"({"kind":"predict","input":"jacobi","arch":"DC"})", other_arch,
+      &error));
+  EXPECT_NE(predict.canonical_key(), bounds.canonical_key());
+  EXPECT_NE(predict.canonical_key(), other_arch.canonical_key());
+}
+
+TEST(Protocol, WhatifKeyEncodesPerturbations) {
+  Request one, two;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"kind":"whatif","input":"jacobi",)"
+      R"("perturb":[{"param":"compute","rank":0,"factor":2}]})",
+      one, &error))
+      << error;
+  ASSERT_TRUE(parse_request(
+      R"({"kind":"whatif","input":"jacobi",)"
+      R"("perturb":[{"param":"compute","rank":0,"factor":3}]})",
+      two, &error));
+  ASSERT_EQ(one.perturbs.size(), 1u);
+  EXPECT_EQ(one.perturbs[0].factor, 2.0);
+  EXPECT_NE(one.canonical_key(), two.canonical_key());
+}
+
+TEST(Protocol, CacheableKinds) {
+  const auto kind_of = [](const std::string& line) {
+    Request r;
+    std::string error;
+    EXPECT_TRUE(parse_request(line, r, &error)) << error;
+    return r;
+  };
+  EXPECT_TRUE(kind_of(R"({"kind":"predict","input":"x"})").cacheable());
+  EXPECT_TRUE(kind_of(R"({"kind":"lint","input":"x"})").cacheable());
+  EXPECT_TRUE(kind_of(R"({"kind":"bounds","input":"x"})").cacheable());
+  EXPECT_TRUE(kind_of(R"({"kind":"whatif","input":"x"})").cacheable());
+  EXPECT_TRUE(kind_of(R"({"kind":"search","input":"x"})").cacheable());
+  EXPECT_FALSE(kind_of(R"({"kind":"metrics"})").cacheable());
+  EXPECT_FALSE(kind_of(R"({"kind":"ping"})").cacheable());
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  Request r;
+  std::string error;
+  EXPECT_FALSE(parse_request("not json", r, &error));
+  EXPECT_FALSE(parse_request("[1,2,3]", r, &error));
+  EXPECT_FALSE(parse_request(R"({"input":"jacobi"})", r, &error));  // no kind
+  EXPECT_FALSE(parse_request(R"({"kind":"teleport"})", r, &error));
+  EXPECT_NE(error.find("teleport"), std::string::npos);
+  EXPECT_FALSE(parse_request(R"({"kind":"predict"})", r, &error));  // no input
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"predict","input":"x","iterations":1.5})", r, &error));
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"predict","input":"x","iterations":-1})", r, &error));
+  EXPECT_FALSE(
+      parse_request(R"({"kind":"predict","input":42})", r, &error));
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"whatif","input":"x","perturb":[{"param":"magic","factor":1}]})",
+      r, &error));
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"whatif","input":"x","perturb":[{"param":"compute","factor":0}]})",
+      r, &error));
+}
+
+TEST(Protocol, HardenedParserGuardsTheWire) {
+  // The request parser runs the untrusted profile: duplicate keys and
+  // non-finite numbers are protocol errors, not silently-accepted input.
+  Request r;
+  std::string error;
+  EXPECT_FALSE(
+      parse_request(R"({"kind":"ping","kind":"predict"})", r, &error));
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"predict","input":"x","seed":1e999})", r, &error));
+}
+
+TEST(Protocol, IdSurvivesParseErrorsForTheErrorEnvelope) {
+  Request r;
+  std::string error;
+  EXPECT_FALSE(parse_request(R"({"kind":"teleport","id":"abc"})", r, &error));
+  EXPECT_EQ(r.id, "\"abc\"");
+  const std::string envelope = error_envelope(r, error);
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::json_parse(envelope, v, &error)) << error;
+  EXPECT_EQ(v.get("id")->string, "abc");
+  EXPECT_FALSE(v.get("ok")->boolean);
+}
+
+TEST(Protocol, EnvelopesAreWellFormedOneLiners) {
+  Request r;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"kind":"predict","input":"jacobi","id":[1,"a"]})", r, &error));
+  const std::string ok = ok_envelope(r, R"({"total_s":1.5})");
+  EXPECT_EQ(ok.find('\n'), std::string::npos);
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::json_parse(ok, v, &error)) << error;
+  EXPECT_TRUE(v.get("ok")->boolean);
+  EXPECT_EQ(v.get("kind")->string, "predict");
+  EXPECT_TRUE(v.get("id")->is_array());  // echoed verbatim, any JSON value
+  EXPECT_EQ(v.get("payload")->get("total_s")->number, 1.5);
+
+  const std::string err =
+      error_envelope(r, "quote \" and backslash \\ and\nnewline");
+  EXPECT_EQ(err.find('\n'), std::string::npos);  // escaped, not literal
+  ASSERT_TRUE(obs::json_parse(err, v, &error)) << error;
+  EXPECT_EQ(v.get("error")->string, "quote \" and backslash \\ and\nnewline");
+}
+
+}  // namespace
+}  // namespace mheta::serve

@@ -1,0 +1,178 @@
+#include "util/concurrent_lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/lru.hpp"
+
+namespace mheta::util {
+namespace {
+
+TEST(ConcurrentLru, BasicGetPut) {
+  ConcurrentLru<std::string, std::string> cache(16, 4);
+  std::string out;
+  EXPECT_FALSE(cache.get("a", &out));
+  cache.put("a", "alpha");
+  ASSERT_TRUE(cache.get("a", &out));
+  EXPECT_EQ(out, "alpha");
+  cache.put("a", "alpha2");  // overwrite
+  ASSERT_TRUE(cache.get("a", &out));
+  EXPECT_EQ(out, "alpha2");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ConcurrentLru, CapacityZeroDisablesCaching) {
+  ConcurrentLru<int, int> cache(0);
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.shard_count(), 0u);
+  cache.put(1, 10);  // dropped
+  int out = -1;
+  EXPECT_FALSE(cache.get(1, &out));
+  EXPECT_FALSE(cache.get(1, &out));  // the put cached nothing
+  EXPECT_EQ(out, -1);
+  EXPECT_EQ(cache.size(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);  // both gets record a miss
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.inserts, 0u);
+}
+
+TEST(ConcurrentLru, CapacityOneCollapsesToOneExactShard) {
+  // capacity < shards collapses to one shard so the eviction order stays a
+  // true global LRU: inserting a second key must evict the first.
+  ConcurrentLru<int, int> cache(1, 8);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  int out = 0;
+  EXPECT_FALSE(cache.get(1, &out));
+  ASSERT_TRUE(cache.get(2, &out));
+  EXPECT_EQ(out, 20);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ConcurrentLru, EvictionCountsAndRecency) {
+  ConcurrentLru<int, int> cache(2, 1);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  int out = 0;
+  ASSERT_TRUE(cache.get(1, &out));  // 1 becomes most-recent
+  cache.put(3, 30);                 // evicts 2, the least-recent
+  EXPECT_FALSE(cache.get(2, &out));
+  EXPECT_TRUE(cache.get(1, &out));
+  EXPECT_TRUE(cache.get(3, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ConcurrentLru, CapacitySplitsAcrossShardsRoundedUp) {
+  const ConcurrentLru<int, int> cache(10, 4);  // ceil(10/4) = 3 per shard
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.capacity(), 10u);
+}
+
+TEST(ConcurrentLru, ClearEmptiesEveryShard) {
+  ConcurrentLru<int, int> cache(64, 8);
+  for (int i = 0; i < 32; ++i) cache.put(i, i);
+  EXPECT_EQ(cache.size(), 32u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  int out = 0;
+  EXPECT_FALSE(cache.get(7, &out));
+}
+
+// Serial replay against the single-threaded LruCache: with one shard the
+// wrapper must produce the identical hit/miss/eviction sequence — the
+// accounting is exact, not approximate, when calls do not race.
+TEST(ConcurrentLru, SerialReplayMatchesPlainLru) {
+  ConcurrentLru<int, int> striped(8, 1);
+  LruCache<int, int> plain(8);
+  std::uint64_t plain_hits = 0, plain_misses = 0;
+  // A deterministic mixed trace with reuse, overwrite and eviction.
+  const int trace[] = {1, 2, 3, 1, 4, 5, 6, 7, 8, 9, 2, 1, 10, 11, 1, 3};
+  for (const int key : trace) {
+    int out = 0;
+    const bool hit = striped.get(key, &out);
+    const bool plain_hit = plain.get(key) != nullptr;  // same recency bump
+    EXPECT_EQ(hit, plain_hit) << "key " << key;
+    if (hit) {
+      ++plain_hits;
+    } else {
+      ++plain_misses;
+      striped.put(key, key * 100);
+      plain.put(key, key * 100);
+    }
+  }
+  const auto stats = striped.stats();
+  EXPECT_EQ(stats.hits, plain_hits);
+  EXPECT_EQ(stats.misses, plain_misses);
+  EXPECT_EQ(stats.evictions, plain.evictions());
+  EXPECT_EQ(stats.size, plain.size());
+}
+
+// Multi-threaded stress: concurrent gets/puts over a shared key range must
+// be data-race free (tsan) and keep the counters coherent: every lookup is
+// either a hit or a miss, and the cache never exceeds its capacity budget.
+TEST(ConcurrentLru, ConcurrentStress) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  constexpr std::size_t kCapacity = 64;
+  ConcurrentLru<int, std::string> cache(kCapacity, 8);
+  std::atomic<std::uint64_t> found{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Key range twice the capacity so evictions churn constantly.
+        const int key = (t * 31 + i * 17) % (2 * static_cast<int>(kCapacity));
+        std::string out;
+        if (cache.get(key, &out)) {
+          // A hit must return the value some thread put for this key.
+          EXPECT_EQ(out, std::to_string(key));
+          found.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.put(key, std::to_string(key));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.hits, found.load());
+  // ceil(64/8) = 8 per shard, 8 shards: never more than 64 entries live.
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_GT(stats.evictions, 0u);  // the churn must actually have evicted
+}
+
+TEST(ConcurrentLru, MetricsMirrorCounters) {
+  obs::MetricsRegistry registry;
+  ConcurrentLru<int, int> cache(4, 1);
+  cache.set_metrics(&registry, "test_cache");
+  int out = 0;
+  cache.get(1, &out);  // miss
+  cache.put(1, 10);
+  cache.get(1, &out);  // hit
+  for (int i = 2; i <= 6; ++i) cache.put(i, i);  // evicts
+  EXPECT_EQ(registry.counter("test_cache_hits_total").value(), 1u);
+  EXPECT_EQ(registry.counter("test_cache_misses_total").value(), 1u);
+  EXPECT_EQ(registry.counter("test_cache_evictions_total").value(),
+            cache.stats().evictions);
+  cache.set_metrics(nullptr, "");  // uninstall: updates stop mirroring
+  cache.get(99, &out);
+  EXPECT_EQ(registry.counter("test_cache_misses_total").value(), 1u);
+}
+
+}  // namespace
+}  // namespace mheta::util

@@ -1,0 +1,60 @@
+#include "util/signal.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+
+#include <csignal>
+
+namespace mheta::util {
+namespace {
+
+bool wake_fd_readable(int fd, int timeout_ms) {
+  pollfd p = {};
+  p.fd = fd;
+  p.events = POLLIN;
+  return ::poll(&p, 1, timeout_ms) == 1 && (p.revents & POLLIN) != 0;
+}
+
+TEST(ShutdownToken, StartsLowered) {
+  ShutdownToken& token = ShutdownToken::instance();
+  token.reset();
+  EXPECT_FALSE(token.requested());
+  EXPECT_FALSE(wake_fd_readable(token.wake_fd(), 0));
+}
+
+TEST(ShutdownToken, ProgrammaticRequestRaisesAndWakes) {
+  ShutdownToken& token = ShutdownToken::instance();
+  token.reset();
+  token.request();
+  EXPECT_TRUE(token.requested());
+  EXPECT_TRUE(wake_fd_readable(token.wake_fd(), 1000));
+  token.reset();
+  EXPECT_FALSE(token.requested());
+  EXPECT_FALSE(wake_fd_readable(token.wake_fd(), 0));
+}
+
+TEST(ShutdownToken, RealSignalRaisesLatch) {
+  ShutdownToken& token = ShutdownToken::instance();
+  token.install_handlers();
+  token.reset();
+  ASSERT_EQ(::raise(SIGTERM), 0);  // handled, not fatal, once installed
+  EXPECT_TRUE(token.requested());
+  EXPECT_TRUE(wake_fd_readable(token.wake_fd(), 1000));
+  token.reset();
+  ASSERT_EQ(::raise(SIGINT), 0);
+  EXPECT_TRUE(token.requested());
+  token.reset();
+}
+
+TEST(ShutdownToken, InstallIsIdempotent) {
+  ShutdownToken& token = ShutdownToken::instance();
+  token.install_handlers();
+  token.install_handlers();
+  token.reset();
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  EXPECT_TRUE(token.requested());
+  token.reset();
+}
+
+}  // namespace
+}  // namespace mheta::util

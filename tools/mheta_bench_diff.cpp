@@ -54,10 +54,12 @@ constexpr const char* kTool = "mheta-bench-diff";
 // Checked before the lower-is-better pattern so `moves_per_s` and
 // `hit_rate` are not misclassified by their `_s` / `_rate` tails.
 constexpr const char* kDefaultHigherBetter =
-    "(_per_s|per_second|speedup|_rate|fill|iterations$|hits$|pruned$)";
+    "(_per_s|per_second|throughput|speedup|_rate|fill|iterations$|hits$|"
+    "pruned$)";
 constexpr const char* kDefaultLowerBetter =
-    "(real_time|cpu_time|_time|_s$|_seconds$|_ns$|_ms$|_us$|drift|error|"
-    "violations|fallbacks|latches|misses$|_bytes$)";
+    "(real_time|cpu_time|_time|_s$|_seconds$|_ns$|_ms$|_us$|latency|"
+    "(^|[._])p[0-9]+_s$|drift|error|violations|fallbacks|latches|misses$|"
+    "_bytes$)";
 
 void print_usage(std::ostream& os) {
   os << "usage: mheta-bench-diff [--threshold PCT] [--abs-floor X]\n"

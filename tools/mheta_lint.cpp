@@ -31,19 +31,14 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "analysis/bounds/bounds.hpp"
-#include "analysis/lint.hpp"
 #include "analysis/rules.hpp"
 #include "cluster/suite.hpp"
-#include "core/structure_io.hpp"
-#include "dist/generators.hpp"
-#include "exp/experiment.hpp"
 #include "fault/scenario_io.hpp"
 #include "fault/scenario_lint.hpp"
+#include "serve/ops.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -80,14 +75,6 @@ void print_rules(std::ostream& os) {
   }
 }
 
-dist::GenBlock make_dist(const std::string& kind, const dist::DistContext& ctx) {
-  if (kind == "blk") return dist::block_dist(ctx);
-  if (kind == "bal") return dist::balanced_dist(ctx);
-  if (kind == "ic") return dist::in_core_dist(ctx);
-  if (kind == "icbal") return dist::in_core_balanced_dist(ctx);
-  throw CheckError("unknown distribution kind: " + kind);
-}
-
 struct Options {
   std::string arch;
   std::string dist_kind = "blk";
@@ -96,44 +83,6 @@ struct Options {
   std::vector<std::string> inputs;
   std::vector<std::string> scenarios;
 };
-
-// The certified envelope report behind --bounds: per-stage [lo, hi] folded
-// across ranks, per-node end times, and the total, at the workload's
-// default iteration count.
-void print_bounds(std::ostream& os, const core::ProgramStructure& program,
-                  const analysis::bounds::CostBoundsAnalyzer& analyzer,
-                  const dist::GenBlock& d, int iterations) {
-  const auto total = analyzer.total_bounds(d, iterations);
-  os << "bounds (" << iterations << " iteration(s)): total ["
-     << total.total.lo << ", " << total.total.hi << "] s, rel width "
-     << total.width_rel() << '\n';
-  for (std::size_t r = 0; r < total.node_end.size(); ++r)
-    os << "  node " << r << ": [" << total.node_end[r].lo << ", "
-       << total.node_end[r].hi << "] s\n";
-  // Stage envelopes are per (section, stage, rank); fold ranks so the
-  // report stays one line per stage.
-  const auto stages = analyzer.stage_bounds(d);
-  for (const auto& section : program.sections) {
-    for (const auto& stage : section.stages) {
-      analysis::bounds::Interval folded{0, 0};
-      bool first = true;
-      for (const auto& sb : stages) {
-        if (sb.section_id != section.id || sb.stage_id != stage.id) continue;
-        if (first) {
-          folded = sb.time;
-          first = false;
-        } else {
-          folded.lo = std::min(folded.lo, sb.time.lo);
-          folded.hi = std::max(folded.hi, sb.time.hi);
-        }
-      }
-      if (first) continue;
-      os << "  section " << section.id << " stage " << stage.id
-         << " (per iteration, across ranks): [" << folded.lo << ", "
-         << folded.hi << "] s\n";
-    }
-  }
-}
 
 int report(const analysis::Diagnostics& diags, const Options& opts) {
   if (opts.json) {
@@ -146,76 +95,18 @@ int report(const analysis::Diagnostics& diags, const Options& opts) {
   return diags.has_errors() ? cli::kExitError : cli::kExitOk;
 }
 
+// The lint/bounds core lives in serve::lint_input, shared with the
+// mheta-serve daemon so the two cannot drift; this wrapper only maps it to
+// the CLI contract (messages to stderr, exit codes, report formatting).
 int lint_one(const std::string& input, const Options& opts) {
-  core::ProgramStructure program;
-  analysis::StructureLocations locations;
-  analysis::Diagnostics diags;
-
-  if (auto w = exp::workload_by_name(input)) {
-    program = std::move(w->program);
-    diags.set_artifact(program.name);
-    diags.merge(analysis::lint_structure(program));
-  } else {
-    std::ifstream file(input);
-    if (!file) {
-      std::cerr << kTool << ": cannot open '" << input << "'\n";
-      return cli::kExitUsage;
-    }
-    locations.file = input;
-    diags.set_artifact(input);
-    // Collect rule findings instead of throwing; syntax errors still throw.
-    program = core::load_structure(file, &locations, &diags);
-  }
-
-  if (!opts.arch.empty()) {
-    const cluster::ArchConfig arch = cluster::find_arch(opts.arch);
-    const auto ctx = dist::DistContext::from_cluster(
-        arch.cluster, program.rows(), program.bytes_per_row());
-    const dist::GenBlock d = make_dist(opts.dist_kind, ctx);
-    analysis::LintInput in;
-    in.structure = &program;
-    in.locations = locations.file.empty() ? nullptr : &locations;
-    in.cluster = &arch.cluster;
-    in.distribution = &d;
-    // With --bounds, calibrate the model on the emulated machine so the
-    // model-input rules (MH012-15, MH019) and the interval-bounds rules
-    // (MH022-23) see real MhetaParams and per-node memories. The workload's
-    // iteration count (1 for plain files) scales the printed envelope.
-    std::optional<exp::Workload> w;
-    std::optional<core::Predictor> predictor;
-    if (opts.bounds) {
-      exp::ExperimentOptions eopts;
-      if (auto known = exp::workload_by_name(input)) {
-        w = std::move(*known);
-      } else {
-        w = exp::Workload{diags.artifact(), program, 1};
-      }
-      predictor = exp::build_predictor(arch, *w, eopts);
-      in.structure = &predictor->structure();
-      in.params = &predictor->params();
-      in.memory_bytes = &predictor->memory_bytes();
-      in.planner_overhead_bytes = predictor->options().planner_overhead_bytes;
-      in.max_blocks = predictor->options().max_blocks;
-    }
-    // Replace the structure-only findings with the full triple run so each
-    // rule reports once.
-    analysis::Diagnostics full = analysis::run_rules(in);
-    full.set_artifact(diags.artifact());
-    diags = std::move(full);
-    if (opts.bounds && !opts.json) {
-      const analysis::bounds::CostBoundsAnalyzer analyzer(
-          predictor->structure(), predictor->params(),
-          predictor->memory_bytes(),
-          {in.planner_overhead_bytes, in.max_blocks});
-      print_bounds(std::cout, predictor->structure(), analyzer, d,
-                   w->iterations);
-    }
-  } else if (opts.bounds) {
+  if (opts.bounds && opts.arch.empty()) {
     std::cerr << kTool << ": --bounds requires --arch\n";
     return cli::kExitUsage;
   }
-
-  return report(diags, opts);
+  const serve::LintRun run =
+      serve::lint_input(input, opts.arch, opts.dist_kind, opts.bounds);
+  if (run.has_bounds && !opts.json) serve::write_bounds_text(std::cout, run);
+  return report(run.diags, opts);
 }
 
 int lint_scenario_file(const std::string& path, const Options& opts) {

@@ -1,0 +1,105 @@
+// mheta-serve: the prediction-as-a-service daemon.
+//
+// Listens on a Unix-domain socket for newline-delimited JSON requests
+// (predict | lint | bounds | whatif | search | metrics | ping) and answers
+// each line with one response line. Predictor sessions are interned per
+// (input, arch) and responses are cached, so a warm daemon answers repeated
+// queries without re-running calibration. SIGINT/SIGTERM drain: in-flight
+// requests are answered, then the socket is unlinked and the tool exits 0.
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/signal.hpp"
+
+namespace {
+
+namespace cli = mheta::util::cli;
+
+void print_usage(std::ostream& os) {
+  os << "usage: mheta-serve --socket PATH [options]\n"
+     << "\n"
+     << "serve mheta predictions over a Unix-domain socket; one JSON\n"
+     << "request per line in, one JSON response per line out\n"
+     << "\n"
+     << "options:\n"
+     << "  --socket PATH        socket file to listen on (required)\n"
+     << "  --threads N          acceptor + workers (default: all cores)\n"
+     << "  --cache N            response-cache capacity (0 disables;\n"
+     << "                       default 1024)\n"
+     << "  --shards N           response-cache shard count (default 8)\n"
+     << "  --max-line-bytes N   per-request frame limit (default 1048576)\n"
+     << "  --help, --version\n"
+     << "\n"
+     << "request kinds: predict, lint, bounds, whatif, search, metrics\n"
+     << "(Prometheus text), ping; see DESIGN.md for the wire format\n"
+     << "\n"
+     << "SIGINT/SIGTERM drain in-flight requests, then exit 0\n";
+  cli::print_exit_status(os, /*with_input_errors=*/false);
+}
+
+std::optional<long> parse_count(const std::string& tool,
+                                const std::string& flag,
+                                const std::string& text) {
+  try {
+    std::size_t end = 0;
+    const long v = std::stol(text, &end);
+    if (end == text.size() && v >= 0) return v;
+  } catch (...) {
+  }
+  std::cerr << tool << ": " << flag << " needs a non-negative integer, got '"
+            << text << "'\n";
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgCursor args(argc, argv, "mheta-serve");
+  mheta::serve::ServerOptions options;
+
+  std::string arg;
+  while (args.next(arg)) {
+    if (auto code = cli::handle_common_flag(arg, args.tool(), print_usage))
+      return *code;
+    if (arg == "--socket") {
+      const auto value = args.value(arg);
+      if (!value) return cli::kExitUsage;
+      options.socket_path = *value;
+    } else if (arg == "--threads" || arg == "--cache" || arg == "--shards" ||
+               arg == "--max-line-bytes") {
+      const auto value = args.value(arg);
+      if (!value) return cli::kExitUsage;
+      const auto n = parse_count(args.tool(), arg, *value);
+      if (!n) return cli::kExitUsage;
+      if (arg == "--threads") options.threads = static_cast<int>(*n);
+      if (arg == "--cache")
+        options.cache_capacity = static_cast<std::size_t>(*n);
+      if (arg == "--shards") options.cache_shards = static_cast<std::size_t>(*n);
+      if (arg == "--max-line-bytes")
+        options.max_request_bytes = static_cast<std::size_t>(*n);
+    } else {
+      return cli::unknown_option(args.tool(), arg, print_usage);
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::cerr << args.tool() << ": --socket is required\n";
+    print_usage(std::cerr);
+    return cli::kExitUsage;
+  }
+
+  mheta::util::ShutdownToken::instance().install_handlers();
+  try {
+    mheta::serve::Server server(options);
+    std::cout << "listening on " << options.socket_path << std::endl;
+    server.run();
+  } catch (const mheta::CheckError& e) {
+    std::cerr << args.tool() << ": " << e.what() << '\n';
+    return cli::kExitUsage;
+  }
+  std::cout << "drained, exiting" << std::endl;
+  return cli::kExitOk;
+}
